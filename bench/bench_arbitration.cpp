@@ -1,0 +1,122 @@
+// E4 — paper §2.1: "A round-robin arbitration scheme is used to avoid
+// starvation." Regenerates: per-input grant shares and worst-case wait
+// when 4 inputs contend for one output, plus the arbiter's fairness
+// guarantee at the unit level.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "noc/arbiter.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+
+namespace {
+
+using namespace mn;
+
+/// Cross traffic: 4 sources at the edges of a 3x3 mesh all streaming to
+/// the single sink hanging off the centre router's local port. Every
+/// packet must win the centre router's arbitration for the Local output.
+struct ContentionResult {
+  std::array<std::uint64_t, 4> packets{};
+  std::uint64_t total = 0;
+  double max_gap = 0;  ///< worst inter-delivery gap per source (cycles)
+};
+
+ContentionResult run_contention(std::uint64_t cycles) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 3, 3);
+  const noc::XY sources[] = {{0, 1}, {2, 1}, {1, 0}, {1, 2}};
+  std::vector<std::unique_ptr<noc::NetworkInterface>> srcs;
+  for (int i = 0; i < 4; ++i) {
+    srcs.push_back(std::make_unique<noc::NetworkInterface>(
+        sim, "src" + std::to_string(i),
+        mesh.local_in(sources[i].x, sources[i].y),
+        mesh.local_out(sources[i].x, sources[i].y)));
+  }
+  noc::NetworkInterface sink(sim, "sink", mesh.local_in(1, 1),
+                             mesh.local_out(1, 1));
+
+  ContentionResult res;
+  std::array<std::uint64_t, 4> last_seen{};
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    for (int i = 0; i < 4; ++i) {
+      if (srcs[i]->tx_backlog() < 64) {
+        noc::Packet p;
+        p.target = noc::encode_xy({1, 1});
+        p.payload.assign(8, static_cast<std::uint8_t>(i));
+        srcs[i]->send_packet(p);
+      }
+    }
+    while (sink.has_packet()) {
+      const auto rp = sink.pop_packet();
+      const int who = rp.packet.payload[0];
+      ++res.packets[who];
+      ++res.total;
+      res.max_gap = std::max(
+          res.max_gap, static_cast<double>(sim.cycle() - last_seen[who]));
+      last_seen[who] = sim.cycle();
+    }
+    sim.step();
+  }
+  return res;
+}
+
+void print_tables() {
+  std::printf("=== E4: round-robin arbitration fairness (paper §2.1) ===\n\n");
+  const auto r = run_contention(200000);
+  std::printf("four persistent sources contending for one output,"
+              " 200k cycles:\n");
+  std::printf("%8s %10s %8s\n", "source", "packets", "share");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%8d %10llu %7.1f%%\n", i,
+                static_cast<unsigned long long>(r.packets[i]),
+                100.0 * r.packets[i] / r.total);
+  }
+  std::printf("worst inter-delivery gap for any source: %.0f cycles"
+              " (bounded -> no starvation)\n\n",
+              r.max_gap);
+
+  // Unit-level guarantee: a persistent requester is granted within N
+  // arbitration rounds regardless of the competing pattern.
+  noc::RoundRobinArbiter arb(5);
+  std::vector<bool> req(5, true);
+  std::array<int, 5> waits{};
+  std::array<int, 5> last{-1, -1, -1, -1, -1};
+  for (int round = 0; round < 5000; ++round) {
+    const int g = arb.arbitrate(req);
+    for (int i = 0; i < 5; ++i) {
+      if (i == g) {
+        waits[i] = std::max(waits[i], round - last[i]);
+        last[i] = round;
+      }
+    }
+  }
+  int worst = 0;
+  for (int w : waits) worst = std::max(worst, w);
+  std::printf("unit check, 5 persistent requesters: worst grant distance ="
+              " %d rounds (bound = 5)\n\n", worst);
+}
+
+void BM_ContendedRouter(benchmark::State& state) {
+  ContentionResult r;
+  for (auto _ : state) r = run_contention(20000);
+  double min_share = 1.0, max_share = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double s = static_cast<double>(r.packets[i]) / r.total;
+    min_share = std::min(min_share, s);
+    max_share = std::max(max_share, s);
+  }
+  state.counters["min_share"] = min_share;
+  state.counters["max_share"] = max_share;
+}
+BENCHMARK(BM_ContendedRouter);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

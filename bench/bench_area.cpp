@@ -1,0 +1,86 @@
+// E6/E7 — paper §3 prototyping results:
+//   * "The MultiNoC system uses 98% of the available slices and 78% of
+//     the LUTs" of the Spartan-IIe XC2S200E;
+//   * "The router surface will remain constant and the NoC dimensions
+//     will scale less than the IPs, becoming a very small fraction of the
+//     whole system, typically less than 10 or 5%."
+// Regenerates the utilization table, the per-IP area breakdown, and the
+// NoC-fraction scaling series.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "area/device.hpp"
+
+namespace {
+
+using namespace mn;
+
+void print_tables() {
+  std::printf("=== E6: device utilization (paper §3) ===\n\n");
+  const auto dev = area::xc2s200e();
+  const auto blocks = area::multinoc_2x2_blocks();
+  std::printf("per-IP area breakdown on %s:\n", dev.name.c_str());
+  std::printf("%-16s %10s %10s %8s\n", "block", "slices", "LUTs", "BRAMs");
+  for (const auto& b : blocks) {
+    std::printf("%-16s %10.0f %10.0f %8u\n", b.name.c_str(), b.slices,
+                b.luts, b.brams);
+  }
+  const auto u = area::utilization(blocks, dev);
+  std::printf("%-16s %10.0f %10.0f %8u\n", "TOTAL", u.slices_used,
+              u.luts_used, u.brams_used);
+  std::printf("\nutilization: %.1f%% slices (paper: 98%%), %.1f%% LUTs"
+              " (paper: 78%%), %.1f%% BRAMs\n",
+              u.slice_pct, u.lut_pct, u.bram_pct);
+  std::printf("fits on %s: %s\n\n", dev.name.c_str(), u.fits ? "yes" : "no");
+
+  std::printf("NoC share of the 2x2 prototype: %.1f%% of slices"
+              " (paper: \"an important part of the design\")\n\n",
+              100.0 * 4 * area::router_slices({}) / u.slices_used);
+
+  std::printf("=== E7: NoC area fraction at scale (paper §3) ===\n\n");
+  std::printf("router area is constant (%0.f slices); IP area grows:\n",
+              area::router_slices({}));
+  std::printf("%8s %14s %14s %14s %14s\n", "mesh", "ip=1x router",
+              "ip=2x proc", "ip=9x router", "ip=19x router");
+  const double r = area::router_slices({});
+  for (unsigned n = 2; n <= 10; ++n) {
+    std::printf("%5ux%-2u %13.1f%% %13.1f%% %13.1f%% %13.1f%%\n", n, n,
+                100 * area::noc_area_fraction(n, r),
+                100 * area::noc_area_fraction(
+                          n, 2 * area::processor_ip_area().slices),
+                100 * area::noc_area_fraction(n, 9 * r),
+                100 * area::noc_area_fraction(n, 19 * r));
+  }
+  std::printf("\nwith IPs 9x the router area the NoC costs <10%%; at 19x it"
+              " costs ~5%% — the paper's \"less than 10 or 5%%\" claim.\n");
+
+  std::printf("\nrouter area vs flit width (buffers + crossbar scale with"
+              " width, control does not):\n");
+  std::printf("%12s %14s\n", "flit bits", "router slices");
+  for (unsigned w : {8u, 16u, 32u}) {
+    std::printf("%12u %14.0f\n", w, area::router_slices({w, 2, 5}));
+  }
+  std::printf("\n");
+}
+
+void BM_UtilizationModel(benchmark::State& state) {
+  area::Utilization u;
+  for (auto _ : state) {
+    u = area::utilization(area::multinoc_2x2_blocks(), area::xc2s200e());
+    benchmark::DoNotOptimize(u);
+  }
+  state.counters["slice_pct"] = u.slice_pct;
+  state.counters["lut_pct"] = u.lut_pct;
+}
+BENCHMARK(BM_UtilizationModel);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// E3 — paper §2.1 buffer-depth trade-off: "a 2-flit buffer is added to
+// each input port, reducing the number of routers affected by the blocked
+// flits. Larger buffers can provide enhanced NoC performance. MultiNoC
+// employs small buffers to cope with FPGA area restrictions."
+// Regenerates: latency/throughput vs buffer depth under contention, and
+// the router area each depth costs (the trade-off the paper describes).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "area/area_model.hpp"
+#include "noc/traffic.hpp"
+
+namespace {
+
+using namespace mn;
+
+noc::TrafficResult run_depth(unsigned depth, double rate,
+                             noc::TrafficPattern pattern) {
+  noc::RouterConfig rcfg;
+  rcfg.buffer_depth = depth;
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = rate;
+  cfg.payload_flits = 8;
+  cfg.pattern = pattern;
+  cfg.hotspot = {0, 0};
+  cfg.hotspot_fraction = 0.4;
+  cfg.seed = 31;
+  cfg.warmup_cycles = 4000;
+  return noc::run_traffic_experiment(4, 4, rcfg, cfg, 30000);
+}
+
+void print_tables() {
+  std::printf("=== E3: input buffer depth trade-off (paper §2.1) ===\n\n");
+  for (auto [pattern, name, rate] :
+       {std::tuple{noc::TrafficPattern::kUniform, "uniform", 0.018},
+        std::tuple{noc::TrafficPattern::kHotspot, "hotspot(0,0)", 0.012},
+        std::tuple{noc::TrafficPattern::kTranspose, "transpose", 0.018}}) {
+    std::printf("-- %s traffic, 4x4, payload 8 flits, rate %.3f --\n", name,
+                rate);
+    std::printf("%8s %12s %12s %14s %18s\n", "depth", "avg lat", "p99 lat",
+                "accepted f/c/n", "router slices");
+    for (unsigned depth : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      const auto r = run_depth(depth, rate, pattern);
+      area::RouterParams rp;
+      rp.buffer_depth = depth;
+      std::printf("%8u %12.1f %12.1f %14.4f %18.0f\n", depth, r.avg_latency,
+                  r.p99_latency, r.throughput_flits,
+                  area::router_slices(rp));
+    }
+    std::printf("\n");
+  }
+  std::printf("paper design point: depth 2 (area-constrained);"
+              " deeper buffers cut latency under contention but a 4-router\n"
+              "NoC at depth 32 would cost %.0f extra slices — more than the"
+              " whole Serial IP.\n\n",
+              4 * (area::router_slices({8, 32, 5}) -
+                   area::router_slices({8, 2, 5})));
+}
+
+void BM_HotspotByDepth(benchmark::State& state) {
+  const unsigned depth = static_cast<unsigned>(state.range(0));
+  noc::TrafficResult r;
+  for (auto _ : state) {
+    r = run_depth(depth, 0.012, noc::TrafficPattern::kHotspot);
+  }
+  state.counters["avg_latency"] = r.avg_latency;
+  state.counters["accepted"] = r.throughput_flits;
+}
+BENCHMARK(BM_HotspotByDepth)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

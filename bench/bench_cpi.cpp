@@ -1,0 +1,194 @@
+// E5 — paper §2.4: the R8 has "a CPI (Clocks Per Instruction) between 2
+// and 4". Regenerates the CPI of each instruction class on the
+// cycle-accurate CPU, cross-checked against the functional interpreter's
+// ideal cycle model, plus the NoC-stall overhead of remote accesses.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/programs.hpp"
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "r8/cpu.hpp"
+#include "r8/interp.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+using namespace mn;
+
+/// Run object code on a bare cycle-accurate CPU with flat local memory.
+struct FlatBus final : r8::Bus {
+  std::vector<std::uint16_t> mem = std::vector<std::uint16_t>(1 << 16, 0);
+  bool mem_read(std::uint16_t addr, std::uint16_t& out) override {
+    out = mem[addr];
+    return true;
+  }
+  bool mem_write(std::uint16_t addr, std::uint16_t v) override {
+    mem[addr] = v;
+    return true;
+  }
+};
+
+struct CpiResult {
+  double cpi = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+};
+
+CpiResult measure(const std::string& source) {
+  const auto a = r8asm::assemble(source);
+  if (!a.ok) {
+    std::fprintf(stderr, "assembly error:\n%s", a.error_text().c_str());
+    return {};
+  }
+  FlatBus bus;
+  std::copy(a.image.begin(), a.image.end(), bus.mem.begin());
+  r8::Cpu cpu;
+  cpu.activate();
+  std::uint64_t guard = 10'000'000;
+  while (!cpu.halted() && guard-- > 0) cpu.tick(bus);
+  return {cpu.cpi(), cpu.instructions(), cpu.cycles()};
+}
+
+void print_tables() {
+  std::printf("=== E5: R8 CPI by instruction class (paper §2.4) ===\n\n");
+  std::printf("%-22s %10s %12s %8s\n", "kernel", "instrs", "cycles", "CPI");
+  const int n = 2000;
+  struct Row {
+    const char* name;
+    std::string src;
+  };
+  const Row rows[] = {
+      {"ALU (ADD)", apps::cpi_alu_source(n)},
+      {"memory (LD local)", apps::cpi_memory_source(n)},
+      {"jump taken (JMPD)", apps::cpi_jump_taken_source(n)},
+      {"jump not taken", apps::cpi_jump_not_taken_source(n)},
+      {"stack (PUSH/POP)", apps::cpi_stack_source(n)},
+      {"mixed", apps::cpi_mixed_source(n)},
+  };
+  double min_cpi = 100, max_cpi = 0;
+  for (const auto& row : rows) {
+    const auto r = measure(row.src);
+    std::printf("%-22s %10llu %12llu %8.3f\n", row.name,
+                static_cast<unsigned long long>(r.instructions),
+                static_cast<unsigned long long>(r.cycles), r.cpi);
+    min_cpi = std::min(min_cpi, r.cpi);
+    max_cpi = std::max(max_cpi, r.cpi);
+  }
+  std::printf("\nCPI range across kernels: %.2f .. %.2f"
+              " (paper: between 2 and 4)\n", min_cpi, max_cpi);
+
+  // Interpreter cross-check: ideal cycles == cycle-accurate cycles for
+  // local-memory-only programs.
+  const auto mixed = r8asm::assemble(apps::cpi_mixed_source(500));
+  r8::Interp interp;
+  interp.load(mixed.image);
+  interp.run(10'000'000);
+  const auto accurate = measure(apps::cpi_mixed_source(500));
+  std::printf("interpreter ideal-cycle model vs cycle-accurate CPU (mixed,"
+              " n=500): %llu vs %llu cycles (%s)\n",
+              static_cast<unsigned long long>(interp.ideal_cycles()),
+              static_cast<unsigned long long>(accurate.cycles),
+              interp.ideal_cycles() == accurate.cycles ? "exact match"
+                                                       : "MISMATCH");
+
+  // Remote access stall: effective CPI of a load loop hitting the remote
+  // Memory IP through the NoC (full system).
+  {
+    sim::Simulator sim;
+    sys::MultiNoc system(sim);
+    host::Host host(sim, system, 8);
+    if (host.boot()) {
+      // 200 remote loads from address 0x0800.
+      std::string src = "        LDL R0,0\n        LDH R0,0\n"
+                        "        LDL R4, 0x00\n        LDH R4, 0x08\n";
+      for (int i = 0; i < 200; ++i) src += "        LD R1, R4, R0\n";
+      src += "        HALT\n";
+      const auto a = r8asm::assemble(src);
+      host.load_program(0x01, a.image);
+      host.flush();
+      host.activate(0x01);
+      sim.run_until([&] { return system.processor(0).finished(); },
+                    10'000'000);
+      const auto& cpu = system.processor(0).cpu();
+      std::printf("\nremote LD through the NoC: CPI %.1f (local LD: 3.0);"
+                  " stall cycles/load ~%.1f\n",
+                  cpu.cpi(),
+                  static_cast<double>(cpu.stall_cycles()) / 200);
+    }
+  }
+  // r8cc optimizer ablation (the §5 compiler): code size and cycles of
+  // MiniC kernels with the optimizer off/on, on the cycle-accurate CPU.
+  std::printf("\n-- r8cc optimizer ablation (O0 vs O1, cycle-accurate) --\n");
+  std::printf("%-26s %10s %10s %12s %12s\n", "kernel", "O0 words",
+              "O1 words", "O0 cycles", "O1 cycles");
+  struct K {
+    const char* name;
+    const char* src;
+  };
+  const K kernels[] = {
+      {"checksum*8+%16",
+       R"(int a[64];
+          int main() {
+            for (int i = 0; i < 64; i = i + 1) { a[i] = i * 8 + i % 16; }
+            int s = 0;
+            for (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }
+            printf(s);
+          })"},
+      {"fib(14)",
+       R"(int f(int n) { if (n < 2) { return n; }
+            return f(n - 1) + f(n - 2); }
+          int main() { printf(f(14)); })"},
+      {"const expressions",
+       "int main() { printf(3 * 17 + (1 << 9) - 200 / 8); }"},
+  };
+  for (const auto& k : kernels) {
+    std::size_t words[2] = {0, 0};
+    std::uint64_t cycles[2] = {0, 0};
+    for (int o = 0; o < 2; ++o) {
+      cc::CompileOptions copts;
+      copts.optimize = o == 1;
+      const auto c = cc::compile(k.src, copts);
+      if (!c.ok) continue;
+      words[o] = c.image.size();
+      FlatBus bus;
+      std::copy(c.image.begin(), c.image.end(), bus.mem.begin());
+      r8::Cpu cpu;
+      cpu.activate();
+      std::uint64_t guard = 50'000'000;
+      while (!cpu.halted() && guard-- > 0) cpu.tick(bus);
+      cycles[o] = cpu.cycles();
+    }
+    std::printf("%-26s %10zu %10zu %12llu %12llu\n", k.name, words[0],
+                words[1], static_cast<unsigned long long>(cycles[0]),
+                static_cast<unsigned long long>(cycles[1]));
+  }
+  std::printf("\n");
+}
+
+void BM_CpuSimulationSpeed(benchmark::State& state) {
+  const auto a = r8asm::assemble(apps::cpi_mixed_source(2000));
+  FlatBus bus;
+  std::copy(a.image.begin(), a.image.end(), bus.mem.begin());
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    r8::Cpu cpu;
+    cpu.activate();
+    while (!cpu.halted()) cpu.tick(bus);
+    cycles += cpu.cycles();
+  }
+  state.counters["sim_cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(cycles), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuSimulationSpeed);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

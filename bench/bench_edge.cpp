@@ -1,0 +1,121 @@
+// E10 — paper Fig. 10 parallel edge detection: "the host computer sends
+// an image line, after what each embedded processor computes one gradient
+// (gx and gy)... and notifies the host". Regenerates: runtime vs image
+// size, 1 vs 2 processors, and the speedup's dependence on the external
+// link speed (the paper names the serial link as the system's stated
+// limitation and suggests USB/PCI/Firewire as faster alternatives).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "apps/edge_detection.hpp"
+#include "apps/image.hpp"
+#include "host/host.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+using namespace mn;
+
+apps::EdgeRunStats run_once(const apps::Image& img, unsigned nprocs,
+                            unsigned divisor, bool* correct) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, divisor);
+  apps::EdgeRunStats stats;
+  if (!host.boot()) return stats;
+  const auto out =
+      apps::run_parallel_edge_detection(sim, system, host, img, nprocs,
+                                        &stats);
+  if (correct) *correct = (out == apps::golden_edge(img));
+  return stats;
+}
+
+void print_tables() {
+  std::printf("=== E10: parallel edge detection (paper Fig. 10) ===\n\n");
+
+  std::printf("-- runtime vs image size (divisor 8) --\n");
+  std::printf("%10s %8s %14s %14s %10s %10s\n", "image", "procs", "cycles",
+              "ms@25MHz", "bytes tx", "correct");
+  for (auto [w, h] : {std::pair{16u, 8u}, {32u, 16u}, {48u, 24u},
+                      {64u, 32u}}) {
+    const apps::Image img = apps::synthetic_image(w, h, 1000 + w);
+    for (unsigned procs : {1u, 2u}) {
+      bool ok = false;
+      const auto s = run_once(img, procs, 8, &ok);
+      std::printf("%7ux%-3u %8u %14llu %14.2f %10llu %10s\n", w, h, procs,
+                  static_cast<unsigned long long>(s.cycles),
+                  s.cycles / 25e3,
+                  static_cast<unsigned long long>(s.host_bytes_tx),
+                  ok ? "yes" : "NO");
+    }
+  }
+
+  std::printf("\n-- protocol ablation: naive (3 lines/row, asm kernel) vs"
+              " rotating ring (1 line/row,\n   MiniC kernel compiled by"
+              " r8cc), 32x16, 1 processor --\n");
+  std::printf("%10s %16s %16s %14s %14s\n", "divisor", "naive stream B",
+              "ring stream B", "naive cyc", "ring cyc");
+  for (unsigned divisor : {64u, 16u, 8u}) {
+    const apps::Image img2 = apps::synthetic_image(32, 16, 9);
+    apps::EdgeRunStats naive, ring;
+    {
+      sim::Simulator s;
+      sys::MultiNoc m{s};
+      host::Host h{s, m, divisor};
+      if (!h.boot()) continue;
+      apps::run_parallel_edge_detection(s, m, h, img2, 1, &naive);
+    }
+    {
+      sim::Simulator s;
+      sys::MultiNoc m{s};
+      host::Host h{s, m, divisor};
+      if (!h.boot()) continue;
+      apps::run_pipelined_edge_detection(s, m, h, img2, 1, &ring);
+    }
+    std::printf("%10u %16llu %16llu %14llu %14llu\n", divisor,
+                static_cast<unsigned long long>(naive.host_bytes_tx),
+                static_cast<unsigned long long>(ring.host_bytes_tx),
+                static_cast<unsigned long long>(naive.cycles),
+                static_cast<unsigned long long>(ring.cycles));
+  }
+  std::printf("the ring protocol cuts streaming traffic ~2.4x; on a slow"
+              " link (divisor 64) that\nwins end-to-end despite the larger"
+              " compiled kernel, on faster links the MiniC\nkernel's"
+              " compute cost dominates — protocol AND toolchain trade-offs"
+              " in one table.\n");
+
+  std::printf("\n-- 2-processor speedup vs external link speed (32x16) --\n");
+  std::printf("(the paper: serial RS-232 is the stated limitation; faster"
+              " hosts links shift the bottleneck to compute)\n");
+  std::printf("%10s %14s %14s %10s\n", "divisor", "1-proc cyc", "2-proc cyc",
+              "speedup");
+  const apps::Image img = apps::synthetic_image(32, 16, 5);
+  for (unsigned divisor : {64u, 16u, 8u, 4u, 2u}) {
+    const auto s1 = run_once(img, 1, divisor, nullptr);
+    const auto s2 = run_once(img, 2, divisor, nullptr);
+    std::printf("%10u %14llu %14llu %9.2fx\n", divisor,
+                static_cast<unsigned long long>(s1.cycles),
+                static_cast<unsigned long long>(s2.cycles),
+                static_cast<double>(s1.cycles) / s2.cycles);
+  }
+  std::printf("\n");
+}
+
+void BM_EdgeDetection(benchmark::State& state) {
+  const unsigned procs = static_cast<unsigned>(state.range(0));
+  const apps::Image img = apps::synthetic_image(32, 16, 5);
+  apps::EdgeRunStats s;
+  for (auto _ : state) s = run_once(img, procs, 8, nullptr);
+  state.counters["sim_cycles"] = static_cast<double>(s.cycles);
+}
+BENCHMARK(BM_EdgeDetection)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E1 — paper §2.1 latency formula: latency = (sum Ri + P) * 2, Ri >= 7.
+// Regenerates the latency-vs-hops and latency-vs-payload series on an
+// unloaded mesh and compares them with the analytic formula.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "noc/latency_model.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+
+namespace {
+
+using namespace mn;
+
+/// Measured latency of a single packet across `hops` routers with
+/// `payload` payload flits on an unloaded 8x1 mesh.
+std::uint64_t measure_latency(unsigned hops, unsigned payload,
+                              unsigned route_latency) {
+  sim::Simulator sim;
+  noc::RouterConfig rcfg;
+  rcfg.route_latency = route_latency;
+  noc::Mesh mesh(sim, 8, 1, rcfg);
+  noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                            mesh.local_out(0, 0));
+  const unsigned dx = hops - 1;
+  noc::NetworkInterface dst(sim, "dst", mesh.local_in(dx, 0),
+                            mesh.local_out(dx, 0));
+  noc::Packet p;
+  p.target = noc::encode_xy({static_cast<std::uint8_t>(dx), 0});
+  p.payload.assign(payload, 0x5A);
+  src.send_packet(p);
+  if (!sim.run_until([&] { return dst.has_packet(); }, 1'000'000)) return 0;
+  const auto rp = dst.pop_packet();
+  return rp.recv_cycle - rp.inject_cycle;
+}
+
+void print_tables() {
+  std::printf("=== E1: Hermes latency formula (paper §2.1) ===\n");
+  std::printf("latency = (n*Ri + P) * 2, Ri = 7; P = packet flits\n\n");
+
+  std::printf("-- latency vs hop count (payload 8 flits, P = 10) --\n");
+  std::printf("%8s %12s %12s %14s\n", "routers", "measured", "formula",
+              "meas/formula");
+  for (unsigned hops = 1; hops <= 8; ++hops) {
+    const auto m = measure_latency(hops, 8, 7);
+    const auto f = noc::hermes_latency_formula(hops, 10);
+    std::printf("%8u %12llu %12llu %14.2f\n", hops,
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(f),
+                static_cast<double>(m) / f);
+  }
+
+  std::printf("\n-- latency vs payload (4 routers) --\n");
+  std::printf("%8s %12s %12s %14s\n", "payload", "measured", "formula",
+              "meas/formula");
+  for (unsigned payload : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const auto m = measure_latency(4, payload, 7);
+    const auto f = noc::hermes_latency_formula(4, payload + 2);
+    std::printf("%8u %12llu %12llu %14.2f\n", payload,
+                static_cast<unsigned long long>(m),
+                static_cast<unsigned long long>(f),
+                static_cast<double>(m) / f);
+  }
+
+  // Slope check: the formula predicts 2 extra cycles per payload flit and
+  // 2*Ri per extra router. Report the measured slopes.
+  const double slope_p =
+      static_cast<double>(measure_latency(4, 64, 7) -
+                          measure_latency(4, 8, 7)) / (64 - 8);
+  const double slope_n =
+      static_cast<double>(measure_latency(8, 8, 7) -
+                          measure_latency(2, 8, 7)) / (8 - 2);
+  std::printf("\nmeasured slope per payload flit: %.2f cycles (formula: 2)\n",
+              slope_p);
+  std::printf("measured slope per router:       %.2f cycles"
+              " (formula: 2*Ri = 14; pipelined control costs Ri+1)\n",
+              slope_n);
+
+  std::printf("\n-- Ri ablation: routing-decision cost vs per-hop latency"
+              " (4 routers, payload 8) --\n");
+  std::printf("%16s %12s %16s\n", "route_latency Ri", "measured",
+              "per-hop slope");
+  std::uint64_t prev = 0;
+  unsigned prev_ri = 0;
+  for (unsigned ri : {1u, 3u, 7u, 12u, 20u}) {
+    const auto m = measure_latency(4, 8, ri);
+    if (prev) {
+      std::printf("%16u %12llu %16.2f\n", ri,
+                  static_cast<unsigned long long>(m),
+                  static_cast<double>(m - prev) / (ri - prev_ri) / 4);
+    } else {
+      std::printf("%16u %12llu %16s\n", ri,
+                  static_cast<unsigned long long>(m), "-");
+    }
+    prev = m;
+    prev_ri = ri;
+  }
+  std::printf("each +1 cycle of routing latency costs exactly +1 cycle per"
+              " router on the path\n(the paper's formula bills it twice —"
+              " its x2 covers the handshake, which the\ncontrol pipeline"
+              " overlaps).\n\n");
+}
+
+void BM_SinglePacketLatency(benchmark::State& state) {
+  const unsigned hops = static_cast<unsigned>(state.range(0));
+  std::uint64_t lat = 0;
+  for (auto _ : state) {
+    lat = measure_latency(hops, 8, 7);
+    benchmark::DoNotOptimize(lat);
+  }
+  state.counters["latency_cycles"] = static_cast<double>(lat);
+  state.counters["formula_cycles"] =
+      static_cast<double>(noc::hermes_latency_formula(hops, 10));
+}
+BENCHMARK(BM_SinglePacketLatency)->DenseRange(1, 8, 1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,206 @@
+// E11 — paper §2.1: the NoC "internally supports nine distinct packet
+// formats, which define a set of services offered by the communication
+// network to the IP Cores". Regenerates the end-to-end cost of each
+// service on the real 2x2 system, in cycles.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+using namespace mn;
+
+constexpr std::uint8_t kProc1 = 0x01;
+constexpr std::uint8_t kProc2 = 0x10;
+constexpr std::uint8_t kMem = 0x11;
+
+struct Fixture {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+  bool ok = false;
+  Fixture() { ok = host.boot(); }
+
+  std::uint64_t cycles_for(const std::function<void()>& start,
+                           const std::function<bool()>& done,
+                           std::uint64_t limit = 50'000'000) {
+    const std::uint64_t t0 = sim.cycle();
+    start();
+    if (!sim.run_until(done, limit)) return 0;
+    return sim.cycle() - t0;
+  }
+};
+
+std::vector<std::uint16_t> assemble_or_die(const std::string& src) {
+  const auto a = r8asm::assemble(src);
+  if (!a.ok) {
+    std::fprintf(stderr, "%s", a.error_text().c_str());
+    std::exit(1);
+  }
+  return a.image;
+}
+
+void print_tables() {
+  std::printf("=== E11: the nine NoC services, end-to-end (paper §2.1)"
+              " ===\n\n");
+  std::printf("all costs include serial transport where the service"
+              " involves the host\n(divisor 8 = 8 cycles/bit).\n\n");
+  std::printf("%-34s %14s\n", "service (measurement)", "cycles");
+
+  // 1/2: host write 1 word then read it back: write+read_return pair.
+  {
+    Fixture f;
+    const auto c = f.cycles_for(
+        [&] { f.host.write_memory(kMem, 0x10, {0xAAAA}); },
+        [&] { return f.system.memory(0).requests_served() == 1; });
+    std::printf("%-34s %14llu\n", "write (host->memory, 1 word)",
+                static_cast<unsigned long long>(c));
+    const auto c2 = f.cycles_for(
+        [&] { f.host.read_memory(kMem, 0x10, 1); },
+        [&] { return f.host.has_read_result(); });
+    std::printf("%-34s %14llu\n", "read + read_return (host<->memory)",
+                static_cast<unsigned long long>(c2));
+  }
+
+  // 3: activate -> first instruction retired (HALT program).
+  {
+    Fixture f;
+    f.host.load_program(kProc1, assemble_or_die("        HALT\n"));
+    f.host.flush();
+    const auto c = f.cycles_for(
+        [&] { f.host.activate(kProc1); },
+        [&] { return f.system.processor(0).finished(); });
+    std::printf("%-34s %14llu\n", "activate (host->processor)",
+                static_cast<unsigned long long>(c));
+  }
+
+  // 4: printf processor->host.
+  {
+    Fixture f;
+    f.host.load_program(kProc1, assemble_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        ST  R1, R10, R0
+        HALT
+)"));
+    f.host.flush();
+    const auto c = f.cycles_for(
+        [&] { f.host.activate(kProc1); },
+        [&] { return !f.host.printf_log(kProc1).empty(); });
+    std::printf("%-34s %14llu\n", "printf (incl. activate+serial)",
+                static_cast<unsigned long long>(c));
+  }
+
+  // 5/6: scanf + scanf_return round trip.
+  {
+    Fixture f;
+    f.host.set_scanf_provider([](std::uint8_t) { return std::uint16_t{1}; });
+    f.host.load_program(kProc1, assemble_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LD  R1, R10, R0
+        HALT
+)"));
+    f.host.flush();
+    const auto c = f.cycles_for(
+        [&] { f.host.activate(kProc1); },
+        [&] { return f.system.processor(0).finished(); });
+    std::printf("%-34s %14llu\n", "scanf + scanf_return round trip",
+                static_cast<unsigned long long>(c));
+  }
+
+  // 7/8: wait/notify pair between the processors (NoC only, no serial).
+  {
+    Fixture f;
+    // P1 notifies P2 then halts; P2 waits for P1 then halts.
+    f.host.load_program(kProc1, assemble_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,2
+        LDH R1,0
+        LDL R2,0xFD
+        LDH R2,0xFF
+        ST  R1, R2, R0
+        HALT
+)"));
+    f.host.load_program(kProc2, assemble_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,1
+        LDH R1,0
+        LDL R2,0xFE
+        LDH R2,0xFF
+        ST  R1, R2, R0
+        HALT
+)"));
+    f.host.flush();
+    f.host.activate(kProc2);
+    f.sim.run_until([&] { return f.system.processor(1).waiting_notify(); },
+                    1'000'000);
+    const std::uint64_t t0 = f.sim.cycle();
+    f.host.activate(kProc1);
+    f.sim.run_until([&] { return f.system.processor(1).finished(); },
+                    1'000'000);
+    std::printf("%-34s %14llu\n", "notify -> waiting peer resumes",
+                static_cast<unsigned long long>(f.sim.cycle() - t0));
+  }
+
+  // 9: processor remote read (read + read_return, NoC only).
+  {
+    Fixture f;
+    f.host.load_program(kProc1, assemble_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R4,0x00
+        LDH R4,0x08
+        LD  R1, R4, R0
+        HALT
+)"));
+    f.host.flush();
+    const auto c = f.cycles_for(
+        [&] { f.host.activate(kProc1); },
+        [&] { return f.system.processor(0).finished(); });
+    const auto& cpu = f.system.processor(0).cpu();
+    std::printf("%-34s %14llu\n", "remote LD (read+read_return, NoC)",
+                static_cast<unsigned long long>(cpu.stall_cycles()));
+    (void)c;
+  }
+  std::printf("\n");
+}
+
+void BM_NotifyLatency(benchmark::State& state) {
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    Fixture f;
+    if (!f.ok) continue;
+    f.host.load_program(kProc1, assemble_or_die(
+        "        LDL R0,0\n        LDH R0,0\n        LDL R1,2\n"
+        "        LDH R1,0\n        LDL R2,0xFD\n        LDH R2,0xFF\n"
+        "        ST  R1, R2, R0\n        HALT\n"));
+    f.host.flush();
+    const std::uint64_t t0 = f.sim.cycle();
+    f.host.activate(kProc1);
+    f.sim.run_until([&] { return f.system.processor(0).finished(); },
+                    1'000'000);
+    cycles = f.sim.cycle() - t0;
+  }
+  state.counters["cycles"] = static_cast<double>(cycles);
+}
+BENCHMARK(BM_NotifyLatency);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_tables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,149 @@
+// Mandelbrot on MultiNoC: both R8 processors compute escape iterations in
+// Q8 fixed point (MiniC, software multiply), deposit pixels into the
+// remote Memory IP, and the host renders the set as ASCII art — a
+// compute-heavy counterpoint to the I/O-heavy edge-detection app.
+#include <cstdio>
+#include <string>
+
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "system/multinoc.hpp"
+#include "system/report.hpp"
+
+namespace {
+
+constexpr unsigned kWidth = 40;
+constexpr unsigned kHeight = 24;
+constexpr unsigned kMaxIter = 12;
+
+// Each worker computes rows [row0, row1) and stores iteration counts to
+// remote memory at 0x0800 + y*kWidth + x (40x24 = 960 pixels fits the
+// 1K-word Memory IP). Coordinates in Q8 fixed point (scale 256):
+// x in [-2.25, 0.75], y in [-1.5, 1.5].
+std::string worker_source(unsigned row0, unsigned row1) {
+  std::string s = R"(
+int mul_fx(int a, int b) {
+  /* Q8 fixed-point multiply without a 32-bit type: split both operands
+     into high/low bytes so no partial product overflows 16 bits. */
+  int neg = 0;
+  if (a < 0) { a = 0 - a; neg = 1 - neg; }
+  if (b < 0) { b = 0 - b; neg = 1 - neg; }
+  int ah = a >> 8;
+  int al = a & 255;
+  int bh = b >> 8;
+  int bl = b & 255;
+  int r = ah * b + al * bh + ((al * bl) >> 8);
+  if (neg) { r = 0 - r; }
+  return r;
+}
+
+int main() {
+)";
+  s += "  int row0 = " + std::to_string(row0) + ";\n";
+  s += "  int row1 = " + std::to_string(row1) + ";\n";
+  s += "  int w = " + std::to_string(kWidth) + ";\n";
+  s += "  int h = " + std::to_string(kHeight) + ";\n";
+  s += "  int maxit = " + std::to_string(kMaxIter) + ";\n";
+  s += R"(
+  /* cx = -2.25 + 3.0*x/w ; cy = -1.5 + 3.0*y/h  (Q8 fixed point) */
+  int x0 = 0 - 576;             /* -2.25 * 256 */
+  int y0 = 0 - 384;             /* -1.5  * 256 */
+  int dx = 768 / w;             /* 3.0 * 256 / w */
+  int dy = 768 / h;
+  for (int y = row0; y < row1; y = y + 1) {
+    int cy = y0 + y * dy;
+    for (int x = 0; x < w; x = x + 1) {
+      int cx = x0 + x * dx;
+      int zx = 0;
+      int zy = 0;
+      int it = 0;
+      while (it < maxit) {
+        int zx2 = mul_fx(zx, zx);
+        int zy2 = mul_fx(zy, zy);
+        if (zx2 + zy2 > 1024) { break; }    /* |z|^2 > 4.0 */
+        int t = zx2 - zy2 + cx;
+        zy = mul_fx(zx, zy);
+        zy = zy + zy + cy;
+        zx = t;
+        it = it + 1;
+      }
+      poke(0x0800 + y * w + x, it);
+    }
+  }
+  notify(1);      /* tell processor 1 this worker is done */
+  wait(3);        /* park until the host stops the simulation */
+}
+)";
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mn;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  if (!host.boot()) {
+    std::fprintf(stderr, "boot failed\n");
+    return 1;
+  }
+
+  cc::CompileOptions copts;
+  copts.memory_floor = 0x380;
+  const auto p1 = cc::compile(worker_source(0, kHeight / 2), copts);
+  const auto p2 = cc::compile(worker_source(kHeight / 2, kHeight), copts);
+  if (!p1.ok || !p2.ok) {
+    std::fprintf(stderr, "compile failed:\n%s%s", p1.errors.c_str(),
+                 p2.errors.c_str());
+    return 1;
+  }
+  std::printf("workers compiled: %zu + %zu words\n", p1.image.size(),
+              p2.image.size());
+
+  host.load_program(0x01, p1.image);
+  host.load_program(0x10, p2.image);
+  host.flush();
+  const std::uint64_t t0 = sim.cycle();
+  host.activate(0x01);
+  host.activate(0x10);
+
+  // Each worker notifies processor 1 when done (including P1 itself);
+  // wait until P1 collected both notifies and P2 parked.
+  const bool done = sim.run_until(
+      [&] {
+        return system.processor(0).cpu().instructions() > 0 &&
+               system.processor(1).cpu().instructions() > 0 &&
+               system.processor(0).waiting_notify() &&
+               system.processor(1).waiting_notify();
+      },
+      2'000'000'000);
+  if (!done) {
+    std::fprintf(stderr, "computation timed out\n");
+    return 1;
+  }
+  const std::uint64_t compute = sim.cycle() - t0;
+
+  const auto pixels =
+      host.read_memory_blocking(0x11, 0, kWidth * kHeight, 2'000'000'000);
+  if (!pixels) {
+    std::fprintf(stderr, "readback failed\n");
+    return 1;
+  }
+
+  const char* shades = " .:-=+*#%@XM";
+  for (unsigned y = 0; y < kHeight; ++y) {
+    for (unsigned x = 0; x < kWidth; ++x) {
+      const unsigned it = (*pixels)[y * kWidth + x];
+      std::putchar(it >= kMaxIter ? '@' : shades[it % 12]);
+    }
+    std::putchar('\n');
+  }
+  std::printf("\ncompute: %llu cycles (%.1f ms at 25 MHz), %u iterations"
+              " max, Q8 fixed point\n",
+              static_cast<unsigned long long>(compute), compute / 25e3,
+              kMaxIter);
+  std::fputs(sys::system_report(system, sim).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// NoC explorer: exercises the Hermes mesh standalone — latency vs the
+// paper's analytic formula, and a load sweep showing saturation.
+// Demonstrates using the noc:: library without the MultiNoC system.
+#include <cstdio>
+
+#include "noc/latency_model.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/traffic.hpp"
+
+int main() {
+  using namespace mn;
+
+  // --- single-packet latency vs hop count on an unloaded 8x8 mesh -------
+  std::printf("unloaded latency, payload 8 flits (packet = 10 flits):\n");
+  std::printf("%8s %12s %22s\n", "routers", "measured", "paper formula Ri=7");
+  for (unsigned hops = 1; hops <= 8; ++hops) {
+    sim::Simulator sim;
+    noc::Mesh mesh(sim, 8, 1);
+    noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                              mesh.local_out(0, 0));
+    const unsigned dx = hops - 1;
+    noc::NetworkInterface dst(sim, "dst", mesh.local_in(dx, 0),
+                              mesh.local_out(dx, 0));
+    noc::Packet p;
+    p.target = noc::encode_xy({static_cast<std::uint8_t>(dx), 0});
+    p.payload.assign(8, 0xAB);
+    src.send_packet(p);
+    sim.run_until([&] { return dst.has_packet(); }, 100000);
+    const auto rp = dst.pop_packet();
+    std::printf("%8u %12llu %22llu\n", hops,
+                static_cast<unsigned long long>(rp.recv_cycle -
+                                                rp.inject_cycle),
+                static_cast<unsigned long long>(
+                    noc::hermes_latency_formula(hops, 10)));
+  }
+
+  // --- load sweep on a 4x4 mesh ------------------------------------------
+  std::printf("\nuniform traffic on 4x4, payload 8 flits:\n");
+  std::printf("%10s %14s %14s %12s\n", "inj rate", "offered f/c/n",
+              "accepted f/c/n", "avg latency");
+  for (double rate : {0.002, 0.005, 0.01, 0.02, 0.04, 0.08}) {
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.payload_flits = 8;
+    cfg.seed = 99;
+    cfg.warmup_cycles = 5000;
+    const auto r = noc::run_traffic_experiment(4, 4, {}, cfg, 30000);
+    std::printf("%10.3f %14.4f %14.4f %12.1f\n", rate, r.offered_flits,
+                r.throughput_flits, r.avg_latency);
+  }
+
+  std::printf("\npeak bandwidth at the paper's 50 MHz clock: link %.0f Mbit/s,"
+              " router %.0f Mbit/s\n",
+              noc::hermes_link_bandwidth_bps(50e6) / 1e6,
+              noc::hermes_peak_router_throughput_bps(50e6) / 1e6);
+  return 0;
+}

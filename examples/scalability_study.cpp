@@ -1,0 +1,128 @@
+// Scalability study (paper §3 + future work §5): device utilization of
+// the 2x2 prototype, the NoC-area-fraction scaling argument, and bigger
+// MultiNoC instances (more processors) running a real workload — showing
+// "increasing the number of identical IPs enhances the parallelism degree".
+#include <cstdio>
+
+#include "apps/programs.hpp"
+#include "area/area_model.hpp"
+#include "area/device.hpp"
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+// Run the ping-style printf kernel on P processors of an n x n system and
+// report cycles until all report completion.
+std::uint64_t run_parallel_workload(unsigned n, unsigned procs) {
+  using namespace mn;
+  sys::SystemConfig cfg;
+  cfg.nx = n;
+  cfg.ny = n;
+  cfg.serial_node = {0, 0};
+  cfg.processor_nodes.clear();
+  cfg.memory_nodes.clear();
+  // Fill tiles: last tile is the memory, the rest are processors.
+  for (unsigned y = 0; y < n && cfg.processor_nodes.size() < procs; ++y) {
+    for (unsigned x = 0; x < n && cfg.processor_nodes.size() < procs; ++x) {
+      if (x == 0 && y == 0) continue;
+      if (x == n - 1 && y == n - 1) continue;
+      cfg.processor_nodes.push_back({static_cast<std::uint8_t>(x),
+                                     static_cast<std::uint8_t>(y)});
+    }
+  }
+  cfg.memory_nodes.push_back({static_cast<std::uint8_t>(n - 1),
+                              static_cast<std::uint8_t>(n - 1)});
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, cfg);
+  host::Host host(sim, system, 8);
+  if (!host.boot()) return 0;
+
+  // Each processor sums a 64-element local vector and printf's the result.
+  auto program = r8asm::assemble(apps::vector_sum_source());
+  if (!program.ok) return 0;
+  std::vector<std::uint16_t> data(64);
+  for (unsigned i = 0; i < 64; ++i) data[i] = static_cast<std::uint16_t>(i);
+  for (unsigned p = 0; p < system.processor_count(); ++p) {
+    const auto addr = system.processor(p).config().self_addr;
+    host.load_program(addr, program.image);
+    host.write_memory(addr, 0x01FF, {64});
+    host.write_memory(addr, 0x0200, data);
+  }
+  host.flush();
+  const std::uint64_t start = sim.cycle();
+  for (unsigned p = 0; p < system.processor_count(); ++p) {
+    host.activate(system.processor(p).config().self_addr);
+  }
+  const bool ok = sim.run_until(
+      [&] {
+        for (unsigned p = 0; p < system.processor_count(); ++p) {
+          if (host.printf_log(system.processor(p).config().self_addr)
+                  .empty()) {
+            return false;
+          }
+        }
+        return true;
+      },
+      100'000'000);
+  return ok ? sim.cycle() - start : 0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mn;
+
+  // --- §3 utilization on the paper's device ------------------------------
+  const auto dev = area::xc2s200e();
+  const auto blocks = area::multinoc_2x2_blocks();
+  const auto u = area::utilization(blocks, dev);
+  std::printf("MultiNoC 2x2 on %s: %.0f%% slices, %.0f%% LUTs, %.0f%% BRAMs"
+              " (paper: 98%% slices, 78%% LUTs)\n",
+              dev.name.c_str(), u.slice_pct, u.lut_pct, u.bram_pct);
+
+  // --- NoC area fraction vs mesh size and IP complexity ------------------
+  std::printf("\nNoC share of total slice area (router constant at %.0f"
+              " slices):\n", area::router_slices({}));
+  std::printf("%8s", "mesh");
+  const double ip_sizes[] = {470, 940, 2350, 4700};
+  for (double s : ip_sizes) std::printf("  ip=%5.0fsl", s);
+  std::printf("\n");
+  for (unsigned n = 2; n <= 10; ++n) {
+    std::printf("%5ux%-2u", n, n);
+    for (double s : ip_sizes) {
+      std::printf("  %8.1f%%", 100.0 * area::noc_area_fraction(n, s));
+    }
+    std::printf("\n");
+  }
+
+  // --- which catalog devices fit which mesh sizes -------------------------
+  std::printf("\nsmallest catalog device fitting an n x n MultiNoC"
+              " (paper-sized IPs):\n");
+  for (unsigned n = 2; n <= 6; ++n) {
+    const auto sys_blocks = area::scaled_system_blocks(
+        n, area::processor_ip_area().slices);
+    const char* fit = "none";
+    for (const auto& d : area::device_catalog()) {
+      if (area::utilization(sys_blocks, d).fits) {
+        fit = d.name.c_str();
+        break;
+      }
+    }
+    std::printf("  %ux%u -> %s\n", n, n, fit);
+  }
+
+  // --- parallelism on larger instances ------------------------------------
+  std::printf("\nvector-sum completion time, one kernel per processor:\n");
+  std::printf("%8s %8s %14s\n", "mesh", "procs", "cycles");
+  struct Case { unsigned n, procs; };
+  for (const Case c : {Case{2, 1}, Case{2, 2}, Case{3, 4}, Case{3, 7},
+                       Case{4, 8}, Case{4, 14}}) {
+    const auto cycles = run_parallel_workload(c.n, c.procs);
+    std::printf("%5ux%-2u %8u %14llu\n", c.n, c.n, c.procs,
+                static_cast<unsigned long long>(cycles));
+  }
+  return 0;
+}

@@ -1,0 +1,319 @@
+#include "apps/edge_detection.hpp"
+
+#include <cassert>
+#include <deque>
+
+#include "apps/programs.hpp"
+#include "cc/compiler.hpp"
+#include "r8asm/assembler.hpp"
+
+namespace mn::apps {
+
+namespace {
+
+enum class ProcState { kIdle, kComputing, kReading, kFinished };
+
+struct ProcCtx {
+  std::uint8_t addr = 0;
+  ProcState state = ProcState::kIdle;
+  unsigned row = 0;  ///< row being computed/read
+  bool scanf_pending = false;
+};
+
+std::vector<std::uint16_t> image_row(const Image& img, unsigned y) {
+  std::vector<std::uint16_t> row(img.width);
+  for (unsigned x = 0; x < img.width; ++x) row[x] = img.at(x, y);
+  return row;
+}
+
+}  // namespace
+
+Image run_parallel_edge_detection(sim::Simulator& sim, sys::MultiNoc& system,
+                                  host::Host& host, const Image& in,
+                                  unsigned nprocs, EdgeRunStats* stats,
+                                  std::uint64_t max_cycles) {
+  assert(in.width >= 3 && in.width <= kEdgeMaxWidth);
+  assert(nprocs >= 1 && nprocs <= system.processor_count());
+
+  const std::uint64_t start_cycle = sim.cycle();
+
+  // Load and start the kernel on every participating processor.
+  const auto kernel = r8asm::assemble(edge_kernel_source());
+  assert(kernel.ok && "edge kernel must assemble");
+  std::vector<ProcCtx> procs(nprocs);
+  for (unsigned p = 0; p < nprocs; ++p) {
+    procs[p].addr = system.processor(p).config().self_addr;
+    host.load_program(procs[p].addr, kernel.image);
+  }
+  for (unsigned p = 0; p < nprocs; ++p) host.activate(procs[p].addr);
+  host.flush(max_cycles);
+  const std::uint64_t load_cycles = sim.cycle() - start_cycle;
+  const std::uint64_t start_tx = host.bytes_sent();
+  const std::uint64_t start_rx = host.bytes_received();
+
+  Image out(in.width, in.height);
+  std::deque<unsigned> rows;
+  for (unsigned y = 1; y + 1 < in.height; ++y) rows.push_back(y);
+  const unsigned total_rows = static_cast<unsigned>(rows.size());
+  unsigned rows_done = 0;
+  unsigned finished_procs = 0;
+
+  const std::uint16_t w = static_cast<std::uint16_t>(in.width);
+  std::uint64_t guard = max_cycles;
+  while ((rows_done < total_rows || finished_procs < nprocs) && guard-- > 0) {
+    sim.step();
+
+    // Route scanf requests to per-processor flags.
+    while (host.has_scanf_request()) {
+      const auto req = host.pop_scanf_request();
+      for (auto& pc : procs) {
+        if (pc.addr == req.source) pc.scanf_pending = true;
+      }
+    }
+
+    for (auto& pc : procs) {
+      switch (pc.state) {
+        case ProcState::kIdle:
+          if (!pc.scanf_pending) break;
+          pc.scanf_pending = false;
+          if (rows.empty()) {
+            host.scanf_return(pc.addr, 0);  // terminate the kernel
+            pc.state = ProcState::kFinished;
+            ++finished_procs;
+            break;
+          }
+          pc.row = rows.front();
+          rows.pop_front();
+          host.write_memory(pc.addr, kEdgePrev, image_row(in, pc.row - 1));
+          host.write_memory(pc.addr, kEdgeCur, image_row(in, pc.row));
+          host.write_memory(pc.addr, kEdgeNext, image_row(in, pc.row + 1));
+          host.scanf_return(pc.addr, w);
+          pc.state = ProcState::kComputing;
+          break;
+
+        case ProcState::kComputing: {
+          auto& log = host.printf_log(pc.addr);
+          if (!log.empty()) {
+            assert(log.front() == kEdgeDoneMarker);
+            log.pop_front();
+            host.read_memory(pc.addr, kEdgeOut, w);
+            pc.state = ProcState::kReading;
+          }
+          break;
+        }
+
+        case ProcState::kReading:
+          while (host.has_read_result()) {
+            const auto r = host.pop_read_result();
+            for (auto& owner : procs) {
+              if (owner.addr == r.source &&
+                  owner.state == ProcState::kReading) {
+                for (unsigned x = 1; x + 1 < in.width; ++x) {
+                  out.at(x, owner.row) = r.words[x];
+                }
+                owner.state = ProcState::kIdle;
+                ++rows_done;
+              }
+            }
+          }
+          break;
+
+        case ProcState::kFinished:
+          break;
+      }
+    }
+  }
+
+  if (stats) {
+    stats->cycles = sim.cycle() - start_cycle;
+    stats->load_cycles = load_cycles;
+    stats->host_bytes_tx = host.bytes_sent() - start_tx;
+    stats->host_bytes_rx = host.bytes_received() - start_rx;
+    stats->processors_used = nprocs;
+    stats->rows_processed = rows_done;
+  }
+  return out;
+}
+
+std::string edge_kernel_minic_source() {
+  // Rotating three-slot line ring and the output buffer live in compiler-
+  // placed global arrays; the host locates them through the symbol table
+  // (CompileResult::global_addr), so code and data can never collide.
+  // Protocol: scanf #1 = width (0 terminates immediately); then per row:
+  // scanf = 1 (lines ready) or 0 (band finished). After each row the host
+  // reads the output buffer and refills exactly one ring slot.
+  return R"(
+int ring[192];   /* three 64-pixel line slots */
+int out[64];
+
+int main() {
+  int w = scanf();
+  if (w == 0) { return 0; }
+  int p = 0;
+  int cmd = scanf();
+  while (cmd != 0) {
+    int prev = (p % 3) * 64;
+    int cur  = ((p + 1) % 3) * 64;
+    int next = ((p + 2) % 3) * 64;
+    for (int i = 1; i < w - 1; i = i + 1) {
+      int gx = ring[cur + i + 1] - ring[cur + i - 1];
+      if (gx < 0) { gx = 0 - gx; }
+      int gy = ring[next + i] - ring[prev + i];
+      if (gy < 0) { gy = 0 - gy; }
+      out[i] = gx + gy;
+    }
+    printf(0xBEEF);
+    p = p + 1;
+    cmd = scanf();
+  }
+  return 0;
+}
+)";
+}
+
+Image run_pipelined_edge_detection(sim::Simulator& sim, sys::MultiNoc& system,
+                                   host::Host& host, const Image& in,
+                                   unsigned nprocs, EdgeRunStats* stats,
+                                   std::uint64_t max_cycles) {
+  assert(in.width >= 3 && in.width <= kEdgeMaxWidth);
+  assert(nprocs >= 1 && nprocs <= system.processor_count());
+
+  const std::uint64_t start_cycle = sim.cycle();
+
+  cc::CompileOptions copts;
+  copts.memory_floor = 0x0390;  // data-heavy, shallow call tree
+  const auto kernel = cc::compile(edge_kernel_minic_source(), copts);
+  assert(kernel.ok && "MiniC edge kernel must compile");
+  const auto ring_base = kernel.global_addr("ring");
+  const auto out_base = kernel.global_addr("out");
+  assert(ring_base && out_base);
+
+  // Contiguous bands of interior rows.
+  const unsigned interior = in.height >= 2 ? in.height - 2 : 0;
+  struct Band {
+    std::uint8_t addr = 0;
+    unsigned next_row = 0;  ///< next row to compute
+    unsigned end = 0;       ///< one past the last row of the band
+    unsigned slot = 0;      ///< ring slot that receives the next new line
+    bool width_sent = false;
+    bool finished = false;
+    bool reading = false;
+    bool cmd_pending = false;  ///< kernel awaits a cmd while we read/refill
+  };
+  std::vector<Band> bands(nprocs);
+  unsigned cursor = 1;
+  for (unsigned p = 0; p < nprocs; ++p) {
+    const unsigned share = interior / nprocs + (p < interior % nprocs);
+    bands[p].addr = system.processor(p).config().self_addr;
+    bands[p].next_row = cursor;
+    bands[p].end = cursor + share;
+    cursor += share;
+    host.load_program(bands[p].addr, kernel.image);
+  }
+  for (auto& b : bands) host.activate(b.addr);
+  host.flush(max_cycles);
+  const std::uint64_t load_cycles = sim.cycle() - start_cycle;
+  const std::uint64_t start_tx = host.bytes_sent();
+  const std::uint64_t start_rx = host.bytes_received();
+
+  const std::uint16_t w = static_cast<std::uint16_t>(in.width);
+  auto write_line = [&](Band& b, unsigned slot, unsigned y) {
+    host.write_memory(b.addr,
+                      static_cast<std::uint16_t>(*ring_base + slot * 64),
+                      image_row(in, y));
+  };
+
+  Image out(in.width, in.height);
+  unsigned rows_done = 0;
+  unsigned finished = 0;
+  std::uint64_t guard = max_cycles;
+  while (finished < nprocs && guard-- > 0) {
+    sim.step();
+
+    // Process done-markers BEFORE scanf requests: a kernel always prints
+    // its marker before asking for the next cmd, and the serial link
+    // preserves that order — handling them in the same order keeps the
+    // `reading` flag accurate when both land in one poll.
+    for (auto& b : bands) {
+      if (b.finished || b.reading) continue;
+      auto& log = host.printf_log(b.addr);
+      if (!log.empty()) {
+        assert(log.front() == kEdgeDoneMarker);
+        log.pop_front();
+        host.read_memory(b.addr, *out_base, w);
+        b.reading = true;
+      }
+    }
+
+    while (host.has_scanf_request()) {
+      const auto req = host.pop_scanf_request();
+      for (auto& b : bands) {
+        if (b.addr != req.source) continue;
+        if (!b.width_sent) {
+          b.width_sent = true;
+          if (b.next_row >= b.end) {  // empty band
+            host.scanf_return(b.addr, 0);
+            b.finished = true;
+            ++finished;
+            break;
+          }
+          // Prime the ring: rows y-1, y, y+1 into slots 0,1,2.
+          write_line(b, 0, b.next_row - 1);
+          write_line(b, 1, b.next_row);
+          write_line(b, 2, b.next_row + 1);
+          b.slot = 0;  // the slot that rotates out after the first row
+          host.scanf_return(b.addr, w);
+          // The kernel immediately asks for the first cmd; answer comes on
+          // its next scanf request (handled below on re-entry).
+        } else if (b.reading) {
+          // Row readback / ring refill still in flight: defer the answer
+          // so the kernel never computes on stale lines.
+          b.cmd_pending = true;
+        } else if (b.finished) {
+          host.scanf_return(b.addr, 0);
+        } else {
+          host.scanf_return(b.addr, 1);
+        }
+        break;
+      }
+    }
+
+    while (host.has_read_result()) {
+      const auto r = host.pop_read_result();
+      for (auto& b : bands) {
+        if (b.addr != r.source || !b.reading) continue;
+        const unsigned y = b.next_row;
+        for (unsigned x = 1; x + 1 < in.width; ++x) out.at(x, y) = r.words[x];
+        ++rows_done;
+        b.reading = false;
+        ++b.next_row;
+        if (b.next_row >= b.end) {
+          b.finished = true;
+          ++finished;
+        } else {
+          // Refill exactly one slot: the new 'next' line (row y+2) lands
+          // in the slot that held the old 'prev'.
+          write_line(b, b.slot, b.next_row + 1);
+          b.slot = (b.slot + 1) % 3;
+        }
+        if (b.cmd_pending) {
+          b.cmd_pending = false;
+          host.scanf_return(b.addr, b.finished ? 0 : 1);
+        }
+        break;
+      }
+    }
+  }
+
+  if (stats) {
+    stats->cycles = sim.cycle() - start_cycle;
+    stats->load_cycles = load_cycles;
+    stats->host_bytes_tx = host.bytes_sent() - start_tx;
+    stats->host_bytes_rx = host.bytes_received() - start_rx;
+    stats->processors_used = nprocs;
+    stats->rows_processed = rows_done;
+  }
+  return out;
+}
+
+}  // namespace mn::apps

@@ -1,0 +1,58 @@
+#pragma once
+// Host-side driver for the parallel edge-detection application
+// (paper Fig. 10): "the host computer sends an image line, after what
+// each embedded processor computes one gradient (gx and gy). Next, that
+// embedded processor adds gx and gy and notifies the host, which receives
+// the processed line, and sends a new line to the MultiNoC system."
+//
+// Per interior row y assigned to a processor:
+//   1. the host writes rows y-1, y, y+1 into the processor's line buffers;
+//   2. the host answers the processor's scanf with the line width;
+//   3. the kernel computes |gx|+|gy| and printf's a done marker;
+//   4. the host reads the output buffer back (a "debug read", Fig. 9).
+// Rows are distributed round-robin over the active processors and all
+// processors are serviced concurrently.
+
+#include <cstdint>
+
+#include "apps/image.hpp"
+#include "host/host.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::apps {
+
+struct EdgeRunStats {
+  std::uint64_t cycles = 0;        ///< total simulated cycles (incl. load)
+  std::uint64_t load_cycles = 0;   ///< program download + activation
+  std::uint64_t host_bytes_tx = 0; ///< streaming-phase bytes host -> system
+  std::uint64_t host_bytes_rx = 0; ///< streaming-phase bytes system -> host
+  unsigned processors_used = 0;
+  unsigned rows_processed = 0;
+};
+
+/// Runs the full application on an already-booted system. Loads the edge
+/// kernel into `nprocs` processors, activates them, streams the image and
+/// collects the result. Width must be in [3, kEdgeMaxWidth].
+/// Returns the processed image (borders zero).
+Image run_parallel_edge_detection(sim::Simulator& sim, sys::MultiNoc& system,
+                                  host::Host& host, const Image& in,
+                                  unsigned nprocs,
+                                  EdgeRunStats* stats = nullptr,
+                                  std::uint64_t max_cycles = 500'000'000);
+
+/// Protocol ablation: band distribution with rotating line buffers. Each
+/// processor receives a contiguous band of rows and, after the initial
+/// three lines, only ONE new line per output row (~3x fewer serial bytes
+/// than the naive protocol). The kernel is written in MiniC and compiled
+/// with r8cc at run time — the full §5 toolchain on the paper's flagship
+/// application.
+Image run_pipelined_edge_detection(sim::Simulator& sim, sys::MultiNoc& system,
+                                   host::Host& host, const Image& in,
+                                   unsigned nprocs,
+                                   EdgeRunStats* stats = nullptr,
+                                   std::uint64_t max_cycles = 500'000'000);
+
+/// The MiniC source of the rotating-buffer kernel (for inspection).
+std::string edge_kernel_minic_source();
+
+}  // namespace mn::apps

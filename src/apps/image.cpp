@@ -1,0 +1,40 @@
+#include "apps/image.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace mn::apps {
+
+Image synthetic_image(unsigned w, unsigned h, std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed);
+  Image img(w, h);
+  for (unsigned y = 0; y < h; ++y) {
+    for (unsigned x = 0; x < w; ++x) {
+      std::uint16_t v = static_cast<std::uint16_t>((x * 4 + y * 2) % 128);
+      // A bright block in the middle creates strong edges.
+      if (x > w / 4 && x < 3 * w / 4 && y > h / 4 && y < 3 * h / 4) {
+        v = static_cast<std::uint16_t>(v + 100);
+      }
+      v = static_cast<std::uint16_t>(v + rng.below(8));
+      img.at(x, y) = v;
+    }
+  }
+  return img;
+}
+
+Image golden_edge(const Image& in) {
+  Image out(in.width, in.height);
+  if (in.width < 3 || in.height < 3) return out;
+  for (unsigned y = 1; y + 1 < in.height; ++y) {
+    for (unsigned x = 1; x + 1 < in.width; ++x) {
+      const int gx = std::abs(static_cast<int>(in.at(x + 1, y)) -
+                              static_cast<int>(in.at(x - 1, y)));
+      const int gy = std::abs(static_cast<int>(in.at(x, y + 1)) -
+                              static_cast<int>(in.at(x, y - 1)));
+      out.at(x, y) = static_cast<std::uint16_t>(gx + gy);
+    }
+  }
+  return out;
+}
+
+}  // namespace mn::apps

@@ -1,0 +1,35 @@
+#pragma once
+// Image utilities and golden reference for the parallel edge-detection
+// application (paper Fig. 10).
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mn::apps {
+
+struct Image {
+  unsigned width = 0;
+  unsigned height = 0;
+  std::vector<std::uint16_t> px;  ///< row-major
+
+  Image() = default;
+  Image(unsigned w, unsigned h) : width(w), height(h), px(w * h, 0) {}
+
+  std::uint16_t& at(unsigned x, unsigned y) { return px[y * width + x]; }
+  std::uint16_t at(unsigned x, unsigned y) const { return px[y * width + x]; }
+
+  bool operator==(const Image&) const = default;
+};
+
+/// Synthetic test image: soft gradient + blocks + deterministic noise
+/// (values kept small so 16-bit gradient sums cannot overflow).
+Image synthetic_image(unsigned w, unsigned h, std::uint64_t seed);
+
+/// Golden reference of the embedded kernel:
+///   out(x,y) = |cur[x+1]-cur[x-1]| + |next[x]-prev[x]|
+/// Borders (first/last row and column) are 0.
+Image golden_edge(const Image& in);
+
+}  // namespace mn::apps

@@ -1,0 +1,333 @@
+#include "apps/programs.hpp"
+
+#include <sstream>
+
+namespace mn::apps {
+
+namespace {
+
+/// Common prologue: R0 = 0 (pseudo-zero register), R10 = I/O address.
+constexpr const char* kIoPrologue = R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R10, 0xFF
+        LDH  R10, 0xFF
+)";
+
+}  // namespace
+
+std::string hello_source() {
+  return std::string(kIoPrologue) + R"(
+        LDL  R1, 'H'
+        LDH  R1, 0
+        ST   R1, R10, R0
+        LDL  R1, 'i'
+        ST   R1, R10, R0
+        HALT
+)";
+}
+
+std::string echo_plus_one_source() {
+  return std::string(kIoPrologue) + R"(
+loop:   LD   R1, R10, R0    ; scanf
+        ADDI R1, 0          ; set Z
+        JMPZD done
+        ADDI R1, 1
+        ST   R1, R10, R0    ; printf
+        JMPD loop
+done:   HALT
+)";
+}
+
+std::string vector_sum_source() {
+  return std::string(kIoPrologue) + R"(
+        LDL  R2, 0xFF
+        LDH  R2, 0x01       ; &count = 0x01FF
+        LD   R3, R2, R0     ; count
+        LDL  R4, 0x00
+        LDH  R4, 0x02       ; data base = 0x0200
+        LDL  R5, 0          ; sum
+        LDH  R5, 0
+        LDL  R6, 0          ; i
+        LDH  R6, 0
+        LDL  R7, 1
+        LDH  R7, 0
+loop:   SUB  R8, R3, R6
+        JMPZD done
+        LD   R8, R4, R6
+        ADD  R5, R5, R8
+        ADD  R6, R6, R7
+        JMPD loop
+done:   ST   R5, R10, R0    ; printf(sum)
+        HALT
+)";
+}
+
+std::string fibonacci_source() {
+  return std::string(kIoPrologue) + R"(
+loop:   LD   R1, R10, R0    ; n = scanf()
+        ADDI R1, 0
+        JMPZD done
+        LDL  R2, 0          ; a = F(0)
+        LDH  R2, 0
+        LDL  R3, 1          ; b = F(1)
+        LDH  R3, 0
+fib:    SUBI R1, 1
+        JMPZD emit
+        ADD  R4, R2, R3
+        ADD  R2, R3, R0     ; a = b
+        ADD  R3, R4, R0     ; b = a+b
+        JMPD fib
+emit:   ST   R3, R10, R0    ; printf F(n)
+        JMPD loop
+done:   HALT
+)";
+}
+
+std::string pingpong_source(int self, int peer, int rounds, bool starter) {
+  (void)self;
+  std::ostringstream oss;
+  oss << kIoPrologue << R"(
+        LDL  R11, 0xFE
+        LDH  R11, 0xFF      ; wait
+        LDL  R12, 0xFD
+        LDH  R12, 0xFF      ; notify
+)";
+  oss << "        LDL  R1, " << peer << "\n"
+      << "        LDH  R1, 0\n"
+      << "        LDL  R2, " << rounds << "\n"
+      << "        LDH  R2, 0\n";
+  if (starter) {
+    oss << "loop:   ST   R1, R12, R0    ; notify peer\n"
+        << "        ST   R1, R11, R0    ; wait for peer\n";
+  } else {
+    oss << "loop:   ST   R1, R11, R0    ; wait for peer\n"
+        << "        ST   R1, R12, R0    ; notify peer\n";
+  }
+  oss << R"(
+        SUBI R2, 1
+        JMPZD done
+        JMPD loop
+done:   LDH  R3, 0xAC
+        LDL  R3, 0xED       ; completion marker 0xACED
+        ST   R3, R10, R0
+        HALT
+)";
+  return oss.str();
+}
+
+namespace {
+
+/// Shift-add 16x16->16 multiply subroutine: R3 = R1 * R2.
+/// Clobbers R1, R2, R14. Requires a valid SP.
+constexpr const char* kMulSubroutine = R"(
+mul:    LDL  R3, 0
+        LDH  R3, 0
+        LDL  R14, 16
+        LDH  R14, 0
+mloop:  SR0  R1, R1         ; C = multiplier lsb
+        JMPCD madd
+        JMPD mskip
+madd:   ADD  R3, R3, R2
+mskip:  SL0  R2, R2
+        SUBI R14, 1
+        JMPZD mret
+        JMPD mloop
+mret:   RTS
+)";
+
+std::string dot_product_common(int nelems, int base_offset) {
+  std::ostringstream oss;
+  oss << kIoPrologue;
+  oss << "        LDL  R15, 0xE0\n"
+         "        LDH  R15, 0x03\n"
+         "        LDSP R15            ; stack below the mailbox\n";
+  // Remote vector bases: A at remote 0x000, B at remote 0x100
+  // (CPU addresses 0x0800 / 0x0900), plus this worker's half offset.
+  oss << "        LDL  R4, " << (base_offset & 0xFF) << "\n"
+      << "        LDH  R4, " << (0x08 + (base_offset >> 8)) << "\n"
+      << "        LDL  R5, " << (base_offset & 0xFF) << "\n"
+      << "        LDH  R5, " << (0x09 + (base_offset >> 8)) << "\n";
+  oss << "        LDL  R6, 0\n"
+         "        LDH  R6, 0\n"
+      << "        LDL  R7, " << nelems << "\n"
+      << "        LDH  R7, 0\n"
+      << "        LDL  R8, 0          ; sum\n"
+         "        LDH  R8, 0\n"
+         "        LDL  R13, 1\n"
+         "        LDH  R13, 0\n"
+         "loop:   SUB  R9, R7, R6\n"
+         "        JMPZD sumdone\n"
+         "        LD   R1, R4, R6     ; a[i]\n"
+         "        LD   R2, R5, R6     ; b[i]\n"
+         "        JSRD mul\n"
+         "        ADD  R8, R8, R3\n"
+         "        ADD  R6, R6, R13\n"
+         "        JMPD loop\n";
+  return oss.str();
+}
+
+}  // namespace
+
+std::string dot_product_root_source(int nelems, int peer_num) {
+  std::ostringstream oss;
+  oss << dot_product_common(nelems, 0);
+  oss << "sumdone:\n"
+      << "        LDL  R1, " << peer_num << "\n"
+      << "        LDH  R1, 0\n"
+      << R"(
+        LDL  R2, 0xFE
+        LDH  R2, 0xFF
+        ST   R1, R2, R0     ; wait for worker
+        LDL  R4, 0xF0
+        LDH  R4, 0x03       ; local mailbox 0x03F0
+        LD   R9, R4, R0
+        ADD  R8, R8, R9
+        ST   R8, R10, R0    ; printf(total)
+        HALT
+)" << kMulSubroutine;
+  return oss.str();
+}
+
+std::string dot_product_worker_source(int nelems, int root_num) {
+  std::ostringstream oss;
+  oss << dot_product_common(nelems, nelems);
+  oss << "sumdone:\n"
+      << R"(
+        LDL  R4, 0xF0
+        LDH  R4, 0x07       ; peer window -> root mailbox 0x03F0
+        ST   R8, R4, R0
+)"
+      << "        LDL  R1, " << root_num << "\n"
+      << "        LDH  R1, 0\n"
+      << R"(
+        LDL  R2, 0xFD
+        LDH  R2, 0xFF
+        ST   R1, R2, R0     ; notify root
+        HALT
+)" << kMulSubroutine;
+  return oss.str();
+}
+
+std::string edge_kernel_source() {
+  return std::string(kIoPrologue) + R"(
+        LDL  R13, 1
+        LDH  R13, 0
+        LDL  R4, 0x00
+        LDH  R4, 0x02       ; prev line buffer
+        LDL  R5, 0x40
+        LDH  R5, 0x02       ; current line buffer
+        LDL  R6, 0x80
+        LDH  R6, 0x02       ; next line buffer
+        LDL  R7, 0xC0
+        LDH  R7, 0x02       ; output buffer
+line:   LD   R1, R10, R0    ; w = scanf(); 0 terminates
+        ADDI R1, 0
+        JMPZD done
+        SUBI R1, 1
+        ADD  R3, R1, R0     ; limit = w-1
+        LDL  R2, 1
+        LDH  R2, 0          ; i = 1
+pix:    SUB  R9, R3, R2
+        JMPZD endrow
+        JMPND endrow        ; guards w < 3
+        ADD  R8, R2, R13    ; i+1
+        SUB  R9, R2, R13    ; i-1
+        LD   R11, R5, R8    ; cur[i+1]
+        LD   R12, R5, R9    ; cur[i-1]
+        SUB  R11, R11, R12  ; gx
+        JMPND negx
+        JMPD gotx
+negx:   SUB  R11, R0, R11
+gotx:   LD   R12, R6, R2    ; next[i]
+        LD   R14, R4, R2    ; prev[i]
+        SUB  R12, R12, R14  ; gy
+        JMPND negy
+        JMPD goty
+negy:   SUB  R12, R0, R12
+goty:   ADD  R11, R11, R12  ; |gx| + |gy|
+        ST   R11, R7, R2
+        ADD  R2, R2, R13
+        JMPD pix
+endrow: LDH  R15, 0xBE
+        LDL  R15, 0xEF
+        ST   R15, R10, R0   ; done marker: notifies the host
+        JMPD line
+done:   HALT
+)";
+}
+
+namespace {
+
+std::string repeat_block(const std::string& prologue, const std::string& unit,
+                         int n, const std::string& epilogue) {
+  std::ostringstream oss;
+  oss << prologue;
+  for (int i = 0; i < n; ++i) oss << unit;
+  oss << epilogue;
+  return oss.str();
+}
+
+}  // namespace
+
+std::string cpi_alu_source(int n) {
+  return repeat_block(kIoPrologue, "        ADD  R1, R2, R3\n", n,
+                      "        HALT\n");
+}
+
+std::string cpi_memory_source(int n) {
+  return repeat_block(std::string(kIoPrologue) +
+                          "        LDL  R4, 0x00\n"
+                          "        LDH  R4, 0x02\n",
+                      "        LD   R1, R4, R0\n", n, "        HALT\n");
+}
+
+std::string cpi_jump_taken_source(int n) {
+  // Each JMPD targets the next instruction: always taken, disp = +1.
+  std::ostringstream body;
+  for (int i = 0; i < n; ++i) {
+    body << "j" << i << ":   JMPD j" << i << "+1\n";
+  }
+  return std::string(kIoPrologue) + body.str() + "        HALT\n";
+}
+
+std::string cpi_jump_not_taken_source(int n) {
+  // Self-targeting displacement keeps every jump encodable; none is taken
+  // because Z stays clear.
+  std::ostringstream body;
+  body << kIoPrologue << "        ADDI R1, 1          ; Z := 0\n";
+  for (int i = 0; i < n; ++i) {
+    body << "z" << i << ":   JMPZD z" << i << "\n";
+  }
+  body << "        HALT\n";
+  return body.str();
+}
+
+std::string cpi_stack_source(int n) {
+  const std::string prologue = std::string(kIoPrologue) +
+                               "        LDL  R15, 0xF0\n"
+                               "        LDH  R15, 0x03\n"
+                               "        LDSP R15\n";
+  return repeat_block(prologue,
+                      "        PUSH R1\n        POP  R2\n", n,
+                      "        HALT\n");
+}
+
+std::string cpi_mixed_source(int n) {
+  const std::string prologue = std::string(kIoPrologue) +
+                               "        LDL  R15, 0xF0\n"
+                               "        LDH  R15, 0x03\n"
+                               "        LDSP R15\n"
+                               "        LDL  R4, 0x00\n"
+                               "        LDH  R4, 0x02\n";
+  const std::string unit =
+      "        ADD  R1, R2, R3\n"
+      "        LD   R5, R4, R0\n"
+      "        ADDI R1, 1\n"
+      "        ST   R5, R4, R0\n"
+      "        PUSH R1\n"
+      "        POP  R1\n";
+  return repeat_block(prologue, unit, n, "        HALT\n");
+}
+
+}  // namespace mn::apps

@@ -1,0 +1,57 @@
+#pragma once
+// Library of R8 assembly applications used by examples, tests and benches.
+// Each entry is an assemblable source string; see docs/R8_ISA.md.
+
+#include <string>
+
+namespace mn::apps {
+
+/// printf('H','i'), halt — the minimal smoke program.
+std::string hello_source();
+
+/// Reads one value with scanf, prints value+1, repeats until 0 arrives.
+std::string echo_plus_one_source();
+
+/// Sums `count` words stored at local address 0x200 (count at 0x1FF),
+/// prints the sum, halts.
+std::string vector_sum_source();
+
+/// Iterative Fibonacci: prints F(n) for n read via scanf, halts on 0.
+std::string fibonacci_source();
+
+/// Ping-pong synchronization: this processor waits for `peer`, then
+/// notifies `peer`, `rounds` times; prints a completion marker.
+/// `starter` seeds the first notify instead of waiting first.
+std::string pingpong_source(int self, int peer, int rounds, bool starter);
+
+/// Parallel dot-product worker: reads two vectors from the remote Memory
+/// IP ([base_a..], [base_b..]), accumulates locally, writes the partial
+/// sum into processor 1's mailbox (peer window) if worker, or waits for
+/// the partial and prints the total if root.
+std::string dot_product_root_source(int nelems, int peer_num);
+std::string dot_product_worker_source(int nelems, int root_num);
+
+/// Edge-detection kernel (paper Fig. 10): per activation, loops on
+///   w = scanf();            // 0 terminates
+///   out[i] = |cur[i+1]-cur[i-1]| + |next[i]-prev[i]|, i in [1, w-2]
+///   printf(done_marker);    // "notifies the host"
+/// Line buffers at fixed local addresses (see kEdge* constants).
+std::string edge_kernel_source();
+
+inline constexpr std::uint16_t kEdgePrev = 0x0200;
+inline constexpr std::uint16_t kEdgeCur = 0x0240;
+inline constexpr std::uint16_t kEdgeNext = 0x0280;
+inline constexpr std::uint16_t kEdgeOut = 0x02C0;
+inline constexpr std::uint16_t kEdgeMaxWidth = 0x40;  // 64 pixels
+inline constexpr std::uint16_t kEdgeDoneMarker = 0xBEEF;
+
+/// CPI microbenchmark kernels (experiment E5): straight-line blocks of a
+/// single instruction class, repeated `n` times, then HALT.
+std::string cpi_alu_source(int n);
+std::string cpi_memory_source(int n);
+std::string cpi_jump_taken_source(int n);
+std::string cpi_jump_not_taken_source(int n);
+std::string cpi_stack_source(int n);
+std::string cpi_mixed_source(int n);
+
+}  // namespace mn::apps

@@ -1,0 +1,115 @@
+#include "area/area_model.hpp"
+
+#include <cmath>
+
+namespace mn::area {
+
+namespace {
+// Calibration constants (see header).
+constexpr double kRouterCtrl = 50.0;     // centralized control + arbiter
+constexpr double kPortOverhead = 13.0;   // FIFO pointers + handshake per port
+constexpr double kXbarFactor = 0.525;    // crossbar muxes ~ ports^2 * bits
+constexpr double kLutPerSlice = 1.592;   // 78% LUT / 98% slice occupancy
+constexpr double kR8Slices = 350.0;      // R8 datapath + control
+constexpr double kProcCtl = 120.0;       // Processor IP NoC control logic
+constexpr double kSerialSlices = 180.0;  // UART + packet (dis)assembly
+constexpr double kMemCtl = 95.0;         // Memory IP arbitration/control
+constexpr double kGlue = 50.0;           // top-level glue, clkdll, pads
+}  // namespace
+
+double router_slices(const RouterParams& p) {
+  const double buffers = p.ports * (p.buffer_depth * p.flit_bits / 2.0);
+  const double port_ctl = p.ports * kPortOverhead;
+  const double xbar = kXbarFactor * p.ports * p.ports * p.flit_bits;
+  return kRouterCtrl + buffers + port_ctl + xbar;
+}
+
+double luts_from_slices(double slices) { return slices * kLutPerSlice; }
+
+BlockArea router_area(const RouterParams& p) {
+  const double s = router_slices(p);
+  return {"hermes_router", s, luts_from_slices(s), 0};
+}
+
+BlockArea r8_core_area() {
+  return {"r8_core", kR8Slices, luts_from_slices(kR8Slices), 0};
+}
+
+BlockArea processor_ip_area(const RouterParams&) {
+  const double s = kR8Slices + kProcCtl;
+  return {"processor_ip", s, luts_from_slices(s), 4};  // local mem: 4 BRAMs
+}
+
+BlockArea serial_ip_area() {
+  return {"serial_ip", kSerialSlices, luts_from_slices(kSerialSlices), 0};
+}
+
+BlockArea memory_ip_area() {
+  return {"memory_ip", kMemCtl, luts_from_slices(kMemCtl), 4};
+}
+
+BlockArea top_glue_area() {
+  return {"top_glue", kGlue, luts_from_slices(kGlue), 0};
+}
+
+Utilization utilization(const std::vector<BlockArea>& blocks,
+                        const FpgaDevice& dev) {
+  Utilization u;
+  for (const auto& b : blocks) {
+    u.slices_used += b.slices;
+    u.luts_used += b.luts;
+    u.brams_used += b.brams;
+  }
+  u.slice_pct = 100.0 * u.slices_used / dev.slices;
+  u.lut_pct = 100.0 * u.luts_used / dev.luts;
+  u.bram_pct = 100.0 * u.brams_used / dev.blockrams;
+  u.fits = u.slices_used <= dev.slices && u.luts_used <= dev.luts &&
+           u.brams_used <= dev.blockrams;
+  return u;
+}
+
+std::vector<BlockArea> multinoc_2x2_blocks(const RouterParams& p) {
+  std::vector<BlockArea> blocks;
+  for (int i = 0; i < 4; ++i) {
+    auto r = router_area(p);
+    r.name = "router" + std::to_string(i);
+    blocks.push_back(r);
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto pr = processor_ip_area(p);
+    pr.name = "processor" + std::to_string(i + 1);
+    blocks.push_back(pr);
+  }
+  blocks.push_back(serial_ip_area());
+  blocks.push_back(memory_ip_area());
+  blocks.push_back(top_glue_area());
+  return blocks;
+}
+
+std::vector<BlockArea> scaled_system_blocks(unsigned n, double ip_slices,
+                                            const RouterParams& p) {
+  std::vector<BlockArea> blocks;
+  for (unsigned i = 0; i < n * n; ++i) {
+    auto r = router_area(p);
+    r.name = "router" + std::to_string(i);
+    blocks.push_back(r);
+  }
+  // One serial IP; remaining tiles carry the scaled IP.
+  blocks.push_back(serial_ip_area());
+  for (unsigned i = 1; i < n * n; ++i) {
+    blocks.push_back({"ip" + std::to_string(i), ip_slices,
+                      luts_from_slices(ip_slices), 0});
+  }
+  blocks.push_back(top_glue_area());
+  return blocks;
+}
+
+double noc_area_fraction(unsigned n, double ip_slices,
+                         const RouterParams& p) {
+  const double noc = n * n * router_slices(p);
+  const double ips =
+      serial_ip_area().slices + (n * n - 1) * ip_slices + kGlue;
+  return noc / (noc + ips);
+}
+
+}  // namespace mn::area

@@ -1,0 +1,81 @@
+#pragma once
+// Parametric FPGA area model for MultiNoC IPs, calibrated against the
+// paper's §3 prototyping result: the 2x2 system occupies 98% of the
+// XC2S200E slices and 78% of its LUTs (and 12 of 14 BlockRAMs: three
+// Memory IPs of 4 BRAMs each).
+//
+// The model is used for two experiments:
+//  * E6 — reproduce the utilization numbers of §3;
+//  * E7 — the scalability claim: "the router surface will remain constant
+//    and the NoC dimensions will scale less than the IPs, becoming ...
+//    typically less than 10 or 5%" of the system.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "area/device.hpp"
+
+namespace mn::area {
+
+/// Slice/LUT/BRAM cost of one block.
+struct BlockArea {
+  std::string name;
+  double slices = 0;
+  double luts = 0;
+  unsigned brams = 0;
+};
+
+/// Parameters of the Hermes router area model.
+struct RouterParams {
+  unsigned flit_bits = 8;
+  unsigned buffer_depth = 2;
+  unsigned ports = 5;
+};
+
+/// Slices of one Hermes router. Constants calibrated so the default
+/// (8-bit flit, 2-flit buffers, 5 ports) router costs ~260 slices, which
+/// together with the R8/serial/memory estimates reproduces the paper's
+/// 98% utilization. Buffers dominate growth, matching the paper's note
+/// that MultiNoC uses small buffers "to cope with FPGA area restrictions".
+double router_slices(const RouterParams& p);
+
+/// LUT count estimated from slices (98% slice vs 78% LUT occupancy implies
+/// ~1.59 LUTs per occupied slice on this design mix).
+double luts_from_slices(double slices);
+
+BlockArea router_area(const RouterParams& p = {});
+BlockArea r8_core_area();
+BlockArea processor_ip_area(const RouterParams& p = {});  ///< R8+ctl+local mem
+BlockArea serial_ip_area();
+BlockArea memory_ip_area();  ///< remote memory: control + 4 BRAMs
+BlockArea top_glue_area();
+
+/// Utilization summary of a block list on a device.
+struct Utilization {
+  double slices_used = 0;
+  double luts_used = 0;
+  unsigned brams_used = 0;
+  double slice_pct = 0;
+  double lut_pct = 0;
+  double bram_pct = 0;
+  bool fits = false;
+};
+
+Utilization utilization(const std::vector<BlockArea>& blocks,
+                        const FpgaDevice& dev);
+
+/// Block inventory of the paper's 2x2 MultiNoC.
+std::vector<BlockArea> multinoc_2x2_blocks(const RouterParams& p = {});
+
+/// Block inventory of an n x n MultiNoC-style system where every non-serial
+/// tile carries an IP of `ip_slices` slices.
+std::vector<BlockArea> scaled_system_blocks(unsigned n, double ip_slices,
+                                            const RouterParams& p = {});
+
+/// Fraction (0..1) of system slice area spent on the NoC for an n x n mesh
+/// whose per-tile IP costs `ip_slices`.
+double noc_area_fraction(unsigned n, double ip_slices,
+                         const RouterParams& p = {});
+
+}  // namespace mn::area

@@ -1,0 +1,48 @@
+#pragma once
+// FPGA device library for the prototyping experiments (paper §3).
+// Resource counts from the Xilinx Spartan-IIE / Virtex-II data sheets.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::area {
+
+struct FpgaDevice {
+  std::string name;
+  unsigned slices = 0;
+  unsigned luts = 0;       ///< 2 four-input LUTs per slice
+  unsigned flipflops = 0;  ///< 2 per slice
+  unsigned blockrams = 0;
+  // CLB array geometry (columns x rows) for floorplanning.
+  unsigned cols = 0;
+  unsigned rows = 0;
+};
+
+/// The paper's target device.
+inline FpgaDevice xc2s200e() {
+  // XC2S200E: 28x42 CLB array, 2352 slices, 4704 LUTs/FFs, 14 BlockRAMs.
+  return {"XC2S200E", 2352, 4704, 4704, 14, 28, 42};
+}
+
+inline FpgaDevice xc2s300e() {
+  return {"XC2S300E", 3072, 6144, 6144, 16, 32, 48};
+}
+
+inline FpgaDevice xc2v1000() {
+  return {"XC2V1000", 5120, 10240, 10240, 40, 40, 32};
+}
+
+inline FpgaDevice xc2v3000() {
+  return {"XC2V3000", 14336, 28672, 28672, 96, 56, 64};
+}
+
+inline FpgaDevice xc2v6000() {
+  return {"XC2V6000", 33792, 67584, 67584, 144, 88, 96};
+}
+
+inline std::vector<FpgaDevice> device_catalog() {
+  return {xc2s200e(), xc2s300e(), xc2v1000(), xc2v3000(), xc2v6000()};
+}
+
+}  // namespace mn::area

@@ -1,0 +1,254 @@
+#include "area/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "area/area_model.hpp"
+
+namespace mn::area {
+
+namespace {
+
+/// Slices per CLB-grid cell (2 slices per CLB on Spartan-II).
+constexpr double kSlicesPerCell = 2.0;
+
+void shape(const Block& b, double& w, double& h) {
+  const double cells = b.area / kSlicesPerCell;
+  w = std::sqrt(cells * b.aspect);
+  h = cells / std::max(w, 1e-9);
+}
+
+}  // namespace
+
+Placement Floorplanner::initial(sim::Xoshiro256& rng) const {
+  Placement p;
+  p.pos.resize(blocks_.size());
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    const Block& b = blocks_[i];
+    double w = 0, h = 0;
+    shape(b, w, h);
+    p.pos[i].w = w;
+    p.pos[i].h = h;
+    if (b.fixed) {
+      p.pos[i].x = b.fx;
+      p.pos[i].y = b.fy;
+    } else {
+      p.pos[i].x = w / 2 + rng.uniform() * std::max(1.0, dev_.cols - w);
+      p.pos[i].y = h / 2 + rng.uniform() * std::max(1.0, dev_.rows - h);
+    }
+  }
+  return p;
+}
+
+double Floorplanner::wirelength(const Placement& p) const {
+  double total = 0;
+  for (const Net& net : nets_) {
+    double xmin = 1e18, xmax = -1e18, ymin = 1e18, ymax = -1e18;
+    for (std::size_t b : net.pins) {
+      xmin = std::min(xmin, p.pos[b].x);
+      xmax = std::max(xmax, p.pos[b].x);
+      ymin = std::min(ymin, p.pos[b].y);
+      ymax = std::max(ymax, p.pos[b].y);
+    }
+    total += net.weight * ((xmax - xmin) + (ymax - ymin));
+  }
+  return total;
+}
+
+double Floorplanner::overlap(const Placement& p) const {
+  double total = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (blocks_[i].area <= 0) continue;
+    for (std::size_t j = i + 1; j < blocks_.size(); ++j) {
+      if (blocks_[j].area <= 0) continue;
+      const auto& a = p.pos[i];
+      const auto& b = p.pos[j];
+      const double ox = std::min(a.x + a.w / 2, b.x + b.w / 2) -
+                        std::max(a.x - a.w / 2, b.x - b.w / 2);
+      const double oy = std::min(a.y + a.h / 2, b.y + b.h / 2) -
+                        std::max(a.y - a.h / 2, b.y - b.h / 2);
+      if (ox > 0 && oy > 0) total += ox * oy;
+    }
+  }
+  return total;
+}
+
+double Floorplanner::cost(const Placement& p, double overlap_weight) const {
+  return wirelength(p) + overlap_weight * overlap(p);
+}
+
+Placement Floorplanner::anneal(const FloorplanConfig& cfg) const {
+  sim::Xoshiro256 rng(cfg.seed);
+  std::vector<std::size_t> movable;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (!blocks_[i].fixed) movable.push_back(i);
+  }
+
+  Placement best;
+  double best_cost = 0;
+  bool have_best = false;
+
+  // Multi-start annealing: tightly packed floorplans have a rugged cost
+  // landscape, so several short anneals beat one long one.
+  constexpr unsigned kRestarts = 4;
+  for (unsigned restart = 0; restart < kRestarts; ++restart) {
+    Placement cur = initial(rng);
+    double cur_cost = cost(cur, cfg.overlap_weight);
+    if (!have_best || cur_cost < best_cost) {
+      best = cur;
+      best_cost = cur_cost;
+      have_best = true;
+    }
+    if (movable.empty()) break;
+
+    const unsigned iters = std::max(1u, cfg.iterations / kRestarts);
+    const double cool = std::pow(cfg.t_end / cfg.t_start, 1.0 / iters);
+    double t = cfg.t_start;
+    for (unsigned it = 0; it < iters; ++it, t *= cool) {
+      const std::size_t bi = movable[rng.below(movable.size())];
+      auto& pos = cur.pos[bi];
+      const double old_x = pos.x, old_y = pos.y;
+      double old_x2 = 0, old_y2 = 0;
+      std::size_t bj = bi;
+      if (movable.size() > 1 && rng.chance(0.3)) {
+        // Swap move: exchange two block centres — the only way large
+        // blocks can change order at high packing density.
+        do {
+          bj = movable[rng.below(movable.size())];
+        } while (bj == bi);
+        auto& pos2 = cur.pos[bj];
+        old_x2 = pos2.x;
+        old_y2 = pos2.y;
+        std::swap(pos.x, pos2.x);
+        std::swap(pos.y, pos2.y);
+      } else {
+        // Displacement move; radius shrinks with temperature.
+        const double radius =
+            1.0 + (t / cfg.t_start) * std::max(dev_.cols, dev_.rows);
+        pos.x += (rng.uniform() - 0.5) * 2 * radius;
+        pos.y += (rng.uniform() - 0.5) * 2 * radius;
+      }
+      pos.x = std::clamp(pos.x, pos.w / 2, dev_.cols - pos.w / 2);
+      pos.y = std::clamp(pos.y, pos.h / 2, dev_.rows - pos.h / 2);
+      if (bj != bi) {
+        auto& pos2 = cur.pos[bj];
+        pos2.x = std::clamp(pos2.x, pos2.w / 2, dev_.cols - pos2.w / 2);
+        pos2.y = std::clamp(pos2.y, pos2.h / 2, dev_.rows - pos2.h / 2);
+      }
+      const double new_cost = cost(cur, cfg.overlap_weight);
+      const double delta = new_cost - cur_cost;
+      if (delta <= 0 || rng.uniform() < std::exp(-delta / t)) {
+        cur_cost = new_cost;
+        if (new_cost < best_cost) {
+          best = cur;
+          best_cost = new_cost;
+        }
+      } else {
+        pos.x = old_x;
+        pos.y = old_y;
+        if (bj != bi) {
+          cur.pos[bj].x = old_x2;
+          cur.pos[bj].y = old_y2;
+        }
+      }
+    }
+  }
+  best.wirelength = wirelength(best);
+  best.overlap = overlap(best);
+  return best;
+}
+
+double Floorplanner::random_baseline(unsigned trials,
+                                     std::uint64_t seed) const {
+  sim::Xoshiro256 rng(seed);
+  double acc = 0;
+  for (unsigned k = 0; k < trials; ++k) {
+    const Placement p = initial(rng);
+    acc += wirelength(p);
+  }
+  return acc / trials;
+}
+
+MultiNocFloorplan make_multinoc_floorplan(const FpgaDevice& dev) {
+  std::vector<Block> blocks;
+  std::vector<Net> nets;
+
+  const RouterParams rp;
+  const double noc_area = 4 * router_slices(rp);
+  const double proc_area = processor_ip_area().slices;
+  const double serial_area = serial_ip_area().slices;
+  const double mem_area = memory_ip_area().slices;
+
+  // Movable blocks. At 98% device occupancy the blocks must tile the die,
+  // so shapes follow the Fig. 7 columns: full-height processor columns at
+  // the sides, a wide short serial strip at the pin edge, the NoC as a
+  // tall central block, the small memory in the leftover space.
+  const double rows = dev.rows;
+  const double proc_w = (proc_area / 2.0) / rows;      // full-height column
+  const double serial_h = 5.0;
+  const double serial_w = (serial_area / 2.0) / serial_h;
+  const double noc_w = dev.cols - 2 * proc_w;          // central corridor
+  const double noc_h = (noc_area / 2.0) / noc_w;
+
+  const std::size_t idx_noc = blocks.size();
+  blocks.push_back({"noc", noc_area, noc_w / noc_h, false, 0, 0});
+  const std::size_t idx_serial = blocks.size();
+  blocks.push_back({"serial", serial_area, serial_w / serial_h, false, 0, 0});
+  const std::size_t idx_p1 = blocks.size();
+  blocks.push_back({"proc1", proc_area, proc_w / rows, false, 0, 0});
+  const std::size_t idx_p2 = blocks.size();
+  blocks.push_back({"proc2", proc_area, proc_w / rows, false, 0, 0});
+  const std::size_t idx_mem = blocks.size();
+  blocks.push_back({"memory", mem_area, 4.0 / 3.0, false, 0, 0});
+
+  // Fixed anchors: serial I/O pins at the bottom edge; BlockRAM columns at
+  // the left/right die edges (Spartan-II layout); memory BRAMs on the right.
+  const double cx = dev.cols / 2.0;
+  const std::size_t idx_pins = blocks.size();
+  blocks.push_back({"io_pins", 0, 1.0, true, cx, 0.0});
+  const std::size_t idx_bram_l = blocks.size();
+  blocks.push_back({"bram_left", 0, 1.0, true, 0.5, dev.rows / 2.0});
+  const std::size_t idx_bram_r = blocks.size();
+  blocks.push_back({"bram_right", 0, 1.0, true, dev.cols - 0.5,
+                    dev.rows / 2.0});
+
+  // Netlist: every IP talks to the NoC; serial also to its pins;
+  // processors to their BRAM columns; memory to the right BRAM column.
+  nets.push_back({{idx_noc, idx_serial}, 1.0});
+  nets.push_back({{idx_noc, idx_p1}, 1.0});
+  nets.push_back({{idx_noc, idx_p2}, 1.0});
+  nets.push_back({{idx_noc, idx_mem}, 1.0});
+  nets.push_back({{idx_serial, idx_pins}, 2.0});
+  nets.push_back({{idx_p1, idx_bram_l}, 2.0});
+  nets.push_back({{idx_p2, idx_bram_r}, 2.0});
+  nets.push_back({{idx_mem, idx_bram_r}, 1.0});
+
+  return {Floorplanner(dev, std::move(blocks), std::move(nets)),
+          idx_noc, idx_serial, idx_p1, idx_p2, idx_mem};
+}
+
+Placement paper_style_placement(const MultiNocFloorplan& fp) {
+  const FpgaDevice& dev = fp.planner.device();
+  sim::Xoshiro256 rng(0);
+  Placement p = fp.planner.initial(rng);
+  auto put = [&](std::size_t i, double x, double y) {
+    p.pos[i].x = x;
+    p.pos[i].y = y;
+  };
+  // Fig. 7: NoC centre, serial bottom-centre near the pins, processors as
+  // full-height columns beside the BRAM edge columns, memory in the
+  // leftover space above the NoC.
+  put(fp.idx_proc1, p.pos[fp.idx_proc1].w / 2, dev.rows / 2.0);
+  put(fp.idx_proc2, dev.cols - p.pos[fp.idx_proc2].w / 2, dev.rows / 2.0);
+  put(fp.idx_serial, dev.cols / 2.0, p.pos[fp.idx_serial].h / 2);
+  put(fp.idx_noc, dev.cols / 2.0,
+      p.pos[fp.idx_serial].h + p.pos[fp.idx_noc].h / 2);
+  put(fp.idx_mem, dev.cols / 2.0,
+      p.pos[fp.idx_serial].h + p.pos[fp.idx_noc].h +
+          p.pos[fp.idx_mem].h / 2 + 0.5);
+  p.wirelength = fp.planner.wirelength(p);
+  p.overlap = fp.planner.overlap(p);
+  return p;
+}
+
+}  // namespace mn::area

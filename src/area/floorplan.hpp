@@ -1,0 +1,108 @@
+#pragma once
+// Floorplanner reproducing the Fig. 7 experiment: at 98% occupancy,
+// synthesis options alone could not close the design; a manual floorplan
+// was required. We model the die as the CLB grid, IPs as soft rectangular
+// blocks, and minimize half-perimeter wirelength (HPWL) of the inter-IP
+// netlist plus pin connections, by simulated annealing with a
+// deterministic seed.
+//
+// The experiment then checks the paper's placement rationale:
+//  * the NoC sits in the middle of the FPGA,
+//  * the Serial IP sits next to its I/O pins,
+//  * the Processor IPs sit near the BlockRAM columns (die edges on
+//    Spartan-II),
+//  * annealed wirelength beats random placement and roughly matches the
+//    paper-style hand placement.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "area/device.hpp"
+#include "sim/rng.hpp"
+
+namespace mn::area {
+
+/// A soft block to place. `area` in slices; the block is shaped as a
+/// rectangle of the given aspect ratio on the CLB grid.
+struct Block {
+  std::string name;
+  double area = 0;
+  double aspect = 1.0;  ///< width / height
+  bool fixed = false;   ///< pre-placed (pins modelled as zero-area fixed)
+  double fx = 0, fy = 0;  ///< fixed position (if fixed)
+};
+
+/// A net connecting blocks (by index); HPWL objective.
+struct Net {
+  std::vector<std::size_t> pins;
+  double weight = 1.0;
+};
+
+struct Placement {
+  struct Pos {
+    double x = 0, y = 0;  ///< block centre, in CLB-grid units
+    double w = 0, h = 0;
+  };
+  std::vector<Pos> pos;
+  double wirelength = 0;
+  double overlap = 0;  ///< residual overlap area (0 for a legal plan)
+};
+
+struct FloorplanConfig {
+  std::uint64_t seed = 1;
+  unsigned iterations = 20000;
+  double t_start = 50.0;
+  double t_end = 0.05;
+  double overlap_weight = 25.0;
+};
+
+class Floorplanner {
+ public:
+  Floorplanner(FpgaDevice device, std::vector<Block> blocks,
+               std::vector<Net> nets)
+      : dev_(std::move(device)),
+        blocks_(std::move(blocks)),
+        nets_(std::move(nets)) {}
+
+  /// Anneal from a random start.
+  Placement anneal(const FloorplanConfig& cfg = {}) const;
+
+  /// Evaluate a given placement (positions for movable blocks).
+  double cost(const Placement& p, double overlap_weight) const;
+  double wirelength(const Placement& p) const;
+  double overlap(const Placement& p) const;
+
+  /// Random placement baseline (mean HPWL over `trials`).
+  double random_baseline(unsigned trials, std::uint64_t seed) const;
+
+  Placement initial(sim::Xoshiro256& rng) const;
+
+  const std::vector<Block>& blocks() const { return blocks_; }
+  const FpgaDevice& device() const { return dev_; }
+
+ private:
+  FpgaDevice dev_;
+  std::vector<Block> blocks_;
+  std::vector<Net> nets_;
+};
+
+/// Builds the MultiNoC floorplanning problem on a device: 4 routers
+/// (modelled as one NoC block plus per-router sub-blocks merged), serial,
+/// two processors, memory, plus fixed pin/BRAM anchor blocks.
+struct MultiNocFloorplan {
+  Floorplanner planner;
+  std::size_t idx_noc;
+  std::size_t idx_serial;
+  std::size_t idx_proc1;
+  std::size_t idx_proc2;
+  std::size_t idx_mem;
+};
+
+MultiNocFloorplan make_multinoc_floorplan(const FpgaDevice& dev);
+
+/// The paper's hand placement (Fig. 7): NoC centre, serial at the pin
+/// edge, processors at left/right edges near the BRAM columns.
+Placement paper_style_placement(const MultiNocFloorplan& fp);
+
+}  // namespace mn::area

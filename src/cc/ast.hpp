@@ -1,0 +1,101 @@
+#pragma once
+// Abstract syntax tree for MiniC (see docs/MINIC.md).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mn::cc {
+
+// ---- expressions ----------------------------------------------------------
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAnd, kOr, kXor, kShl, kShr,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kLogicalAnd, kLogicalOr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kNot, kLogicalNot };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind : std::uint8_t {
+    kNumber,    // value
+    kVar,       // name
+    kIndex,     // name[index]
+    kBinary,    // lhs op rhs
+    kUnary,     // op operand
+    kAssign,    // target(Var/Index) = value
+    kCall,      // name(args...)  (user function or builtin)
+  };
+
+  Kind kind;
+  int line = 0;
+
+  std::uint16_t value = 0;          // kNumber
+  std::string name;                 // kVar/kIndex/kCall
+  BinOp bin{};                      // kBinary
+  UnOp un{};                        // kUnary
+  ExprPtr lhs, rhs;                 // kBinary; kIndex uses lhs=index;
+                                    // kUnary uses lhs; kAssign: lhs=target,
+                                    // rhs=value
+  std::vector<ExprPtr> args;        // kCall
+};
+
+// ---- statements -----------------------------------------------------------
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    kExpr,      // expression statement
+    kDecl,      // int name [= init]; / int name[size];
+    kIf,        // if (cond) then [else]
+    kWhile,     // while (cond) body
+    kFor,       // for (init; cond; step) body  (desugared by the parser)
+    kReturn,    // return [expr];
+    kBreak,
+    kContinue,
+    kBlock,     // { ... }
+  };
+
+  Kind kind;
+  int line = 0;
+
+  ExprPtr expr;               // kExpr/kReturn(optional)/cond for kIf,kWhile
+  std::string name;           // kDecl
+  std::uint16_t array_size = 0;  // kDecl: 0 = scalar
+  ExprPtr init;               // kDecl initializer (scalars only)
+  StmtPtr then_branch, else_branch;  // kIf
+  StmtPtr body;               // kWhile
+  ExprPtr step;               // kWhile: for-loop step; `continue` targets it
+  std::vector<StmtPtr> stmts; // kBlock
+};
+
+// ---- top level --------------------------------------------------------------
+
+struct Function {
+  std::string name;
+  std::vector<std::string> params;
+  StmtPtr body;  // kBlock
+  int line = 0;
+};
+
+struct Global {
+  std::string name;
+  std::uint16_t array_size = 0;  // 0 = scalar
+  std::uint16_t init = 0;        // scalars only
+  int line = 0;
+};
+
+struct Program {
+  std::vector<Global> globals;
+  std::vector<Function> functions;
+};
+
+}  // namespace mn::cc

@@ -1,0 +1,48 @@
+#pragma once
+// MiniC -> R8 assembly code generator.
+//
+// Runtime model (docs/MINIC.md):
+//  * R0  = constant zero (set by crt0, never written);
+//  * R1  = expression result / return value;
+//  * R2, R3, R13 = codegen scratch;
+//  * R12 = frame pointer into the data stack;
+//  * R14 = data stack pointer (grows down; points at the next free word);
+//  * hardware SP = call stack for JSR/RTS return addresses (0x03FF down);
+//  * data stack at 0x03BF down; globals after the code (checked < 0x0300).
+//
+// Frame layout (data-stack addresses relative to FP):
+//   FP + m+1-j : parameter j (of m), pushed left-to-right by the caller
+//   FP + 1     : caller's saved FP
+//   FP - d     : local scalar with displacement d; arrays grow downward
+//                with element 0 at the lowest address.
+// The callee deallocates parameters (epilogue restores R14 = FP+1+m).
+
+#include <string>
+#include <vector>
+
+#include "cc/ast.hpp"
+
+namespace mn::cc {
+
+struct CodegenError {
+  int line = 0;
+  std::string message;
+};
+
+struct CodegenResult {
+  std::string assembly;
+  std::vector<CodegenError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+struct CodegenOptions {
+  /// Enable the optimizer: constant folding, constant-operand binary ops
+  /// without the expression-stack round trip, strength reduction of
+  /// multiply/divide/modulo by powers of two, and inline constant shifts.
+  bool optimize = true;
+};
+
+CodegenResult generate(const Program& program,
+                       const CodegenOptions& options = {});
+
+}  // namespace mn::cc

@@ -1,0 +1,69 @@
+#include "cc/compiler.hpp"
+
+#include <sstream>
+
+#include "cc/lexer.hpp"
+#include "cc/parser.hpp"
+
+namespace mn::cc {
+
+CompileResult compile(const std::string& source,
+                      const CompileOptions& options) {
+  CompileResult result;
+  std::ostringstream diag;
+
+  const LexResult lexed = lex(source);
+  if (!lexed.ok()) {
+    for (const auto& e : lexed.errors) {
+      diag << "line " << e.line << ": " << e.message << '\n';
+    }
+    result.errors = diag.str();
+    return result;
+  }
+
+  ParseResult parsed = parse(lexed.tokens);
+  if (!parsed.ok()) {
+    for (const auto& e : parsed.errors) {
+      diag << "line " << e.line << ": " << e.message << '\n';
+    }
+    result.errors = diag.str();
+    return result;
+  }
+
+  CodegenOptions gopts;
+  gopts.optimize = options.optimize;
+  CodegenResult gen = generate(parsed.program, gopts);
+  result.assembly = gen.assembly;
+  if (!gen.ok()) {
+    for (const auto& e : gen.errors) {
+      diag << "line " << e.line << ": " << e.message << '\n';
+    }
+    result.errors = diag.str();
+    return result;
+  }
+
+  const r8asm::Assembly assembled = r8asm::assemble(gen.assembly);
+  if (!assembled.ok) {
+    // An assembly failure on generated code is a compiler bug; surface it
+    // with the assembly attached for debugging.
+    diag << "internal error: generated assembly did not assemble:\n"
+         << assembled.error_text();
+    result.errors = diag.str();
+    return result;
+  }
+  if (assembled.image.size() > options.memory_floor) {
+    diag << "program too large: code+globals occupy "
+         << assembled.image.size() << " words, the data/call stacks need "
+         << "addresses 0x" << std::hex << options.memory_floor
+         << "-0x03FF";
+    result.errors = diag.str();
+    return result;
+  }
+
+  result.image = assembled.image;
+  result.symbols = assembled.symbols;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace mn::cc

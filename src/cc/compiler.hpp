@@ -1,0 +1,46 @@
+#pragma once
+// r8cc driver: MiniC source -> R8 assembly -> object image.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/codegen.hpp"
+#include "r8asm/assembler.hpp"
+
+namespace mn::cc {
+
+struct CompileResult {
+  bool ok = false;
+  std::string assembly;              ///< generated R8 assembly text
+  std::vector<std::uint16_t> image;  ///< assembled object code
+  std::string errors;                ///< human-readable diagnostics
+
+  /// Symbols of the assembled program (functions, globals as G_<name>).
+  std::map<std::string, std::uint16_t> symbols;
+
+  /// Address of global `name`, or nullopt.
+  std::optional<std::uint16_t> global_addr(const std::string& name) const {
+    auto it = symbols.find("G_" + name);
+    if (it == symbols.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+struct CompileOptions {
+  /// Code+globals must end below this address; the region above it (up to
+  /// 0x03FF) is reserved for the data and call stacks. Raise it for
+  /// data-heavy programs with shallow call trees.
+  std::uint16_t memory_floor = 0x0300;
+
+  /// Run the optimizer (constant folding, constant-operand fast paths,
+  /// power-of-two strength reduction). Off reproduces naive codegen.
+  bool optimize = true;
+};
+
+/// Compile a MiniC translation unit. On success `image` is ready to load
+/// at address 0 of a processor's local memory.
+CompileResult compile(const std::string& source,
+                      const CompileOptions& options = {});
+
+}  // namespace mn::cc

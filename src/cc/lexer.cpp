@@ -1,0 +1,228 @@
+#include "cc/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+namespace mn::cc {
+
+const char* token_name(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "end of file";
+    case Tok::kInt: return "'int'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kIdent: return "identifier";
+    case Tok::kNumber: return "number";
+    case Tok::kCharLit: return "character literal";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kAssign: return "'='";
+    case Tok::kPlus: return "'+'";
+    case Tok::kMinus: return "'-'";
+    case Tok::kStar: return "'*'";
+    case Tok::kSlash: return "'/'";
+    case Tok::kPercent: return "'%'";
+    case Tok::kAmp: return "'&'";
+    case Tok::kPipe: return "'|'";
+    case Tok::kCaret: return "'^'";
+    case Tok::kTilde: return "'~'";
+    case Tok::kBang: return "'!'";
+    case Tok::kShl: return "'<<'";
+    case Tok::kShr: return "'>>'";
+    case Tok::kEq: return "'=='";
+    case Tok::kNe: return "'!='";
+    case Tok::kLt: return "'<'";
+    case Tok::kLe: return "'<='";
+    case Tok::kGt: return "'>'";
+    case Tok::kGe: return "'>='";
+    case Tok::kAndAnd: return "'&&'";
+    case Tok::kOrOr: return "'||'";
+  }
+  return "?";
+}
+
+LexResult lex(const std::string& src) {
+  static const std::map<std::string, Tok> kKeywords = {
+      {"int", Tok::kInt},       {"if", Tok::kIf},
+      {"else", Tok::kElse},     {"while", Tok::kWhile},
+      {"for", Tok::kFor},       {"return", Tok::kReturn},
+      {"break", Tok::kBreak},   {"continue", Tok::kContinue},
+  };
+
+  LexResult out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](Tok k, std::string text = {}, std::uint16_t v = 0) {
+    out.tokens.push_back({k, std::move(text), v, line});
+  };
+  auto peek2 = [&](char a, char b) {
+    return i + 1 < n && src[i] == a && src[i + 1] == b;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // comments
+    if (peek2('/', '/')) {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (peek2('/', '*')) {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 < n) {
+        i += 2;
+      } else {
+        out.errors.push_back({line, "unterminated comment"});
+        i = n;
+      }
+      continue;
+    }
+    // identifiers / keywords
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t b = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                       src[i] == '_')) {
+        ++i;
+      }
+      const std::string word = src.substr(b, i - b);
+      auto it = kKeywords.find(word);
+      if (it != kKeywords.end()) {
+        push(it->second);
+      } else {
+        push(Tok::kIdent, word);
+      }
+      continue;
+    }
+    // numbers: decimal and 0x hex
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint32_t v = 0;
+      if (c == '0' && i + 1 < n && (src[i + 1] == 'x' || src[i + 1] == 'X')) {
+        i += 2;
+        bool any = false;
+        while (i < n && std::isxdigit(static_cast<unsigned char>(src[i]))) {
+          const char h = src[i];
+          const int d = h <= '9' ? h - '0'
+                        : h <= 'F' ? h - 'A' + 10
+                                   : h - 'a' + 10;
+          v = (v * 16 + static_cast<std::uint32_t>(d)) & 0xFFFFF;
+          any = true;
+          ++i;
+        }
+        if (!any) out.errors.push_back({line, "bad hex literal"});
+      } else {
+        while (i < n && std::isdigit(static_cast<unsigned char>(src[i]))) {
+          v = (v * 10 + static_cast<std::uint32_t>(src[i] - '0')) & 0xFFFFF;
+          ++i;
+        }
+      }
+      if (v > 0xFFFF) {
+        out.errors.push_back({line, "literal exceeds 16 bits"});
+        v &= 0xFFFF;
+      }
+      push(Tok::kNumber, {}, static_cast<std::uint16_t>(v));
+      continue;
+    }
+    // character literal
+    if (c == '\'') {
+      if (i + 2 < n && src[i + 2] == '\'' && src[i + 1] != '\\') {
+        push(Tok::kCharLit, {}, static_cast<std::uint16_t>(
+                                    static_cast<unsigned char>(src[i + 1])));
+        i += 3;
+      } else if (i + 3 < n && src[i + 1] == '\\' && src[i + 3] == '\'') {
+        char v;
+        switch (src[i + 2]) {
+          case 'n': v = '\n'; break;
+          case 't': v = '\t'; break;
+          case '0': v = '\0'; break;
+          case '\\': v = '\\'; break;
+          case '\'': v = '\''; break;
+          default:
+            v = src[i + 2];
+            out.errors.push_back({line, "unknown escape"});
+        }
+        push(Tok::kCharLit, {}, static_cast<std::uint16_t>(
+                                    static_cast<unsigned char>(v)));
+        i += 4;
+      } else {
+        out.errors.push_back({line, "bad character literal"});
+        ++i;
+      }
+      continue;
+    }
+    // operators / punctuation
+    auto two = [&](char a, char b, Tok t) {
+      if (peek2(a, b)) {
+        push(t);
+        i += 2;
+        return true;
+      }
+      return false;
+    };
+    if (two('<', '<', Tok::kShl) || two('>', '>', Tok::kShr) ||
+        two('=', '=', Tok::kEq) || two('!', '=', Tok::kNe) ||
+        two('<', '=', Tok::kLe) || two('>', '=', Tok::kGe) ||
+        two('&', '&', Tok::kAndAnd) || two('|', '|', Tok::kOrOr)) {
+      continue;
+    }
+    Tok single;
+    switch (c) {
+      case '(': single = Tok::kLParen; break;
+      case ')': single = Tok::kRParen; break;
+      case '{': single = Tok::kLBrace; break;
+      case '}': single = Tok::kRBrace; break;
+      case '[': single = Tok::kLBracket; break;
+      case ']': single = Tok::kRBracket; break;
+      case ';': single = Tok::kSemi; break;
+      case ',': single = Tok::kComma; break;
+      case '=': single = Tok::kAssign; break;
+      case '+': single = Tok::kPlus; break;
+      case '-': single = Tok::kMinus; break;
+      case '*': single = Tok::kStar; break;
+      case '/': single = Tok::kSlash; break;
+      case '%': single = Tok::kPercent; break;
+      case '&': single = Tok::kAmp; break;
+      case '|': single = Tok::kPipe; break;
+      case '^': single = Tok::kCaret; break;
+      case '~': single = Tok::kTilde; break;
+      case '!': single = Tok::kBang; break;
+      case '<': single = Tok::kLt; break;
+      case '>': single = Tok::kGt; break;
+      default:
+        out.errors.push_back(
+            {line, std::string("unexpected character '") + c + "'"});
+        ++i;
+        continue;
+    }
+    push(single);
+    ++i;
+  }
+  push(Tok::kEof);
+  return out;
+}
+
+}  // namespace mn::cc

@@ -1,0 +1,54 @@
+#pragma once
+// Lexer for MiniC — the small C dialect of the r8cc compiler, which
+// realizes the paper's future-work item: "a C compiler to automatically
+// generate R8 assembly code, allowing faster software implementation"
+// (§5). See docs/MINIC.md for the language definition.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::cc {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kInt,       // 'int'
+  kIf, kElse, kWhile, kFor, kReturn, kBreak, kContinue,
+  kIdent,
+  kNumber,
+  kCharLit,
+  // punctuation
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma,
+  // operators
+  kAssign,                    // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,                 // << >>
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAndAnd, kOrOr,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier spelling
+  std::uint16_t value = 0; // number / char literal value
+  int line = 0;
+};
+
+struct LexError {
+  int line = 0;
+  std::string message;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // terminated by kEof
+  std::vector<LexError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+LexResult lex(const std::string& source);
+
+const char* token_name(Tok t);
+
+}  // namespace mn::cc

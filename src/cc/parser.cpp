@@ -1,0 +1,463 @@
+#include "cc/parser.hpp"
+
+namespace mn::cc {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::vector<Token>& toks) : toks_(toks) {}
+
+  ParseResult run() {
+    while (!at(Tok::kEof) && result_.errors.size() < 20) {
+      parse_top_level();
+    }
+    return std::move(result_);
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  const Token& advance() { return toks_[pos_++]; }
+
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void error(const std::string& msg) {
+    result_.errors.push_back({cur().line, msg});
+  }
+
+  bool expect(Tok k, const char* context) {
+    if (accept(k)) return true;
+    error(std::string("expected ") + token_name(k) + " " + context +
+          ", got " + token_name(cur().kind));
+    return false;
+  }
+
+  /// Skip to a likely statement boundary after an error.
+  void synchronize() {
+    while (!at(Tok::kEof) && !at(Tok::kSemi) && !at(Tok::kRBrace)) ++pos_;
+    accept(Tok::kSemi);
+  }
+
+  // -- top level ----------------------------------------------------------
+
+  void parse_top_level() {
+    if (!expect(Tok::kInt, "at top level")) {
+      synchronize();
+      return;
+    }
+    if (!at(Tok::kIdent)) {
+      error("expected name after 'int'");
+      synchronize();
+      return;
+    }
+    const Token name = advance();
+    if (at(Tok::kLParen)) {
+      parse_function(name);
+    } else {
+      parse_global(name);
+    }
+  }
+
+  void parse_global(const Token& name) {
+    Global g;
+    g.name = name.text;
+    g.line = name.line;
+    if (accept(Tok::kLBracket)) {
+      if (at(Tok::kNumber) && cur().value > 0) {
+        g.array_size = advance().value;
+      } else {
+        error("global array size must be a positive number literal");
+      }
+      expect(Tok::kRBracket, "after array size");
+    } else if (accept(Tok::kAssign)) {
+      // constant initializer (number or char, optionally negated)
+      bool neg = accept(Tok::kMinus);
+      if (at(Tok::kNumber) || at(Tok::kCharLit)) {
+        const std::uint16_t v = advance().value;
+        g.init = neg ? static_cast<std::uint16_t>(-v) : v;
+      } else {
+        error("global initializer must be a constant");
+      }
+    }
+    expect(Tok::kSemi, "after global declaration");
+    result_.program.globals.push_back(std::move(g));
+  }
+
+  void parse_function(const Token& name) {
+    Function f;
+    f.name = name.text;
+    f.line = name.line;
+    expect(Tok::kLParen, "after function name");
+    if (!at(Tok::kRParen)) {
+      do {
+        expect(Tok::kInt, "before parameter name");
+        if (at(Tok::kIdent)) {
+          f.params.push_back(advance().text);
+        } else {
+          error("expected parameter name");
+        }
+      } while (accept(Tok::kComma));
+    }
+    expect(Tok::kRParen, "after parameters");
+    f.body = parse_block();
+    result_.program.functions.push_back(std::move(f));
+  }
+
+  // -- statements ----------------------------------------------------------
+
+  StmtPtr parse_block() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::Kind::kBlock;
+    s->line = cur().line;
+    if (!expect(Tok::kLBrace, "to open a block")) return s;
+    while (!at(Tok::kRBrace) && !at(Tok::kEof)) {
+      s->stmts.push_back(parse_statement());
+    }
+    expect(Tok::kRBrace, "to close a block");
+    return s;
+  }
+
+  StmtPtr parse_statement() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    switch (cur().kind) {
+      case Tok::kLBrace:
+        return parse_block();
+      case Tok::kInt: {
+        advance();
+        s->kind = Stmt::Kind::kDecl;
+        if (at(Tok::kIdent)) {
+          s->name = advance().text;
+        } else {
+          error("expected variable name");
+        }
+        if (accept(Tok::kLBracket)) {
+          if (at(Tok::kNumber) && cur().value > 0) {
+            s->array_size = advance().value;
+          } else {
+            error("array size must be a positive number literal");
+          }
+          expect(Tok::kRBracket, "after array size");
+        } else if (accept(Tok::kAssign)) {
+          s->init = parse_expr();
+        }
+        expect(Tok::kSemi, "after declaration");
+        return s;
+      }
+      case Tok::kIf: {
+        advance();
+        s->kind = Stmt::Kind::kIf;
+        expect(Tok::kLParen, "after 'if'");
+        s->expr = parse_expr();
+        expect(Tok::kRParen, "after condition");
+        s->then_branch = parse_statement();
+        if (accept(Tok::kElse)) s->else_branch = parse_statement();
+        return s;
+      }
+      case Tok::kWhile: {
+        advance();
+        s->kind = Stmt::Kind::kWhile;
+        expect(Tok::kLParen, "after 'while'");
+        s->expr = parse_expr();
+        expect(Tok::kRParen, "after condition");
+        s->body = parse_statement();
+        return s;
+      }
+      case Tok::kFor: {
+        // Desugar: for(init; cond; step) body -> { init; while(cond, step)
+        // body } — the step rides on the while node so that `continue`
+        // still executes it.
+        advance();
+        expect(Tok::kLParen, "after 'for'");
+        StmtPtr init;
+        if (!at(Tok::kSemi)) init = parse_simple_statement();
+        expect(Tok::kSemi, "after for-initializer");
+        ExprPtr cond;
+        if (!at(Tok::kSemi)) cond = parse_expr();
+        expect(Tok::kSemi, "after for-condition");
+        ExprPtr step;
+        if (!at(Tok::kRParen)) step = parse_expr();
+        expect(Tok::kRParen, "after for-step");
+        StmtPtr body = parse_statement();
+
+        auto loop = std::make_unique<Stmt>();
+        loop->kind = Stmt::Kind::kWhile;
+        loop->line = s->line;
+        if (cond) {
+          loop->expr = std::move(cond);
+        } else {
+          loop->expr = std::make_unique<Expr>();
+          loop->expr->kind = Expr::Kind::kNumber;
+          loop->expr->value = 1;
+          loop->expr->line = s->line;
+        }
+        loop->body = std::move(body);
+        loop->step = std::move(step);
+
+        s->kind = Stmt::Kind::kBlock;
+        if (init) s->stmts.push_back(std::move(init));
+        s->stmts.push_back(std::move(loop));
+        return s;
+      }
+      case Tok::kReturn: {
+        advance();
+        s->kind = Stmt::Kind::kReturn;
+        if (!at(Tok::kSemi)) s->expr = parse_expr();
+        expect(Tok::kSemi, "after return");
+        return s;
+      }
+      case Tok::kBreak:
+        advance();
+        s->kind = Stmt::Kind::kBreak;
+        expect(Tok::kSemi, "after 'break'");
+        return s;
+      case Tok::kContinue:
+        advance();
+        s->kind = Stmt::Kind::kContinue;
+        expect(Tok::kSemi, "after 'continue'");
+        return s;
+      default: {
+        s->kind = Stmt::Kind::kExpr;
+        s->expr = parse_expr();
+        expect(Tok::kSemi, "after expression");
+        return s;
+      }
+    }
+  }
+
+  /// A statement allowed in a for-initializer: declaration or expression.
+  StmtPtr parse_simple_statement() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    if (accept(Tok::kInt)) {
+      s->kind = Stmt::Kind::kDecl;
+      if (at(Tok::kIdent)) {
+        s->name = advance().text;
+      } else {
+        error("expected variable name");
+      }
+      if (accept(Tok::kAssign)) s->init = parse_expr();
+      return s;
+    }
+    s->kind = Stmt::Kind::kExpr;
+    s->expr = parse_expr();
+    return s;
+  }
+
+  // -- expressions (precedence climbing) ------------------------------------
+
+  ExprPtr parse_expr() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_logical_or();
+    if (at(Tok::kAssign)) {
+      const int line = cur().line;
+      advance();
+      if (lhs->kind != Expr::Kind::kVar && lhs->kind != Expr::Kind::kIndex) {
+        error("assignment target must be a variable or array element");
+      }
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kAssign;
+      e->line = line;
+      e->lhs = std::move(lhs);
+      e->rhs = parse_assignment();  // right-associative
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr binary(ExprPtr lhs, BinOp op, ExprPtr rhs, int line) {
+    auto e = std::make_unique<Expr>();
+    e->kind = Expr::Kind::kBinary;
+    e->bin = op;
+    e->line = line;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  ExprPtr parse_logical_or() {
+    ExprPtr e = parse_logical_and();
+    while (at(Tok::kOrOr)) {
+      const int line = advance().line;
+      e = binary(std::move(e), BinOp::kLogicalOr, parse_logical_and(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_logical_and() {
+    ExprPtr e = parse_bitor();
+    while (at(Tok::kAndAnd)) {
+      const int line = advance().line;
+      e = binary(std::move(e), BinOp::kLogicalAnd, parse_bitor(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitor() {
+    ExprPtr e = parse_bitxor();
+    while (at(Tok::kPipe)) {
+      const int line = advance().line;
+      e = binary(std::move(e), BinOp::kOr, parse_bitxor(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitxor() {
+    ExprPtr e = parse_bitand();
+    while (at(Tok::kCaret)) {
+      const int line = advance().line;
+      e = binary(std::move(e), BinOp::kXor, parse_bitand(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_bitand() {
+    ExprPtr e = parse_equality();
+    while (at(Tok::kAmp)) {
+      const int line = advance().line;
+      e = binary(std::move(e), BinOp::kAnd, parse_equality(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_equality() {
+    ExprPtr e = parse_relational();
+    while (at(Tok::kEq) || at(Tok::kNe)) {
+      const BinOp op = at(Tok::kEq) ? BinOp::kEq : BinOp::kNe;
+      const int line = advance().line;
+      e = binary(std::move(e), op, parse_relational(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_relational() {
+    ExprPtr e = parse_shift();
+    while (at(Tok::kLt) || at(Tok::kLe) || at(Tok::kGt) || at(Tok::kGe)) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::kLt: op = BinOp::kLt; break;
+        case Tok::kLe: op = BinOp::kLe; break;
+        case Tok::kGt: op = BinOp::kGt; break;
+        default: op = BinOp::kGe; break;
+      }
+      const int line = advance().line;
+      e = binary(std::move(e), op, parse_shift(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_shift() {
+    ExprPtr e = parse_additive();
+    while (at(Tok::kShl) || at(Tok::kShr)) {
+      const BinOp op = at(Tok::kShl) ? BinOp::kShl : BinOp::kShr;
+      const int line = advance().line;
+      e = binary(std::move(e), op, parse_additive(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    while (at(Tok::kPlus) || at(Tok::kMinus)) {
+      const BinOp op = at(Tok::kPlus) ? BinOp::kAdd : BinOp::kSub;
+      const int line = advance().line;
+      e = binary(std::move(e), op, parse_multiplicative(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    while (at(Tok::kStar) || at(Tok::kSlash) || at(Tok::kPercent)) {
+      BinOp op;
+      switch (cur().kind) {
+        case Tok::kStar: op = BinOp::kMul; break;
+        case Tok::kSlash: op = BinOp::kDiv; break;
+        default: op = BinOp::kMod; break;
+      }
+      const int line = advance().line;
+      e = binary(std::move(e), op, parse_unary(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::kMinus) || at(Tok::kTilde) || at(Tok::kBang)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::Kind::kUnary;
+      e->line = cur().line;
+      switch (advance().kind) {
+        case Tok::kMinus: e->un = UnOp::kNeg; break;
+        case Tok::kTilde: e->un = UnOp::kNot; break;
+        default: e->un = UnOp::kLogicalNot; break;
+      }
+      e->lhs = parse_unary();
+      return e;
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (at(Tok::kNumber) || at(Tok::kCharLit)) {
+      e->kind = Expr::Kind::kNumber;
+      e->value = advance().value;
+      return e;
+    }
+    if (accept(Tok::kLParen)) {
+      ExprPtr inner = parse_expr();
+      expect(Tok::kRParen, "after parenthesized expression");
+      return inner;
+    }
+    if (at(Tok::kIdent)) {
+      const Token name = advance();
+      if (accept(Tok::kLParen)) {
+        e->kind = Expr::Kind::kCall;
+        e->name = name.text;
+        if (!at(Tok::kRParen)) {
+          do {
+            e->args.push_back(parse_expr());
+          } while (accept(Tok::kComma));
+        }
+        expect(Tok::kRParen, "after call arguments");
+        return e;
+      }
+      if (accept(Tok::kLBracket)) {
+        e->kind = Expr::Kind::kIndex;
+        e->name = name.text;
+        e->lhs = parse_expr();
+        expect(Tok::kRBracket, "after array index");
+        return e;
+      }
+      e->kind = Expr::Kind::kVar;
+      e->name = name.text;
+      return e;
+    }
+    error(std::string("expected expression, got ") + token_name(cur().kind));
+    advance();
+    e->kind = Expr::Kind::kNumber;
+    e->value = 0;
+    return e;
+  }
+
+  const std::vector<Token>& toks_;
+  std::size_t pos_ = 0;
+  ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult parse(const std::vector<Token>& tokens) {
+  return Parser(tokens).run();
+}
+
+}  // namespace mn::cc

@@ -1,0 +1,26 @@
+#pragma once
+// Recursive-descent parser for MiniC.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cc/ast.hpp"
+#include "cc/lexer.hpp"
+
+namespace mn::cc {
+
+struct ParseError {
+  int line = 0;
+  std::string message;
+};
+
+struct ParseResult {
+  Program program;
+  std::vector<ParseError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+ParseResult parse(const std::vector<Token>& tokens);
+
+}  // namespace mn::cc

@@ -1,0 +1,204 @@
+#include "host/host.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace mn::host {
+
+using serial::HostCmd;
+
+Host::Host(sim::Simulator& sim, sys::MultiNoc& system, unsigned divisor)
+    : sim::Component("host"),
+      sim_(&sim),
+      system_(&system),
+      tx_(system.pin_tx(), divisor),
+      rx_(system.pin_rx(), divisor) {
+  sim.add(this);
+}
+
+void Host::sync() { send_byte(serial::kSyncByte); }
+
+void Host::write_memory(std::uint8_t target, std::uint16_t addr,
+                        const std::vector<std::uint16_t>& words) {
+  // Chunk to the 1-byte frame count and the NoC payload budget.
+  constexpr std::size_t kChunk = 64;
+  std::size_t i = 0;
+  while (i < words.size()) {
+    const std::size_t n = std::min(kChunk, words.size() - i);
+    send_byte(static_cast<std::uint8_t>(HostCmd::kWrite));
+    send_byte(target);
+    send_word(static_cast<std::uint16_t>(addr + i));
+    send_byte(static_cast<std::uint8_t>(n));
+    for (std::size_t k = 0; k < n; ++k) send_word(words[i + k]);
+    i += n;
+  }
+}
+
+void Host::read_memory(std::uint8_t target, std::uint16_t addr,
+                       std::uint16_t count) {
+  send_byte(static_cast<std::uint8_t>(HostCmd::kRead));
+  send_byte(target);
+  send_word(addr);
+  send_word(count);
+}
+
+void Host::activate(std::uint8_t target) {
+  send_byte(static_cast<std::uint8_t>(HostCmd::kActivate));
+  send_byte(target);
+}
+
+void Host::scanf_return(std::uint8_t target, std::uint16_t value) {
+  send_byte(static_cast<std::uint8_t>(HostCmd::kScanfReturn));
+  send_byte(target);
+  send_word(value);
+}
+
+void Host::load_program(std::uint8_t target,
+                        const std::vector<std::uint16_t>& image,
+                        std::uint16_t base) {
+  // Local memories power up zeroed, so a trailing zero region (e.g.
+  // zero-initialized compiler globals) need not cross the serial link.
+  std::size_t n = image.size();
+  while (n > 0 && image[n - 1] == 0) --n;
+  write_memory(target, base,
+               std::vector<std::uint16_t>(image.begin(), image.begin() + n));
+}
+
+ScanfRequest Host::pop_scanf_request() {
+  ScanfRequest r = scanf_requests_.front();
+  scanf_requests_.pop_front();
+  return r;
+}
+
+ReadResult Host::pop_read_result() {
+  ReadResult r = std::move(read_results_.front());
+  read_results_.pop_front();
+  return r;
+}
+
+void Host::eval() {
+  tx_.tick();
+  rx_.tick();
+  parse_frames();
+}
+
+void Host::parse_frames() {
+  while (rx_.has_byte()) {
+    const std::uint8_t b = rx_.pop_byte();
+    ++bytes_received_;
+    frame_.push_back(b);
+
+    const auto cmd = static_cast<HostCmd>(frame_[0]);
+    std::size_t want = 0;
+    switch (cmd) {
+      case HostCmd::kPrintf:
+        if (frame_.size() < 3) continue;
+        want = 3 + 2u * frame_[2];
+        break;
+      case HostCmd::kScanf:
+        want = 2;
+        break;
+      case HostCmd::kReadReturn:
+        if (frame_.size() < 5) continue;
+        want = 5 + 2u * frame_[4];
+        break;
+      default:
+        MN_ERROR(name(), "garbage byte from system: 0x" << std::hex
+                                                        << int(frame_[0]));
+        frame_.clear();
+        continue;
+    }
+    if (frame_.size() < want) continue;
+
+    auto word = [&](std::size_t at) {
+      return static_cast<std::uint16_t>((frame_[at] << 8) | frame_[at + 1]);
+    };
+    switch (cmd) {
+      case HostCmd::kPrintf: {
+        auto& log = printf_log_[frame_[1]];
+        const std::size_t cnt = frame_[2];
+        for (std::size_t i = 0; i < cnt; ++i) log.push_back(word(3 + 2 * i));
+        break;
+      }
+      case HostCmd::kScanf: {
+        const std::uint8_t source = frame_[1];
+        if (scanf_provider_) {
+          scanf_return(source, scanf_provider_(source));
+        } else {
+          scanf_requests_.push_back({source});
+        }
+        break;
+      }
+      case HostCmd::kReadReturn: {
+        ReadResult r;
+        r.source = frame_[1];
+        r.addr = word(2);
+        const std::size_t cnt = frame_[4];
+        for (std::size_t i = 0; i < cnt; ++i) {
+          r.words.push_back(word(5 + 2 * i));
+        }
+        read_results_.push_back(std::move(r));
+        break;
+      }
+      default:
+        break;
+    }
+    frame_.clear();
+  }
+}
+
+bool Host::flush(std::uint64_t max_cycles) {
+  return sim_->run_until([this] { return tx_.idle(); }, max_cycles);
+}
+
+bool Host::boot(std::uint64_t max_cycles) {
+  sync();
+  const bool ok = sim_->run_until(
+      [this] { return system_->serial().baud_locked() && tx_.idle(); },
+      max_cycles);
+  if (!ok) return false;
+  // Guard gap: leave the line idle long enough for the Serial IP to
+  // swallow the tail of the sync byte before the first command frame
+  // (real serial software pauses between sync and commands).
+  sim_->run(12ull * tx_.divisor());
+  return true;
+}
+
+std::optional<std::vector<std::uint16_t>> Host::read_memory_blocking(
+    std::uint8_t target, std::uint16_t addr, std::uint16_t count,
+    std::uint64_t max_cycles) {
+  read_memory(target, addr, count);
+  std::vector<std::uint16_t> words;
+  const bool ok = sim_->run_until(
+      [&] {
+        while (has_read_result()) {
+          ReadResult r = pop_read_result();
+          words.insert(words.end(), r.words.begin(), r.words.end());
+        }
+        return words.size() >= count;
+      },
+      max_cycles);
+  if (!ok) return std::nullopt;
+  words.resize(count);
+  return words;
+}
+
+bool Host::wait_printf(std::uint8_t source, std::size_t n,
+                       std::uint64_t max_cycles) {
+  return sim_->run_until(
+      [&] { return printf_log_[source].size() >= n; }, max_cycles);
+}
+
+void Host::reset() {
+  tx_.reset();
+  rx_.reset();
+  frame_.clear();
+  printf_log_.clear();
+  scanf_requests_.clear();
+  read_results_.clear();
+  bytes_sent_ = 0;
+  bytes_received_ = 0;
+}
+
+}  // namespace mn::host

@@ -1,0 +1,135 @@
+#pragma once
+// Host computer model — the "Serial software" of paper §4. Drives the
+// MultiNoC external serial pins through its own UART, implements the
+// system flow of Fig. 8 (synchronize SW/HW, send object code, fill
+// memories, activate processors) and the per-processor interaction
+// monitors for printf/scanf of Fig. 9.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serial/protocol.hpp"
+#include "serial/uart.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::host {
+
+/// A completed memory read (assembled from read-return frames).
+struct ReadResult {
+  std::uint8_t source = 0;
+  std::uint16_t addr = 0;
+  std::vector<std::uint16_t> words;
+};
+
+/// A pending scanf request from a processor.
+struct ScanfRequest {
+  std::uint8_t source = 0;
+};
+
+class Host final : public sim::Component {
+ public:
+  Host(sim::Simulator& sim, sys::MultiNoc& system, unsigned divisor = 16);
+
+  // ---- asynchronous command API (queues serial bytes) -------------------
+
+  /// Send the 0x55 sync byte (paper: "Synchronize SW/HW").
+  void sync();
+
+  /// Write words into a node's memory, chunking into WRITE frames.
+  void write_memory(std::uint8_t target, std::uint16_t addr,
+                    const std::vector<std::uint16_t>& words);
+
+  /// Request `count` words starting at `addr` from a node's memory.
+  void read_memory(std::uint8_t target, std::uint16_t addr,
+                   std::uint16_t count);
+
+  /// Activate a processor (it starts at local address 0).
+  void activate(std::uint8_t target);
+
+  /// Answer a scanf request.
+  void scanf_return(std::uint8_t target, std::uint16_t value);
+
+  /// Download an object image to a processor's local memory
+  /// ("Send Generated Object Code").
+  void load_program(std::uint8_t target,
+                    const std::vector<std::uint16_t>& image,
+                    std::uint16_t base = 0);
+
+  // ---- monitors ----------------------------------------------------------
+
+  /// Values printf'd by a given source router address, in arrival order.
+  std::deque<std::uint16_t>& printf_log(std::uint8_t source) {
+    return printf_log_[source];
+  }
+
+  bool has_scanf_request() const { return !scanf_requests_.empty(); }
+  ScanfRequest pop_scanf_request();
+
+  /// Automatic scanf responder; when set, requests are answered inline.
+  void set_scanf_provider(
+      std::function<std::uint16_t(std::uint8_t source)> fn) {
+    scanf_provider_ = std::move(fn);
+  }
+
+  bool has_read_result() const { return !read_results_.empty(); }
+  ReadResult pop_read_result();
+
+  // ---- blocking helpers (advance the simulator) --------------------------
+
+  /// Run until all queued serial bytes have been shifted out.
+  bool flush(std::uint64_t max_cycles = 50'000'000);
+
+  /// Full boot: sync + wait for the Serial IP to lock the baud rate.
+  bool boot(std::uint64_t max_cycles = 1'000'000);
+
+  /// Blocking read: issues the request and waits for all words.
+  std::optional<std::vector<std::uint16_t>> read_memory_blocking(
+      std::uint8_t target, std::uint16_t addr, std::uint16_t count,
+      std::uint64_t max_cycles = 50'000'000);
+
+  /// Wait until `n` printf values from `source` are available.
+  bool wait_printf(std::uint8_t source, std::size_t n,
+                   std::uint64_t max_cycles = 50'000'000);
+
+  bool tx_idle() const { return tx_.idle(); }
+  unsigned divisor() const { return tx_.divisor(); }
+
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
+  void eval() override;
+  void reset() override;
+
+ private:
+  void send_byte(std::uint8_t b) {
+    tx_.send(b);
+    ++bytes_sent_;
+  }
+  void send_word(std::uint16_t w) {
+    send_byte(static_cast<std::uint8_t>(w >> 8));
+    send_byte(static_cast<std::uint8_t>(w & 0xFF));
+  }
+  void parse_frames();
+
+  sim::Simulator* sim_;
+  sys::MultiNoc* system_;
+  serial::UartTx tx_;
+  serial::UartRx rx_;
+
+  std::vector<std::uint8_t> frame_;
+  std::map<std::uint8_t, std::deque<std::uint16_t>> printf_log_;
+  std::deque<ScanfRequest> scanf_requests_;
+  std::deque<ReadResult> read_results_;
+  std::function<std::uint16_t(std::uint8_t)> scanf_provider_;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace mn::host

@@ -1,0 +1,135 @@
+#include "host/monitor.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mn::host {
+
+namespace {
+
+std::optional<std::uint16_t> hex_token(const std::string& tok) {
+  if (tok.empty() || tok.size() > 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : tok) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return std::nullopt;
+    v = v * 16 + static_cast<std::uint32_t>(d);
+  }
+  return static_cast<std::uint16_t>(v);
+}
+
+/// Logical IP number of Fig. 1 -> router address.
+std::optional<std::uint8_t> ip_address(sys::MultiNoc& system, unsigned ip) {
+  if (ip >= 1 && ip <= system.processor_count()) {
+    return system.processor(ip - 1).config().self_addr;
+  }
+  if (ip == system.processor_count() + 1 && system.memory_count() > 0) {
+    return noc::encode_xy(system.config().memory_nodes[0]);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<MonitorCommand> parse_monitor_command(const std::string& line,
+                                                    std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+
+  std::istringstream in(line);
+  std::vector<std::uint16_t> toks;
+  std::string tok;
+  while (in >> tok) {
+    const auto v = hex_token(tok);
+    if (!v) return fail("not a hex byte: '" + tok + "'");
+    toks.push_back(*v);
+  }
+  if (toks.empty()) return fail("empty command");
+
+  MonitorCommand cmd;
+  switch (toks[0]) {
+    case 0x00:  // read: 00 ip count addr_hi addr_lo
+      if (toks.size() != 5) return fail("read needs: 00 ip count a_hi a_lo");
+      cmd.kind = MonitorCommand::Kind::kRead;
+      cmd.ip = toks[1];
+      cmd.count = toks[2];
+      cmd.addr = static_cast<std::uint16_t>((toks[3] << 8) | toks[4]);
+      return cmd;
+    case 0x03:  // write: 03 ip count a_hi a_lo w...
+      if (toks.size() < 5) {
+        return fail("write needs: 03 ip count a_hi a_lo words...");
+      }
+      cmd.kind = MonitorCommand::Kind::kWrite;
+      cmd.ip = toks[1];
+      cmd.count = toks[2];
+      cmd.addr = static_cast<std::uint16_t>((toks[3] << 8) | toks[4]);
+      cmd.words.assign(toks.begin() + 5, toks.end());
+      if (cmd.words.size() != cmd.count) {
+        return fail("write word count mismatch");
+      }
+      return cmd;
+    case 0x04:  // activate: 04 ip
+      if (toks.size() != 2) return fail("activate needs: 04 ip");
+      cmd.kind = MonitorCommand::Kind::kActivate;
+      cmd.ip = toks[1];
+      return cmd;
+    case 0x07:  // scanf return: 07 ip w_hi w_lo
+      if (toks.size() != 4) return fail("scanf-return needs: 07 ip hi lo");
+      cmd.kind = MonitorCommand::Kind::kScanfReturn;
+      cmd.ip = toks[1];
+      cmd.words = {static_cast<std::uint16_t>((toks[2] << 8) | toks[3])};
+      return cmd;
+    default:
+      return fail("unknown operation");
+  }
+}
+
+std::string run_monitor_command(sim::Simulator& sim, sys::MultiNoc& system,
+                                Host& host, const MonitorCommand& cmd) {
+  const auto addr = ip_address(system, cmd.ip);
+  if (!addr) return "error: no such IP";
+
+  std::ostringstream out;
+  out << std::hex << std::uppercase << std::setfill('0');
+  switch (cmd.kind) {
+    case MonitorCommand::Kind::kRead: {
+      const auto words =
+          host.read_memory_blocking(*addr, cmd.addr, cmd.count);
+      if (!words) return "error: read timed out";
+      out << "read " << std::setw(4) << cmd.addr << ':';
+      for (auto w : *words) out << ' ' << std::setw(4) << w;
+      return out.str();
+    }
+    case MonitorCommand::Kind::kWrite:
+      host.write_memory(*addr, cmd.addr, cmd.words);
+      if (!host.flush()) return "error: write timed out";
+      out << "wrote " << std::dec << cmd.words.size() << " word(s) at 0x"
+          << std::hex << std::setw(4) << cmd.addr;
+      return out.str();
+    case MonitorCommand::Kind::kActivate:
+      host.activate(*addr);
+      if (!host.flush()) return "error: activate timed out";
+      (void)sim;
+      return "activated";
+    case MonitorCommand::Kind::kScanfReturn:
+      host.scanf_return(*addr, cmd.words[0]);
+      if (!host.flush()) return "error: scanf-return timed out";
+      return "sent";
+  }
+  return "error";
+}
+
+std::string run_monitor_line(sim::Simulator& sim, sys::MultiNoc& system,
+                             Host& host, const std::string& line) {
+  std::string error;
+  const auto cmd = parse_monitor_command(line, &error);
+  if (!cmd) return "error: " + error;
+  return run_monitor_command(sim, system, host, *cmd);
+}
+
+}  // namespace mn::host

@@ -1,0 +1,46 @@
+#pragma once
+// The Fig. 9 debug console syntax. The paper: "the user has typed
+// '00 01 01 00 20', meaning a read operation (00) from P1 processor local
+// memory (01), reading just one memory position (01) and starting at
+// address 0020H."
+//
+// Grammar (hex byte tokens):
+//   00 <ip> <count> <addr_hi> <addr_lo>            read memory
+//   03 <ip> <count> <addr_hi> <addr_lo> <words..>  write memory
+//   04 <ip>                                        activate processor
+//   07 <ip> <word_hi> <word_lo>                    scanf return
+// where <ip> is the logical IP number of Fig. 1: 01 = processor 1,
+// 02 = processor 2, 03 = memory IP.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "host/host.hpp"
+
+namespace mn::host {
+
+struct MonitorCommand {
+  enum class Kind { kRead, kWrite, kActivate, kScanfReturn };
+  Kind kind = Kind::kRead;
+  unsigned ip = 0;  ///< logical IP number (1-based; 1..N procs, N+1 = mem)
+  std::uint16_t addr = 0;
+  std::uint16_t count = 0;
+  std::vector<std::uint16_t> words;
+};
+
+/// Parse a Fig. 9 style command line. Returns nullopt with `error` set on
+/// malformed input.
+std::optional<MonitorCommand> parse_monitor_command(const std::string& line,
+                                                    std::string* error);
+
+/// Execute a command against a running system; returns the console
+/// response text (e.g. the words read, rendered as hex).
+std::string run_monitor_command(sim::Simulator& sim, sys::MultiNoc& system,
+                                Host& host, const MonitorCommand& cmd);
+
+/// Convenience: parse + execute.
+std::string run_monitor_line(sim::Simulator& sim, sys::MultiNoc& system,
+                             Host& host, const std::string& line);
+
+}  // namespace mn::host

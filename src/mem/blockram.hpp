@@ -1,0 +1,80 @@
+#pragma once
+// Xilinx BlockRAM bank model. Each Memory IP contains 4 BlockRAM modules,
+// each organized as 1024 x 4-bit words, accessed in parallel to form
+// 16-bit words (paper §2.3, Fig. 4).
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mn::mem {
+
+/// One 1024 x 4-bit BlockRAM with access accounting.
+class BlockRam {
+ public:
+  static constexpr std::size_t kWords = 1024;
+
+  std::uint8_t read(std::uint16_t addr) {
+    assert(addr < kWords);
+    ++reads_;
+    return data_[addr];
+  }
+
+  /// Debug view that does not count as a hardware access.
+  std::uint8_t peek(std::uint16_t addr) const {
+    assert(addr < kWords);
+    return data_[addr];
+  }
+
+  void write(std::uint16_t addr, std::uint8_t nibble) {
+    assert(addr < kWords);
+    ++writes_;
+    data_[addr] = nibble & 0x0F;
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+  void clear() {
+    data_.fill(0);
+    reads_ = 0;
+    writes_ = 0;
+  }
+
+ private:
+  std::array<std::uint8_t, kWords> data_{};
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+/// Four banks accessed in parallel: bank k holds bits [4k+3 .. 4k].
+class BankedMemory {
+ public:
+  static constexpr std::size_t kWords = BlockRam::kWords;
+
+  std::uint16_t read(std::uint16_t addr) {
+    std::uint16_t w = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      w |= static_cast<std::uint16_t>(banks_[k].read(addr)) << (4 * k);
+    }
+    return w;
+  }
+
+  void write(std::uint16_t addr, std::uint16_t value) {
+    for (unsigned k = 0; k < 4; ++k) {
+      banks_[k].write(addr, static_cast<std::uint8_t>(value >> (4 * k)));
+    }
+  }
+
+  const BlockRam& bank(unsigned k) const { return banks_[k]; }
+
+  void clear() {
+    for (auto& b : banks_) b.clear();
+  }
+
+ private:
+  std::array<BlockRam, 4> banks_;
+};
+
+}  // namespace mn::mem

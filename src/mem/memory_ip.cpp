@@ -1,0 +1,80 @@
+#include "mem/memory_ip.hpp"
+
+#include <algorithm>
+
+namespace mn::mem {
+
+bool MemoryServiceLogic::handle(const noc::ServiceMessage& msg,
+                                std::deque<noc::ServiceMessage>& replies) {
+  using noc::Service;
+  switch (msg.service) {
+    case Service::kWriteMem: {
+      std::uint16_t addr = msg.addr;
+      for (std::uint16_t w : msg.words) {
+        if (addr < BankedMemory::kWords) mem_->write(addr, w);
+        ++addr;
+      }
+      return true;
+    }
+    case Service::kReadMem: {
+      // Chunk the reply to the packet payload budget.
+      const std::size_t max_words =
+          noc::max_words_per_packet(Service::kReadReturn);
+      std::uint16_t addr = msg.addr;
+      std::uint32_t remaining = msg.count;
+      do {
+        const std::size_t n =
+            std::min<std::uint32_t>(remaining,
+                                    static_cast<std::uint32_t>(max_words));
+        std::vector<std::uint16_t> words;
+        words.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint16_t a = static_cast<std::uint16_t>(addr + i);
+          words.push_back(a < BankedMemory::kWords ? mem_->read(a) : 0);
+        }
+        replies.push_back(
+            noc::make_read_return(self_, msg.source,
+                                  addr, std::move(words)));
+        addr = static_cast<std::uint16_t>(addr + n);
+        remaining -= static_cast<std::uint32_t>(n);
+      } while (remaining > 0);
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+MemoryIp::MemoryIp(sim::Simulator& sim, std::string name,
+                   std::uint8_t self_addr, noc::LinkWires& to_router,
+                   noc::LinkWires& from_router)
+    : sim::Component(std::move(name)),
+      ni_(sim, this->name() + ".ni", to_router, from_router),
+      logic_(mem_, self_addr) {
+  sim.add(this);
+}
+
+void MemoryIp::eval() {
+  // Handle one incoming request per cycle (single control logic).
+  if (ni_.has_packet()) {
+    const noc::ReceivedPacket rp = ni_.pop_packet();
+    const auto msg = noc::decode(rp.packet, logic_.self_addr());
+    if (msg && logic_.handle(*msg, pending_replies_)) {
+      ++requests_served_;
+    }
+  }
+  // Stream out replies; wait for the NI to drain before queuing the next
+  // packet (models the single shared NoC interface).
+  if (!pending_replies_.empty() && ni_.tx_idle()) {
+    ni_.send_packet(noc::encode(pending_replies_.front()));
+    pending_replies_.pop_front();
+  }
+}
+
+void MemoryIp::reset() {
+  mem_.clear();
+  pending_replies_.clear();
+  requests_served_ = 0;
+}
+
+}  // namespace mn::mem

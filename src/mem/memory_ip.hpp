@@ -1,0 +1,68 @@
+#pragma once
+// Memory IP core (paper §2.3): 1K x 16-bit storage built from 4 BlockRAMs,
+// accessible through a processor interface and/or the NoC interface.
+//
+// Two deployment modes:
+//  * standalone `MemoryIp` component — the remote memory at node 11; owns
+//    its network interface and answers read/write service packets;
+//  * embedded inside a Processor IP — the ProcessorIp control logic owns
+//    the (single, shared) network interface and drives the same
+//    `MemoryServiceLogic`, with the busyNoCR8/busyNoCMem interlock giving
+//    the processor priority.
+
+#include <cstdint>
+#include <deque>
+
+#include "mem/blockram.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/services.hpp"
+#include "sim/component.hpp"
+
+namespace mn::mem {
+
+/// Stateless-ish handler translating memory service requests into effects
+/// on a BankedMemory and reply messages.
+class MemoryServiceLogic {
+ public:
+  explicit MemoryServiceLogic(BankedMemory& mem, std::uint8_t self_addr)
+      : mem_(&mem), self_(self_addr) {}
+
+  /// Apply a request. Write requests mutate memory and produce no reply.
+  /// Read requests produce one or more read-return messages (chunked to
+  /// the packet payload budget), appended to `replies`.
+  /// Returns true if the message was a memory service this logic handles.
+  bool handle(const noc::ServiceMessage& msg,
+              std::deque<noc::ServiceMessage>& replies);
+
+  std::uint8_t self_addr() const { return self_; }
+  void set_self_addr(std::uint8_t a) { self_ = a; }
+
+ private:
+  BankedMemory* mem_;
+  std::uint8_t self_;
+};
+
+/// Standalone remote Memory IP component.
+class MemoryIp final : public sim::Component {
+ public:
+  MemoryIp(sim::Simulator& sim, std::string name, std::uint8_t self_addr,
+           noc::LinkWires& to_router, noc::LinkWires& from_router);
+
+  void eval() override;
+  void reset() override;
+
+  BankedMemory& storage() { return mem_; }
+  const BankedMemory& storage() const { return mem_; }
+  noc::NetworkInterface& ni() { return ni_; }
+
+  std::uint64_t requests_served() const { return requests_served_; }
+
+ private:
+  BankedMemory mem_;
+  noc::NetworkInterface ni_;
+  MemoryServiceLogic logic_;
+  std::deque<noc::ServiceMessage> pending_replies_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace mn::mem

@@ -1,0 +1,415 @@
+#include "mpsim/mpsim.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "system/address_map.hpp"
+
+namespace mn::mpsim {
+
+const char* state_name(ProcState s) {
+  switch (s) {
+    case ProcState::kIdle: return "idle";
+    case ProcState::kRunning: return "running";
+    case ProcState::kWaiting: return "waiting";
+    case ProcState::kAwaitingHost: return "awaiting-host";
+    case ProcState::kHalted: return "halted";
+  }
+  return "?";
+}
+
+const char* stop_reason_name(StopReason r) {
+  switch (r) {
+    case StopReason::kAllHalted: return "all-halted";
+    case StopReason::kBreakpoint: return "breakpoint";
+    case StopReason::kWatchpoint: return "watchpoint";
+    case StopReason::kDeadlock: return "deadlock";
+    case StopReason::kAwaitingHost: return "awaiting-host";
+    case StopReason::kStepLimit: return "step-limit";
+  }
+  return "?";
+}
+
+MultiSim::MultiSim(Config cfg) : cfg_(cfg) {
+  assert(cfg.processors >= 1);
+  procs_.resize(cfg.processors);
+  for (auto& p : procs_) p.local.assign(cfg.local_words, 0);
+  remote_.assign(cfg.remote_words, 0);
+}
+
+void MultiSim::load(unsigned proc, const std::vector<std::uint16_t>& image,
+                    std::uint16_t base) {
+  auto& local = procs_[proc].local;
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    if (base + i < local.size()) local[base + i] = image[i];
+  }
+}
+
+void MultiSim::write_remote(std::uint16_t addr,
+                            const std::vector<std::uint16_t>& words) {
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (addr + i < remote_.size()) remote_[addr + i] = words[i];
+  }
+}
+
+std::vector<std::uint16_t> MultiSim::read_remote(std::uint16_t addr,
+                                                 std::size_t count) const {
+  std::vector<std::uint16_t> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(addr + i < remote_.size() ? remote_[addr + i] : 0);
+  }
+  return out;
+}
+
+void MultiSim::activate(unsigned proc) {
+  auto& p = procs_[proc];
+  p.pc = 0;
+  p.state = ProcState::kRunning;
+}
+
+void MultiSim::scanf_return(unsigned proc, std::uint16_t value) {
+  procs_[proc].scanf_replies.push_back(value);
+  if (procs_[proc].state == ProcState::kAwaitingHost) {
+    procs_[proc].state = ProcState::kRunning;
+  }
+}
+
+std::vector<unsigned> MultiSim::pending_scanf() const {
+  std::vector<unsigned> out;
+  for (unsigned i = 0; i < procs_.size(); ++i) {
+    if (procs_[i].state == ProcState::kAwaitingHost) out.push_back(i);
+  }
+  return out;
+}
+
+void MultiSim::add_breakpoint(unsigned proc, std::uint16_t addr) {
+  breakpoints_.insert({proc, addr});
+}
+void MultiSim::remove_breakpoint(unsigned proc, std::uint16_t addr) {
+  breakpoints_.erase({proc, addr});
+}
+void MultiSim::add_watchpoint(unsigned p, std::uint16_t addr) {
+  watchpoints_.insert({p, addr});
+}
+void MultiSim::remove_watchpoint(unsigned p, std::uint16_t addr) {
+  watchpoints_.erase({p, addr});
+}
+
+std::vector<TraceEntry> MultiSim::trace(unsigned proc) const {
+  return {procs_[proc].trace.begin(), procs_[proc].trace.end()};
+}
+
+void MultiSim::push_trace(Proc& pr, std::uint16_t pc, std::uint16_t word) {
+  if (pr.trace.size() >= cfg_.trace_depth) pr.trace.pop_front();
+  pr.trace.push_back({pc, word, r8::disassemble(word)});
+}
+
+void MultiSim::record_write(unsigned owner, std::uint16_t addr,
+                            std::uint16_t value, unsigned writer) {
+  if (watchpoints_.count({owner, addr}) && !pending_stop_) {
+    StopInfo s;
+    s.reason = StopReason::kWatchpoint;
+    s.proc = writer;
+    s.addr = addr;
+    s.value = value;
+    std::ostringstream oss;
+    oss << "proc " << writer << " wrote 0x" << std::hex << value << " to ";
+    if (owner == kRemote) {
+      oss << "remote[0x" << addr << "]";
+    } else {
+      oss << "proc " << std::dec << owner << std::hex << " local[0x" << addr
+          << "]";
+    }
+    s.detail = oss.str();
+    pending_stop_ = s;
+  }
+}
+
+bool MultiSim::mem_read(unsigned p, std::uint16_t addr, std::uint16_t& out) {
+  auto& pr = procs_[p];
+  const sys::DecodedAddress d = sys::decode_address(addr);
+  switch (d.region) {
+    case sys::Region::kLocal:
+      out = d.offset < pr.local.size() ? pr.local[d.offset] : 0;
+      return true;
+    case sys::Region::kPeer: {
+      const unsigned peer = (p + 1) % procs_.size();
+      out = d.offset < procs_[peer].local.size()
+                ? procs_[peer].local[d.offset]
+                : 0;
+      ++pr.remote_accesses;
+      return true;
+    }
+    case sys::Region::kRemoteMem:
+      out = d.offset < remote_.size() ? remote_[d.offset] : 0;
+      ++pr.remote_accesses;
+      return true;
+    case sys::Region::kIo:
+      // scanf
+      if (!pr.scanf_replies.empty()) {
+        out = pr.scanf_replies.front();
+        pr.scanf_replies.pop_front();
+        return true;
+      }
+      if (on_scanf) {
+        const auto v = on_scanf(p);
+        if (v) {
+          out = *v;
+          return true;
+        }
+      }
+      pr.state = ProcState::kAwaitingHost;
+      return false;
+    default:
+      out = 0;
+      return true;
+  }
+}
+
+bool MultiSim::mem_write(unsigned p, std::uint16_t addr,
+                         std::uint16_t value) {
+  auto& pr = procs_[p];
+  const sys::DecodedAddress d = sys::decode_address(addr);
+  switch (d.region) {
+    case sys::Region::kLocal:
+      if (d.offset < pr.local.size()) {
+        pr.local[d.offset] = value;
+        record_write(p, d.offset, value, p);
+      }
+      return true;
+    case sys::Region::kPeer: {
+      const unsigned peer = (p + 1) % procs_.size();
+      if (d.offset < procs_[peer].local.size()) {
+        procs_[peer].local[d.offset] = value;
+        record_write(peer, d.offset, value, p);
+      }
+      ++pr.remote_accesses;
+      return true;
+    }
+    case sys::Region::kRemoteMem:
+      if (d.offset < remote_.size()) {
+        remote_[d.offset] = value;
+        record_write(kRemote, d.offset, value, p);
+      }
+      ++pr.remote_accesses;
+      return true;
+    case sys::Region::kIo:
+      pr.printf_log.push_back(value);
+      return true;
+    case sys::Region::kNotify: {
+      // value = 1-based number of the processor to wake.
+      const unsigned target = value == 0 ? 0 : (value - 1) % procs_.size();
+      ++procs_[target].notifies_pending[static_cast<std::uint8_t>(p + 1)];
+      if (procs_[target].state == ProcState::kWaiting &&
+          procs_[target].wait_for == p + 1) {
+        // The waiter re-executes its blocked ST and will now succeed.
+        procs_[target].state = ProcState::kRunning;
+      }
+      ++pr.notifies_sent;
+      return true;
+    }
+    case sys::Region::kWait: {
+      const auto notifier = static_cast<std::uint8_t>(value & 0xFF);
+      auto it = pr.notifies_pending.find(notifier);
+      if (it != pr.notifies_pending.end() && it->second > 0) {
+        --it->second;
+        pr.wait_for = 0;
+        return true;
+      }
+      pr.wait_for = notifier;
+      pr.state = ProcState::kWaiting;
+      return false;
+    }
+    case sys::Region::kInvalid:
+      return true;
+  }
+  return true;
+}
+
+bool MultiSim::step(unsigned p) {
+  auto& pr = procs_[p];
+  if (pr.state == ProcState::kIdle || pr.state == ProcState::kHalted) {
+    return false;
+  }
+  if (pr.state == ProcState::kWaiting ||
+      pr.state == ProcState::kAwaitingHost) {
+    // Re-try the blocked instruction only after an external event flipped
+    // the state back to kRunning.
+    return false;
+  }
+
+  const std::uint16_t instr_addr = pr.pc;
+  const std::uint16_t word =
+      instr_addr < pr.local.size() ? pr.local[instr_addr] : 0;
+  const auto decoded = r8::decode(word);
+  const r8::Instr i = decoded.value_or(r8::Instr{});
+
+  using r8::Opcode;
+
+  // Pre-compute the memory effect for LD/ST so blocking leaves PC intact.
+  if (i.op == Opcode::kLd) {
+    const auto addr =
+        static_cast<std::uint16_t>(pr.regs[i.rs1] + pr.regs[i.rs2]);
+    std::uint16_t v = 0;
+    if (!mem_read(p, addr, v)) return false;  // blocked in scanf
+    pr.regs[i.rt] = v;
+    ++pr.pc;
+    ++pr.instructions;
+    push_trace(pr, instr_addr, word);
+    return true;
+  }
+  if (i.op == Opcode::kSt) {
+    const auto addr =
+        static_cast<std::uint16_t>(pr.regs[i.rs1] + pr.regs[i.rs2]);
+    if (!mem_write(p, addr, pr.regs[i.rt])) return false;  // blocked in wait
+    ++pr.pc;
+    ++pr.instructions;
+    push_trace(pr, instr_addr, word);
+    return true;
+  }
+
+  ++pr.pc;
+  ++pr.instructions;
+  push_trace(pr, instr_addr, word);
+
+  if (r8::is_alu(i.op)) {
+    std::uint16_t a, b;
+    if (r8::format_of(i.op) == r8::Format::kRI) {
+      a = pr.regs[i.rt];
+      b = i.imm;
+    } else if (r8::format_of(i.op) == r8::Format::kRR) {
+      a = pr.regs[i.rs1];
+      b = 0;
+    } else {
+      a = pr.regs[i.rs1];
+      b = pr.regs[i.rs2];
+    }
+    const r8::AluResult r = r8::alu_eval(i.op, a, b, pr.flags);
+    pr.regs[i.rt] = r.value;
+    pr.flags = r.flags;
+    return true;
+  }
+
+  switch (i.op) {
+    case Opcode::kLdl:
+      pr.regs[i.rt] =
+          static_cast<std::uint16_t>((pr.regs[i.rt] & 0xFF00) | i.imm);
+      return true;
+    case Opcode::kLdh:
+      pr.regs[i.rt] = static_cast<std::uint16_t>((i.imm << 8) |
+                                                 (pr.regs[i.rt] & 0x00FF));
+      return true;
+    case Opcode::kPush:
+      pr.local[pr.sp % pr.local.size()] = pr.regs[i.rs1];
+      --pr.sp;
+      return true;
+    case Opcode::kPop:
+      ++pr.sp;
+      pr.regs[i.rs1] = pr.local[pr.sp % pr.local.size()];
+      return true;
+    case Opcode::kJsr:
+      pr.local[pr.sp % pr.local.size()] = pr.pc;
+      --pr.sp;
+      pr.pc = pr.regs[i.rs1];
+      return true;
+    case Opcode::kJsrd:
+      pr.local[pr.sp % pr.local.size()] = pr.pc;
+      --pr.sp;
+      pr.pc = static_cast<std::uint16_t>(instr_addr + i.disp);
+      return true;
+    case Opcode::kRts:
+      ++pr.sp;
+      pr.pc = pr.local[pr.sp % pr.local.size()];
+      return true;
+    case Opcode::kLdsp:
+      pr.sp = pr.regs[i.rs1];
+      return true;
+    case Opcode::kHalt:
+      pr.state = ProcState::kHalted;
+      return true;
+    case Opcode::kNop:
+      return true;
+    case Opcode::kJmp:
+    case Opcode::kJmpn:
+    case Opcode::kJmpz:
+    case Opcode::kJmpc:
+    case Opcode::kJmpv:
+      if (r8::jump_taken(i.op, pr.flags)) pr.pc = pr.regs[i.rs1];
+      return true;
+    case Opcode::kJmpd:
+    case Opcode::kJmpnd:
+    case Opcode::kJmpzd:
+    case Opcode::kJmpcd:
+    case Opcode::kJmpvd:
+      if (r8::jump_taken(i.op, pr.flags)) {
+        pr.pc = static_cast<std::uint16_t>(instr_addr + i.disp);
+      }
+      return true;
+    default:
+      return true;
+  }
+}
+
+StopInfo MultiSim::run(std::uint64_t max_steps) {
+  pending_stop_.reset();
+  std::uint64_t retired = 0;
+  while (retired < max_steps) {
+    bool progress = false;
+    bool any_active = false;
+    for (unsigned p = 0; p < procs_.size(); ++p) {
+      auto& pr = procs_[p];
+      if (pr.state == ProcState::kIdle || pr.state == ProcState::kHalted) {
+        continue;
+      }
+      any_active = true;
+      // Breakpoint: stop before executing the instruction.
+      if (pr.state == ProcState::kRunning &&
+          breakpoints_.count({p, pr.pc})) {
+        StopInfo s;
+        s.reason = StopReason::kBreakpoint;
+        s.proc = p;
+        s.addr = pr.pc;
+        std::ostringstream oss;
+        oss << "proc " << p << " at 0x" << std::hex << pr.pc;
+        s.detail = oss.str();
+        // Let execution resume past it on the next run() call.
+        breakpoints_.erase({p, pr.pc});
+        return s;
+      }
+      if (step(p)) {
+        progress = true;
+        ++retired;
+        if (pending_stop_) {
+          StopInfo s = *pending_stop_;
+          pending_stop_.reset();
+          return s;
+        }
+      }
+    }
+    if (!any_active) {
+      return {StopReason::kAllHalted, 0, 0, 0, "all processors halted"};
+    }
+    if (!progress) {
+      // No processor could advance: classify the blockage.
+      bool any_scanf = false;
+      std::ostringstream oss;
+      for (unsigned p = 0; p < procs_.size(); ++p) {
+        const auto& pr = procs_[p];
+        if (pr.state == ProcState::kAwaitingHost) any_scanf = true;
+        if (pr.state == ProcState::kWaiting) {
+          oss << "proc " << p << " waits for notify from processor "
+              << int(pr.wait_for) << "; ";
+        }
+      }
+      if (any_scanf) {
+        return {StopReason::kAwaitingHost, 0, 0, 0,
+                "blocked on unanswered scanf"};
+      }
+      return {StopReason::kDeadlock, 0, 0, 0, oss.str()};
+    }
+  }
+  return {StopReason::kStepLimit, 0, 0, 0, "step budget exhausted"};
+}
+
+}  // namespace mn::mpsim

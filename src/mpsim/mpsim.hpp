@@ -1,0 +1,187 @@
+#pragma once
+// Multiprocessor functional simulator — the paper's §5 future-work tool:
+// "the development of a multiprocessor simulator. This tool is important
+// to detect distributed application errors and to synchronize software
+// running on different processors." (The original R8 Simulator "is not
+// able to simulate a multiprocessed application", §4.)
+//
+// Simulates N R8 processors with MultiNoC address semantics (local /
+// peer-window / remote-memory / wait / notify / printf / scanf) at
+// instruction granularity, with the debugging machinery the paper asks
+// for: breakpoints, watchpoints, execution traces, single-stepping, and
+// automatic deadlock detection across processors.
+//
+// It is intentionally not cycle-accurate: remote accesses complete
+// instantly. Programs validated here run unchanged on the cycle-accurate
+// MultiNoc (tests cross-check both).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "r8/alu.hpp"
+#include "r8/isa.hpp"
+
+namespace mn::mpsim {
+
+struct Config {
+  unsigned processors = 2;
+  std::size_t local_words = 1024;   ///< per-processor local memory
+  std::size_t remote_words = 1024;  ///< shared Memory IP
+  std::size_t trace_depth = 32;     ///< per-processor instruction trace
+};
+
+enum class ProcState : std::uint8_t {
+  kIdle,          ///< never activated
+  kRunning,
+  kWaiting,       ///< blocked in a wait command
+  kAwaitingHost,  ///< blocked in scanf, no reply yet
+  kHalted,
+};
+
+const char* state_name(ProcState s);
+
+/// Why run() returned.
+enum class StopReason : std::uint8_t {
+  kAllHalted,     ///< every activated processor executed HALT
+  kBreakpoint,    ///< about to execute a breakpointed address
+  kWatchpoint,    ///< a watched location was written
+  kDeadlock,      ///< every runnable processor waits on a notify that can
+                  ///< no longer arrive
+  kAwaitingHost,  ///< all progress blocked on unanswered scanf requests
+  kStepLimit,
+};
+
+const char* stop_reason_name(StopReason r);
+
+struct StopInfo {
+  StopReason reason = StopReason::kStepLimit;
+  unsigned proc = 0;        ///< processor that triggered the stop
+  std::uint16_t addr = 0;   ///< breakpoint pc / watched address
+  std::uint16_t value = 0;  ///< value written (watchpoints)
+  std::string detail;       ///< human-readable description
+};
+
+struct TraceEntry {
+  std::uint16_t pc = 0;
+  std::uint16_t word = 0;
+  std::string disasm;
+};
+
+class MultiSim {
+ public:
+  explicit MultiSim(Config cfg = {});
+
+  // ---- setup (the host flow of paper Fig. 8) ----------------------------
+
+  void load(unsigned proc, const std::vector<std::uint16_t>& image,
+            std::uint16_t base = 0);
+  void write_remote(std::uint16_t addr,
+                    const std::vector<std::uint16_t>& words);
+  std::vector<std::uint16_t> read_remote(std::uint16_t addr,
+                                         std::size_t count) const;
+  void activate(unsigned proc);
+
+  // ---- host-side I/O -----------------------------------------------------
+
+  /// Values printf'd by each processor, in order.
+  std::deque<std::uint16_t>& printf_log(unsigned proc) {
+    return procs_[proc].printf_log;
+  }
+
+  /// Optional immediate scanf provider; when unset, scanf blocks until
+  /// scanf_return() is called (requests appear in pending_scanf()).
+  std::function<std::optional<std::uint16_t>(unsigned proc)> on_scanf;
+  void scanf_return(unsigned proc, std::uint16_t value);
+  std::vector<unsigned> pending_scanf() const;
+
+  // ---- execution ----------------------------------------------------------
+
+  /// Execute one instruction on one processor. Returns true if it made
+  /// progress (false: blocked, halted or idle).
+  bool step(unsigned proc);
+
+  /// Round-robin execution until a stop condition or `max_steps` total
+  /// retired instructions.
+  StopInfo run(std::uint64_t max_steps = 10'000'000);
+
+  // ---- debugging -----------------------------------------------------------
+
+  void add_breakpoint(unsigned proc, std::uint16_t addr);
+  void remove_breakpoint(unsigned proc, std::uint16_t addr);
+
+  /// Watch writes to a processor's local memory or the remote memory
+  /// (proc = kRemote). Triggers on any writer, including remote stores
+  /// from other processors — the cross-processor data-race lens.
+  static constexpr unsigned kRemote = 0xFFFFFFFFu;
+  void add_watchpoint(unsigned proc_or_remote, std::uint16_t addr);
+  void remove_watchpoint(unsigned proc_or_remote, std::uint16_t addr);
+
+  /// Last executed instructions, oldest first.
+  std::vector<TraceEntry> trace(unsigned proc) const;
+
+  // ---- inspection ------------------------------------------------------------
+
+  unsigned processor_count() const {
+    return static_cast<unsigned>(procs_.size());
+  }
+  ProcState state(unsigned proc) const { return procs_[proc].state; }
+  std::uint16_t pc(unsigned proc) const { return procs_[proc].pc; }
+  std::uint16_t sp(unsigned proc) const { return procs_[proc].sp; }
+  std::uint16_t reg(unsigned proc, unsigned r) const {
+    return procs_[proc].regs[r & 0xF];
+  }
+  std::uint16_t local_mem(unsigned proc, std::uint16_t addr) const {
+    return procs_[proc].local[addr % procs_[proc].local.size()];
+  }
+  std::uint64_t instructions(unsigned proc) const {
+    return procs_[proc].instructions;
+  }
+  std::uint64_t notifies_sent(unsigned proc) const {
+    return procs_[proc].notifies_sent;
+  }
+  std::uint64_t remote_accesses(unsigned proc) const {
+    return procs_[proc].remote_accesses;
+  }
+
+ private:
+  struct Proc {
+    std::vector<std::uint16_t> local;
+    std::array<std::uint16_t, 16> regs{};
+    std::uint16_t pc = 0;
+    std::uint16_t sp = 0;
+    r8::Flags flags;
+    ProcState state = ProcState::kIdle;
+    std::uint8_t wait_for = 0;  ///< notifier number while kWaiting
+    std::map<std::uint8_t, std::uint32_t> notifies_pending;
+    std::deque<std::uint16_t> printf_log;
+    std::deque<std::uint16_t> scanf_replies;
+    std::uint64_t instructions = 0;
+    std::uint64_t notifies_sent = 0;
+    std::uint64_t remote_accesses = 0;
+    std::deque<TraceEntry> trace;
+  };
+
+  /// Memory access through the MultiNoC address map. Returns false when
+  /// the access blocks (wait/scanf).
+  bool mem_read(unsigned p, std::uint16_t addr, std::uint16_t& out);
+  bool mem_write(unsigned p, std::uint16_t addr, std::uint16_t value);
+
+  void record_write(unsigned owner, std::uint16_t addr, std::uint16_t value,
+                    unsigned writer);
+  void push_trace(Proc& pr, std::uint16_t pc, std::uint16_t word);
+
+  Config cfg_;
+  std::vector<Proc> procs_;
+  std::vector<std::uint16_t> remote_;
+  std::set<std::pair<unsigned, std::uint16_t>> breakpoints_;
+  std::set<std::pair<unsigned, std::uint16_t>> watchpoints_;
+  std::optional<StopInfo> pending_stop_;  ///< set by watchpoint hits
+};
+
+}  // namespace mn::mpsim

@@ -1,0 +1,38 @@
+#pragma once
+// Round-robin arbiter (paper §2.1: "A round-robin arbitration scheme is
+// used to avoid starvation").
+
+#include <cstdint>
+#include <vector>
+
+namespace mn::noc {
+
+/// N-way round-robin arbiter. After a grant, the granted index gets the
+/// lowest priority on the next arbitration, guaranteeing every persistent
+/// requester is served within N grants.
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(std::size_t n) : n_(n) {}
+
+  /// Grant one of the requesting indices, or -1 when none request.
+  int arbitrate(const std::vector<bool>& requests) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      const std::size_t idx = (last_ + 1 + i) % n_;
+      if (requests[idx]) {
+        last_ = idx;
+        return static_cast<int>(idx);
+      }
+    }
+    return -1;
+  }
+
+  std::size_t size() const { return n_; }
+
+  void reset() { last_ = n_ - 1; }
+
+ private:
+  std::size_t n_;
+  std::size_t last_ = n_ - 1;  ///< most recently granted index
+};
+
+}  // namespace mn::noc

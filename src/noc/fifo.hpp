@@ -1,0 +1,59 @@
+#pragma once
+// Circular FIFO used as router input buffer (paper: 2-flit circular FIFOs).
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace mn::noc {
+
+/// Bounded circular buffer. Capacity fixed at construction, matching the
+/// synthesized BRAM/register FIFOs of the original design.
+template <typename T>
+class Fifo {
+ public:
+  explicit Fifo(std::size_t capacity)
+      : buf_(capacity), capacity_(capacity) {
+    assert(capacity > 0);
+  }
+
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity_; }
+  std::size_t size() const { return count_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t free_slots() const { return capacity_ - count_; }
+
+  /// Oldest element; precondition: !empty().
+  const T& front() const {
+    assert(!empty());
+    return buf_[head_];
+  }
+
+  void push(const T& v) {
+    assert(!full());
+    buf_[tail_] = v;
+    tail_ = (tail_ + 1) % capacity_;
+    ++count_;
+  }
+
+  T pop() {
+    assert(!empty());
+    T v = buf_[head_];
+    head_ = (head_ + 1) % capacity_;
+    --count_;
+    return v;
+  }
+
+  void clear() {
+    head_ = tail_ = count_ = 0;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t tail_ = 0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace mn::noc

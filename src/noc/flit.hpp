@@ -1,0 +1,42 @@
+#pragma once
+// Flit: the unit of flow control in the Hermes NoC (8-bit payload).
+//
+// The hardware-visible content is the 8-bit `data` byte. The remaining
+// fields are simulation-only metadata used for measurement (latency
+// tracking) and debugging; no routing or IP logic may depend on them.
+
+#include <cstdint>
+
+namespace mn::noc {
+
+/// Router address encoding used by MultiNoC: high nibble = X, low = Y.
+struct XY {
+  std::uint8_t x = 0;
+  std::uint8_t y = 0;
+
+  constexpr bool operator==(const XY&) const = default;
+};
+
+constexpr std::uint8_t encode_xy(XY a) {
+  return static_cast<std::uint8_t>((a.x << 4) | (a.y & 0x0F));
+}
+
+constexpr XY decode_xy(std::uint8_t addr) {
+  return XY{static_cast<std::uint8_t>(addr >> 4),
+            static_cast<std::uint8_t>(addr & 0x0F)};
+}
+
+/// One flit. Default flit width in MultiNoC is 8 bits.
+struct Flit {
+  std::uint8_t data = 0;
+
+  // --- simulation-only metadata ---
+  std::uint32_t packet_id = 0;    ///< unique id stamped at injection
+  std::uint64_t inject_cycle = 0; ///< cycle the packet entered the source NI
+  bool is_header = false;         ///< true for the first (address) flit
+  bool is_tail = false;           ///< true for the last payload flit
+
+  constexpr bool operator==(const Flit& o) const { return data == o.data; }
+};
+
+}  // namespace mn::noc

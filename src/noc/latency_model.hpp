@@ -1,0 +1,43 @@
+#pragma once
+// Analytic latency & throughput models from paper §2.1.
+
+#include <cstdint>
+
+#include "noc/flit.hpp"
+#include "noc/routing.hpp"
+
+namespace mn::noc {
+
+/// Paper's minimal-latency formula:
+///     latency = (sum_{i=1..n} Ri + P) * 2
+/// where n = routers on the path (source and target included),
+/// Ri = routing time per router (>= 7 cycles), P = packet size in flits.
+constexpr std::uint64_t hermes_latency_formula(unsigned n_routers,
+                                               unsigned packet_flits,
+                                               unsigned ri = 7) {
+  return (static_cast<std::uint64_t>(n_routers) * ri + packet_flits) * 2;
+}
+
+/// Convenience: formula applied to a source/destination pair.
+constexpr std::uint64_t hermes_latency_formula(XY src, XY dst,
+                                               unsigned packet_flits,
+                                               unsigned ri = 7) {
+  return hermes_latency_formula(hop_routers(src, dst), packet_flits, ri);
+}
+
+/// Peak router throughput in bits per second (paper: 1 Gbit/s at 50 MHz
+/// with 8-bit flits): five simultaneous connections, each moving one flit
+/// every two cycles.
+constexpr double hermes_peak_router_throughput_bps(double clock_hz,
+                                                   unsigned flit_bits = 8,
+                                                   unsigned ports = 5) {
+  return clock_hz / 2.0 * flit_bits * ports;
+}
+
+/// Peak single-link bandwidth in bits per second.
+constexpr double hermes_link_bandwidth_bps(double clock_hz,
+                                           unsigned flit_bits = 8) {
+  return clock_hz / 2.0 * flit_bits;
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,87 @@
+#pragma once
+// Handshaked flit link between neighbouring routers (and router <-> IP).
+//
+// The original Hermes routers exchange flits with an asynchronous
+// tx/ack handshake whose cost is "at least 2 clock cycles per flit"
+// (paper §2.1, the x2 factor of the latency formula). We model it as a
+// two-phase *toggle* handshake over registered wires, which sustains
+// exactly one flit every two cycles and is race-free under the kernel's
+// two-phase commit:
+//
+//   cycle k  : sender drives data and toggles `tx`
+//   cycle k+1: receiver sees tx != ack, has space -> latches data,
+//              toggles `ack`
+//   cycle k+2: sender sees ack == tx -> may drive the next flit
+//
+// Backpressure: while the receiver has no buffer space it leaves `ack`
+// unchanged and the sender holds data/tx stable.
+
+#include <cstdint>
+
+#include "noc/fifo.hpp"
+#include "noc/flit.hpp"
+#include "sim/wire.hpp"
+
+namespace mn::noc {
+
+/// The wire bundle of one unidirectional link.
+struct LinkWires {
+  LinkWires(sim::WirePool& pool, const std::string& name)
+      : data(pool, name + ".data"),
+        tx(pool, name + ".tx", false),
+        ack(pool, name + ".ack", false) {}
+
+  sim::Wire<Flit> data;
+  sim::Wire<bool> tx;   ///< toggle: a change announces a new flit
+  sim::Wire<bool> ack;  ///< toggle: receiver echoes tx once latched
+};
+
+/// Sender half of the handshake; embedded in a component's eval().
+class LinkSender {
+ public:
+  explicit LinkSender(LinkWires& wires) : w_(&wires) {}
+
+  /// True when the previous flit was consumed and a new one may be offered.
+  bool ready() const { return w_->ack.read() == phase_; }
+
+  /// Offer a flit; precondition: ready(). The flit is latched by the
+  /// receiver no earlier than the next cycle.
+  void send(const Flit& f) {
+    phase_ = !phase_;
+    w_->data.write(f);
+    w_->tx.write(phase_);
+  }
+
+  void reset() { phase_ = false; }
+
+ private:
+  LinkWires* w_;
+  bool phase_ = false;  ///< value of tx after our last toggle
+};
+
+/// Receiver half; pushes latched flits into the destination FIFO.
+class LinkReceiver {
+ public:
+  LinkReceiver(LinkWires& wires, Fifo<Flit>& dest)
+      : w_(&wires), dest_(&dest) {}
+
+  /// Poll the link once per cycle; latches at most one flit.
+  /// Returns true if a flit was accepted this cycle.
+  bool poll() {
+    if (w_->tx.read() == phase_) return false;  // nothing new offered
+    if (dest_->full()) return false;            // backpressure
+    dest_->push(w_->data.read());
+    phase_ = !phase_;
+    w_->ack.write(phase_);
+    return true;
+  }
+
+  void reset() { phase_ = false; }
+
+ private:
+  LinkWires* w_;
+  Fifo<Flit>* dest_;
+  bool phase_ = false;  ///< value of ack after our last toggle
+};
+
+}  // namespace mn::noc

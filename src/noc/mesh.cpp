@@ -1,0 +1,92 @@
+#include "noc/mesh.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace mn::noc {
+
+Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
+           const RouterConfig& cfg)
+    : nx_(nx), ny_(ny) {
+  assert(nx >= 1 && ny >= 1 && nx <= 16 && ny <= 16);
+
+  routers_.reserve(node_count());
+  for (unsigned y = 0; y < ny; ++y) {
+    for (unsigned x = 0; x < nx; ++x) {
+      auto r = std::make_unique<Router>(
+          XY{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)},
+          cfg);
+      sim.add(r.get());
+      routers_.push_back(std::move(r));
+    }
+  }
+
+  auto wire_name = [](const char* kind, unsigned x, unsigned y) {
+    return std::string(kind) + std::to_string(x) + std::to_string(y);
+  };
+
+  // Horizontal neighbours: East/West pairs.
+  for (unsigned y = 0; y < ny; ++y) {
+    for (unsigned x = 0; x + 1 < nx; ++x) {
+      auto east = std::make_unique<LinkWires>(sim.wires(),
+                                              wire_name("lnkE", x, y));
+      auto west = std::make_unique<LinkWires>(sim.wires(),
+                                              wire_name("lnkW", x + 1, y));
+      router(x, y).connect_out(Port::kEast, *east);
+      router(x + 1, y).connect_in(Port::kWest, *east);
+      router(x + 1, y).connect_out(Port::kWest, *west);
+      router(x, y).connect_in(Port::kEast, *west);
+      wires_.push_back(std::move(east));
+      wires_.push_back(std::move(west));
+    }
+  }
+
+  // Vertical neighbours: North/South pairs.
+  for (unsigned y = 0; y + 1 < ny; ++y) {
+    for (unsigned x = 0; x < nx; ++x) {
+      auto north = std::make_unique<LinkWires>(sim.wires(),
+                                               wire_name("lnkN", x, y));
+      auto south = std::make_unique<LinkWires>(sim.wires(),
+                                               wire_name("lnkS", x, y + 1));
+      router(x, y).connect_out(Port::kNorth, *north);
+      router(x, y + 1).connect_in(Port::kSouth, *north);
+      router(x, y + 1).connect_out(Port::kSouth, *south);
+      router(x, y).connect_in(Port::kNorth, *south);
+      wires_.push_back(std::move(north));
+      wires_.push_back(std::move(south));
+    }
+  }
+
+  // Local ports.
+  local_in_.reserve(node_count());
+  local_out_.reserve(node_count());
+  for (unsigned y = 0; y < ny; ++y) {
+    for (unsigned x = 0; x < nx; ++x) {
+      auto in = std::make_unique<LinkWires>(sim.wires(),
+                                            wire_name("locIn", x, y));
+      auto out = std::make_unique<LinkWires>(sim.wires(),
+                                             wire_name("locOut", x, y));
+      router(x, y).connect_in(Port::kLocal, *in);
+      router(x, y).connect_out(Port::kLocal, *out);
+      local_in_.push_back(std::move(in));
+      local_out_.push_back(std::move(out));
+    }
+  }
+}
+
+RouterStats Mesh::total_stats() const {
+  RouterStats total;
+  for (const auto& r : routers_) {
+    const RouterStats& s = r->stats();
+    total.flits_forwarded += s.flits_forwarded;
+    total.packets_routed += s.packets_routed;
+    total.routing_rejects += s.routing_rejects;
+    for (std::size_t i = 0; i < kNumPorts; ++i) {
+      total.grants[i] += s.grants[i];
+      total.port_flits[i] += s.port_flits[i];
+    }
+  }
+  return total;
+}
+
+}  // namespace mn::noc

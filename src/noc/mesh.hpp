@@ -1,0 +1,59 @@
+#pragma once
+// Mesh fabric builder: instantiates an NX x NY grid of Hermes routers and
+// the handshake wire bundles between neighbours, exposing the local-port
+// wires each IP attaches to (paper: "mesh topology, justified to
+// facilitate routing, IP cores placement and chip layout generation").
+
+#include <memory>
+#include <vector>
+
+#include "noc/link.hpp"
+#include "noc/router.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn::noc {
+
+class Mesh {
+ public:
+  /// Builds routers and links and registers them with the simulator.
+  Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
+       const RouterConfig& cfg = {});
+
+  unsigned nx() const { return nx_; }
+  unsigned ny() const { return ny_; }
+  std::size_t node_count() const {
+    return static_cast<std::size_t>(nx_) * ny_;
+  }
+
+  Router& router(unsigned x, unsigned y) { return *routers_[index(x, y)]; }
+  const Router& router(unsigned x, unsigned y) const {
+    return *routers_[index(x, y)];
+  }
+
+  /// Wire bundle an IP drives to inject flits (IP is the sender).
+  LinkWires& local_in(unsigned x, unsigned y) {
+    return *local_in_[index(x, y)];
+  }
+
+  /// Wire bundle the router drives to deliver flits to the IP.
+  LinkWires& local_out(unsigned x, unsigned y) {
+    return *local_out_[index(x, y)];
+  }
+
+  /// Aggregate statistics over all routers.
+  RouterStats total_stats() const;
+
+ private:
+  std::size_t index(unsigned x, unsigned y) const {
+    return static_cast<std::size_t>(y) * nx_ + x;
+  }
+
+  unsigned nx_;
+  unsigned ny_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<LinkWires>> wires_;  ///< inter-router bundles
+  std::vector<std::unique_ptr<LinkWires>> local_in_;
+  std::vector<std::unique_ptr<LinkWires>> local_out_;
+};
+
+}  // namespace mn::noc

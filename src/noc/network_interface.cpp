@@ -1,0 +1,65 @@
+#include "noc/network_interface.hpp"
+
+namespace mn::noc {
+
+NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
+                                   LinkWires& to_router,
+                                   LinkWires& from_router,
+                                   std::size_t rx_buffer_flits)
+    : sim::Component(std::move(name)),
+      sim_(&sim),
+      tx_(to_router),
+      rx_fifo_(rx_buffer_flits),
+      rx_(from_router, rx_fifo_) {
+  sim.add(this);
+}
+
+void NetworkInterface::send_packet(const Packet& p) {
+  const auto flits = to_flits(p, next_packet_id_++, sim_->cycle());
+  tx_queue_.insert(tx_queue_.end(), flits.begin(), flits.end());
+  ++packets_sent_;
+}
+
+ReceivedPacket NetworkInterface::pop_packet() {
+  ReceivedPacket p = std::move(inbox_.front());
+  inbox_.pop_front();
+  return p;
+}
+
+void NetworkInterface::eval() {
+  // Transmit side: one flit per handshake completion.
+  if (!tx_queue_.empty() && tx_.ready()) {
+    tx_.send(tx_queue_.front());
+    tx_queue_.pop_front();
+  }
+
+  // Receive side: latch at most one flit per cycle, then drain the buffer
+  // through the assembler (the IP-side buffer is not a bottleneck).
+  rx_.poll();
+  while (!rx_fifo_.empty()) {
+    const Flit f = rx_fifo_.pop();
+    if (assembler_.feed(f)) {
+      ReceivedPacket rp;
+      rp.packet = assembler_.take();
+      rp.packet_id = assembler_.packet_id();
+      rp.inject_cycle = assembler_.inject_cycle();
+      rp.recv_cycle = sim_->cycle();
+      inbox_.push_back(std::move(rp));
+      ++packets_received_;
+    }
+  }
+}
+
+void NetworkInterface::reset() {
+  tx_.reset();
+  rx_.reset();
+  rx_fifo_.clear();
+  assembler_.reset();
+  tx_queue_.clear();
+  inbox_.clear();
+  next_packet_id_ = 1;
+  packets_sent_ = 0;
+  packets_received_ = 0;
+}
+
+}  // namespace mn::noc

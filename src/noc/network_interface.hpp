@@ -1,0 +1,65 @@
+#pragma once
+// Network interface (NI): the packetization layer every IP core uses to
+// talk to its router's Local port. Outgoing packets are flattened to a
+// flit stream driven through the handshake link; incoming flits are
+// reassembled into packets.
+
+#include <cstdint>
+#include <deque>
+
+#include "noc/link.hpp"
+#include "noc/packet.hpp"
+#include "sim/component.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn::noc {
+
+/// A fully reassembled packet plus measurement metadata.
+struct ReceivedPacket {
+  Packet packet;
+  std::uint32_t packet_id = 0;
+  std::uint64_t inject_cycle = 0;
+  std::uint64_t recv_cycle = 0;
+};
+
+class NetworkInterface final : public sim::Component {
+ public:
+  /// `to_router` is the bundle this NI drives (router Local input);
+  /// `from_router` is the bundle the router drives toward the IP.
+  NetworkInterface(sim::Simulator& sim, std::string name,
+                   LinkWires& to_router, LinkWires& from_router,
+                   std::size_t rx_buffer_flits = 8);
+
+  /// Queue a packet for transmission. Flits are stamped with a fresh
+  /// packet id and the current cycle.
+  void send_packet(const Packet& p);
+
+  /// Number of flits still waiting to enter the network.
+  std::size_t tx_backlog() const { return tx_queue_.size(); }
+  bool tx_idle() const { return tx_queue_.empty(); }
+
+  bool has_packet() const { return !inbox_.empty(); }
+  ReceivedPacket pop_packet();
+  const ReceivedPacket& peek_packet() const { return inbox_.front(); }
+  std::size_t inbox_size() const { return inbox_.size(); }
+
+  std::uint64_t packets_sent() const { return packets_sent_; }
+  std::uint64_t packets_received() const { return packets_received_; }
+
+  void eval() override;
+  void reset() override;
+
+ private:
+  sim::Simulator* sim_;
+  LinkSender tx_;
+  Fifo<Flit> rx_fifo_;
+  LinkReceiver rx_;
+  PacketAssembler assembler_;
+  std::deque<Flit> tx_queue_;
+  std::deque<ReceivedPacket> inbox_;
+  std::uint32_t next_packet_id_ = 1;
+  std::uint64_t packets_sent_ = 0;
+  std::uint64_t packets_received_ = 0;
+};
+
+}  // namespace mn::noc

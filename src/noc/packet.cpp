@@ -1,0 +1,98 @@
+#include "noc/packet.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mn::noc {
+
+std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
+                           std::uint64_t inject_cycle) {
+  assert(p.payload.size() <= kMaxPayloadFlits &&
+         "payload exceeds the 8-bit size-flit budget");
+  std::vector<Flit> flits;
+  flits.reserve(p.wire_flits());
+
+  Flit header;
+  header.data = p.target;
+  header.is_header = true;
+  header.packet_id = packet_id;
+  header.inject_cycle = inject_cycle;
+  flits.push_back(header);
+
+  Flit size;
+  size.data = static_cast<std::uint8_t>(p.payload.size());
+  size.packet_id = packet_id;
+  size.inject_cycle = inject_cycle;
+  flits.push_back(size);
+
+  for (std::size_t i = 0; i < p.payload.size(); ++i) {
+    Flit f;
+    f.data = p.payload[i];
+    f.packet_id = packet_id;
+    f.inject_cycle = inject_cycle;
+    f.is_tail = (i + 1 == p.payload.size());
+    flits.push_back(f);
+  }
+  // A zero-payload packet's size flit is the tail.
+  if (p.payload.empty()) flits.back().is_tail = true;
+  return flits;
+}
+
+bool PacketAssembler::feed(const Flit& f) {
+  switch (state_) {
+    case State::kHeader:
+      current_ = Packet{};
+      current_.target = f.data;
+      packet_id_ = f.packet_id;
+      inject_cycle_ = f.inject_cycle;
+      state_ = State::kSize;
+      return false;
+    case State::kSize:
+      remaining_ = f.data;
+      current_.payload.clear();
+      current_.payload.reserve(remaining_);
+      if (remaining_ == 0) {
+        state_ = State::kHeader;
+        done_ = true;
+        return true;
+      }
+      state_ = State::kPayload;
+      return false;
+    case State::kPayload:
+      current_.payload.push_back(f.data);
+      if (--remaining_ == 0) {
+        state_ = State::kHeader;
+        done_ = true;
+        return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+Packet PacketAssembler::take() {
+  assert(done_);
+  done_ = false;
+  return std::move(current_);
+}
+
+void PacketAssembler::reset() {
+  state_ = State::kHeader;
+  current_ = Packet{};
+  remaining_ = 0;
+  done_ = false;
+}
+
+std::string to_string(const Packet& p) {
+  std::ostringstream oss;
+  const XY t = decode_xy(p.target);
+  oss << "Packet{target=" << int(t.x) << ',' << int(t.y) << " payload=[";
+  for (std::size_t i = 0; i < p.payload.size(); ++i) {
+    if (i) oss << ' ';
+    oss << std::hex << int(p.payload[i]) << std::dec;
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,64 @@
+#pragma once
+// Hermes packet: [header flit = target address][size flit][payload...].
+//
+// Paper §2.1: "The first and the second flits of a packet are header
+// information, being respectively the address of the target router ...
+// and the number of flits in the packet payload." With 8-bit flits the
+// payload budget is 2^8 flits.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "noc/flit.hpp"
+
+namespace mn::noc {
+
+/// Maximum payload flits representable in the 8-bit size flit.
+inline constexpr std::size_t kMaxPayloadFlits = 255;
+
+/// An assembled packet at the IP/network-interface boundary.
+struct Packet {
+  std::uint8_t target = 0;            ///< encoded XY of destination router
+  std::vector<std::uint8_t> payload;  ///< service byte + arguments
+
+  /// Total flits on the wire: header + size + payload.
+  std::size_t wire_flits() const { return 2 + payload.size(); }
+
+  bool operator==(const Packet&) const = default;
+};
+
+/// Serialize a packet into flits, stamping measurement metadata.
+std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
+                           std::uint64_t inject_cycle);
+
+/// Incremental packet reassembler used by network interfaces.
+class PacketAssembler {
+ public:
+  /// Feed one flit. Returns true when a full packet completed; the packet
+  /// is then available via take().
+  bool feed(const Flit& f);
+
+  /// Retrieve the completed packet (valid right after feed() returned true).
+  Packet take();
+
+  /// Metadata of the completed packet's header flit.
+  std::uint32_t packet_id() const { return packet_id_; }
+  std::uint64_t inject_cycle() const { return inject_cycle_; }
+
+  void reset();
+
+ private:
+  enum class State { kHeader, kSize, kPayload };
+  State state_ = State::kHeader;
+  Packet current_;
+  std::size_t remaining_ = 0;
+  std::uint32_t packet_id_ = 0;
+  std::uint64_t inject_cycle_ = 0;
+  bool done_ = false;
+};
+
+/// Render a packet for debugging.
+std::string to_string(const Packet& p);
+
+}  // namespace mn::noc

@@ -1,0 +1,192 @@
+#include "noc/placement.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace mn::noc {
+
+namespace {
+
+XY tile_xy(std::size_t tile, unsigned nx) {
+  return XY{static_cast<std::uint8_t>(tile % nx),
+            static_cast<std::uint8_t>(tile / nx)};
+}
+
+}  // namespace
+
+PlacementVec identity_placement(std::size_t n) {
+  PlacementVec pl(n);
+  for (std::size_t i = 0; i < n; ++i) pl[i] = i;
+  return pl;
+}
+
+double placement_cost(const TrafficMatrix& traffic, const PlacementVec& pl,
+                      unsigned nx, unsigned ny) {
+  (void)ny;
+  double cost = 0;
+  for (std::size_t s = 0; s < traffic.size(); ++s) {
+    for (std::size_t d = 0; d < traffic[s].size(); ++d) {
+      if (s == d || traffic[s][d] == 0) continue;
+      cost += traffic[s][d] *
+              hop_routers(tile_xy(pl[s], nx), tile_xy(pl[d], nx));
+    }
+  }
+  return cost;
+}
+
+PlacementVec optimize_placement(const TrafficMatrix& traffic, unsigned nx,
+                                unsigned ny, const PlacementConfig& cfg) {
+  const std::size_t n = traffic.size();
+  assert(n <= static_cast<std::size_t>(nx) * ny);
+  sim::Xoshiro256 rng(cfg.seed);
+
+  PlacementVec cur = identity_placement(n);
+  double cur_cost = placement_cost(traffic, cur, nx, ny);
+  PlacementVec best = cur;
+  double best_cost = cur_cost;
+
+  const double cool =
+      std::pow(cfg.t_end / cfg.t_start, 1.0 / std::max(1u, cfg.iterations));
+  double t = cfg.t_start;
+  for (unsigned it = 0; it < cfg.iterations; ++it, t *= cool) {
+    const std::size_t a = rng.below(n);
+    std::size_t b = rng.below(n);
+    if (a == b) continue;
+    std::swap(cur[a], cur[b]);
+    const double new_cost = placement_cost(traffic, cur, nx, ny);
+    const double delta = new_cost - cur_cost;
+    if (delta <= 0 || rng.uniform() < std::exp(-delta / t)) {
+      cur_cost = new_cost;
+      if (new_cost < best_cost) {
+        best = cur;
+        best_cost = new_cost;
+      }
+    } else {
+      std::swap(cur[a], cur[b]);
+    }
+  }
+  return best;
+}
+
+TrafficMatrix random_traffic_matrix(std::size_t n, std::uint64_t seed,
+                                    double sparsity) {
+  sim::Xoshiro256 rng(seed);
+  TrafficMatrix m(n, std::vector<double>(n, 0));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s != d && rng.chance(sparsity)) {
+        m[s][d] = 0.2 + rng.uniform();
+      }
+    }
+  }
+  return m;
+}
+
+TrafficMatrix pipeline_traffic_matrix(std::size_t n, double backflow) {
+  TrafficMatrix m(n, std::vector<double>(n, 0));
+  for (std::size_t k = 0; k + 1 < n; ++k) {
+    m[k][k + 1] = 1.0;
+    m[k + 1][k] = backflow;
+  }
+  return m;
+}
+
+namespace {
+
+/// Traffic node driven by a matrix row.
+class MatrixNode final : public sim::Component {
+ public:
+  MatrixNode(sim::Simulator& sim, Mesh& mesh, std::size_t ip,
+             const TrafficMatrix& traffic, const PlacementVec& placement,
+             double rate_scale, std::uint64_t seed)
+      : sim::Component("mtx" + std::to_string(ip)),
+        traffic_(&traffic),
+        placement_(&placement),
+        ip_(ip),
+        rate_scale_(rate_scale),
+        ni_(sim, "mtx" + std::to_string(ip) + ".ni",
+            mesh.local_in(
+                static_cast<unsigned>((*placement_)[ip] % mesh.nx()),
+                static_cast<unsigned>((*placement_)[ip] / mesh.nx())),
+            mesh.local_out(
+                static_cast<unsigned>((*placement_)[ip] % mesh.nx()),
+                static_cast<unsigned>((*placement_)[ip] / mesh.nx()))),
+        rng_(seed ^ (ip * 0x9E3779B9ull)),
+        nx_(mesh.nx()) {
+    sim.add(this);
+  }
+
+  void eval() override {
+    const auto& row = (*traffic_)[ip_];
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      if (d == ip_ || row[d] == 0) continue;
+      if (rng_.chance(row[d] * rate_scale_)) {
+        Packet p;
+        const std::size_t tile = (*placement_)[d];
+        p.target = encode_xy(XY{static_cast<std::uint8_t>(tile % nx_),
+                                static_cast<std::uint8_t>(tile / nx_)});
+        p.payload.assign(8, static_cast<std::uint8_t>(d));
+        ni_.send_packet(p);
+      }
+    }
+    while (ni_.has_packet()) {
+      const ReceivedPacket rp = ni_.pop_packet();
+      latencies_.add(
+          static_cast<std::int64_t>(rp.recv_cycle - rp.inject_cycle));
+    }
+  }
+
+  void reset() override { latencies_.clear(); }
+
+  const sim::Histogram& latencies() const { return latencies_; }
+
+ private:
+  const TrafficMatrix* traffic_;
+  const PlacementVec* placement_;
+  std::size_t ip_;
+  double rate_scale_;
+  NetworkInterface ni_;
+  sim::Xoshiro256 rng_;
+  unsigned nx_;
+  sim::Histogram latencies_;
+};
+
+}  // namespace
+
+MatrixTrafficResult run_matrix_traffic(const TrafficMatrix& traffic,
+                                       const PlacementVec& placement,
+                                       unsigned nx, unsigned ny,
+                                       double rate_scale,
+                                       std::uint64_t cycles,
+                                       std::uint64_t seed) {
+  sim::Simulator sim;
+  Mesh mesh(sim, nx, ny);
+  std::vector<std::unique_ptr<MatrixNode>> nodes;
+  for (std::size_t ip = 0; ip < traffic.size(); ++ip) {
+    nodes.push_back(std::make_unique<MatrixNode>(
+        sim, mesh, ip, traffic, placement, rate_scale, seed));
+  }
+  sim.run(cycles);
+
+  MatrixTrafficResult r;
+  sim::Summary agg;
+  for (const auto& n : nodes) {
+    for (const auto& [value, count] : n->latencies().bins()) {
+      for (std::uint64_t k = 0; k < count; ++k) {
+        agg.add(static_cast<double>(value));
+      }
+    }
+  }
+  r.avg_latency = agg.mean();
+  r.packets = agg.count();
+  double volume = 0;
+  for (const auto& row : traffic) {
+    for (double v : row) volume += v;
+  }
+  r.avg_weighted_hops =
+      volume > 0 ? placement_cost(traffic, placement, nx, ny) / volume : 0;
+  return r;
+}
+
+}  // namespace mn::noc

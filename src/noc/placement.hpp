@@ -1,0 +1,71 @@
+#pragma once
+// Communication-aware IP placement — the model behind the paper's §5
+// reconfiguration future work: "partial and dynamic reconfiguration
+// allows ... that the IP cores position be modified in execution at
+// run-time, favoring the IPs communication with improved throughput."
+//
+// Given an IP-to-IP traffic matrix, find the assignment of IPs to mesh
+// tiles that minimizes the total volume-weighted hop count (the analytic
+// proxy for latency/energy), by simulated annealing over permutations.
+// The benches verify the analytic gain against real simulated traffic.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/flit.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace mn::noc {
+
+/// traffic[s][d] = packets/unit-time IP s sends to IP d.
+using TrafficMatrix = std::vector<std::vector<double>>;
+
+/// placement[ip] = tile index (y * nx + x).
+using PlacementVec = std::vector<std::size_t>;
+
+/// Identity placement: IP k on tile k.
+PlacementVec identity_placement(std::size_t n);
+
+/// Volume-weighted router-hop cost of a placement (lower is better).
+/// Uses the paper's XY route lengths (hop_routers, endpoints included).
+double placement_cost(const TrafficMatrix& traffic, const PlacementVec& pl,
+                      unsigned nx, unsigned ny);
+
+struct PlacementConfig {
+  std::uint64_t seed = 1;
+  unsigned iterations = 20000;
+  double t_start = 4.0;
+  double t_end = 0.01;
+};
+
+/// Anneal over tile permutations (swap moves).
+PlacementVec optimize_placement(const TrafficMatrix& traffic, unsigned nx,
+                                unsigned ny,
+                                const PlacementConfig& cfg = {});
+
+/// Synthetic traffic matrices for the experiments.
+TrafficMatrix random_traffic_matrix(std::size_t n, std::uint64_t seed,
+                                    double sparsity = 0.3);
+/// Pipeline: IP k talks mostly to IP k+1 (streaming applications).
+TrafficMatrix pipeline_traffic_matrix(std::size_t n, double backflow = 0.1);
+
+/// Run matrix-driven traffic on a real mesh with the given placement and
+/// measure average packet latency. Packet rate per (s,d) pair is
+/// `rate_scale * traffic[s][d]` packets/cycle.
+struct MatrixTrafficResult {
+  double avg_latency = 0;
+  double avg_weighted_hops = 0;  ///< analytic cost per packet
+  std::uint64_t packets = 0;
+};
+
+MatrixTrafficResult run_matrix_traffic(const TrafficMatrix& traffic,
+                                       const PlacementVec& placement,
+                                       unsigned nx, unsigned ny,
+                                       double rate_scale,
+                                       std::uint64_t cycles,
+                                       std::uint64_t seed);
+
+}  // namespace mn::noc

@@ -1,0 +1,171 @@
+#include "noc/router.hpp"
+
+#include <cassert>
+#include <sstream>
+
+#include "sim/log.hpp"
+
+namespace mn::noc {
+
+namespace {
+std::string router_name(XY a) {
+  std::ostringstream oss;
+  oss << "router" << int(a.x) << int(a.y);
+  return oss.str();
+}
+}  // namespace
+
+Router::Router(XY address, const RouterConfig& cfg)
+    : sim::Component(router_name(address)),
+      addr_(address),
+      cfg_(cfg),
+      inputs_{InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
+              InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
+              InputPort(cfg.buffer_depth)} {
+  assert(cfg.buffer_depth >= 1);
+  assert(cfg.route_latency >= 1);
+}
+
+void Router::connect_in(Port p, LinkWires& w) {
+  auto& in = inputs_[static_cast<std::size_t>(p)];
+  in.rx.emplace(w, in.fifo);
+}
+
+void Router::connect_out(Port p, LinkWires& w) {
+  outputs_[static_cast<std::size_t>(p)].tx.emplace(w);
+}
+
+void Router::eval() {
+  // 1. Latch arriving flits into the input buffers.
+  for (auto& in : inputs_) {
+    if (in.rx) in.rx->poll();
+  }
+
+  // 2. Centralized control logic: at most one routing decision in flight.
+  if (control_timer_ > 0) {
+    if (--control_timer_ == 0) finish_routing();
+  } else {
+    start_routing();
+  }
+
+  // 3. Crossbar: stream flits over every established connection.
+  forward_flits();
+}
+
+void Router::start_routing() {
+  std::vector<bool> requests(kNumPorts, false);
+  bool any = false;
+  for (std::size_t i = 0; i < kNumPorts; ++i) {
+    const auto& in = inputs_[i];
+    const bool wants = in.out < 0 && in.pos == FlitPos::kHeader &&
+                       !in.fifo.empty() &&
+                       static_cast<int>(i) != pending_input_;
+    requests[i] = wants;
+    any = any || wants;
+  }
+  if (!any) return;
+  const int granted = arbiter_.arbitrate(requests);
+  if (granted < 0) return;  // unreachable given `any`, keeps indexing safe
+  pending_input_ = granted;
+  control_timer_ = cfg_.route_latency;
+  ++stats_.grants[static_cast<std::size_t>(granted)];
+}
+
+void Router::finish_routing() {
+  assert(pending_input_ >= 0);
+  const auto in_idx = static_cast<std::size_t>(pending_input_);
+  auto& in = inputs_[in_idx];
+  pending_input_ = -1;
+  // An unconnected input cannot forward, so the header must still be there.
+  assert(!in.fifo.empty() && in.pos == FlitPos::kHeader);
+  const XY target = decode_xy(in.fifo.front().data);
+
+  // Candidate outputs: one for deterministic XY, up to two (chosen
+  // adaptively by availability) for west-first.
+  Port candidates[2] = {Port::kLocal, Port::kLocal};
+  std::size_t n_candidates = 1;
+  if (cfg_.algo == RoutingAlgo::kXY) {
+    candidates[0] = route_xy(addr_, target);
+  } else {
+    n_candidates = route_west_first(addr_, target, candidates);
+  }
+
+  for (std::size_t k = 0; k < n_candidates; ++k) {
+    const Port out_port = candidates[k];
+    auto& out = outputs_[static_cast<std::size_t>(out_port)];
+    if (out.in >= 0 || !out.tx) continue;  // busy or unconnected edge
+    out.in = static_cast<int>(in_idx);
+    in.out = static_cast<int>(static_cast<std::size_t>(out_port));
+    ++stats_.packets_routed;
+    MN_DEBUG(name(), "connect " << port_name(static_cast<Port>(in_idx))
+                                << "->" << port_name(out_port) << " target "
+                                << int(target.x) << ',' << int(target.y));
+    return;
+  }
+  // Every admissible output busy: the request stays pending and will be
+  // re-arbitrated; paper: "the routing request for this packet will
+  // remain active until a connection is established".
+  ++stats_.routing_rejects;
+}
+
+void Router::forward_flits() {
+  for (std::size_t o = 0; o < kNumPorts; ++o) {
+    auto& out = outputs_[o];
+    if (out.in < 0) continue;
+    auto& in = inputs_[static_cast<std::size_t>(out.in)];
+    if (in.fifo.empty() || !out.tx->ready()) continue;
+
+    const Flit flit = in.fifo.pop();
+    out.tx->send(flit);
+    ++stats_.flits_forwarded;
+    ++stats_.port_flits[o];
+
+    switch (in.pos) {
+      case FlitPos::kHeader:
+        in.pos = FlitPos::kSize;
+        break;
+      case FlitPos::kSize:
+        in.remaining = flit.data;
+        if (in.remaining == 0) {
+          disconnect(static_cast<std::size_t>(out.in));
+        } else {
+          in.pos = FlitPos::kPayload;
+        }
+        break;
+      case FlitPos::kPayload:
+        if (--in.remaining == 0) {
+          disconnect(static_cast<std::size_t>(out.in));
+        }
+        break;
+    }
+  }
+}
+
+void Router::disconnect(std::size_t input) {
+  auto& in = inputs_[input];
+  assert(in.out >= 0);
+  outputs_[static_cast<std::size_t>(in.out)].in = -1;
+  in.out = -1;
+  in.pos = FlitPos::kHeader;
+  in.remaining = 0;
+}
+
+void Router::reset() {
+  for (auto& in : inputs_) {
+    in.fifo.clear();
+    if (in.rx) in.rx->reset();
+    in.pos = FlitPos::kHeader;
+    in.out = -1;
+    in.remaining = 0;
+  }
+  for (auto& out : outputs_) {
+    if (out.tx) out.tx->reset();
+    out.in = -1;
+  }
+  arbiter_.reset();
+  control_timer_ = 0;
+  pending_input_ = -1;
+  stats_ = RouterStats{};
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,101 @@
+#pragma once
+// Hermes wormhole router (paper §2.1, Fig. 2).
+//
+// Five bidirectional ports (East, West, North, South, Local), an input
+// buffer per port (2-flit circular FIFO by default), a single centralized
+// control logic implementing round-robin arbitration + deterministic XY
+// routing, and a crossbar able to sustain up to five simultaneous
+// connections. A routing decision occupies the control logic for
+// `route_latency` cycles (paper: Ri >= 7). Once a connection is
+// established it persists until the packet's last payload flit passed
+// (wormhole switching); blocked packets stall in the input buffers.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "noc/arbiter.hpp"
+#include "noc/fifo.hpp"
+#include "noc/flit.hpp"
+#include "noc/link.hpp"
+#include "noc/routing.hpp"
+#include "sim/component.hpp"
+#include "sim/stats.hpp"
+
+namespace mn::noc {
+
+struct RouterConfig {
+  std::size_t buffer_depth = 2;  ///< flits per input FIFO (paper: 2)
+  unsigned route_latency = 7;    ///< control cycles per routing decision
+  RoutingAlgo algo = RoutingAlgo::kXY;  ///< paper default: deterministic XY
+};
+
+struct RouterStats {
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t packets_routed = 0;
+  std::uint64_t routing_rejects = 0;  ///< decisions that found output busy
+  std::array<std::uint64_t, kNumPorts> grants{};  ///< arbiter grants per input
+  std::array<std::uint64_t, kNumPorts> port_flits{};  ///< flits out per port
+};
+
+class Router final : public sim::Component {
+ public:
+  Router(XY address, const RouterConfig& cfg);
+
+  /// Attach the incoming wire bundle of a port (this router receives).
+  void connect_in(Port p, LinkWires& w);
+
+  /// Attach the outgoing wire bundle of a port (this router sends).
+  void connect_out(Port p, LinkWires& w);
+
+  void eval() override;
+  void reset() override;
+
+  XY address() const { return addr_; }
+  const RouterConfig& config() const { return cfg_; }
+  const RouterStats& stats() const { return stats_; }
+
+  /// Introspection for tests: connected output of an input port, -1 if none.
+  int input_connection(Port p) const {
+    return inputs_[static_cast<std::size_t>(p)].out;
+  }
+
+  /// Occupancy of an input FIFO.
+  std::size_t buffer_fill(Port p) const {
+    return inputs_[static_cast<std::size_t>(p)].fifo.size();
+  }
+
+ private:
+  /// Position of the next flit to forward within its packet.
+  enum class FlitPos : std::uint8_t { kHeader, kSize, kPayload };
+
+  struct InputPort {
+    explicit InputPort(std::size_t depth) : fifo(depth) {}
+    Fifo<Flit> fifo;
+    std::optional<LinkReceiver> rx;
+    FlitPos pos = FlitPos::kHeader;
+    int out = -1;                 ///< connected output port index, -1 = none
+    std::size_t remaining = 0;    ///< payload flits left to forward
+  };
+
+  struct OutputPort {
+    std::optional<LinkSender> tx;
+    int in = -1;  ///< connected input port index, -1 = free
+  };
+
+  void finish_routing();
+  void start_routing();
+  void forward_flits();
+  void disconnect(std::size_t input);
+
+  XY addr_;
+  RouterConfig cfg_;
+  std::array<InputPort, kNumPorts> inputs_;
+  std::array<OutputPort, kNumPorts> outputs_;
+  RoundRobinArbiter arbiter_{kNumPorts};
+  unsigned control_timer_ = 0;  ///< cycles left in the current decision
+  int pending_input_ = -1;      ///< input being routed by the control logic
+  RouterStats stats_;
+};
+
+}  // namespace mn::noc

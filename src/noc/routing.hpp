@@ -1,0 +1,82 @@
+#pragma once
+// Deterministic XY routing (paper §2.1).
+
+#include <cstdint>
+
+#include "noc/flit.hpp"
+
+namespace mn::noc {
+
+/// Router port indices. Order matters for round-robin reproducibility and
+/// mirrors the paper's East/West/North/South/Local enumeration.
+enum class Port : std::uint8_t {
+  kEast = 0,
+  kWest = 1,
+  kNorth = 2,
+  kSouth = 3,
+  kLocal = 4,
+};
+
+inline constexpr std::size_t kNumPorts = 5;
+
+constexpr const char* port_name(Port p) {
+  switch (p) {
+    case Port::kEast: return "E";
+    case Port::kWest: return "W";
+    case Port::kNorth: return "N";
+    case Port::kSouth: return "S";
+    case Port::kLocal: return "L";
+  }
+  return "?";
+}
+
+/// XY routing: correct X first (East/West), then Y (North/South), then
+/// deliver locally. Deadlock-free on a mesh.
+constexpr Port route_xy(XY here, XY target) {
+  if (target.x > here.x) return Port::kEast;
+  if (target.x < here.x) return Port::kWest;
+  if (target.y > here.y) return Port::kNorth;
+  if (target.y < here.y) return Port::kSouth;
+  return Port::kLocal;
+}
+
+/// Routing algorithms supported by the router. The paper uses
+/// deterministic XY; west-first (Glass–Ni turn model) is the partially
+/// adaptive ablation quantifying what that simplicity choice costs.
+enum class RoutingAlgo : std::uint8_t { kXY, kWestFirst };
+
+/// West-first candidate outputs, in preference order (the XY-default
+/// first). Invariant (turn model): all westward movement happens first;
+/// afterwards any productive direction may be chosen adaptively —
+/// deadlock-free on a mesh for wormhole switching.
+/// Writes up to 2 entries; returns the count (0 means deliver locally,
+/// signalled by candidates[0] == kLocal and count 1).
+constexpr std::size_t route_west_first(XY here, XY target,
+                                       Port candidates[2]) {
+  if (target.x < here.x) {
+    candidates[0] = Port::kWest;
+    return 1;
+  }
+  std::size_t n = 0;
+  if (target.x > here.x) candidates[n++] = Port::kEast;
+  if (target.y > here.y) {
+    candidates[n++] = Port::kNorth;
+  } else if (target.y < here.y) {
+    candidates[n++] = Port::kSouth;
+  }
+  if (n == 0) {
+    candidates[0] = Port::kLocal;
+    return 1;
+  }
+  return n;
+}
+
+/// Number of routers on the XY path, source and target included
+/// (the `n` of the paper's latency formula).
+constexpr unsigned hop_routers(XY src, XY dst) {
+  const unsigned dx = src.x > dst.x ? src.x - dst.x : dst.x - src.x;
+  const unsigned dy = src.y > dst.y ? src.y - dst.y : dst.y - src.y;
+  return dx + dy + 1;
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,238 @@
+#include "noc/services.hpp"
+
+#include <cassert>
+#include <sstream>
+
+namespace mn::noc {
+
+const char* service_name(Service s) {
+  switch (s) {
+    case Service::kReadMem: return "read";
+    case Service::kReadReturn: return "read_return";
+    case Service::kWriteMem: return "write";
+    case Service::kActivate: return "activate";
+    case Service::kPrintf: return "printf";
+    case Service::kScanf: return "scanf";
+    case Service::kScanfReturn: return "scanf_return";
+    case Service::kNotify: return "notify";
+    case Service::kWait: return "wait";
+  }
+  return "?";
+}
+
+namespace {
+
+void push_word(std::vector<std::uint8_t>& v, std::uint16_t w) {
+  v.push_back(static_cast<std::uint8_t>(w >> 8));
+  v.push_back(static_cast<std::uint8_t>(w & 0xFF));
+}
+
+std::uint16_t pull_word(const std::vector<std::uint8_t>& v, std::size_t at) {
+  return static_cast<std::uint16_t>((v[at] << 8) | v[at + 1]);
+}
+
+}  // namespace
+
+ServiceMessage make_read(std::uint8_t src, std::uint8_t dst,
+                         std::uint16_t addr, std::uint16_t count) {
+  ServiceMessage m;
+  m.service = Service::kReadMem;
+  m.source = src;
+  m.target = dst;
+  m.addr = addr;
+  m.count = count;
+  return m;
+}
+
+ServiceMessage make_read_return(std::uint8_t src, std::uint8_t dst,
+                                std::uint16_t addr,
+                                std::vector<std::uint16_t> words) {
+  ServiceMessage m;
+  m.service = Service::kReadReturn;
+  m.source = src;
+  m.target = dst;
+  m.addr = addr;
+  m.words = std::move(words);
+  return m;
+}
+
+ServiceMessage make_write(std::uint8_t src, std::uint8_t dst,
+                          std::uint16_t addr,
+                          std::vector<std::uint16_t> words) {
+  ServiceMessage m;
+  m.service = Service::kWriteMem;
+  m.source = src;
+  m.target = dst;
+  m.addr = addr;
+  m.words = std::move(words);
+  return m;
+}
+
+ServiceMessage make_activate(std::uint8_t src, std::uint8_t dst) {
+  ServiceMessage m;
+  m.service = Service::kActivate;
+  m.source = src;
+  m.target = dst;
+  return m;
+}
+
+ServiceMessage make_printf(std::uint8_t src, std::uint8_t dst,
+                           std::vector<std::uint16_t> words) {
+  ServiceMessage m;
+  m.service = Service::kPrintf;
+  m.source = src;
+  m.target = dst;
+  m.words = std::move(words);
+  return m;
+}
+
+ServiceMessage make_scanf(std::uint8_t src, std::uint8_t dst) {
+  ServiceMessage m;
+  m.service = Service::kScanf;
+  m.source = src;
+  m.target = dst;
+  return m;
+}
+
+ServiceMessage make_scanf_return(std::uint8_t src, std::uint8_t dst,
+                                 std::uint16_t word) {
+  ServiceMessage m;
+  m.service = Service::kScanfReturn;
+  m.source = src;
+  m.target = dst;
+  m.words = {word};
+  return m;
+}
+
+ServiceMessage make_notify(std::uint8_t src, std::uint8_t dst,
+                           std::uint8_t notifier) {
+  ServiceMessage m;
+  m.service = Service::kNotify;
+  m.source = src;
+  m.target = dst;
+  m.param = notifier;
+  return m;
+}
+
+ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
+                         std::uint8_t notifier) {
+  ServiceMessage m;
+  m.service = Service::kWait;
+  m.source = src;
+  m.target = dst;
+  m.param = notifier;
+  return m;
+}
+
+std::size_t max_words_per_packet(Service s) {
+  // payload budget 255 flits, minus service+source, minus the address for
+  // addressed services; each word costs 2 flits.
+  switch (s) {
+    case Service::kWriteMem:
+    case Service::kReadReturn:
+      return (kMaxPayloadFlits - 2 - 2) / 2;
+    case Service::kPrintf:
+      return (kMaxPayloadFlits - 2) / 2;
+    default:
+      return 1;
+  }
+}
+
+Packet encode(const ServiceMessage& msg) {
+  Packet p;
+  p.target = msg.target;
+  p.payload.push_back(static_cast<std::uint8_t>(msg.service));
+  p.payload.push_back(msg.source);
+  switch (msg.service) {
+    case Service::kReadMem:
+      push_word(p.payload, msg.addr);
+      push_word(p.payload, msg.count);
+      break;
+    case Service::kReadReturn:
+    case Service::kWriteMem:
+      push_word(p.payload, msg.addr);
+      for (std::uint16_t w : msg.words) push_word(p.payload, w);
+      break;
+    case Service::kActivate:
+    case Service::kScanf:
+      break;
+    case Service::kPrintf:
+      for (std::uint16_t w : msg.words) push_word(p.payload, w);
+      break;
+    case Service::kScanfReturn:
+      assert(msg.words.size() == 1);
+      push_word(p.payload, msg.words[0]);
+      break;
+    case Service::kNotify:
+    case Service::kWait:
+      p.payload.push_back(msg.param);
+      break;
+  }
+  assert(p.payload.size() <= kMaxPayloadFlits);
+  return p;
+}
+
+std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver) {
+  const auto& pl = p.payload;
+  if (pl.size() < 2) return std::nullopt;
+  const auto code = pl[0];
+  if (code < 0x01 || code > 0x09) return std::nullopt;
+
+  ServiceMessage m;
+  m.service = static_cast<Service>(code);
+  m.source = pl[1];
+  m.target = receiver;
+
+  switch (m.service) {
+    case Service::kReadMem:
+      if (pl.size() != 6) return std::nullopt;
+      m.addr = pull_word(pl, 2);
+      m.count = pull_word(pl, 4);
+      break;
+    case Service::kReadReturn:
+    case Service::kWriteMem: {
+      if (pl.size() < 4 || (pl.size() - 4) % 2 != 0) return std::nullopt;
+      m.addr = pull_word(pl, 2);
+      for (std::size_t i = 4; i + 1 < pl.size(); i += 2) {
+        m.words.push_back(pull_word(pl, i));
+      }
+      break;
+    }
+    case Service::kActivate:
+    case Service::kScanf:
+      if (pl.size() != 2) return std::nullopt;
+      break;
+    case Service::kPrintf: {
+      if ((pl.size() - 2) % 2 != 0) return std::nullopt;
+      for (std::size_t i = 2; i + 1 < pl.size(); i += 2) {
+        m.words.push_back(pull_word(pl, i));
+      }
+      break;
+    }
+    case Service::kScanfReturn:
+      if (pl.size() != 4) return std::nullopt;
+      m.words.push_back(pull_word(pl, 2));
+      break;
+    case Service::kNotify:
+    case Service::kWait:
+      if (pl.size() != 3) return std::nullopt;
+      m.param = pl[2];
+      break;
+  }
+  return m;
+}
+
+std::string to_string(const ServiceMessage& m) {
+  std::ostringstream oss;
+  oss << service_name(m.service) << "{src=" << std::hex << int(m.source)
+      << " dst=" << int(m.target) << std::dec << " addr=" << m.addr
+      << " count=" << m.count << " param=" << int(m.param) << " words=[";
+  for (std::size_t i = 0; i < m.words.size(); ++i) {
+    if (i) oss << ' ';
+    oss << m.words[i];
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,91 @@
+#pragma once
+// The nine packet services the Hermes NoC offers to MultiNoC IPs
+// (paper §2.1). Each service has a fixed payload layout:
+//
+//   payload[0] = service code
+//   payload[1] = source router address (encoded XY)
+//   payload[2..] = service-specific arguments; 16-bit values travel
+//                  big-endian as two flits.
+//
+// Layouts (after the two common bytes):
+//   kReadMem     : addr_hi addr_lo count_hi count_lo
+//   kReadReturn  : addr_hi addr_lo (word_hi word_lo)*
+//   kWriteMem    : addr_hi addr_lo (word_hi word_lo)*
+//   kActivate    : (none)
+//   kPrintf      : (word_hi word_lo)*
+//   kScanf       : (none)
+//   kScanfReturn : word_hi word_lo
+//   kNotify      : notifier_id
+//   kWait        : notifier_id
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "noc/packet.hpp"
+
+namespace mn::noc {
+
+enum class Service : std::uint8_t {
+  kReadMem = 0x01,
+  kReadReturn = 0x02,
+  kWriteMem = 0x03,
+  kActivate = 0x04,
+  kPrintf = 0x05,
+  kScanf = 0x06,
+  kScanfReturn = 0x07,
+  kNotify = 0x08,
+  kWait = 0x09,
+};
+
+const char* service_name(Service s);
+
+/// Decoded service message, the unit IPs exchange over the NoC.
+struct ServiceMessage {
+  Service service = Service::kActivate;
+  std::uint8_t source = 0;  ///< encoded XY of originating router
+  std::uint8_t target = 0;  ///< encoded XY of destination router
+  std::uint16_t addr = 0;   ///< memory address (read/write/read-return)
+  std::uint16_t count = 0;  ///< word count (read requests)
+  std::uint8_t param = 0;   ///< notifier id (wait/notify)
+  std::vector<std::uint16_t> words;  ///< data words (write/printf/returns)
+
+  bool operator==(const ServiceMessage&) const = default;
+};
+
+/// Factory helpers for each service.
+ServiceMessage make_read(std::uint8_t src, std::uint8_t dst,
+                         std::uint16_t addr, std::uint16_t count);
+ServiceMessage make_read_return(std::uint8_t src, std::uint8_t dst,
+                                std::uint16_t addr,
+                                std::vector<std::uint16_t> words);
+ServiceMessage make_write(std::uint8_t src, std::uint8_t dst,
+                          std::uint16_t addr,
+                          std::vector<std::uint16_t> words);
+ServiceMessage make_activate(std::uint8_t src, std::uint8_t dst);
+ServiceMessage make_printf(std::uint8_t src, std::uint8_t dst,
+                           std::vector<std::uint16_t> words);
+ServiceMessage make_scanf(std::uint8_t src, std::uint8_t dst);
+ServiceMessage make_scanf_return(std::uint8_t src, std::uint8_t dst,
+                                 std::uint16_t word);
+ServiceMessage make_notify(std::uint8_t src, std::uint8_t dst,
+                           std::uint8_t notifier);
+ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
+                         std::uint8_t notifier);
+
+/// Serialize to a wire packet. Word counts that would exceed the payload
+/// budget are a programming error (asserted).
+Packet encode(const ServiceMessage& msg);
+
+/// Parse a received packet; `receiver` is the address of the router whose
+/// local port delivered it (becomes msg.target). Returns nullopt on a
+/// malformed payload.
+std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver);
+
+/// Maximum data words a single write/printf/read-return packet can carry.
+std::size_t max_words_per_packet(Service s);
+
+std::string to_string(const ServiceMessage& m);
+
+}  // namespace mn::noc

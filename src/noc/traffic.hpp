@@ -1,0 +1,80 @@
+#pragma once
+// Synthetic traffic generation and measurement for NoC experiments.
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace mn::noc {
+
+/// Spatial traffic patterns used by the benches.
+enum class TrafficPattern {
+  kUniform,     ///< destination uniform over all other nodes
+  kHotspot,     ///< a fraction of traffic targets one hot node
+  kTranspose,   ///< (x,y) -> (y,x)
+  kComplement,  ///< (x,y) -> (nx-1-x, ny-1-y)
+  kNeighbor,    ///< (x,y) -> east neighbour (wraps)
+};
+
+struct TrafficConfig {
+  double injection_rate = 0.1;  ///< packet-start probability per cycle
+  std::size_t payload_flits = 8;
+  TrafficPattern pattern = TrafficPattern::kUniform;
+  XY hotspot{0, 0};
+  double hotspot_fraction = 0.5;  ///< share of packets aimed at the hotspot
+  std::uint64_t seed = 1;
+  std::uint64_t warmup_cycles = 0;  ///< packets injected earlier are not
+                                    ///< counted in the sink statistics
+};
+
+/// Per-node generator: injects packets into the node's NI according to the
+/// configured pattern, and records latencies of packets delivered to it.
+class TrafficNode final : public sim::Component {
+ public:
+  TrafficNode(sim::Simulator& sim, Mesh& mesh, XY here,
+              const TrafficConfig& cfg);
+
+  void eval() override;
+  void reset() override;
+
+  NetworkInterface& ni() { return ni_; }
+  const sim::Histogram& latencies() const { return latencies_; }
+  std::uint64_t packets_offered() const { return packets_offered_; }
+  std::uint64_t flits_delivered() const { return flits_delivered_; }
+
+ private:
+  XY pick_destination();
+
+  sim::Simulator* sim_;
+  Mesh* mesh_;
+  XY here_;
+  TrafficConfig cfg_;
+  NetworkInterface ni_;
+  sim::Xoshiro256 rng_;
+  sim::Histogram latencies_;
+  std::uint64_t packets_offered_ = 0;
+  std::uint64_t flits_delivered_ = 0;
+};
+
+/// Results of a closed traffic experiment.
+struct TrafficResult {
+  double avg_latency = 0;        ///< cycles, header-inject to tail-receive
+  double p99_latency = 0;
+  double max_latency = 0;
+  double throughput_flits = 0;   ///< accepted flits / cycle / node
+  double offered_flits = 0;      ///< offered flits / cycle / node
+  std::uint64_t packets_received = 0;
+};
+
+/// Builds a mesh with a TrafficNode on every tile, runs `cycles` cycles
+/// after `cfg.warmup_cycles`, and aggregates the measurements.
+TrafficResult run_traffic_experiment(unsigned nx, unsigned ny,
+                                     const RouterConfig& rcfg,
+                                     TrafficConfig cfg,
+                                     std::uint64_t cycles);
+
+}  // namespace mn::noc

@@ -1,0 +1,137 @@
+#pragma once
+// R8 ALU and flag semantics, shared by the cycle-accurate CPU and the
+// functional interpreter so the two can never diverge.
+
+#include <cstdint>
+
+#include "r8/isa.hpp"
+
+namespace mn::r8 {
+
+/// The four R8 status flags.
+struct Flags {
+  bool n = false;  ///< negative (bit 15 of result)
+  bool z = false;  ///< zero
+  bool c = false;  ///< carry / no-borrow / shifted-out bit
+  bool v = false;  ///< signed overflow
+
+  bool operator==(const Flags&) const = default;
+};
+
+struct AluResult {
+  std::uint16_t value = 0;
+  Flags flags;
+};
+
+namespace detail {
+
+inline Flags nz(std::uint16_t r, bool c, bool v) {
+  Flags f;
+  f.n = (r & 0x8000) != 0;
+  f.z = r == 0;
+  f.c = c;
+  f.v = v;
+  return f;
+}
+
+inline AluResult add16(std::uint16_t a, std::uint16_t b, bool carry_in) {
+  const std::uint32_t wide = std::uint32_t(a) + b + (carry_in ? 1 : 0);
+  const auto r = static_cast<std::uint16_t>(wide);
+  const bool c = wide > 0xFFFF;
+  const bool v = (~(a ^ b) & (a ^ r) & 0x8000) != 0;
+  return {r, nz(r, c, v)};
+}
+
+inline AluResult sub16(std::uint16_t a, std::uint16_t b, bool borrow_in) {
+  // C uses the no-borrow convention: C=1 iff a >= b + borrow (unsigned).
+  const std::uint32_t rhs = std::uint32_t(b) + (borrow_in ? 1 : 0);
+  const auto r = static_cast<std::uint16_t>(std::uint32_t(a) - rhs);
+  const bool c = std::uint32_t(a) >= rhs;
+  const bool v = ((a ^ b) & (a ^ r) & 0x8000) != 0;
+  return {r, nz(r, c, v)};
+}
+
+}  // namespace detail
+
+/// Evaluate an ALU-class instruction (is_alu(op) must hold).
+/// `a` = Rs1 value (or Rt for ADDI/SUBI), `b` = Rs2 value or immediate.
+inline AluResult alu_eval(Opcode op, std::uint16_t a, std::uint16_t b,
+                          Flags in) {
+  using detail::add16;
+  using detail::nz;
+  using detail::sub16;
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kAddi:
+      return add16(a, b, false);
+    case Opcode::kAddc:
+      return add16(a, b, in.c);
+    case Opcode::kSub:
+    case Opcode::kSubi:
+      return sub16(a, b, false);
+    case Opcode::kSubc:
+      return sub16(a, b, !in.c);
+    case Opcode::kAnd: {
+      const auto r = static_cast<std::uint16_t>(a & b);
+      return {r, nz(r, false, false)};
+    }
+    case Opcode::kOr: {
+      const auto r = static_cast<std::uint16_t>(a | b);
+      return {r, nz(r, false, false)};
+    }
+    case Opcode::kXor: {
+      const auto r = static_cast<std::uint16_t>(a ^ b);
+      return {r, nz(r, false, false)};
+    }
+    case Opcode::kNot: {
+      const auto r = static_cast<std::uint16_t>(~a);
+      return {r, nz(r, false, false)};
+    }
+    case Opcode::kSl0: {
+      const auto r = static_cast<std::uint16_t>(a << 1);
+      return {r, nz(r, (a & 0x8000) != 0, false)};
+    }
+    case Opcode::kSl1: {
+      const auto r = static_cast<std::uint16_t>((a << 1) | 1);
+      return {r, nz(r, (a & 0x8000) != 0, false)};
+    }
+    case Opcode::kSr0: {
+      const auto r = static_cast<std::uint16_t>(a >> 1);
+      return {r, nz(r, (a & 1) != 0, false)};
+    }
+    case Opcode::kSr1: {
+      const auto r = static_cast<std::uint16_t>((a >> 1) | 0x8000);
+      return {r, nz(r, (a & 1) != 0, false)};
+    }
+    default:
+      return {0, in};
+  }
+}
+
+/// Condition evaluation for conditional jumps; unconditional -> true.
+inline bool jump_taken(Opcode op, Flags f) {
+  switch (op) {
+    case Opcode::kJmp:
+    case Opcode::kJmpd:
+    case Opcode::kJsr:
+    case Opcode::kJsrd:
+    case Opcode::kRts:
+      return true;
+    case Opcode::kJmpn:
+    case Opcode::kJmpnd:
+      return f.n;
+    case Opcode::kJmpz:
+    case Opcode::kJmpzd:
+      return f.z;
+    case Opcode::kJmpc:
+    case Opcode::kJmpcd:
+      return f.c;
+    case Opcode::kJmpv:
+    case Opcode::kJmpvd:
+      return f.v;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mn::r8

@@ -1,0 +1,222 @@
+#include "r8/cpu.hpp"
+
+namespace mn::r8 {
+
+void Cpu::activate() {
+  pc_ = 0;
+  state_ = State::kFetch;
+}
+
+void Cpu::reset() {
+  state_ = State::kHalt;
+  regs_.fill(0);
+  pc_ = 0;
+  sp_ = 0;
+  ir_ = 0;
+  flags_ = Flags{};
+  instr_ = Instr{};
+  cycles_ = 0;
+  instructions_ = 0;
+  stall_cycles_ = 0;
+}
+
+void Cpu::tick(Bus& bus) {
+  if (state_ == State::kHalt) return;
+  ++cycles_;
+  switch (state_) {
+    case State::kHalt:
+      return;
+    case State::kFetch: {
+      std::uint16_t word = 0;
+      if (!bus.mem_read(pc_, word)) {
+        ++stall_cycles_;
+        return;
+      }
+      ir_ = word;
+      instr_addr_ = pc_;
+      ++pc_;
+      state_ = State::kExec;
+      return;
+    }
+    case State::kExec:
+      exec(bus);
+      return;
+    case State::kMem:
+      mem_stage(bus);
+      return;
+    case State::kJump:
+      pc_ = jump_target_;
+      retire();
+      return;
+  }
+}
+
+void Cpu::exec(Bus&) {
+  const auto decoded = decode(ir_);
+  // Illegal encodings execute as NOP; real hardware has no trap machinery.
+  instr_ = decoded.value_or(Instr{});
+
+  const Opcode op = instr_.op;
+
+  if (is_alu(op)) {
+    std::uint16_t a, b;
+    if (format_of(op) == Format::kRI) {  // ADDI/SUBI
+      a = regs_[instr_.rt];
+      b = instr_.imm;
+    } else if (format_of(op) == Format::kRR) {  // NOT/shifts
+      a = regs_[instr_.rs1];
+      b = 0;
+    } else {
+      a = regs_[instr_.rs1];
+      b = regs_[instr_.rs2];
+    }
+    const AluResult r = alu_eval(op, a, b, flags_);
+    regs_[instr_.rt] = r.value;
+    flags_ = r.flags;
+    retire();
+    return;
+  }
+
+  switch (op) {
+    case Opcode::kLdl:
+      regs_[instr_.rt] =
+          static_cast<std::uint16_t>((regs_[instr_.rt] & 0xFF00) | instr_.imm);
+      retire();
+      return;
+    case Opcode::kLdh:
+      regs_[instr_.rt] = static_cast<std::uint16_t>(
+          (instr_.imm << 8) | (regs_[instr_.rt] & 0x00FF));
+      retire();
+      return;
+    case Opcode::kLd:
+      mem_kind_ = MemKind::kLoad;
+      mem_addr_ =
+          static_cast<std::uint16_t>(regs_[instr_.rs1] + regs_[instr_.rs2]);
+      state_ = State::kMem;
+      return;
+    case Opcode::kSt:
+      mem_kind_ = MemKind::kStore;
+      mem_addr_ =
+          static_cast<std::uint16_t>(regs_[instr_.rs1] + regs_[instr_.rs2]);
+      mem_wdata_ = regs_[instr_.rt];
+      state_ = State::kMem;
+      return;
+    case Opcode::kPush:
+      mem_kind_ = MemKind::kPush;
+      mem_addr_ = sp_;
+      mem_wdata_ = regs_[instr_.rs1];
+      state_ = State::kMem;
+      return;
+    case Opcode::kPop:
+      mem_kind_ = MemKind::kPop;
+      mem_addr_ = static_cast<std::uint16_t>(sp_ + 1);
+      state_ = State::kMem;
+      return;
+    case Opcode::kJsr:
+    case Opcode::kJsrd:
+      mem_kind_ = MemKind::kJsrPush;
+      mem_addr_ = sp_;
+      mem_wdata_ = pc_;  // return address: instruction after the call
+      jump_target_ =
+          op == Opcode::kJsr
+              ? regs_[instr_.rs1]
+              : static_cast<std::uint16_t>(instr_addr_ + instr_.disp);
+      state_ = State::kMem;
+      return;
+    case Opcode::kRts:
+      mem_kind_ = MemKind::kRtsPop;
+      mem_addr_ = static_cast<std::uint16_t>(sp_ + 1);
+      state_ = State::kMem;
+      return;
+    case Opcode::kLdsp:
+      sp_ = regs_[instr_.rs1];
+      retire();
+      return;
+    case Opcode::kNop:
+      retire();
+      return;
+    case Opcode::kHalt:
+      ++instructions_;
+      state_ = State::kHalt;
+      return;
+    case Opcode::kJmp:
+    case Opcode::kJmpn:
+    case Opcode::kJmpz:
+    case Opcode::kJmpc:
+    case Opcode::kJmpv:
+      if (jump_taken(op, flags_)) {
+        jump_target_ = regs_[instr_.rs1];
+        state_ = State::kJump;
+      } else {
+        retire();
+      }
+      return;
+    case Opcode::kJmpd:
+    case Opcode::kJmpnd:
+    case Opcode::kJmpzd:
+    case Opcode::kJmpcd:
+    case Opcode::kJmpvd:
+      if (jump_taken(op, flags_)) {
+        jump_target_ = static_cast<std::uint16_t>(instr_addr_ + instr_.disp);
+        state_ = State::kJump;
+      } else {
+        retire();
+      }
+      return;
+    default:
+      retire();
+      return;
+  }
+}
+
+void Cpu::mem_stage(Bus& bus) {
+  bool done = false;
+  std::uint16_t rdata = 0;
+  switch (mem_kind_) {
+    case MemKind::kLoad:
+    case MemKind::kPop:
+    case MemKind::kRtsPop:
+      done = bus.mem_read(mem_addr_, rdata);
+      break;
+    case MemKind::kStore:
+    case MemKind::kPush:
+    case MemKind::kJsrPush:
+      done = bus.mem_write(mem_addr_, mem_wdata_);
+      break;
+  }
+  if (!done) {
+    // Every unsuccessful attempt is one waitR8 stall cycle on top of the
+    // single-cycle MEM stage of a local access.
+    ++stall_cycles_;
+    return;
+  }
+  switch (mem_kind_) {
+    case MemKind::kLoad:
+      regs_[instr_.rt] = rdata;
+      retire();
+      return;
+    case MemKind::kStore:
+      retire();
+      return;
+    case MemKind::kPush:
+      --sp_;
+      retire();
+      return;
+    case MemKind::kPop:
+      ++sp_;
+      regs_[instr_.rs1] = rdata;
+      retire();
+      return;
+    case MemKind::kJsrPush:
+      --sp_;
+      state_ = State::kJump;
+      return;
+    case MemKind::kRtsPop:
+      ++sp_;
+      pc_ = rdata;
+      retire();
+      return;
+  }
+}
+
+}  // namespace mn::r8

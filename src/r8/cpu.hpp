@@ -1,0 +1,96 @@
+#pragma once
+// Cycle-accurate R8 CPU model (paper §2.4).
+//
+// The CPU is not a sim::Component: it is embedded in the Processor IP,
+// whose control logic implements the bus (local memory, NoC transactions,
+// memory-mapped I/O and wait/notify). A bus access that returns false
+// stalls the CPU in place — this is the paper's `waitR8` mechanism.
+
+#include <array>
+#include <cstdint>
+
+#include "r8/alu.hpp"
+#include "r8/isa.hpp"
+
+namespace mn::r8 {
+
+/// Memory/bus interface the Processor IP control logic implements.
+class Bus {
+ public:
+  virtual ~Bus() = default;
+
+  /// Read `addr`; return false to stall the CPU this cycle.
+  virtual bool mem_read(std::uint16_t addr, std::uint16_t& out) = 0;
+
+  /// Write `addr`; return false to stall.
+  virtual bool mem_write(std::uint16_t addr, std::uint16_t value) = 0;
+};
+
+class Cpu {
+ public:
+  enum class State : std::uint8_t { kHalt, kFetch, kExec, kMem, kJump };
+
+  Cpu() = default;
+
+  /// Power-on / activate-processor: start executing from address 0
+  /// (paper §2.1 service 4: "initiates the processor, that then starts
+  /// executing instructions from the first position of its local memory").
+  void activate();
+
+  /// Advance one clock cycle.
+  void tick(Bus& bus);
+
+  bool halted() const { return state_ == State::kHalt; }
+  State state() const { return state_; }
+
+  std::uint16_t pc() const { return pc_; }
+  std::uint16_t sp() const { return sp_; }
+  std::uint16_t reg(unsigned i) const { return regs_[i & 0xF]; }
+  void set_reg(unsigned i, std::uint16_t v) { regs_[i & 0xF] = v; }
+  void set_sp(std::uint16_t v) { sp_ = v; }
+  Flags flags() const { return flags_; }
+  std::uint16_t ir() const { return ir_; }
+
+  /// Performance counters.
+  std::uint64_t cycles() const { return cycles_; }
+  std::uint64_t instructions() const { return instructions_; }
+  std::uint64_t stall_cycles() const { return stall_cycles_; }
+  double cpi() const {
+    return instructions_ ? static_cast<double>(cycles_) /
+                               static_cast<double>(instructions_)
+                         : 0.0;
+  }
+
+  void reset();
+
+ private:
+  void exec(Bus& bus);
+  void mem_stage(Bus& bus);
+  void retire() {
+    ++instructions_;
+    state_ = State::kFetch;
+  }
+
+  State state_ = State::kHalt;
+  std::array<std::uint16_t, 16> regs_{};
+  std::uint16_t pc_ = 0;
+  std::uint16_t sp_ = 0;
+  std::uint16_t ir_ = 0;
+  Flags flags_;
+  Instr instr_;
+  std::uint16_t instr_addr_ = 0;  ///< address the current instr was fetched from
+
+  // kMem bookkeeping.
+  enum class MemKind : std::uint8_t { kLoad, kStore, kPush, kPop, kJsrPush,
+                                      kRtsPop };
+  MemKind mem_kind_ = MemKind::kLoad;
+  std::uint16_t mem_addr_ = 0;
+  std::uint16_t mem_wdata_ = 0;
+  std::uint16_t jump_target_ = 0;
+
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t stall_cycles_ = 0;
+};
+
+}  // namespace mn::r8

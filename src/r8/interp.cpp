@@ -1,0 +1,165 @@
+#include "r8/interp.hpp"
+
+#include <algorithm>
+
+namespace mn::r8 {
+
+void Interp::load(const std::vector<std::uint16_t>& image,
+                  std::uint16_t base) {
+  std::copy(image.begin(), image.end(), mem_.begin() + base);
+}
+
+void Interp::reset() {
+  std::fill(mem_.begin(), mem_.end(), 0);
+  regs_.fill(0);
+  pc_ = 0;
+  sp_ = 0;
+  flags_ = Flags{};
+  halted_ = false;
+  instructions_ = 0;
+  ideal_cycles_ = 0;
+}
+
+std::uint16_t Interp::read(std::uint16_t addr) {
+  if (addr == kAddrIo) return on_scanf ? on_scanf() : 0;
+  return mem_[addr];
+}
+
+void Interp::write(std::uint16_t addr, std::uint16_t v) {
+  if (addr == kAddrIo) {
+    if (on_printf) on_printf(v);
+    return;
+  }
+  if (addr == kAddrWait || addr == kAddrNotify) {
+    if (on_sync) on_sync(addr, v);
+    return;
+  }
+  mem_[addr] = v;
+}
+
+std::uint64_t Interp::run(std::uint64_t max_steps) {
+  std::uint64_t n = 0;
+  while (!halted_ && n < max_steps) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
+void Interp::step() {
+  if (halted_) return;
+  const std::uint16_t instr_addr = pc_;
+  const std::uint16_t word = mem_[pc_];
+  ++pc_;
+  const auto decoded = decode(word);
+  const Instr i = decoded.value_or(Instr{});  // illegal -> NOP
+  ++instructions_;
+
+  if (is_alu(i.op)) {
+    std::uint16_t a, b;
+    if (format_of(i.op) == Format::kRI) {
+      a = regs_[i.rt];
+      b = i.imm;
+    } else if (format_of(i.op) == Format::kRR) {
+      a = regs_[i.rs1];
+      b = 0;
+    } else {
+      a = regs_[i.rs1];
+      b = regs_[i.rs2];
+    }
+    const AluResult r = alu_eval(i.op, a, b, flags_);
+    regs_[i.rt] = r.value;
+    flags_ = r.flags;
+    ideal_cycles_ += 2;
+    return;
+  }
+
+  switch (i.op) {
+    case Opcode::kLdl:
+      regs_[i.rt] = static_cast<std::uint16_t>((regs_[i.rt] & 0xFF00) | i.imm);
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kLdh:
+      regs_[i.rt] =
+          static_cast<std::uint16_t>((i.imm << 8) | (regs_[i.rt] & 0x00FF));
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kLd:
+      regs_[i.rt] =
+          read(static_cast<std::uint16_t>(regs_[i.rs1] + regs_[i.rs2]));
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kSt:
+      write(static_cast<std::uint16_t>(regs_[i.rs1] + regs_[i.rs2]),
+            regs_[i.rt]);
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kPush:
+      mem_[sp_] = regs_[i.rs1];
+      --sp_;
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kPop:
+      ++sp_;
+      regs_[i.rs1] = mem_[sp_];
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kJsr:
+      mem_[sp_] = pc_;
+      --sp_;
+      pc_ = regs_[i.rs1];
+      ideal_cycles_ += 4;
+      return;
+    case Opcode::kJsrd:
+      mem_[sp_] = pc_;
+      --sp_;
+      pc_ = static_cast<std::uint16_t>(instr_addr + i.disp);
+      ideal_cycles_ += 4;
+      return;
+    case Opcode::kRts:
+      ++sp_;
+      pc_ = mem_[sp_];
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kLdsp:
+      sp_ = regs_[i.rs1];
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kNop:
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kHalt:
+      halted_ = true;
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kJmp:
+    case Opcode::kJmpn:
+    case Opcode::kJmpz:
+    case Opcode::kJmpc:
+    case Opcode::kJmpv:
+      if (jump_taken(i.op, flags_)) {
+        pc_ = regs_[i.rs1];
+        ideal_cycles_ += 3;
+      } else {
+        ideal_cycles_ += 2;
+      }
+      return;
+    case Opcode::kJmpd:
+    case Opcode::kJmpnd:
+    case Opcode::kJmpzd:
+    case Opcode::kJmpcd:
+    case Opcode::kJmpvd:
+      if (jump_taken(i.op, flags_)) {
+        pc_ = static_cast<std::uint16_t>(instr_addr + i.disp);
+        ideal_cycles_ += 3;
+      } else {
+        ideal_cycles_ += 2;
+      }
+      return;
+    default:
+      ideal_cycles_ += 2;
+      return;
+  }
+}
+
+}  // namespace mn::r8

@@ -1,0 +1,78 @@
+#pragma once
+// Functional R8 interpreter — the reproduction of the "R8 Simulator"
+// environment of paper §4 ("allows writing, simulating and debugging
+// assembly code"). Executes object code on a flat 64K-word memory with
+// host callbacks for the memory-mapped I/O addresses. Not cycle-accurate;
+// it also computes the *ideal* cycle count from the documented CPI model,
+// which tests cross-check against the cycle-accurate Cpu.
+//
+// Like the original tool, it cannot simulate a multiprocessed application:
+// wait/notify stores are reported via the `on_sync` callback and otherwise
+// ignored.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "r8/alu.hpp"
+#include "r8/isa.hpp"
+
+namespace mn::r8 {
+
+/// Memory-mapped control addresses (paper §2.4).
+inline constexpr std::uint16_t kAddrNotify = 0xFFFD;
+inline constexpr std::uint16_t kAddrWait = 0xFFFE;
+inline constexpr std::uint16_t kAddrIo = 0xFFFF;
+
+class Interp {
+ public:
+  Interp() : mem_(1 << 16, 0) {}
+
+  /// Load an object image at `base`.
+  void load(const std::vector<std::uint16_t>& image, std::uint16_t base = 0);
+
+  /// I/O hooks. printf: ST to FFFF; scanf: LD from FFFF.
+  std::function<void(std::uint16_t)> on_printf;
+  std::function<std::uint16_t()> on_scanf;
+  /// Called for wait (ST FFFE) and notify (ST FFFD); arg = stored value.
+  std::function<void(std::uint16_t addr, std::uint16_t value)> on_sync;
+
+  /// Run until HALT or `max_steps` instructions. Returns instructions
+  /// executed.
+  std::uint64_t run(std::uint64_t max_steps = 1'000'000);
+
+  /// Execute exactly one instruction (no-op when halted).
+  void step();
+
+  bool halted() const { return halted_; }
+  std::uint16_t pc() const { return pc_; }
+  std::uint16_t sp() const { return sp_; }
+  std::uint16_t reg(unsigned i) const { return regs_[i & 0xF]; }
+  void set_reg(unsigned i, std::uint16_t v) { regs_[i & 0xF] = v; }
+  void set_sp(std::uint16_t v) { sp_ = v; }
+  Flags flags() const { return flags_; }
+
+  std::uint16_t mem(std::uint16_t addr) const { return mem_[addr]; }
+  void set_mem(std::uint16_t addr, std::uint16_t v) { mem_[addr] = v; }
+
+  std::uint64_t instructions() const { return instructions_; }
+  /// Ideal cycle count per the documented CPI model (local memory only).
+  std::uint64_t ideal_cycles() const { return ideal_cycles_; }
+
+  void reset();
+
+ private:
+  std::uint16_t read(std::uint16_t addr);
+  void write(std::uint16_t addr, std::uint16_t v);
+
+  std::vector<std::uint16_t> mem_;
+  std::array<std::uint16_t, 16> regs_{};
+  std::uint16_t pc_ = 0;
+  std::uint16_t sp_ = 0;
+  Flags flags_;
+  bool halted_ = false;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t ideal_cycles_ = 0;
+};
+
+}  // namespace mn::r8

@@ -1,0 +1,252 @@
+#include "r8/isa.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <sstream>
+
+namespace mn::r8 {
+
+namespace {
+
+struct OpInfo {
+  Opcode op;
+  const char* name;
+  Format fmt;
+};
+
+constexpr std::array<OpInfo, kOpcodeCount> kOps{{
+    {Opcode::kAdd, "ADD", Format::kRRR},
+    {Opcode::kSub, "SUB", Format::kRRR},
+    {Opcode::kAddc, "ADDC", Format::kRRR},
+    {Opcode::kSubc, "SUBC", Format::kRRR},
+    {Opcode::kAnd, "AND", Format::kRRR},
+    {Opcode::kOr, "OR", Format::kRRR},
+    {Opcode::kXor, "XOR", Format::kRRR},
+    {Opcode::kLd, "LD", Format::kRRR},
+    {Opcode::kSt, "ST", Format::kRRR},
+    {Opcode::kAddi, "ADDI", Format::kRI},
+    {Opcode::kSubi, "SUBI", Format::kRI},
+    {Opcode::kLdl, "LDL", Format::kRI},
+    {Opcode::kLdh, "LDH", Format::kRI},
+    {Opcode::kNot, "NOT", Format::kRR},
+    {Opcode::kSl0, "SL0", Format::kRR},
+    {Opcode::kSl1, "SL1", Format::kRR},
+    {Opcode::kSr0, "SR0", Format::kRR},
+    {Opcode::kSr1, "SR1", Format::kRR},
+    {Opcode::kJmp, "JMP", Format::kR},
+    {Opcode::kJmpn, "JMPN", Format::kR},
+    {Opcode::kJmpz, "JMPZ", Format::kR},
+    {Opcode::kJmpc, "JMPC", Format::kR},
+    {Opcode::kJmpv, "JMPV", Format::kR},
+    {Opcode::kJsr, "JSR", Format::kR},
+    {Opcode::kRts, "RTS", Format::kNone},
+    {Opcode::kPush, "PUSH", Format::kR},
+    {Opcode::kPop, "POP", Format::kR},
+    {Opcode::kLdsp, "LDSP", Format::kR},
+    {Opcode::kNop, "NOP", Format::kNone},
+    {Opcode::kHalt, "HALT", Format::kNone},
+    {Opcode::kJmpd, "JMPD", Format::kD9},
+    {Opcode::kJmpnd, "JMPND", Format::kD9},
+    {Opcode::kJmpzd, "JMPZD", Format::kD9},
+    {Opcode::kJmpcd, "JMPCD", Format::kD9},
+    {Opcode::kJmpvd, "JMPVD", Format::kD9},
+    {Opcode::kJsrd, "JSRD", Format::kD9},
+}};
+
+const OpInfo& info(Opcode op) { return kOps[static_cast<std::size_t>(op)]; }
+
+// Major opcode nibbles (docs/R8_ISA.md).
+constexpr std::uint16_t kMajorUnary = 0xD;
+constexpr std::uint16_t kMajorSys = 0xE;
+constexpr std::uint16_t kMajorDisp = 0xF;
+
+/// Major nibble for the plain RRR/RI opcodes (kAdd..kLdh are 0x0..0xC).
+std::uint16_t major_of(Opcode op) {
+  return static_cast<std::uint16_t>(op);
+}
+
+/// Subcode within the 0xD group.
+std::uint16_t unary_sub(Opcode op) {
+  return static_cast<std::uint16_t>(op) -
+         static_cast<std::uint16_t>(Opcode::kNot);
+}
+
+/// Subcode within the 0xE group.
+std::uint16_t sys_sub(Opcode op) {
+  return static_cast<std::uint16_t>(op) -
+         static_cast<std::uint16_t>(Opcode::kJmp);
+}
+
+/// Subcode within the 0xF group.
+std::uint16_t disp_sub(Opcode op) {
+  return static_cast<std::uint16_t>(op) -
+         static_cast<std::uint16_t>(Opcode::kJmpd);
+}
+
+}  // namespace
+
+const char* mnemonic(Opcode op) { return info(op).name; }
+
+Format format_of(Opcode op) { return info(op).fmt; }
+
+std::optional<Opcode> opcode_from_mnemonic(const std::string& m) {
+  std::string upper(m);
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  for (const auto& o : kOps) {
+    if (upper == o.name) return o.op;
+  }
+  return std::nullopt;
+}
+
+std::uint16_t encode(const Instr& i) {
+  const auto rt = static_cast<std::uint16_t>(i.rt & 0xF);
+  const auto rs1 = static_cast<std::uint16_t>(i.rs1 & 0xF);
+  const auto rs2 = static_cast<std::uint16_t>(i.rs2 & 0xF);
+  switch (format_of(i.op)) {
+    case Format::kRRR:
+      return static_cast<std::uint16_t>((major_of(i.op) << 12) | (rt << 8) |
+                                        (rs1 << 4) | rs2);
+    case Format::kRI:
+      return static_cast<std::uint16_t>((major_of(i.op) << 12) | (rt << 8) |
+                                        i.imm);
+    case Format::kRR:
+      return static_cast<std::uint16_t>((kMajorUnary << 12) | (rt << 8) |
+                                        (unary_sub(i.op) << 4) | rs1);
+    case Format::kR:
+      return static_cast<std::uint16_t>((kMajorSys << 12) |
+                                        (sys_sub(i.op) << 8) | rs1);
+    case Format::kNone:
+      return static_cast<std::uint16_t>((kMajorSys << 12) |
+                                        (sys_sub(i.op) << 8));
+    case Format::kD9:
+      return static_cast<std::uint16_t>(
+          (kMajorDisp << 12) | (disp_sub(i.op) << 9) |
+          (static_cast<std::uint16_t>(i.disp) & 0x1FF));
+  }
+  return 0;
+}
+
+std::optional<Instr> decode(std::uint16_t word) {
+  const std::uint16_t major = word >> 12;
+  Instr i;
+  if (major <= 0x8) {  // RRR group: ADD..ST
+    i.op = static_cast<Opcode>(major);
+    i.rt = (word >> 8) & 0xF;
+    i.rs1 = (word >> 4) & 0xF;
+    i.rs2 = word & 0xF;
+    return i;
+  }
+  if (major <= 0xC) {  // RI group: ADDI..LDH
+    i.op = static_cast<Opcode>(major);
+    i.rt = (word >> 8) & 0xF;
+    i.imm = word & 0xFF;
+    return i;
+  }
+  if (major == kMajorUnary) {
+    const std::uint16_t sub = (word >> 4) & 0xF;
+    if (sub > 4) return std::nullopt;
+    i.op = static_cast<Opcode>(static_cast<std::uint16_t>(Opcode::kNot) + sub);
+    i.rt = (word >> 8) & 0xF;
+    i.rs1 = word & 0xF;
+    return i;
+  }
+  if (major == kMajorSys) {
+    const std::uint16_t sub = (word >> 8) & 0xF;
+    if (sub > 0xB) return std::nullopt;
+    i.op = static_cast<Opcode>(static_cast<std::uint16_t>(Opcode::kJmp) + sub);
+    if (format_of(i.op) == Format::kR) i.rs1 = word & 0xF;
+    return i;
+  }
+  // kMajorDisp
+  const std::uint16_t sub = (word >> 9) & 0x7;
+  if (sub > 5) return std::nullopt;
+  i.op = static_cast<Opcode>(static_cast<std::uint16_t>(Opcode::kJmpd) + sub);
+  std::int16_t d = static_cast<std::int16_t>(word & 0x1FF);
+  if (d & 0x100) d -= 0x200;  // sign-extend 9 bits
+  i.disp = d;
+  return i;
+}
+
+std::string disassemble(std::uint16_t word) {
+  const auto di = decode(word);
+  if (!di) {
+    std::ostringstream oss;
+    oss << ".word 0x" << std::hex << word;
+    return oss.str();
+  }
+  const Instr& i = *di;
+  std::ostringstream oss;
+  oss << mnemonic(i.op);
+  switch (format_of(i.op)) {
+    case Format::kRRR:
+      oss << " R" << int(i.rt) << ", R" << int(i.rs1) << ", R" << int(i.rs2);
+      break;
+    case Format::kRI:
+      oss << " R" << int(i.rt) << ", " << int(i.imm);
+      break;
+    case Format::kRR:
+      oss << " R" << int(i.rt) << ", R" << int(i.rs1);
+      break;
+    case Format::kR:
+      oss << " R" << int(i.rs1);
+      break;
+    case Format::kNone:
+      break;
+    case Format::kD9:
+      oss << ' ' << i.disp;
+      break;
+  }
+  return oss.str();
+}
+
+bool is_alu(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAddc:
+    case Opcode::kSubc: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kAddi: case Opcode::kSubi:
+    case Opcode::kNot: case Opcode::kSl0: case Opcode::kSl1:
+    case Opcode::kSr0: case Opcode::kSr1:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_memory(Opcode op) {
+  switch (op) {
+    case Opcode::kLd: case Opcode::kSt: case Opcode::kPush:
+    case Opcode::kPop: case Opcode::kJsr: case Opcode::kRts:
+    case Opcode::kJsrd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_jump(Opcode op) {
+  switch (op) {
+    case Opcode::kJmp: case Opcode::kJmpn: case Opcode::kJmpz:
+    case Opcode::kJmpc: case Opcode::kJmpv: case Opcode::kJsr:
+    case Opcode::kRts: case Opcode::kJmpd: case Opcode::kJmpnd:
+    case Opcode::kJmpzd: case Opcode::kJmpcd: case Opcode::kJmpvd:
+    case Opcode::kJsrd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_conditional(Opcode op) {
+  switch (op) {
+    case Opcode::kJmpn: case Opcode::kJmpz: case Opcode::kJmpc:
+    case Opcode::kJmpv: case Opcode::kJmpnd: case Opcode::kJmpzd:
+    case Opcode::kJmpcd: case Opcode::kJmpvd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace mn::r8

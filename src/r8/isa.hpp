@@ -1,0 +1,71 @@
+#pragma once
+// R8 instruction set: encoding, decoding, and metadata.
+// See docs/R8_ISA.md for the full reconstructed specification.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mn::r8 {
+
+/// All 36 R8 instructions.
+enum class Opcode : std::uint8_t {
+  kAdd, kSub, kAddc, kSubc, kAnd, kOr, kXor,
+  kLd, kSt,
+  kAddi, kSubi, kLdl, kLdh,
+  kNot, kSl0, kSl1, kSr0, kSr1,
+  kJmp, kJmpn, kJmpz, kJmpc, kJmpv,
+  kJsr, kRts, kPush, kPop, kLdsp, kNop, kHalt,
+  kJmpd, kJmpnd, kJmpzd, kJmpcd, kJmpvd, kJsrd,
+};
+
+inline constexpr int kOpcodeCount = 36;
+
+/// Operand shape of an instruction.
+enum class Format : std::uint8_t {
+  kRRR,   ///< Rt, Rs1, Rs2
+  kRI,    ///< Rt, imm8
+  kRR,    ///< Rt, Rs        (unary group)
+  kR,     ///< single register (jumps/push/pop/ldsp)
+  kNone,  ///< RTS/NOP/HALT
+  kD9,    ///< signed 9-bit displacement
+};
+
+/// Decoded instruction.
+struct Instr {
+  Opcode op = Opcode::kNop;
+  std::uint8_t rt = 0;   ///< target register
+  std::uint8_t rs1 = 0;  ///< first source
+  std::uint8_t rs2 = 0;  ///< second source
+  std::uint8_t imm = 0;  ///< 8-bit immediate
+  std::int16_t disp = 0; ///< signed 9-bit displacement
+
+  bool operator==(const Instr&) const = default;
+};
+
+const char* mnemonic(Opcode op);
+Format format_of(Opcode op);
+
+/// Look up an opcode by (case-insensitive) mnemonic.
+std::optional<Opcode> opcode_from_mnemonic(const std::string& m);
+
+/// Encode to a 16-bit word. Field ranges are masked; disp must fit 9 bits
+/// signed (checked by the assembler before calling).
+std::uint16_t encode(const Instr& i);
+
+/// Decode a 16-bit word. Returns nullopt for illegal encodings.
+std::optional<Instr> decode(std::uint16_t word);
+
+/// Human-readable disassembly of one instruction word.
+std::string disassemble(std::uint16_t word);
+
+/// True if the displacement fits the signed 9-bit field.
+constexpr bool disp_fits(int d) { return d >= -256 && d <= 255; }
+
+/// Classification helpers used by the CPU and the CPI bench.
+bool is_alu(Opcode op);       ///< writes flags via the ALU
+bool is_memory(Opcode op);    ///< LD/ST/PUSH/POP/JSR/RTS/JSRD (touch memory)
+bool is_jump(Opcode op);      ///< any control transfer
+bool is_conditional(Opcode op);
+
+}  // namespace mn::r8

@@ -1,0 +1,490 @@
+#include "r8asm/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "r8/isa.hpp"
+
+namespace mn::r8asm {
+
+namespace {
+
+using mn::r8::Format;
+using mn::r8::Instr;
+using mn::r8::Opcode;
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  return s;
+}
+
+/// Strip ';' and '--' comments (outside of character/string literals).
+std::string strip_comment(const std::string& line) {
+  bool in_str = false;
+  bool in_chr = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"' && !in_chr) in_str = !in_str;
+    if (c == '\'' && !in_str) in_chr = !in_chr;
+    if (in_str || in_chr) continue;
+    if (c == ';') return line.substr(0, i);
+    if (c == '-' && i + 1 < line.size() && line[i + 1] == '-') {
+      return line.substr(0, i);
+    }
+  }
+  return line;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Split "a, b, c" at top level (no parens nesting needed beyond lo()/hi()).
+std::vector<std::string> split_operands(const std::string& s) {
+  std::vector<std::string> out;
+  int depth = 0;
+  bool in_str = false;
+  std::string cur;
+  for (char c : s) {
+    if (c == '"') in_str = !in_str;
+    if (!in_str) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == ',' && depth == 0) {
+        out.push_back(trim(cur));
+        cur.clear();
+        continue;
+      }
+    }
+    cur.push_back(c);
+  }
+  if (!trim(cur).empty() || !out.empty()) out.push_back(trim(cur));
+  return out;
+}
+
+/// One parsed source line.
+struct Line {
+  int number = 0;
+  std::string label;
+  std::string head;                  ///< mnemonic or directive (upper-case)
+  std::vector<std::string> operands;
+  std::string raw;
+};
+
+class Assembler {
+ public:
+  Assembly run(const std::string& source) {
+    parse_lines(source);
+    pass1();
+    if (result_.errors.empty()) pass2();
+    result_.ok = result_.errors.empty();
+    return std::move(result_);
+  }
+
+ private:
+  void error(int line, const std::string& msg) {
+    result_.errors.push_back({line, msg});
+  }
+
+  void parse_lines(const std::string& source) {
+    std::istringstream in(source);
+    std::string raw;
+    int number = 0;
+    while (std::getline(in, raw)) {
+      ++number;
+      Line ln;
+      ln.number = number;
+      ln.raw = raw;
+      std::string body = trim(strip_comment(raw));
+      // Optional label.
+      if (!body.empty() && is_ident_start(body[0])) {
+        std::size_t i = 1;
+        while (i < body.size() && is_ident_char(body[i])) ++i;
+        if (i < body.size() && body[i] == ':') {
+          ln.label = body.substr(0, i);
+          body = trim(body.substr(i + 1));
+        }
+      }
+      if (!body.empty()) {
+        std::size_t sp = 0;
+        while (sp < body.size() &&
+               !std::isspace(static_cast<unsigned char>(body[sp]))) {
+          ++sp;
+        }
+        ln.head = upper(body.substr(0, sp));
+        const std::string rest = trim(body.substr(std::min(sp, body.size())));
+        ln.operands = split_operands(rest);
+      }
+      lines_.push_back(std::move(ln));
+    }
+  }
+
+  // ---- expression evaluation -------------------------------------------
+
+  std::optional<std::int32_t> parse_number(const std::string& tok) {
+    if (tok.empty()) return std::nullopt;
+    if (tok.size() >= 3 && tok.front() == '\'' && tok.back() == '\'') {
+      return static_cast<std::int32_t>(
+          static_cast<unsigned char>(tok[1]));
+    }
+    if (tok.size() > 2 && (tok[0] == '0') &&
+        (tok[1] == 'x' || tok[1] == 'X')) {
+      std::int32_t v = 0;
+      for (std::size_t i = 2; i < tok.size(); ++i) {
+        const char c = tok[i];
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return std::nullopt;
+        v = v * 16 + d;
+      }
+      return v;
+    }
+    // Trailing-h hex (paper style: FFFEh).
+    if ((tok.back() == 'h' || tok.back() == 'H') && tok.size() > 1) {
+      std::int32_t v = 0;
+      for (std::size_t i = 0; i + 1 < tok.size(); ++i) {
+        const char c = tok[i];
+        int d;
+        if (c >= '0' && c <= '9') d = c - '0';
+        else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+        else return std::nullopt;
+        v = v * 16 + d;
+      }
+      return v;
+    }
+    if (std::all_of(tok.begin(), tok.end(), [](unsigned char c) {
+          return std::isdigit(c);
+        })) {
+      return std::stoi(tok);
+    }
+    return std::nullopt;
+  }
+
+  /// Evaluate an expression; in pass 1 unknown symbols yield nullopt
+  /// silently (when `lenient`), in pass 2 they are errors.
+  std::optional<std::int32_t> eval(const std::string& expr, int line,
+                                   bool lenient) {
+    // lo(...) / hi(...)
+    const std::string t = trim(expr);
+    if (t.empty()) {
+      if (!lenient) error(line, "empty expression");
+      return std::nullopt;
+    }
+    const std::string low = upper(t.substr(0, 3));
+    if ((low == "LO(" || low == "HI(") && t.back() == ')') {
+      const auto inner = eval(t.substr(3, t.size() - 4), line, lenient);
+      if (!inner) return std::nullopt;
+      return low == "LO(" ? (*inner & 0xFF) : ((*inner >> 8) & 0xFF);
+    }
+    // Left-to-right +/- chain.
+    std::vector<std::pair<char, std::string>> terms;
+    char op = '+';
+    std::string cur;
+    int depth = 0;
+    for (char c : t) {
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if ((c == '+' || c == '-') && depth == 0 && !trim(cur).empty()) {
+        terms.emplace_back(op, trim(cur));
+        op = c;
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    terms.emplace_back(op, trim(cur));
+
+    std::int32_t acc = 0;
+    for (auto& [sign, term] : terms) {
+      std::optional<std::int32_t> v = parse_number(term);
+      if (!v) {
+        // lo()/hi() nested in a term
+        const std::string tl = upper(term.substr(0, 3));
+        if ((tl == "LO(" || tl == "HI(") && term.back() == ')') {
+          v = eval(term, line, lenient);
+        } else if (is_ident_start(term.empty() ? ' ' : term[0])) {
+          auto it = result_.symbols.find(term);
+          if (it != result_.symbols.end()) {
+            v = it->second;
+          } else if (!lenient) {
+            error(line, "undefined symbol '" + term + "'");
+            return std::nullopt;
+          } else {
+            return std::nullopt;
+          }
+        }
+      }
+      if (!v) {
+        if (!lenient) error(line, "bad expression term '" + term + "'");
+        return std::nullopt;
+      }
+      acc = sign == '+' ? acc + *v : acc - *v;
+    }
+    return acc;
+  }
+
+  // ---- size computation --------------------------------------------------
+
+  /// Words a line emits (instructions are always 1 word).
+  std::size_t line_size(const Line& ln, int pass) {
+    if (ln.head.empty()) return 0;
+    if (ln.head == ".ORG" || ln.head == ".EQU") return 0;
+    if (ln.head == ".WORD") return ln.operands.size();
+    if (ln.head == ".SPACE") {
+      const auto v = eval(ln.operands.empty() ? "" : ln.operands[0],
+                          ln.number, pass == 1);
+      return v && *v >= 0 ? static_cast<std::size_t>(*v) : 0;
+    }
+    if (ln.head == ".ASCII") {
+      if (ln.operands.empty()) return 0;
+      const std::string& s = ln.operands[0];
+      if (s.size() >= 2 && s.front() == '"' && s.back() == '"') {
+        return s.size() - 2;
+      }
+      return 0;
+    }
+    return 1;  // instruction
+  }
+
+  void pass1() {
+    std::uint32_t lc = 0;
+    for (const Line& ln : lines_) {
+      if (!ln.label.empty()) {
+        if (result_.symbols.count(ln.label)) {
+          error(ln.number, "duplicate label '" + ln.label + "'");
+        }
+        result_.symbols[ln.label] = static_cast<std::uint16_t>(lc);
+      }
+      if (ln.head == ".ORG") {
+        const auto v = eval(ln.operands.empty() ? "" : ln.operands[0],
+                            ln.number, false);
+        if (v) lc = static_cast<std::uint32_t>(*v);
+        // re-bind a label on the same line to the new origin
+        if (!ln.label.empty()) {
+          result_.symbols[ln.label] = static_cast<std::uint16_t>(lc);
+        }
+        continue;
+      }
+      if (ln.head == ".EQU") {
+        if (ln.operands.size() != 2) {
+          error(ln.number, ".equ needs NAME, value");
+          continue;
+        }
+        const auto v = eval(ln.operands[1], ln.number, false);
+        if (v) {
+          result_.symbols[ln.operands[0]] = static_cast<std::uint16_t>(*v);
+        }
+        continue;
+      }
+      lc += line_size(ln, 1);
+      if (lc > 0x10000) {
+        error(ln.number, "location counter overflow");
+        return;
+      }
+    }
+  }
+
+  void emit(std::uint32_t addr, std::uint16_t word) {
+    if (result_.image.size() <= addr) result_.image.resize(addr + 1, 0);
+    result_.image[addr] = word;
+  }
+
+  std::optional<std::uint8_t> parse_reg(const std::string& tok, int line) {
+    const std::string t = upper(trim(tok));
+    if (t.size() >= 2 && t[0] == 'R') {
+      const std::string num = t.substr(1);
+      if (!num.empty() && std::all_of(num.begin(), num.end(), ::isdigit)) {
+        const int v = std::stoi(num);
+        if (v >= 0 && v <= 15) return static_cast<std::uint8_t>(v);
+      }
+    }
+    error(line, "expected register, got '" + tok + "'");
+    return std::nullopt;
+  }
+
+  void assemble_instr(const Line& ln, std::uint32_t lc) {
+    const auto op = mn::r8::opcode_from_mnemonic(ln.head);
+    if (!op) {
+      error(ln.number, "unknown mnemonic '" + ln.head + "'");
+      return;
+    }
+    Instr ins;
+    ins.op = *op;
+    const auto& ops = ln.operands;
+    auto need = [&](std::size_t n) {
+      if (ops.size() != n) {
+        std::ostringstream oss;
+        oss << ln.head << " expects " << n << " operand(s), got "
+            << ops.size();
+        error(ln.number, oss.str());
+        return false;
+      }
+      return true;
+    };
+    switch (mn::r8::format_of(*op)) {
+      case Format::kRRR: {
+        if (!need(3)) return;
+        const auto rt = parse_reg(ops[0], ln.number);
+        const auto r1 = parse_reg(ops[1], ln.number);
+        const auto r2 = parse_reg(ops[2], ln.number);
+        if (!rt || !r1 || !r2) return;
+        ins.rt = *rt;
+        ins.rs1 = *r1;
+        ins.rs2 = *r2;
+        break;
+      }
+      case Format::kRI: {
+        if (!need(2)) return;
+        const auto rt = parse_reg(ops[0], ln.number);
+        const auto v = eval(ops[1], ln.number, false);
+        if (!rt || !v) return;
+        if (*v < -128 || *v > 255) {
+          error(ln.number, "immediate out of 8-bit range");
+          return;
+        }
+        ins.rt = *rt;
+        ins.imm = static_cast<std::uint8_t>(*v & 0xFF);
+        break;
+      }
+      case Format::kRR: {
+        if (!need(2)) return;
+        const auto rt = parse_reg(ops[0], ln.number);
+        const auto rs = parse_reg(ops[1], ln.number);
+        if (!rt || !rs) return;
+        ins.rt = *rt;
+        ins.rs1 = *rs;
+        break;
+      }
+      case Format::kR: {
+        if (!need(1)) return;
+        const auto rs = parse_reg(ops[0], ln.number);
+        if (!rs) return;
+        ins.rs1 = *rs;
+        break;
+      }
+      case Format::kNone:
+        if (!need(0)) return;
+        break;
+      case Format::kD9: {
+        if (!need(1)) return;
+        const auto v = eval(ops[0], ln.number, false);
+        if (!v) return;
+        // Operand is a target address (label); displacement is relative to
+        // this instruction's own address.
+        const std::int32_t disp = *v - static_cast<std::int32_t>(lc);
+        if (!mn::r8::disp_fits(disp)) {
+          error(ln.number, "jump displacement out of range");
+          return;
+        }
+        ins.disp = static_cast<std::int16_t>(disp);
+        break;
+      }
+    }
+    emit(lc, mn::r8::encode(ins));
+    add_listing(lc, mn::r8::encode(ins), ln.raw);
+  }
+
+  void add_listing(std::uint32_t addr, std::uint16_t word,
+                   const std::string& raw) {
+    std::ostringstream oss;
+    oss << std::hex << std::uppercase;
+    oss.width(4);
+    oss.fill('0');
+    oss << addr << "  ";
+    oss.width(4);
+    oss << word << "  " << raw;
+    result_.listing.push_back(oss.str());
+  }
+
+  void pass2() {
+    std::uint32_t lc = 0;
+    for (const Line& ln : lines_) {
+      if (ln.head == ".ORG") {
+        const auto v = eval(ln.operands.empty() ? "" : ln.operands[0],
+                            ln.number, false);
+        if (v) lc = static_cast<std::uint32_t>(*v);
+        continue;
+      }
+      if (ln.head == ".EQU" || ln.head.empty()) continue;
+      if (ln.head == ".WORD") {
+        for (const auto& e : ln.operands) {
+          const auto v = eval(e, ln.number, false);
+          if (v) {
+            emit(lc, static_cast<std::uint16_t>(*v & 0xFFFF));
+            add_listing(lc, static_cast<std::uint16_t>(*v & 0xFFFF), ln.raw);
+          }
+          ++lc;
+        }
+        continue;
+      }
+      if (ln.head == ".SPACE") {
+        const auto v = eval(ln.operands.empty() ? "" : ln.operands[0],
+                            ln.number, false);
+        if (v && *v > 0) {
+          for (std::int32_t k = 0; k < *v; ++k) emit(lc + k, 0);
+          lc += static_cast<std::uint32_t>(*v);
+        }
+        continue;
+      }
+      if (ln.head == ".ASCII") {
+        if (ln.operands.empty()) {
+          error(ln.number, ".ascii needs a string");
+          continue;
+        }
+        const std::string& s = ln.operands[0];
+        if (s.size() < 2 || s.front() != '"' || s.back() != '"') {
+          error(ln.number, ".ascii needs a quoted string");
+          continue;
+        }
+        for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+          emit(lc, static_cast<std::uint16_t>(
+                       static_cast<unsigned char>(s[i])));
+          ++lc;
+        }
+        continue;
+      }
+      if (ln.head[0] == '.') {
+        error(ln.number, "unknown directive '" + ln.head + "'");
+        continue;
+      }
+      assemble_instr(ln, lc);
+      ++lc;
+    }
+  }
+
+  std::vector<Line> lines_;
+  Assembly result_;
+};
+
+}  // namespace
+
+std::string Assembly::error_text() const {
+  if (errors.empty()) return {};
+  std::ostringstream oss;
+  for (const auto& e : errors) {
+    oss << "line " << e.line << ": " << e.message << '\n';
+  }
+  return oss.str();
+}
+
+Assembly assemble(const std::string& source) {
+  return Assembler{}.run(source);
+}
+
+}  // namespace mn::r8asm

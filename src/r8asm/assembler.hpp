@@ -1,0 +1,48 @@
+#pragma once
+// Two-pass R8 assembler — the toolchain piece that replaces the paper's
+// "R8 Simulator environment ... generating automatically the object code"
+// (§4). Produces a 16-bit word image ready for download through the
+// Serial software model.
+//
+// Syntax:
+//   ; comment                      (also "--" comments)
+//   label:  ADD R1, R2, R3
+//           LDL R4, lo(table)      ; low byte of a symbol/expression
+//           LDH R4, hi(table)
+//           JMPZD done             ; displacement computed from the label
+//   .org  0x0100                   ; set location counter
+//   .equ  SIZE, 32                 ; define a constant
+//   .word 1, 2, 0xABCD, label+1    ; emit literal words
+//   .space 8                       ; emit zero words
+//   .ascii "text"                  ; one character per 16-bit word
+//
+// Numbers: decimal, 0x-hex, trailing-h hex (0FFFEh), 'c' characters.
+// Expressions support + and - with left-to-right evaluation.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mn::r8asm {
+
+struct AsmError {
+  int line = 0;
+  std::string message;
+};
+
+struct Assembly {
+  bool ok = false;
+  std::vector<std::uint16_t> image;          ///< words from 0 to highest .org
+  std::map<std::string, std::uint16_t> symbols;
+  std::vector<AsmError> errors;
+  std::vector<std::string> listing;          ///< addr/word/source per line
+
+  /// First error rendered for quick diagnostics; empty when ok.
+  std::string error_text() const;
+};
+
+/// Assemble a full source text.
+Assembly assemble(const std::string& source);
+
+}  // namespace mn::r8asm

@@ -1,0 +1,80 @@
+#include "r8asm/objfile.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace mn::r8asm {
+
+std::vector<std::uint16_t> ObjFile::flatten(std::size_t size) const {
+  std::size_t top = size;
+  for (const auto& s : sections) {
+    top = std::max(top, static_cast<std::size_t>(s.base) + s.words.size());
+  }
+  std::vector<std::uint16_t> image(top, 0);
+  for (const auto& s : sections) {
+    for (std::size_t i = 0; i < s.words.size(); ++i) {
+      image[s.base + i] = s.words[i];
+    }
+  }
+  return image;
+}
+
+std::string to_load_text(const std::vector<std::uint16_t>& image,
+                         std::uint16_t base) {
+  std::ostringstream oss;
+  oss << std::hex << std::uppercase;
+  oss << '@';
+  oss.width(4);
+  oss.fill('0');
+  oss << base << '\n';
+  for (std::uint16_t w : image) {
+    oss.width(4);
+    oss.fill('0');
+    oss << w << '\n';
+  }
+  return oss.str();
+}
+
+std::optional<ObjFile> parse_load_text(const std::string& text) {
+  ObjFile obj;
+  obj.sections.push_back({0, {}});
+  std::istringstream in(text);
+  std::string line;
+  auto hex_value = [](const std::string& s) -> std::optional<std::uint32_t> {
+    if (s.empty() || s.size() > 4) return std::nullopt;
+    std::uint32_t v = 0;
+    for (char c : s) {
+      int d;
+      if (c >= '0' && c <= '9') d = c - '0';
+      else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+      else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+      else return std::nullopt;
+      v = v * 16 + static_cast<std::uint32_t>(d);
+    }
+    return v;
+  };
+  while (std::getline(in, line)) {
+    // Trim whitespace and CR.
+    std::string t;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) t.push_back(c);
+    }
+    if (t.empty()) continue;
+    if (t[0] == '@') {
+      const auto v = hex_value(t.substr(1));
+      if (!v) return std::nullopt;
+      if (obj.sections.back().words.empty()) {
+        obj.sections.back().base = static_cast<std::uint16_t>(*v);
+      } else {
+        obj.sections.push_back({static_cast<std::uint16_t>(*v), {}});
+      }
+      continue;
+    }
+    const auto v = hex_value(t);
+    if (!v) return std::nullopt;
+    obj.sections.back().words.push_back(static_cast<std::uint16_t>(*v));
+  }
+  return obj;
+}
+
+}  // namespace mn::r8asm

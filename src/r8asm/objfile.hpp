@@ -1,0 +1,33 @@
+#pragma once
+// Object-code text format — the "text file obtained after the application
+// simulation [that] is sent to the MultiNoC system using the Serial
+// software" (paper §4). One 4-digit hex word per line; optional
+// "@xxxx" records set the load address.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mn::r8asm {
+
+struct ObjSection {
+  std::uint16_t base = 0;
+  std::vector<std::uint16_t> words;
+};
+
+struct ObjFile {
+  std::vector<ObjSection> sections;
+
+  /// Flatten into a single image starting at word 0.
+  std::vector<std::uint16_t> flatten(std::size_t size = 0) const;
+};
+
+/// Render an image as the serial-load text format.
+std::string to_load_text(const std::vector<std::uint16_t>& image,
+                         std::uint16_t base = 0);
+
+/// Parse a load file; returns nullopt on malformed input.
+std::optional<ObjFile> parse_load_text(const std::string& text);
+
+}  // namespace mn::r8asm

@@ -1,0 +1,51 @@
+#pragma once
+// Host <-> Serial IP byte protocol (paper §2.2).
+//
+// The Serial IP accepts seven commands. Four travel host -> NoC:
+// read, write, activate, scanf-return; three travel NoC -> host:
+// printf, scanf, read-return. Frames are byte sequences on the 8N1 line;
+// 16-bit values are big-endian.
+//
+//   host -> MultiNoC
+//     0x01 READ          target addr_hi addr_lo cnt_hi cnt_lo
+//     0x03 WRITE         target addr_hi addr_lo cnt (w_hi w_lo)*cnt
+//     0x04 ACTIVATE      target
+//     0x07 SCANF_RETURN  target w_hi w_lo
+//   MultiNoC -> host
+//     0x02 READ_RETURN   source addr_hi addr_lo cnt (w_hi w_lo)*cnt
+//     0x05 PRINTF        source cnt (w_hi w_lo)*cnt
+//     0x06 SCANF         source
+//
+// Command codes deliberately equal the NoC service codes.
+// Before any command, the host sends the sync byte 0x55 so the Serial IP
+// can measure the baud rate (paper §4, "Synchronize SW/HW").
+
+#include <cstdint>
+
+namespace mn::serial {
+
+inline constexpr std::uint8_t kSyncByte = 0x55;
+
+enum class HostCmd : std::uint8_t {
+  kRead = 0x01,
+  kReadReturn = 0x02,
+  kWrite = 0x03,
+  kActivate = 0x04,
+  kPrintf = 0x05,
+  kScanf = 0x06,
+  kScanfReturn = 0x07,
+};
+
+/// Fixed part of each host->NoC frame length (including the command byte).
+/// WRITE frames additionally carry 2*cnt word bytes.
+constexpr int host_frame_fixed_len(HostCmd c) {
+  switch (c) {
+    case HostCmd::kRead: return 6;
+    case HostCmd::kWrite: return 5;
+    case HostCmd::kActivate: return 2;
+    case HostCmd::kScanfReturn: return 4;
+    default: return -1;  // not a host->NoC command
+  }
+}
+
+}  // namespace mn::serial

@@ -1,0 +1,180 @@
+#include "serial/serial_ip.hpp"
+
+#include "sim/log.hpp"
+
+namespace mn::serial {
+
+SerialIp::SerialIp(sim::Simulator& sim, std::string name,
+                   std::uint8_t self_addr, sim::Wire<bool>& rxd,
+                   sim::Wire<bool>& txd, noc::LinkWires& to_router,
+                   noc::LinkWires& from_router)
+    : sim::Component(std::move(name)),
+      self_(self_addr),
+      rx_(rxd, 16),
+      tx_(txd, 16),
+      autobaud_(rxd),
+      rxd_(&rxd),
+      ni_(sim, this->name() + ".ni", to_router, from_router) {
+  sim.add(this);
+}
+
+void SerialIp::eval() {
+  switch (state_) {
+    case State::kUnsync: {
+      const unsigned d = autobaud_.tick();
+      if (d != 0) {
+        rx_.set_divisor(d);
+        tx_.set_divisor(d);
+        state_ = State::kSwallow;
+        high_run_ = 0;
+        MN_INFO(name(), "auto-baud locked, divisor=" << d);
+      }
+      // Keep txd idle-high while unsynchronized.
+      tx_.tick();
+      return;
+    }
+    case State::kSwallow:
+      // Discard the remainder of the 0x55 sync byte: wait for the line to
+      // stay high longer than one bit period.
+      if (rxd_->read()) {
+        if (++high_run_ > 2 * rx_.divisor()) state_ = State::kReady;
+      } else {
+        high_run_ = 0;
+      }
+      tx_.tick();
+      return;
+    case State::kReady:
+      break;
+  }
+
+  rx_.tick();
+  tx_.tick();
+  parse_host_bytes();
+
+  // Host -> NoC: queue one packet at a time through the shared NI.
+  if (!to_noc_.empty() && ni_.tx_idle()) {
+    ni_.send_packet(noc::encode(to_noc_.front()));
+    to_noc_.pop_front();
+    ++frames_to_noc_;
+  }
+
+  forward_noc_packets();
+}
+
+void SerialIp::parse_host_bytes() {
+  while (rx_.has_byte()) {
+    const std::uint8_t b = rx_.pop_byte();
+    if (frame_.empty()) {
+      // A stray sync byte between commands is legal; ignore it.
+      if (b == kSyncByte) continue;
+      const int fixed = host_frame_fixed_len(static_cast<HostCmd>(b));
+      if (fixed < 0) {
+        MN_ERROR(name(), "unknown host command 0x" << std::hex << int(b));
+        continue;
+      }
+    }
+    frame_.push_back(b);
+    dispatch_host_frame();
+  }
+}
+
+void SerialIp::dispatch_host_frame() {
+  const auto cmd = static_cast<HostCmd>(frame_[0]);
+  const int fixed = host_frame_fixed_len(cmd);
+  std::size_t want = static_cast<std::size_t>(fixed);
+  if (cmd == HostCmd::kWrite && frame_.size() >= 5) {
+    want += 2u * frame_[4];
+  } else if (cmd == HostCmd::kWrite) {
+    return;  // count byte not yet here
+  }
+  if (frame_.size() < want) return;
+
+  auto word = [&](std::size_t at) {
+    return static_cast<std::uint16_t>((frame_[at] << 8) | frame_[at + 1]);
+  };
+  const std::uint8_t target = frame_[1];
+  switch (cmd) {
+    case HostCmd::kRead:
+      to_noc_.push_back(
+          noc::make_read(self_, target, word(2), word(4)));
+      break;
+    case HostCmd::kWrite: {
+      std::vector<std::uint16_t> words;
+      const std::size_t cnt = frame_[4];
+      words.reserve(cnt);
+      for (std::size_t i = 0; i < cnt; ++i) words.push_back(word(5 + 2 * i));
+      to_noc_.push_back(
+          noc::make_write(self_, target, word(2), std::move(words)));
+      break;
+    }
+    case HostCmd::kActivate:
+      to_noc_.push_back(noc::make_activate(self_, target));
+      break;
+    case HostCmd::kScanfReturn:
+      to_noc_.push_back(noc::make_scanf_return(self_, target, word(2)));
+      break;
+    default:
+      break;  // unreachable: filtered at first byte
+  }
+  frame_.clear();
+}
+
+void SerialIp::forward_noc_packets() {
+  while (ni_.has_packet()) {
+    const noc::ReceivedPacket rp = ni_.pop_packet();
+    const auto msg = noc::decode(rp.packet, self_);
+    if (!msg) {
+      MN_ERROR(name(), "malformed NoC packet dropped");
+      continue;
+    }
+    frame_to_host(*msg);
+  }
+}
+
+void SerialIp::frame_to_host(const noc::ServiceMessage& msg) {
+  using noc::Service;
+  auto send_word = [&](std::uint16_t w) {
+    tx_.send(static_cast<std::uint8_t>(w >> 8));
+    tx_.send(static_cast<std::uint8_t>(w & 0xFF));
+  };
+  switch (msg.service) {
+    case Service::kPrintf:
+      tx_.send(static_cast<std::uint8_t>(HostCmd::kPrintf));
+      tx_.send(msg.source);
+      tx_.send(static_cast<std::uint8_t>(msg.words.size()));
+      for (std::uint16_t w : msg.words) send_word(w);
+      ++frames_to_host_;
+      break;
+    case Service::kScanf:
+      tx_.send(static_cast<std::uint8_t>(HostCmd::kScanf));
+      tx_.send(msg.source);
+      ++frames_to_host_;
+      break;
+    case Service::kReadReturn:
+      tx_.send(static_cast<std::uint8_t>(HostCmd::kReadReturn));
+      tx_.send(msg.source);
+      send_word(msg.addr);
+      tx_.send(static_cast<std::uint8_t>(msg.words.size()));
+      for (std::uint16_t w : msg.words) send_word(w);
+      ++frames_to_host_;
+      break;
+    default:
+      MN_ERROR(name(), "service not forwardable to host: "
+                           << noc::service_name(msg.service));
+      break;
+  }
+}
+
+void SerialIp::reset() {
+  rx_.reset();
+  tx_.reset();
+  autobaud_.reset();
+  state_ = State::kUnsync;
+  high_run_ = 0;
+  frame_.clear();
+  to_noc_.clear();
+  frames_to_noc_ = 0;
+  frames_to_host_ = 0;
+}
+
+}  // namespace mn::serial

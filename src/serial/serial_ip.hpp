@@ -1,0 +1,59 @@
+#pragma once
+// Serial IP core (paper §2.2): bridges the RS-232 host link and the
+// Hermes NoC. "The basic function of the Serial IP is to assemble and
+// disassemble packets."
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "noc/network_interface.hpp"
+#include "noc/services.hpp"
+#include "serial/protocol.hpp"
+#include "serial/uart.hpp"
+#include "sim/component.hpp"
+
+namespace mn::serial {
+
+class SerialIp final : public sim::Component {
+ public:
+  /// `rxd` is the host->FPGA line, `txd` the FPGA->host line
+  /// (paper Fig. 3). `self_addr` is this IP's router address (00).
+  SerialIp(sim::Simulator& sim, std::string name, std::uint8_t self_addr,
+           sim::Wire<bool>& rxd, sim::Wire<bool>& txd,
+           noc::LinkWires& to_router, noc::LinkWires& from_router);
+
+  void eval() override;
+  void reset() override;
+
+  bool baud_locked() const { return state_ != State::kUnsync; }
+  unsigned divisor() const { return rx_.divisor(); }
+  std::uint8_t self_addr() const { return self_; }
+
+  std::uint64_t frames_to_noc() const { return frames_to_noc_; }
+  std::uint64_t frames_to_host() const { return frames_to_host_; }
+
+ private:
+  enum class State { kUnsync, kSwallow, kReady };
+
+  void parse_host_bytes();
+  void dispatch_host_frame();
+  void forward_noc_packets();
+  void frame_to_host(const noc::ServiceMessage& msg);
+
+  std::uint8_t self_;
+  UartRx rx_;
+  UartTx tx_;
+  AutoBaud autobaud_;
+  sim::Wire<bool>* rxd_;
+  noc::NetworkInterface ni_;
+
+  State state_ = State::kUnsync;
+  unsigned high_run_ = 0;  ///< consecutive high cycles in kSwallow
+  std::vector<std::uint8_t> frame_;
+  std::deque<noc::ServiceMessage> to_noc_;
+  std::uint64_t frames_to_noc_ = 0;
+  std::uint64_t frames_to_host_ = 0;
+};
+
+}  // namespace mn::serial

@@ -1,0 +1,112 @@
+#include "serial/uart.hpp"
+
+namespace mn::serial {
+
+void UartTx::tick() {
+  switch (state_) {
+    case State::kIdle:
+      if (queue_.empty()) {
+        line_->write(true);  // line idles high
+        return;
+      }
+      // Frame = start(0) + 8 data LSB-first + stop(1).
+      shift_ = static_cast<std::uint16_t>((1u << 9) | (queue_.front() << 1));
+      queue_.pop_front();
+      bit_index_ = 0;
+      phase_ = 0;
+      state_ = State::kShift;
+      [[fallthrough]];
+    case State::kShift:
+      line_->write(((shift_ >> bit_index_) & 1) != 0);
+      if (++phase_ >= divisor_) {
+        phase_ = 0;
+        if (++bit_index_ >= 10) state_ = State::kIdle;
+      }
+      return;
+  }
+}
+
+void UartTx::reset() {
+  queue_.clear();
+  state_ = State::kIdle;
+  shift_ = 0;
+  bit_index_ = 0;
+  phase_ = 0;
+}
+
+void UartRx::tick() {
+  const bool level = line_->read();
+  switch (state_) {
+    case State::kIdle:
+      if (!level) {  // start bit edge
+        state_ = State::kSample;
+        phase_ = divisor_ / 2;  // sample mid-bit
+        bit_index_ = 0;
+        shift_ = 0;
+      }
+      return;
+    case State::kSample:
+      if (++phase_ >= divisor_) {
+        phase_ = 0;
+        // bit_index_ 0 = start, 1..8 = data, 9 = stop.
+        if (bit_index_ >= 1 && bit_index_ <= 8) {
+          if (level) shift_ |= static_cast<std::uint16_t>(1u << (bit_index_ - 1));
+        } else if (bit_index_ == 9) {
+          if (level) {
+            queue_.push_back(static_cast<std::uint8_t>(shift_));
+          } else {
+            ++framing_errors_;
+          }
+          state_ = State::kIdle;
+        } else if (bit_index_ == 0 && level) {
+          state_ = State::kIdle;  // glitch, not a real start bit
+        }
+        ++bit_index_;
+      }
+      return;
+  }
+}
+
+void UartRx::reset() {
+  queue_.clear();
+  state_ = State::kIdle;
+  phase_ = 0;
+  bit_index_ = 0;
+  shift_ = 0;
+  framing_errors_ = 0;
+}
+
+unsigned AutoBaud::tick() {
+  if (locked_) return 0;
+  const bool level = line_->read();
+  if (!saw_high_) {
+    // Wait for the idle-high line before trusting a falling edge.
+    if (level) saw_high_ = true;
+    return 0;
+  }
+  if (!counting_) {
+    if (!level) {
+      counting_ = true;
+      count_ = 1;
+    }
+    return 0;
+  }
+  if (!level) {
+    ++count_;
+    return 0;
+  }
+  // Rising edge: the low pulse was the 0x55 start bit (1 bit period).
+  divisor_ = count_;
+  locked_ = true;
+  return divisor_;
+}
+
+void AutoBaud::reset() {
+  saw_high_ = false;
+  counting_ = false;
+  count_ = 0;
+  divisor_ = 0;
+  locked_ = false;
+}
+
+}  // namespace mn::serial

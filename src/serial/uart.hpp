@@ -1,0 +1,102 @@
+#pragma once
+// Bit-level RS-232 UART model (paper §2.2): 8N1 framing — one start bit
+// (low), 8 data bits LSB-first, one stop bit (high). The divisor is the
+// number of clock cycles per bit. The receiver samples mid-bit.
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/wire.hpp"
+
+namespace mn::serial {
+
+/// Transmit engine: drives a 1-bit line wire from a byte queue.
+class UartTx {
+ public:
+  UartTx(sim::Wire<bool>& line, unsigned divisor)
+      : line_(&line), divisor_(divisor) {}
+
+  void set_divisor(unsigned d) { divisor_ = d; }
+  unsigned divisor() const { return divisor_; }
+
+  void send(std::uint8_t byte) { queue_.push_back(byte); }
+  bool idle() const { return queue_.empty() && state_ == State::kIdle; }
+  std::size_t backlog() const { return queue_.size(); }
+
+  /// One clock cycle; writes the line level.
+  void tick();
+
+  void reset();
+
+ private:
+  enum class State { kIdle, kShift };
+  sim::Wire<bool>* line_;
+  unsigned divisor_;
+  std::deque<std::uint8_t> queue_;
+  State state_ = State::kIdle;
+  // Frame: start + 8 data + stop = 10 bit slots.
+  std::uint16_t shift_ = 0;
+  unsigned bit_index_ = 0;
+  unsigned phase_ = 0;
+};
+
+/// Receive engine: samples a 1-bit line wire into a byte queue.
+class UartRx {
+ public:
+  UartRx(sim::Wire<bool>& line, unsigned divisor)
+      : line_(&line), divisor_(divisor) {}
+
+  void set_divisor(unsigned d) { divisor_ = d; }
+  unsigned divisor() const { return divisor_; }
+
+  bool has_byte() const { return !queue_.empty(); }
+  std::uint8_t pop_byte() {
+    const std::uint8_t b = queue_.front();
+    queue_.pop_front();
+    return b;
+  }
+
+  /// Framing errors observed (stop bit low).
+  std::uint64_t framing_errors() const { return framing_errors_; }
+
+  void tick();
+
+  void reset();
+
+ private:
+  enum class State { kIdle, kSample };
+  sim::Wire<bool>* line_;
+  unsigned divisor_;
+  std::deque<std::uint8_t> queue_;
+  State state_ = State::kIdle;
+  unsigned phase_ = 0;
+  unsigned bit_index_ = 0;
+  std::uint16_t shift_ = 0;
+  std::uint64_t framing_errors_ = 0;
+};
+
+/// Auto-baud detector: measures the low pulse of the 0x55 sync byte's
+/// start bit (paper §4: "transmitting the value 55H to the MultiNoC
+/// system" communicates the host baud rate).
+class AutoBaud {
+ public:
+  explicit AutoBaud(sim::Wire<bool>& line) : line_(&line) {}
+
+  /// Returns the measured divisor once, then keeps returning 0.
+  unsigned tick();
+
+  bool locked() const { return locked_; }
+  unsigned divisor() const { return divisor_; }
+
+  void reset();
+
+ private:
+  sim::Wire<bool>* line_;
+  bool saw_high_ = false;
+  bool counting_ = false;
+  unsigned count_ = 0;
+  unsigned divisor_ = 0;
+  bool locked_ = false;
+};
+
+}  // namespace mn::serial

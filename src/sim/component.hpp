@@ -1,0 +1,32 @@
+#pragma once
+// Base class for all clocked hardware models.
+
+#include <cstdint>
+#include <string>
+
+namespace mn::sim {
+
+/// A clocked hardware block. The simulator calls eval() once per cycle;
+/// eval() must read input wires (previous-cycle values), update internal
+/// state, and write output wires (visible next cycle).
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  /// One clock cycle of behaviour.
+  virtual void eval() = 0;
+
+  /// Return to the power-on state. Wires are reset separately by the kernel.
+  virtual void reset() = 0;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace mn::sim

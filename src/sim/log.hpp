@@ -1,0 +1,48 @@
+#pragma once
+// Tiny leveled logger. Off by default so simulations stay quiet in benches.
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mn::sim {
+
+enum class LogLevel : int { kNone = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log threshold; tests may raise it to debug a failure.
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kError;
+    return lvl;
+  }
+
+  static bool enabled(LogLevel lvl) {
+    return static_cast<int>(lvl) <= static_cast<int>(level());
+  }
+
+  static void write(LogLevel lvl, const std::string& tag,
+                    const std::string& msg) {
+    if (!enabled(lvl)) return;
+    const char* prefix = lvl == LogLevel::kError ? "E"
+                         : lvl == LogLevel::kInfo ? "I"
+                                                  : "D";
+    std::cerr << '[' << prefix << "] " << tag << ": " << msg << '\n';
+  }
+};
+
+}  // namespace mn::sim
+
+#define MN_LOG(lvl, tag, expr)                                \
+  do {                                                        \
+    if (::mn::sim::Log::enabled(lvl)) {                       \
+      std::ostringstream mn_oss_;                             \
+      mn_oss_ << expr;                                        \
+      ::mn::sim::Log::write(lvl, tag, mn_oss_.str());         \
+    }                                                         \
+  } while (0)
+
+#define MN_DEBUG(tag, expr) MN_LOG(::mn::sim::LogLevel::kDebug, tag, expr)
+#define MN_INFO(tag, expr) MN_LOG(::mn::sim::LogLevel::kInfo, tag, expr)
+#define MN_ERROR(tag, expr) MN_LOG(::mn::sim::LogLevel::kError, tag, expr)

@@ -1,0 +1,31 @@
+#include "sim/simulator.hpp"
+
+namespace mn::sim {
+
+void Simulator::reset() {
+  for (Component* c : components_) c->reset();
+  pool_.reset_all();
+  cycle_ = 0;
+}
+
+void Simulator::step() {
+  for (Component* c : components_) c->eval();
+  pool_.commit_all();
+  ++cycle_;
+  for (auto& cb : observers_) cb(cycle_);
+}
+
+void Simulator::run(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) step();
+}
+
+bool Simulator::run_until(const std::function<bool()>& pred,
+                          std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (pred()) return true;
+    step();
+  }
+  return pred();
+}
+
+}  // namespace mn::sim

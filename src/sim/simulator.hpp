@@ -1,0 +1,58 @@
+#pragma once
+// Cycle-based synchronous simulation kernel.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "sim/component.hpp"
+#include "sim/wire.hpp"
+
+namespace mn::sim {
+
+/// Drives a set of components with a single clock, two-phase per cycle:
+///   1. every component eval()s, reading committed wire values and writing
+///      next-cycle values;
+///   2. every wire commits.
+///
+/// The kernel owns neither components nor wires; the system model does.
+class Simulator {
+ public:
+  Simulator() = default;
+
+  /// Access the wire pool components should register their wires with.
+  WirePool& wires() { return pool_; }
+
+  void add(Component* c) { components_.push_back(c); }
+
+  /// Reset all components and wires and zero the cycle counter.
+  void reset();
+
+  /// Advance one clock cycle.
+  void step();
+
+  /// Advance n cycles.
+  void run(std::uint64_t n);
+
+  /// Step until pred() is true or `max_cycles` more cycles elapse.
+  /// Returns true if the predicate fired.
+  bool run_until(const std::function<bool()>& pred,
+                 std::uint64_t max_cycles =
+                     std::numeric_limits<std::uint64_t>::max());
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Register a callback invoked after every cycle commit (tracing hooks).
+  void on_cycle(std::function<void(std::uint64_t)> cb) {
+    observers_.push_back(std::move(cb));
+  }
+
+ private:
+  WirePool pool_;
+  std::vector<Component*> components_;
+  std::vector<std::function<void(std::uint64_t)>> observers_;
+  std::uint64_t cycle_ = 0;
+};
+
+}  // namespace mn::sim

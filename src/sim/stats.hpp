@@ -1,0 +1,95 @@
+#pragma once
+// Lightweight statistics accumulators for simulation measurements.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mn::sim {
+
+/// Streaming scalar summary: count / min / max / mean / stddev (Welford).
+class Summary {
+ public:
+  void add(double x) {
+    ++n_;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+  void clear() { *this = Summary{}; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Integer-valued histogram with exact bins; also tracks a Summary.
+class Histogram {
+ public:
+  void add(std::int64_t v) {
+    ++bins_[v];
+    summary_.add(static_cast<double>(v));
+  }
+
+  const std::map<std::int64_t, std::uint64_t>& bins() const { return bins_; }
+  const Summary& summary() const { return summary_; }
+
+  /// Value at or below which `q` (0..1) of samples fall; 0 when empty.
+  std::int64_t percentile(double q) const {
+    if (summary_.count() == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        q * static_cast<double>(summary_.count() - 1));
+    std::uint64_t seen = 0;
+    for (const auto& [value, count] : bins_) {
+      seen += count;
+      if (seen > target) return value;
+    }
+    return bins_.rbegin()->first;
+  }
+
+  void clear() {
+    bins_.clear();
+    summary_.clear();
+  }
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  Summary summary_;
+};
+
+/// Named counter set, e.g. per-router flits forwarded.
+class Counters {
+ public:
+  void inc(const std::string& key, std::uint64_t by = 1) { map_[key] += by; }
+  std::uint64_t get(const std::string& key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+  const std::map<std::string, std::uint64_t>& all() const { return map_; }
+  void clear() { map_.clear(); }
+
+ private:
+  std::map<std::string, std::uint64_t> map_;
+};
+
+}  // namespace mn::sim

@@ -1,0 +1,66 @@
+#include "sim/trace.hpp"
+
+namespace mn::sim {
+
+VcdTracer::VcdTracer(const std::string& path) : out_(path) {}
+
+VcdTracer::~VcdTracer() {
+  if (out_) out_.flush();
+}
+
+void VcdTracer::watch(const WireBase& wire) {
+  Channel ch;
+  ch.wire = &wire;
+  ch.id = make_id(channels_.size());
+  channels_.push_back(std::move(ch));
+}
+
+std::string VcdTracer::make_id(std::size_t index) {
+  // Printable VCD identifier alphabet: '!' .. '~'.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdTracer::write_header() {
+  out_ << "$timescale 1ns $end\n$scope module multinoc $end\n";
+  for (const Channel& ch : channels_) {
+    std::string safe = ch.wire->name();
+    for (char& c : safe) {
+      if (c == ' ') c = '_';
+    }
+    out_ << "$var wire " << ch.wire->trace_width() << ' ' << ch.id << ' '
+         << safe << " $end\n";
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n";
+  header_written_ = true;
+}
+
+void VcdTracer::sample(std::uint64_t cycle) {
+  if (!out_) return;
+  if (!header_written_) write_header();
+  bool stamped = false;
+  for (Channel& ch : channels_) {
+    const std::uint64_t v = ch.wire->trace_value();
+    if (ch.emitted && v == ch.last) continue;
+    if (!stamped) {
+      out_ << '#' << cycle << '\n';
+      stamped = true;
+    }
+    if (ch.wire->trace_width() == 1) {
+      out_ << (v ? '1' : '0') << ch.id << '\n';
+    } else {
+      out_ << 'b';
+      const unsigned w = ch.wire->trace_width();
+      for (unsigned bit = w; bit-- > 0;) out_ << ((v >> bit) & 1u);
+      out_ << ' ' << ch.id << '\n';
+    }
+    ch.last = v;
+    ch.emitted = true;
+  }
+}
+
+}  // namespace mn::sim

@@ -1,0 +1,50 @@
+#pragma once
+// Minimal VCD (Value Change Dump) writer for waveform debugging.
+//
+// Usage:
+//   VcdTracer vcd("dump.vcd");
+//   vcd.watch(wire);             // any Wire<integral>
+//   sim.on_cycle([&](auto c){ vcd.sample(c); });
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace mn::sim {
+
+class VcdTracer {
+ public:
+  explicit VcdTracer(const std::string& path);
+  ~VcdTracer();
+
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+
+  /// Register a wire before the first sample() call.
+  void watch(const WireBase& wire);
+
+  /// Emit changes for the given cycle; writes the header on first call.
+  void sample(std::uint64_t cycle);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  struct Channel {
+    const WireBase* wire;
+    std::string id;
+    std::uint64_t last = ~0ull;
+    bool emitted = false;
+  };
+
+  void write_header();
+  static std::string make_id(std::size_t index);
+
+  std::ofstream out_;
+  std::vector<Channel> channels_;
+  bool header_written_ = false;
+};
+
+}  // namespace mn::sim

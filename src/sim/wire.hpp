@@ -1,0 +1,121 @@
+#pragma once
+// Two-phase synchronous wire: the fundamental inter-component signal.
+//
+// All hardware models in this project follow a registered-output discipline:
+// during Simulator::step() every component's eval() reads the *current*
+// value of its input wires and writes the *next* value of its output wires;
+// after all components evaluated, every wire commits next -> current.
+// This makes the simulation order-independent and race-free, and gives the
+// same timing as synchronous RTL with registered outputs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::sim {
+
+/// Type-erased base so the simulator can commit all wires uniformly.
+class WireBase {
+ public:
+  virtual ~WireBase() = default;
+
+  /// Latch the value written this cycle so it becomes visible next cycle.
+  virtual void commit() = 0;
+
+  /// Restore the power-on value (used by Simulator::reset()).
+  virtual void reset_to_initial() = 0;
+
+  /// Current value rendered as an unsigned integer, for tracing. Wires of
+  /// non-integral payloads may return 0.
+  virtual std::uint64_t trace_value() const = 0;
+
+  /// Bit width hint for trace output.
+  virtual unsigned trace_width() const = 0;
+
+  const std::string& name() const { return name_; }
+
+ protected:
+  explicit WireBase(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Registry owning nothing; collects wires so the kernel can commit them.
+class WirePool {
+ public:
+  void add(WireBase* w) { wires_.push_back(w); }
+
+  void commit_all() {
+    for (WireBase* w : wires_) w->commit();
+  }
+
+  void reset_all() {
+    for (WireBase* w : wires_) w->reset_to_initial();
+  }
+
+  const std::vector<WireBase*>& wires() const { return wires_; }
+
+ private:
+  std::vector<WireBase*> wires_;
+};
+
+/// A single-driver signal with current/next phases.
+///
+/// Writers call write() during eval(); readers call read() and observe the
+/// value committed at the end of the previous cycle. A wire that is not
+/// written in a cycle holds its value (register semantics).
+template <typename T>
+class Wire final : public WireBase {
+ public:
+  Wire(WirePool& pool, std::string name, T initial = T{})
+      : WireBase(std::move(name)),
+        initial_(initial),
+        cur_(initial),
+        nxt_(initial) {
+    pool.add(this);
+  }
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  /// Value visible this cycle.
+  const T& read() const { return cur_; }
+
+  /// Schedule the value for the next cycle.
+  void write(const T& v) { nxt_ = v; }
+
+  void commit() override { cur_ = nxt_; }
+
+  void reset_to_initial() override {
+    cur_ = initial_;
+    nxt_ = initial_;
+  }
+
+  std::uint64_t trace_value() const override {
+    if constexpr (std::is_integral_v<T>) {
+      return static_cast<std::uint64_t>(cur_);
+    } else if constexpr (std::is_enum_v<T>) {
+      return static_cast<std::uint64_t>(cur_);
+    } else {
+      return 0;
+    }
+  }
+
+  unsigned trace_width() const override {
+    if constexpr (std::is_same_v<T, bool>) {
+      return 1;
+    } else if constexpr (std::is_integral_v<T> || std::is_enum_v<T>) {
+      return static_cast<unsigned>(sizeof(T) * 8);
+    } else {
+      return 64;
+    }
+  }
+
+ private:
+  T initial_;
+  T cur_;
+  T nxt_;
+};
+
+}  // namespace mn::sim

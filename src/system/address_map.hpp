@@ -1,0 +1,54 @@
+#pragma once
+// Processor IP address decoding (paper §2.4, Fig. 6).
+//
+// NOTE on a paper erratum: Figure 6 computes `globalAddress = 1024 -
+// address` / `2048 - address`, which maps the windows backwards. The
+// intended (and here implemented) mapping subtracts the window base:
+// `address - 1024` / `address - 2048`. A regression test pins this down.
+
+#include <cstdint>
+
+namespace mn::sys {
+
+inline constexpr std::uint16_t kLocalBase = 0;
+inline constexpr std::uint16_t kLocalSize = 1024;
+inline constexpr std::uint16_t kPeerBase = 1024;
+inline constexpr std::uint16_t kRemoteMemBase = 2048;
+inline constexpr std::uint16_t kRemoteMemEnd = 3072;
+inline constexpr std::uint16_t kAddrNotify = 0xFFFD;
+inline constexpr std::uint16_t kAddrWait = 0xFFFE;
+inline constexpr std::uint16_t kAddrIo = 0xFFFF;
+
+enum class Region : std::uint8_t {
+  kLocal,      ///< this processor's local memory
+  kPeer,       ///< the other processor's local memory (NoC)
+  kRemoteMem,  ///< the independent Memory IP (NoC)
+  kNotify,     ///< ST = send notify packet
+  kWait,       ///< ST = block until notify
+  kIo,         ///< ST = printf, LD = scanf
+  kInvalid,    ///< unmapped
+};
+
+struct DecodedAddress {
+  Region region = Region::kInvalid;
+  std::uint16_t offset = 0;  ///< address within the target memory
+};
+
+constexpr DecodedAddress decode_address(std::uint16_t addr) {
+  if (addr < kPeerBase) {
+    return {Region::kLocal, addr};
+  }
+  if (addr < kRemoteMemBase) {
+    return {Region::kPeer, static_cast<std::uint16_t>(addr - kPeerBase)};
+  }
+  if (addr < kRemoteMemEnd) {
+    return {Region::kRemoteMem,
+            static_cast<std::uint16_t>(addr - kRemoteMemBase)};
+  }
+  if (addr == kAddrNotify) return {Region::kNotify, 0};
+  if (addr == kAddrWait) return {Region::kWait, 0};
+  if (addr == kAddrIo) return {Region::kIo, 0};
+  return {Region::kInvalid, 0};
+}
+
+}  // namespace mn::sys

@@ -1,0 +1,58 @@
+#include "system/multinoc.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace mn::sys {
+
+MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
+    : cfg_(cfg) {
+  assert(!cfg.processor_nodes.empty());
+  assert(!cfg.memory_nodes.empty());
+
+  // Serial lines idle high.
+  tx_ = std::make_unique<sim::Wire<bool>>(sim.wires(), "pin.tx", true);
+  rx_ = std::make_unique<sim::Wire<bool>>(sim.wires(), "pin.rx", true);
+
+  mesh_ = std::make_unique<noc::Mesh>(sim, cfg.nx, cfg.ny, cfg.router);
+
+  const std::uint8_t serial_addr = noc::encode_xy(cfg.serial_node);
+  serial_ = std::make_unique<serial::SerialIp>(
+      sim, "serial", serial_addr, *tx_, *rx_,
+      mesh_->local_in(cfg.serial_node.x, cfg.serial_node.y),
+      mesh_->local_out(cfg.serial_node.x, cfg.serial_node.y));
+
+  // Processor-number -> router-address map (numbers are 1-based).
+  std::map<std::uint8_t, std::uint8_t> num2addr;
+  for (std::size_t i = 0; i < cfg.processor_nodes.size(); ++i) {
+    num2addr[static_cast<std::uint8_t>(i + 1)] =
+        noc::encode_xy(cfg.processor_nodes[i]);
+  }
+
+  const std::uint8_t mem_addr = noc::encode_xy(cfg.memory_nodes[0]);
+  for (std::size_t i = 0; i < cfg.processor_nodes.size(); ++i) {
+    const noc::XY node = cfg.processor_nodes[i];
+    ProcessorConfig pc;
+    pc.self_addr = noc::encode_xy(node);
+    // The "other processor" window points at the next processor (ring);
+    // with two processors this is exactly the paper's semantics.
+    const std::size_t peer = (i + 1) % cfg.processor_nodes.size();
+    pc.peer_addr = noc::encode_xy(cfg.processor_nodes[peer]);
+    pc.memory_addr = mem_addr;
+    pc.serial_addr = serial_addr;
+    pc.proc_number = static_cast<std::uint8_t>(i + 1);
+    pc.proc_addr_by_number = num2addr;
+    processors_.push_back(std::make_unique<ProcessorIp>(
+        sim, "proc" + std::to_string(i + 1), pc,
+        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y)));
+  }
+
+  for (std::size_t i = 0; i < cfg.memory_nodes.size(); ++i) {
+    const noc::XY node = cfg.memory_nodes[i];
+    memories_.push_back(std::make_unique<mem::MemoryIp>(
+        sim, "mem" + std::to_string(i), noc::encode_xy(node),
+        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y)));
+  }
+}
+
+}  // namespace mn::sys

@@ -1,0 +1,68 @@
+#pragma once
+// MultiNoC top level (paper §1, Fig. 1): a Hermes mesh with a Serial IP,
+// R8 Processor IPs and Memory IPs attached, plus the 4-signal external
+// interface (reset, clock, tx, rx — clock and reset are provided by the
+// simulation kernel).
+//
+// The default configuration is the paper's 2x2 system:
+//   Serial IP    @ router 00
+//   Processor 1  @ router 01
+//   Processor 2  @ router 10
+//   Memory IP    @ router 11
+// The builder scales to any mesh with any number of processor/memory IPs
+// ("the approach can be extended to any number of processor IPs and/or
+// memory IPs, using the natural scalability of NoCs").
+
+#include <memory>
+#include <vector>
+
+#include "mem/memory_ip.hpp"
+#include "noc/mesh.hpp"
+#include "serial/serial_ip.hpp"
+#include "sim/simulator.hpp"
+#include "system/processor_ip.hpp"
+
+namespace mn::sys {
+
+struct SystemConfig {
+  unsigned nx = 2;
+  unsigned ny = 2;
+  noc::RouterConfig router;
+  noc::XY serial_node{0, 0};
+  std::vector<noc::XY> processor_nodes{{0, 1}, {1, 0}};
+  std::vector<noc::XY> memory_nodes{{1, 1}};
+
+  /// The paper's exact prototype.
+  static SystemConfig paper_default() { return SystemConfig{}; }
+};
+
+class MultiNoc {
+ public:
+  MultiNoc(sim::Simulator& sim, const SystemConfig& cfg = {});
+
+  /// External serial pins (paper: `tx` host->system, `rx` system->host).
+  sim::Wire<bool>& pin_tx() { return *tx_; }
+  sim::Wire<bool>& pin_rx() { return *rx_; }
+
+  noc::Mesh& mesh() { return *mesh_; }
+  serial::SerialIp& serial() { return *serial_; }
+
+  std::size_t processor_count() const { return processors_.size(); }
+  ProcessorIp& processor(std::size_t i) { return *processors_[i]; }
+
+  std::size_t memory_count() const { return memories_.size(); }
+  mem::MemoryIp& memory(std::size_t i) { return *memories_[i]; }
+
+  const SystemConfig& config() const { return cfg_; }
+
+ private:
+  SystemConfig cfg_;
+  std::unique_ptr<sim::Wire<bool>> tx_;  ///< host -> system serial line
+  std::unique_ptr<sim::Wire<bool>> rx_;  ///< system -> host serial line
+  std::unique_ptr<noc::Mesh> mesh_;
+  std::unique_ptr<serial::SerialIp> serial_;
+  std::vector<std::unique_ptr<ProcessorIp>> processors_;
+  std::vector<std::unique_ptr<mem::MemoryIp>> memories_;
+};
+
+}  // namespace mn::sys

@@ -1,0 +1,215 @@
+#include "system/processor_ip.hpp"
+
+#include "sim/log.hpp"
+
+namespace mn::sys {
+
+ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
+                         const ProcessorConfig& cfg,
+                         noc::LinkWires& to_router,
+                         noc::LinkWires& from_router)
+    : sim::Component(std::move(name)),
+      cfg_(cfg),
+      mem_logic_(mem_, cfg.self_addr),
+      ni_(sim, this->name() + ".ni", to_router, from_router) {
+  sim.add(this);
+}
+
+void ProcessorIp::eval() {
+  // 1. Ingest NoC packets (activate, notify, wait, memory services,
+  //    read/scanf returns).
+  while (ni_.has_packet()) {
+    const noc::ReceivedPacket rp = ni_.pop_packet();
+    const auto msg = noc::decode(rp.packet, cfg_.self_addr);
+    if (!msg) {
+      MN_ERROR(name(), "malformed packet dropped");
+      continue;
+    }
+    handle_incoming(*msg);
+  }
+
+  // 2. Drive the shared NoC interface: processor traffic has priority over
+  //    local-memory replies (busyNoCR8 beats busyNoCMem).
+  if (ni_.tx_idle()) {
+    if (!cpu_out_.empty()) {
+      ni_.send_packet(noc::encode(cpu_out_.front()));
+      cpu_out_.pop_front();
+    } else if (!mem_out_.empty()) {
+      ni_.send_packet(noc::encode(mem_out_.front()));
+      mem_out_.pop_front();
+    }
+  }
+
+  // 3. Clock the CPU unless an external wait packet blocks it.
+  if (external_wait_ != 0) {
+    auto it = notifies_pending_.find(external_wait_);
+    if (it != notifies_pending_.end() && it->second > 0) {
+      --it->second;
+      external_wait_ = 0;
+    } else {
+      return;  // processor frozen by the wait service
+    }
+  }
+  cpu_.tick(*this);
+}
+
+void ProcessorIp::handle_incoming(const noc::ServiceMessage& msg) {
+  using noc::Service;
+  switch (msg.service) {
+    case Service::kActivate:
+      cpu_.activate();
+      MN_INFO(name(), "activated");
+      return;
+    case Service::kReadReturn:
+      if (read_state_ == ReadState::kWaiting && !msg.words.empty()) {
+        read_value_ = msg.words[0];
+        read_state_ = ReadState::kReady;
+      }
+      return;
+    case Service::kScanfReturn:
+      if (scanf_state_ == ReadState::kWaiting && !msg.words.empty()) {
+        scanf_value_ = msg.words[0];
+        scanf_state_ = ReadState::kReady;
+      }
+      return;
+    case Service::kNotify:
+      ++notifies_pending_[msg.param];
+      return;
+    case Service::kWait:
+      external_wait_ = msg.param;
+      return;
+    case Service::kReadMem:
+    case Service::kWriteMem:
+      // Local memory service on behalf of another IP / the host.
+      mem_logic_.handle(msg, mem_out_);
+      return;
+    default:
+      MN_ERROR(name(), "unexpected service "
+                           << noc::service_name(msg.service));
+      return;
+  }
+}
+
+bool ProcessorIp::remote_read(std::uint8_t target, std::uint16_t offset,
+                              std::uint16_t& out) {
+  switch (read_state_) {
+    case ReadState::kIdle:
+      cpu_out_.push_back(noc::make_read(cfg_.self_addr, target, offset, 1));
+      read_state_ = ReadState::kWaiting;
+      ++remote_reads_;
+      return false;
+    case ReadState::kWaiting:
+      return false;
+    case ReadState::kReady:
+      out = read_value_;
+      read_state_ = ReadState::kIdle;
+      return true;
+  }
+  return false;
+}
+
+bool ProcessorIp::mem_read(std::uint16_t addr, std::uint16_t& out) {
+  const DecodedAddress d = decode_address(addr);
+  switch (d.region) {
+    case Region::kLocal:
+      out = mem_.read(d.offset);
+      return true;
+    case Region::kPeer:
+      return remote_read(cfg_.peer_addr, d.offset, out);
+    case Region::kRemoteMem:
+      return remote_read(cfg_.memory_addr, d.offset, out);
+    case Region::kIo:
+      // scanf: request a word from the host and stall until it arrives.
+      switch (scanf_state_) {
+        case ReadState::kIdle:
+          cpu_out_.push_back(
+              noc::make_scanf(cfg_.self_addr, cfg_.serial_addr));
+          scanf_state_ = ReadState::kWaiting;
+          ++scanfs_;
+          return false;
+        case ReadState::kWaiting:
+          return false;
+        case ReadState::kReady:
+          out = scanf_value_;
+          scanf_state_ = ReadState::kIdle;
+          return true;
+      }
+      return false;
+    case Region::kNotify:
+    case Region::kWait:
+    case Region::kInvalid:
+      out = 0;  // reads of control addresses are undefined; return 0
+      return true;
+  }
+  return false;
+}
+
+bool ProcessorIp::mem_write(std::uint16_t addr, std::uint16_t value) {
+  const DecodedAddress d = decode_address(addr);
+  switch (d.region) {
+    case Region::kLocal:
+      mem_.write(d.offset, value);
+      return true;
+    case Region::kPeer:
+      cpu_out_.push_back(noc::make_write(cfg_.self_addr, cfg_.peer_addr,
+                                         d.offset, {value}));
+      ++remote_writes_;
+      return true;  // posted write
+    case Region::kRemoteMem:
+      cpu_out_.push_back(noc::make_write(cfg_.self_addr, cfg_.memory_addr,
+                                         d.offset, {value}));
+      ++remote_writes_;
+      return true;
+    case Region::kIo:
+      cpu_out_.push_back(
+          noc::make_printf(cfg_.self_addr, cfg_.serial_addr, {value}));
+      ++printfs_;
+      return true;
+    case Region::kNotify: {
+      // value = number of the processor to restart; param carries our own
+      // number so the waiter can match its expected notifier.
+      const auto target_num = static_cast<std::uint8_t>(value & 0xFF);
+      const auto it = cfg_.proc_addr_by_number.find(target_num);
+      if (it == cfg_.proc_addr_by_number.end()) {
+        MN_ERROR(name(), "notify to unknown processor " << int(target_num));
+        return true;
+      }
+      cpu_out_.push_back(noc::make_notify(cfg_.self_addr, it->second,
+                                          cfg_.proc_number));
+      ++notifies_sent_;
+      return true;
+    }
+    case Region::kWait: {
+      // value = number of the processor whose notify unblocks us.
+      const auto notifier = static_cast<std::uint8_t>(value & 0xFF);
+      auto it = notifies_pending_.find(notifier);
+      if (it != notifies_pending_.end() && it->second > 0) {
+        --it->second;
+        wait_for_ = 0;
+        ++waits_completed_;
+        return true;
+      }
+      wait_for_ = notifier;  // stall; paper's pause of the R8
+      return false;
+    }
+    case Region::kInvalid:
+      return true;  // ignore writes to unmapped space
+  }
+  return false;
+}
+
+void ProcessorIp::reset() {
+  cpu_.reset();
+  mem_.clear();
+  cpu_out_.clear();
+  mem_out_.clear();
+  read_state_ = ReadState::kIdle;
+  scanf_state_ = ReadState::kIdle;
+  notifies_pending_.clear();
+  wait_for_ = 0;
+  external_wait_ = 0;
+  remote_reads_ = remote_writes_ = printfs_ = scanfs_ = 0;
+  notifies_sent_ = waits_completed_ = 0;
+}
+
+}  // namespace mn::sys

@@ -1,0 +1,114 @@
+#pragma once
+// Processor IP core (paper §2.4, Fig. 5): an R8 CPU, a local Memory IP
+// acting as unified cache, and control logic interfacing both to the
+// Hermes NoC through one shared network interface.
+//
+// The control logic:
+//  * decodes load/store addresses (local / peer processor / remote memory /
+//    I/O / wait / notify), stalling the CPU (`waitR8`) during NoC
+//    transactions;
+//  * serves incoming read/write services against the local memory, with
+//    processor-originated traffic taking priority over memory replies on
+//    the shared NoC interface (the busyNoCR8/busyNoCMem interlock);
+//  * implements activate, wait/notify, printf/scanf.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "mem/memory_ip.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/services.hpp"
+#include "r8/cpu.hpp"
+#include "sim/component.hpp"
+#include "system/address_map.hpp"
+
+namespace mn::sys {
+
+struct ProcessorConfig {
+  std::uint8_t self_addr = 0;    ///< this IP's router address
+  std::uint8_t peer_addr = 0;    ///< router address behind the peer window
+  std::uint8_t memory_addr = 0;  ///< router address of the remote Memory IP
+  std::uint8_t serial_addr = 0;  ///< router address of the Serial IP (host)
+  std::uint8_t proc_number = 1;  ///< 1-based id used by wait/notify
+  /// Router address of each processor number (for notify routing).
+  std::map<std::uint8_t, std::uint8_t> proc_addr_by_number;
+};
+
+class ProcessorIp final : public sim::Component, private r8::Bus {
+ public:
+  ProcessorIp(sim::Simulator& sim, std::string name,
+              const ProcessorConfig& cfg, noc::LinkWires& to_router,
+              noc::LinkWires& from_router);
+
+  void eval() override;
+  void reset() override;
+
+  r8::Cpu& cpu() { return cpu_; }
+  const r8::Cpu& cpu() const { return cpu_; }
+
+  /// True once the processor was activated, ran, and halted again —
+  /// the right predicate for "program finished" (a never-activated CPU
+  /// also reports halted()).
+  bool finished() const {
+    return cpu_.halted() && cpu_.instructions() > 0;
+  }
+  mem::BankedMemory& local_memory() { return mem_; }
+  noc::NetworkInterface& ni() { return ni_; }
+  const ProcessorConfig& config() const { return cfg_; }
+
+  /// True while the control logic blocks the CPU on a wait command.
+  bool waiting_notify() const { return wait_for_ != 0; }
+  bool externally_blocked() const { return external_wait_ != 0; }
+
+  /// Counters for the experiments.
+  std::uint64_t remote_reads() const { return remote_reads_; }
+  std::uint64_t remote_writes() const { return remote_writes_; }
+  std::uint64_t printfs() const { return printfs_; }
+  std::uint64_t scanfs() const { return scanfs_; }
+  std::uint64_t notifies_sent() const { return notifies_sent_; }
+  std::uint64_t waits_completed() const { return waits_completed_; }
+
+ private:
+  // r8::Bus
+  bool mem_read(std::uint16_t addr, std::uint16_t& out) override;
+  bool mem_write(std::uint16_t addr, std::uint16_t value) override;
+
+  bool remote_read(std::uint8_t target, std::uint16_t offset,
+                   std::uint16_t& out);
+  void handle_incoming(const noc::ServiceMessage& msg);
+
+  ProcessorConfig cfg_;
+  r8::Cpu cpu_;
+  mem::BankedMemory mem_;
+  mem::MemoryServiceLogic mem_logic_;
+  noc::NetworkInterface ni_;
+
+  // CPU-originated messages (priority) and local-memory replies.
+  std::deque<noc::ServiceMessage> cpu_out_;
+  std::deque<noc::ServiceMessage> mem_out_;
+
+  // Outstanding remote read (at most one: the CPU is stalled meanwhile).
+  enum class ReadState : std::uint8_t { kIdle, kWaiting, kReady };
+  ReadState read_state_ = ReadState::kIdle;
+  std::uint16_t read_value_ = 0;
+
+  // Outstanding scanf.
+  ReadState scanf_state_ = ReadState::kIdle;
+  std::uint16_t scanf_value_ = 0;
+
+  // wait/notify bookkeeping: pending notify counts per notifier number.
+  std::map<std::uint8_t, std::uint32_t> notifies_pending_;
+  std::uint8_t wait_for_ = 0;       ///< CPU-issued wait (0 = none)
+  std::uint8_t external_wait_ = 0;  ///< wait service packet (0 = none)
+
+  std::uint64_t remote_reads_ = 0;
+  std::uint64_t remote_writes_ = 0;
+  std::uint64_t printfs_ = 0;
+  std::uint64_t scanfs_ = 0;
+  std::uint64_t notifies_sent_ = 0;
+  std::uint64_t waits_completed_ = 0;
+};
+
+}  // namespace mn::sys

@@ -1,0 +1,85 @@
+#include "system/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace mn::sys {
+
+namespace {
+
+void router_section(std::ostringstream& out, MultiNoc& system) {
+  auto& mesh = system.mesh();
+  out << "routers (flits forwarded / packets routed / rejects):\n";
+  for (unsigned y = mesh.ny(); y-- > 0;) {  // north at the top
+    out << "  y=" << y << " ";
+    for (unsigned x = 0; x < mesh.nx(); ++x) {
+      const auto& s = mesh.router(x, y).stats();
+      out << "| " << std::setw(7) << s.flits_forwarded << " /"
+          << std::setw(5) << s.packets_routed << " /" << std::setw(4)
+          << s.routing_rejects << ' ';
+    }
+    out << "|\n";
+  }
+  const auto total = mesh.total_stats();
+  out << "  total flits " << total.flits_forwarded << ", packets "
+      << total.packets_routed << ", routing rejects "
+      << total.routing_rejects << "\n";
+}
+
+void processor_section(std::ostringstream& out, MultiNoc& sys) {
+  for (std::size_t i = 0; i < sys.processor_count(); ++i) {
+    auto& p = sys.processor(i);
+    const auto& cpu = p.cpu();
+    out << "processor " << (i + 1) << " @" << std::hex << std::setw(2)
+        << std::setfill('0') << int(p.config().self_addr) << std::dec
+        << std::setfill(' ') << ": ";
+    if (cpu.instructions() == 0) {
+      out << "never activated\n";
+      continue;
+    }
+    out << cpu.instructions() << " instr, " << cpu.cycles() << " cycles"
+        << ", CPI " << std::fixed << std::setprecision(2) << cpu.cpi()
+        << ", stalls " << cpu.stall_cycles() << "\n    remote r/w "
+        << p.remote_reads() << "/" << p.remote_writes() << ", printf "
+        << p.printfs() << ", scanf " << p.scanfs() << ", notify "
+        << p.notifies_sent() << ", waits " << p.waits_completed()
+        << (cpu.halted() ? ", halted" : ", running")
+        << (p.waiting_notify() ? " (blocked in wait)" : "") << "\n";
+  }
+}
+
+void memory_section(std::ostringstream& out, MultiNoc& sys) {
+  for (std::size_t i = 0; i < sys.memory_count(); ++i) {
+    auto& m = sys.memory(i);
+    out << "memory " << i << ": " << m.requests_served()
+        << " requests; bank reads/writes:";
+    for (unsigned k = 0; k < 4; ++k) {
+      out << ' ' << m.storage().bank(k).reads() << '/'
+          << m.storage().bank(k).writes();
+    }
+    out << "\n";
+  }
+  out << "serial: " << sys.serial().frames_to_noc() << " frames in, "
+      << sys.serial().frames_to_host() << " frames out, "
+      << (sys.serial().baud_locked()
+              ? "divisor " + std::to_string(sys.serial().divisor())
+              : std::string("unsynchronized"))
+      << "\n";
+}
+
+}  // namespace
+
+std::string system_report(MultiNoc& system, const sim::Simulator& sim,
+                          const ReportOptions& opts) {
+  std::ostringstream out;
+  out << "=== MultiNoC system report @ cycle " << sim.cycle() << " ("
+      << std::fixed << std::setprecision(2)
+      << (static_cast<double>(sim.cycle()) / opts.clock_hz * 1e3)
+      << " ms at " << opts.clock_hz / 1e6 << " MHz) ===\n";
+  if (opts.router_details) router_section(out, system);
+  if (opts.processor_details) processor_section(out, system);
+  if (opts.memory_details) memory_section(out, system);
+  return out.str();
+}
+
+}  // namespace mn::sys

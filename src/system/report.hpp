@@ -1,0 +1,26 @@
+#pragma once
+// System observability: a human-readable statistics report of a MultiNoC
+// instance — per-router traffic heatmap, per-processor performance
+// counters, serial link and memory activity. The software equivalent of
+// the debugging visibility the paper's Serial software monitors provide
+// (Fig. 9), extended to the whole system.
+
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::sys {
+
+struct ReportOptions {
+  double clock_hz = 25e6;  ///< the paper's prototype clock
+  bool router_details = true;
+  bool processor_details = true;
+  bool memory_details = true;
+};
+
+/// Render the current state of the system as a multi-line report.
+std::string system_report(MultiNoc& system, const sim::Simulator& sim,
+                          const ReportOptions& opts = {});
+
+}  // namespace mn::sys

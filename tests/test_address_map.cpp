@@ -1,0 +1,81 @@
+// Processor IP address decoding (paper §2.4 Fig. 6) — including the
+// regression test documenting the paper's erratum.
+#include <gtest/gtest.h>
+
+#include "system/address_map.hpp"
+
+namespace mn {
+namespace {
+
+using sys::decode_address;
+using sys::Region;
+
+TEST(AddressMap, LocalWindow) {
+  EXPECT_EQ(decode_address(0).region, Region::kLocal);
+  EXPECT_EQ(decode_address(0).offset, 0);
+  EXPECT_EQ(decode_address(1023).region, Region::kLocal);
+  EXPECT_EQ(decode_address(1023).offset, 1023);
+}
+
+TEST(AddressMap, PeerWindow) {
+  EXPECT_EQ(decode_address(1024).region, Region::kPeer);
+  EXPECT_EQ(decode_address(1024).offset, 0);
+  EXPECT_EQ(decode_address(2047).region, Region::kPeer);
+  EXPECT_EQ(decode_address(2047).offset, 1023);
+}
+
+TEST(AddressMap, RemoteMemoryWindow) {
+  EXPECT_EQ(decode_address(2048).region, Region::kRemoteMem);
+  EXPECT_EQ(decode_address(2048).offset, 0);
+  EXPECT_EQ(decode_address(3071).region, Region::kRemoteMem);
+  EXPECT_EQ(decode_address(3071).offset, 1023);
+}
+
+TEST(AddressMap, PaperErratumFixed) {
+  // Paper Fig. 6 prints `globalAddress = 1024 - address`, which would map
+  // address 1500 to "offset -476"; the intended mapping is address-1024.
+  // This test pins the corrected behaviour.
+  EXPECT_EQ(decode_address(1500).offset, 1500 - 1024);
+  EXPECT_EQ(decode_address(2500).offset, 2500 - 2048);
+}
+
+TEST(AddressMap, ControlAddresses) {
+  EXPECT_EQ(decode_address(0xFFFD).region, Region::kNotify);
+  EXPECT_EQ(decode_address(0xFFFE).region, Region::kWait);
+  EXPECT_EQ(decode_address(0xFFFF).region, Region::kIo);
+}
+
+TEST(AddressMap, UnmappedSpace) {
+  EXPECT_EQ(decode_address(3072).region, Region::kInvalid);
+  EXPECT_EQ(decode_address(0x8000).region, Region::kInvalid);
+  EXPECT_EQ(decode_address(0xFFFC).region, Region::kInvalid);
+}
+
+TEST(AddressMap, WindowBoundariesExhaustive) {
+  // Every address maps to exactly the region its range dictates.
+  for (std::uint32_t a = 0; a <= 0xFFFF; ++a) {
+    const auto d = decode_address(static_cast<std::uint16_t>(a));
+    if (a < 1024) {
+      ASSERT_EQ(d.region, Region::kLocal) << a;
+    } else if (a < 2048) {
+      ASSERT_EQ(d.region, Region::kPeer) << a;
+    } else if (a < 3072) {
+      ASSERT_EQ(d.region, Region::kRemoteMem) << a;
+    } else if (a == 0xFFFD) {
+      ASSERT_EQ(d.region, Region::kNotify);
+    } else if (a == 0xFFFE) {
+      ASSERT_EQ(d.region, Region::kWait);
+    } else if (a == 0xFFFF) {
+      ASSERT_EQ(d.region, Region::kIo);
+    } else {
+      ASSERT_EQ(d.region, Region::kInvalid) << a;
+    }
+    if (d.region == Region::kLocal || d.region == Region::kPeer ||
+        d.region == Region::kRemoteMem) {
+      ASSERT_LT(d.offset, 1024) << a;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mn

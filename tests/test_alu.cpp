@@ -1,0 +1,182 @@
+// R8 ALU and flag semantics (docs/R8_ISA.md): NZCV behaviour per class.
+#include <gtest/gtest.h>
+
+#include "r8/alu.hpp"
+#include "sim/rng.hpp"
+
+namespace mn {
+namespace {
+
+using r8::alu_eval;
+using r8::Flags;
+using r8::Opcode;
+
+TEST(Alu, AddBasics) {
+  const auto r = alu_eval(Opcode::kAdd, 2, 3, {});
+  EXPECT_EQ(r.value, 5);
+  EXPECT_FALSE(r.flags.n);
+  EXPECT_FALSE(r.flags.z);
+  EXPECT_FALSE(r.flags.c);
+  EXPECT_FALSE(r.flags.v);
+}
+
+TEST(Alu, AddCarryOut) {
+  const auto r = alu_eval(Opcode::kAdd, 0xFFFF, 1, {});
+  EXPECT_EQ(r.value, 0);
+  EXPECT_TRUE(r.flags.z);
+  EXPECT_TRUE(r.flags.c);
+  EXPECT_FALSE(r.flags.v) << "-1 + 1 = 0 has no signed overflow";
+}
+
+TEST(Alu, AddSignedOverflow) {
+  const auto r = alu_eval(Opcode::kAdd, 0x7FFF, 1, {});
+  EXPECT_EQ(r.value, 0x8000);
+  EXPECT_TRUE(r.flags.n);
+  EXPECT_TRUE(r.flags.v);
+  EXPECT_FALSE(r.flags.c);
+}
+
+TEST(Alu, AddcUsesCarryIn) {
+  Flags f;
+  f.c = true;
+  EXPECT_EQ(alu_eval(Opcode::kAddc, 10, 20, f).value, 31);
+  f.c = false;
+  EXPECT_EQ(alu_eval(Opcode::kAddc, 10, 20, f).value, 30);
+}
+
+TEST(Alu, SubNoBorrowConvention) {
+  // C = 1 when a >= b (no borrow).
+  EXPECT_TRUE(alu_eval(Opcode::kSub, 5, 3, {}).flags.c);
+  EXPECT_TRUE(alu_eval(Opcode::kSub, 3, 3, {}).flags.c);
+  EXPECT_FALSE(alu_eval(Opcode::kSub, 2, 3, {}).flags.c);
+  EXPECT_EQ(alu_eval(Opcode::kSub, 2, 3, {}).value, 0xFFFF);
+}
+
+TEST(Alu, SubcUsesBorrow) {
+  Flags carry_set;
+  carry_set.c = true;  // no pending borrow
+  EXPECT_EQ(alu_eval(Opcode::kSubc, 10, 3, carry_set).value, 7);
+  Flags carry_clear;  // borrow pending
+  EXPECT_EQ(alu_eval(Opcode::kSubc, 10, 3, carry_clear).value, 6);
+}
+
+TEST(Alu, SubSignedOverflow) {
+  // 0x8000 - 1 = 0x7FFF: negative - positive = positive -> overflow.
+  const auto r = alu_eval(Opcode::kSub, 0x8000, 1, {});
+  EXPECT_EQ(r.value, 0x7FFF);
+  EXPECT_TRUE(r.flags.v);
+}
+
+TEST(Alu, LogicClearsCV) {
+  Flags dirty;
+  dirty.c = dirty.v = true;
+  for (Opcode op : {Opcode::kAnd, Opcode::kOr, Opcode::kXor}) {
+    const auto r = alu_eval(op, 0xF0F0, 0x0FF0, dirty);
+    EXPECT_FALSE(r.flags.c) << r8::mnemonic(op);
+    EXPECT_FALSE(r.flags.v) << r8::mnemonic(op);
+  }
+  EXPECT_EQ(alu_eval(Opcode::kAnd, 0xF0F0, 0x0FF0, {}).value, 0x00F0);
+  EXPECT_EQ(alu_eval(Opcode::kOr, 0xF0F0, 0x0FF0, {}).value, 0xFFF0);
+  EXPECT_EQ(alu_eval(Opcode::kXor, 0xF0F0, 0x0FF0, {}).value, 0xFF00);
+}
+
+TEST(Alu, NotInvertsAllBits) {
+  const auto r = alu_eval(Opcode::kNot, 0x00FF, 0, {});
+  EXPECT_EQ(r.value, 0xFF00);
+  EXPECT_TRUE(r.flags.n);
+  EXPECT_FALSE(r.flags.z);
+}
+
+TEST(Alu, ShiftsInsertAndCarryOut) {
+  EXPECT_EQ(alu_eval(Opcode::kSl0, 0x0001, 0, {}).value, 0x0002);
+  EXPECT_EQ(alu_eval(Opcode::kSl1, 0x0001, 0, {}).value, 0x0003);
+  EXPECT_EQ(alu_eval(Opcode::kSr0, 0x8000, 0, {}).value, 0x4000);
+  EXPECT_EQ(alu_eval(Opcode::kSr1, 0x8000, 0, {}).value, 0xC000);
+  // Carry = shifted-out bit.
+  EXPECT_TRUE(alu_eval(Opcode::kSl0, 0x8000, 0, {}).flags.c);
+  EXPECT_FALSE(alu_eval(Opcode::kSl0, 0x4000, 0, {}).flags.c);
+  EXPECT_TRUE(alu_eval(Opcode::kSr0, 0x0001, 0, {}).flags.c);
+  EXPECT_FALSE(alu_eval(Opcode::kSr0, 0x0002, 0, {}).flags.c);
+}
+
+TEST(Alu, ZeroFlagConsistent) {
+  for (Opcode op : {Opcode::kAdd, Opcode::kSub, Opcode::kAnd, Opcode::kXor,
+                    Opcode::kSl0, Opcode::kSr0}) {
+    const auto r = alu_eval(op, 0, 0, {});
+    EXPECT_TRUE(r.flags.z) << r8::mnemonic(op);
+    EXPECT_EQ(r.value, 0) << r8::mnemonic(op);
+  }
+}
+
+/// Property: ADD/SUB agree with 32-bit reference arithmetic.
+TEST(Alu, AddSubMatchWideReference) {
+  sim::Xoshiro256 rng(2024);
+  for (int k = 0; k < 20000; ++k) {
+    const auto a = static_cast<std::uint16_t>(rng.below(0x10000));
+    const auto b = static_cast<std::uint16_t>(rng.below(0x10000));
+    const auto add = alu_eval(Opcode::kAdd, a, b, {});
+    EXPECT_EQ(add.value, static_cast<std::uint16_t>(a + b));
+    EXPECT_EQ(add.flags.c, (std::uint32_t(a) + b) > 0xFFFF);
+    EXPECT_EQ(add.flags.n, ((a + b) & 0x8000) != 0);
+    const auto sub = alu_eval(Opcode::kSub, a, b, {});
+    EXPECT_EQ(sub.value, static_cast<std::uint16_t>(a - b));
+    EXPECT_EQ(sub.flags.c, a >= b);
+  }
+}
+
+/// Property: SUBC with C=1 equals SUB; ADDC with C=0 equals ADD.
+TEST(Alu, CarryChainIdentities) {
+  sim::Xoshiro256 rng(77);
+  Flags cset;
+  cset.c = true;
+  for (int k = 0; k < 5000; ++k) {
+    const auto a = static_cast<std::uint16_t>(rng.below(0x10000));
+    const auto b = static_cast<std::uint16_t>(rng.below(0x10000));
+    EXPECT_EQ(alu_eval(Opcode::kSubc, a, b, cset).value,
+              alu_eval(Opcode::kSub, a, b, {}).value);
+    EXPECT_EQ(alu_eval(Opcode::kAddc, a, b, {}).value,
+              alu_eval(Opcode::kAdd, a, b, {}).value);
+  }
+}
+
+/// Property: 32-bit addition via ADD/ADDC pairs is exact.
+TEST(Alu, MultiPrecisionAddition) {
+  sim::Xoshiro256 rng(31337);
+  for (int k = 0; k < 5000; ++k) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.next());
+    const std::uint32_t y = static_cast<std::uint32_t>(rng.next());
+    const auto lo =
+        alu_eval(Opcode::kAdd, static_cast<std::uint16_t>(x),
+                 static_cast<std::uint16_t>(y), {});
+    const auto hi = alu_eval(Opcode::kAddc,
+                             static_cast<std::uint16_t>(x >> 16),
+                             static_cast<std::uint16_t>(y >> 16), lo.flags);
+    const std::uint32_t got =
+        (std::uint32_t(hi.value) << 16) | lo.value;
+    EXPECT_EQ(got, x + y);
+  }
+}
+
+TEST(Alu, JumpConditions) {
+  Flags f;
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmp, f));
+  EXPECT_TRUE(r8::jump_taken(Opcode::kRts, f));
+  EXPECT_FALSE(r8::jump_taken(Opcode::kJmpn, f));
+  f.n = true;
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpn, f));
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpnd, f));
+  f = Flags{};
+  f.z = true;
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpz, f));
+  EXPECT_FALSE(r8::jump_taken(Opcode::kJmpc, f));
+  f = Flags{};
+  f.c = true;
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpcd, f));
+  f = Flags{};
+  f.v = true;
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpv, f));
+  EXPECT_TRUE(r8::jump_taken(Opcode::kJmpvd, f));
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,151 @@
+// FPGA area model and floorplanner (paper §3, Fig. 7).
+#include <gtest/gtest.h>
+
+#include "area/area_model.hpp"
+#include "area/floorplan.hpp"
+
+namespace mn {
+namespace {
+
+TEST(AreaModel, ReproducesPaperUtilization) {
+  const auto u =
+      area::utilization(area::multinoc_2x2_blocks(), area::xc2s200e());
+  EXPECT_NEAR(u.slice_pct, 98.0, 0.5) << "paper: 98% of slices";
+  EXPECT_NEAR(u.lut_pct, 78.0, 0.5) << "paper: 78% of LUTs";
+  EXPECT_TRUE(u.fits);
+  // Three Memory IPs of 4 BlockRAMs each.
+  EXPECT_EQ(u.brams_used, 12u);
+}
+
+TEST(AreaModel, RouterAreaGrowsWithBuffers) {
+  const double d2 = area::router_slices({8, 2, 5});
+  const double d4 = area::router_slices({8, 4, 5});
+  const double d16 = area::router_slices({8, 16, 5});
+  EXPECT_LT(d2, d4);
+  EXPECT_LT(d4, d16);
+  // Buffer growth is linear: +8 slices per extra flit x 5 ports / 2.
+  EXPECT_DOUBLE_EQ(d4 - d2, 5 * 2 * 8 / 2.0);
+}
+
+TEST(AreaModel, RouterAreaGrowsWithFlitWidth) {
+  EXPECT_LT(area::router_slices({8, 2, 5}),
+            area::router_slices({16, 2, 5}));
+  EXPECT_LT(area::router_slices({16, 2, 5}),
+            area::router_slices({32, 2, 5}));
+}
+
+TEST(AreaModel, NocFractionShrinksWithIpSize) {
+  const double r = area::router_slices({});
+  EXPECT_GT(area::noc_area_fraction(4, r), area::noc_area_fraction(4, 4 * r));
+  EXPECT_GT(area::noc_area_fraction(4, 4 * r),
+            area::noc_area_fraction(4, 16 * r));
+}
+
+TEST(AreaModel, PaperScalingClaimHolds) {
+  // "typically less than 10 or 5%": with IPs 9x / 19x the router area.
+  const double r = area::router_slices({});
+  for (unsigned n = 3; n <= 10; ++n) {
+    EXPECT_LT(area::noc_area_fraction(n, 9 * r), 0.11) << n;
+    EXPECT_LT(area::noc_area_fraction(n, 19 * r), 0.06) << n;
+  }
+}
+
+TEST(AreaModel, FractionNearlyConstantInMeshSize) {
+  // Router count and IP count both grow as n^2: the fraction converges.
+  const double f4 = area::noc_area_fraction(4, 2000);
+  const double f10 = area::noc_area_fraction(10, 2000);
+  EXPECT_NEAR(f4, f10, 0.01);
+}
+
+TEST(AreaModel, DeviceCatalogOrderedBySize) {
+  const auto cat = area::device_catalog();
+  for (std::size_t i = 1; i < cat.size(); ++i) {
+    EXPECT_GT(cat[i].slices, cat[i - 1].slices);
+  }
+}
+
+TEST(AreaModel, BiggerSystemsNeedBiggerDevices) {
+  const double ip = area::processor_ip_area().slices;
+  const auto u2 = area::utilization(area::scaled_system_blocks(2, ip),
+                                    area::xc2s300e());
+  EXPECT_TRUE(u2.fits);
+  const auto u6_small = area::utilization(area::scaled_system_blocks(6, ip),
+                                          area::xc2s200e());
+  EXPECT_FALSE(u6_small.fits);
+  const auto u6_big = area::utilization(area::scaled_system_blocks(6, ip),
+                                        area::xc2v6000());
+  EXPECT_TRUE(u6_big.fits);
+}
+
+// ---- floorplanner ---------------------------------------------------------
+
+TEST(Floorplan, PaperStylePlacementIsNearlyLegal) {
+  const auto fp = area::make_multinoc_floorplan(area::xc2s200e());
+  const auto p = area::paper_style_placement(fp);
+  // At 98% occupancy some rounding slack is unavoidable; the hand plan
+  // must be close to overlap-free (< 2% of the die area).
+  const double die = 28.0 * 42.0;
+  EXPECT_LT(p.overlap, 0.02 * die);
+  EXPECT_GT(p.wirelength, 0.0);
+}
+
+TEST(Floorplan, PaperStyleBeatsRandom) {
+  const auto fp = area::make_multinoc_floorplan(area::xc2s200e());
+  const auto p = area::paper_style_placement(fp);
+  const double random = fp.planner.random_baseline(100, 3);
+  EXPECT_LT(p.wirelength, random);
+}
+
+TEST(Floorplan, AnnealReducesCost) {
+  const auto fp = area::make_multinoc_floorplan(area::xc2s200e());
+  area::FloorplanConfig cfg;
+  cfg.seed = 7;
+  cfg.iterations = 8000;
+  const auto annealed = fp.planner.anneal(cfg);
+  sim::Xoshiro256 rng(7);
+  const auto start = fp.planner.initial(rng);
+  EXPECT_LT(fp.planner.cost(annealed, cfg.overlap_weight),
+            fp.planner.cost(start, cfg.overlap_weight));
+}
+
+TEST(Floorplan, AnnealIsDeterministicPerSeed) {
+  const auto fp = area::make_multinoc_floorplan(area::xc2s200e());
+  area::FloorplanConfig cfg;
+  cfg.seed = 42;
+  cfg.iterations = 3000;
+  const auto a = fp.planner.anneal(cfg);
+  const auto b = fp.planner.anneal(cfg);
+  EXPECT_EQ(a.wirelength, b.wirelength);
+  EXPECT_EQ(a.overlap, b.overlap);
+}
+
+TEST(Floorplan, FixedBlocksNeverMove) {
+  const auto fp = area::make_multinoc_floorplan(area::xc2s200e());
+  area::FloorplanConfig cfg;
+  cfg.iterations = 2000;
+  const auto p = fp.planner.anneal(cfg);
+  for (std::size_t i = 0; i < fp.planner.blocks().size(); ++i) {
+    const auto& b = fp.planner.blocks()[i];
+    if (b.fixed) {
+      EXPECT_EQ(p.pos[i].x, b.fx) << b.name;
+      EXPECT_EQ(p.pos[i].y, b.fy) << b.name;
+    }
+  }
+}
+
+TEST(Floorplan, WirelengthIsHpwl) {
+  // Hand-checkable 2-block net.
+  area::FpgaDevice dev{"toy", 100, 200, 200, 0, 10, 10};
+  std::vector<area::Block> blocks{
+      {"a", 2, 1.0, true, 1.0, 1.0},
+      {"b", 2, 1.0, true, 4.0, 5.0},
+  };
+  std::vector<area::Net> nets{{{0, 1}, 2.0}};
+  area::Floorplanner fp(dev, blocks, nets);
+  sim::Xoshiro256 rng(0);
+  const auto p = fp.initial(rng);
+  EXPECT_DOUBLE_EQ(fp.wirelength(p), 2.0 * ((4 - 1) + (5 - 1)));
+}
+
+}  // namespace
+}  // namespace mn

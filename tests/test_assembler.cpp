@@ -1,0 +1,309 @@
+// R8 assembler: syntax, directives, expressions, diagnostics, object file.
+#include <gtest/gtest.h>
+
+#include "r8/isa.hpp"
+#include "r8asm/assembler.hpp"
+#include "r8asm/objfile.hpp"
+
+namespace mn {
+namespace {
+
+using r8asm::assemble;
+
+TEST(Assembler, EmptySourceIsOk) {
+  const auto a = assemble("");
+  EXPECT_TRUE(a.ok);
+  EXPECT_TRUE(a.image.empty());
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto a = assemble(R"(
+; full-line comment
+        NOP        ; trailing comment
+        -- dash comment style
+        HALT       -- another
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  ASSERT_EQ(a.image.size(), 2u);
+  EXPECT_EQ(r8::disassemble(a.image[0]), "NOP");
+  EXPECT_EQ(r8::disassemble(a.image[1]), "HALT");
+}
+
+TEST(Assembler, AllFormatsEncode) {
+  const auto a = assemble(R"(
+        ADD  R1, R2, R3
+        SUBI R4, 200
+        NOT  R5, R6
+        JMP  R7
+        RTS
+        JMPD 0
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(r8::disassemble(a.image[0]), "ADD R1, R2, R3");
+  EXPECT_EQ(r8::disassemble(a.image[1]), "SUBI R4, 200");
+  EXPECT_EQ(r8::disassemble(a.image[2]), "NOT R5, R6");
+  EXPECT_EQ(r8::disassemble(a.image[3]), "JMP R7");
+  EXPECT_EQ(r8::disassemble(a.image[4]), "RTS");
+  EXPECT_EQ(r8::disassemble(a.image[5]), "JMPD -5");
+}
+
+TEST(Assembler, NumberFormats) {
+  const auto a = assemble(R"(
+        .word 10, 0x1F, 0FFFEh, 'A', 1+2, 10-3
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(a.image,
+            (std::vector<std::uint16_t>{10, 0x1F, 0xFFFE, 'A', 3, 7}));
+}
+
+TEST(Assembler, PaperStyleHexSuffix) {
+  // The paper writes addresses as FFFEh / FFFDh.
+  const auto a = assemble("        .word 0FFFEh, 0FFFDh\n");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(a.image[0], 0xFFFE);
+  EXPECT_EQ(a.image[1], 0xFFFD);
+}
+
+TEST(Assembler, LabelsAndForwardReferences) {
+  const auto a = assemble(R"(
+        JMPD end
+        NOP
+        NOP
+end:    HALT
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  const auto d = r8::decode(a.image[0]);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->disp, 3);
+}
+
+TEST(Assembler, BackwardJump) {
+  const auto a = assemble(R"(
+loop:   NOP
+        JMPD loop
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(r8::decode(a.image[1])->disp, -1);
+}
+
+TEST(Assembler, LoHiOperators) {
+  const auto a = assemble(R"(
+        .equ ADDR, 0x1234
+        LDL R1, lo(ADDR)
+        LDH R1, hi(ADDR)
+        LDL R2, lo(table)
+        LDH R2, hi(table)
+        .org 0x0321
+table:  .word 0
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(r8::decode(a.image[0])->imm, 0x34);
+  EXPECT_EQ(r8::decode(a.image[1])->imm, 0x12);
+  EXPECT_EQ(r8::decode(a.image[2])->imm, 0x21);
+  EXPECT_EQ(r8::decode(a.image[3])->imm, 0x03);
+}
+
+TEST(Assembler, OrgPlacesCode) {
+  const auto a = assemble(R"(
+        NOP
+        .org 0x10
+        HALT
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  ASSERT_EQ(a.image.size(), 0x11u);
+  EXPECT_EQ(r8::disassemble(a.image[0x10]), "HALT");
+}
+
+TEST(Assembler, SpaceAndAscii) {
+  const auto a = assemble(R"(
+        .ascii "Hi!"
+        .space 2
+        .word 9
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(a.image, (std::vector<std::uint16_t>{'H', 'i', '!', 0, 0, 9}));
+}
+
+TEST(Assembler, EquChains) {
+  const auto a = assemble(R"(
+        .equ BASE, 0x100
+        .equ OFF, 8
+        .equ ADDR, BASE+OFF
+        .word ADDR, ADDR+1
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  EXPECT_EQ(a.image[0], 0x108);
+  EXPECT_EQ(a.image[1], 0x109);
+}
+
+TEST(Assembler, SymbolTableExposed) {
+  const auto a = assemble(R"(
+start:  NOP
+mid:    NOP
+        .equ K, 42
+)");
+  ASSERT_TRUE(a.ok);
+  EXPECT_EQ(a.symbols.at("start"), 0u);
+  EXPECT_EQ(a.symbols.at("mid"), 1u);
+  EXPECT_EQ(a.symbols.at("K"), 42u);
+}
+
+TEST(Assembler, ListingContainsAddresses) {
+  const auto a = assemble("        NOP\n        HALT\n");
+  ASSERT_TRUE(a.ok);
+  ASSERT_EQ(a.listing.size(), 2u);
+  EXPECT_NE(a.listing[0].find("0000"), std::string::npos);
+  EXPECT_NE(a.listing[1].find("0001"), std::string::npos);
+}
+
+// ---- diagnostics ---------------------------------------------------------
+
+TEST(AssemblerErrors, UnknownMnemonic) {
+  const auto a = assemble("        FROB R1, R2\n");
+  EXPECT_FALSE(a.ok);
+  ASSERT_FALSE(a.errors.empty());
+  EXPECT_EQ(a.errors[0].line, 1);
+  EXPECT_NE(a.error_text().find("FROB"), std::string::npos);
+}
+
+TEST(AssemblerErrors, WrongOperandCount) {
+  EXPECT_FALSE(assemble("        ADD R1, R2\n").ok);
+  EXPECT_FALSE(assemble("        RTS R1\n").ok);
+  EXPECT_FALSE(assemble("        LDL R1\n").ok);
+}
+
+TEST(AssemblerErrors, BadRegister) {
+  EXPECT_FALSE(assemble("        ADD R1, R2, R16\n").ok);
+  EXPECT_FALSE(assemble("        ADD R1, R2, X3\n").ok);
+}
+
+TEST(AssemblerErrors, ImmediateRange) {
+  EXPECT_TRUE(assemble("        ADDI R1, 255\n").ok);
+  EXPECT_FALSE(assemble("        ADDI R1, 256\n").ok);
+  EXPECT_FALSE(assemble("        ADDI R1, 0x1FF\n").ok);
+}
+
+TEST(AssemblerErrors, DisplacementRange) {
+  // Jump target beyond +/-256 words.
+  std::string src = "        JMPD far\n";
+  for (int i = 0; i < 300; ++i) src += "        NOP\n";
+  src += "far:    HALT\n";
+  const auto a = assemble(src);
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.error_text().find("displacement"), std::string::npos);
+}
+
+TEST(AssemblerErrors, UndefinedSymbol) {
+  const auto a = assemble("        .word nowhere\n");
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.error_text().find("nowhere"), std::string::npos);
+}
+
+TEST(AssemblerErrors, DuplicateLabel) {
+  const auto a = assemble("x:      NOP\nx:      NOP\n");
+  EXPECT_FALSE(a.ok);
+  EXPECT_NE(a.error_text().find("duplicate"), std::string::npos);
+}
+
+TEST(AssemblerErrors, ReportsMultipleErrorsWithLines) {
+  const auto a = assemble(R"(
+        FROB 1
+        NOP
+        ADD R1
+)");
+  EXPECT_FALSE(a.ok);
+  ASSERT_GE(a.errors.size(), 2u);
+  EXPECT_EQ(a.errors[0].line, 2);
+  EXPECT_EQ(a.errors[1].line, 4);
+}
+
+// ---- object file ----------------------------------------------------------
+
+TEST(ObjFile, RoundTrip) {
+  const std::vector<std::uint16_t> image{0x1234, 0xABCD, 0x0000, 0xFFFF};
+  const std::string text = r8asm::to_load_text(image, 0x40);
+  const auto parsed = r8asm::parse_load_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->sections.size(), 1u);
+  EXPECT_EQ(parsed->sections[0].base, 0x40);
+  EXPECT_EQ(parsed->sections[0].words, image);
+  const auto flat = parsed->flatten();
+  ASSERT_EQ(flat.size(), 0x44u);
+  EXPECT_EQ(flat[0x41], 0xABCD);
+}
+
+TEST(ObjFile, MultipleSections) {
+  const auto parsed = r8asm::parse_load_text("@0000\n1111\n@0100\n2222\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->sections.size(), 2u);
+  const auto flat = parsed->flatten();
+  EXPECT_EQ(flat[0], 0x1111);
+  EXPECT_EQ(flat[0x100], 0x2222);
+}
+
+TEST(ObjFile, RejectsGarbage) {
+  EXPECT_FALSE(r8asm::parse_load_text("xyzzy\n").has_value());
+  EXPECT_FALSE(r8asm::parse_load_text("12345\n").has_value());
+  EXPECT_FALSE(r8asm::parse_load_text("@GGGG\n").has_value());
+}
+
+TEST(ObjFile, AssembleToLoadTextFlow) {
+  // The full §4 flow: assemble -> object text -> parse -> image.
+  const auto a = assemble("        LDL R1, 5\n        HALT\n");
+  ASSERT_TRUE(a.ok);
+  const auto text = r8asm::to_load_text(a.image);
+  const auto parsed = r8asm::parse_load_text(text);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->flatten(), a.image);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- cross-module property: disassemble -> reassemble round trip -------
+
+namespace mn {
+namespace {
+
+TEST(AsmDisasmRoundTrip, EveryLegalWordSurvives) {
+  // For every legal instruction word: its disassembly, fed back through
+  // the assembler, must re-encode to a word that decodes identically
+  // (field values equal; don't-care bits may differ canonically).
+  int checked = 0;
+  std::string source;
+  std::vector<std::uint16_t> expected;
+  for (std::uint32_t w = 0; w <= 0xFFFF; w += 7) {  // stride keeps it fast
+    const auto i = r8::decode(static_cast<std::uint16_t>(w));
+    if (!i) continue;
+    // Displacement jumps disassemble as raw offsets but assemble against
+    // target addresses; they get their own anchored test below.
+    if (r8::format_of(i->op) == r8::Format::kD9) continue;
+    source += "        " + r8::disassemble(static_cast<std::uint16_t>(w)) +
+              "\n";
+    expected.push_back(r8::encode(*i));  // canonical encoding
+    ++checked;
+  }
+  const auto a = assemble(source);
+  ASSERT_TRUE(a.ok) << a.error_text();
+  ASSERT_EQ(a.image.size(), expected.size());
+  for (std::size_t k = 0; k < expected.size(); ++k) {
+    ASSERT_EQ(a.image[k], expected[k])
+        << "instr " << k << ": " << r8::disassemble(expected[k]);
+  }
+  EXPECT_GT(checked, 5000);
+}
+
+TEST(AsmDisasmRoundTrip, DisplacementJumpsNeedAnchors) {
+  // Displacement mnemonics disassemble to raw offsets; reassembling them
+  // standalone interprets the operand as a target address, so the round
+  // trip above only works because each line sits at a fresh address...
+  // pin the convention explicitly: "JMPD 3" at address 10 jumps to 3.
+  const auto a = assemble(".org 10\n        JMPD 3\n");
+  ASSERT_TRUE(a.ok) << a.error_text();
+  const auto i = r8::decode(a.image[10]);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->disp, -7);
+}
+
+}  // namespace
+}  // namespace mn

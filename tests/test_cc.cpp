@@ -1,0 +1,486 @@
+// r8cc: MiniC -> R8 assembly compiler (the paper's §5 future-work item).
+// Programs are compiled and executed on the functional interpreter; the
+// full-system tests at the end run compiled code on the cycle-accurate
+// MultiNoC.
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "r8/interp.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+/// Compile, run on the interpreter, return everything printf'd.
+std::vector<std::uint16_t> run_minic(
+    const std::string& src,
+    std::vector<std::uint16_t> scanf_inputs = {},
+    std::uint64_t max_steps = 3'000'000) {
+  const auto c = cc::compile(src);
+  EXPECT_TRUE(c.ok) << c.errors << "\n---- generated assembly ----\n"
+                    << c.assembly;
+  if (!c.ok) return {};
+  r8::Interp interp;
+  interp.load(c.image);
+  std::vector<std::uint16_t> out;
+  std::size_t next_input = 0;
+  interp.on_printf = [&](std::uint16_t v) { out.push_back(v); };
+  interp.on_scanf = [&]() -> std::uint16_t {
+    return next_input < scanf_inputs.size() ? scanf_inputs[next_input++] : 0;
+  };
+  interp.run(max_steps);
+  EXPECT_TRUE(interp.halted()) << "program did not halt";
+  return out;
+}
+
+using W = std::vector<std::uint16_t>;
+
+TEST(MiniC, MinimalMain) {
+  EXPECT_EQ(run_minic("int main() { printf(42); return 0; }"), W{42});
+}
+
+TEST(MiniC, ArithmeticPrecedence) {
+  EXPECT_EQ(run_minic("int main() { printf(2 + 3 * 4); }"), W{14});
+  EXPECT_EQ(run_minic("int main() { printf((2 + 3) * 4); }"), W{20});
+  EXPECT_EQ(run_minic("int main() { printf(10 - 2 - 3); }"), W{5});
+  EXPECT_EQ(run_minic("int main() { printf(100 / 7); }"), W{14});
+  EXPECT_EQ(run_minic("int main() { printf(100 % 7); }"), W{2});
+}
+
+TEST(MiniC, SixteenBitWraparound) {
+  EXPECT_EQ(run_minic("int main() { printf(65535 + 1); }"), W{0});
+  EXPECT_EQ(run_minic("int main() { printf(0 - 1); }"), W{0xFFFF});
+  EXPECT_EQ(run_minic("int main() { printf(256 * 256); }"), W{0});
+}
+
+TEST(MiniC, BitwiseAndShifts) {
+  EXPECT_EQ(run_minic("int main() { printf(0xF0F0 & 0x0FF0); }"), W{0x00F0});
+  EXPECT_EQ(run_minic("int main() { printf(0xF000 | 0x000F); }"), W{0xF00F});
+  EXPECT_EQ(run_minic("int main() { printf(0xFF00 ^ 0x0FF0); }"), W{0xF0F0});
+  EXPECT_EQ(run_minic("int main() { printf(~0); }"), W{0xFFFF});
+  EXPECT_EQ(run_minic("int main() { printf(1 << 10); }"), W{1024});
+  EXPECT_EQ(run_minic("int main() { printf(0x8000 >> 15); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { int n = 3; printf(5 << n); }"), W{40});
+}
+
+TEST(MiniC, UnaryOperators) {
+  EXPECT_EQ(run_minic("int main() { printf(-5 + 10); }"), W{5});
+  EXPECT_EQ(run_minic("int main() { printf(!0); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(!7); }"), W{0});
+  EXPECT_EQ(run_minic("int main() { printf(!!123); }"), W{1});
+}
+
+TEST(MiniC, SignedComparisons) {
+  EXPECT_EQ(run_minic("int main() { printf(3 < 5); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(5 < 3); }"), W{0});
+  EXPECT_EQ(run_minic("int main() { printf(-1 < 1); }"), W{1})
+      << "comparisons are signed";
+  EXPECT_EQ(run_minic("int main() { printf(-30000 < 30000); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(5 <= 5); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(5 > 5); }"), W{0});
+  EXPECT_EQ(run_minic("int main() { printf(6 >= 5); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(5 == 5); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(5 != 5); }"), W{0});
+}
+
+TEST(MiniC, LogicalOperators) {
+  EXPECT_EQ(run_minic("int main() { printf(1 && 2); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(1 && 0); }"), W{0});
+  EXPECT_EQ(run_minic("int main() { printf(0 || 3); }"), W{1});
+  EXPECT_EQ(run_minic("int main() { printf(0 || 0); }"), W{0});
+  // Short circuit: the second operand (a trap via division) is skipped.
+  EXPECT_EQ(run_minic(R"(
+    int trap() { printf(999); return 1; }
+    int main() { printf(0 && trap()); printf(1 || trap()); }
+  )"),
+            (W{0, 1}));
+}
+
+TEST(MiniC, VariablesAndAssignment) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int x = 10;
+      int y;
+      y = x * 2;
+      x = x + y;
+      printf(x);
+      printf(y);
+    }
+  )"),
+            (W{30, 20}));
+}
+
+TEST(MiniC, AssignmentIsAnExpression) {
+  EXPECT_EQ(run_minic("int main() { int a; int b; a = b = 7; printf(a+b); }"),
+            W{14});
+}
+
+TEST(MiniC, BlockScopingAndShadowing) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int x = 1;
+      {
+        int x = 2;
+        printf(x);
+      }
+      printf(x);
+    }
+  )"),
+            (W{2, 1}));
+}
+
+TEST(MiniC, IfElseChains) {
+  const char* prog = R"(
+    int classify(int n) {
+      if (n < 10) { return 1; }
+      else if (n < 100) { return 2; }
+      else { return 3; }
+    }
+    int main() {
+      printf(classify(5));
+      printf(classify(50));
+      printf(classify(500));
+    }
+  )";
+  EXPECT_EQ(run_minic(prog), (W{1, 2, 3}));
+}
+
+TEST(MiniC, WhileLoop) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int i = 0;
+      int sum = 0;
+      while (i < 10) { sum = sum + i; i = i + 1; }
+      printf(sum);
+    }
+  )"),
+            W{45});
+}
+
+TEST(MiniC, ForLoopWithBreakContinue) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int sum = 0;
+      for (int i = 0; i < 20; i = i + 1) {
+        if (i == 12) { break; }
+        if (i % 2) { continue; }
+        sum = sum + i;
+      }
+      printf(sum);  // 0+2+4+6+8+10 = 30
+    }
+  )"),
+            W{30});
+}
+
+TEST(MiniC, FunctionsAndRecursion) {
+  EXPECT_EQ(run_minic(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { printf(fib(12)); }
+  )"),
+            W{144});
+}
+
+TEST(MiniC, MultipleArgumentsInOrder) {
+  EXPECT_EQ(run_minic(R"(
+    int f(int a, int b, int c) { return a * 100 + b * 10 + c; }
+    int main() { printf(f(1, 2, 3)); }
+  )"),
+            W{123});
+}
+
+TEST(MiniC, GlobalsPersistAcrossCalls) {
+  EXPECT_EQ(run_minic(R"(
+    int counter = 5;
+    int bump() { counter = counter + 1; return counter; }
+    int main() { bump(); bump(); printf(bump()); }
+  )"),
+            W{8});
+}
+
+TEST(MiniC, LocalArrays) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int a[8];
+      for (int i = 0; i < 8; i = i + 1) { a[i] = i * i; }
+      int sum = 0;
+      for (int i = 0; i < 8; i = i + 1) { sum = sum + a[i]; }
+      printf(sum);   // 0+1+4+9+16+25+36+49 = 140
+      printf(a[3]);
+    }
+  )"),
+            (W{140, 9}));
+}
+
+TEST(MiniC, GlobalArrays) {
+  EXPECT_EQ(run_minic(R"(
+    int table[16];
+    int main() {
+      for (int i = 0; i < 16; i = i + 1) { table[i] = i + 100; }
+      printf(table[0] + table[15]);
+    }
+  )"),
+            W{215});
+}
+
+TEST(MiniC, ScanfDrivesControlFlow) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      int x = scanf();
+      while (x != 0) {
+        printf(x * 2);
+        x = scanf();
+      }
+    }
+  )",
+                      {3, 7, 0}),
+            (W{6, 14}));
+}
+
+TEST(MiniC, PeekPokeRawMemory) {
+  EXPECT_EQ(run_minic(R"(
+    int main() {
+      poke(0x02F0, 0xABCD);
+      printf(peek(0x02F0));
+    }
+  )"),
+            W{0xABCD});
+}
+
+TEST(MiniC, SortingProgram) {
+  // Insertion sort — a realistic kernel exercising arrays, nested loops
+  // and comparisons together.
+  EXPECT_EQ(run_minic(R"(
+    int a[10];
+    int main() {
+      a[0]=9; a[1]=3; a[2]=7; a[3]=1; a[4]=8;
+      a[5]=2; a[6]=0; a[7]=6; a[8]=4; a[9]=5;
+      for (int i = 1; i < 10; i = i + 1) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {
+          a[j + 1] = a[j];
+          j = j - 1;
+        }
+        a[j + 1] = key;
+      }
+      for (int i = 0; i < 10; i = i + 1) { printf(a[i]); }
+    }
+  )"),
+            (W{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(MiniC, GcdProgram) {
+  EXPECT_EQ(run_minic(R"(
+    int gcd(int a, int b) {
+      while (b != 0) {
+        int t = a % b;
+        a = b;
+        b = t;
+      }
+      return a;
+    }
+    int main() { printf(gcd(1071, 462)); }
+  )"),
+            W{21});
+}
+
+TEST(MiniC, CharLiterals) {
+  EXPECT_EQ(run_minic("int main() { printf('A'); printf('\\n'); }"),
+            (W{65, 10}));
+}
+
+TEST(MiniC, CommentsEverywhere) {
+  EXPECT_EQ(run_minic(R"(
+    // leading comment
+    int main() { /* inline */ printf(/*here?*/ 1); } // trailing
+  )"),
+            W{1});
+}
+
+// ---- diagnostics -----------------------------------------------------------
+
+TEST(MiniCErrors, UndeclaredVariable) {
+  const auto c = cc::compile("int main() { printf(x); }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("undeclared"), std::string::npos);
+}
+
+TEST(MiniCErrors, MissingMain) {
+  const auto c = cc::compile("int f() { return 1; }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("main"), std::string::npos);
+}
+
+TEST(MiniCErrors, ArityMismatch) {
+  const auto c = cc::compile(
+      "int f(int a) { return a; } int main() { f(1, 2); }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("argument"), std::string::npos);
+}
+
+TEST(MiniCErrors, BreakOutsideLoop) {
+  const auto c = cc::compile("int main() { break; }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("break"), std::string::npos);
+}
+
+TEST(MiniCErrors, AssignToCall) {
+  const auto c = cc::compile(
+      "int f() { return 1; } int main() { f() = 2; }");
+  EXPECT_FALSE(c.ok);
+}
+
+TEST(MiniCErrors, IndexingScalar) {
+  const auto c = cc::compile("int main() { int x; x[0] = 1; }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("array"), std::string::npos);
+}
+
+TEST(MiniCErrors, DuplicateDeclaration) {
+  const auto c = cc::compile("int main() { int x; int x; }");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("duplicate"), std::string::npos);
+}
+
+TEST(MiniCErrors, SyntaxErrorHasLineNumber) {
+  const auto c = cc::compile("int main() {\n  printf(1);\n  int;\n}");
+  EXPECT_FALSE(c.ok);
+  EXPECT_NE(c.errors.find("line 3"), std::string::npos);
+}
+
+// ---- compiled code on the full cycle-accurate system ----------------------
+
+TEST(MiniCSystem, CompiledProgramRunsOnMultiNoc) {
+  const auto c = cc::compile(R"(
+    int fib(int n) {
+      if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2);
+    }
+    int main() { printf(fib(10)); }
+  )");
+  ASSERT_TRUE(c.ok) << c.errors;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  host.load_program(0x01, c.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  ASSERT_TRUE(host.wait_printf(0x01, 1, 50'000'000));
+  EXPECT_EQ(host.printf_log(0x01).front(), 55);
+}
+
+TEST(MiniCSystem, CompiledWaitNotifyAcrossProcessors) {
+  // P1 waits for P2, then prints a value P2 deposited in P1's local
+  // memory via the peer window — all written in MiniC.
+  const auto p1 = cc::compile(R"(
+    int main() {
+      wait(2);
+      printf(peek(0x02F8));
+    }
+  )");
+  const auto p2 = cc::compile(R"(
+    int main() {
+      poke(0x0400 + 0x02F8, 4321);  // peer window -> P1 local 0x02F8
+      notify(1);
+    }
+  )");
+  ASSERT_TRUE(p1.ok) << p1.errors;
+  ASSERT_TRUE(p2.ok) << p2.errors;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  host.load_program(0x01, p1.image);
+  host.load_program(0x10, p2.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  host.activate(0x10);
+  ASSERT_TRUE(host.wait_printf(0x01, 1, 50'000'000));
+  EXPECT_EQ(host.printf_log(0x01).front(), 4321);
+}
+
+TEST(MiniCSystem, CompiledRemoteMemoryAccess) {
+  const auto c = cc::compile(R"(
+    int main() {
+      // Sum 8 words of the remote Memory IP (CPU window 0x0800).
+      int sum = 0;
+      for (int i = 0; i < 8; i = i + 1) {
+        sum = sum + peek(0x0800 + i);
+      }
+      printf(sum);
+    }
+  )");
+  ASSERT_TRUE(c.ok) << c.errors;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  host.write_memory(0x11, 0, {1, 2, 3, 4, 5, 6, 7, 8});
+  ASSERT_TRUE(host.flush());
+  host.load_program(0x01, c.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  ASSERT_TRUE(host.wait_printf(0x01, 1, 50'000'000));
+  EXPECT_EQ(host.printf_log(0x01).front(), 36);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- scoping odds and ends --------------------------------------------------
+
+namespace mn {
+namespace {
+
+TEST(MiniCScoping, LocalShadowsGlobal) {
+  EXPECT_EQ(run_minic(R"(
+    int x = 100;
+    int main() {
+      int x = 5;
+      printf(x);
+      { int x = 9; printf(x); }
+      printf(x);
+    }
+  )"),
+            (W{5, 9, 5}));
+}
+
+TEST(MiniCScoping, ParameterShadowsGlobal) {
+  EXPECT_EQ(run_minic(R"(
+    int v = 7;
+    int f(int v) { return v * 2; }
+    int main() { printf(f(3)); printf(v); }
+  )"),
+            (W{6, 7}));
+}
+
+TEST(MiniCScoping, CallValueCanBeDiscarded) {
+  EXPECT_EQ(run_minic(R"(
+    int count = 0;
+    int bump() { count = count + 1; return count; }
+    int main() { bump(); bump(); printf(count); }
+  )"),
+            (W{2}));
+}
+
+TEST(MiniCScoping, GlobalArrayAndFunctionShareName) {
+  // A global named like a function must not confuse the compiler's
+  // separate namespaces (labels G_x vs x).
+  EXPECT_EQ(run_minic(R"(
+    int f[4];
+    int f2() { return 11; }
+    int main() { f[0] = f2(); printf(f[0]); }
+  )"),
+            (W{11}));
+}
+
+}  // namespace
+}  // namespace mn

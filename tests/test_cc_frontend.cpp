@@ -1,0 +1,179 @@
+// r8cc front end: lexer tokens and parser AST shapes / diagnostics.
+#include <gtest/gtest.h>
+
+#include "cc/lexer.hpp"
+#include "cc/parser.hpp"
+
+namespace mn {
+namespace {
+
+using cc::Tok;
+
+std::vector<Tok> kinds(const std::string& src) {
+  const auto r = cc::lex(src);
+  EXPECT_TRUE(r.ok());
+  std::vector<Tok> out;
+  for (const auto& t : r.tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  const auto k = kinds("int iff if while whiles for");
+  EXPECT_EQ(k, (std::vector<Tok>{Tok::kInt, Tok::kIdent, Tok::kIf,
+                                 Tok::kWhile, Tok::kIdent, Tok::kFor,
+                                 Tok::kEof}));
+}
+
+TEST(Lexer, NumbersDecimalHexChar) {
+  const auto r = cc::lex("0 65535 0x1F 'A' '\\n' '\\0'");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.tokens.size(), 7u);
+  EXPECT_EQ(r.tokens[0].value, 0);
+  EXPECT_EQ(r.tokens[1].value, 65535);
+  EXPECT_EQ(r.tokens[2].value, 0x1F);
+  EXPECT_EQ(r.tokens[3].value, 'A');
+  EXPECT_EQ(r.tokens[4].value, '\n');
+  EXPECT_EQ(r.tokens[5].value, 0);
+}
+
+TEST(Lexer, TwoCharOperatorsGreedy) {
+  const auto k = kinds("<< <= < == = != ! && & || |");
+  EXPECT_EQ(k, (std::vector<Tok>{Tok::kShl, Tok::kLe, Tok::kLt, Tok::kEq,
+                                 Tok::kAssign, Tok::kNe, Tok::kBang,
+                                 Tok::kAndAnd, Tok::kAmp, Tok::kOrOr,
+                                 Tok::kPipe, Tok::kEof}));
+}
+
+TEST(Lexer, CommentsStripped) {
+  EXPECT_EQ(kinds("a // b c d\n e /* f\ng */ h"),
+            (std::vector<Tok>{Tok::kIdent, Tok::kIdent, Tok::kIdent,
+                              Tok::kEof}));
+}
+
+TEST(Lexer, LineNumbersTracked) {
+  const auto r = cc::lex("a\nb\n\nc");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.tokens[0].line, 1);
+  EXPECT_EQ(r.tokens[1].line, 2);
+  EXPECT_EQ(r.tokens[2].line, 4);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_FALSE(cc::lex("int x = 70000;").ok());  // >16 bits
+  EXPECT_FALSE(cc::lex("@").ok());
+  EXPECT_FALSE(cc::lex("/* unterminated").ok());
+  EXPECT_FALSE(cc::lex("'ab'").ok());
+}
+
+// ---- parser ---------------------------------------------------------------
+
+cc::ParseResult parse_src(const std::string& src) {
+  const auto lexed = cc::lex(src);
+  EXPECT_TRUE(lexed.ok());
+  return cc::parse(lexed.tokens);
+}
+
+TEST(Parser, GlobalAndFunctionShapes) {
+  const auto p = parse_src(R"(
+    int g = 5;
+    int arr[16];
+    int neg = -3;
+    int f(int a, int b) { return a; }
+    int main() { }
+  )");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.program.globals.size(), 3u);
+  EXPECT_EQ(p.program.globals[0].init, 5);
+  EXPECT_EQ(p.program.globals[1].array_size, 16);
+  EXPECT_EQ(p.program.globals[2].init, static_cast<std::uint16_t>(-3));
+  ASSERT_EQ(p.program.functions.size(), 2u);
+  EXPECT_EQ(p.program.functions[0].name, "f");
+  EXPECT_EQ(p.program.functions[0].params,
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Parser, PrecedenceShapesTheTree) {
+  const auto p = parse_src("int main() { return 1 + 2 * 3; }");
+  ASSERT_TRUE(p.ok());
+  const auto& ret = *p.program.functions[0].body->stmts[0];
+  ASSERT_EQ(ret.kind, cc::Stmt::Kind::kReturn);
+  const auto& e = *ret.expr;
+  ASSERT_EQ(e.kind, cc::Expr::Kind::kBinary);
+  EXPECT_EQ(e.bin, cc::BinOp::kAdd);
+  EXPECT_EQ(e.lhs->kind, cc::Expr::Kind::kNumber);
+  ASSERT_EQ(e.rhs->kind, cc::Expr::Kind::kBinary);
+  EXPECT_EQ(e.rhs->bin, cc::BinOp::kMul);
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  const auto p = parse_src("int main() { int a; int b; a = b = 1; }");
+  ASSERT_TRUE(p.ok());
+  const auto& st = *p.program.functions[0].body->stmts[2];
+  ASSERT_EQ(st.kind, cc::Stmt::Kind::kExpr);
+  const auto& e = *st.expr;
+  ASSERT_EQ(e.kind, cc::Expr::Kind::kAssign);
+  EXPECT_EQ(e.lhs->name, "a");
+  ASSERT_EQ(e.rhs->kind, cc::Expr::Kind::kAssign);
+  EXPECT_EQ(e.rhs->lhs->name, "b");
+}
+
+TEST(Parser, ForDesugarsToWhileWithStep) {
+  const auto p =
+      parse_src("int main() { for (int i = 0; i < 3; i = i + 1) { } }");
+  ASSERT_TRUE(p.ok());
+  const auto& blk = *p.program.functions[0].body->stmts[0];
+  ASSERT_EQ(blk.kind, cc::Stmt::Kind::kBlock);
+  ASSERT_EQ(blk.stmts.size(), 2u);  // init + while
+  EXPECT_EQ(blk.stmts[0]->kind, cc::Stmt::Kind::kDecl);
+  const auto& loop = *blk.stmts[1];
+  EXPECT_EQ(loop.kind, cc::Stmt::Kind::kWhile);
+  EXPECT_TRUE(loop.step != nullptr) << "step must ride on the while node";
+}
+
+TEST(Parser, ForWithoutCondIsInfinite) {
+  const auto p = parse_src("int main() { for (;;) { break; } }");
+  ASSERT_TRUE(p.ok());
+  const auto& blk = *p.program.functions[0].body->stmts[0];
+  const auto& loop = *blk.stmts[0];
+  ASSERT_EQ(loop.kind, cc::Stmt::Kind::kWhile);
+  ASSERT_EQ(loop.expr->kind, cc::Expr::Kind::kNumber);
+  EXPECT_EQ(loop.expr->value, 1);
+}
+
+TEST(Parser, DanglingElseBindsToInnermost) {
+  const auto p = parse_src(
+      "int main() { if (1) if (2) { } else { } }");
+  ASSERT_TRUE(p.ok());
+  const auto& outer = *p.program.functions[0].body->stmts[0];
+  ASSERT_EQ(outer.kind, cc::Stmt::Kind::kIf);
+  EXPECT_EQ(outer.else_branch, nullptr);
+  ASSERT_EQ(outer.then_branch->kind, cc::Stmt::Kind::kIf);
+  EXPECT_NE(outer.then_branch->else_branch, nullptr);
+}
+
+TEST(Parser, ErrorsCarryLinesAndRecover) {
+  const auto p = parse_src("int main() {\n  int ;\n  int x;\n}");
+  EXPECT_FALSE(p.ok());
+  ASSERT_FALSE(p.errors.empty());
+  EXPECT_EQ(p.errors[0].line, 2);
+}
+
+TEST(Parser, RejectsAssignToExpression) {
+  const auto p = parse_src("int main() { 1 + 2 = 3; }");
+  EXPECT_FALSE(p.ok());
+}
+
+TEST(Parser, CallArgumentsParsed) {
+  const auto p = parse_src(
+      "int f(int a, int b, int c) { return 0; }"
+      "int main() { f(1, 2 + 3, f(4, 5, 6)); }");
+  ASSERT_TRUE(p.ok());
+  const auto& st = *p.program.functions[1].body->stmts[0];
+  const auto& call = *st.expr;
+  ASSERT_EQ(call.kind, cc::Expr::Kind::kCall);
+  ASSERT_EQ(call.args.size(), 3u);
+  EXPECT_EQ(call.args[2]->kind, cc::Expr::Kind::kCall);
+}
+
+}  // namespace
+}  // namespace mn

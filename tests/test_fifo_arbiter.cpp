@@ -1,0 +1,163 @@
+// Unit tests for the router building blocks: circular FIFO (paper: "the
+// inserted buffers work as circular FIFOs") and round-robin arbiter.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <deque>
+
+#include "noc/arbiter.hpp"
+#include "noc/fifo.hpp"
+#include "sim/rng.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Fifo, BasicOrder) {
+  noc::Fifo<int> f(4);
+  EXPECT_TRUE(f.empty());
+  EXPECT_FALSE(f.full());
+  f.push(1);
+  f.push(2);
+  f.push(3);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_EQ(f.front(), 1);
+  EXPECT_EQ(f.pop(), 1);
+  EXPECT_EQ(f.pop(), 2);
+  EXPECT_EQ(f.pop(), 3);
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, WrapAround) {
+  noc::Fifo<int> f(2);  // the paper's buffer depth
+  for (int round = 0; round < 10; ++round) {
+    f.push(2 * round);
+    f.push(2 * round + 1);
+    EXPECT_TRUE(f.full());
+    EXPECT_EQ(f.pop(), 2 * round);
+    EXPECT_EQ(f.pop(), 2 * round + 1);
+  }
+}
+
+TEST(Fifo, FreeSlotsTracksCapacity) {
+  noc::Fifo<int> f(3);
+  EXPECT_EQ(f.free_slots(), 3u);
+  f.push(0);
+  EXPECT_EQ(f.free_slots(), 2u);
+  f.push(0);
+  f.push(0);
+  EXPECT_EQ(f.free_slots(), 0u);
+  EXPECT_TRUE(f.full());
+}
+
+TEST(Fifo, ClearEmpties) {
+  noc::Fifo<int> f(4);
+  f.push(1);
+  f.push(2);
+  f.clear();
+  EXPECT_TRUE(f.empty());
+  f.push(9);
+  EXPECT_EQ(f.front(), 9);
+}
+
+/// Property sweep: FIFO behaves as std::deque-bounded reference model.
+class FifoProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FifoProperty, MatchesReferenceModel) {
+  const std::size_t cap = GetParam();
+  noc::Fifo<int> f(cap);
+  std::deque<int> ref;
+  sim::Xoshiro256 rng(cap * 1234567);
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.chance(0.5)) {
+      if (!f.full()) {
+        const int v = static_cast<int>(rng.below(1000));
+        f.push(v);
+        ref.push_back(v);
+      }
+    } else if (!f.empty()) {
+      ASSERT_EQ(f.front(), ref.front());
+      EXPECT_EQ(f.pop(), ref.front());
+      ref.pop_front();
+    }
+    ASSERT_EQ(f.size(), ref.size());
+    ASSERT_EQ(f.empty(), ref.empty());
+    ASSERT_EQ(f.full(), ref.size() == cap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, FifoProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+TEST(Arbiter, GrantsSingleRequester) {
+  noc::RoundRobinArbiter arb(5);
+  std::vector<bool> req(5, false);
+  req[3] = true;
+  EXPECT_EQ(arb.arbitrate(req), 3);
+  EXPECT_EQ(arb.arbitrate(req), 3);
+}
+
+TEST(Arbiter, NoRequestNoGrant) {
+  noc::RoundRobinArbiter arb(4);
+  std::vector<bool> req(4, false);
+  EXPECT_EQ(arb.arbitrate(req), -1);
+}
+
+TEST(Arbiter, RotatesAmongAll) {
+  noc::RoundRobinArbiter arb(4);
+  std::vector<bool> req(4, true);
+  EXPECT_EQ(arb.arbitrate(req), 0);
+  EXPECT_EQ(arb.arbitrate(req), 1);
+  EXPECT_EQ(arb.arbitrate(req), 2);
+  EXPECT_EQ(arb.arbitrate(req), 3);
+  EXPECT_EQ(arb.arbitrate(req), 0);
+}
+
+TEST(Arbiter, LastGrantedGetsLowestPriority) {
+  noc::RoundRobinArbiter arb(3);
+  std::vector<bool> req{true, false, true};
+  EXPECT_EQ(arb.arbitrate(req), 0);
+  // 0 just granted: 2 must win although 0 still requests.
+  EXPECT_EQ(arb.arbitrate(req), 2);
+  EXPECT_EQ(arb.arbitrate(req), 0);
+}
+
+/// Property: a persistent requester is granted within N rounds under any
+/// random competing request pattern (the no-starvation guarantee).
+class ArbiterProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArbiterProperty, NoStarvationUnderRandomLoad) {
+  const std::size_t n = GetParam();
+  noc::RoundRobinArbiter arb(n);
+  sim::Xoshiro256 rng(n * 777);
+  for (std::size_t victim = 0; victim < n; ++victim) {
+    int since_grant = 0;
+    for (int round = 0; round < 2000; ++round) {
+      std::vector<bool> req(n);
+      for (std::size_t i = 0; i < n; ++i) req[i] = rng.chance(0.7);
+      req[victim] = true;  // the persistent requester
+      const int g = arb.arbitrate(req);
+      if (g == static_cast<int>(victim)) {
+        since_grant = 0;
+      } else {
+        ++since_grant;
+        ASSERT_LT(since_grant, static_cast<int>(n))
+            << "requester " << victim << " starved at round " << round;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterProperty,
+                         ::testing::Values(2, 3, 5, 8));
+
+/// Property: grants are conserved — with all requesting, shares are equal.
+TEST(Arbiter, EqualSharesUnderFullLoad) {
+  noc::RoundRobinArbiter arb(5);
+  std::vector<bool> req(5, true);
+  std::array<int, 5> counts{};
+  for (int i = 0; i < 5000; ++i) ++counts[arb.arbitrate(req)];
+  for (int c : counts) EXPECT_EQ(c, 1000);
+}
+
+}  // namespace
+}  // namespace mn

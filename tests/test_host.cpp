@@ -1,0 +1,155 @@
+// Host model ("Serial software", §4): chunking, multi-packet reads,
+// monitors, and full-flow behaviours not covered elsewhere.
+#include <gtest/gtest.h>
+
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+constexpr std::uint8_t kProc1 = 0x01;
+constexpr std::uint8_t kProc2 = 0x10;
+constexpr std::uint8_t kMem = 0x11;
+
+struct HostRig : ::testing::Test {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+  void SetUp() override { ASSERT_TRUE(host.boot()); }
+};
+
+TEST_F(HostRig, LargeWriteIsChunkedAndIntact) {
+  // 300 words exceed both the 64-word frame chunk and a single NoC packet.
+  std::vector<std::uint16_t> data(300);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint16_t>(i * 13 + 1);
+  }
+  host.write_memory(kMem, 0x100, data);
+  ASSERT_TRUE(host.flush());
+  const auto back = host.read_memory_blocking(kMem, 0x100, 300);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(HostRig, FullMemoryReadback) {
+  std::vector<std::uint16_t> data(1024);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint16_t>(0xFFFF - i);
+  }
+  host.write_memory(kMem, 0, data);
+  ASSERT_TRUE(host.flush());
+  const auto back = host.read_memory_blocking(kMem, 0, 1024, 200'000'000);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(HostRig, ZeroTailTrimmedOnLoad) {
+  std::vector<std::uint16_t> image(200, 0);
+  image[0] = 0x1111;
+  image[1] = 0x2222;  // 198 trailing zeros need not be transmitted
+  const auto before = host.bytes_sent();
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  const auto sent = host.bytes_sent() - before;
+  EXPECT_LT(sent, 40u) << "trailing zeros should not cross the link";
+  const auto back = host.read_memory_blocking(kProc1, 0, 4);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)[0], 0x1111);
+  EXPECT_EQ((*back)[1], 0x2222);
+  EXPECT_EQ((*back)[2], 0x0000);
+}
+
+TEST_F(HostRig, PrintfLogsAreSeparatedBySource) {
+  const auto p1 = r8asm::assemble(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LDL R1, 1
+        ST  R1, R10, R0
+        HALT
+  )");
+  const auto p2 = r8asm::assemble(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LDL R1, 2
+        ST  R1, R10, R0
+        HALT
+  )");
+  ASSERT_TRUE(p1.ok && p2.ok);
+  host.load_program(kProc1, p1.image);
+  host.load_program(kProc2, p2.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  host.activate(kProc2);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1));
+  ASSERT_TRUE(host.wait_printf(kProc2, 1));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 1);
+  EXPECT_EQ(host.printf_log(kProc2).front(), 2);
+}
+
+TEST_F(HostRig, ReadResultsCarrySourceAndAddress) {
+  host.write_memory(kMem, 0x55, {0xAB});
+  ASSERT_TRUE(host.flush());
+  host.read_memory(kMem, 0x55, 1);
+  ASSERT_TRUE(sim.run_until([&] { return host.has_read_result(); },
+                            10'000'000));
+  const auto r = host.pop_read_result();
+  EXPECT_EQ(r.source, kMem);
+  EXPECT_EQ(r.addr, 0x55);
+  EXPECT_EQ(r.words, (std::vector<std::uint16_t>{0xAB}));
+}
+
+TEST_F(HostRig, InterleavedReadsFromTwoTargets) {
+  host.write_memory(kMem, 0x10, {0xAAAA});
+  host.write_memory(kProc1, 0x10, {0xBBBB});
+  ASSERT_TRUE(host.flush());
+  host.read_memory(kMem, 0x10, 1);
+  host.read_memory(kProc1, 0x10, 1);
+  int got = 0;
+  std::map<std::uint8_t, std::uint16_t> by_source;
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        while (host.has_read_result()) {
+          const auto r = host.pop_read_result();
+          by_source[r.source] = r.words[0];
+          ++got;
+        }
+        return got == 2;
+      },
+      10'000'000));
+  EXPECT_EQ(by_source[kMem], 0xAAAA);
+  EXPECT_EQ(by_source[kProc1], 0xBBBB);
+}
+
+TEST_F(HostRig, BootIsIdempotent) {
+  // A second sync while locked must not disturb the link.
+  ASSERT_TRUE(host.boot());
+  host.write_memory(kMem, 0, {1, 2, 3});
+  ASSERT_TRUE(host.flush());
+  const auto back = host.read_memory_blocking(kMem, 0, 3);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(HostDivisors, SystemWorksAcrossBaudRates) {
+  for (unsigned divisor : {4u, 16u, 217u}) {
+    sim::Simulator sim;
+    sys::MultiNoc system(sim);
+    host::Host host(sim, system, divisor);
+    ASSERT_TRUE(host.boot(200'000'000)) << "divisor " << divisor;
+    EXPECT_EQ(system.serial().divisor(), divisor);
+    host.write_memory(0x11, 7, {0x5A5A});
+    ASSERT_TRUE(host.flush(200'000'000));
+    const auto back = host.read_memory_blocking(0x11, 7, 1, 200'000'000);
+    ASSERT_TRUE(back.has_value()) << "divisor " << divisor;
+    EXPECT_EQ((*back)[0], 0x5A5A);
+  }
+}
+
+}  // namespace
+}  // namespace mn

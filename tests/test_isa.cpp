@@ -1,0 +1,176 @@
+// R8 ISA: encoding/decoding, disassembly, classification (docs/R8_ISA.md).
+#include <gtest/gtest.h>
+
+#include "r8/isa.hpp"
+#include "sim/rng.hpp"
+
+namespace mn {
+namespace {
+
+using r8::Format;
+using r8::Instr;
+using r8::Opcode;
+
+std::vector<Opcode> all_opcodes() {
+  std::vector<Opcode> v;
+  for (int i = 0; i < r8::kOpcodeCount; ++i) {
+    v.push_back(static_cast<Opcode>(i));
+  }
+  return v;
+}
+
+TEST(Isa, ThirtySixInstructions) {
+  EXPECT_EQ(r8::kOpcodeCount, 36) << "paper: 36 distinct instructions";
+  // All mnemonics distinct.
+  std::set<std::string> names;
+  for (Opcode op : all_opcodes()) names.insert(r8::mnemonic(op));
+  EXPECT_EQ(names.size(), 36u);
+}
+
+TEST(Isa, MnemonicLookupRoundTrip) {
+  for (Opcode op : all_opcodes()) {
+    const auto back = r8::opcode_from_mnemonic(r8::mnemonic(op));
+    ASSERT_TRUE(back.has_value()) << r8::mnemonic(op);
+    EXPECT_EQ(*back, op);
+  }
+  // Case-insensitive.
+  EXPECT_EQ(r8::opcode_from_mnemonic("add"), Opcode::kAdd);
+  EXPECT_EQ(r8::opcode_from_mnemonic("JmPzD"), Opcode::kJmpzd);
+  EXPECT_FALSE(r8::opcode_from_mnemonic("MUL").has_value());
+}
+
+/// Property: encode/decode round-trips for every opcode and random fields.
+class IsaRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(IsaRoundTrip, EncodeDecode) {
+  const Opcode op = static_cast<Opcode>(GetParam());
+  sim::Xoshiro256 rng(GetParam() * 31 + 1);
+  for (int k = 0; k < 200; ++k) {
+    Instr i;
+    i.op = op;
+    switch (r8::format_of(op)) {
+      case Format::kRRR:
+        i.rt = static_cast<std::uint8_t>(rng.below(16));
+        i.rs1 = static_cast<std::uint8_t>(rng.below(16));
+        i.rs2 = static_cast<std::uint8_t>(rng.below(16));
+        break;
+      case Format::kRI:
+        i.rt = static_cast<std::uint8_t>(rng.below(16));
+        i.imm = static_cast<std::uint8_t>(rng.below(256));
+        break;
+      case Format::kRR:
+        i.rt = static_cast<std::uint8_t>(rng.below(16));
+        i.rs1 = static_cast<std::uint8_t>(rng.below(16));
+        break;
+      case Format::kR:
+        i.rs1 = static_cast<std::uint8_t>(rng.below(16));
+        break;
+      case Format::kNone:
+        break;
+      case Format::kD9:
+        i.disp = static_cast<std::int16_t>(
+            static_cast<int>(rng.below(512)) - 256);
+        break;
+    }
+    const std::uint16_t word = r8::encode(i);
+    const auto back = r8::decode(word);
+    ASSERT_TRUE(back.has_value()) << std::hex << word;
+    EXPECT_EQ(*back, i) << r8::disassemble(word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, IsaRoundTrip,
+                         ::testing::Range(0, r8::kOpcodeCount),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return r8::mnemonic(
+                               static_cast<Opcode>(info.param));
+                         });
+
+TEST(Isa, DecodeRejectsIllegalSubcodes) {
+  // 0xD group subop > 4.
+  EXPECT_FALSE(r8::decode(0xD050).has_value());
+  EXPECT_FALSE(r8::decode(0xD0F0).has_value());
+  // 0xE group subop > 0xB.
+  EXPECT_FALSE(r8::decode(0xEC00).has_value());
+  EXPECT_FALSE(r8::decode(0xEF00).has_value());
+  // 0xF group subop > 5.
+  EXPECT_FALSE(r8::decode(0xFC00).has_value());
+  EXPECT_FALSE(r8::decode(0xFE01).has_value());
+}
+
+TEST(Isa, DispSignExtension) {
+  Instr i;
+  i.op = Opcode::kJmpd;
+  i.disp = -256;
+  EXPECT_EQ(r8::decode(r8::encode(i))->disp, -256);
+  i.disp = 255;
+  EXPECT_EQ(r8::decode(r8::encode(i))->disp, 255);
+  i.disp = -1;
+  EXPECT_EQ(r8::decode(r8::encode(i))->disp, -1);
+}
+
+TEST(Isa, DispFits) {
+  EXPECT_TRUE(r8::disp_fits(0));
+  EXPECT_TRUE(r8::disp_fits(255));
+  EXPECT_TRUE(r8::disp_fits(-256));
+  EXPECT_FALSE(r8::disp_fits(256));
+  EXPECT_FALSE(r8::disp_fits(-257));
+}
+
+TEST(Isa, Disassemble) {
+  Instr st;
+  st.op = Opcode::kSt;
+  st.rt = 3;
+  st.rs1 = 1;
+  st.rs2 = 2;
+  EXPECT_EQ(r8::disassemble(r8::encode(st)), "ST R3, R1, R2");
+
+  Instr ldl;
+  ldl.op = Opcode::kLdl;
+  ldl.rt = 10;
+  ldl.imm = 0xFF;
+  EXPECT_EQ(r8::disassemble(r8::encode(ldl)), "LDL R10, 255");
+
+  Instr jd;
+  jd.op = Opcode::kJmpzd;
+  jd.disp = -3;
+  EXPECT_EQ(r8::disassemble(r8::encode(jd)), "JMPZD -3");
+
+  Instr rts;
+  rts.op = Opcode::kRts;
+  EXPECT_EQ(r8::disassemble(r8::encode(rts)), "RTS");
+
+  EXPECT_EQ(r8::disassemble(0xEF00), ".word 0xef00");
+}
+
+TEST(Isa, Classification) {
+  EXPECT_TRUE(r8::is_alu(Opcode::kAdd));
+  EXPECT_TRUE(r8::is_alu(Opcode::kSr1));
+  EXPECT_FALSE(r8::is_alu(Opcode::kLd));
+  EXPECT_FALSE(r8::is_alu(Opcode::kLdl));
+  EXPECT_TRUE(r8::is_memory(Opcode::kLd));
+  EXPECT_TRUE(r8::is_memory(Opcode::kJsr));
+  EXPECT_FALSE(r8::is_memory(Opcode::kJmp));
+  EXPECT_TRUE(r8::is_jump(Opcode::kRts));
+  EXPECT_TRUE(r8::is_jump(Opcode::kJmpvd));
+  EXPECT_FALSE(r8::is_jump(Opcode::kHalt));
+  EXPECT_TRUE(r8::is_conditional(Opcode::kJmpn));
+  EXPECT_FALSE(r8::is_conditional(Opcode::kJmp));
+  EXPECT_FALSE(r8::is_conditional(Opcode::kJsrd));
+}
+
+TEST(Isa, EveryWordDecodesToAtMostOneInstr) {
+  // Decode is a partial function; where defined, re-encoding reproduces
+  // the canonical word for canonical encodings.
+  int legal = 0;
+  for (std::uint32_t w = 0; w <= 0xFFFF; ++w) {
+    const auto i = r8::decode(static_cast<std::uint16_t>(w));
+    if (i) ++legal;
+  }
+  // RRR+RI groups: 13 majors * 4096; unary: 5 subops * 256 (rt x rs);
+  // sys: 12 subops * 256 (low byte don't-care where unused); disp: 6*512.
+  EXPECT_GT(legal, 13 * 4096);
+}
+
+}  // namespace
+}  // namespace mn

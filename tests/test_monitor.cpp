@@ -1,0 +1,104 @@
+// Fig. 9 debug console: the paper's exact command syntax against a live
+// system ("the user has typed '00 01 01 00 20'...").
+#include <gtest/gtest.h>
+
+#include "host/monitor.hpp"
+#include "r8asm/assembler.hpp"
+
+namespace mn {
+namespace {
+
+using host::MonitorCommand;
+using host::parse_monitor_command;
+
+TEST(MonitorParse, PaperExample) {
+  std::string err;
+  const auto cmd = parse_monitor_command("00 01 01 00 20", &err);
+  ASSERT_TRUE(cmd.has_value()) << err;
+  EXPECT_EQ(cmd->kind, MonitorCommand::Kind::kRead);
+  EXPECT_EQ(cmd->ip, 1u);       // P1 local memory
+  EXPECT_EQ(cmd->count, 1u);    // one position
+  EXPECT_EQ(cmd->addr, 0x0020); // starting at 0020H
+}
+
+TEST(MonitorParse, WriteActivateScanf) {
+  std::string err;
+  auto w = parse_monitor_command("03 03 02 00 10 DE AD", &err);
+  ASSERT_TRUE(w.has_value()) << err;
+  EXPECT_EQ(w->kind, MonitorCommand::Kind::kWrite);
+  EXPECT_EQ(w->ip, 3u);
+  EXPECT_EQ(w->addr, 0x0010);
+  EXPECT_EQ(w->words, (std::vector<std::uint16_t>{0xDE, 0xAD}));
+
+  auto a = parse_monitor_command("04 02", &err);
+  ASSERT_TRUE(a.has_value()) << err;
+  EXPECT_EQ(a->kind, MonitorCommand::Kind::kActivate);
+  EXPECT_EQ(a->ip, 2u);
+
+  auto s = parse_monitor_command("07 01 12 34", &err);
+  ASSERT_TRUE(s.has_value()) << err;
+  EXPECT_EQ(s->kind, MonitorCommand::Kind::kScanfReturn);
+  EXPECT_EQ(s->words[0], 0x1234);
+}
+
+TEST(MonitorParse, Diagnostics) {
+  std::string err;
+  EXPECT_FALSE(parse_monitor_command("", &err).has_value());
+  EXPECT_FALSE(parse_monitor_command("ZZ 01", &err).has_value());
+  EXPECT_NE(err.find("hex"), std::string::npos);
+  EXPECT_FALSE(parse_monitor_command("00 01 01", &err).has_value());
+  EXPECT_FALSE(parse_monitor_command("05 01", &err).has_value());
+  EXPECT_FALSE(parse_monitor_command("03 01 03 00 00 01 02", &err)
+                   .has_value())
+      << "count says 3 but only 2 words given";
+}
+
+struct MonitorRig : ::testing::Test {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+  void SetUp() override { ASSERT_TRUE(host.boot()); }
+
+  std::string run(const std::string& line) {
+    return host::run_monitor_line(sim, system, host, line);
+  }
+};
+
+TEST_F(MonitorRig, PaperReadFlow) {
+  // Put a value at P1 local 0x20 and read it back with the paper's line.
+  EXPECT_EQ(run("03 01 01 00 20 BEEF").substr(0, 5), "wrote");
+  EXPECT_EQ(run("00 01 01 00 20"), "read 0020: BEEF");
+  // Two-word read against the memory IP (logical IP 3).
+  run("03 03 02 01 00 0007 0008");
+  EXPECT_EQ(run("00 03 02 01 00"), "read 0100: 0007 0008");
+}
+
+TEST_F(MonitorRig, ActivateAndScanfFlow) {
+  const auto a = r8asm::assemble(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LD  R1, R10, R0
+        ADDI R1, 1
+        ST  R1, R10, R0
+        HALT
+  )");
+  ASSERT_TRUE(a.ok);
+  host.load_program(0x01, a.image);
+  ASSERT_TRUE(host.flush());
+  EXPECT_EQ(run("04 01"), "activated");
+  ASSERT_TRUE(sim.run_until([&] { return host.has_scanf_request(); },
+                            1'000'000));
+  host.pop_scanf_request();
+  EXPECT_EQ(run("07 01 00 29"), "sent");  // 0x29 = 41
+  ASSERT_TRUE(host.wait_printf(0x01, 1));
+  EXPECT_EQ(host.printf_log(0x01).front(), 42);
+}
+
+TEST_F(MonitorRig, UnknownIpRejected) {
+  EXPECT_EQ(run("00 09 01 00 00"), "error: no such IP");
+}
+
+}  // namespace
+}  // namespace mn

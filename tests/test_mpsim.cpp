@@ -1,0 +1,378 @@
+// Multiprocessor simulator (paper §5 future work): multi-core execution,
+// wait/notify semantics, deadlock detection, breakpoints, watchpoints,
+// traces — and agreement with the cycle-accurate system.
+#include <gtest/gtest.h>
+
+#include "apps/programs.hpp"
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "mpsim/mpsim.hpp"
+#include "r8/interp.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+std::vector<std::uint16_t> asm_or_die(const std::string& src) {
+  const auto a = r8asm::assemble(src);
+  EXPECT_TRUE(a.ok) << a.error_text();
+  return a.image;
+}
+
+std::vector<std::uint16_t> cc_or_die(const std::string& src) {
+  const auto c = cc::compile(src);
+  EXPECT_TRUE(c.ok) << c.errors;
+  return c.image;
+}
+
+TEST(MpSim, SingleProcessorHello) {
+  mpsim::MultiSim sim;
+  sim.load(0, asm_or_die(apps::hello_source()));
+  sim.activate(0);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kAllHalted);
+  ASSERT_EQ(sim.printf_log(0).size(), 2u);
+  EXPECT_EQ(sim.printf_log(0)[0], 'H');
+  EXPECT_EQ(sim.printf_log(0)[1], 'i');
+}
+
+TEST(MpSim, IdleProcessorsDoNotRun) {
+  mpsim::MultiSim sim;
+  sim.load(0, asm_or_die(apps::hello_source()));
+  sim.activate(0);  // processor 1 never activated
+  sim.run();
+  EXPECT_EQ(sim.state(1), mpsim::ProcState::kIdle);
+  EXPECT_EQ(sim.instructions(1), 0u);
+}
+
+TEST(MpSim, WaitNotifyAcrossProcessors) {
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { wait(2); printf(77); }"));
+  sim.load(1, cc_or_die("int main() { notify(1); }"));
+  sim.activate(0);
+  sim.activate(1);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kAllHalted);
+  ASSERT_EQ(sim.printf_log(0).size(), 1u);
+  EXPECT_EQ(sim.printf_log(0)[0], 77);
+  EXPECT_EQ(sim.notifies_sent(1), 1u);
+}
+
+TEST(MpSim, NotifyBeforeWaitIsCounted) {
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die(R"(
+    int main() {
+      int i = 0;
+      while (i < 100) { i = i + 1; }  // arrive at wait late
+      wait(2);
+      printf(i);
+    }
+  )"));
+  sim.load(1, cc_or_die("int main() { notify(1); }"));
+  sim.activate(0);
+  sim.activate(1);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.printf_log(0)[0], 100);
+}
+
+TEST(MpSim, DetectsDeadlock) {
+  // The distributed-application error the paper wants caught: both
+  // processors wait for each other.
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { wait(2); }"));
+  sim.load(1, cc_or_die("int main() { wait(1); }"));
+  sim.activate(0);
+  sim.activate(1);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kDeadlock);
+  EXPECT_NE(stop.detail.find("waits for notify"), std::string::npos);
+  EXPECT_EQ(sim.state(0), mpsim::ProcState::kWaiting);
+  EXPECT_EQ(sim.state(1), mpsim::ProcState::kWaiting);
+}
+
+TEST(MpSim, WrongNotifyTargetIsADeadlock) {
+  // P2 notifies processor 2 (itself) instead of 1 — a realistic bug.
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { wait(2); printf(1); }"));
+  sim.load(1, cc_or_die("int main() { notify(2); }"));
+  sim.activate(0);
+  sim.activate(1);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kDeadlock);
+}
+
+TEST(MpSim, ScanfBlocksUntilHostReplies) {
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { printf(scanf() + 1); }"));
+  sim.activate(0);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kAwaitingHost);
+  ASSERT_EQ(sim.pending_scanf(), std::vector<unsigned>{0u});
+  sim.scanf_return(0, 41);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.printf_log(0)[0], 42);
+}
+
+TEST(MpSim, ScanfProviderAnswersInline) {
+  mpsim::MultiSim sim;
+  sim.on_scanf = [](unsigned) { return std::optional<std::uint16_t>(9); };
+  sim.load(0, cc_or_die("int main() { printf(scanf() * 3); }"));
+  sim.activate(0);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.printf_log(0)[0], 27);
+}
+
+TEST(MpSim, PeerWindowAndRemoteMemory) {
+  mpsim::MultiSim sim;
+  sim.write_remote(0x10, {500});
+  sim.load(0, cc_or_die(R"(
+    int main() {
+      int v = peek(0x0800 + 0x10);   // remote memory
+      poke(0x0400 + 0x20, v + 1);    // peer local memory
+      notify(2);
+    }
+  )"));
+  sim.load(1, cc_or_die(R"(
+    int main() {
+      wait(1);
+      printf(peek(0x20));
+    }
+  )"));
+  sim.activate(0);
+  sim.activate(1);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.printf_log(1)[0], 501);
+  EXPECT_GE(sim.remote_accesses(0), 2u);
+}
+
+TEST(MpSim, BreakpointStopsBeforeExecution) {
+  mpsim::MultiSim sim;
+  const auto img = asm_or_die(R"(
+        LDL R1, 1
+        LDL R1, 2
+        LDL R1, 3
+        HALT
+  )");
+  sim.load(0, img);
+  sim.activate(0);
+  sim.add_breakpoint(0, 2);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kBreakpoint);
+  EXPECT_EQ(stop.proc, 0u);
+  EXPECT_EQ(stop.addr, 2u);
+  EXPECT_EQ(sim.pc(0), 2u);
+  EXPECT_EQ(sim.reg(0, 1), 2u) << "instruction at 2 not yet executed";
+  // Resume to completion.
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.reg(0, 1), 3u);
+}
+
+TEST(MpSim, WatchpointOnLocalWrite) {
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die(R"(
+    int main() {
+      poke(0x0200, 1);
+      poke(0x0201, 2);
+      poke(0x0200, 3);
+    }
+  )"));
+  sim.activate(0);
+  sim.add_watchpoint(0, 0x0200);
+  auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kWatchpoint);
+  EXPECT_EQ(stop.addr, 0x0200);
+  EXPECT_EQ(stop.value, 1);
+  stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kWatchpoint);
+  EXPECT_EQ(stop.value, 3);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+}
+
+TEST(MpSim, WatchpointCatchesCrossProcessorWrite) {
+  // The data-race lens: watch P1's mailbox, catch P2 writing it through
+  // the peer window.
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { wait(2); }"));
+  sim.load(1, cc_or_die(R"(
+    int main() {
+      poke(0x0400 + 0x03F0, 1234);
+      notify(1);
+    }
+  )"));
+  sim.activate(0);
+  sim.activate(1);
+  sim.add_watchpoint(0, 0x03F0);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kWatchpoint);
+  EXPECT_EQ(stop.proc, 1u) << "the writer is processor 1";
+  EXPECT_EQ(stop.addr, 0x03F0);
+  EXPECT_EQ(stop.value, 1234);
+  EXPECT_NE(stop.detail.find("proc 1"), std::string::npos);
+}
+
+TEST(MpSim, TraceRecordsRecentInstructions) {
+  mpsim::MultiSim sim;
+  sim.load(0, asm_or_die(R"(
+        LDL R1, 5
+        ADDI R1, 1
+        HALT
+  )"));
+  sim.activate(0);
+  sim.run();
+  const auto t = sim.trace(0);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].pc, 0u);
+  EXPECT_EQ(t[0].disasm, "LDL R1, 5");
+  EXPECT_EQ(t[1].disasm, "ADDI R1, 1");
+  EXPECT_EQ(t[2].disasm, "HALT");
+}
+
+TEST(MpSim, TraceDepthBounded) {
+  mpsim::Config cfg;
+  cfg.trace_depth = 8;
+  mpsim::MultiSim sim(cfg);
+  sim.load(0, cc_or_die(
+      "int main() { for (int i = 0; i < 50; i = i + 1) {} }"));
+  sim.activate(0);
+  sim.run();
+  EXPECT_EQ(sim.trace(0).size(), 8u);
+}
+
+TEST(MpSim, ManyProcessors) {
+  mpsim::Config cfg;
+  cfg.processors = 8;
+  mpsim::MultiSim sim(cfg);
+  // Token ring: processor k waits for k, then notifies k+2 (1-based
+  // numbers: proc index p has number p+1). Proc 0 starts the token.
+  for (unsigned p = 0; p < 8; ++p) {
+    std::ostringstream src;
+    if (p == 0) {
+      src << "int main() { notify(2); wait(8); printf(100); }";
+    } else {
+      src << "int main() { wait(" << p << "); notify(" << (p + 2 <= 8 ? p + 2 : 1)
+          << "); }";
+    }
+    sim.load(p, cc_or_die(src.str()));
+    sim.activate(p);
+  }
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kAllHalted) << stop.detail;
+  EXPECT_EQ(sim.printf_log(0)[0], 100);
+}
+
+TEST(MpSim, AgreesWithCycleAccurateSystem) {
+  // The same two MiniC programs produce identical printf streams on the
+  // functional multiprocessor simulator and on the cycle-accurate MultiNoC.
+  const auto p1 = cc_or_die(R"(
+    int main() {
+      wait(2);
+      int acc = 0;
+      for (int i = 0; i < 8; i = i + 1) { acc = acc + peek(0x0800 + i); }
+      printf(acc);
+      printf(peek(0x0300));
+    }
+  )");
+  const auto p2 = cc_or_die(R"(
+    int main() {
+      poke(0x0400 + 0x0300, 4242);  // P1 local 0x0300
+      notify(1);
+    }
+  )");
+  const std::vector<std::uint16_t> remote{5, 10, 15, 20, 25, 30, 35, 40};
+
+  // Functional run.
+  mpsim::MultiSim fsim;
+  fsim.write_remote(0, remote);
+  fsim.load(0, p1);
+  fsim.load(1, p2);
+  fsim.activate(0);
+  fsim.activate(1);
+  ASSERT_EQ(fsim.run().reason, mpsim::StopReason::kAllHalted);
+
+  // Cycle-accurate run.
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  host.write_memory(0x11, 0, remote);
+  host.load_program(0x01, p1);
+  host.load_program(0x10, p2);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  host.activate(0x10);
+  ASSERT_TRUE(host.wait_printf(0x01, 2, 50'000'000));
+
+  ASSERT_EQ(fsim.printf_log(0).size(), 2u);
+  EXPECT_EQ(host.printf_log(0x01)[0], fsim.printf_log(0)[0]);
+  EXPECT_EQ(host.printf_log(0x01)[1], fsim.printf_log(0)[1]);
+  EXPECT_EQ(fsim.printf_log(0)[0], 180);
+  EXPECT_EQ(fsim.printf_log(0)[1], 4242);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- additional mpsim coverage --------------------------------------------
+
+namespace mn {
+namespace {
+
+TEST(MpSimExtra, RemoteMemoryWatchpoint) {
+  mpsim::MultiSim sim;
+  sim.load(0, cc_or_die("int main() { poke(0x0800 + 5, 99); }"));
+  sim.activate(0);
+  sim.add_watchpoint(mpsim::MultiSim::kRemote, 5);
+  const auto stop = sim.run();
+  EXPECT_EQ(stop.reason, mpsim::StopReason::kWatchpoint);
+  EXPECT_EQ(stop.addr, 5);
+  EXPECT_EQ(stop.value, 99);
+  EXPECT_NE(stop.detail.find("remote"), std::string::npos);
+  EXPECT_EQ(sim.run().reason, mpsim::StopReason::kAllHalted);
+  EXPECT_EQ(sim.read_remote(5, 1)[0], 99);
+}
+
+TEST(MpSimExtra, SingleStepIsDeterministic) {
+  auto make = [] {
+    auto s = std::make_unique<mpsim::MultiSim>();
+    s->load(0, cc_or_die("int main() { printf(3 * 4); }"));
+    s->activate(0);
+    return s;
+  };
+  auto a = make();
+  auto b = make();
+  // Stepping one machine instruction-by-instruction matches a full run.
+  while (a->state(0) == mpsim::ProcState::kRunning) a->step(0);
+  b->run();
+  EXPECT_EQ(a->instructions(0), b->instructions(0));
+  EXPECT_EQ(a->printf_log(0), b->printf_log(0));
+  for (unsigned r = 0; r < 16; ++r) {
+    EXPECT_EQ(a->reg(0, r), b->reg(0, r)) << "R" << r;
+  }
+}
+
+TEST(MpSimExtra, AgreesWithInterpOnSingleProcessor) {
+  // Single-processor programs behave identically on the Interp ("R8
+  // Simulator") and the multiprocessor simulator.
+  const auto image = cc_or_die(R"(
+    int fib(int n) { if (n < 2) { return n; }
+      return fib(n - 1) + fib(n - 2); }
+    int main() { printf(fib(13)); }
+  )");
+  r8::Interp interp;
+  interp.load(image);
+  std::uint16_t interp_out = 0;
+  interp.on_printf = [&](std::uint16_t v) { interp_out = v; };
+  interp.run(10'000'000);
+  ASSERT_TRUE(interp.halted());
+
+  mpsim::MultiSim msim;
+  msim.load(0, image);
+  msim.activate(0);
+  ASSERT_EQ(msim.run(20'000'000).reason, mpsim::StopReason::kAllHalted);
+  ASSERT_EQ(msim.printf_log(0).size(), 1u);
+  EXPECT_EQ(msim.printf_log(0)[0], interp_out);
+  EXPECT_EQ(msim.instructions(0), interp.instructions());
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,305 @@
+// Scaled MultiNoC instances (paper §5: "mapping the MultiNoC system in a
+// larger FPGA device would allow increasing the NoC dimension and the
+// number of IPs ... increasing the number of identical IPs enhances the
+// parallelism degree").
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/programs.hpp"
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+sys::SystemConfig make_config(unsigned n, unsigned procs) {
+  sys::SystemConfig cfg;
+  cfg.nx = n;
+  cfg.ny = n;
+  cfg.serial_node = {0, 0};
+  cfg.processor_nodes.clear();
+  cfg.memory_nodes.clear();
+  for (unsigned y = 0; y < n && cfg.processor_nodes.size() < procs; ++y) {
+    for (unsigned x = 0; x < n && cfg.processor_nodes.size() < procs; ++x) {
+      if ((x == 0 && y == 0) || (x == n - 1 && y == n - 1)) continue;
+      cfg.processor_nodes.push_back({static_cast<std::uint8_t>(x),
+                                     static_cast<std::uint8_t>(y)});
+    }
+  }
+  cfg.memory_nodes.push_back({static_cast<std::uint8_t>(n - 1),
+                              static_cast<std::uint8_t>(n - 1)});
+  return cfg;
+}
+
+TEST(ScaledSystem, SevenProcessorsOn3x3AllComplete) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, make_config(3, 7));
+  ASSERT_EQ(system.processor_count(), 7u);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+
+  // Every processor prints its own number + 100.
+  for (unsigned p = 0; p < 7; ++p) {
+    const auto c = cc::compile(
+        "int main() { printf(" + std::to_string(100 + p) + "); }");
+    ASSERT_TRUE(c.ok) << c.errors;
+    host.load_program(system.processor(p).config().self_addr, c.image);
+  }
+  ASSERT_TRUE(host.flush());
+  for (unsigned p = 0; p < 7; ++p) {
+    host.activate(system.processor(p).config().self_addr);
+  }
+  for (unsigned p = 0; p < 7; ++p) {
+    const auto addr = system.processor(p).config().self_addr;
+    ASSERT_TRUE(host.wait_printf(addr, 1, 50'000'000)) << "proc " << p;
+    EXPECT_EQ(host.printf_log(addr).front(), 100 + p);
+  }
+}
+
+TEST(ScaledSystem, PeerWindowFormsARing) {
+  // Each processor writes its number into its peer's mailbox; after all
+  // halt, every processor's mailbox holds its predecessor's number.
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, make_config(3, 4));
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  for (unsigned p = 0; p < 4; ++p) {
+    const auto c = cc::compile(
+        "int main() { poke(0x0400 + 0x300, " + std::to_string(p) + "); }");
+    ASSERT_TRUE(c.ok) << c.errors;
+    host.load_program(system.processor(p).config().self_addr, c.image);
+  }
+  ASSERT_TRUE(host.flush());
+  for (unsigned p = 0; p < 4; ++p) {
+    host.activate(system.processor(p).config().self_addr);
+  }
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        for (unsigned p = 0; p < 4; ++p) {
+          if (!system.processor(p).finished()) return false;
+        }
+        return true;
+      },
+      50'000'000));
+  for (unsigned p = 0; p < 4; ++p) {
+    // Processor (p+1)%4's mailbox was written by p.
+    const auto addr = system.processor((p + 1) % 4).config().self_addr;
+    const auto v = host.read_memory_blocking(addr, 0x300, 1);
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ((*v)[0], p);
+  }
+}
+
+TEST(ScaledSystem, TokenRingAcrossFourProcessors) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, make_config(3, 4));
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  // Proc 1 starts the token; it travels 1->2->3->4->1.
+  for (unsigned p = 0; p < 4; ++p) {
+    std::string src;
+    if (p == 0) {
+      src = "int main() { notify(2); wait(4); printf(1); }";
+    } else {
+      src = "int main() { wait(" + std::to_string(p) + "); notify(" +
+            std::to_string(p + 2 <= 4 ? p + 2 : 1) + "); }";
+    }
+    const auto c = cc::compile(src);
+    ASSERT_TRUE(c.ok) << c.errors;
+    host.load_program(system.processor(p).config().self_addr, c.image);
+  }
+  ASSERT_TRUE(host.flush());
+  for (unsigned p = 0; p < 4; ++p) {
+    host.activate(system.processor(p).config().self_addr);
+  }
+  const auto addr0 = system.processor(0).config().self_addr;
+  ASSERT_TRUE(host.wait_printf(addr0, 1, 50'000'000));
+  EXPECT_EQ(host.printf_log(addr0).front(), 1);
+}
+
+TEST(ScaledSystem, SharedMemoryVisibleToAllProcessors) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, make_config(3, 5));
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  const std::uint8_t mem = noc::encode_xy(system.config().memory_nodes[0]);
+  host.write_memory(mem, 0x40, {7});
+  ASSERT_TRUE(host.flush());
+  for (unsigned p = 0; p < 5; ++p) {
+    const auto c = cc::compile("int main() { printf(peek(0x0840)); }");
+    ASSERT_TRUE(c.ok);
+    host.load_program(system.processor(p).config().self_addr, c.image);
+  }
+  ASSERT_TRUE(host.flush());
+  for (unsigned p = 0; p < 5; ++p) {
+    host.activate(system.processor(p).config().self_addr);
+  }
+  for (unsigned p = 0; p < 5; ++p) {
+    const auto addr = system.processor(p).config().self_addr;
+    ASSERT_TRUE(host.wait_printf(addr, 1, 50'000'000)) << "proc " << p;
+    EXPECT_EQ(host.printf_log(addr).front(), 7);
+  }
+}
+
+TEST(ScaledSystem, DefaultConfigMatchesPaperTopology) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  // Fig. 1: Serial IP00, Processor1 IP01, Processor2 IP10, Memory IP11.
+  EXPECT_EQ(system.serial().self_addr(), noc::encode_xy({0, 0}));
+  EXPECT_EQ(system.processor(0).config().self_addr, noc::encode_xy({0, 1}));
+  EXPECT_EQ(system.processor(1).config().self_addr, noc::encode_xy({1, 0}));
+  EXPECT_EQ(system.config().memory_nodes[0], (noc::XY{1, 1}));
+  EXPECT_EQ(system.processor_count(), 2u);
+  EXPECT_EQ(system.memory_count(), 1u);
+  // Peer windows point at each other.
+  EXPECT_EQ(system.processor(0).config().peer_addr,
+            system.processor(1).config().self_addr);
+  EXPECT_EQ(system.processor(1).config().peer_addr,
+            system.processor(0).config().self_addr);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- parallel matrix multiply in MiniC on the default 2x2 system ---------
+
+namespace mn {
+namespace {
+
+TEST(MiniCMatMul, TwoProcessorsSplitRows) {
+  // C = A x B (4x4), A at remote 0x00, B at remote 0x10, C at remote 0x20.
+  // Processor k computes rows [2k, 2k+2).
+  auto worker = [](int row0, int row1) {
+    std::ostringstream src;
+    src << R"(
+int main() {
+  for (int i = )" << row0 << "; i < " << row1 << R"(; i = i + 1) {
+    for (int j = 0; j < 4; j = j + 1) {
+      int acc = 0;
+      for (int k = 0; k < 4; k = k + 1) {
+        acc = acc + peek(0x0800 + i * 4 + k) * peek(0x0810 + k * 4 + j);
+      }
+      poke(0x0820 + i * 4 + j, acc);
+    }
+  }
+  printf(1);
+}
+)";
+    return src.str();
+  };
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+
+  std::vector<std::uint16_t> a(16), b(16);
+  for (int i = 0; i < 16; ++i) {
+    a[i] = static_cast<std::uint16_t>(i + 1);
+    b[i] = static_cast<std::uint16_t>((i * 3) % 7);
+  }
+  host.write_memory(0x11, 0x00, a);
+  host.write_memory(0x11, 0x10, b);
+  ASSERT_TRUE(host.flush());
+
+  const auto p1 = cc::compile(worker(0, 2));
+  const auto p2 = cc::compile(worker(2, 4));
+  ASSERT_TRUE(p1.ok) << p1.errors;
+  ASSERT_TRUE(p2.ok) << p2.errors;
+  host.load_program(0x01, p1.image);
+  host.load_program(0x10, p2.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  host.activate(0x10);
+  ASSERT_TRUE(host.wait_printf(0x01, 1, 200'000'000));
+  ASSERT_TRUE(host.wait_printf(0x10, 1, 200'000'000));
+
+  const auto c = host.read_memory_blocking(0x11, 0x20, 16);
+  ASSERT_TRUE(c.has_value());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      std::uint16_t expect = 0;
+      for (int k = 0; k < 4; ++k) {
+        expect = static_cast<std::uint16_t>(expect +
+                                            a[i * 4 + k] * b[k * 4 + j]);
+      }
+      EXPECT_EQ((*c)[i * 4 + j], expect) << "C[" << i << "][" << j << "]";
+    }
+  }
+  // Both processors really worked remotely.
+  EXPECT_GT(system.processor(0).remote_reads(), 30u);
+  EXPECT_GT(system.processor(1).remote_reads(), 30u);
+  EXPECT_GE(system.processor(0).remote_writes(), 8u);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- bounded-buffer producer/consumer (classic synchronization kernel) ----
+
+namespace mn {
+namespace {
+
+TEST(MiniCBoundedBuffer, ProducerConsumerOverSharedMemory) {
+  // A 4-slot ring buffer in the remote Memory IP; credit-based
+  // synchronization with wait/notify (producer waits for consumer credits,
+  // consumer waits for item notifications). Every handshake is an explicit
+  // message — the paper's §2.4 synchronization style.
+  const auto producer = cc::compile(R"(
+    int main() {
+      /* 4 credits up front (empty slots) */
+      int credits = 4;
+      int head = 0;
+      for (int i = 1; i <= 12; i = i + 1) {
+        if (credits == 0) {
+          wait(2);            /* consumer freed a slot */
+          credits = credits + 1;
+        }
+        poke(0x0800 + head, i * i);
+        head = (head + 1) % 4;
+        credits = credits - 1;
+        notify(2);            /* item available */
+      }
+      printf(0xD00E);
+    }
+  )");
+  const auto consumer = cc::compile(R"(
+    int main() {
+      int tail = 0;
+      int sum = 0;
+      for (int n = 0; n < 12; n = n + 1) {
+        wait(1);              /* wait for an item */
+        sum = sum + peek(0x0800 + tail);
+        tail = (tail + 1) % 4;
+        notify(1);            /* return the slot credit */
+      }
+      printf(sum);
+    }
+  )");
+  ASSERT_TRUE(producer.ok) << producer.errors;
+  ASSERT_TRUE(consumer.ok) << consumer.errors;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  host.load_program(0x01, producer.image);
+  host.load_program(0x10, consumer.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  host.activate(0x10);
+  ASSERT_TRUE(host.wait_printf(0x10, 1, 200'000'000));
+  ASSERT_TRUE(host.wait_printf(0x01, 1, 200'000'000));
+  // sum of i^2 for i=1..12 = 650.
+  EXPECT_EQ(host.printf_log(0x10).front(), 650);
+  EXPECT_EQ(host.printf_log(0x01).front(), 0xD00E);
+  // The credit protocol forces real back-and-forth: 12 notifies each way.
+  EXPECT_EQ(system.processor(0).notifies_sent(), 12u);
+  EXPECT_EQ(system.processor(1).notifies_sent(), 12u);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,352 @@
+// Basic NoC behaviours: link handshake pacing, packet transit, XY paths.
+#include <gtest/gtest.h>
+
+#include "noc/latency_model.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn {
+namespace {
+
+using noc::Flit;
+using noc::LinkWires;
+using noc::Packet;
+using noc::XY;
+
+TEST(LinkHandshake, SustainsOneFlitEveryTwoCycles) {
+  sim::Simulator sim;
+  LinkWires wires(sim.wires(), "w");
+  noc::LinkSender tx(wires);
+  noc::Fifo<Flit> fifo(64);
+  noc::LinkReceiver rx(wires, fifo);
+
+  int sent = 0;
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    if (tx.ready() && sent < 40) {
+      Flit f;
+      f.data = static_cast<std::uint8_t>(sent++);
+      tx.send(f);
+    }
+    rx.poll();
+    sim.step();
+  }
+  // 100 cycles at 2 cycles/flit -> ~50 budget; we offered 40 and all moved.
+  EXPECT_EQ(fifo.size(), 40u);
+  // Data integrity and order.
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(fifo.pop().data, i);
+  }
+}
+
+TEST(LinkHandshake, ExactPacing) {
+  sim::Simulator sim;
+  LinkWires wires(sim.wires(), "w");
+  noc::LinkSender tx(wires);
+  noc::Fifo<Flit> fifo(64);
+  noc::LinkReceiver rx(wires, fifo);
+
+  std::vector<std::uint64_t> arrival;
+  for (int cycle = 0; cycle < 21; ++cycle) {
+    if (tx.ready()) tx.send(Flit{});
+    if (rx.poll()) arrival.push_back(sim.cycle());
+    sim.step();
+  }
+  ASSERT_GE(arrival.size(), 2u);
+  for (std::size_t i = 1; i < arrival.size(); ++i) {
+    EXPECT_EQ(arrival[i] - arrival[i - 1], 2u)
+        << "flit " << i << " not 2 cycles after its predecessor";
+  }
+}
+
+TEST(LinkHandshake, BackpressureHoldsFlit) {
+  sim::Simulator sim;
+  LinkWires wires(sim.wires(), "w");
+  noc::LinkSender tx(wires);
+  noc::Fifo<Flit> fifo(2);
+  noc::LinkReceiver rx(wires, fifo);
+
+  int sent = 0;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    if (tx.ready() && sent < 10) {
+      Flit f;
+      f.data = static_cast<std::uint8_t>(sent++);
+      tx.send(f);
+    }
+    rx.poll();  // fifo never drained -> fills to 2 and stalls
+    sim.step();
+  }
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(sent, 3);  // two delivered + one stuck in flight
+  // Drain one slot; the in-flight flit must arrive intact.
+  EXPECT_EQ(fifo.pop().data, 0);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    rx.poll();
+    sim.step();
+  }
+  EXPECT_EQ(fifo.size(), 2u);
+  EXPECT_EQ(fifo.pop().data, 1);
+  EXPECT_EQ(fifo.pop().data, 2);
+}
+
+/// Helper: one NI per mesh node.
+struct NiGrid {
+  NiGrid(sim::Simulator& sim, noc::Mesh& mesh) {
+    for (unsigned y = 0; y < mesh.ny(); ++y) {
+      for (unsigned x = 0; x < mesh.nx(); ++x) {
+        nis.push_back(std::make_unique<noc::NetworkInterface>(
+            sim, "ni" + std::to_string(x) + std::to_string(y),
+            mesh.local_in(x, y), mesh.local_out(x, y)));
+      }
+    }
+    nx = mesh.nx();
+  }
+  noc::NetworkInterface& at(unsigned x, unsigned y) {
+    return *nis[y * nx + x];
+  }
+  std::vector<std::unique_ptr<noc::NetworkInterface>> nis;
+  unsigned nx;
+};
+
+TEST(MeshTransit, SingleHopLocalDelivery) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 2, 2);
+  NiGrid nis(sim, mesh);
+
+  Packet p;
+  p.target = noc::encode_xy({1, 1});
+  p.payload = {0xAA, 0xBB, 0xCC};
+  nis.at(0, 0).send_packet(p);
+
+  ASSERT_TRUE(sim.run_until([&] { return nis.at(1, 1).has_packet(); },
+                            10'000));
+  const noc::ReceivedPacket rp = nis.at(1, 1).pop_packet();
+  EXPECT_EQ(rp.packet, p);
+}
+
+TEST(MeshTransit, AllPairsDeliver) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 3, 3);
+  NiGrid nis(sim, mesh);
+
+  // Every node sends a distinctive packet to every other node.
+  int expected = 0;
+  for (unsigned sy = 0; sy < 3; ++sy) {
+    for (unsigned sx = 0; sx < 3; ++sx) {
+      for (unsigned ty = 0; ty < 3; ++ty) {
+        for (unsigned tx = 0; tx < 3; ++tx) {
+          if (sx == tx && sy == ty) continue;
+          Packet p;
+          p.target = noc::encode_xy({static_cast<std::uint8_t>(tx),
+                                     static_cast<std::uint8_t>(ty)});
+          p.payload = {static_cast<std::uint8_t>(sx * 16 + sy),
+                       static_cast<std::uint8_t>(tx * 16 + ty)};
+          nis.at(sx, sy).send_packet(p);
+          ++expected;
+        }
+      }
+    }
+  }
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        int got = 0;
+        for (auto& ni : nis.nis) got += static_cast<int>(ni->packets_received());
+        return got == expected;
+      },
+      200'000));
+
+  // Each receiver saw packets stamped with its own coordinates.
+  for (unsigned y = 0; y < 3; ++y) {
+    for (unsigned x = 0; x < 3; ++x) {
+      auto& ni = nis.at(x, y);
+      EXPECT_EQ(ni.packets_received(), 8u);
+      while (ni.has_packet()) {
+        const auto rp = ni.pop_packet();
+        EXPECT_EQ(rp.packet.payload[1], x * 16 + y);
+      }
+    }
+  }
+}
+
+TEST(MeshTransit, ZeroPayloadPacket) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 2, 1);
+  NiGrid nis(sim, mesh);
+
+  Packet p;
+  p.target = noc::encode_xy({1, 0});
+  nis.at(0, 0).send_packet(p);
+  ASSERT_TRUE(
+      sim.run_until([&] { return nis.at(1, 0).has_packet(); }, 10'000));
+  EXPECT_TRUE(nis.at(1, 0).pop_packet().packet.payload.empty());
+}
+
+TEST(MeshTransit, MaxPayloadPacket) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 2, 1);
+  NiGrid nis(sim, mesh);
+
+  Packet p;
+  p.target = noc::encode_xy({1, 0});
+  for (std::size_t i = 0; i < noc::kMaxPayloadFlits; ++i) {
+    p.payload.push_back(static_cast<std::uint8_t>(i));
+  }
+  nis.at(0, 0).send_packet(p);
+  ASSERT_TRUE(
+      sim.run_until([&] { return nis.at(1, 0).has_packet(); }, 10'000));
+  EXPECT_EQ(nis.at(1, 0).pop_packet().packet, p);
+}
+
+TEST(MeshTransit, BackToBackPacketsKeepOrder) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 2, 2);
+  NiGrid nis(sim, mesh);
+
+  for (int k = 0; k < 10; ++k) {
+    Packet p;
+    p.target = noc::encode_xy({1, 1});
+    p.payload = {static_cast<std::uint8_t>(k)};
+    nis.at(0, 0).send_packet(p);
+  }
+  ASSERT_TRUE(sim.run_until(
+      [&] { return nis.at(1, 1).packets_received() == 10; }, 50'000));
+  for (int k = 0; k < 10; ++k) {
+    EXPECT_EQ(nis.at(1, 1).pop_packet().packet.payload[0], k);
+  }
+}
+
+TEST(Routing, XYPortSelection) {
+  using noc::Port;
+  using noc::route_xy;
+  EXPECT_EQ(route_xy({0, 0}, {1, 0}), Port::kEast);
+  EXPECT_EQ(route_xy({1, 0}, {0, 0}), Port::kWest);
+  EXPECT_EQ(route_xy({0, 0}, {0, 1}), Port::kNorth);
+  EXPECT_EQ(route_xy({0, 1}, {0, 0}), Port::kSouth);
+  EXPECT_EQ(route_xy({1, 1}, {1, 1}), Port::kLocal);
+  // X corrected before Y.
+  EXPECT_EQ(route_xy({0, 0}, {2, 2}), Port::kEast);
+  EXPECT_EQ(route_xy({2, 0}, {2, 2}), Port::kNorth);
+}
+
+TEST(Routing, HopCountIncludesEndpoints) {
+  EXPECT_EQ(noc::hop_routers({0, 0}, {0, 0}), 1u);
+  EXPECT_EQ(noc::hop_routers({0, 0}, {1, 0}), 2u);
+  EXPECT_EQ(noc::hop_routers({0, 0}, {2, 3}), 6u);
+}
+
+TEST(AddressCodec, RoundTrip) {
+  for (int x = 0; x < 16; ++x) {
+    for (int y = 0; y < 16; ++y) {
+      const XY a{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)};
+      EXPECT_EQ(noc::decode_xy(noc::encode_xy(a)), a);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- rectangular (non-square) meshes --------------------------------------
+
+namespace mn {
+namespace {
+
+class RectMesh
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(RectMesh, CornerToCornerDelivery) {
+  const auto [nx, ny] = GetParam();
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, nx, ny);
+  if (nx == 1 && ny == 1) {
+    // Degenerate mesh: a packet to the router's own address loops from
+    // the Local input back to the Local output.
+    noc::NetworkInterface only(sim, "only", mesh.local_in(0, 0),
+                               mesh.local_out(0, 0));
+    noc::Packet p;
+    p.target = noc::encode_xy({0, 0});
+    p.payload = {0x42};
+    only.send_packet(p);
+    ASSERT_TRUE(sim.run_until([&] { return only.has_packet(); }, 10000));
+    EXPECT_EQ(only.pop_packet().packet, p);
+    return;
+  }
+  noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                            mesh.local_out(0, 0));
+  noc::NetworkInterface dst(sim, "dst", mesh.local_in(nx - 1, ny - 1),
+                            mesh.local_out(nx - 1, ny - 1));
+  noc::Packet p;
+  p.target = noc::encode_xy({static_cast<std::uint8_t>(nx - 1),
+                             static_cast<std::uint8_t>(ny - 1)});
+  p.payload = {0xAB, 0xCD};
+  src.send_packet(p);
+  ASSERT_TRUE(sim.run_until([&] { return dst.has_packet(); }, 100000))
+      << nx << "x" << ny;
+  EXPECT_EQ(dst.pop_packet().packet, p);
+  // And back.
+  noc::Packet back;
+  back.target = noc::encode_xy({0, 0});
+  back.payload = {0x11};
+  dst.send_packet(back);
+  ASSERT_TRUE(sim.run_until([&] { return src.has_packet(); }, 100000));
+  EXPECT_EQ(src.pop_packet().packet, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RectMesh,
+    ::testing::Values(std::pair{1u, 1u}, std::pair{4u, 1u},
+                      std::pair{1u, 4u}, std::pair{8u, 2u},
+                      std::pair{2u, 8u}, std::pair{16u, 16u}),
+    [](const ::testing::TestParamInfo<std::pair<unsigned, unsigned>>& info) {
+      return std::to_string(info.param.first) + "x" +
+             std::to_string(info.param.second);
+    });
+
+}  // namespace
+}  // namespace mn
+
+// ---- link/reset odds and ends ----------------------------------------------
+
+namespace mn {
+namespace {
+
+TEST(LinkHandshake, ResetRestoresPhases) {
+  sim::Simulator sim;
+  noc::LinkWires wires(sim.wires(), "w");
+  noc::LinkSender tx(wires);
+  noc::Fifo<noc::Flit> fifo(8);
+  noc::LinkReceiver rx(wires, fifo);
+  // Move a few flits so the toggle phases advance.
+  for (int c = 0; c < 9; ++c) {
+    if (tx.ready()) tx.send(noc::Flit{});
+    rx.poll();
+    sim.step();
+  }
+  ASSERT_GT(fifo.size(), 0u);
+  // Reset everything: phases and wires return to the initial state and
+  // the link works again from scratch.
+  tx.reset();
+  rx.reset();
+  fifo.clear();
+  sim.reset();
+  int delivered = 0;
+  for (int c = 0; c < 30; ++c) {
+    if (tx.ready()) tx.send(noc::Flit{});
+    if (rx.poll()) ++delivered;
+    if (!fifo.empty()) fifo.pop();  // keep the buffer draining
+    sim.step();
+  }
+  EXPECT_GE(delivered, 10);
+}
+
+TEST(SimulatorReset, ClearsCycleCounter) {
+  sim::Simulator sim;
+  sim.run(123);
+  EXPECT_EQ(sim.cycle(), 123u);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+}  // namespace
+}  // namespace mn

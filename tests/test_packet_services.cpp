@@ -1,0 +1,231 @@
+// Packet serialization and the nine service formats of paper §2.1.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/packet.hpp"
+#include "noc/services.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn {
+namespace {
+
+using noc::Packet;
+using noc::Service;
+using noc::ServiceMessage;
+
+TEST(Packet, ToFlitsLayout) {
+  Packet p;
+  p.target = 0x12;
+  p.payload = {0xAA, 0xBB};
+  const auto flits = noc::to_flits(p, 77, 1000);
+  ASSERT_EQ(flits.size(), 4u);
+  EXPECT_EQ(flits[0].data, 0x12);  // header = target address
+  EXPECT_TRUE(flits[0].is_header);
+  EXPECT_EQ(flits[1].data, 2);     // size = payload flits
+  EXPECT_EQ(flits[2].data, 0xAA);
+  EXPECT_EQ(flits[3].data, 0xBB);
+  EXPECT_TRUE(flits[3].is_tail);
+  for (const auto& f : flits) {
+    EXPECT_EQ(f.packet_id, 77u);
+    EXPECT_EQ(f.inject_cycle, 1000u);
+  }
+}
+
+TEST(Packet, AssemblerRoundTrip) {
+  Packet p;
+  p.target = 0x31;
+  p.payload = {1, 2, 3, 4, 5};
+  noc::PacketAssembler asmb;
+  const auto flits = noc::to_flits(p, 5, 123);
+  for (std::size_t i = 0; i < flits.size(); ++i) {
+    const bool done = asmb.feed(flits[i]);
+    EXPECT_EQ(done, i + 1 == flits.size());
+  }
+  EXPECT_EQ(asmb.take(), p);
+  EXPECT_EQ(asmb.packet_id(), 5u);
+  EXPECT_EQ(asmb.inject_cycle(), 123u);
+}
+
+TEST(Packet, AssemblerHandlesBackToBackPackets) {
+  noc::PacketAssembler asmb;
+  for (int k = 0; k < 5; ++k) {
+    Packet p;
+    p.target = static_cast<std::uint8_t>(k);
+    p.payload.assign(k, static_cast<std::uint8_t>(k));
+    int completed = 0;
+    for (const auto& f : noc::to_flits(p, k, 0)) completed += asmb.feed(f);
+    ASSERT_EQ(completed, 1);
+    EXPECT_EQ(asmb.take(), p);
+  }
+}
+
+TEST(Packet, ZeroPayload) {
+  Packet p;
+  p.target = 9;
+  const auto flits = noc::to_flits(p, 1, 0);
+  ASSERT_EQ(flits.size(), 2u);
+  EXPECT_TRUE(flits[1].is_tail);
+  noc::PacketAssembler asmb;
+  EXPECT_FALSE(asmb.feed(flits[0]));
+  EXPECT_TRUE(asmb.feed(flits[1]));
+  EXPECT_TRUE(asmb.take().payload.empty());
+}
+
+/// Property: random packets survive flit round trips.
+TEST(Packet, RandomRoundTrips) {
+  sim::Xoshiro256 rng(404);
+  noc::PacketAssembler asmb;
+  for (int k = 0; k < 500; ++k) {
+    Packet p;
+    p.target = static_cast<std::uint8_t>(rng.below(256));
+    p.payload.resize(rng.below(noc::kMaxPayloadFlits + 1));
+    for (auto& b : p.payload) b = static_cast<std::uint8_t>(rng.below(256));
+    bool done = false;
+    for (const auto& f : noc::to_flits(p, k, 0)) done = asmb.feed(f);
+    ASSERT_TRUE(done);
+    ASSERT_EQ(asmb.take(), p);
+  }
+}
+
+// ---- services ----------------------------------------------------------
+
+TEST(Services, NamesCoverAllNine) {
+  for (int c = 1; c <= 9; ++c) {
+    EXPECT_STRNE(noc::service_name(static_cast<Service>(c)), "?");
+  }
+}
+
+/// Round-trip equality for each of the nine services (paper's format set).
+struct ServiceCase {
+  const char* name;
+  ServiceMessage msg;
+};
+
+class ServiceRoundTrip : public ::testing::TestWithParam<ServiceCase> {};
+
+TEST_P(ServiceRoundTrip, EncodeDecode) {
+  const ServiceMessage& m = GetParam().msg;
+  const Packet p = noc::encode(m);
+  EXPECT_EQ(p.target, m.target);
+  const auto back = noc::decode(p, m.target);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, ServiceRoundTrip,
+    ::testing::Values(
+        ServiceCase{"read", noc::make_read(0x01, 0x11, 0x0123, 64)},
+        ServiceCase{"read_return",
+                    noc::make_read_return(0x11, 0x01, 0x0123, {1, 2, 3})},
+        ServiceCase{"write",
+                    noc::make_write(0x00, 0x11, 0x03FF, {0xFFFF, 0})},
+        ServiceCase{"activate", noc::make_activate(0x00, 0x10)},
+        ServiceCase{"printf", noc::make_printf(0x01, 0x00, {0xBEEF})},
+        ServiceCase{"scanf", noc::make_scanf(0x10, 0x00)},
+        ServiceCase{"scanf_return", noc::make_scanf_return(0x00, 0x10, 7)},
+        ServiceCase{"notify", noc::make_notify(0x01, 0x10, 1)},
+        ServiceCase{"wait", noc::make_wait(0x00, 0x01, 2)}),
+    [](const ::testing::TestParamInfo<ServiceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(Services, MaxWordsRoundTrip) {
+  const auto n = noc::max_words_per_packet(Service::kWriteMem);
+  std::vector<std::uint16_t> words(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    words[i] = static_cast<std::uint16_t>(i * 7);
+  }
+  const auto m = noc::make_write(1, 2, 0, words);
+  const Packet p = noc::encode(m);
+  EXPECT_LE(p.payload.size(), noc::kMaxPayloadFlits);
+  const auto back = noc::decode(p, 2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->words, words);
+}
+
+TEST(Services, DecodeRejectsMalformed) {
+  // Empty payload.
+  EXPECT_FALSE(noc::decode(Packet{0, {}}, 0).has_value());
+  // Unknown service code.
+  EXPECT_FALSE(noc::decode(Packet{0, {0x00, 0x01}}, 0).has_value());
+  EXPECT_FALSE(noc::decode(Packet{0, {0x0A, 0x01}}, 0).has_value());
+  // read with truncated arguments.
+  EXPECT_FALSE(noc::decode(Packet{0, {0x01, 0x01, 0x00}}, 0).has_value());
+  // write with odd word bytes.
+  EXPECT_FALSE(
+      noc::decode(Packet{0, {0x03, 0x01, 0x00, 0x00, 0xAA}}, 0).has_value());
+  // activate with trailing garbage.
+  EXPECT_FALSE(
+      noc::decode(Packet{0, {0x04, 0x01, 0xFF}}, 0).has_value());
+  // notify missing its parameter.
+  EXPECT_FALSE(noc::decode(Packet{0, {0x08, 0x01}}, 0).has_value());
+}
+
+TEST(Services, DecodeSetsReceiverAsTarget) {
+  const auto m = noc::make_printf(0x01, 0x00, {1});
+  const auto back = noc::decode(noc::encode(m), 0x00);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->target, 0x00);
+  EXPECT_EQ(back->source, 0x01);
+}
+
+TEST(Services, WireCostMatchesLayout) {
+  // A 1-word write: service + source + addr(2) + word(2) = 6 payload
+  // flits -> 8 flits on the wire.
+  const auto m = noc::make_write(0, 0x11, 0x20, {42});
+  EXPECT_EQ(noc::encode(m).wire_flits(), 8u);
+  // activate: 2 payload + 2 header flits.
+  EXPECT_EQ(noc::encode(noc::make_activate(0, 1)).wire_flits(), 4u);
+}
+
+}  // namespace
+}  // namespace mn
+
+// ---- every service end-to-end across a real mesh ---------------------------
+
+namespace mn {
+namespace {
+
+class ServiceOnMesh : public ::testing::TestWithParam<ServiceCase> {};
+
+TEST_P(ServiceOnMesh, SurvivesTransit) {
+  // Re-target the message to a live mesh corner and ship it for real.
+  ServiceMessage m = GetParam().msg;
+  m.source = noc::encode_xy({0, 0});
+  m.target = noc::encode_xy({2, 1});
+
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 3, 2);
+  noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                            mesh.local_out(0, 0));
+  noc::NetworkInterface dst(sim, "dst", mesh.local_in(2, 1),
+                            mesh.local_out(2, 1));
+  src.send_packet(noc::encode(m));
+  ASSERT_TRUE(sim.run_until([&] { return dst.has_packet(); }, 100000));
+  const auto back = noc::decode(dst.pop_packet().packet, m.target);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNine, ServiceOnMesh,
+    ::testing::Values(
+        ServiceCase{"read", noc::make_read(0, 0, 0x0123, 64)},
+        ServiceCase{"read_return",
+                    noc::make_read_return(0, 0, 0x0123, {1, 2, 3})},
+        ServiceCase{"write", noc::make_write(0, 0, 0x03FF, {0xFFFF, 0})},
+        ServiceCase{"activate", noc::make_activate(0, 0)},
+        ServiceCase{"printf", noc::make_printf(0, 0, {0xBEEF})},
+        ServiceCase{"scanf", noc::make_scanf(0, 0)},
+        ServiceCase{"scanf_return", noc::make_scanf_return(0, 0, 7)},
+        ServiceCase{"notify", noc::make_notify(0, 0, 1)},
+        ServiceCase{"wait", noc::make_wait(0, 0, 2)}),
+    [](const ::testing::TestParamInfo<ServiceCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,79 @@
+// Communication-aware placement (the §5 reconfiguration model).
+#include <gtest/gtest.h>
+
+#include "noc/placement.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Placement, CostOfIdentityPipeline) {
+  // 2x2, pipeline 0->1->2->3 placed on tiles 0..3 (row-major):
+  // 0->1: 2 routers; 1->2: (1,0)->(0,1): 3; 2->3: 2. Volume 1 each.
+  const auto t = noc::pipeline_traffic_matrix(4, 0.0);
+  const auto pl = noc::identity_placement(4);
+  EXPECT_DOUBLE_EQ(noc::placement_cost(t, pl, 2, 2), 2 + 3 + 2);
+}
+
+TEST(Placement, CostWeightsByVolume) {
+  noc::TrafficMatrix t(2, std::vector<double>(2, 0));
+  t[0][1] = 5.0;
+  const auto pl = noc::identity_placement(2);
+  EXPECT_DOUBLE_EQ(noc::placement_cost(t, pl, 2, 1), 5.0 * 2);
+}
+
+TEST(Placement, OptimizerNeverWorseThanIdentity) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto t = noc::random_traffic_matrix(9, seed);
+    noc::PlacementConfig cfg;
+    cfg.seed = seed;
+    cfg.iterations = 5000;
+    const auto opt = noc::optimize_placement(t, 3, 3, cfg);
+    EXPECT_LE(noc::placement_cost(t, opt, 3, 3),
+              noc::placement_cost(t, noc::identity_placement(9), 3, 3))
+        << "seed " << seed;
+  }
+}
+
+TEST(Placement, OptimizerResultIsAPermutation) {
+  const auto t = noc::random_traffic_matrix(16, 3);
+  const auto opt = noc::optimize_placement(t, 4, 4);
+  std::set<std::size_t> tiles(opt.begin(), opt.end());
+  EXPECT_EQ(tiles.size(), 16u);
+  for (std::size_t tile : tiles) EXPECT_LT(tile, 16u);
+}
+
+TEST(Placement, PipelineOptimizesToNeighbours) {
+  // A pipeline on a 4x4 can always be placed on a Hamiltonian path:
+  // optimal cost = 15 links * 2 routers * volume 1 = 30.
+  const auto t = noc::pipeline_traffic_matrix(16, 0.0);
+  noc::PlacementConfig cfg;
+  cfg.seed = 2;
+  cfg.iterations = 60000;
+  const auto opt = noc::optimize_placement(t, 4, 4, cfg);
+  EXPECT_EQ(noc::placement_cost(t, opt, 4, 4), 30.0);
+}
+
+TEST(Placement, DeterministicPerSeed) {
+  const auto t = noc::random_traffic_matrix(9, 5);
+  noc::PlacementConfig cfg;
+  cfg.seed = 42;
+  EXPECT_EQ(noc::optimize_placement(t, 3, 3, cfg),
+            noc::optimize_placement(t, 3, 3, cfg));
+}
+
+TEST(Placement, SimulatedLatencyTracksAnalyticCost) {
+  const auto t = noc::pipeline_traffic_matrix(16);
+  noc::PlacementConfig cfg;
+  cfg.seed = 3;
+  const auto opt = noc::optimize_placement(t, 4, 4, cfg);
+  const auto r_id = noc::run_matrix_traffic(
+      t, noc::identity_placement(16), 4, 4, 0.005, 30000, 9);
+  const auto r_opt = noc::run_matrix_traffic(t, opt, 4, 4, 0.005, 30000, 9);
+  ASSERT_GT(r_id.packets, 100u);
+  ASSERT_GT(r_opt.packets, 100u);
+  EXPECT_LT(r_opt.avg_weighted_hops, r_id.avg_weighted_hops);
+  EXPECT_LT(r_opt.avg_latency, r_id.avg_latency);
+}
+
+}  // namespace
+}  // namespace mn

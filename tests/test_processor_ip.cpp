@@ -1,0 +1,238 @@
+// Processor IP control logic corner cases (paper §2.4): wait/notify
+// ordering, external wait packets, re-activation, interlock priority.
+#include <gtest/gtest.h>
+
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+constexpr std::uint8_t kProc1 = 0x01;
+constexpr std::uint8_t kProc2 = 0x10;
+
+struct ProcRig : ::testing::Test {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+
+  void SetUp() override { ASSERT_TRUE(host.boot()); }
+
+  std::vector<std::uint16_t> asm_or_die(const std::string& src) {
+    const auto a = r8asm::assemble(src);
+    EXPECT_TRUE(a.ok) << a.error_text();
+    return a.image;
+  }
+
+  void load_and_run(std::uint8_t proc, const std::string& src) {
+    host.load_program(proc, asm_or_die(src));
+    ASSERT_TRUE(host.flush());
+    host.activate(proc);
+  }
+};
+
+TEST_F(ProcRig, NotifyBeforeWaitIsNotLost) {
+  // P2 notifies immediately; P1 busy-loops first, waits later. The notify
+  // must be remembered (counting semantics avoid the lost-wakeup race).
+  load_and_run(kProc2, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,1
+        LDL R2,0xFD
+        LDH R2,0xFF
+        ST  R1, R2, R0     ; notify processor 1 right away
+        HALT
+  )");
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(1).finished(); }, 1'000'000));
+
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R4, 200
+loop:   SUBI R4, 1         ; burn time before waiting
+        JMPZD go
+        JMPD loop
+go:     LDL R1,2
+        LDL R2,0xFE
+        LDH R2,0xFF
+        ST  R1, R2, R0     ; wait(2) — must complete instantly
+        LDL R3, 55
+        LDH R3, 0
+        LDL R2,0xFF
+        ST  R3, R2, R0
+        HALT
+  )");
+  ASSERT_TRUE(host.wait_printf(kProc1, 1, 5'000'000));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 55);
+  EXPECT_EQ(system.processor(0).waits_completed(), 1u);
+}
+
+TEST_F(ProcRig, MultipleNotifiesAccumulate) {
+  // P2 sends three notifies; P1 waits three times without deadlock.
+  load_and_run(kProc2, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,1
+        LDL R2,0xFD
+        LDH R2,0xFF
+        ST  R1, R2, R0
+        ST  R1, R2, R0
+        ST  R1, R2, R0
+        HALT
+  )");
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(1).finished(); }, 1'000'000));
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,2
+        LDL R2,0xFE
+        LDH R2,0xFF
+        ST  R1, R2, R0
+        ST  R1, R2, R0
+        ST  R1, R2, R0
+        LDL R3, 3
+        LDH R3, 0
+        LDL R2,0xFF
+        ST  R3, R2, R0
+        HALT
+  )");
+  ASSERT_TRUE(host.wait_printf(kProc1, 1, 5'000'000));
+  EXPECT_EQ(system.processor(0).waits_completed(), 3u);
+}
+
+TEST_F(ProcRig, ExternalWaitPacketFreezesProcessor) {
+  // A wait service packet (host-injectable in principle; here sent from
+  // the peer's NI through the NoC) blocks the processor externally.
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R4,0
+count:  ADDI R4, 1
+        JMPD count
+  )");
+  sim.run(50000);
+  const auto before = system.processor(0).cpu().instructions();
+  EXPECT_GT(before, 0u);
+
+  // Freeze P1: wait-for-processor-2 arrives over the NoC.
+  system.processor(1).ni().send_packet(
+      noc::encode(noc::make_wait(kProc2, kProc1, 2)));
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(0).externally_blocked(); }, 100000));
+  const auto frozen_at = system.processor(0).cpu().instructions();
+  sim.run(20000);
+  EXPECT_EQ(system.processor(0).cpu().instructions(), frozen_at)
+      << "processor must not retire instructions while blocked";
+
+  // Thaw with a notify from processor 2.
+  load_and_run(kProc2, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1,1
+        LDL R2,0xFD
+        LDH R2,0xFF
+        ST  R1, R2, R0
+        HALT
+  )");
+  ASSERT_TRUE(sim.run_until(
+      [&] { return !system.processor(0).externally_blocked(); }, 1'000'000));
+  sim.run(10000);
+  EXPECT_GT(system.processor(0).cpu().instructions(), frozen_at);
+}
+
+TEST_F(ProcRig, ReactivationRestartsAtAddressZero) {
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R1, 0x10
+        LDH R1, 0x00
+        LDL R2, 1
+        LD  R3, R1, R0     ; R3 = mem[0x10]
+        ADD R3, R3, R2
+        ST  R3, R1, R0     ; mem[0x10]++
+        HALT
+  )");
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(0).finished(); }, 1'000'000));
+  // Run it again: activate restarts from PC=0.
+  host.activate(kProc1);
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        return system.processor(0).cpu().instructions() > 8 &&
+               system.processor(0).cpu().halted();
+      },
+      1'000'000));
+  const auto v = host.read_memory_blocking(kProc1, 0x10, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 2) << "program must have run twice";
+}
+
+TEST_F(ProcRig, HostCanReadLocalMemoryWhileCpuRuns) {
+  // The busyNoC interlock: local-memory service replies share the NI with
+  // CPU traffic; both make progress.
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R4,0
+spin:   ADDI R4, 1
+        JMPD spin
+  )");
+  sim.run(5000);
+  host.write_memory(kProc1, 0x300, {0x7777});
+  ASSERT_TRUE(host.flush());
+  const auto v = host.read_memory_blocking(kProc1, 0x300, 1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ((*v)[0], 0x7777);
+  EXPECT_FALSE(system.processor(0).cpu().halted());
+}
+
+TEST_F(ProcRig, CpuTrafficHasPriorityOverMemoryReplies) {
+  // While the host streams reads against P1's local memory, P1 printf
+  // traffic still gets through (processor priority on the shared NI).
+  load_and_run(kProc1, R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LDL R4, 50
+ploop:  ST  R4, R10, R0
+        SUBI R4, 1
+        JMPZD fin
+        JMPD ploop
+fin:    HALT
+  )");
+  for (int k = 0; k < 10; ++k) host.read_memory(kProc1, 0, 64);
+  ASSERT_TRUE(host.wait_printf(kProc1, 50, 20'000'000));
+  EXPECT_EQ(host.printf_log(kProc1).size(), 50u);
+}
+
+TEST_F(ProcRig, ScanfBlocksUntilReturn) {
+  host.load_program(kProc1, asm_or_die(R"(
+        LDL R0,0
+        LDH R0,0
+        LDL R10,0xFF
+        LDH R10,0xFF
+        LD  R1, R10, R0    ; scanf
+        ST  R1, R10, R0    ; echo
+        HALT
+  )"));
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  // No provider: the CPU must sit blocked in the scanf.
+  ASSERT_TRUE(sim.run_until([&] { return host.has_scanf_request(); },
+                            1'000'000));
+  sim.run(50000);
+  EXPECT_FALSE(system.processor(0).cpu().halted());
+  EXPECT_TRUE(host.printf_log(kProc1).empty());
+  const auto req = host.pop_scanf_request();
+  EXPECT_EQ(req.source, kProc1);
+  host.scanf_return(kProc1, 0x1357);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1, 5'000'000));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 0x1357);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,68 @@
+// System report rendering.
+#include <gtest/gtest.h>
+
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "system/multinoc.hpp"
+#include "system/report.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Report, FreshSystem) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  const std::string r = sys::system_report(system, sim);
+  EXPECT_NE(r.find("cycle 0"), std::string::npos);
+  EXPECT_NE(r.find("never activated"), std::string::npos);
+  EXPECT_NE(r.find("unsynchronized"), std::string::npos);
+}
+
+TEST(Report, AfterARunReflectsActivity) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  ASSERT_TRUE(host.boot());
+  const auto c = cc::compile(
+      "int main() { printf(peek(0x0800)); notify(2); }");
+  ASSERT_TRUE(c.ok);
+  host.load_program(0x01, c.image);
+  ASSERT_TRUE(host.flush());
+  host.activate(0x01);
+  ASSERT_TRUE(host.wait_printf(0x01, 1));
+
+  const std::string r = sys::system_report(system, sim);
+  EXPECT_NE(r.find("divisor 8"), std::string::npos);
+  EXPECT_NE(r.find("remote r/w 1/0"), std::string::npos);
+  EXPECT_NE(r.find("notify 1"), std::string::npos);
+  EXPECT_NE(r.find("halted"), std::string::npos);
+  EXPECT_NE(r.find("memory 0: 1 requests"), std::string::npos);
+  // Router grid contains one row per mesh row.
+  EXPECT_NE(r.find("y=1"), std::string::npos);
+  EXPECT_NE(r.find("y=0"), std::string::npos);
+}
+
+TEST(Report, SectionsCanBeDisabled) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  sys::ReportOptions opts;
+  opts.router_details = false;
+  opts.memory_details = false;
+  const std::string r = sys::system_report(system, sim, opts);
+  EXPECT_EQ(r.find("routers"), std::string::npos);
+  EXPECT_EQ(r.find("serial:"), std::string::npos);
+  EXPECT_NE(r.find("processor 1"), std::string::npos);
+}
+
+TEST(Report, ClockScalesMilliseconds) {
+  sim::Simulator sim;
+  sys::MultiNoc system(sim);
+  sim.run(25000);
+  sys::ReportOptions opts;
+  opts.clock_hz = 25e6;
+  const std::string r = sys::system_report(system, sim, opts);
+  EXPECT_NE(r.find("1.00 ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mn

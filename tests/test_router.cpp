@@ -1,0 +1,170 @@
+// Hermes router internals (paper §2.1, Fig. 2): wormhole connection
+// lifecycle, centralized control occupancy, blocking semantics, stats.
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+
+namespace mn {
+namespace {
+
+using noc::Packet;
+using noc::Port;
+
+struct TwoByTwo : ::testing::Test {
+  sim::Simulator sim;
+  noc::Mesh mesh{sim, 2, 2};
+  noc::NetworkInterface ni00{sim, "ni00", mesh.local_in(0, 0),
+                             mesh.local_out(0, 0)};
+  noc::NetworkInterface ni10{sim, "ni10", mesh.local_in(1, 0),
+                             mesh.local_out(1, 0)};
+  noc::NetworkInterface ni01{sim, "ni01", mesh.local_in(0, 1),
+                             mesh.local_out(0, 1)};
+  noc::NetworkInterface ni11{sim, "ni11", mesh.local_in(1, 1),
+                             mesh.local_out(1, 1)};
+
+  static Packet make_packet(std::uint8_t tx, std::uint8_t ty,
+                            std::size_t payload) {
+    Packet p;
+    p.target = noc::encode_xy({tx, ty});
+    p.payload.assign(payload, 0xEE);
+    return p;
+  }
+};
+
+TEST_F(TwoByTwo, ConnectionOpensAndCloses) {
+  ni00.send_packet(make_packet(1, 0, 30));
+  // While the packet streams, router(0,0) Local input connects to East.
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        return mesh.router(0, 0).input_connection(Port::kLocal) ==
+               static_cast<int>(Port::kEast);
+      },
+      1000));
+  // After the tail passed, the connection closes again.
+  ASSERT_TRUE(sim.run_until(
+      [&] {
+        return mesh.router(0, 0).input_connection(Port::kLocal) == -1 &&
+               ni10.has_packet();
+      },
+      10000));
+  EXPECT_EQ(mesh.router(0, 0).stats().packets_routed, 1u);
+}
+
+TEST_F(TwoByTwo, RoutingOccupiesControlForConfiguredCycles) {
+  // With route_latency R, the header cannot leave before ~R cycles after
+  // arriving at the FIFO head. Compare two configs.
+  auto time_to_deliver = [&](unsigned route_latency) {
+    sim::Simulator s;
+    noc::RouterConfig cfg;
+    cfg.route_latency = route_latency;
+    noc::Mesh m(s, 2, 1, cfg);
+    noc::NetworkInterface src(s, "src", m.local_in(0, 0), m.local_out(0, 0));
+    noc::NetworkInterface dst(s, "dst", m.local_in(1, 0), m.local_out(1, 0));
+    Packet p;
+    p.target = noc::encode_xy({1, 0});
+    p.payload.assign(4, 1);
+    src.send_packet(p);
+    s.run_until([&] { return dst.has_packet(); }, 10000);
+    const auto rp = dst.pop_packet();
+    return rp.recv_cycle - rp.inject_cycle;
+  };
+  const auto fast = time_to_deliver(1);
+  const auto paper = time_to_deliver(7);
+  const auto slow = time_to_deliver(20);
+  // Two routers on the path: each extra control cycle costs 2x.
+  EXPECT_EQ(paper - fast, 2u * 6u);
+  EXPECT_EQ(slow - paper, 2u * 13u);
+}
+
+TEST_F(TwoByTwo, WormholeBlockingStallsInIntermediateBuffers) {
+  // Fill the path to (1,1) with a long packet from (0,0), then observe a
+  // competing packet from (0,1) to (1,1) stalled, not dropped.
+  ni00.send_packet(make_packet(1, 1, 200));
+  sim.run(60);  // let the first wormhole establish
+  ni01.send_packet(make_packet(1, 1, 4));
+  // Both eventually arrive, first the long one (it holds the output).
+  ASSERT_TRUE(sim.run_until([&] { return ni11.inbox_size() == 2; }, 50000));
+  const auto first = ni11.pop_packet();
+  const auto second = ni11.pop_packet();
+  EXPECT_EQ(first.packet.payload.size(), 200u);
+  EXPECT_EQ(second.packet.payload.size(), 4u);
+  // The blocked header waited: routing rejects were recorded at (1,1).
+  EXPECT_GE(mesh.router(1, 1).stats().routing_rejects, 1u);
+}
+
+TEST_F(TwoByTwo, FiveSimultaneousConnectionsPossible) {
+  // On the 2x2 every router has 3 ports wired (2 neighbours + local);
+  // check a router can hold multiple connections at once: (0,0)->(1,0)
+  // via East while (0,1)->(0,0) delivers via Local.
+  ni00.send_packet(make_packet(1, 0, 120));
+  ni01.send_packet(make_packet(0, 0, 120));
+  bool simultaneous = false;
+  for (int c = 0; c < 4000 && !simultaneous; ++c) {
+    sim.step();
+    const auto& r = mesh.router(0, 0);
+    simultaneous = r.input_connection(Port::kLocal) ==
+                       static_cast<int>(Port::kEast) &&
+                   r.input_connection(Port::kNorth) ==
+                       static_cast<int>(Port::kLocal);
+  }
+  EXPECT_TRUE(simultaneous);
+}
+
+TEST_F(TwoByTwo, StatsCountFlitsPerPort) {
+  ni00.send_packet(make_packet(1, 0, 10));
+  ASSERT_TRUE(sim.run_until([&] { return ni10.has_packet(); }, 10000));
+  const auto& s = mesh.router(0, 0).stats();
+  // 12 flits left through East.
+  EXPECT_EQ(s.port_flits[static_cast<std::size_t>(Port::kEast)], 12u);
+  EXPECT_EQ(s.flits_forwarded, 12u);
+  const auto& s1 = mesh.router(1, 0).stats();
+  EXPECT_EQ(s1.port_flits[static_cast<std::size_t>(Port::kLocal)], 12u);
+}
+
+TEST_F(TwoByTwo, ResetClearsRouterState) {
+  ni00.send_packet(make_packet(1, 1, 50));
+  sim.run(40);
+  sim.reset();
+  EXPECT_EQ(mesh.router(0, 0).stats().flits_forwarded, 0u);
+  EXPECT_EQ(mesh.router(0, 0).input_connection(Port::kLocal), -1);
+  EXPECT_EQ(mesh.router(0, 0).buffer_fill(Port::kLocal), 0u);
+  // The fabric works again after reset.
+  ni00.send_packet(make_packet(1, 1, 3));
+  EXPECT_TRUE(sim.run_until([&] { return ni11.has_packet(); }, 10000));
+}
+
+TEST_F(TwoByTwo, BufferDepthMatchesConfig) {
+  EXPECT_EQ(mesh.router(0, 0).config().buffer_depth, 2u)
+      << "paper: 2-flit circular FIFO input buffers";
+  EXPECT_LE(mesh.router(0, 0).buffer_fill(Port::kEast), 2u);
+}
+
+TEST(RouterConfig, DeeperBuffersReduceUpstreamBlocking) {
+  // A blocked wormhole with deeper buffers holds more flits downstream,
+  // freeing the source router earlier (the paper's rationale for buffers).
+  auto source_release_time = [&](std::size_t depth) {
+    sim::Simulator s;
+    noc::RouterConfig cfg;
+    cfg.buffer_depth = depth;
+    noc::Mesh m(s, 3, 1, cfg);
+    noc::NetworkInterface a(s, "a", m.local_in(0, 0), m.local_out(0, 0));
+    // No NI is attached at (2,0): its Local output never completes the
+    // handshake, so the wormhole to (2,0) blocks mid-route and flits pile
+    // up in the input buffers along the path.
+    Packet p;
+    p.target = noc::encode_xy({2, 0});
+    p.payload.assign(60, 9);
+    a.send_packet(p);
+    // How many of the 62 flits leave router (0,0) before it stalls?
+    s.run(3000);
+    return m.router(0, 0).stats().flits_forwarded;
+  };
+  // NI rx buffer absorbs 8 + assembler drains... compare shallow vs deep.
+  const auto shallow = source_release_time(2);
+  const auto deep = source_release_time(16);
+  EXPECT_GT(deep, shallow);
+}
+
+}  // namespace
+}  // namespace mn

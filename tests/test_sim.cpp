@@ -1,0 +1,204 @@
+// Simulation kernel: wires, two-phase commit, run_until, stats, RNG, VCD.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+namespace mn {
+namespace {
+
+TEST(Wire, TwoPhaseCommit) {
+  sim::WirePool pool;
+  sim::Wire<int> w(pool, "w", 5);
+  EXPECT_EQ(w.read(), 5);
+  w.write(7);
+  EXPECT_EQ(w.read(), 5) << "writes must not be visible before commit";
+  pool.commit_all();
+  EXPECT_EQ(w.read(), 7);
+}
+
+TEST(Wire, HoldsValueWhenNotWritten) {
+  sim::WirePool pool;
+  sim::Wire<int> w(pool, "w", 1);
+  w.write(3);
+  pool.commit_all();
+  pool.commit_all();
+  pool.commit_all();
+  EXPECT_EQ(w.read(), 3);
+}
+
+TEST(Wire, ResetRestoresInitial) {
+  sim::WirePool pool;
+  sim::Wire<int> w(pool, "w", 42);
+  w.write(1);
+  pool.commit_all();
+  pool.reset_all();
+  EXPECT_EQ(w.read(), 42);
+}
+
+TEST(Wire, TraceValueAndWidth) {
+  sim::WirePool pool;
+  sim::Wire<bool> b(pool, "b", true);
+  sim::Wire<std::uint8_t> u8(pool, "u8", 0xAB);
+  EXPECT_EQ(b.trace_width(), 1u);
+  EXPECT_EQ(b.trace_value(), 1u);
+  EXPECT_EQ(u8.trace_width(), 8u);
+  EXPECT_EQ(u8.trace_value(), 0xABu);
+}
+
+/// Toggler: classic two-phase test — two components reading each other.
+class Follower : public sim::Component {
+ public:
+  Follower(sim::WirePool& /*pool*/, std::string name, sim::Wire<int>& in,
+           sim::Wire<int>& out)
+      : sim::Component(std::move(name)), in_(&in), out_(&out) {}
+  void eval() override { out_->write(in_->read() + 1); }
+  void reset() override {}
+
+ private:
+  sim::Wire<int>* in_;
+  sim::Wire<int>* out_;
+};
+
+TEST(Simulator, OrderIndependentEvaluation) {
+  // a -> b -> a ring of +1 followers: under two-phase semantics both
+  // wires advance in lockstep (each sees the other's previous value), so
+  // after n cycles wa == wb == n, regardless of registration order.
+  for (int order = 0; order < 2; ++order) {
+    sim::Simulator sim;
+    sim::Wire<int> wa(sim.wires(), "wa", 0);
+    sim::Wire<int> wb(sim.wires(), "wb", 0);
+    Follower f1(sim.wires(), "f1", wa, wb);
+    Follower f2(sim.wires(), "f2", wb, wa);
+    if (order == 0) {
+      sim.add(&f1);
+      sim.add(&f2);
+    } else {
+      sim.add(&f2);
+      sim.add(&f1);
+    }
+    sim.run(10);
+    EXPECT_EQ(wa.read(), 10) << "order " << order;
+    EXPECT_EQ(wb.read(), 10) << "order " << order;
+  }
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  sim::Simulator sim;
+  EXPECT_TRUE(sim.run_until([&] { return sim.cycle() == 7; }, 100));
+  EXPECT_EQ(sim.cycle(), 7u);
+}
+
+TEST(Simulator, RunUntilHonorsBudget) {
+  sim::Simulator sim;
+  EXPECT_FALSE(sim.run_until([] { return false; }, 50));
+  EXPECT_EQ(sim.cycle(), 50u);
+}
+
+TEST(Simulator, ObserverSeesEveryCycle) {
+  sim::Simulator sim;
+  int calls = 0;
+  sim.on_cycle([&](std::uint64_t) { ++calls; });
+  sim.run(13);
+  EXPECT_EQ(calls, 13);
+}
+
+TEST(Stats, SummaryMoments) {
+  sim::Summary s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.001);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  sim::Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, HistogramPercentiles) {
+  sim::Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.percentile(0.0), 1);
+  EXPECT_EQ(h.percentile(0.5), 50);
+  EXPECT_EQ(h.percentile(0.99), 99);
+  EXPECT_EQ(h.percentile(1.0), 100);
+}
+
+TEST(Stats, CountersAccumulate) {
+  sim::Counters c;
+  c.inc("a");
+  c.inc("a", 4);
+  c.inc("b");
+  EXPECT_EQ(c.get("a"), 5u);
+  EXPECT_EQ(c.get("b"), 1u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  sim::Xoshiro256 a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  sim::Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  sim::Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  sim::Xoshiro256 rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Vcd, WritesHeaderAndChanges) {
+  const auto path = std::filesystem::temp_directory_path() / "mn_test.vcd";
+  {
+    sim::Simulator sim;
+    sim::Wire<std::uint8_t> w(sim.wires(), "sig", 0);
+    sim::VcdTracer vcd(path.string());
+    vcd.watch(w);
+    sim.on_cycle([&](std::uint64_t c) { vcd.sample(c); });
+    w.write(3);
+    sim.step();
+    sim.step();
+    w.write(9);
+    sim.step();
+  }
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(text.find("$enddefinitions"), std::string::npos);
+  EXPECT_NE(text.find("sig"), std::string::npos);
+  EXPECT_NE(text.find("b00000011"), std::string::npos);
+  EXPECT_NE(text.find("b00001001"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace mn

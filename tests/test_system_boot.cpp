@@ -1,0 +1,220 @@
+// Full-system integration: the paper §4 flow — sync, download object code,
+// fill memory, activate, printf/scanf, debug reads (Fig. 8/9).
+#include <gtest/gtest.h>
+
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+constexpr std::uint8_t kProc1 = 0x01;  // router 01
+constexpr std::uint8_t kProc2 = 0x10;  // router 10
+constexpr std::uint8_t kMem = 0x11;    // router 11
+
+struct SystemFixture : ::testing::Test {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+
+  std::vector<std::uint16_t> must_assemble(const std::string& src) {
+    const auto a = r8asm::assemble(src);
+    EXPECT_TRUE(a.ok) << a.error_text();
+    return a.image;
+  }
+};
+
+TEST_F(SystemFixture, BaudSyncLocksSerialIp) {
+  EXPECT_FALSE(system.serial().baud_locked());
+  ASSERT_TRUE(host.boot());
+  EXPECT_TRUE(system.serial().baud_locked());
+  EXPECT_EQ(system.serial().divisor(), 8u);
+}
+
+TEST_F(SystemFixture, HostWritesAndReadsRemoteMemory) {
+  ASSERT_TRUE(host.boot());
+  const std::vector<std::uint16_t> data{0xDEAD, 0xBEEF, 0x1234, 0x0000,
+                                        0xFFFF};
+  host.write_memory(kMem, 0x0020, data);
+  ASSERT_TRUE(host.flush());
+  const auto back = host.read_memory_blocking(kMem, 0x0020, 5);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(SystemFixture, HostWritesAndReadsProcessorLocalMemory) {
+  ASSERT_TRUE(host.boot());
+  const std::vector<std::uint16_t> data{1, 2, 3, 4, 5, 6, 7, 8};
+  host.write_memory(kProc1, 0x0100, data);
+  ASSERT_TRUE(host.flush());
+  const auto back = host.read_memory_blocking(kProc1, 0x0100, 8);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, data);
+}
+
+TEST_F(SystemFixture, ActivateRunsProgramPrintf) {
+  ASSERT_TRUE(host.boot());
+  // printf(42); halt.
+  const auto image = must_assemble(R"(
+        LDL  R1, 42
+        LDH  R1, 0
+        LDL  R2, 0xFF
+        LDH  R2, 0xFF      ; R2 = FFFF (I/O address)
+        LDL  R0, 0
+        LDH  R0, 0
+        ST   R1, R2, R0    ; printf R1
+        HALT
+  )");
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 42);
+  EXPECT_TRUE(system.processor(0).cpu().halted());
+}
+
+TEST_F(SystemFixture, ScanfRoundTrip) {
+  ASSERT_TRUE(host.boot());
+  // x = scanf(); printf(x + 1); halt.
+  const auto image = must_assemble(R"(
+        LDL  R2, 0xFF
+        LDH  R2, 0xFF
+        LDL  R0, 0
+        LDH  R0, 0
+        LD   R1, R2, R0    ; scanf -> R1
+        ADDI R1, 1
+        ST   R1, R2, R0    ; printf
+        HALT
+  )");
+  host.set_scanf_provider([](std::uint8_t) { return std::uint16_t{99}; });
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 100);
+}
+
+TEST_F(SystemFixture, ProcessorReadsRemoteMemoryIp) {
+  ASSERT_TRUE(host.boot());
+  host.write_memory(kMem, 0x0000, {777});
+  ASSERT_TRUE(host.flush());
+  // R1 = remote_mem[0] (address 2048); printf(R1); halt.
+  const auto image = must_assemble(R"(
+        LDL  R2, 0x00
+        LDH  R2, 0x08      ; R2 = 0x0800 = remote memory base
+        LDL  R0, 0
+        LDH  R0, 0
+        LD   R1, R2, R0
+        LDL  R3, 0xFF
+        LDH  R3, 0xFF
+        ST   R1, R3, R0
+        HALT
+  )");
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 777);
+  EXPECT_EQ(system.processor(0).remote_reads(), 1u);
+}
+
+TEST_F(SystemFixture, ProcessorWritesRemoteMemoryIp) {
+  ASSERT_TRUE(host.boot());
+  // remote_mem[5] = 0x1234 (address 2048+5); halt.
+  const auto image = must_assemble(R"(
+        LDL  R1, 0x34
+        LDH  R1, 0x12
+        LDL  R2, 0x05
+        LDH  R2, 0x08
+        LDL  R0, 0
+        LDH  R0, 0
+        ST   R1, R2, R0
+        HALT
+  )");
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(0).finished(); }, 5'000'000));
+  const auto back = host.read_memory_blocking(kMem, 5, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)[0], 0x1234);
+}
+
+TEST_F(SystemFixture, WaitNotifySynchronizesProcessors) {
+  ASSERT_TRUE(host.boot());
+  // P1: wait for notify from processor 2, then printf(11), halt.
+  const auto p1 = must_assemble(R"(
+        LDL  R1, 2         ; notifier number
+        LDL  R2, 0xFE
+        LDH  R2, 0xFF      ; FFFE = wait
+        LDL  R0, 0
+        LDH  R0, 0
+        ST   R1, R2, R0    ; wait(2)
+        LDL  R3, 11
+        LDH  R3, 0
+        LDL  R2, 0xFF      ; FFFF = io
+        ST   R3, R2, R0
+        HALT
+  )");
+  // P2: burn some cycles, then notify processor 1, halt.
+  const auto p2 = must_assemble(R"(
+        LDL  R4, 50
+loop:   SUBI R4, 1
+        JMPZD done
+        JMPD loop
+done:   LDL  R1, 1         ; processor to restart
+        LDL  R2, 0xFD
+        LDH  R2, 0xFF      ; FFFD = notify
+        LDL  R0, 0
+        LDH  R0, 0
+        ST   R1, R2, R0    ; notify(1)
+        HALT
+  )");
+  host.load_program(kProc1, p1);
+  host.load_program(kProc2, p2);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(host.flush());
+  // Let P1 reach its wait and verify it is blocked.
+  sim.run(20'000);
+  EXPECT_TRUE(system.processor(0).waiting_notify());
+  EXPECT_TRUE(host.printf_log(kProc1).empty());
+
+  host.activate(kProc2);
+  ASSERT_TRUE(host.wait_printf(kProc1, 1));
+  EXPECT_EQ(host.printf_log(kProc1).front(), 11);
+  EXPECT_EQ(system.processor(0).waits_completed(), 1u);
+  EXPECT_EQ(system.processor(1).notifies_sent(), 1u);
+}
+
+TEST_F(SystemFixture, ProcessorAccessesPeerMemory) {
+  ASSERT_TRUE(host.boot());
+  // Seed P2 local memory with a value at 0x80 via the host.
+  host.write_memory(kProc2, 0x0080, {0xCAFE});
+  ASSERT_TRUE(host.flush());
+  // P1: R1 = peer[0x80] (address 1024+0x80); store to local 0x90; halt.
+  const auto image = must_assemble(R"(
+        LDL  R2, 0x80
+        LDH  R2, 0x04      ; 0x0480 = peer window + 0x80
+        LDL  R0, 0
+        LDH  R0, 0
+        LD   R1, R2, R0
+        LDL  R3, 0x90
+        LDH  R3, 0x00
+        ST   R1, R3, R0
+        HALT
+  )");
+  host.load_program(kProc1, image);
+  ASSERT_TRUE(host.flush());
+  host.activate(kProc1);
+  ASSERT_TRUE(sim.run_until(
+      [&] { return system.processor(0).finished(); }, 5'000'000));
+  const auto back = host.read_memory_blocking(kProc1, 0x90, 1);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ((*back)[0], 0xCAFE);
+}
+
+}  // namespace
+}  // namespace mn

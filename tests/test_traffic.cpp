@@ -1,0 +1,161 @@
+// Synthetic traffic harness and the analytic models (experiments E1/E2
+// plumbing): determinism, pattern correctness, load/latency sanity.
+#include <gtest/gtest.h>
+
+#include "noc/latency_model.hpp"
+#include "noc/traffic.hpp"
+
+namespace mn {
+namespace {
+
+TEST(LatencyModel, FormulaMatchesPaperDefinition) {
+  // latency = (sum Ri + P) * 2 with Ri = 7.
+  EXPECT_EQ(noc::hermes_latency_formula(1, 10), (7 + 10) * 2u);
+  EXPECT_EQ(noc::hermes_latency_formula(5, 34), (35 + 34) * 2u);
+  EXPECT_EQ(noc::hermes_latency_formula(3, 10, 10), (30 + 10) * 2u);
+  // XY overload counts routers, endpoints included.
+  EXPECT_EQ(noc::hermes_latency_formula({0, 0}, {1, 1}, 10),
+            noc::hermes_latency_formula(3, 10));
+}
+
+TEST(LatencyModel, PaperBandwidthNumbers) {
+  // Paper §2.1: 50 MHz, 8-bit flits -> 1 Gbit/s router peak.
+  EXPECT_DOUBLE_EQ(noc::hermes_peak_router_throughput_bps(50e6), 1e9);
+  EXPECT_DOUBLE_EQ(noc::hermes_link_bandwidth_bps(50e6), 200e6);
+}
+
+TEST(Traffic, DeterministicForSeed) {
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.01;
+  cfg.seed = 5;
+  cfg.warmup_cycles = 1000;
+  const auto a = noc::run_traffic_experiment(3, 3, {}, cfg, 5000);
+  const auto b = noc::run_traffic_experiment(3, 3, {}, cfg, 5000);
+  EXPECT_EQ(a.avg_latency, b.avg_latency);
+  EXPECT_EQ(a.packets_received, b.packets_received);
+  EXPECT_EQ(a.throughput_flits, b.throughput_flits);
+}
+
+TEST(Traffic, DifferentSeedsDiffer) {
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.01;
+  cfg.warmup_cycles = 1000;
+  cfg.seed = 1;
+  const auto a = noc::run_traffic_experiment(3, 3, {}, cfg, 5000);
+  cfg.seed = 2;
+  const auto b = noc::run_traffic_experiment(3, 3, {}, cfg, 5000);
+  EXPECT_NE(a.packets_received, b.packets_received);
+}
+
+TEST(Traffic, LowLoadDeliversEverythingOffered) {
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.002;
+  cfg.seed = 9;
+  cfg.warmup_cycles = 2000;
+  const auto r = noc::run_traffic_experiment(4, 4, {}, cfg, 20000);
+  EXPECT_GT(r.packets_received, 100u);
+  EXPECT_NEAR(r.throughput_flits, r.offered_flits,
+              0.1 * r.offered_flits);
+}
+
+TEST(Traffic, LatencyRisesWithLoad) {
+  auto run = [](double rate) {
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.seed = 33;
+    cfg.warmup_cycles = 2000;
+    return noc::run_traffic_experiment(4, 4, {}, cfg, 15000);
+  };
+  const auto low = run(0.002);
+  const auto high = run(0.05);
+  EXPECT_GT(high.avg_latency, low.avg_latency);
+}
+
+TEST(Traffic, ThroughputSaturates) {
+  auto run = [](double rate) {
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.seed = 12;
+    cfg.warmup_cycles = 2000;
+    return noc::run_traffic_experiment(4, 4, {}, cfg, 15000);
+  };
+  const auto at_08 = run(0.08);
+  const auto at_16 = run(0.16);
+  // Past saturation, accepted traffic stops growing (within noise).
+  EXPECT_LT(at_16.throughput_flits,
+            at_08.throughput_flits * 1.15);
+}
+
+TEST(Traffic, UnloadedLatencyNearFormulaShape) {
+  // At near-zero load the measured latency must sit below the paper's
+  // formula (which over-counts routing by 2x) but within 2x of it.
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.0005;
+  cfg.payload_flits = 8;
+  cfg.seed = 3;
+  cfg.warmup_cycles = 1000;
+  const auto r = noc::run_traffic_experiment(4, 4, {}, cfg, 100000);
+  ASSERT_GT(r.packets_received, 20u);
+  // Mean hop count on 4x4 uniform ~ 3.67 routers; formula ~ (3.67*7+10)*2.
+  const double formula = (3.67 * 7 + 10) * 2;
+  EXPECT_LT(r.avg_latency, formula * 1.25);
+  EXPECT_GT(r.avg_latency, formula * 0.4);
+}
+
+TEST(Traffic, HotspotConcentratesTraffic) {
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.004;
+  cfg.pattern = noc::TrafficPattern::kHotspot;
+  cfg.hotspot = {0, 0};
+  cfg.hotspot_fraction = 0.8;
+  cfg.seed = 10;
+  cfg.warmup_cycles = 1000;
+  // Runs without deadlock and the hotspot node receives the majority.
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 3, 3, {});
+  std::vector<std::unique_ptr<noc::TrafficNode>> nodes;
+  for (unsigned y = 0; y < 3; ++y) {
+    for (unsigned x = 0; x < 3; ++x) {
+      nodes.push_back(std::make_unique<noc::TrafficNode>(
+          sim, mesh,
+          noc::XY{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)},
+          cfg));
+    }
+  }
+  sim.run(40000);
+  std::uint64_t hotspot_flits = nodes[0]->flits_delivered();
+  std::uint64_t rest = 0;
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    rest += nodes[i]->flits_delivered();
+  }
+  EXPECT_GT(hotspot_flits, rest / 8) << "hotspot must out-receive the mean";
+}
+
+TEST(Traffic, PatternsTargetCorrectNodes) {
+  // Transpose: node (2,1) sends only to (1,2).
+  noc::TrafficConfig cfg;
+  cfg.injection_rate = 0.02;
+  cfg.pattern = noc::TrafficPattern::kTranspose;
+  cfg.seed = 4;
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 3, 3, {});
+  std::vector<std::unique_ptr<noc::TrafficNode>> nodes;
+  for (unsigned y = 0; y < 3; ++y) {
+    for (unsigned x = 0; x < 3; ++x) {
+      nodes.push_back(std::make_unique<noc::TrafficNode>(
+          sim, mesh,
+          noc::XY{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)},
+          cfg));
+    }
+  }
+  sim.run(20000);
+  // (1,2) index = 2*3+1 = 7; it receives from (2,1) only; (0,0)/(1,1)/(2,2)
+  // are self-directed and must stay silent.
+  EXPECT_GT(nodes[7]->latencies().summary().count(), 0u);
+  EXPECT_EQ(nodes[0]->packets_offered(), 0u);
+  EXPECT_EQ(nodes[4]->packets_offered(), 0u);
+  EXPECT_EQ(nodes[8]->packets_offered(), 0u);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,193 @@
+// Bit-level UART (paper §2.2): 8N1 framing, divisor sweep, auto-baud on
+// the 0x55 sync byte (paper §4).
+#include <gtest/gtest.h>
+
+#include "serial/protocol.hpp"
+#include "serial/uart.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn {
+namespace {
+
+using serial::AutoBaud;
+using serial::UartRx;
+using serial::UartTx;
+
+/// Loopback harness: tx drives a wire, rx samples it.
+struct Loop {
+  explicit Loop(unsigned divisor)
+      : line(sim.wires(), "line", true), tx(line, divisor),
+        rx(line, divisor) {}
+
+  void run_cycles(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      tx.tick();
+      rx.tick();
+      sim.step();
+    }
+  }
+
+  sim::Simulator sim;
+  sim::Wire<bool> line;
+  UartTx tx;
+  UartRx rx;
+};
+
+TEST(Uart, LineIdlesHigh) {
+  Loop loop(8);
+  loop.run_cycles(50);
+  EXPECT_TRUE(loop.line.read());
+  EXPECT_FALSE(loop.rx.has_byte());
+}
+
+TEST(Uart, SingleByteLoopback) {
+  Loop loop(8);
+  loop.tx.send(0xA5);
+  loop.run_cycles(8 * 12);
+  ASSERT_TRUE(loop.rx.has_byte());
+  EXPECT_EQ(loop.rx.pop_byte(), 0xA5);
+  EXPECT_EQ(loop.rx.framing_errors(), 0u);
+}
+
+TEST(Uart, BackToBackBytesKeepOrder) {
+  Loop loop(4);
+  for (int i = 0; i < 20; ++i) {
+    loop.tx.send(static_cast<std::uint8_t>(i * 11));
+  }
+  loop.run_cycles(4 * 10 * 22);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(loop.rx.has_byte()) << "byte " << i;
+    EXPECT_EQ(loop.rx.pop_byte(), static_cast<std::uint8_t>(i * 11));
+  }
+}
+
+TEST(Uart, IdleGapsBetweenBytes) {
+  Loop loop(8);
+  loop.tx.send(0x0F);
+  loop.run_cycles(8 * 15);
+  loop.tx.send(0xF0);
+  loop.run_cycles(8 * 15);
+  ASSERT_TRUE(loop.rx.has_byte());
+  EXPECT_EQ(loop.rx.pop_byte(), 0x0F);
+  ASSERT_TRUE(loop.rx.has_byte());
+  EXPECT_EQ(loop.rx.pop_byte(), 0xF0);
+}
+
+TEST(Uart, BacklogAndIdleTracking) {
+  Loop loop(8);
+  EXPECT_TRUE(loop.tx.idle());
+  loop.tx.send(1);
+  loop.tx.send(2);
+  EXPECT_FALSE(loop.tx.idle());
+  EXPECT_EQ(loop.tx.backlog(), 2u);
+  loop.run_cycles(8 * 25);
+  EXPECT_TRUE(loop.tx.idle());
+}
+
+/// Property sweep: all byte values survive loopback at several divisors.
+class UartDivisor : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(UartDivisor, AllByteValuesLoopback) {
+  const unsigned d = GetParam();
+  Loop loop(d);
+  for (int v = 0; v < 256; v += 7) {
+    loop.tx.send(static_cast<std::uint8_t>(v));
+  }
+  loop.run_cycles(static_cast<std::uint64_t>(d) * 10 * 40);
+  for (int v = 0; v < 256; v += 7) {
+    ASSERT_TRUE(loop.rx.has_byte()) << "value " << v << " divisor " << d;
+    EXPECT_EQ(loop.rx.pop_byte(), static_cast<std::uint8_t>(v));
+  }
+  EXPECT_EQ(loop.rx.framing_errors(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, UartDivisor,
+                         ::testing::Values(2, 4, 8, 16, 64, 217));
+
+TEST(Uart, MismatchedDivisorFailsToFrame) {
+  // rx at half the tx rate: must not deliver clean bytes.
+  sim::Simulator sim;
+  sim::Wire<bool> line(sim.wires(), "line", true);
+  UartTx tx(line, 16);
+  UartRx rx(line, 8);
+  for (int i = 0; i < 10; ++i) tx.send(0x5A);
+  for (int c = 0; c < 16 * 10 * 12; ++c) {
+    tx.tick();
+    rx.tick();
+    sim.step();
+  }
+  int correct = 0;
+  while (rx.has_byte()) correct += (rx.pop_byte() == 0x5A);
+  EXPECT_LT(correct, 10);
+}
+
+TEST(AutoBaud, MeasuresSyncByteStartBit) {
+  for (unsigned d : {4u, 8u, 16u, 64u}) {
+    sim::Simulator sim;
+    sim::Wire<bool> line(sim.wires(), "line", true);
+    UartTx tx(line, d);
+    AutoBaud ab(line);
+    // Let the line idle first (AutoBaud requires high before the edge).
+    for (int c = 0; c < 10; ++c) {
+      tx.tick();
+      ab.tick();
+      sim.step();
+    }
+    tx.send(serial::kSyncByte);
+    unsigned measured = 0;
+    for (unsigned c = 0; c < d * 12 && measured == 0; ++c) {
+      tx.tick();
+      measured = ab.tick();
+      sim.step();
+    }
+    EXPECT_EQ(measured, d) << "divisor " << d;
+    EXPECT_TRUE(ab.locked());
+  }
+}
+
+TEST(AutoBaud, OnlyLocksOnce) {
+  sim::Simulator sim;
+  sim::Wire<bool> line(sim.wires(), "line", true);
+  UartTx tx(line, 8);
+  AutoBaud ab(line);
+  for (int c = 0; c < 5; ++c) {
+    tx.tick();
+    ab.tick();
+    sim.step();
+  }
+  tx.send(serial::kSyncByte);
+  tx.send(serial::kSyncByte);
+  int locks = 0;
+  for (int c = 0; c < 8 * 25; ++c) {
+    tx.tick();
+    if (ab.tick() != 0) ++locks;
+    sim.step();
+  }
+  EXPECT_EQ(locks, 1);
+}
+
+TEST(Uart, FramingErrorOnBrokenStopBit) {
+  // Drive the line manually: start + 8 data + LOW stop bit.
+  sim::Simulator sim;
+  sim::Wire<bool> line(sim.wires(), "line", true);
+  UartRx rx(line, 4);
+  auto drive_bit = [&](bool level) {
+    for (int i = 0; i < 4; ++i) {
+      line.write(level);
+      rx.tick();
+      sim.step();
+    }
+  };
+  drive_bit(true);   // idle
+  drive_bit(false);  // start
+  for (int b = 0; b < 8; ++b) drive_bit((b & 1) != 0);
+  drive_bit(false);  // broken stop
+  drive_bit(true);
+  drive_bit(true);
+  EXPECT_EQ(rx.framing_errors(), 1u);
+  EXPECT_FALSE(rx.has_byte());
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,68 @@
+// mn-asm: command-line R8 assembler.
+//   mn-asm prog.asm            -> prints the serial-load object text
+//   mn-asm -l prog.asm         -> also prints the listing
+//   mn-asm -d prog.asm         -> disassembles the produced image back
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "r8/isa.hpp"
+#include "r8asm/assembler.hpp"
+#include "r8asm/objfile.hpp"
+
+namespace {
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool listing = false;
+  bool disasm = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-l") == 0) {
+      listing = true;
+    } else if (std::strcmp(argv[i], "-d") == 0) {
+      disasm = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr,
+                 "usage: mn-asm [-l] [-d] <file.asm>\n"
+                 "  -l  print listing\n"
+                 "  -d  print disassembly of the image\n");
+    return 2;
+  }
+  const std::string source = read_file(path);
+  if (source.empty()) {
+    std::fprintf(stderr, "mn-asm: cannot read '%s'\n", path);
+    return 2;
+  }
+  const auto a = mn::r8asm::assemble(source);
+  if (!a.ok) {
+    std::fprintf(stderr, "%s", a.error_text().c_str());
+    return 1;
+  }
+  if (listing) {
+    for (const auto& line : a.listing) std::fprintf(stderr, "%s\n",
+                                                    line.c_str());
+  }
+  if (disasm) {
+    for (std::size_t i = 0; i < a.image.size(); ++i) {
+      std::printf("%04zX  %04X  %s\n", i, a.image[i],
+                  mn::r8::disassemble(a.image[i]).c_str());
+    }
+    return 0;
+  }
+  std::fputs(mn::r8asm::to_load_text(a.image).c_str(), stdout);
+  return 0;
+}

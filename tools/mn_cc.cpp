@@ -1,0 +1,45 @@
+// mn-cc: command-line MiniC -> R8 compiler (the paper's §5 C compiler).
+//   mn-cc prog.c          -> prints the serial-load object text
+//   mn-cc -S prog.c       -> prints the generated R8 assembly
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "cc/compiler.hpp"
+#include "r8asm/objfile.hpp"
+
+int main(int argc, char** argv) {
+  bool emit_asm = false;
+  const char* path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-S") == 0) {
+      emit_asm = true;
+    } else {
+      path = argv[i];
+    }
+  }
+  if (!path) {
+    std::fprintf(stderr, "usage: mn-cc [-S] <file.c>\n");
+    return 2;
+  }
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string source = ss.str();
+  if (source.empty()) {
+    std::fprintf(stderr, "mn-cc: cannot read '%s'\n", path);
+    return 2;
+  }
+  const auto c = mn::cc::compile(source);
+  if (!c.ok) {
+    std::fprintf(stderr, "%s", c.errors.c_str());
+    return 1;
+  }
+  if (emit_asm) {
+    std::fputs(c.assembly.c_str(), stdout);
+  } else {
+    std::fputs(mn::r8asm::to_load_text(c.image).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// mn-mpsim: the multiprocessor simulator as a command-line debugger
+// (paper §5 future work). Runs up to N programs at instruction
+// granularity with deadlock detection, breakpoints and traces.
+//
+//   mn-mpsim [options] prog1.{c,asm} [prog2 ...]
+//     -i v1,v2     scanf replies (shared queue, request order)
+//     -b P:ADDR    breakpoint on processor P (0-based) at ADDR
+//     -w P:ADDR    watchpoint on processor P's local memory (P=r: remote)
+//     -t           dump the instruction trace of every processor at stop
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+#include "cc/compiler.hpp"
+#include "mpsim/mpsim.hpp"
+#include "r8asm/assembler.hpp"
+
+namespace {
+
+std::vector<std::uint16_t> build_image(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  if (text.empty()) {
+    std::fprintf(stderr, "mn-mpsim: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  if (path.size() > 2 && path.compare(path.size() - 2, 2, ".c") == 0) {
+    const auto c = mn::cc::compile(text);
+    if (!c.ok) {
+      std::fprintf(stderr, "%s", c.errors.c_str());
+      std::exit(1);
+    }
+    return c.image;
+  }
+  const auto a = mn::r8asm::assemble(text);
+  if (!a.ok) {
+    std::fprintf(stderr, "%s", a.error_text().c_str());
+    std::exit(1);
+  }
+  return a.image;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::deque<std::uint16_t> inputs;
+  std::vector<std::pair<unsigned, std::uint16_t>> breakpoints;
+  std::vector<std::pair<unsigned, std::uint16_t>> watchpoints;
+  std::vector<std::string> programs;
+  bool dump_trace = false;
+
+  auto parse_pw = [&](const char* spec,
+                      std::vector<std::pair<unsigned, std::uint16_t>>& out) {
+    unsigned proc = 0;
+    const char* colon = std::strchr(spec, ':');
+    if (!colon) return;
+    if (spec[0] == 'r') {
+      proc = mn::mpsim::MultiSim::kRemote;
+    } else {
+      proc = static_cast<unsigned>(std::strtoul(spec, nullptr, 0));
+    }
+    out.emplace_back(proc, static_cast<std::uint16_t>(
+                               std::strtoul(colon + 1, nullptr, 0)));
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-i" && i + 1 < argc) {
+      std::istringstream in(argv[++i]);
+      std::string item;
+      while (std::getline(in, item, ',')) {
+        inputs.push_back(
+            static_cast<std::uint16_t>(std::stoul(item, nullptr, 0)));
+      }
+    } else if (arg == "-b" && i + 1 < argc) {
+      parse_pw(argv[++i], breakpoints);
+    } else if (arg == "-w" && i + 1 < argc) {
+      parse_pw(argv[++i], watchpoints);
+    } else if (arg == "-t") {
+      dump_trace = true;
+    } else {
+      programs.push_back(arg);
+    }
+  }
+  if (programs.empty()) {
+    std::fprintf(stderr,
+                 "usage: mn-mpsim [-i v,v] [-b P:ADDR] [-w P:ADDR] [-t]"
+                 " prog1 [prog2 ...]\n");
+    return 2;
+  }
+
+  mn::mpsim::Config cfg;
+  cfg.processors = static_cast<unsigned>(programs.size());
+  mn::mpsim::MultiSim sim(cfg);
+  sim.on_scanf = [&](unsigned) -> std::optional<std::uint16_t> {
+    if (inputs.empty()) return std::nullopt;
+    const auto v = inputs.front();
+    inputs.pop_front();
+    return v;
+  };
+  for (unsigned p = 0; p < programs.size(); ++p) {
+    sim.load(p, build_image(programs[p]));
+    sim.activate(p);
+  }
+  for (const auto& [p, a] : breakpoints) sim.add_breakpoint(p, a);
+  for (const auto& [p, a] : watchpoints) sim.add_watchpoint(p, a);
+
+  for (;;) {
+    const auto stop = sim.run();
+    std::fprintf(stderr, "stop: %s%s%s\n",
+                 mn::mpsim::stop_reason_name(stop.reason),
+                 stop.detail.empty() ? "" : " — ", stop.detail.c_str());
+    if (stop.reason == mn::mpsim::StopReason::kBreakpoint ||
+        stop.reason == mn::mpsim::StopReason::kWatchpoint) {
+      std::fprintf(stderr, "  continuing...\n");
+      continue;
+    }
+    for (unsigned p = 0; p < sim.processor_count(); ++p) {
+      auto& log = sim.printf_log(p);
+      while (!log.empty()) {
+        std::printf("P%u: %u (0x%04X)\n", p + 1, log.front(), log.front());
+        log.pop_front();
+      }
+      std::fprintf(stderr, "P%u: %s, pc=%04X, %llu instructions\n", p + 1,
+                   mn::mpsim::state_name(sim.state(p)), sim.pc(p),
+                   static_cast<unsigned long long>(sim.instructions(p)));
+      if (dump_trace) {
+        for (const auto& t : sim.trace(p)) {
+          std::fprintf(stderr, "    %04X  %s\n", t.pc, t.disasm.c_str());
+        }
+      }
+    }
+    return stop.reason == mn::mpsim::StopReason::kAllHalted ? 0 : 1;
+  }
+}

@@ -1,0 +1,225 @@
+// mn-run: load programs onto the cycle-accurate MultiNoC and run them,
+// interacting through the printf/scanf monitors — the command-line
+// equivalent of the paper's Serial software (§4, Fig. 9).
+//
+//   mn-run [options] prog1.{c,asm,obj} [prog2.{c,asm,obj}]
+//     -d N       uart divisor (default 8)
+//     -i v1,v2   scanf replies, consumed in request order
+//     -m a:v,... preload remote Memory IP words (hex or dec)
+//     -c N       max cycles (default 100M)
+//     -v         print the full system statistics report
+//     --vcd F    dump the serial pin waveforms to a VCD file
+//     -M         after the run, read Fig. 9 monitor commands from stdin
+//                (e.g. "00 01 01 00 20" = read 1 word of P1 memory @0020)
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cc/compiler.hpp"
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "r8asm/objfile.hpp"
+#include "system/multinoc.hpp"
+#include "host/monitor.hpp"
+#include "system/report.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+std::vector<std::uint16_t> build_image(const std::string& path) {
+  const std::string text = read_file(path);
+  if (text.empty()) {
+    std::fprintf(stderr, "mn-run: cannot read '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  if (ends_with(path, ".c")) {
+    const auto c = mn::cc::compile(text);
+    if (!c.ok) {
+      std::fprintf(stderr, "%s", c.errors.c_str());
+      std::exit(1);
+    }
+    return c.image;
+  }
+  if (ends_with(path, ".asm") || ends_with(path, ".s")) {
+    const auto a = mn::r8asm::assemble(text);
+    if (!a.ok) {
+      std::fprintf(stderr, "%s", a.error_text().c_str());
+      std::exit(1);
+    }
+    return a.image;
+  }
+  const auto obj = mn::r8asm::parse_load_text(text);
+  if (!obj) {
+    std::fprintf(stderr, "mn-run: '%s' is not a valid object file\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return obj->flatten();
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string item;
+  while (std::getline(in, item, sep)) out.push_back(item);
+  return out;
+}
+
+std::uint32_t parse_num(const std::string& s) {
+  return static_cast<std::uint32_t>(std::stoul(s, nullptr, 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned divisor = 8;
+  std::uint64_t max_cycles = 100'000'000;
+  bool verbose = false;
+  bool monitor_mode = false;
+  std::string vcd_path;
+  std::vector<std::uint16_t> scanf_inputs;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> remote_init;
+  std::vector<std::string> programs;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-d" && i + 1 < argc) {
+      divisor = static_cast<unsigned>(parse_num(argv[++i]));
+    } else if (arg == "-c" && i + 1 < argc) {
+      max_cycles = parse_num(argv[++i]);
+    } else if (arg == "-v") {
+      verbose = true;
+    } else if (arg == "-M") {
+      monitor_mode = true;
+    } else if (arg == "--vcd" && i + 1 < argc) {
+      vcd_path = argv[++i];
+    } else if (arg == "-i" && i + 1 < argc) {
+      for (const auto& v : split(argv[++i], ',')) {
+        scanf_inputs.push_back(static_cast<std::uint16_t>(parse_num(v)));
+      }
+    } else if (arg == "-m" && i + 1 < argc) {
+      for (const auto& pair : split(argv[++i], ',')) {
+        const auto kv = split(pair, ':');
+        if (kv.size() == 2) {
+          remote_init.emplace_back(
+              static_cast<std::uint16_t>(parse_num(kv[0])),
+              static_cast<std::uint16_t>(parse_num(kv[1])));
+        }
+      }
+    } else {
+      programs.push_back(arg);
+    }
+  }
+  if (programs.empty() || programs.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: mn-run [-d div] [-i v1,v2] [-m a:v,...] [-c max]"
+                 " [-v] prog1 [prog2]\n");
+    return 2;
+  }
+
+  mn::sim::Simulator sim;
+  mn::sys::MultiNoc system(sim);
+  mn::host::Host host(sim, system, divisor);
+
+  std::unique_ptr<mn::sim::VcdTracer> vcd;
+  if (!vcd_path.empty()) {
+    vcd = std::make_unique<mn::sim::VcdTracer>(vcd_path);
+    vcd->watch(system.pin_tx());
+    vcd->watch(system.pin_rx());
+    sim.on_cycle([&](std::uint64_t c) { vcd->sample(c); });
+  }
+
+  if (!host.boot()) {
+    std::fprintf(stderr, "mn-run: serial boot failed\n");
+    return 1;
+  }
+
+  for (const auto& [addr, value] : remote_init) {
+    host.write_memory(0x11, addr, {value});
+  }
+
+  std::size_t next_input = 0;
+  host.set_scanf_provider([&](std::uint8_t source) -> std::uint16_t {
+    if (next_input < scanf_inputs.size()) return scanf_inputs[next_input++];
+    std::fprintf(stderr, "mn-run: processor %02X scanf with no input left\n",
+                 source);
+    return 0;
+  });
+
+  std::vector<std::uint8_t> targets;
+  for (std::size_t i = 0; i < programs.size(); ++i) {
+    const auto image = build_image(programs[i]);
+    const std::uint8_t addr = system.processor(i).config().self_addr;
+    host.load_program(addr, image);
+    targets.push_back(addr);
+    std::fprintf(stderr, "loaded %s: %zu words -> processor %zu\n",
+                 programs[i].c_str(), image.size(), i + 1);
+  }
+  if (!host.flush()) {
+    std::fprintf(stderr, "mn-run: program download failed\n");
+    return 1;
+  }
+  for (const auto t : targets) host.activate(t);
+
+  const bool done = sim.run_until(
+      [&] {
+        for (std::size_t i = 0; i < targets.size(); ++i) {
+          if (!system.processor(i).finished()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+
+  // Drain in-flight serial traffic (printf packets queued at halt time).
+  for (;;) {
+    const auto before = host.bytes_received();
+    sim.run(static_cast<std::uint64_t>(divisor) * 10 * 30);
+    if (host.bytes_received() == before) break;
+  }
+
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    auto& log = host.printf_log(targets[i]);
+    while (!log.empty()) {
+      std::printf("P%zu: %u (0x%04X)\n", i + 1, log.front(), log.front());
+      log.pop_front();
+    }
+  }
+  std::fprintf(stderr, "%s after %llu cycles (%.2f ms at 25 MHz)\n",
+               done ? "finished" : "TIMED OUT",
+               static_cast<unsigned long long>(sim.cycle()),
+               static_cast<double>(sim.cycle()) / 25e3);
+  if (verbose) {
+    std::fputs(mn::sys::system_report(system, sim).c_str(), stderr);
+  }
+  if (monitor_mode) {
+    std::fprintf(stderr, "monitor> ");
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line == "quit" || line == "q") break;
+      if (!line.empty()) {
+        std::printf("%s\n",
+                    mn::host::run_monitor_line(sim, system, host, line)
+                        .c_str());
+      }
+      std::fprintf(stderr, "monitor> ");
+    }
+  }
+  return done ? 0 : 1;
+}
