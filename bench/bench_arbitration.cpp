@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "noc/arbiter.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
@@ -62,7 +63,7 @@ ContentionResult run_contention(std::uint64_t cycles) {
   return res;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E4: round-robin arbitration fairness (paper §2.1) ===\n\n");
   const auto r = run_contention(200000);
   std::printf("four persistent sources contending for one output,"
@@ -72,10 +73,13 @@ void print_tables() {
     std::printf("%8d %10llu %7.1f%%\n", i,
                 static_cast<unsigned long long>(r.packets[i]),
                 100.0 * r.packets[i] / r.total);
+    rep.add("contention.source_" + std::to_string(i) + ".share",
+            100.0 * r.packets[i] / r.total, "%");
   }
   std::printf("worst inter-delivery gap for any source: %.0f cycles"
               " (bounded -> no starvation)\n\n",
               r.max_gap);
+  rep.add("contention.max_gap", r.max_gap, "cycles");
 
   // Unit-level guarantee: a persistent requester is granted within N
   // arbitration rounds regardless of the competing pattern.
@@ -96,6 +100,7 @@ void print_tables() {
   for (int w : waits) worst = std::max(worst, w);
   std::printf("unit check, 5 persistent requesters: worst grant distance ="
               " %d rounds (bound = 5)\n\n", worst);
+  rep.add("arbiter.worst_grant_distance", worst, "rounds");
 }
 
 void BM_ContendedRouter(benchmark::State& state) {
@@ -115,7 +120,8 @@ BENCHMARK(BM_ContendedRouter);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_arbitration", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -12,12 +12,13 @@
 
 #include "area/area_model.hpp"
 #include "area/device.hpp"
+#include "harness.hpp"
 
 namespace {
 
 using namespace mn;
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E6: device utilization (paper §3) ===\n\n");
   const auto dev = area::xc2s200e();
   const auto blocks = area::multinoc_2x2_blocks();
@@ -34,10 +35,16 @@ void print_tables() {
               " (paper: 78%%), %.1f%% BRAMs\n",
               u.slice_pct, u.lut_pct, u.bram_pct);
   std::printf("fits on %s: %s\n\n", dev.name.c_str(), u.fits ? "yes" : "no");
+  rep.add("utilization.slice_pct", u.slice_pct, "%");
+  rep.add("utilization.lut_pct", u.lut_pct, "%");
+  rep.add("utilization.bram_pct", u.bram_pct, "%");
+  rep.add("utilization.fits", u.fits ? 1 : 0, "bool");
 
   std::printf("NoC share of the 2x2 prototype: %.1f%% of slices"
               " (paper: \"an important part of the design\")\n\n",
               100.0 * 4 * area::router_slices({}) / u.slices_used);
+  rep.add("noc.share_2x2",
+          100.0 * 4 * area::router_slices({}) / u.slices_used, "%");
 
   std::printf("=== E7: NoC area fraction at scale (paper §3) ===\n\n");
   std::printf("router area is constant (%0.f slices); IP area grows:\n",
@@ -52,6 +59,9 @@ void print_tables() {
                           n, 2 * area::processor_ip_area().slices),
                 100 * area::noc_area_fraction(n, 9 * r),
                 100 * area::noc_area_fraction(n, 19 * r));
+    rep.add("noc_fraction." + std::to_string(n) + "x" + std::to_string(n) +
+                ".ip_9x_router",
+            100 * area::noc_area_fraction(n, 9 * r), "%");
   }
   std::printf("\nwith IPs 9x the router area the NoC costs <10%%; at 19x it"
               " costs ~5%% — the paper's \"less than 10 or 5%%\" claim.\n");
@@ -79,7 +89,8 @@ BENCHMARK(BM_UtilizationModel);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_area", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "host/host.hpp"
 #include "r8asm/assembler.hpp"
 #include "system/multinoc.hpp"
@@ -50,7 +51,7 @@ BootResult run_boot(unsigned divisor, std::size_t program_words) {
   return r;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E9: system flow timing (paper §4, Fig. 8) ===\n\n");
   std::printf("divisor = system clock cycles per serial bit; at the paper's"
               " 25 MHz clock,\ndivisor 217 ~ 115200 baud, divisor 2604 ~"
@@ -67,6 +68,11 @@ void print_tables() {
                   static_cast<unsigned long long>(
                       r.activate_to_output_cycles),
                   r.ok ? "" : "FAILED");
+      const std::string prefix = "div_" + std::to_string(divisor) +
+                                 ".words_" + std::to_string(words) + ".";
+      rep.add(prefix + "load_cycles", static_cast<double>(r.load_cycles),
+              "cycles");
+      rep.add(prefix + "ok", r.ok ? 1 : 0, "bool");
     }
   }
   std::printf("\nserial cost per word: 1 address-free data word = 2 bytes ="
@@ -87,7 +93,8 @@ BENCHMARK(BM_FullBoot)->Arg(8)->Arg(64);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_boot", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "area/area_model.hpp"
+#include "harness.hpp"
 #include "noc/traffic.hpp"
 
 namespace {
@@ -30,12 +31,15 @@ noc::TrafficResult run_depth(unsigned depth, double rate,
   return noc::run_traffic_experiment(4, 4, rcfg, cfg, 30000);
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E3: input buffer depth trade-off (paper §2.1) ===\n\n");
-  for (auto [pattern, name, rate] :
-       {std::tuple{noc::TrafficPattern::kUniform, "uniform", 0.018},
-        std::tuple{noc::TrafficPattern::kHotspot, "hotspot(0,0)", 0.012},
-        std::tuple{noc::TrafficPattern::kTranspose, "transpose", 0.018}}) {
+  for (auto [pattern, name, key, rate] :
+       {std::tuple{noc::TrafficPattern::kUniform, "uniform", "uniform",
+                   0.018},
+        std::tuple{noc::TrafficPattern::kHotspot, "hotspot(0,0)", "hotspot",
+                   0.012},
+        std::tuple{noc::TrafficPattern::kTranspose, "transpose", "transpose",
+                   0.018}}) {
     std::printf("-- %s traffic, 4x4, payload 8 flits, rate %.3f --\n", name,
                 rate);
     std::printf("%8s %12s %12s %14s %18s\n", "depth", "avg lat", "p99 lat",
@@ -47,6 +51,12 @@ void print_tables() {
       std::printf("%8u %12.1f %12.1f %14.4f %18.0f\n", depth, r.avg_latency,
                   r.p99_latency, r.throughput_flits,
                   area::router_slices(rp));
+      const std::string prefix =
+          std::string(key) + ".depth_" + std::to_string(depth) + ".";
+      rep.add(prefix + "avg_latency", r.avg_latency, "cycles");
+      rep.add(prefix + "p99_latency", r.p99_latency, "cycles");
+      rep.add(prefix + "accepted", r.throughput_flits, "flits/cycle/node");
+      rep.add(prefix + "router_slices", area::router_slices(rp), "slices");
     }
     std::printf("\n");
   }
@@ -72,7 +82,8 @@ BENCHMARK(BM_HotspotByDepth)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_buffers", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -8,6 +8,7 @@
 
 #include "apps/programs.hpp"
 #include "cc/compiler.hpp"
+#include "harness.hpp"
 #include "host/host.hpp"
 #include "r8/cpu.hpp"
 #include "r8/interp.hpp"
@@ -52,21 +53,22 @@ CpiResult measure(const std::string& source) {
   return {cpu.cpi(), cpu.instructions(), cpu.cycles()};
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E5: R8 CPI by instruction class (paper §2.4) ===\n\n");
   std::printf("%-22s %10s %12s %8s\n", "kernel", "instrs", "cycles", "CPI");
   const int n = 2000;
   struct Row {
     const char* name;
+    const char* key;
     std::string src;
   };
   const Row rows[] = {
-      {"ALU (ADD)", apps::cpi_alu_source(n)},
-      {"memory (LD local)", apps::cpi_memory_source(n)},
-      {"jump taken (JMPD)", apps::cpi_jump_taken_source(n)},
-      {"jump not taken", apps::cpi_jump_not_taken_source(n)},
-      {"stack (PUSH/POP)", apps::cpi_stack_source(n)},
-      {"mixed", apps::cpi_mixed_source(n)},
+      {"ALU (ADD)", "alu", apps::cpi_alu_source(n)},
+      {"memory (LD local)", "memory", apps::cpi_memory_source(n)},
+      {"jump taken (JMPD)", "jump_taken", apps::cpi_jump_taken_source(n)},
+      {"jump not taken", "jump_not_taken", apps::cpi_jump_not_taken_source(n)},
+      {"stack (PUSH/POP)", "stack", apps::cpi_stack_source(n)},
+      {"mixed", "mixed", apps::cpi_mixed_source(n)},
   };
   double min_cpi = 100, max_cpi = 0;
   for (const auto& row : rows) {
@@ -74,11 +76,14 @@ void print_tables() {
     std::printf("%-22s %10llu %12llu %8.3f\n", row.name,
                 static_cast<unsigned long long>(r.instructions),
                 static_cast<unsigned long long>(r.cycles), r.cpi);
+    rep.add(std::string("cpi.") + row.key, r.cpi, "cycles/instr");
     min_cpi = std::min(min_cpi, r.cpi);
     max_cpi = std::max(max_cpi, r.cpi);
   }
   std::printf("\nCPI range across kernels: %.2f .. %.2f"
               " (paper: between 2 and 4)\n", min_cpi, max_cpi);
+  rep.add("cpi.min", min_cpi, "cycles/instr");
+  rep.add("cpi.max", max_cpi, "cycles/instr");
 
   // Interpreter cross-check: ideal cycles == cycle-accurate cycles for
   // local-memory-only programs.
@@ -117,6 +122,9 @@ void print_tables() {
                   " stall cycles/load ~%.1f\n",
                   cpu.cpi(),
                   static_cast<double>(cpu.stall_cycles()) / 200);
+      rep.add("remote_ld.cpi", cpu.cpi(), "cycles/instr");
+      rep.add("remote_ld.stall_per_load",
+              static_cast<double>(cpu.stall_cycles()) / 200, "cycles");
     }
   }
   // r8cc optimizer ablation (the §5 compiler): code size and cycles of
@@ -126,10 +134,11 @@ void print_tables() {
               "O1 words", "O0 cycles", "O1 cycles");
   struct K {
     const char* name;
+    const char* key;
     const char* src;
   };
   const K kernels[] = {
-      {"checksum*8+%16",
+      {"checksum*8+%16", "checksum",
        R"(int a[64];
           int main() {
             for (int i = 0; i < 64; i = i + 1) { a[i] = i * 8 + i % 16; }
@@ -137,11 +146,11 @@ void print_tables() {
             for (int i = 0; i < 64; i = i + 1) { s = s + a[i]; }
             printf(s);
           })"},
-      {"fib(14)",
+      {"fib(14)", "fib",
        R"(int f(int n) { if (n < 2) { return n; }
             return f(n - 1) + f(n - 2); }
           int main() { printf(f(14)); })"},
-      {"const expressions",
+      {"const expressions", "const_expr",
        "int main() { printf(3 * 17 + (1 << 9) - 200 / 8); }"},
   };
   for (const auto& k : kernels) {
@@ -164,6 +173,10 @@ void print_tables() {
     std::printf("%-26s %10zu %10zu %12llu %12llu\n", k.name, words[0],
                 words[1], static_cast<unsigned long long>(cycles[0]),
                 static_cast<unsigned long long>(cycles[1]));
+    if (cycles[0] && cycles[1]) {
+      rep.add(std::string("optimizer.") + k.key + ".cycle_ratio_o1_o0",
+              static_cast<double>(cycles[1]) / cycles[0], "ratio");
+    }
   }
   std::printf("\n");
 }
@@ -187,7 +200,8 @@ BENCHMARK(BM_CpuSimulationSpeed);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_cpi", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,6 +10,7 @@
 
 #include "apps/edge_detection.hpp"
 #include "apps/image.hpp"
+#include "harness.hpp"
 #include "host/host.hpp"
 #include "system/multinoc.hpp"
 
@@ -31,7 +32,7 @@ apps::EdgeRunStats run_once(const apps::Image& img, unsigned nprocs,
   return stats;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E10: parallel edge detection (paper Fig. 10) ===\n\n");
 
   std::printf("-- runtime vs image size (divisor 8) --\n");
@@ -48,6 +49,11 @@ void print_tables() {
                   s.cycles / 25e3,
                   static_cast<unsigned long long>(s.host_bytes_tx),
                   ok ? "yes" : "NO");
+      const std::string prefix = "img_" + std::to_string(w) + "x" +
+                                 std::to_string(h) + ".procs_" +
+                                 std::to_string(procs) + ".";
+      rep.add(prefix + "cycles", static_cast<double>(s.cycles), "cycles");
+      rep.add(prefix + "correct", ok ? 1 : 0, "bool");
     }
   }
 
@@ -78,6 +84,11 @@ void print_tables() {
                 static_cast<unsigned long long>(ring.host_bytes_tx),
                 static_cast<unsigned long long>(naive.cycles),
                 static_cast<unsigned long long>(ring.cycles));
+    const std::string prefix = "ablation.div_" + std::to_string(divisor) + ".";
+    rep.add(prefix + "naive_cycles", static_cast<double>(naive.cycles),
+            "cycles");
+    rep.add(prefix + "ring_cycles", static_cast<double>(ring.cycles),
+            "cycles");
   }
   std::printf("the ring protocol cuts streaming traffic ~2.4x; on a slow"
               " link (divisor 64) that\nwins end-to-end despite the larger"
@@ -98,6 +109,8 @@ void print_tables() {
                 static_cast<unsigned long long>(s1.cycles),
                 static_cast<unsigned long long>(s2.cycles),
                 static_cast<double>(s1.cycles) / s2.cycles);
+    rep.add("speedup.div_" + std::to_string(divisor),
+            static_cast<double>(s1.cycles) / s2.cycles, "ratio");
   }
   std::printf("\n");
 }
@@ -114,7 +127,8 @@ BENCHMARK(BM_EdgeDetection)->Arg(1)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_edge", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

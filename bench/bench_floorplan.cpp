@@ -9,12 +9,13 @@
 #include <cstdio>
 
 #include "area/floorplan.hpp"
+#include "harness.hpp"
 
 namespace {
 
 using namespace mn;
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E8: floorplanning the 98%%-full device (paper Fig. 7)"
               " ===\n\n");
   const auto dev = area::xc2s200e();
@@ -37,6 +38,11 @@ void print_tables() {
   std::printf("\npaper-style over random: %.1fx; paper-style over annealed:"
               " %.1fx\n", random / paper.wirelength,
               annealed.wirelength / paper.wirelength);
+  rep.add("hpwl.random_mean", random, "CLBs");
+  rep.add("hpwl.paper_style", paper.wirelength, "CLBs");
+  rep.add("hpwl.annealed", annealed.wirelength, "CLBs");
+  rep.add("hpwl.annealed_over_paper",
+          annealed.wirelength / paper.wirelength, "ratio");
   std::printf("REPRODUCED FINDING: at ~98%% occupancy automatic placement"
               " cannot beat the manual\nFig. 7 floorplan — the paper: \"the"
               " use of synthesis and implementation options alone\nwas not"
@@ -63,6 +69,9 @@ void print_tables() {
   std::printf("  closest processor-to-edge distance:  %5.1f CLBs"
               " (BRAM columns at the edges)\n", proc_edge);
   std::printf("\n");
+  rep.add("rationale.noc_center_dist", noc_center_dist, "CLBs");
+  rep.add("rationale.serial_pin_dist", serial_pin_dist, "CLBs");
+  rep.add("rationale.proc_edge_dist", proc_edge, "CLBs");
 }
 
 void BM_Anneal(benchmark::State& state) {
@@ -83,7 +92,8 @@ BENCHMARK(BM_Anneal)->Arg(5000)->Arg(40000);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_floorplan", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -5,9 +5,11 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "noc/latency_model.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
+#include "noc/traffic.hpp"
 
 namespace {
 
@@ -35,7 +37,7 @@ std::uint64_t measure_latency(unsigned hops, unsigned payload,
   return rp.recv_cycle - rp.inject_cycle;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E1: Hermes latency formula (paper §2.1) ===\n");
   std::printf("latency = (n*Ri + P) * 2, Ri = 7; P = packet flits\n\n");
 
@@ -49,6 +51,10 @@ void print_tables() {
                 static_cast<unsigned long long>(m),
                 static_cast<unsigned long long>(f),
                 static_cast<double>(m) / f);
+    rep.add("hops_" + std::to_string(hops) + ".measured",
+            static_cast<double>(m), "cycles");
+    rep.add("hops_" + std::to_string(hops) + ".formula",
+            static_cast<double>(f), "cycles");
   }
 
   std::printf("\n-- latency vs payload (4 routers) --\n");
@@ -61,6 +67,8 @@ void print_tables() {
                 static_cast<unsigned long long>(m),
                 static_cast<unsigned long long>(f),
                 static_cast<double>(m) / f);
+    rep.add("payload_" + std::to_string(payload) + ".measured",
+            static_cast<double>(m), "cycles");
   }
 
   // Slope check: the formula predicts 2 extra cycles per payload flit and
@@ -76,6 +84,8 @@ void print_tables() {
   std::printf("measured slope per router:       %.2f cycles"
               " (formula: 2*Ri = 14; pipelined control costs Ri+1)\n",
               slope_n);
+  rep.add("slope.per_payload_flit", slope_p, "cycles/flit");
+  rep.add("slope.per_router", slope_n, "cycles/router");
 
   std::printf("\n-- Ri ablation: routing-decision cost vs per-hop latency"
               " (4 routers, payload 8) --\n");
@@ -100,6 +110,32 @@ void print_tables() {
               " router on the path\n(the paper's formula bills it twice —"
               " its x2 covers the handshake, which the\ncontrol pipeline"
               " overlaps).\n\n");
+
+  // Loaded-latency distribution: the unloaded single-packet numbers above
+  // say nothing about queueing; under load the tail stretches far beyond
+  // the mean, which p50/p95/p99 make visible.
+  std::printf("-- loaded latency distribution (4x4 uniform, payload 8)"
+              " --\n");
+  std::printf("%8s %10s %8s %8s %8s %8s\n", "rate", "avg", "p50", "p95",
+              "p99", "max");
+  for (double rate : {0.005, 0.010, 0.015}) {
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = rate;
+    cfg.payload_flits = 8;
+    cfg.seed = 7;
+    cfg.warmup_cycles = 4000;
+    const auto r = noc::run_traffic_experiment(4, 4, {}, cfg, 30000);
+    std::printf("%8.3f %10.1f %8.0f %8.0f %8.0f %8.0f\n", rate,
+                r.avg_latency, r.p50_latency, r.p95_latency, r.p99_latency,
+                r.max_latency);
+    char key[64];
+    std::snprintf(key, sizeof key, "loaded.rate_%.3f", rate);
+    rep.add(std::string(key) + ".avg", r.avg_latency, "cycles");
+    rep.add(std::string(key) + ".p50", r.p50_latency, "cycles");
+    rep.add(std::string(key) + ".p95", r.p95_latency, "cycles");
+    rep.add(std::string(key) + ".p99", r.p99_latency, "cycles");
+  }
+  std::printf("\n");
 }
 
 void BM_SinglePacketLatency(benchmark::State& state) {
@@ -118,7 +154,8 @@ BENCHMARK(BM_SinglePacketLatency)->DenseRange(1, 8, 1);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_latency", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

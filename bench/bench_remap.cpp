@@ -8,13 +8,14 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "noc/placement.hpp"
 
 namespace {
 
 using namespace mn;
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E12: reconfiguration / communication-aware placement"
               " (paper §5) ===\n\n");
 
@@ -30,6 +31,9 @@ void print_tables() {
     const double c0 = noc::placement_cost(traffic, identity, n, n);
     const double c1 = noc::placement_cost(traffic, opt, n, n);
     std::printf("%4ux%-2u %20.1f %20.1f %9.2fx\n", n, n, c0, c1, c0 / c1);
+    rep.add("pipeline." + std::to_string(n) + "x" + std::to_string(n) +
+                ".gain",
+            c0 / c1, "ratio");
   }
 
   std::printf("\n-- random application graphs (sparsity 0.3), 4x4 --\n");
@@ -49,6 +53,7 @@ void print_tables() {
     total_gain += c0 / c1;
   }
   std::printf("mean analytic gain: %.2fx\n", total_gain / 5);
+  rep.add("random_graphs.mean_gain", total_gain / 5, "ratio");
 
   std::printf("\n-- verification on the simulated mesh (pipeline, 4x4,"
               " 60k cycles) --\n");
@@ -66,6 +71,9 @@ void print_tables() {
                 " %.1f (hops %.2f): %.2fx faster\n",
                 rate, r0.avg_latency, r0.avg_weighted_hops, r1.avg_latency,
                 r1.avg_weighted_hops, r0.avg_latency / r1.avg_latency);
+    char key[48];
+    std::snprintf(key, sizeof key, "sim.rate_%.3f.latency_gain", rate);
+    rep.add(key, r0.avg_latency / r1.avg_latency, "ratio");
   }
   std::printf("\nreconfiguring IP positions to match the communication"
               " pattern cuts latency by the\nsame factor the analytic"
@@ -93,7 +101,8 @@ BENCHMARK(BM_OptimizePlacement)->Arg(3)->Arg(4)->Arg(5);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_remap", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "host/host.hpp"
 #include "r8asm/assembler.hpp"
 #include "system/multinoc.hpp"
@@ -44,7 +45,7 @@ std::vector<std::uint16_t> assemble_or_die(const std::string& src) {
   return a.image;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E11: the nine NoC services, end-to-end (paper §2.1)"
               " ===\n\n");
   std::printf("all costs include serial transport where the service"
@@ -59,11 +60,13 @@ void print_tables() {
         [&] { return f.system.memory(0).requests_served() == 1; });
     std::printf("%-34s %14llu\n", "write (host->memory, 1 word)",
                 static_cast<unsigned long long>(c));
+    rep.add("service.write", static_cast<double>(c), "cycles");
     const auto c2 = f.cycles_for(
         [&] { f.host.read_memory(kMem, 0x10, 1); },
         [&] { return f.host.has_read_result(); });
     std::printf("%-34s %14llu\n", "read + read_return (host<->memory)",
                 static_cast<unsigned long long>(c2));
+    rep.add("service.read_roundtrip", static_cast<double>(c2), "cycles");
   }
 
   // 3: activate -> first instruction retired (HALT program).
@@ -76,6 +79,7 @@ void print_tables() {
         [&] { return f.system.processor(0).finished(); });
     std::printf("%-34s %14llu\n", "activate (host->processor)",
                 static_cast<unsigned long long>(c));
+    rep.add("service.activate", static_cast<double>(c), "cycles");
   }
 
   // 4: printf processor->host.
@@ -95,6 +99,7 @@ void print_tables() {
         [&] { return !f.host.printf_log(kProc1).empty(); });
     std::printf("%-34s %14llu\n", "printf (incl. activate+serial)",
                 static_cast<unsigned long long>(c));
+    rep.add("service.printf", static_cast<double>(c), "cycles");
   }
 
   // 5/6: scanf + scanf_return round trip.
@@ -115,6 +120,7 @@ void print_tables() {
         [&] { return f.system.processor(0).finished(); });
     std::printf("%-34s %14llu\n", "scanf + scanf_return round trip",
                 static_cast<unsigned long long>(c));
+    rep.add("service.scanf_roundtrip", static_cast<double>(c), "cycles");
   }
 
   // 7/8: wait/notify pair between the processors (NoC only, no serial).
@@ -151,6 +157,8 @@ void print_tables() {
                     1'000'000);
     std::printf("%-34s %14llu\n", "notify -> waiting peer resumes",
                 static_cast<unsigned long long>(f.sim.cycle() - t0));
+    rep.add("service.notify_wait", static_cast<double>(f.sim.cycle() - t0),
+            "cycles");
   }
 
   // 9: processor remote read (read + read_return, NoC only).
@@ -171,6 +179,8 @@ void print_tables() {
     const auto& cpu = f.system.processor(0).cpu();
     std::printf("%-34s %14llu\n", "remote LD (read+read_return, NoC)",
                 static_cast<unsigned long long>(cpu.stall_cycles()));
+    rep.add("service.remote_ld_stall",
+            static_cast<double>(cpu.stall_cycles()), "cycles");
     (void)c;
   }
   std::printf("\n");
@@ -199,7 +209,8 @@ BENCHMARK(BM_NotifyLatency);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_services", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

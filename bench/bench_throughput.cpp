@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "harness.hpp"
 #include "noc/latency_model.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
@@ -90,13 +91,15 @@ double center_router_rate(std::uint64_t cycles) {
   return static_cast<double>(after - before) / cycles;
 }
 
-void print_tables() {
+void print_tables(mn::bench::JsonReporter& rep) {
   std::printf("=== E2: peak throughput (paper §2.1) ===\n\n");
   const double link = saturated_link_rate(60000);
   std::printf("saturated link: %.3f flits/cycle (ideal handshake limit 0.5)\n",
               link);
   std::printf("  at 50 MHz x 8-bit flits -> %.0f Mbit/s per link\n",
               link * 50e6 * 8 / 1e6);
+  rep.add("link.saturated", link, "flits/cycle");
+  rep.add("link.saturated_mbps_50mhz", link * 50e6 * 8 / 1e6, "Mbit/s");
 
   const double router = center_router_rate(120000);
   std::printf("centre router, 5 concurrent connections: %.3f flits/cycle\n",
@@ -104,11 +107,15 @@ void print_tables() {
   std::printf("  at 50 MHz x 8 bits -> %.0f Mbit/s"
               " (paper claim: 1 Gbit/s peak = 2.5 flits/cycle)\n",
               router * 50e6 * 8 / 1e6);
+  rep.add("router.five_connections", router, "flits/cycle");
+  rep.add("router.five_connections_mbps_50mhz", router * 50e6 * 8 / 1e6,
+          "Mbit/s");
 
   std::printf("\n-- accepted vs offered load, uniform traffic,"
               " payload 8 flits --\n");
-  std::printf("%6s %10s %14s %14s %12s %12s\n", "mesh", "inj rate",
-              "offered f/c/n", "accepted f/c/n", "avg lat", "p99 lat");
+  std::printf("%6s %10s %14s %14s %10s %8s %8s %8s\n", "mesh", "inj rate",
+              "offered f/c/n", "accepted f/c/n", "avg lat", "p50", "p95",
+              "p99");
   for (unsigned n : {2u, 4u, 8u}) {
     for (double rate : {0.005, 0.01, 0.02, 0.03, 0.05, 0.08, 0.12}) {
       noc::TrafficConfig cfg;
@@ -117,9 +124,15 @@ void print_tables() {
       cfg.seed = 12345;
       cfg.warmup_cycles = 4000;
       const auto r = noc::run_traffic_experiment(n, n, {}, cfg, 25000);
-      std::printf("%3ux%-2u %10.3f %14.4f %14.4f %12.1f %12.1f\n", n, n,
-                  rate, r.offered_flits, r.throughput_flits, r.avg_latency,
-                  r.p99_latency);
+      std::printf("%3ux%-2u %10.3f %14.4f %14.4f %10.1f %8.0f %8.0f %8.0f\n",
+                  n, n, rate, r.offered_flits, r.throughput_flits,
+                  r.avg_latency, r.p50_latency, r.p95_latency, r.p99_latency);
+      char key[64];
+      std::snprintf(key, sizeof key, "load.%ux%u.rate_%.3f", n, n, rate);
+      rep.add(std::string(key) + ".accepted", r.throughput_flits,
+              "flits/cycle/node");
+      rep.add(std::string(key) + ".avg_latency", r.avg_latency, "cycles");
+      rep.add(std::string(key) + ".p99_latency", r.p99_latency, "cycles");
     }
   }
   std::printf("\n-- routing ablation: deterministic XY (paper) vs"
@@ -148,6 +161,12 @@ void print_tables() {
       std::printf("%12s %10.2f %14.4f %12.1f %14.4f %12.1f\n", name, rate,
                   rx.throughput_flits, rx.avg_latency, rw.throughput_flits,
                   rw.avg_latency);
+      char key[64];
+      std::snprintf(key, sizeof key, "ablation.%s.rate_%.2f", name, rate);
+      rep.add(std::string(key) + ".xy_accepted", rx.throughput_flits,
+              "flits/cycle/node");
+      rep.add(std::string(key) + ".wf_accepted", rw.throughput_flits,
+              "flits/cycle/node");
     }
   }
   std::printf("\n");
@@ -180,7 +199,8 @@ BENCHMARK(BM_UniformTraffic4x4)->Arg(5)->Arg(20)->Arg(80);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_tables();
+  mn::bench::JsonReporter rep("bench_throughput", &argc, argv);
+  print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,0 +1,109 @@
+#pragma once
+// Common bench harness (docs/OBSERVABILITY.md §"Bench JSON").
+//
+// Every bench_* binary constructs a JsonReporter FIRST in main(), before
+// benchmark::Initialize(), so the harness can strip its own flags:
+//
+//   int main(int argc, char** argv) {
+//     mn::bench::JsonReporter rep("bench_latency", &argc, argv);
+//     print_tables(rep);
+//     benchmark::Initialize(&argc, argv);
+//     benchmark::RunSpecifiedBenchmarks();
+//     return 0;
+//   }
+//
+// Flags:
+//   --json <path> / --json=<path>   write the schema-stable JSON record
+//
+// Schema (mn-bench-v1): every metric lives under a dot-separated name
+// mirroring the text tables, with an explicit unit. mn-report merges the
+// per-bench files into BENCH_multinoc.json (the perf trajectory).
+//
+//   {
+//     "schema": "mn-bench-v1",
+//     "bench": "bench_latency",
+//     "metrics": { "<name>": {"value": <number>, "unit": "<unit>"} },
+//     "notes":   { "<key>": "<text>" }
+//   }
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sim/json.hpp"
+
+namespace mn::bench {
+
+class JsonReporter {
+ public:
+  /// Scans argv for --json and removes the flag (and its value) so the
+  /// remaining arguments can go straight to benchmark::Initialize().
+  JsonReporter(std::string bench_name, int* argc, char** argv)
+      : name_(std::move(bench_name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--json") == 0 && i + 1 < *argc) {
+        path_ = argv[++i];
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        path_ = a + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+  }
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& bench_name() const { return name_; }
+
+  /// Record one scalar under a stable dotted name.
+  void add(const std::string& metric, double value,
+           const std::string& unit = "") {
+    sim::Json& m = metrics_[metric];
+    m = sim::Json::object();
+    m["value"] = sim::Json(value);
+    if (!unit.empty()) m["unit"] = sim::Json(unit);
+  }
+
+  /// Record free-form context (reproduced findings, configs).
+  void note(const std::string& key, const std::string& text) {
+    notes_[key] = sim::Json(text);
+  }
+
+  /// Write the JSON file (no-op without --json). Returns false on I/O
+  /// failure. Called automatically on destruction.
+  bool flush() {
+    if (path_.empty() || flushed_) return true;
+    flushed_ = true;
+    sim::Json root = sim::Json::object();
+    root["schema"] = sim::Json("mn-bench-v1");
+    root["bench"] = sim::Json(name_);
+    root["metrics"] = std::move(metrics_);
+    root["notes"] = std::move(notes_);
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   path_.c_str());
+      return false;
+    }
+    out << root.dump(1) << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  sim::Json metrics_ = sim::Json::object();
+  sim::Json notes_ = sim::Json::object();
+  bool flushed_ = false;
+};
+
+}  // namespace mn::bench

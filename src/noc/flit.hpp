@@ -32,6 +32,7 @@ struct Flit {
 
   // --- simulation-only metadata ---
   std::uint32_t packet_id = 0;    ///< unique id stamped at injection
+  std::uint32_t trace_id = 0;     ///< SpanTracer span id (0 = untraced)
   std::uint64_t inject_cycle = 0; ///< cycle the packet entered the source NI
   bool is_header = false;         ///< true for the first (address) flit
   bool is_tail = false;           ///< true for the last payload flit

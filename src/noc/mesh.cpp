@@ -7,7 +7,7 @@ namespace mn::noc {
 
 Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
            const RouterConfig& cfg)
-    : nx_(nx), ny_(ny) {
+    : sim_(&sim), nx_(nx), ny_(ny) {
   assert(nx >= 1 && ny >= 1 && nx <= 16 && ny <= 16);
 
   routers_.reserve(node_count());
@@ -72,6 +72,46 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
       local_out_.push_back(std::move(out));
     }
   }
+
+  register_metrics(sim.metrics());
+}
+
+void Mesh::register_metrics(sim::MetricsRegistry& m) {
+  // Lazy probes only: nothing here costs anything until snapshot time.
+  for (unsigned y = 0; y < ny_; ++y) {
+    for (unsigned x = 0; x < nx_; ++x) {
+      const Router* r = routers_[index(x, y)].get();
+      const std::string prefix =
+          "router." + std::to_string(x) + "_" + std::to_string(y) + ".";
+      m.probe(prefix + "flits_forwarded",
+              [r] { return static_cast<double>(r->stats().flits_forwarded); });
+      m.probe(prefix + "packets_routed",
+              [r] { return static_cast<double>(r->stats().packets_routed); });
+      m.probe(prefix + "routing_rejects",
+              [r] { return static_cast<double>(r->stats().routing_rejects); });
+      for (std::size_t p = 0; p < kNumPorts; ++p) {
+        const std::string port =
+            prefix + port_long_name(static_cast<Port>(p)) + ".";
+        m.probe(port + "flits_out",
+                [r, p] { return static_cast<double>(r->stats().port_flits[p]); });
+        m.probe(port + "grants",
+                [r, p] { return static_cast<double>(r->stats().grants[p]); });
+        m.probe(port + "buffer_fill", [r, p] {
+          return static_cast<double>(r->buffer_fill(static_cast<Port>(p)));
+        });
+      }
+    }
+  }
+  m.probe("noc.flits_forwarded",
+          [this] { return static_cast<double>(total_stats().flits_forwarded); });
+  m.probe("noc.packets_routed",
+          [this] { return static_cast<double>(total_stats().packets_routed); });
+  m.probe("noc.routing_rejects",
+          [this] { return static_cast<double>(total_stats().routing_rejects); });
+}
+
+void Mesh::set_tracer(sim::SpanTracer* tracer) {
+  for (auto& r : routers_) r->set_tracer(tracer, sim_);
 }
 
 RouterStats Mesh::total_stats() const {

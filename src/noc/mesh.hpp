@@ -43,11 +43,18 @@ class Mesh {
   /// Aggregate statistics over all routers.
   RouterStats total_stats() const;
 
+  /// Attach a span tracer to every router (one track per output port);
+  /// nullptr detaches. Network interfaces attach separately.
+  void set_tracer(sim::SpanTracer* tracer);
+
  private:
   std::size_t index(unsigned x, unsigned y) const {
     return static_cast<std::size_t>(y) * nx_ + x;
   }
 
+  void register_metrics(sim::MetricsRegistry& m);
+
+  sim::Simulator* sim_;
   unsigned nx_;
   unsigned ny_;
   std::vector<std::unique_ptr<Router>> routers_;

@@ -1,5 +1,7 @@
 #include "noc/network_interface.hpp"
 
+#include <string>
+
 namespace mn::noc {
 
 NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
@@ -12,10 +14,28 @@ NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
       rx_fifo_(rx_buffer_flits),
       rx_(from_router, rx_fifo_) {
   sim.add(this);
+  auto& m = sim.metrics();
+  const std::string prefix = "ni." + this->name() + ".";
+  m.probe(prefix + "packets_sent",
+          [this] { return static_cast<double>(packets_sent_); });
+  m.probe(prefix + "packets_received",
+          [this] { return static_cast<double>(packets_received_); });
+  m.probe(prefix + "tx_backlog",
+          [this] { return static_cast<double>(tx_queue_.size()); });
+  m.probe(prefix + "inbox_depth",
+          [this] { return static_cast<double>(inbox_.size()); });
 }
 
 void NetworkInterface::send_packet(const Packet& p) {
-  const auto flits = to_flits(p, next_packet_id_++, sim_->cycle());
+  std::uint32_t trace_id = 0;
+  if (tracer_) {
+    const XY t = decode_xy(p.target);
+    trace_id = tracer_->begin_span(
+        name() + "->" + std::to_string(t.x) + "," + std::to_string(t.y) +
+            " (" + std::to_string(p.wire_flits()) + " flits)",
+        sim_->cycle());
+  }
+  const auto flits = to_flits(p, next_packet_id_++, sim_->cycle(), trace_id);
   tx_queue_.insert(tx_queue_.end(), flits.begin(), flits.end());
   ++packets_sent_;
 }
@@ -42,8 +62,12 @@ void NetworkInterface::eval() {
       ReceivedPacket rp;
       rp.packet = assembler_.take();
       rp.packet_id = assembler_.packet_id();
+      rp.trace_id = assembler_.trace_id();
       rp.inject_cycle = assembler_.inject_cycle();
       rp.recv_cycle = sim_->cycle();
+      if (tracer_ && rp.trace_id) {
+        tracer_->end_span(rp.trace_id, rp.recv_cycle);
+      }
       inbox_.push_back(std::move(rp));
       ++packets_received_;
     }

@@ -11,6 +11,7 @@
 #include "noc/packet.hpp"
 #include "sim/component.hpp"
 #include "sim/simulator.hpp"
+#include "sim/span_tracer.hpp"
 
 namespace mn::noc {
 
@@ -18,6 +19,7 @@ namespace mn::noc {
 struct ReceivedPacket {
   Packet packet;
   std::uint32_t packet_id = 0;
+  std::uint32_t trace_id = 0;
   std::uint64_t inject_cycle = 0;
   std::uint64_t recv_cycle = 0;
 };
@@ -46,6 +48,11 @@ class NetworkInterface final : public sim::Component {
   std::uint64_t packets_sent() const { return packets_sent_; }
   std::uint64_t packets_received() const { return packets_received_; }
 
+  /// Attach (or detach with nullptr) a packet span tracer. Packets sent
+  /// after this call open an async span; packets reassembled here close
+  /// the span stamped in their flits.
+  void set_tracer(sim::SpanTracer* tracer) { tracer_ = tracer; }
+
   void eval() override;
   void reset() override;
 
@@ -57,6 +64,7 @@ class NetworkInterface final : public sim::Component {
   PacketAssembler assembler_;
   std::deque<Flit> tx_queue_;
   std::deque<ReceivedPacket> inbox_;
+  sim::SpanTracer* tracer_ = nullptr;
   std::uint32_t next_packet_id_ = 1;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_received_ = 0;

@@ -6,7 +6,8 @@
 namespace mn::noc {
 
 std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
-                           std::uint64_t inject_cycle) {
+                           std::uint64_t inject_cycle,
+                           std::uint32_t trace_id) {
   assert(p.payload.size() <= kMaxPayloadFlits &&
          "payload exceeds the 8-bit size-flit budget");
   std::vector<Flit> flits;
@@ -16,12 +17,14 @@ std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
   header.data = p.target;
   header.is_header = true;
   header.packet_id = packet_id;
+  header.trace_id = trace_id;
   header.inject_cycle = inject_cycle;
   flits.push_back(header);
 
   Flit size;
   size.data = static_cast<std::uint8_t>(p.payload.size());
   size.packet_id = packet_id;
+  size.trace_id = trace_id;
   size.inject_cycle = inject_cycle;
   flits.push_back(size);
 
@@ -29,6 +32,7 @@ std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
     Flit f;
     f.data = p.payload[i];
     f.packet_id = packet_id;
+    f.trace_id = trace_id;
     f.inject_cycle = inject_cycle;
     f.is_tail = (i + 1 == p.payload.size());
     flits.push_back(f);
@@ -44,6 +48,7 @@ bool PacketAssembler::feed(const Flit& f) {
       current_ = Packet{};
       current_.target = f.data;
       packet_id_ = f.packet_id;
+      trace_id_ = f.trace_id;
       inject_cycle_ = f.inject_cycle;
       state_ = State::kSize;
       return false;
@@ -80,6 +85,9 @@ void PacketAssembler::reset() {
   state_ = State::kHeader;
   current_ = Packet{};
   remaining_ = 0;
+  packet_id_ = 0;
+  trace_id_ = 0;
+  inject_cycle_ = 0;
   done_ = false;
 }
 

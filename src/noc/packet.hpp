@@ -29,8 +29,11 @@ struct Packet {
 };
 
 /// Serialize a packet into flits, stamping measurement metadata.
+/// `trace_id` (when nonzero) marks every flit with the SpanTracer span
+/// opened for this packet at the source network interface.
 std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
-                           std::uint64_t inject_cycle);
+                           std::uint64_t inject_cycle,
+                           std::uint32_t trace_id = 0);
 
 /// Incremental packet reassembler used by network interfaces.
 class PacketAssembler {
@@ -44,6 +47,7 @@ class PacketAssembler {
 
   /// Metadata of the completed packet's header flit.
   std::uint32_t packet_id() const { return packet_id_; }
+  std::uint32_t trace_id() const { return trace_id_; }
   std::uint64_t inject_cycle() const { return inject_cycle_; }
 
   void reset();
@@ -54,6 +58,7 @@ class PacketAssembler {
   Packet current_;
   std::size_t remaining_ = 0;
   std::uint32_t packet_id_ = 0;
+  std::uint32_t trace_id_ = 0;
   std::uint64_t inject_cycle_ = 0;
   bool done_ = false;
 };

@@ -35,6 +35,18 @@ void Router::connect_out(Port p, LinkWires& w) {
   outputs_[static_cast<std::size_t>(p)].tx.emplace(w);
 }
 
+void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {
+  tracer_ = tracer;
+  tracer_sim_ = sim;
+  if (!tracer_) return;
+  for (std::size_t p = 0; p < kNumPorts; ++p) {
+    port_tracks_[p] = tracer_->register_track(
+        "router." + std::to_string(int(addr_.x)) + "_" +
+        std::to_string(int(addr_.y)) + "." +
+        port_long_name(static_cast<Port>(p)) + ".out");
+  }
+}
+
 void Router::eval() {
   // 1. Latch arriving flits into the input buffers.
   for (auto& in : inputs_) {
@@ -119,6 +131,11 @@ void Router::forward_flits() {
     out.tx->send(flit);
     ++stats_.flits_forwarded;
     ++stats_.port_flits[o];
+    if (tracer_) {
+      // One flit occupies the handshake link for 2 cycles.
+      tracer_->complete_event(port_tracks_[o], "flit", tracer_sim_->cycle(),
+                              2, flit.trace_id);
+    }
 
     switch (in.pos) {
       case FlitPos::kHeader:

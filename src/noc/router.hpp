@@ -20,6 +20,8 @@
 #include "noc/link.hpp"
 #include "noc/routing.hpp"
 #include "sim/component.hpp"
+#include "sim/simulator.hpp"
+#include "sim/span_tracer.hpp"
 #include "sim/stats.hpp"
 
 namespace mn::noc {
@@ -65,6 +67,11 @@ class Router final : public sim::Component {
     return inputs_[static_cast<std::size_t>(p)].fifo.size();
   }
 
+  /// Attach a span tracer (usually via Mesh::set_tracer): registers one
+  /// track per output port and emits a 2-cycle "flit" event per forward.
+  /// `sim` supplies the timestamp; nullptr tracer detaches.
+  void set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim);
+
  private:
   /// Position of the next flit to forward within its packet.
   enum class FlitPos : std::uint8_t { kHeader, kSize, kPayload };
@@ -96,6 +103,9 @@ class Router final : public sim::Component {
   unsigned control_timer_ = 0;  ///< cycles left in the current decision
   int pending_input_ = -1;      ///< input being routed by the control logic
   RouterStats stats_;
+  sim::SpanTracer* tracer_ = nullptr;
+  const sim::Simulator* tracer_sim_ = nullptr;
+  std::array<int, kNumPorts> port_tracks_{};  ///< tracer tids per output
 };
 
 }  // namespace mn::noc

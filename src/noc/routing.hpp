@@ -30,6 +30,19 @@ constexpr const char* port_name(Port p) {
   return "?";
 }
 
+/// Lowercase long form used in metrics paths and trace track names
+/// (docs/OBSERVABILITY.md).
+constexpr const char* port_long_name(Port p) {
+  switch (p) {
+    case Port::kEast: return "east";
+    case Port::kWest: return "west";
+    case Port::kNorth: return "north";
+    case Port::kSouth: return "south";
+    case Port::kLocal: return "local";
+  }
+  return "unknown";
+}
+
 /// XY routing: correct X first (East/West), then Y (North/South), then
 /// deliver locally. Deadlock-free on a mesh.
 constexpr Port route_xy(XY here, XY target) {

@@ -112,31 +112,23 @@ TrafficResult run_traffic_experiment(unsigned nx, unsigned ny,
   sim.run(cfg.warmup_cycles + cycles);
 
   TrafficResult r;
-  sim::Summary agg;
+  sim::Histogram agg;  ///< exact merged latency distribution over all sinks
   std::uint64_t flits = 0;
   std::uint64_t offered_packets = 0;
-  double max_latency = 0;
-  double p99_acc = 0;
-  std::size_t p99_n = 0;
   for (const auto& n : nodes) {
     const auto& h = n->latencies();
     for (const auto& [value, count] : h.bins()) {
-      for (std::uint64_t k = 0; k < count; ++k) {
-        agg.add(static_cast<double>(value));
-      }
-    }
-    if (h.summary().count() > 0) {
-      max_latency = std::max(max_latency, h.summary().max());
-      p99_acc += static_cast<double>(h.percentile(0.99));
-      ++p99_n;
+      for (std::uint64_t k = 0; k < count; ++k) agg.add(value);
     }
     flits += n->flits_delivered();
     offered_packets += n->packets_offered();
   }
-  r.avg_latency = agg.mean();
-  r.max_latency = max_latency;
-  r.p99_latency = p99_n ? p99_acc / static_cast<double>(p99_n) : 0;
-  r.packets_received = agg.count();
+  r.avg_latency = agg.summary().mean();
+  r.max_latency = agg.summary().max();
+  r.p50_latency = static_cast<double>(agg.p50());
+  r.p95_latency = static_cast<double>(agg.p95());
+  r.p99_latency = static_cast<double>(agg.p99());
+  r.packets_received = agg.summary().count();
   const double node_cycles = static_cast<double>(cfg.warmup_cycles + cycles) *
                              static_cast<double>(nodes.size());
   r.throughput_flits = static_cast<double>(flits) / node_cycles;

@@ -63,6 +63,8 @@ class TrafficNode final : public sim::Component {
 /// Results of a closed traffic experiment.
 struct TrafficResult {
   double avg_latency = 0;        ///< cycles, header-inject to tail-receive
+  double p50_latency = 0;        ///< exact percentile over all sinks
+  double p95_latency = 0;
   double p99_latency = 0;
   double max_latency = 0;
   double throughput_flits = 0;   ///< accepted flits / cycle / node

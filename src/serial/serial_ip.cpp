@@ -16,6 +16,20 @@ SerialIp::SerialIp(sim::Simulator& sim, std::string name,
       rxd_(&rxd),
       ni_(sim, this->name() + ".ni", to_router, from_router) {
   sim.add(this);
+  auto& m = sim.metrics();
+  const std::string prefix = "serial." + this->name() + ".";
+  m.probe(prefix + "frames_to_noc",
+          [this] { return static_cast<double>(frames_to_noc_); });
+  m.probe(prefix + "frames_to_host",
+          [this] { return static_cast<double>(frames_to_host_); });
+  m.probe(prefix + "uart_bytes_rx",
+          [this] { return static_cast<double>(rx_.bytes_received()); });
+  m.probe(prefix + "uart_bytes_tx",
+          [this] { return static_cast<double>(tx_.bytes_sent()); });
+  m.probe(prefix + "framing_errors",
+          [this] { return static_cast<double>(rx_.framing_errors()); });
+  m.probe(prefix + "baud_locked",
+          [this] { return baud_locked() ? 1.0 : 0.0; });
 }
 
 void SerialIp::eval() {

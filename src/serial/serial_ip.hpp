@@ -33,6 +33,9 @@ class SerialIp final : public sim::Component {
   std::uint64_t frames_to_noc() const { return frames_to_noc_; }
   std::uint64_t frames_to_host() const { return frames_to_host_; }
 
+  /// The IP's network interface (packet tracing, statistics).
+  noc::NetworkInterface& ni() { return ni_; }
+
  private:
   enum class State { kUnsync, kSwallow, kReady };
 

@@ -12,6 +12,7 @@ void UartTx::tick() {
       // Frame = start(0) + 8 data LSB-first + stop(1).
       shift_ = static_cast<std::uint16_t>((1u << 9) | (queue_.front() << 1));
       queue_.pop_front();
+      ++bytes_sent_;
       bit_index_ = 0;
       phase_ = 0;
       state_ = State::kShift;
@@ -32,6 +33,7 @@ void UartTx::reset() {
   shift_ = 0;
   bit_index_ = 0;
   phase_ = 0;
+  bytes_sent_ = 0;
 }
 
 void UartRx::tick() {
@@ -54,6 +56,7 @@ void UartRx::tick() {
         } else if (bit_index_ == 9) {
           if (level) {
             queue_.push_back(static_cast<std::uint8_t>(shift_));
+            ++bytes_received_;
           } else {
             ++framing_errors_;
           }
@@ -74,6 +77,7 @@ void UartRx::reset() {
   bit_index_ = 0;
   shift_ = 0;
   framing_errors_ = 0;
+  bytes_received_ = 0;
 }
 
 unsigned AutoBaud::tick() {

@@ -23,6 +23,9 @@ class UartTx {
   bool idle() const { return queue_.empty() && state_ == State::kIdle; }
   std::size_t backlog() const { return queue_.size(); }
 
+  /// Bytes whose frames started transmission (docs/OBSERVABILITY.md).
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
   /// One clock cycle; writes the line level.
   void tick();
 
@@ -38,6 +41,7 @@ class UartTx {
   std::uint16_t shift_ = 0;
   unsigned bit_index_ = 0;
   unsigned phase_ = 0;
+  std::uint64_t bytes_sent_ = 0;
 };
 
 /// Receive engine: samples a 1-bit line wire into a byte queue.
@@ -59,6 +63,9 @@ class UartRx {
   /// Framing errors observed (stop bit low).
   std::uint64_t framing_errors() const { return framing_errors_; }
 
+  /// Bytes successfully framed and queued (docs/OBSERVABILITY.md).
+  std::uint64_t bytes_received() const { return bytes_received_; }
+
   void tick();
 
   void reset();
@@ -73,6 +80,7 @@ class UartRx {
   unsigned bit_index_ = 0;
   std::uint16_t shift_ = 0;
   std::uint64_t framing_errors_ = 0;
+  std::uint64_t bytes_received_ = 0;
 };
 
 /// Auto-baud detector: measures the low pulse of the 0x55 sync byte's

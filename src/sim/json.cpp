@@ -1,0 +1,368 @@
+#include "sim/json.hpp"
+
+#include <array>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace mn::sim {
+
+namespace {
+
+void escape_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void write_number(std::string& out, double d, std::int64_t i, bool is_int) {
+  if (is_int) {
+    out += std::to_string(i);
+    return;
+  }
+  if (!std::isfinite(d)) {  // JSON has no inf/nan; emit null like browsers do
+    out += "null";
+    return;
+  }
+  if (d == std::floor(d) && std::abs(d) < 1e15) {
+    out += std::to_string(static_cast<std::int64_t>(d));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Trim to the shortest representation that round-trips.
+  for (int prec = 1; prec < 17; ++prec) {
+    char probe[32];
+    std::snprintf(probe, sizeof probe, "%.*g", prec, d);
+    if (std::strtod(probe, nullptr) == d) {
+      std::memcpy(buf, probe, sizeof probe);
+      break;
+    }
+  }
+  out += buf;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Json> run() {
+    skip_ws();
+    Json v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const std::string& msg) {
+    if (error_ && error_->empty()) {
+      *error_ = msg + " at offset " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Json& out) {
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': return parse_string_value(out);
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          out = Json(true);
+          return true;
+        }
+        return fail("invalid literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          out = Json(false);
+          return true;
+        }
+        return fail("invalid literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          out = Json(nullptr);
+          return true;
+        }
+        return fail("invalid literal");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(Json& out) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':' in object");
+      skip_ws();
+      Json v;
+      if (!parse_value(v)) return false;
+      out[key] = std::move(v);
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat('}')) return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parse_array(Json& out) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      Json v;
+      if (!parse_value(v)) return false;
+      out.push_back(std::move(v));
+      skip_ws();
+      if (eat(',')) continue;
+      if (eat(']')) return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_string_value(Json& out) {
+    std::string s;
+    if (!parse_string(s)) return false;
+    out = Json(std::move(s));
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') out |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') out |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') out |= static_cast<unsigned>(c - 'A' + 10);
+      else return fail("invalid \\u escape");
+    }
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!eat('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() &&
+              text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo >= 0xDC00 && lo <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              return fail("invalid surrogate pair");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (eat('-')) {}
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_int = true;
+    if (eat('.')) {
+      is_int = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_int = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return fail("invalid number");
+    if (is_int) {
+      std::int64_t v = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) {
+        out = Json(v);
+        return true;
+      }
+      // Fall through for out-of-range integers: keep them as doubles.
+    }
+    double d = 0;
+    const auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(),
+                                         d);
+    if (ec != std::errc{} || p != tok.data() + tok.size()) {
+      return fail("invalid number");
+    }
+    out = Json(d);
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent > 0) {
+      out += '\n';
+      out.append(static_cast<std::size_t>(indent * d), ' ');
+    }
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: write_number(out, num_, int_, is_int_); break;
+    case Type::kString: escape_string(out, str_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!arr_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        escape_string(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!obj_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+std::optional<Json> Json::parse(std::string_view text, std::string* error) {
+  if (error) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace mn::sim

@@ -1,0 +1,117 @@
+#pragma once
+// Minimal dependency-free JSON value: ordered objects, exact-integer
+// preservation, a writer and a strict parser. Shared by the metrics
+// registry snapshots, the Chrome trace exporter, the bench harness and
+// the mn-report aggregator — one implementation so every machine-readable
+// artifact the simulator emits round-trips through the same code.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mn::sim {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(unsigned v) : Json(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)), int_(v),
+        is_int_(true) {}
+  Json(std::uint64_t v)
+      : type_(Type::kNumber), num_(static_cast<double>(v)),
+        int_(static_cast<std::int64_t>(v)), is_int_(true) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return num_; }
+  std::int64_t as_int() const {
+    return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+  }
+  const std::string& as_string() const { return str_; }
+
+  // --- array ---
+  void push_back(Json v) {
+    type_ = Type::kArray;
+    arr_.push_back(std::move(v));
+  }
+  const std::vector<Json>& elements() const { return arr_; }
+  std::size_t size() const {
+    return is_array() ? arr_.size() : (is_object() ? obj_.size() : 0);
+  }
+  const Json& at(std::size_t i) const { return arr_[i]; }
+
+  // --- object (insertion-ordered; duplicate keys overwrite in place) ---
+  Json& operator[](const std::string& key) {
+    type_ = Type::kObject;
+    for (auto& [k, v] : obj_) {
+      if (k == key) return v;
+    }
+    obj_.emplace_back(key, Json{});
+    return obj_.back().second;
+  }
+  const Json* find(const std::string& key) const {
+    if (!is_object()) return nullptr;
+    for (const auto& [k, v] : obj_) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  const std::vector<std::pair<std::string, Json>>& items() const {
+    return obj_;
+  }
+
+  /// Serialize. `indent` = 0 gives compact one-line output; > 0 pretty
+  /// prints with that many spaces per level.
+  std::string dump(int indent = 0) const;
+
+  /// Strict parse of a complete JSON document (trailing whitespace ok).
+  /// Returns nullopt and fills `error` (when given) on malformed input.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::vector<std::pair<std::string, Json>> obj_;
+};
+
+}  // namespace mn::sim

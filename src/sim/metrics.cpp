@@ -1,0 +1,100 @@
+#include "sim/metrics.hpp"
+
+#include <cassert>
+
+namespace mn::sim {
+
+MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& path,
+                                                       Kind kind) {
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    assert(it->second.kind == kind &&
+           "metric path re-registered as a different kind");
+    return it->second;
+  }
+  Entry e;
+  e.kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+    case Kind::kSummary: e.summary = std::make_unique<Summary>(); break;
+    case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    case Kind::kProbe: break;
+  }
+  return entries_.emplace(path, std::move(e)).first->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& path) {
+  return *get_or_create(path, Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& path) {
+  return *get_or_create(path, Kind::kGauge).gauge;
+}
+
+Summary& MetricsRegistry::summary(const std::string& path) {
+  return *get_or_create(path, Kind::kSummary).summary;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& path) {
+  return *get_or_create(path, Kind::kHistogram).histogram;
+}
+
+void MetricsRegistry::probe(const std::string& path,
+                            std::function<double()> fn) {
+  Entry& e = get_or_create(path, Kind::kProbe);
+  e.probe = std::move(fn);
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [path, e] : entries_) out.push_back(path);
+  return out;  // std::map iteration order is already sorted
+}
+
+namespace {
+
+Json summary_json(const Summary& s) {
+  Json j = Json::object();
+  j["count"] = Json(s.count());
+  j["min"] = Json(s.min());
+  j["max"] = Json(s.max());
+  j["mean"] = Json(s.mean());
+  j["stddev"] = Json(s.stddev());
+  j["sum"] = Json(s.sum());
+  return j;
+}
+
+}  // namespace
+
+Json MetricsRegistry::snapshot() const {
+  Json root = Json::object();
+  for (const auto& [path, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        root[path] = Json(e.counter->value());
+        break;
+      case Kind::kGauge:
+        root[path] = Json(e.gauge->value());
+        break;
+      case Kind::kProbe:
+        root[path] = e.probe ? Json(e.probe()) : Json(nullptr);
+        break;
+      case Kind::kSummary:
+        root[path] = summary_json(*e.summary);
+        break;
+      case Kind::kHistogram: {
+        Json j = summary_json(e.histogram->summary());
+        j["p50"] = Json(e.histogram->p50());
+        j["p95"] = Json(e.histogram->p95());
+        j["p99"] = Json(e.histogram->p99());
+        root[path] = std::move(j);
+        break;
+      }
+    }
+  }
+  return root;
+}
+
+}  // namespace mn::sim

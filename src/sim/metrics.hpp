@@ -1,0 +1,109 @@
+#pragma once
+// System-wide metrics registry (docs/OBSERVABILITY.md).
+//
+// Components register named instruments under hierarchical dot-separated
+// paths ("router.0_1.east.flits_out", "proc.proc1.instructions") and the
+// registry renders a flat, alphabetically ordered JSON snapshot on
+// demand. Four owned instrument kinds — Counter (monotonic), Gauge
+// (settable level), Summary, Histogram — plus zero-cost lazy *probes*:
+// callbacks evaluated only at snapshot time, which is how components
+// expose counters they already keep (RouterStats, CPU counters, UART
+// byte counts) without paying anything on the simulation hot path.
+//
+// The registry lives inside sim::Simulator (sim.metrics()); components
+// built around a Simulator& self-register in their constructors. Probes
+// hold references into their component, so snapshot() must not be called
+// after the system model is destroyed.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/json.hpp"
+#include "sim/stats.hpp"
+
+namespace mn::sim {
+
+/// Monotonically increasing event count. There is deliberately no way to
+/// decrement or set it backwards.
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { v_ += by; }
+  std::uint64_t value() const { return v_; }
+
+ private:
+  friend class MetricsRegistry;
+  void zero() { v_ = 0; }
+  std::uint64_t v_ = 0;
+};
+
+/// Instantaneous level (queue depth, utilization, temperature-style).
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+
+ private:
+  double v_ = 0.0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create: the first call under a path creates the instrument,
+  /// later calls return the same object (stable address for the lifetime
+  /// of the registry). Requesting an existing path as a different kind
+  /// is a programming error and asserts in debug builds.
+  Counter& counter(const std::string& path);
+  Gauge& gauge(const std::string& path);
+  Summary& summary(const std::string& path);
+  Histogram& histogram(const std::string& path);
+
+  /// Register (or replace) a lazy metric evaluated at snapshot time.
+  void probe(const std::string& path, std::function<double()> fn);
+
+  bool contains(const std::string& path) const {
+    return entries_.count(path) != 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+  /// All registered paths, sorted.
+  std::vector<std::string> names() const;
+
+  /// Flat JSON object: path -> number for counters/gauges/probes, path ->
+  /// {count,min,max,mean,stddev,sum} for summaries (histograms add
+  /// p50/p95/p99). Keys are sorted, so the output is schema-stable.
+  Json snapshot() const;
+  std::string to_json(int indent = 2) const { return snapshot().dump(indent); }
+
+  /// Drop every instrument and probe (e.g. between experiment phases).
+  void clear() { entries_.clear(); }
+
+ private:
+  enum class Kind : std::uint8_t {
+    kCounter,
+    kGauge,
+    kSummary,
+    kHistogram,
+    kProbe,
+  };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Summary> summary;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> probe;
+  };
+
+  Entry& get_or_create(const std::string& path, Kind kind);
+
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mn::sim

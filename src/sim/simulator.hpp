@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sim/component.hpp"
+#include "sim/metrics.hpp"
 #include "sim/wire.hpp"
 
 namespace mn::sim {
@@ -23,6 +24,12 @@ class Simulator {
 
   /// Access the wire pool components should register their wires with.
   WirePool& wires() { return pool_; }
+
+  /// The system-wide metrics registry components register into
+  /// (docs/OBSERVABILITY.md). Snapshots are valid while the registered
+  /// components are alive.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
 
   void add(Component* c) { components_.push_back(c); }
 
@@ -50,6 +57,7 @@ class Simulator {
 
  private:
   WirePool pool_;
+  MetricsRegistry metrics_;
   std::vector<Component*> components_;
   std::vector<std::function<void(std::uint64_t)>> observers_;
   std::uint64_t cycle_ = 0;

@@ -1,0 +1,118 @@
+#include "sim/span_tracer.hpp"
+
+#include <fstream>
+
+namespace mn::sim {
+
+int SpanTracer::register_track(const std::string& name) {
+  track_names_.push_back(name);
+  return static_cast<int>(track_names_.size());  // tid 0 = packets track
+}
+
+std::uint32_t SpanTracer::begin_span(const std::string& name,
+                                     std::uint64_t cycle) {
+  const std::uint32_t id = next_id_++;
+  span_names_.push_back(name);
+  span_state_.push_back(1);
+  ++open_spans_;
+  events_.push_back(Event{'b', 0, cycle, 0, id, name});
+  return id;
+}
+
+void SpanTracer::end_span(std::uint32_t id, std::uint64_t cycle) {
+  if (id == 0 || id >= next_id_) return;
+  if (span_state_[id - 1] != 1) return;  // never opened or already closed
+  span_state_[id - 1] = 2;
+  --open_spans_;
+  events_.push_back(Event{'e', 0, cycle, 0, id, span_names_[id - 1]});
+}
+
+void SpanTracer::complete_event(int track, const char* name,
+                                std::uint64_t cycle, std::uint64_t dur_cycles,
+                                std::uint32_t span_id) {
+  events_.push_back(Event{'X', track, cycle, dur_cycles, span_id, name});
+}
+
+void SpanTracer::instant(int track, const char* name, std::uint64_t cycle) {
+  events_.push_back(Event{'i', track, cycle, 0, 0, name});
+}
+
+Json SpanTracer::to_json() const {
+  Json trace_events = Json::array();
+
+  // Metadata: process and track names, so viewers label the rows.
+  {
+    Json proc = Json::object();
+    proc["ph"] = Json("M");
+    proc["pid"] = Json(1);
+    proc["tid"] = Json(0);
+    proc["name"] = Json("process_name");
+    proc["args"] = Json::object();
+    proc["args"]["name"] = Json("multinoc");
+    trace_events.push_back(std::move(proc));
+
+    Json pkts = Json::object();
+    pkts["ph"] = Json("M");
+    pkts["pid"] = Json(1);
+    pkts["tid"] = Json(0);
+    pkts["name"] = Json("thread_name");
+    pkts["args"] = Json::object();
+    pkts["args"]["name"] = Json("packets");
+    trace_events.push_back(std::move(pkts));
+
+    for (std::size_t i = 0; i < track_names_.size(); ++i) {
+      Json m = Json::object();
+      m["ph"] = Json("M");
+      m["pid"] = Json(1);
+      m["tid"] = Json(static_cast<std::int64_t>(i + 1));
+      m["name"] = Json("thread_name");
+      m["args"] = Json::object();
+      m["args"]["name"] = Json(track_names_[i]);
+      trace_events.push_back(std::move(m));
+    }
+  }
+
+  for (const Event& e : events_) {
+    Json j = Json::object();
+    j["ph"] = Json(std::string(1, e.ph));
+    j["pid"] = Json(1);
+    j["tid"] = Json(e.tid);
+    j["ts"] = Json(e.ts);
+    j["name"] = Json(e.name);
+    switch (e.ph) {
+      case 'b':
+      case 'e':
+        j["cat"] = Json("packet");
+        j["id"] = Json(e.id);
+        break;
+      case 'X':
+        j["dur"] = Json(e.dur);
+        if (e.id != 0) {
+          j["args"] = Json::object();
+          j["args"]["packet"] = Json(e.id);
+        }
+        break;
+      case 'i':
+        j["s"] = Json("t");  // thread-scoped instant
+        break;
+      default: break;
+    }
+    trace_events.push_back(std::move(j));
+  }
+
+  Json root = Json::object();
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = Json("ms");
+  root["otherData"] = Json::object();
+  root["otherData"]["time_unit"] = Json("clock cycles (1 cycle = 1 us)");
+  return root;
+}
+
+bool SpanTracer::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_string(1) << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace mn::sim

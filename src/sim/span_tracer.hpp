@@ -1,0 +1,82 @@
+#pragma once
+// Packet/flit span tracer: records inject -> route -> eject lifetimes and
+// emits Chrome trace-event JSON (the format chrome://tracing, Perfetto
+// and speedscope load). Complements VcdTracer: VCD shows wire levels,
+// this shows packet lifetimes and per-port link occupancy.
+//
+//   sim::SpanTracer tracer;
+//   system.set_tracer(&tracer);        // MultiNoc: mesh + every NI
+//   ... run ...
+//   tracer.write("trace.json");        // open in https://ui.perfetto.dev
+//
+// Mapping (docs/OBSERVABILITY.md):
+//   * one async span ("b"/"e", cat "packet") per packet, from the cycle
+//     the source NI queued it to the cycle the sink NI reassembled it;
+//   * one named track (pid 1, tid = register_track order) per router
+//     output port, carrying a complete event ("X", 2-cycle duration —
+//     the handshake cost) per flit the port forwarded;
+//   * timestamps are clock cycles, reported in the trace's microsecond
+//     field (1 cycle == 1 us on the viewer's axis).
+//
+// Span ids are allocated centrally by begin_span() and travel in the
+// flits' simulation-only `trace_id` metadata, so inject/eject pairs match
+// up across network interfaces.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/json.hpp"
+
+namespace mn::sim {
+
+class SpanTracer {
+ public:
+  SpanTracer() = default;
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  /// Name a per-port (or per-component) track; returns the tid to pass
+  /// to complete_event()/instant().
+  int register_track(const std::string& name);
+
+  /// Open an async packet span; returns its id (never 0).
+  std::uint32_t begin_span(const std::string& name, std::uint64_t cycle);
+  /// Close a span opened by begin_span(). Unknown ids are ignored.
+  void end_span(std::uint32_t id, std::uint64_t cycle);
+
+  /// A duration event on a registered track ("X" phase).
+  void complete_event(int track, const char* name, std::uint64_t cycle,
+                      std::uint64_t dur_cycles, std::uint32_t span_id = 0);
+  /// A zero-duration marker on a registered track ("i" phase).
+  void instant(int track, const char* name, std::uint64_t cycle);
+
+  std::size_t event_count() const { return events_.size(); }
+  std::size_t open_span_count() const { return open_spans_; }
+  const std::vector<std::string>& tracks() const { return track_names_; }
+
+  /// The complete trace-event document.
+  Json to_json() const;
+  std::string to_string(int indent = 0) const { return to_json().dump(indent); }
+  /// Write to a file; returns false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct Event {
+    char ph;            ///< 'b', 'e', 'X' or 'i'
+    int tid;            ///< registered track, 0 = the packets track
+    std::uint64_t ts;   ///< cycle
+    std::uint64_t dur;  ///< 'X' only
+    std::uint32_t id;   ///< span id ('b'/'e') or owning packet ('X')
+    std::string name;
+  };
+
+  std::vector<std::string> track_names_;
+  std::vector<Event> events_;
+  std::vector<std::string> span_names_;  ///< indexed by span id - 1
+  std::vector<std::uint8_t> span_state_;  ///< 1 = open, 2 = closed
+  std::uint32_t next_id_ = 1;
+  std::size_t open_spans_ = 0;
+};
+
+}  // namespace mn::sim

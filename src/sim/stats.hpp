@@ -67,6 +67,11 @@ class Histogram {
     return bins_.rbegin()->first;
   }
 
+  /// Common latency quantiles (docs/OBSERVABILITY.md, bench output).
+  std::int64_t p50() const { return percentile(0.50); }
+  std::int64_t p95() const { return percentile(0.95); }
+  std::int64_t p99() const { return percentile(0.99); }
+
   void clear() {
     bins_.clear();
     summary_.clear();

@@ -55,4 +55,11 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
   }
 }
 
+void MultiNoc::set_tracer(sim::SpanTracer* tracer) {
+  mesh_->set_tracer(tracer);
+  serial_->ni().set_tracer(tracer);
+  for (auto& p : processors_) p->ni().set_tracer(tracer);
+  for (auto& m : memories_) m->ni().set_tracer(tracer);
+}
+
 }  // namespace mn::sys

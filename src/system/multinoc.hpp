@@ -55,6 +55,12 @@ class MultiNoc {
 
   const SystemConfig& config() const { return cfg_; }
 
+  /// Attach a packet/flit span tracer to the whole system: every router
+  /// output port gets a track and every network interface (serial,
+  /// processors, memories) opens/closes packet spans
+  /// (docs/OBSERVABILITY.md). nullptr detaches.
+  void set_tracer(sim::SpanTracer* tracer);
+
  private:
   SystemConfig cfg_;
   std::unique_ptr<sim::Wire<bool>> tx_;  ///< host -> system serial line

@@ -13,6 +13,27 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
       mem_logic_(mem_, cfg.self_addr),
       ni_(sim, this->name() + ".ni", to_router, from_router) {
   sim.add(this);
+  auto& m = sim.metrics();
+  const std::string prefix = "proc." + this->name() + ".";
+  m.probe(prefix + "instructions",
+          [this] { return static_cast<double>(cpu_.instructions()); });
+  m.probe(prefix + "cycles",
+          [this] { return static_cast<double>(cpu_.cycles()); });
+  m.probe(prefix + "stall_cycles",
+          [this] { return static_cast<double>(cpu_.stall_cycles()); });
+  m.probe(prefix + "cpi", [this] { return cpu_.cpi(); });
+  m.probe(prefix + "remote_reads",
+          [this] { return static_cast<double>(remote_reads_); });
+  m.probe(prefix + "remote_writes",
+          [this] { return static_cast<double>(remote_writes_); });
+  m.probe(prefix + "printfs",
+          [this] { return static_cast<double>(printfs_); });
+  m.probe(prefix + "scanfs",
+          [this] { return static_cast<double>(scanfs_); });
+  m.probe(prefix + "notifies_sent",
+          [this] { return static_cast<double>(notifies_sent_); });
+  m.probe(prefix + "waits_completed",
+          [this] { return static_cast<double>(waits_completed_); });
 }
 
 void ProcessorIp::eval() {

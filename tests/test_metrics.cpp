@@ -1,0 +1,173 @@
+// Metrics registry, Json round-trip and end-to-end wiring
+// (docs/OBSERVABILITY.md).
+#include <gtest/gtest.h>
+
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "sim/json.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace mn {
+namespace {
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableInstrument) {
+  sim::MetricsRegistry reg;
+  sim::Counter& a = reg.counter("noc.flits");
+  a.inc(3);
+  sim::Counter& b = reg.counter("noc.flits");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_TRUE(reg.contains("noc.flits"));
+  EXPECT_FALSE(reg.contains("noc.packets"));
+}
+
+TEST(MetricsRegistry, CounterIsMonotonic) {
+  sim::MetricsRegistry reg;
+  sim::Counter& c = reg.counter("events");
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t before = c.value();
+    c.inc(static_cast<std::uint64_t>(i % 3));
+    EXPECT_GE(c.value(), before);
+  }
+  EXPECT_EQ(c.value(), 99u);
+}
+
+TEST(MetricsRegistry, GaugeIsSettable) {
+  sim::MetricsRegistry reg;
+  sim::Gauge& g = reg.gauge("depth");
+  g.set(5.0);
+  g.set(2.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.0);
+}
+
+TEST(MetricsRegistry, ProbeEvaluatedLazilyAtSnapshot) {
+  sim::MetricsRegistry reg;
+  int calls = 0;
+  double level = 1.0;
+  reg.probe("fifo.fill", [&] {
+    ++calls;
+    return level;
+  });
+  EXPECT_EQ(calls, 0);  // registration alone never evaluates
+  level = 7.0;
+  const sim::Json snap = reg.snapshot();
+  EXPECT_EQ(calls, 1);
+  ASSERT_TRUE(snap.contains("fifo.fill"));
+  EXPECT_DOUBLE_EQ(snap.find("fifo.fill")->as_number(), 7.0);
+}
+
+TEST(MetricsRegistry, NamesAreSorted) {
+  sim::MetricsRegistry reg;
+  reg.counter("z.last");
+  reg.counter("a.first");
+  reg.gauge("m.middle");
+  const auto names = reg.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a.first");
+  EXPECT_EQ(names[1], "m.middle");
+  EXPECT_EQ(names[2], "z.last");
+}
+
+TEST(MetricsRegistry, SnapshotHistogramHasPercentiles) {
+  sim::MetricsRegistry reg;
+  sim::Histogram& h = reg.histogram("lat");
+  for (int v = 1; v <= 100; ++v) h.add(v);
+  const sim::Json snap = reg.snapshot();
+  const sim::Json* lat = snap.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_int(), 100);
+  EXPECT_EQ(lat->find("p50")->as_int(), 50);
+  EXPECT_EQ(lat->find("p95")->as_int(), 95);
+  EXPECT_EQ(lat->find("p99")->as_int(), 99);
+  EXPECT_EQ(lat->find("max")->as_int(), 100);
+}
+
+TEST(HistogramPercentiles, ShortcutsMatchPercentile) {
+  sim::Histogram h;
+  for (int v = 0; v < 1000; ++v) h.add(v);
+  EXPECT_EQ(h.p50(), h.percentile(0.50));
+  EXPECT_EQ(h.p95(), h.percentile(0.95));
+  EXPECT_EQ(h.p99(), h.percentile(0.99));
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+}
+
+TEST(MetricsRegistry, SnapshotRoundTripsThroughParser) {
+  sim::MetricsRegistry reg;
+  reg.counter("c").inc(42);
+  reg.gauge("g").set(2.5);
+  reg.probe("p", [] { return -3.0; });
+  sim::Histogram& h = reg.histogram("h");
+  h.add(10);
+  h.add(20);
+
+  const std::string text = reg.to_json();
+  std::string error;
+  const auto parsed = sim::Json::parse(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->find("c")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(parsed->find("g")->as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(parsed->find("p")->as_number(), -3.0);
+  EXPECT_EQ(parsed->find("h")->find("count")->as_int(), 2);
+  EXPECT_EQ(parsed->find("h")->find("min")->as_int(), 10);
+  EXPECT_EQ(parsed->find("h")->find("max")->as_int(), 20);
+}
+
+TEST(Json, ParserHandlesEscapesAndIntegers) {
+  std::string error;
+  const auto j = sim::Json::parse(
+      R"({"s": "a\"b\nA", "i": 9007199254740993, "d": 0.5,
+          "arr": [1, true, null]})",
+      &error);
+  ASSERT_TRUE(j.has_value()) << error;
+  EXPECT_EQ(j->find("s")->as_string(), "a\"b\nA");
+  // 2^53 + 1 is not representable as a double; exact int preservation.
+  EXPECT_EQ(j->find("i")->as_int(), 9007199254740993LL);
+  EXPECT_DOUBLE_EQ(j->find("d")->as_number(), 0.5);
+  EXPECT_EQ(j->find("arr")->size(), 3u);
+  EXPECT_TRUE(j->find("arr")->at(1).as_bool());
+  EXPECT_TRUE(j->find("arr")->at(2).is_null());
+}
+
+TEST(Json, ParserRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(sim::Json::parse("{\"a\": }", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(sim::Json::parse("[1, 2", nullptr).has_value());
+  EXPECT_FALSE(sim::Json::parse("{} trailing", nullptr).has_value());
+}
+
+// A mesh and its NIs self-register probes in sim.metrics(); after real
+// traffic the NoC aggregate counters must be visible and positive.
+TEST(MetricsWiring, MeshAndNiProbesAppearInSnapshot) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 2, 2);
+  noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                            mesh.local_out(0, 0));
+  noc::NetworkInterface dst(sim, "dst", mesh.local_in(1, 1),
+                            mesh.local_out(1, 1));
+
+  noc::Packet p;
+  p.target = noc::encode_xy({1, 1});
+  p.payload = {1, 2, 3, 4};
+  src.send_packet(p);
+  ASSERT_TRUE(sim.run_until([&] { return dst.has_packet(); }, 100000));
+
+  const sim::Json snap = sim.metrics().snapshot();
+  ASSERT_TRUE(snap.contains("noc.flits_forwarded"));
+  EXPECT_GT(snap.find("noc.flits_forwarded")->as_number(), 0.0);
+  // packets_routed counts routing decisions: one per router on the
+  // (0,0)->(1,0)->(1,1) path.
+  EXPECT_DOUBLE_EQ(snap.find("noc.packets_routed")->as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(snap.find("ni.src.packets_sent")->as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(snap.find("ni.dst.packets_received")->as_number(), 1.0);
+  // Per-router and per-port probes exist for every router in the mesh.
+  EXPECT_TRUE(snap.contains("router.0_0.flits_forwarded"));
+  EXPECT_TRUE(snap.contains("router.1_1.local.flits_out"));
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,0 +1,102 @@
+// mn-report: merge per-bench mn-bench-v1 JSON records into one
+// machine-readable suite file (docs/OBSERVABILITY.md §"Bench JSON").
+//   mn-report -o BENCH_multinoc.json build/bench-json/*.json
+// Inputs that are missing or fail to parse are reported and skipped; the
+// exit status is non-zero if any input was bad so CI can notice.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/json.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: mn-report [-o out.json] bench1.json ...\n");
+      return 0;
+    } else {
+      inputs.emplace_back(argv[i]);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr, "mn-report: no input files\n");
+    return 1;
+  }
+
+  using mn::sim::Json;
+  Json suite = Json::object();
+  suite["schema"] = Json("mn-bench-suite-v1");
+  Json benches = Json::object();
+
+  int bad = 0;
+  std::size_t total_metrics = 0;
+  for (const auto& path : inputs) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::fprintf(stderr, "mn-report: cannot read %s\n", path.c_str());
+      ++bad;
+      continue;
+    }
+    std::string error;
+    std::optional<Json> doc = Json::parse(text, &error);
+    if (!doc) {
+      std::fprintf(stderr, "mn-report: %s: %s\n", path.c_str(),
+                   error.c_str());
+      ++bad;
+      continue;
+    }
+    const Json* schema = doc->find("schema");
+    const Json* bench = doc->find("bench");
+    if (!schema || schema->as_string() != "mn-bench-v1" || !bench) {
+      std::fprintf(stderr, "mn-report: %s: not an mn-bench-v1 record\n",
+                   path.c_str());
+      ++bad;
+      continue;
+    }
+    const Json* metrics = doc->find("metrics");
+    const Json* notes = doc->find("notes");
+    if (metrics) total_metrics += metrics->size();
+    Json entry = Json::object();
+    entry["metrics"] = metrics ? *metrics : Json::object();
+    entry["notes"] = notes ? *notes : Json::object();
+    benches[bench->as_string()] = std::move(entry);
+  }
+  suite["benches"] = std::move(benches);
+
+  const std::string text = suite.dump(1) + "\n";
+  if (out_path.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "mn-report: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << text;
+    std::fprintf(stderr, "mn-report: %zu benches, %zu metrics -> %s\n",
+                 suite["benches"].size(), total_metrics, out_path.c_str());
+  }
+  return bad == 0 ? 0 : 1;
+}
