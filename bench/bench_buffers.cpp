@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
   print_tables(rep);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return rep.flush() ? 0 : 1;
 }

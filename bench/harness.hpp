@@ -9,8 +9,13 @@
 //     print_tables(rep);
 //     benchmark::Initialize(&argc, argv);
 //     benchmark::RunSpecifiedBenchmarks();
-//     return 0;
+//     return rep.flush() ? 0 : 1;
 //   }
+//
+// main() must flush explicitly and propagate the failure: the destructor
+// also flushes as a backstop but has no way to fail the process, and a
+// silently unwritten --json file would drop a data point from the
+// BENCH_multinoc.json merge.
 //
 // Flags:
 //   --json <path> / --json=<path>   write the schema-stable JSON record
@@ -59,7 +64,8 @@ class JsonReporter {
   JsonReporter(const JsonReporter&) = delete;
   JsonReporter& operator=(const JsonReporter&) = delete;
 
-  ~JsonReporter() { flush(); }
+  // Backstop only; failure is reported via the explicit flush() in main().
+  ~JsonReporter() { static_cast<void>(flush()); }
 
   bool enabled() const { return !path_.empty(); }
   const std::string& bench_name() const { return name_; }
@@ -79,8 +85,10 @@ class JsonReporter {
   }
 
   /// Write the JSON file (no-op without --json). Returns false on I/O
-  /// failure. Called automatically on destruction.
-  bool flush() {
+  /// failure. Called automatically on destruction as a backstop, but the
+  /// destructor cannot report failure -- call this from main() and turn
+  /// `false` into a nonzero exit code.
+  [[nodiscard]] bool flush() {
     if (path_.empty() || flushed_) return true;
     flushed_ = true;
     sim::Json root = sim::Json::object();

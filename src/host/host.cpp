@@ -15,6 +15,7 @@ Host::Host(sim::Simulator& sim, sys::MultiNoc& system, unsigned divisor)
       tx_(system.pin_tx(), divisor),
       rx_(system.pin_rx(), divisor) {
   sim.add(this);
+  system.pin_rx().wake_on_change(this);  // system-to-host start bits
 }
 
 void Host::sync() { send_byte(serial::kSyncByte); }

@@ -107,6 +107,11 @@ class Host final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Idle iff both UART engines are between frames with empty queues; a
+  /// start bit from the system arrives as a pin_rx wake (registered in
+  /// the constructor), and every command API call refills tx_.
+  bool quiescent() const override { return tx_.idle() && rx_.idle(); }
+
  private:
   void send_byte(std::uint8_t b) {
     tx_.send(b);

@@ -52,6 +52,7 @@ MemoryIp::MemoryIp(sim::Simulator& sim, std::string name,
       ni_(sim, this->name() + ".ni", to_router, from_router),
       logic_(mem_, self_addr) {
   sim.add(this);
+  sim.co_schedule(this, &ni_);  // replies are queued by direct NI calls
   sim.metrics().probe(
       "mem." + this->name() + ".requests_served",
       [this] { return static_cast<double>(requests_served_); });

@@ -51,6 +51,12 @@ class MemoryIp final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Idle iff no request awaits service and no reply can leave (nothing
+  /// pending, or the NI is still shifting the previous packet out).
+  bool quiescent() const override {
+    return !ni_.has_packet() && (pending_replies_.empty() || !ni_.tx_idle());
+  }
+
   BankedMemory& storage() { return mem_; }
   const BankedMemory& storage() const { return mem_; }
   noc::NetworkInterface& ni() { return ni_; }

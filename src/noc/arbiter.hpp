@@ -2,6 +2,7 @@
 // Round-robin arbiter (paper §2.1: "A round-robin arbitration scheme is
 // used to avoid starvation").
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -15,7 +16,13 @@ class RoundRobinArbiter {
   explicit RoundRobinArbiter(std::size_t n) : n_(n) {}
 
   /// Grant one of the requesting indices, or -1 when none request.
+  /// `requests` must carry exactly one lane per arbitrated index; an
+  /// undersized vector would be an out-of-bounds read, so a mismatched
+  /// size asserts in debug builds and denies every grant in release.
   int arbitrate(const std::vector<bool>& requests) {
+    assert(requests.size() == n_ &&
+           "arbiter request vector size must match arbiter width");
+    if (requests.size() != n_) return -1;
     for (std::size_t i = 0; i < n_; ++i) {
       const std::size_t idx = (last_ + 1 + i) % n_;
       if (requests[idx]) {

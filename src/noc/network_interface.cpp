@@ -14,6 +14,9 @@ NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
       rx_fifo_(rx_buffer_flits),
       rx_(from_router, rx_fifo_) {
   sim.add(this);
+  from_router.tx.wake_on_change(this);  // router offers a flit
+  to_router.ack.wake_on_change(this);   // router accepted our flit
+
   auto& m = sim.metrics();
   const std::string prefix = "ni." + this->name() + ".";
   m.probe(prefix + "packets_sent",

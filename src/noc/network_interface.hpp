@@ -56,6 +56,15 @@ class NetworkInterface final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Idle iff the transmit side cannot make progress (nothing queued, or
+  /// the link handshake is still outstanding) and no received flit awaits
+  /// reassembly. The constructor registers wake sensitivity on the
+  /// router-side tx/ack wires; send_packet() needs no explicit wake
+  /// because a non-empty queue with a ready link already fails this test.
+  bool quiescent() const override {
+    return (tx_queue_.empty() || !tx_.ready()) && rx_fifo_.empty();
+  }
+
  private:
   sim::Simulator* sim_;
   LinkSender tx_;

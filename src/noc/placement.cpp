@@ -115,6 +115,7 @@ class MatrixNode final : public sim::Component {
         rng_(seed ^ (ip * 0x9E3779B9ull)),
         nx_(mesh.nx()) {
     sim.add(this);
+    sim.co_schedule(this, &ni_);  // injector drives the NI by direct calls
   }
 
   void eval() override {

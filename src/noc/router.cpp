@@ -29,10 +29,12 @@ Router::Router(XY address, const RouterConfig& cfg)
 void Router::connect_in(Port p, LinkWires& w) {
   auto& in = inputs_[static_cast<std::size_t>(p)];
   in.rx.emplace(w, in.fifo);
+  w.tx.wake_on_change(this);  // new flit offered while gated off
 }
 
 void Router::connect_out(Port p, LinkWires& w) {
   outputs_[static_cast<std::size_t>(p)].tx.emplace(w);
+  w.ack.wake_on_change(this);  // downstream accepted, link free again
 }
 
 void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {

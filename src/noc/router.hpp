@@ -53,6 +53,17 @@ class Router final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Idle iff the control logic has no decision in flight and every input
+  /// is drained and disconnected. Arriving flits re-activate the router
+  /// through the link tx/ack wires registered in connect_in/connect_out.
+  bool quiescent() const override {
+    if (control_timer_ != 0 || pending_input_ >= 0) return false;
+    for (const auto& in : inputs_) {
+      if (!in.fifo.empty() || in.out >= 0) return false;
+    }
+    return true;
+  }
+
   XY address() const { return addr_; }
   const RouterConfig& config() const { return cfg_; }
   const RouterStats& stats() const { return stats_; }

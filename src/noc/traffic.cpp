@@ -23,6 +23,7 @@ TrafficNode::TrafficNode(sim::Simulator& sim, Mesh& mesh, XY here,
       rng_(cfg.seed ^ (std::uint64_t(here.x) << 32) ^
            (std::uint64_t(here.y) << 40)) {
   sim.add(this);
+  sim.co_schedule(this, &ni_);  // injector drives the NI by direct calls
 }
 
 XY TrafficNode::pick_destination() {

@@ -16,6 +16,8 @@ SerialIp::SerialIp(sim::Simulator& sim, std::string name,
       rxd_(&rxd),
       ni_(sim, this->name() + ".ni", to_router, from_router) {
   sim.add(this);
+  sim.co_schedule(this, &ni_);  // SerialIp drives the NI by direct calls
+  rxd.wake_on_change(this);     // host activity re-arms rx/auto-baud
   auto& m = sim.metrics();
   const std::string prefix = "serial." + this->name() + ".";
   m.probe(prefix + "frames_to_noc",
@@ -30,6 +32,26 @@ SerialIp::SerialIp(sim::Simulator& sim, std::string name,
           [this] { return static_cast<double>(rx_.framing_errors()); });
   m.probe(prefix + "baud_locked",
           [this] { return baud_locked() ? 1.0 : 0.0; });
+}
+
+bool SerialIp::quiescent() const {
+  // Work queued toward either side keeps the IP active.
+  if (ni_.has_packet()) return false;
+  if (!to_noc_.empty() && ni_.tx_idle()) return false;
+  if (!tx_.idle()) return false;
+  switch (state_) {
+    case State::kUnsync:
+      // Only the auto-baud detector runs; idle depends on the line level
+      // (a level change wakes us via rxd_'s watcher list).
+      return autobaud_.idle(rxd_->read());
+    case State::kSwallow:
+      return false;  // counting consecutive high cycles, every cycle matters
+    case State::kReady:
+      // rx_.idle() covers both "mid-frame" and "byte awaiting parse"; a
+      // start-bit edge on a quiet line arrives as an rxd_ wake.
+      return rx_.idle();
+  }
+  return false;
 }
 
 void SerialIp::eval() {

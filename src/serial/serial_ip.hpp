@@ -25,6 +25,7 @@ class SerialIp final : public sim::Component {
 
   void eval() override;
   void reset() override;
+  bool quiescent() const override;
 
   bool baud_locked() const { return state_ != State::kUnsync; }
   unsigned divisor() const { return rx_.divisor(); }

@@ -54,6 +54,11 @@ class UartRx {
   unsigned divisor() const { return divisor_; }
 
   bool has_byte() const { return !queue_.empty(); }
+
+  /// True when tick() is a no-op while the line stays high: not currently
+  /// sampling a frame and no received byte awaits consumption.
+  bool idle() const { return state_ == State::kIdle && queue_.empty(); }
+
   std::uint8_t pop_byte() {
     const std::uint8_t b = queue_.front();
     queue_.pop_front();
@@ -95,6 +100,16 @@ class AutoBaud {
 
   bool locked() const { return locked_; }
   unsigned divisor() const { return divisor_; }
+
+  /// True when tick() would not change detector state at the given line
+  /// level: locked, or waiting for an edge the level has not produced.
+  /// While actively counting the sync pulse every cycle matters.
+  bool idle(bool level) const {
+    if (locked_) return true;
+    if (counting_) return false;
+    if (!saw_high_) return !level;  // waiting for idle-high
+    return level;                   // waiting for the falling edge
+  }
 
   void reset();
 

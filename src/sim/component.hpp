@@ -9,6 +9,16 @@ namespace mn::sim {
 /// A clocked hardware block. The simulator calls eval() once per cycle;
 /// eval() must read input wires (previous-cycle values), update internal
 /// state, and write output wires (visible next cycle).
+///
+/// Activity gating: a component may additionally override quiescent() to
+/// tell the kernel that, as long as none of its input wires change, its
+/// eval() would be a strict no-op (no internal state change, no wire value
+/// change, no counter increment). The kernel then skips the eval() call
+/// until either quiescent() turns false (new work arrived through a
+/// non-wire path, e.g. a queued packet) or a watched input wire changes
+/// value at commit time (see WireBase::wake_on_change), which sets the
+/// wake flag consumed by take_wake(). The contract is strict equivalence:
+/// a skipped eval() must be indistinguishable from a executed one.
 class Component {
  public:
   explicit Component(std::string name) : name_(std::move(name)) {}
@@ -23,10 +33,26 @@ class Component {
   /// Return to the power-on state. Wires are reset separately by the kernel.
   virtual void reset() = 0;
 
+  /// True when eval() would be a strict no-op given unchanged input wires.
+  /// The default is conservative: never quiescent, always evaluated.
+  virtual bool quiescent() const { return false; }
+
+  /// Re-activate the component; called by WirePool when a watched input
+  /// wire changes at commit, and by the kernel after reset().
+  void wake() { wake_ = true; }
+
+  /// Consume the wake flag (kernel-internal, once per cycle).
+  bool take_wake() {
+    const bool w = wake_;
+    wake_ = false;
+    return w;
+  }
+
   const std::string& name() const { return name_; }
 
  private:
   std::string name_;
+  bool wake_ = true;  ///< evaluate at least once after construction/reset
 };
 
 }  // namespace mn::sim

@@ -6,6 +6,7 @@ namespace mn::sim {
 
 MetricsRegistry::Entry& MetricsRegistry::get_or_create(const std::string& path,
                                                        Kind kind) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = entries_.find(path);
   if (it != entries_.end()) {
     assert(it->second.kind == kind &&
@@ -43,10 +44,12 @@ Histogram& MetricsRegistry::histogram(const std::string& path) {
 void MetricsRegistry::probe(const std::string& path,
                             std::function<double()> fn) {
   Entry& e = get_or_create(path, Kind::kProbe);
+  std::lock_guard<std::mutex> lk(mu_);
   e.probe = std::move(fn);
 }
 
 std::vector<std::string> MetricsRegistry::names() const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [path, e] : entries_) out.push_back(path);
@@ -69,6 +72,7 @@ Json summary_json(const Summary& s) {
 }  // namespace
 
 Json MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
   Json root = Json::object();
   for (const auto& [path, e] : entries_) {
     switch (e.kind) {

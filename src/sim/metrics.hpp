@@ -15,10 +15,12 @@
 // hold references into their component, so snapshot() must not be called
 // after the system model is destroyed.
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -28,26 +30,29 @@
 namespace mn::sim {
 
 /// Monotonically increasing event count. There is deliberately no way to
-/// decrement or set it backwards.
+/// decrement or set it backwards. Increments are atomic so components
+/// evaluated on different kernel worker threads (Simulator::set_threads)
+/// may share a counter.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { v_ += by; }
-  std::uint64_t value() const { return v_; }
+  void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
   friend class MetricsRegistry;
-  void zero() { v_ = 0; }
-  std::uint64_t v_ = 0;
+  void zero() { v_.store(0, std::memory_order_relaxed); }
+  std::atomic<std::uint64_t> v_{0};
 };
 
 /// Instantaneous level (queue depth, utilization, temperature-style).
+/// set() is an atomic store, safe against concurrent snapshot readers.
 class Gauge {
  public:
-  void set(double v) { v_ = v; }
-  double value() const { return v_; }
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double value() const { return v_.load(std::memory_order_relaxed); }
 
  private:
-  double v_ = 0.0;
+  std::atomic<double> v_{0.0};
 };
 
 class MetricsRegistry {
@@ -69,9 +74,13 @@ class MetricsRegistry {
   void probe(const std::string& path, std::function<double()> fn);
 
   bool contains(const std::string& path) const {
+    std::lock_guard<std::mutex> lk(mu_);
     return entries_.count(path) != 0;
   }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return entries_.size();
+  }
   /// All registered paths, sorted.
   std::vector<std::string> names() const;
 
@@ -82,7 +91,10 @@ class MetricsRegistry {
   std::string to_json(int indent = 2) const { return snapshot().dump(indent); }
 
   /// Drop every instrument and probe (e.g. between experiment phases).
-  void clear() { entries_.clear(); }
+  void clear() {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries_.clear();
+  }
 
  private:
   enum class Kind : std::uint8_t {
@@ -103,6 +115,10 @@ class MetricsRegistry {
 
   Entry& get_or_create(const std::string& path, Kind kind);
 
+  // Guards the entry map (registration can race with eval-thread lookups
+  // under parallel evaluation); std::map nodes are stable, so returned
+  // instrument references stay valid without the lock.
+  mutable std::mutex mu_;
   std::map<std::string, Entry> entries_;
 };
 

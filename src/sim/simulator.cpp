@@ -1,22 +1,168 @@
 #include "sim/simulator.hpp"
 
+#include <condition_variable>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <unordered_map>
+
 namespace mn::sim {
 
+// ---------------------------------------------------------------------------
+// ParallelEngine: persistent worker pool with a start/done barrier.
+//
+// run(job) executes job(w) for every worker id w in [0, threads): id 0 on
+// the calling thread, ids 1..threads-1 on pool threads. run() returns only
+// after every job finished, which orders all worker writes before the
+// subsequent commit phase on the calling thread.
+// ---------------------------------------------------------------------------
+class Simulator::ParallelEngine {
+ public:
+  explicit ParallelEngine(unsigned helpers) {
+    workers_.reserve(helpers);
+    for (unsigned i = 0; i < helpers; ++i) {
+      workers_.emplace_back([this, i] { worker_loop(i + 1); });
+    }
+  }
+
+  ~ParallelEngine() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_start_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+  unsigned width() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  void run(const std::function<void(unsigned)>& job) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      job_ = &job;
+      remaining_ = static_cast<unsigned>(workers_.size());
+      ++epoch_;
+    }
+    cv_start_.notify_all();
+    job(0);
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [this] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+
+ private:
+  void worker_loop(unsigned id) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+      cv_start_.wait(lk, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      const auto* job = job_;
+      lk.unlock();
+      (*job)(id);
+      lk.lock();
+      if (--remaining_ == 0) cv_done_.notify_one();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  unsigned remaining_ = 0;
+  bool stop_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Simulator
+// ---------------------------------------------------------------------------
+
+Simulator::Simulator() {
+  metrics_.probe("sim.kernel.evals",
+                 [this] { return static_cast<double>(evals_); });
+  metrics_.probe("sim.kernel.skipped_evals",
+                 [this] { return static_cast<double>(skipped_evals_); });
+  metrics_.probe("sim.kernel.fast_forward_cycles", [this] {
+    return static_cast<double>(fast_forward_cycles_);
+  });
+  metrics_.probe("sim.kernel.active_components", [this] {
+    return static_cast<double>(last_step_evals_);
+  });
+  metrics_.probe("sim.kernel.threads",
+                 [this] { return static_cast<double>(threads_); });
+  metrics_.probe("sim.kernel.gating",
+                 [this] { return gating_ ? 1.0 : 0.0; });
+}
+
+Simulator::~Simulator() = default;
+
+void Simulator::co_schedule(Component* a, Component* b) {
+  affinity_.emplace_back(a, b);
+  partition_dirty_ = true;
+}
+
+void Simulator::set_threads(unsigned n) {
+  if (n < 1) n = 1;
+  if (n == threads_) return;
+  threads_ = n;
+  partition_dirty_ = true;
+  engine_.reset();  // rebuilt lazily at the next parallel step
+}
+
 void Simulator::reset() {
-  for (Component* c : components_) c->reset();
+  for (Component* c : components_) {
+    c->reset();
+    c->wake();  // first post-reset cycle evaluates everything
+  }
   pool_.reset_all();
   cycle_ = 0;
+  last_step_evals_ = 0;
+  last_step_wire_changes_ = 0;
+}
+
+std::size_t Simulator::eval_shard(const std::vector<Component*>& shard) {
+  std::size_t evals = 0;
+  for (Component* c : shard) {
+    const bool woken = c->take_wake();
+    if (!gating_ || woken || !c->quiescent()) {
+      c->eval();
+      ++evals;
+    }
+  }
+  return evals;
 }
 
 void Simulator::step() {
-  for (Component* c : components_) c->eval();
-  pool_.commit_all();
+  std::size_t evals;
+  if (threads_ > 1 && components_.size() > 1) {
+    evals = eval_parallel();
+  } else {
+    evals = eval_shard(components_);
+  }
+  evals_ += evals;
+  skipped_evals_ += components_.size() - evals;
+  last_step_evals_ = evals;
+  last_step_wire_changes_ = pool_.commit_all();
   ++cycle_;
   for (auto& cb : observers_) cb(cycle_);
 }
 
 void Simulator::run(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) step();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    step();
+    if (i + 1 < n && can_fast_forward()) {
+      // Nothing evaluated and no wire changed: the system is frozen and
+      // every remaining step would be identical. Jump the clock.
+      const std::uint64_t remaining = n - i - 1;
+      cycle_ += remaining;
+      fast_forward_cycles_ += remaining;
+      skipped_evals_ += remaining * components_.size();
+      return;
+    }
+  }
 }
 
 bool Simulator::run_until(const std::function<bool()>& pred,
@@ -24,8 +170,80 @@ bool Simulator::run_until(const std::function<bool()>& pred,
   for (std::uint64_t i = 0; i < max_cycles; ++i) {
     if (pred()) return true;
     step();
+    if (can_fast_forward()) {
+      // Frozen: only the cycle counter can affect pred() from here on,
+      // so advance it one tick per "virtual" step without evaluating.
+      for (++i; i < max_cycles; ++i) {
+        if (pred()) return true;
+        ++cycle_;
+        ++fast_forward_cycles_;
+        skipped_evals_ += components_.size();
+      }
+      return pred();
+    }
   }
   return pred();
+}
+
+std::size_t Simulator::eval_parallel() {
+  if (partition_dirty_) rebuild_partition();
+  if (!engine_ || engine_->width() != threads_) {
+    engine_ = std::make_unique<ParallelEngine>(threads_ - 1);
+  }
+  shard_evals_.assign(shards_.size(), 0);
+  engine_->run([this](unsigned w) { shard_evals_[w] = eval_shard(shards_[w]); });
+  return std::accumulate(shard_evals_.begin(), shard_evals_.end(),
+                         std::size_t{0});
+}
+
+void Simulator::rebuild_partition() {
+  const std::size_t n = components_.size();
+
+  // Union-find over registration indices: co_scheduled components merge
+  // into one eval group that must stay on a single worker.
+  std::unordered_map<Component*, std::size_t> index;
+  index.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) index[components_[i]] = i;
+
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+  auto find = [&parent](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const auto& [a, b] : affinity_) {
+    const auto ia = index.find(a);
+    const auto ib = index.find(b);
+    if (ia == index.end() || ib == index.end()) continue;
+    const std::size_t ra = find(ia->second);
+    const std::size_t rb = find(ib->second);
+    if (ra != rb) parent[rb] = ra;
+  }
+
+  // Groups ordered by their first member's registration index; members
+  // keep registration order within the group (an NI registers before the
+  // IP that owns it, and the IP's eval consumes what the NI produced the
+  // same cycle -- that ordering is part of the modelled timing).
+  std::unordered_map<std::size_t, std::size_t> root_to_group;
+  std::vector<std::vector<Component*>> groups;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] = root_to_group.try_emplace(root, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(components_[i]);
+  }
+
+  // Deterministic round-robin of groups over the shards; shard 0 runs on
+  // the calling thread.
+  shards_.assign(threads_, {});
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    auto& shard = shards_[g % threads_];
+    shard.insert(shard.end(), groups[g].begin(), groups[g].end());
+  }
+  partition_dirty_ = false;
 }
 
 }  // namespace mn::sim

@@ -1,9 +1,12 @@
 #pragma once
-// Cycle-based synchronous simulation kernel.
+// Cycle-based synchronous simulation kernel with activity gating and
+// optional parallel evaluation (DESIGN.md "Simulation kernel").
 
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/component.hpp"
@@ -17,10 +20,27 @@ namespace mn::sim {
 ///      next-cycle values;
 ///   2. every wire commits.
 ///
+/// Activity gating (on by default): a component whose quiescent() is true
+/// and whose wake flag is clear is skipped in phase 1. WirePool::commit_all
+/// wakes the watchers of every wire that changed value, so a skipped
+/// component is re-evaluated the cycle after any watched input toggles.
+/// When a whole step evaluates nothing and changes no wire the system is
+/// provably frozen; run()/run_until() then fast-forward the cycle counter
+/// instead of stepping (unless a per-cycle observer is registered).
+/// Gated and ungated runs are bit-identical in wire state, component state
+/// and metrics -- see tests/test_kernel_equivalence.cpp.
+///
+/// Parallel evaluation (opt-in via set_threads): phase 1 is partitioned
+/// across a small thread pool with a barrier before commit_all. Components
+/// that communicate by direct method calls instead of wires (an IP and its
+/// embedded NetworkInterface) must be co-scheduled onto the same worker
+/// with co_schedule(); within a group, registration order is preserved.
+///
 /// The kernel owns neither components nor wires; the system model does.
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
 
   /// Access the wire pool components should register their wires with.
   WirePool& wires() { return pool_; }
@@ -31,7 +51,28 @@ class Simulator {
   MetricsRegistry& metrics() { return metrics_; }
   const MetricsRegistry& metrics() const { return metrics_; }
 
-  void add(Component* c) { components_.push_back(c); }
+  void add(Component* c) {
+    components_.push_back(c);
+    c->wake();  // evaluate at least once, as the ungated kernel would
+    partition_dirty_ = true;
+  }
+
+  /// Declare that `a` and `b` exchange state through direct method calls
+  /// (not wires) and must therefore evaluate on the same thread, in
+  /// registration order, when parallel evaluation is enabled. No-op for
+  /// single-threaded runs. Either pointer may be registered later.
+  void co_schedule(Component* a, Component* b);
+
+  /// Enable/disable activity gating (default: enabled). With gating off
+  /// every component evaluates every cycle, as the original kernel did;
+  /// this is the reference behaviour for equivalence tests and benches.
+  void set_gating(bool on) { gating_ = on; }
+  bool gating() const { return gating_; }
+
+  /// Number of eval threads (default 1 = fully deterministic in-order
+  /// evaluation on the calling thread). Values are clamped to >= 1.
+  void set_threads(unsigned n);
+  unsigned threads() const { return threads_; }
 
   /// Reset all components and wires and zero the cycle counter.
   void reset();
@@ -39,11 +80,13 @@ class Simulator {
   /// Advance one clock cycle.
   void step();
 
-  /// Advance n cycles.
+  /// Advance n cycles (fast-forwarding through frozen stretches).
   void run(std::uint64_t n);
 
   /// Step until pred() is true or `max_cycles` more cycles elapse.
-  /// Returns true if the predicate fired.
+  /// Returns true if the predicate fired. `pred` must be a pure
+  /// observation (it is also consulted during fast-forward, when no
+  /// component state can change between calls).
   bool run_until(const std::function<bool()>& pred,
                  std::uint64_t max_cycles =
                      std::numeric_limits<std::uint64_t>::max());
@@ -51,16 +94,53 @@ class Simulator {
   std::uint64_t cycle() const { return cycle_; }
 
   /// Register a callback invoked after every cycle commit (tracing hooks).
+  /// The presence of any observer disables whole-system fast-forward so
+  /// the callback still fires once per simulated cycle.
   void on_cycle(std::function<void(std::uint64_t)> cb) {
     observers_.push_back(std::move(cb));
   }
 
+  /// Kernel activity counters (also exported as sim.kernel.* probes).
+  std::uint64_t evals() const { return evals_; }
+  std::uint64_t skipped_evals() const { return skipped_evals_; }
+  std::uint64_t fast_forward_cycles() const { return fast_forward_cycles_; }
+  std::size_t active_components() const { return last_step_evals_; }
+
  private:
+  class ParallelEngine;  // thread pool + barrier (simulator.cpp)
+
+  bool can_fast_forward() const {
+    return gating_ && observers_.empty() && last_step_evals_ == 0 &&
+           last_step_wire_changes_ == 0;
+  }
+
+  /// Run one gated eval over [begin, end) of `shard`; returns evals done.
+  std::size_t eval_shard(const std::vector<Component*>& shard);
+
+  std::size_t eval_parallel();
+  void rebuild_partition();
+
   WirePool pool_;
   MetricsRegistry metrics_;
   std::vector<Component*> components_;
   std::vector<std::function<void(std::uint64_t)>> observers_;
   std::uint64_t cycle_ = 0;
+
+  // --- activity gating ---
+  bool gating_ = true;
+  std::uint64_t evals_ = 0;
+  std::uint64_t skipped_evals_ = 0;
+  std::uint64_t fast_forward_cycles_ = 0;
+  std::size_t last_step_evals_ = 0;
+  std::size_t last_step_wire_changes_ = 0;
+
+  // --- parallel evaluation ---
+  unsigned threads_ = 1;
+  bool partition_dirty_ = true;
+  std::vector<std::pair<Component*, Component*>> affinity_;
+  std::vector<std::vector<Component*>> shards_;
+  std::vector<std::size_t> shard_evals_;
+  std::unique_ptr<ParallelEngine> engine_;
 };
 
 }  // namespace mn::sim

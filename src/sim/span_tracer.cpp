@@ -5,12 +5,14 @@
 namespace mn::sim {
 
 int SpanTracer::register_track(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   track_names_.push_back(name);
   return static_cast<int>(track_names_.size());  // tid 0 = packets track
 }
 
 std::uint32_t SpanTracer::begin_span(const std::string& name,
                                      std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lk(mu_);
   const std::uint32_t id = next_id_++;
   span_names_.push_back(name);
   span_state_.push_back(1);
@@ -20,6 +22,7 @@ std::uint32_t SpanTracer::begin_span(const std::string& name,
 }
 
 void SpanTracer::end_span(std::uint32_t id, std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lk(mu_);
   if (id == 0 || id >= next_id_) return;
   if (span_state_[id - 1] != 1) return;  // never opened or already closed
   span_state_[id - 1] = 2;
@@ -30,14 +33,17 @@ void SpanTracer::end_span(std::uint32_t id, std::uint64_t cycle) {
 void SpanTracer::complete_event(int track, const char* name,
                                 std::uint64_t cycle, std::uint64_t dur_cycles,
                                 std::uint32_t span_id) {
+  std::lock_guard<std::mutex> lk(mu_);
   events_.push_back(Event{'X', track, cycle, dur_cycles, span_id, name});
 }
 
 void SpanTracer::instant(int track, const char* name, std::uint64_t cycle) {
+  std::lock_guard<std::mutex> lk(mu_);
   events_.push_back(Event{'i', track, cycle, 0, 0, name});
 }
 
 Json SpanTracer::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
   Json trace_events = Json::array();
 
   // Metadata: process and track names, so viewers label the rows.

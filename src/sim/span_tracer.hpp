@@ -23,6 +23,7 @@
 // up across network interfaces.
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,8 +52,16 @@ class SpanTracer {
   /// A zero-duration marker on a registered track ("i" phase).
   void instant(int track, const char* name, std::uint64_t cycle);
 
-  std::size_t event_count() const { return events_.size(); }
-  std::size_t open_span_count() const { return open_spans_; }
+  std::size_t event_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return events_.size();
+  }
+  std::size_t open_span_count() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return open_spans_;
+  }
+  /// Track registration happens at system construction time (single
+  /// threaded); the returned reference is stable afterwards.
   const std::vector<std::string>& tracks() const { return track_names_; }
 
   /// The complete trace-event document.
@@ -71,6 +80,10 @@ class SpanTracer {
     std::string name;
   };
 
+  // Serializes mutation from kernel worker threads (set_threads > 1).
+  // Note: span *ids* are allocated in arrival order, so a trace recorded
+  // under parallel evaluation is race-free but not id-deterministic.
+  mutable std::mutex mu_;
   std::vector<std::string> track_names_;
   std::vector<Event> events_;
   std::vector<std::string> span_names_;  ///< indexed by span id - 1

@@ -55,14 +55,20 @@ class Histogram {
   const Summary& summary() const { return summary_; }
 
   /// Value at or below which `q` (0..1) of samples fall; 0 when empty.
+  /// Nearest-rank definition: the smallest value whose cumulative count
+  /// reaches ceil(q * N). (A truncating q*(N-1) rank under-reports tail
+  /// quantiles on small samples: p99 of 100 distinct values landed on
+  /// rank 98 instead of 99.)
   std::int64_t percentile(double q) const {
-    if (summary_.count() == 0) return 0;
-    const auto target = static_cast<std::uint64_t>(
-        q * static_cast<double>(summary_.count() - 1));
+    const std::uint64_t n = summary_.count();
+    if (n == 0) return 0;
+    auto rank =
+        static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(n)));
+    rank = std::clamp<std::uint64_t>(rank, 1, n);
     std::uint64_t seen = 0;
     for (const auto& [value, count] : bins_) {
       seen += count;
-      if (seen > target) return value;
+      if (seen >= rank) return value;
     }
     return bins_.rbegin()->first;
   }

@@ -7,20 +7,39 @@
 // after all components evaluated, every wire commits next -> current.
 // This makes the simulation order-independent and race-free, and gives the
 // same timing as synchronous RTL with registered outputs.
+//
+// Commit additionally reports whether the committed value differs from the
+// previous one; the pool uses that edge to wake components that registered
+// change sensitivity on the wire (activity gating, see component.hpp).
+//
+// The pool only commits wires that were actually written this cycle: a
+// write() enqueues the wire on a dirty list, so idle cycles cost O(written
+// wires), not O(all wires). A wire that is not written holds its value, as
+// before — skipping its commit is a strict no-op.
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "sim/component.hpp"
+
 namespace mn::sim {
+
+class WirePool;
 
 /// Type-erased base so the simulator can commit all wires uniformly.
 class WireBase {
+  friend class WirePool;
+
  public:
   virtual ~WireBase() = default;
 
   /// Latch the value written this cycle so it becomes visible next cycle.
-  virtual void commit() = 0;
+  /// Returns true when the committed value differs from the previous one
+  /// (or when the payload is not equality-comparable and a change must be
+  /// assumed).
+  virtual bool commit() = 0;
 
   /// Restore the power-on value (used by Simulator::reset()).
   virtual void reset_to_initial() = 0;
@@ -32,13 +51,25 @@ class WireBase {
   /// Bit width hint for trace output.
   virtual unsigned trace_width() const = 0;
 
+  /// Register `c` as change-sensitive: whenever commit() latches a new
+  /// value, the pool calls c->wake() so the gated kernel re-evaluates it.
+  void wake_on_change(Component* c) { watchers_.push_back(c); }
+
+  const std::vector<Component*>& watchers() const { return watchers_; }
+
   const std::string& name() const { return name_; }
 
  protected:
   explicit WireBase(std::string name) : name_(std::move(name)) {}
 
+  /// True while the wire sits on its pool's dirty list awaiting commit.
+  /// Only the wire's (single) driver touches this during eval; the pool
+  /// clears it during the serial commit phase.
+  bool pending_ = false;
+
  private:
   std::string name_;
+  std::vector<Component*> watchers_;
 };
 
 /// Registry owning nothing; collects wires so the kernel can commit them.
@@ -46,18 +77,44 @@ class WirePool {
  public:
   void add(WireBase* w) { wires_.push_back(w); }
 
-  void commit_all() {
-    for (WireBase* w : wires_) w->commit();
+  /// Enqueue a wire for the next commit_all(). Called by Wire::write() on
+  /// the first write of a cycle; the mutex makes concurrent first-writes
+  /// from parallel eval shards safe (each wire still has a single driver,
+  /// so the wire's own state is not contended).
+  void mark_dirty(WireBase* w) {
+    std::lock_guard<std::mutex> lock(mu_);
+    dirty_.push_back(w);
+  }
+
+  /// Commit the wires written this cycle; wake watchers of wires whose
+  /// value changed. Returns the number of wires that changed value.
+  std::size_t commit_all() {
+    std::size_t changed = 0;
+    for (WireBase* w : dirty_) {
+      w->pending_ = false;
+      if (w->commit()) {
+        ++changed;
+        for (Component* c : w->watchers()) c->wake();
+      }
+    }
+    dirty_.clear();
+    return changed;
   }
 
   void reset_all() {
-    for (WireBase* w : wires_) w->reset_to_initial();
+    for (WireBase* w : wires_) {
+      w->pending_ = false;
+      w->reset_to_initial();
+    }
+    dirty_.clear();
   }
 
   const std::vector<WireBase*>& wires() const { return wires_; }
 
  private:
   std::vector<WireBase*> wires_;
+  std::vector<WireBase*> dirty_;
+  std::mutex mu_;
 };
 
 /// A single-driver signal with current/next phases.
@@ -70,6 +127,7 @@ class Wire final : public WireBase {
  public:
   Wire(WirePool& pool, std::string name, T initial = T{})
       : WireBase(std::move(name)),
+        pool_(&pool),
         initial_(initial),
         cur_(initial),
         nxt_(initial) {
@@ -83,9 +141,28 @@ class Wire final : public WireBase {
   const T& read() const { return cur_; }
 
   /// Schedule the value for the next cycle.
-  void write(const T& v) { nxt_ = v; }
+  void write(const T& v) {
+    nxt_ = v;
+    if (!pending_) {
+      pending_ = true;
+      pool_->mark_dirty(this);
+    }
+  }
 
-  void commit() override { cur_ = nxt_; }
+  bool commit() override {
+    if constexpr (requires(const T& a, const T& b) {
+                    static_cast<bool>(a == b);
+                  }) {
+      const bool changed = !static_cast<bool>(cur_ == nxt_);
+      cur_ = nxt_;
+      return changed;
+    } else {
+      // Payload has no operator==: conservatively report a change so
+      // watchers are never starved.
+      cur_ = nxt_;
+      return true;
+    }
+  }
 
   void reset_to_initial() override {
     cur_ = initial_;
@@ -113,6 +190,7 @@ class Wire final : public WireBase {
   }
 
  private:
+  WirePool* pool_;
   T initial_;
   T cur_;
   T nxt_;

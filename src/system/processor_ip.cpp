@@ -13,6 +13,7 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
       mem_logic_(mem_, cfg.self_addr),
       ni_(sim, this->name() + ".ni", to_router, from_router) {
   sim.add(this);
+  sim.co_schedule(this, &ni_);  // control logic drives the NI directly
   auto& m = sim.metrics();
   const std::string prefix = "proc." + this->name() + ".";
   m.probe(prefix + "instructions",
@@ -34,6 +35,25 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
           [this] { return static_cast<double>(notifies_sent_); });
   m.probe(prefix + "waits_completed",
           [this] { return static_cast<double>(waits_completed_); });
+}
+
+bool ProcessorIp::quiescent() const {
+  // Any ingress or egress backlog keeps the control logic busy.
+  if (ni_.has_packet() || !cpu_out_.empty() || !mem_out_.empty()) {
+    return false;
+  }
+  // A halted CPU ticks as a no-op (no counters move). A CPU stalled on a
+  // memory reply or scanf is NOT idle: tick() still accrues cycle and
+  // stall-cycle counts, which must match the ungated kernel exactly.
+  if (cpu_.halted()) return true;
+  // The wait *service* freezes the whole IP before cpu_.tick(): eval
+  // returns without touching any state until a notify packet arrives
+  // (which flips ni_.has_packet() and re-activates us).
+  if (external_wait_ != 0) {
+    const auto it = notifies_pending_.find(external_wait_);
+    return it == notifies_pending_.end() || it->second == 0;
+  }
+  return false;
 }
 
 void ProcessorIp::eval() {

@@ -44,6 +44,7 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
 
   void eval() override;
   void reset() override;
+  bool quiescent() const override;
 
   r8::Cpu& cpu() { return cpu_; }
   const r8::Cpu& cpu() const { return cpu_; }

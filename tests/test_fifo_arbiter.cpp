@@ -150,6 +150,30 @@ TEST_P(ArbiterProperty, NoStarvationUnderRandomLoad) {
 INSTANTIATE_TEST_SUITE_P(Sizes, ArbiterProperty,
                          ::testing::Values(2, 3, 5, 8));
 
+// Regression: a request vector whose size does not match the arbiter
+// width used to be read out of bounds; it must now deny every grant (and
+// assert in debug builds) instead of touching memory past the vector.
+TEST(Arbiter, MismatchedRequestVectorIsRejected) {
+#ifdef NDEBUG
+  noc::RoundRobinArbiter arb(5);
+  EXPECT_EQ(arb.arbitrate(std::vector<bool>{}), -1);
+  EXPECT_EQ(arb.arbitrate(std::vector<bool>(3, true)), -1);
+  EXPECT_EQ(arb.arbitrate(std::vector<bool>(8, true)), -1);
+  // A well-formed vector still arbitrates normally afterwards.
+  std::vector<bool> req(5, false);
+  req[2] = true;
+  EXPECT_EQ(arb.arbitrate(req), 2);
+#else
+  // Debug builds surface the contract violation immediately.
+  EXPECT_DEATH(
+      {
+        noc::RoundRobinArbiter arb(5);
+        (void)arb.arbitrate(std::vector<bool>(3, true));
+      },
+      "request vector size");
+#endif
+}
+
 /// Property: grants are conserved — with all requesting, shares are equal.
 TEST(Arbiter, EqualSharesUnderFullLoad) {
   noc::RoundRobinArbiter arb(5);

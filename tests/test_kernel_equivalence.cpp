@@ -1,0 +1,143 @@
+// Kernel equivalence (ISSUE 2 / DESIGN.md "Simulation kernel"): the
+// activity-gated kernel and the parallel eval phase are pure
+// optimizations. Running the full edge-detection system — boot, program
+// download, wait/notify, scanf/printf, remote memory traffic — must
+// produce bit-identical results whether components are gated, always
+// evaluated, or evaluated across a thread pool: same output image, same
+// cycle count, same final memory images, same wire states, same metric
+// snapshot (modulo the sim.kernel.* activity counters themselves).
+//
+// This test carries the `tsan` ctest label: re-run it in a -DMN_TSAN=ON
+// build to prove the thread-pool path race-free (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/edge_detection.hpp"
+#include "apps/image.hpp"
+#include "host/host.hpp"
+#include "mem/blockram.hpp"
+#include "sim/json.hpp"
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+struct RunResult {
+  bool ok = false;
+  apps::Image out;
+  std::uint64_t cycles = 0;
+  std::uint64_t evals = 0;
+  std::vector<std::vector<std::uint16_t>> memories;  // procs, then MemoryIp
+  std::vector<std::uint64_t> wire_values;
+  std::string metrics;  // without the sim.kernel.* self-measurements
+};
+
+std::vector<std::uint16_t> dump(mem::BankedMemory& m) {
+  std::vector<std::uint16_t> words(mem::BankedMemory::kWords);
+  for (std::size_t a = 0; a < words.size(); ++a) {
+    words[a] = m.read(static_cast<std::uint16_t>(a));
+  }
+  return words;
+}
+
+/// Every metric except the kernel's own activity counters, rendered
+/// name=value per line (names are sorted, so the text is canonical).
+std::string metrics_without_kernel(const sim::Simulator& sim) {
+  const sim::Json snap = sim.metrics().snapshot();
+  std::string text;
+  for (const std::string& name : sim.metrics().names()) {
+    if (name.rfind("sim.kernel.", 0) == 0) continue;
+    text += name + "=" + snap.find(name)->dump() + "\n";
+  }
+  return text;
+}
+
+RunResult run_edge(bool gating, unsigned threads) {
+  sim::Simulator sim;
+  sim.set_gating(gating);
+  sim.set_threads(threads);
+  sys::MultiNoc system(sim);
+  host::Host host(sim, system, 8);
+  RunResult r;
+  if (!host.boot()) return r;
+
+  const apps::Image img = apps::synthetic_image(16, 8, 42);
+  r.out = apps::run_parallel_edge_detection(sim, system, host, img, 2);
+  if (r.out != apps::golden_edge(img)) return r;
+
+  r.cycles = sim.cycle();
+  r.evals = sim.evals();
+  for (std::size_t i = 0; i < system.processor_count(); ++i) {
+    r.memories.push_back(dump(system.processor(i).local_memory()));
+  }
+  for (std::size_t i = 0; i < system.memory_count(); ++i) {
+    r.memories.push_back(dump(system.memory(i).storage()));
+  }
+  for (const sim::WireBase* w : sim.wires().wires()) {
+    r.wire_values.push_back(w->trace_value());
+  }
+  r.metrics = metrics_without_kernel(sim);
+  r.ok = true;
+  return r;
+}
+
+void expect_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.memories, b.memories);
+  EXPECT_EQ(a.wire_values, b.wire_values);
+  EXPECT_EQ(a.metrics, b.metrics);
+}
+
+TEST(KernelEquivalence, GatedMatchesAlwaysEval) {
+  const RunResult gated = run_edge(/*gating=*/true, /*threads=*/1);
+  const RunResult ungated = run_edge(/*gating=*/false, /*threads=*/1);
+  expect_identical(gated, ungated);
+  // The gate must actually engage: same simulated cycles, far fewer
+  // component evaluations.
+  EXPECT_LT(gated.evals, ungated.evals / 2);
+}
+
+TEST(KernelEquivalence, ParallelMatchesSingleThread) {
+  const RunResult one = run_edge(/*gating=*/true, /*threads=*/1);
+  const RunResult four = run_edge(/*gating=*/true, /*threads=*/4);
+  expect_identical(one, four);
+  // Partitioning must not change what gets evaluated, only where.
+  EXPECT_EQ(one.evals, four.evals);
+}
+
+TEST(KernelEquivalence, ParallelAlwaysEvalMatchesSeedKernel) {
+  const RunResult serial = run_edge(/*gating=*/false, /*threads=*/1);
+  const RunResult parallel = run_edge(/*gating=*/false, /*threads=*/3);
+  expect_identical(serial, parallel);
+}
+
+TEST(KernelFastForward, FrozenSystemJumpsTheClock) {
+  sim::Simulator sim;
+  sim::Wire<int> w(sim.wires(), "w", 7);
+  sim.run(1'000'000);
+  EXPECT_EQ(sim.cycle(), 1'000'000u);
+  // After the first (empty) step proves the system frozen, the remaining
+  // cycles are a jump, not a loop.
+  EXPECT_GT(sim.fast_forward_cycles(), 0u);
+  EXPECT_EQ(w.read(), 7);
+}
+
+TEST(KernelFastForward, ObserverDisablesFastForward) {
+  sim::Simulator sim;
+  std::uint64_t ticks = 0;
+  sim.on_cycle([&](std::uint64_t) { ++ticks; });
+  sim.run(1000);
+  EXPECT_EQ(sim.cycle(), 1000u);
+  EXPECT_EQ(ticks, 1000u);  // every cycle observed, no jump
+  EXPECT_EQ(sim.fast_forward_cycles(), 0u);
+}
+
+}  // namespace
+}  // namespace mn

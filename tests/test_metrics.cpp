@@ -85,6 +85,34 @@ TEST(MetricsRegistry, SnapshotHistogramHasPercentiles) {
   EXPECT_EQ(lat->find("max")->as_int(), 100);
 }
 
+// Regression: the old truncating q*(count-1) rank under-reported tail
+// percentiles on small samples (p99 of 100 distinct values hit rank 98).
+// Nearest-rank: percentile(q) = smallest value whose cumulative count
+// reaches ceil(q*N), clamped to [1, N].
+TEST(HistogramPercentiles, NearestRankOnKnownDistribution) {
+  sim::Histogram h;
+  for (int v = 1; v <= 10; ++v) h.add(v);  // N = 10, values 1..10
+  EXPECT_EQ(h.percentile(0.0), 1);   // rank clamps up to 1
+  EXPECT_EQ(h.percentile(0.10), 1);  // ceil(1.0) = 1
+  EXPECT_EQ(h.percentile(0.15), 2);  // ceil(1.5) = 2
+  EXPECT_EQ(h.percentile(0.50), 5);  // ceil(5.0) = 5
+  EXPECT_EQ(h.percentile(0.95), 10); // ceil(9.5) = 10 (old code said 9)
+  EXPECT_EQ(h.percentile(0.99), 10); // ceil(9.9) = 10
+  EXPECT_EQ(h.percentile(1.0), 10);
+
+  // Repeated values: ranks resolve through the cumulative counts.
+  sim::Histogram g;
+  for (int i = 0; i < 97; ++i) g.add(1);
+  g.add(50);
+  g.add(99);
+  g.add(100);  // N = 100
+  EXPECT_EQ(g.percentile(0.50), 1);
+  EXPECT_EQ(g.percentile(0.97), 1);    // rank 97 is the last 1
+  EXPECT_EQ(g.percentile(0.98), 50);   // rank 98
+  EXPECT_EQ(g.percentile(0.99), 99);   // rank 99 (old code said 50)
+  EXPECT_EQ(g.percentile(1.0), 100);   // rank 100 = the maximum
+}
+
 TEST(HistogramPercentiles, ShortcutsMatchPercentile) {
   sim::Histogram h;
   for (int v = 0; v < 1000; ++v) h.add(v);
