@@ -27,9 +27,16 @@
 //   {
 //     "schema": "mn-bench-v1",
 //     "bench": "bench_latency",
+//     "meta":    { "git_sha": "...", "compiler": "...",
+//                  "build_type": "..." },
 //     "metrics": { "<name>": {"value": <number>, "unit": "<unit>"} },
 //     "notes":   { "<key>": "<text>" }
 //   }
+//
+// The meta block records build provenance so a BENCH_multinoc.json data
+// point can be traced to the commit/toolchain that produced it. The
+// values come from compile definitions set by bench/CMakeLists.txt
+// (MN_GIT_SHA is captured at configure time).
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +44,16 @@
 #include <string>
 
 #include "sim/json.hpp"
+
+#ifndef MN_GIT_SHA
+#define MN_GIT_SHA "unknown"
+#endif
+#ifndef MN_COMPILER
+#define MN_COMPILER "unknown"
+#endif
+#ifndef MN_BUILD_TYPE
+#define MN_BUILD_TYPE "unknown"
+#endif
 
 namespace mn::bench {
 
@@ -94,6 +111,11 @@ class JsonReporter {
     sim::Json root = sim::Json::object();
     root["schema"] = sim::Json("mn-bench-v1");
     root["bench"] = sim::Json(name_);
+    sim::Json meta = sim::Json::object();
+    meta["git_sha"] = sim::Json(MN_GIT_SHA);
+    meta["compiler"] = sim::Json(MN_COMPILER);
+    meta["build_type"] = sim::Json(MN_BUILD_TYPE);
+    root["meta"] = std::move(meta);
     root["metrics"] = std::move(metrics_);
     root["notes"] = std::move(notes_);
     std::ofstream out(path_);

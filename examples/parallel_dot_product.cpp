@@ -63,8 +63,10 @@ int main() {
   std::printf("parallel phase: %llu cycles; remote reads P1=%llu P2=%llu; "
               "notify packets=%llu\n",
               static_cast<unsigned long long>(sim.cycle() - start),
-              static_cast<unsigned long long>(system.processor(0).remote_reads()),
-              static_cast<unsigned long long>(system.processor(1).remote_reads()),
+              static_cast<unsigned long long>(
+                  system.processor(0).remote_reads()),
+              static_cast<unsigned long long>(
+                  system.processor(1).remote_reads()),
               static_cast<unsigned long long>(
                   system.processor(1).notifies_sent()));
   return result == expected ? 0 : 1;

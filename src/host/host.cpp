@@ -170,18 +170,37 @@ std::optional<std::vector<std::uint16_t>> Host::read_memory_blocking(
     std::uint8_t target, std::uint16_t addr, std::uint16_t count,
     std::uint64_t max_cycles) {
   read_memory(target, addr, count);
-  std::vector<std::uint16_t> words;
-  const bool ok = sim_->run_until(
-      [&] {
-        while (has_read_result()) {
-          ReadResult r = pop_read_result();
-          words.insert(words.end(), r.words.begin(), r.words.end());
+  // Assemble by address, not arrival order: under the reliability layer a
+  // retried request can duplicate read-return frames, and chunked replies
+  // may interleave with leftovers of an earlier attempt.
+  std::vector<std::uint16_t> words(count, 0);
+  std::vector<bool> have(count, false);
+  std::size_t missing = count;
+  auto drain = [&] {
+    while (has_read_result()) {
+      ReadResult r = pop_read_result();
+      for (std::size_t i = 0; i < r.words.size(); ++i) {
+        const std::uint32_t off =
+            static_cast<std::uint32_t>(r.addr + i) - addr;
+        if (off < count && !have[off]) {
+          have[off] = true;
+          words[off] = r.words[i];
+          --missing;
         }
-        return words.size() >= count;
-      },
-      max_cycles);
-  if (!ok) return std::nullopt;
-  words.resize(count);
+      }
+    }
+    return missing == 0;
+  };
+  // One end-to-end retry at half budget when the system runs with request
+  // retry enabled: a read request or reply lost beyond what the link layer
+  // can recover (e.g. coherent corruption) is re-issued once.
+  const bool retry = system_->reliability().e2e_retry_timeout != 0;
+  if (!sim_->run_until(drain, retry ? max_cycles / 2 : max_cycles)) {
+    if (!retry) return std::nullopt;
+    noc::bump(system_->reliability().recovery.e2e_retries);
+    read_memory(target, addr, count);
+    if (!sim_->run_until(drain, max_cycles / 2)) return std::nullopt;
+  }
   return words;
 }
 

@@ -19,7 +19,7 @@ bool MemoryServiceLogic::handle(const noc::ServiceMessage& msg,
     case Service::kReadMem: {
       // Chunk the reply to the packet payload budget.
       const std::size_t max_words =
-          noc::max_words_per_packet(Service::kReadReturn);
+          noc::max_words_per_packet(Service::kReadReturn, e2e_);
       std::uint16_t addr = msg.addr;
       std::uint32_t remaining = msg.count;
       do {
@@ -47,10 +47,12 @@ bool MemoryServiceLogic::handle(const noc::ServiceMessage& msg,
 
 MemoryIp::MemoryIp(sim::Simulator& sim, std::string name,
                    std::uint8_t self_addr, noc::LinkWires& to_router,
-                   noc::LinkWires& from_router)
+                   noc::LinkWires& from_router, noc::Reliability* rel)
     : sim::Component(std::move(name)),
-      ni_(sim, this->name() + ".ni", to_router, from_router),
+      rel_(rel),
+      ni_(sim, this->name() + ".ni", to_router, from_router, 8, rel),
       logic_(mem_, self_addr) {
+  logic_.set_e2e(e2e());
   sim.add(this);
   sim.co_schedule(this, &ni_);  // replies are queued by direct NI calls
   sim.metrics().probe(
@@ -62,15 +64,17 @@ void MemoryIp::eval() {
   // Handle one incoming request per cycle (single control logic).
   if (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    const auto msg = noc::decode(rp.packet, logic_.self_addr());
+    const auto msg = noc::decode(rp.packet, logic_.self_addr(), e2e());
     if (msg && logic_.handle(*msg, pending_replies_)) {
       ++requests_served_;
+    } else if (!msg && rel_) {
+      noc::bump(rel_->recovery.e2e_drops);
     }
   }
   // Stream out replies; wait for the NI to drain before queuing the next
   // packet (models the single shared NoC interface).
   if (!pending_replies_.empty() && ni_.tx_idle()) {
-    ni_.send_packet(noc::encode(pending_replies_.front()));
+    ni_.send_packet(noc::encode(pending_replies_.front(), e2e()));
     pending_replies_.pop_front();
   }
 }

@@ -37,16 +37,23 @@ class MemoryServiceLogic {
   std::uint8_t self_addr() const { return self_; }
   void set_self_addr(std::uint8_t a) { self_ = a; }
 
+  /// Shrink reply chunks by the end-to-end checksum flit (fault.hpp).
+  void set_e2e(bool e2e) { e2e_ = e2e; }
+
  private:
   BankedMemory* mem_;
   std::uint8_t self_;
+  bool e2e_ = false;
 };
 
 /// Standalone remote Memory IP component.
 class MemoryIp final : public sim::Component {
  public:
+  /// `rel` (optional) enables link protection / fault injection on the
+  /// Local-port links and the end-to-end packet checksum.
   MemoryIp(sim::Simulator& sim, std::string name, std::uint8_t self_addr,
-           noc::LinkWires& to_router, noc::LinkWires& from_router);
+           noc::LinkWires& to_router, noc::LinkWires& from_router,
+           noc::Reliability* rel = nullptr);
 
   void eval() override;
   void reset() override;
@@ -64,7 +71,10 @@ class MemoryIp final : public sim::Component {
   std::uint64_t requests_served() const { return requests_served_; }
 
  private:
+  bool e2e() const { return rel_ && rel_->e2e_checksum; }
+
   BankedMemory mem_;
+  noc::Reliability* rel_ = nullptr;
   noc::NetworkInterface ni_;
   MemoryServiceLogic logic_;
   std::deque<noc::ServiceMessage> pending_replies_;

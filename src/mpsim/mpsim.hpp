@@ -125,7 +125,7 @@ class MultiSim {
   /// Last executed instructions, oldest first.
   std::vector<TraceEntry> trace(unsigned proc) const;
 
-  // ---- inspection ------------------------------------------------------------
+  // ---- inspection -----------------------------------------------------------
 
   unsigned processor_count() const {
     return static_cast<unsigned>(procs_.size());

@@ -1,0 +1,107 @@
+#include "noc/fault.hpp"
+
+namespace mn::noc {
+
+std::uint8_t crc8(std::uint8_t data) {
+  std::uint8_t crc = data;
+  for (int bit = 0; bit < 8; ++bit) {
+    crc = static_cast<std::uint8_t>((crc & 0x80) ? (crc << 1) ^ 0x07
+                                                 : crc << 1);
+  }
+  return crc;
+}
+
+namespace {
+
+/// FNV-1a over the link name: stable stream ids across runs and builds.
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultStream FaultInjector::stream(const std::string& name, bool local_link) {
+  return FaultStream(this, fnv1a(name), local_link);
+}
+
+bool FaultStream::active() {
+  if (!inj_ || !inj_->armed()) return false;
+  const FaultConfig& cfg = inj_->cfg_;
+  if (local_ ? !cfg.local_links : !cfg.mesh_links) return false;
+  // Reseed on first use after every (re)configuration: decisions depend
+  // only on (seed, link name, draw index), never on global draw order.
+  const std::uint64_t epoch = inj_->epoch();
+  if (epoch_seen_ != epoch) {
+    epoch_seen_ = epoch;
+    rng_ = sim::Xoshiro256(sim::stream_seed(cfg.seed ^ epoch, id_));
+  }
+  return true;
+}
+
+bool FaultStream::drop_offer() {
+  if (!active()) return false;
+  const FaultConfig& cfg = inj_->cfg_;
+  if (cfg.drop_rate <= 0.0 || !rng_.chance(cfg.drop_rate)) return false;
+  bump(inj_->counters_.drops);
+  return true;
+}
+
+void FaultStream::corrupt(Flit& f) {
+  if (!active()) return;
+  const FaultConfig& cfg = inj_->cfg_;
+  // Coherent (CRC-escaping) faults model residual datapath errors and are
+  // confined to payload flits: a coherent hit on a header or size flit
+  // would desynchronize wormhole framing itself, which no packet-level
+  // mechanism can resynchronize — the campaign could no longer attribute
+  // delivered vs. lost packets. Raw `flip` faults still hit every flit;
+  // the link-level CRC recovers those.
+  if (cfg.coherent_rate > 0.0 && !f.is_ctrl &&
+      rng_.chance(cfg.coherent_rate)) {
+    f.data ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    f.crc = crc8(f.data);  // recomputed: escapes the link-level code
+    bump(inj_->counters_.coherent);
+    return;
+  }
+  if (cfg.flip_rate > 0.0 && rng_.chance(cfg.flip_rate)) {
+    f.data ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+    bump(inj_->counters_.flips);
+  }
+}
+
+bool FaultStream::drop_response() {
+  if (!active()) return false;
+  const FaultConfig& cfg = inj_->cfg_;
+  if (cfg.stall_rate <= 0.0 || !rng_.chance(cfg.stall_rate)) return false;
+  bump(inj_->counters_.stalls);
+  return true;
+}
+
+void Reliability::register_metrics(sim::MetricsRegistry& m) {
+  auto probe = [&m](const std::string& name,
+                    const std::atomic<std::uint64_t>& c) {
+    const std::atomic<std::uint64_t>* p = &c;
+    m.probe(name, [p] {
+      return static_cast<double>(p->load(std::memory_order_relaxed));
+    });
+  };
+  m.probe("noc.fault.armed",
+          [this] { return injector.armed() ? 1.0 : 0.0; });
+  probe("noc.fault.flips", injector.counters().flips);
+  probe("noc.fault.coherent_flips", injector.counters().coherent);
+  probe("noc.fault.drops", injector.counters().drops);
+  probe("noc.fault.stalls", injector.counters().stalls);
+  probe("noc.recovery.crc_errors", recovery.crc_errors);
+  probe("noc.recovery.nacks", recovery.nacks);
+  probe("noc.recovery.retransmits", recovery.retransmits);
+  probe("noc.recovery.timeouts", recovery.timeouts);
+  probe("noc.recovery.duplicates", recovery.duplicates);
+  probe("noc.recovery.e2e_drops", recovery.e2e_drops);
+  probe("noc.recovery.e2e_retries", recovery.e2e_retries);
+}
+
+}  // namespace mn::noc

@@ -1,0 +1,186 @@
+#pragma once
+// NoC fault injection and link-level recovery (docs/OBSERVABILITY.md,
+// EXPERIMENTS.md E12).
+//
+// The Hermes links of the paper are assumed error-free. To grow toward a
+// production-scale interconnect the NoC must survive bit flips, dropped
+// flits and stuck handshakes without losing packets. This module provides
+// the shared pieces:
+//
+//  * FaultInjector — injects configurable faults at Link ports from a
+//    seeded RNG. Every attachment point (each LinkSender / LinkReceiver)
+//    draws from its OWN deterministic stream derived from the injector
+//    seed and the link's wire name, so campaigns are reproducible
+//    regardless of evaluation order or kernel thread count.
+//  * LinkProtection — configuration of the stop-and-wait link protocol
+//    implemented in link.hpp: per-flit CRC, NACK-triggered retransmission
+//    from a one-flit replay register, and a sender-side resend timeout.
+//  * Reliability — the shared context (config + injector + recovery
+//    counters) a system passes to its Mesh, routers and network
+//    interfaces; exports the noc.fault.* / noc.recovery.* probes.
+//
+// Fault kinds (decided per flit offer / per handshake response):
+//   flip     — one data bit inverted after the CRC was computed; the link
+//              CRC detects it and triggers a NACK retransmission.
+//   coherent — data bit inverted AND the CRC recomputed: models residual
+//              datapath errors the link code cannot see. Only the
+//              end-to-end payload checksum (services.hpp) catches these.
+//              Confined to payload flits — a CRC-escaping hit on a
+//              header/size flit would break wormhole framing itself,
+//              making delivered-vs-lost accounting meaningless.
+//   drop     — the offer never reaches the receiver (lost tx toggle);
+//              recovered by the sender resend timeout.
+//   stall    — the receiver's ack/nack response is lost (stuck
+//              handshake); also recovered by the sender resend timeout.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "noc/flit.hpp"
+#include "sim/metrics.hpp"
+#include "sim/rng.hpp"
+
+namespace mn::noc {
+
+/// CRC-8 (poly 0x07) over the flit data byte — the per-flit link code.
+std::uint8_t crc8(std::uint8_t data);
+
+/// Link-level protection configuration (link.hpp protocol). Must not be
+/// toggled while a simulation is running.
+struct LinkProtection {
+  bool enabled = false;
+  /// Cycles a sender waits for an ack/nack before re-offering the flit.
+  /// Must exceed the 2-cycle handshake round trip; larger values trade
+  /// recovery latency for fewer spurious retransmissions under wormhole
+  /// backpressure.
+  unsigned resend_timeout = 64;
+};
+
+/// Per-offer / per-response fault probabilities.
+struct FaultConfig {
+  double flip_rate = 0.0;      ///< CRC-detectable data bit flip
+  double coherent_rate = 0.0;  ///< bit flip with matching CRC (escapes link)
+  double drop_rate = 0.0;      ///< flit offer lost on the wire
+  double stall_rate = 0.0;     ///< handshake response lost
+  bool mesh_links = true;      ///< inject on router<->router ports
+  bool local_links = true;     ///< inject on NI<->router (Local) ports
+  std::uint64_t seed = 0x5EED;
+};
+
+/// Aggregate injection counters (atomic: links evaluate on kernel worker
+/// threads under Simulator::set_threads).
+struct FaultCounters {
+  std::atomic<std::uint64_t> flips{0};
+  std::atomic<std::uint64_t> coherent{0};
+  std::atomic<std::uint64_t> drops{0};
+  std::atomic<std::uint64_t> stalls{0};
+};
+
+/// Aggregate recovery-layer counters.
+struct RecoveryStats {
+  std::atomic<std::uint64_t> crc_errors{0};    ///< receiver CRC mismatches
+  std::atomic<std::uint64_t> nacks{0};         ///< NACKs seen by senders
+  std::atomic<std::uint64_t> retransmits{0};   ///< flit re-offers
+  std::atomic<std::uint64_t> timeouts{0};      ///< resend timer expiries
+  std::atomic<std::uint64_t> duplicates{0};    ///< re-offers already latched
+  std::atomic<std::uint64_t> e2e_drops{0};     ///< packets failing the
+                                               ///< end-to-end checksum
+  std::atomic<std::uint64_t> e2e_retries{0};   ///< re-issued requests
+};
+
+inline void bump(std::atomic<std::uint64_t>& c) {
+  c.fetch_add(1, std::memory_order_relaxed);
+}
+
+class FaultInjector;
+
+/// Per-link fault decision stream. Owned by a LinkSender or LinkReceiver;
+/// draws nothing (and costs nothing) while the injector is disarmed, so a
+/// constructed-but-disabled injector is bit-identical to no injector.
+class FaultStream {
+ public:
+  FaultStream() = default;
+  FaultStream(FaultInjector* injector, std::uint64_t stream_id,
+              bool local_link)
+      : inj_(injector), id_(stream_id), local_(local_link) {}
+
+  /// True when this offer is lost on the wire.
+  bool drop_offer();
+
+  /// Maybe corrupt the flit in place (flip or coherent flip).
+  void corrupt(Flit& f);
+
+  /// True when the receiver's response (ack/nack) is lost.
+  bool drop_response();
+
+ private:
+  bool active();
+
+  FaultInjector* inj_ = nullptr;
+  std::uint64_t id_ = 0;
+  bool local_ = false;
+  sim::Xoshiro256 rng_{0};
+  std::uint64_t epoch_seen_ = 0;  ///< reseed marker, see FaultInjector
+};
+
+/// Seeded, armable fault source shared by every protected link.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(const FaultConfig& cfg) : cfg_(cfg) {}
+
+  /// Replace the configuration. Bumps the stream epoch so every link
+  /// stream reseeds deterministically from the new config on next use.
+  void configure(const FaultConfig& cfg) {
+    cfg_ = cfg;
+    epoch_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const FaultConfig& config() const { return cfg_; }
+
+  void arm() { armed_.store(true, std::memory_order_relaxed); }
+  void disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Build the deterministic decision stream for one link attachment.
+  /// `name` must be stable across runs (a wire name qualifies).
+  FaultStream stream(const std::string& name, bool local_link);
+
+  FaultCounters& counters() { return counters_; }
+  const FaultCounters& counters() const { return counters_; }
+
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FaultStream;
+
+  FaultConfig cfg_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> epoch_{1};
+  FaultCounters counters_;
+};
+
+/// Shared reliability context for one NoC: protection + end-to-end config,
+/// the fault injector, and the recovery counters. A system owns exactly
+/// one and hands pointers to its Mesh / routers / network interfaces.
+struct Reliability {
+  LinkProtection link;
+
+  /// Append/verify the end-to-end payload checksum in noc::encode/decode.
+  /// Changes the wire format; both endpoints must agree.
+  bool e2e_checksum = false;
+
+  /// Cycles a requester (remote read, scanf, host read) waits for its
+  /// response before re-issuing the request. 0 disables retry.
+  unsigned e2e_retry_timeout = 0;
+
+  FaultInjector injector;
+  RecoveryStats recovery;
+
+  /// Register the noc.fault.* and noc.recovery.* probes.
+  void register_metrics(sim::MetricsRegistry& m);
+};
+
+}  // namespace mn::noc

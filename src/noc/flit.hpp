@@ -30,11 +30,23 @@ constexpr XY decode_xy(std::uint8_t addr) {
 struct Flit {
   std::uint8_t data = 0;
 
+  // --- link-protection sideband (fault.hpp / link.hpp) ---
+  // Extra wire bits carried alongside `data` when LinkProtection is
+  // enabled: the per-flit CRC and the stop-and-wait alternating bit. The
+  // `offer` id models the identity of one tx handshake edge (hardware
+  // distinguishes offers by the edge itself; the two-phase simulation
+  // needs an explicit id so retransmissions are distinguishable from
+  // stale wire state). All three are ignored by the bare handshake.
+  std::uint8_t crc = 0;    ///< crc8(data) stamped by the sending link
+  std::uint8_t offer = 0;  ///< transmission id, 1..127 (0 = never offered)
+  bool seq = false;        ///< alternating bit for duplicate suppression
+
   // --- simulation-only metadata ---
   std::uint32_t packet_id = 0;    ///< unique id stamped at injection
   std::uint32_t trace_id = 0;     ///< SpanTracer span id (0 = untraced)
   std::uint64_t inject_cycle = 0; ///< cycle the packet entered the source NI
   bool is_header = false;         ///< true for the first (address) flit
+  bool is_ctrl = false;           ///< true for header + size flits
   bool is_tail = false;           ///< true for the last payload flit
 
   constexpr bool operator==(const Flit& o) const { return data == o.data; }

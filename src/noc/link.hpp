@@ -15,9 +15,21 @@
 //
 // Backpressure: while the receiver has no buffer space it leaves `ack`
 // unchanged and the sender holds data/tx stable.
+//
+// Link protection (fault.hpp, opt-in via a noc::Reliability context with
+// link.enabled): a stop-and-wait reliability layer over the same wires.
+// The sender stamps each flit with crc8(data) and an alternating `seq`
+// bit, keeps the flit in a one-deep replay register, and re-offers it
+// when the receiver NACKs (CRC mismatch) or when no response arrives
+// within `resend_timeout` cycles (lost offer or lost response). The
+// receiver answers every offer on the `rsp` wire — (offer_id << 1) | nack
+// — and suppresses duplicates by `seq`. Fault-free, the protected link
+// has exactly the bare handshake's 2-cycle cadence; under injected bit
+// flips, drops and stalls it delivers every flit exactly once, in order.
 
 #include <cstdint>
 
+#include "noc/fault.hpp"
 #include "noc/fifo.hpp"
 #include "noc/flit.hpp"
 #include "sim/wire.hpp"
@@ -29,11 +41,15 @@ struct LinkWires {
   LinkWires(sim::WirePool& pool, const std::string& name)
       : data(pool, name + ".data"),
         tx(pool, name + ".tx", false),
-        ack(pool, name + ".ack", false) {}
+        ack(pool, name + ".ack", false),
+        rsp(pool, name + ".rsp", 0) {}
 
   sim::Wire<Flit> data;
-  sim::Wire<bool> tx;   ///< toggle: a change announces a new flit
+  sim::Wire<bool> tx;   ///< toggle: a change announces a new flit (offer)
   sim::Wire<bool> ack;  ///< toggle: receiver echoes tx once latched
+                        ///< (bare handshake only)
+  sim::Wire<std::uint8_t> rsp;  ///< protected handshake response:
+                                ///< (offer_id << 1) | nack
 };
 
 /// Sender half of the handshake; embedded in a component's eval().
@@ -41,22 +57,115 @@ class LinkSender {
  public:
   explicit LinkSender(LinkWires& wires) : w_(&wires) {}
 
+  /// Attach the reliability context (protection + faults). Call once,
+  /// right after construction; `local_link` marks an NI<->router port.
+  /// A null context keeps the bare handshake.
+  void attach(Reliability* rel, bool local_link) {
+    rel_ = rel;
+    if (rel_) {
+      stream_ = rel_->injector.stream(w_->tx.name() + "/tx", local_link);
+    }
+  }
+
+  /// Service the protected protocol: consume ack/nack responses and run
+  /// the resend timer. Call once at the top of the owner's eval(); no-op
+  /// for bare links.
+  void poll() {
+    if (!protected_mode() || !in_flight_) return;
+    const std::uint8_t r = w_->rsp.read();
+    if (r != last_rsp_) {
+      last_rsp_ = r;
+      if (static_cast<std::uint8_t>(r >> 1) == offer_) {
+        if (r & 1) {
+          bump(rel_->recovery.nacks);
+          retransmit();
+        } else {
+          in_flight_ = false;
+          timer_ = 0;
+        }
+      }
+      return;
+    }
+    if (++timer_ >= rel_->link.resend_timeout) {
+      bump(rel_->recovery.timeouts);
+      retransmit();
+    }
+  }
+
   /// True when the previous flit was consumed and a new one may be offered.
-  bool ready() const { return w_->ack.read() == phase_; }
+  bool ready() const {
+    return protected_mode() ? !in_flight_ : w_->ack.read() == phase_;
+  }
+
+  /// True when no transmission is outstanding. Bare links are always idle
+  /// in this sense (completion is observed lazily through ready()); a
+  /// protected sender with a flit in flight must keep its owner awake so
+  /// the resend timer advances (see Router/NetworkInterface quiescent()).
+  bool idle() const { return !protected_mode() || !in_flight_; }
 
   /// Offer a flit; precondition: ready(). The flit is latched by the
   /// receiver no earlier than the next cycle.
   void send(const Flit& f) {
+    if (protected_mode()) {
+      replay_ = f;
+      replay_.seq = seq_;
+      seq_ = !seq_;
+      replay_.crc = crc8(replay_.data);
+      in_flight_ = true;
+      timer_ = 0;
+      transmit();
+      return;
+    }
     phase_ = !phase_;
-    w_->data.write(f);
+    if (stream_.drop_offer()) return;  // offer lost; no recovery layer
+    Flit out = f;
+    stream_.corrupt(out);
+    w_->data.write(out);
     w_->tx.write(phase_);
   }
 
-  void reset() { phase_ = false; }
+  void reset() {
+    phase_ = false;
+    seq_ = false;
+    in_flight_ = false;
+    offer_ = 0;
+    timer_ = 0;
+    last_rsp_ = 0;
+  }
 
  private:
+  bool protected_mode() const { return rel_ && rel_->link.enabled; }
+
+  /// Drive the replay register onto the wires under a fresh offer id.
+  void transmit() {
+    offer_ = static_cast<std::uint8_t>(offer_ >= 0x7F ? 1 : offer_ + 1);
+    if (stream_.drop_offer()) return;  // lost; resend timer recovers
+    Flit out = replay_;
+    out.offer = offer_;
+    stream_.corrupt(out);
+    w_->data.write(out);
+    phase_ = !phase_;
+    w_->tx.write(phase_);  // wake strobe for the receiver
+  }
+
+  void retransmit() {
+    timer_ = 0;
+    bump(rel_->recovery.retransmits);
+    transmit();
+  }
+
   LinkWires* w_;
+  Reliability* rel_ = nullptr;
+  FaultStream stream_;
   bool phase_ = false;  ///< value of tx after our last toggle
+
+  // --- protected mode ---
+  Flit replay_;              ///< one-deep replay register
+  bool seq_ = false;         ///< next alternating bit
+  bool in_flight_ = false;   ///< offer outstanding, no response yet
+  std::uint8_t offer_ = 0;   ///< current transmission id
+  unsigned timer_ = 0;       ///< cycles since the current offer
+  std::uint8_t last_rsp_ = 0;
 };
 
 /// Receiver half; pushes latched flits into the destination FIFO.
@@ -65,23 +174,76 @@ class LinkReceiver {
   LinkReceiver(LinkWires& wires, Fifo<Flit>& dest)
       : w_(&wires), dest_(&dest) {}
 
+  /// Counterpart of LinkSender::attach.
+  void attach(Reliability* rel, bool local_link) {
+    rel_ = rel;
+    if (rel_) {
+      stream_ = rel_->injector.stream(w_->tx.name() + "/rx", local_link);
+    }
+  }
+
   /// Poll the link once per cycle; latches at most one flit.
   /// Returns true if a flit was accepted this cycle.
   bool poll() {
+    if (protected_mode()) return poll_protected();
     if (w_->tx.read() == phase_) return false;  // nothing new offered
     if (dest_->full()) return false;            // backpressure
     dest_->push(w_->data.read());
     phase_ = !phase_;
+    if (stream_.drop_response()) return true;  // ack lost: sender wedges
     w_->ack.write(phase_);
     return true;
   }
 
-  void reset() { phase_ = false; }
+  void reset() {
+    phase_ = false;
+    responded_offer_ = 0;
+    last_seq_ = false;
+    have_seq_ = false;
+  }
 
  private:
+  bool protected_mode() const { return rel_ && rel_->link.enabled; }
+
+  bool poll_protected() {
+    const Flit& f = w_->data.read();
+    if (f.offer == 0 || f.offer == responded_offer_) return false;
+    if (crc8(f.data) != f.crc) {
+      bump(rel_->recovery.crc_errors);
+      respond(f.offer, /*nack=*/true);
+      return false;
+    }
+    if (have_seq_ && f.seq == last_seq_) {
+      // Retransmission of a flit we already latched (our response was
+      // lost, or the sender timed out early): re-acknowledge, don't push.
+      bump(rel_->recovery.duplicates);
+      respond(f.offer, /*nack=*/false);
+      return false;
+    }
+    if (dest_->full()) return false;  // backpressure: answer once we latch
+    dest_->push(f);
+    last_seq_ = f.seq;
+    have_seq_ = true;
+    respond(f.offer, /*nack=*/false);
+    return true;
+  }
+
+  void respond(std::uint8_t offer, bool nack) {
+    responded_offer_ = offer;
+    if (stream_.drop_response()) return;  // response lost; sender resends
+    w_->rsp.write(static_cast<std::uint8_t>((offer << 1) | (nack ? 1 : 0)));
+  }
+
   LinkWires* w_;
   Fifo<Flit>* dest_;
+  Reliability* rel_ = nullptr;
+  FaultStream stream_;
   bool phase_ = false;  ///< value of ack after our last toggle
+
+  // --- protected mode ---
+  std::uint8_t responded_offer_ = 0;  ///< last offer id answered
+  bool last_seq_ = false;             ///< seq bit of the last accepted flit
+  bool have_seq_ = false;
 };
 
 }  // namespace mn::noc

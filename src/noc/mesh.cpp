@@ -6,7 +6,7 @@
 namespace mn::noc {
 
 Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
-           const RouterConfig& cfg)
+           const RouterConfig& cfg, Reliability* rel)
     : sim_(&sim), nx_(nx), ny_(ny) {
   assert(nx >= 1 && ny >= 1 && nx <= 16 && ny <= 16);
 
@@ -15,7 +15,7 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
     for (unsigned x = 0; x < nx; ++x) {
       auto r = std::make_unique<Router>(
           XY{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)},
-          cfg);
+          cfg, rel);
       sim.add(r.get());
       routers_.push_back(std::move(r));
     }
@@ -74,6 +74,7 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
   }
 
   register_metrics(sim.metrics());
+  if (rel) rel->register_metrics(sim.metrics());
 }
 
 void Mesh::register_metrics(sim::MetricsRegistry& m) {
@@ -92,8 +93,9 @@ void Mesh::register_metrics(sim::MetricsRegistry& m) {
       for (std::size_t p = 0; p < kNumPorts; ++p) {
         const std::string port =
             prefix + port_long_name(static_cast<Port>(p)) + ".";
-        m.probe(port + "flits_out",
-                [r, p] { return static_cast<double>(r->stats().port_flits[p]); });
+        m.probe(port + "flits_out", [r, p] {
+          return static_cast<double>(r->stats().port_flits[p]);
+        });
         m.probe(port + "grants",
                 [r, p] { return static_cast<double>(r->stats().grants[p]); });
         m.probe(port + "buffer_fill", [r, p] {
@@ -102,12 +104,15 @@ void Mesh::register_metrics(sim::MetricsRegistry& m) {
       }
     }
   }
-  m.probe("noc.flits_forwarded",
-          [this] { return static_cast<double>(total_stats().flits_forwarded); });
-  m.probe("noc.packets_routed",
-          [this] { return static_cast<double>(total_stats().packets_routed); });
-  m.probe("noc.routing_rejects",
-          [this] { return static_cast<double>(total_stats().routing_rejects); });
+  m.probe("noc.flits_forwarded", [this] {
+    return static_cast<double>(total_stats().flits_forwarded);
+  });
+  m.probe("noc.packets_routed", [this] {
+    return static_cast<double>(total_stats().packets_routed);
+  });
+  m.probe("noc.routing_rejects", [this] {
+    return static_cast<double>(total_stats().routing_rejects);
+  });
 }
 
 void Mesh::set_tracer(sim::SpanTracer* tracer) {

@@ -16,8 +16,11 @@ namespace mn::noc {
 class Mesh {
  public:
   /// Builds routers and links and registers them with the simulator.
+  /// `rel` (optional) enables link protection / fault injection on every
+  /// router port and registers the noc.fault.* / noc.recovery.* probes;
+  /// it must outlive the mesh.
   Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
-       const RouterConfig& cfg = {});
+       const RouterConfig& cfg = {}, Reliability* rel = nullptr);
 
   unsigned nx() const { return nx_; }
   unsigned ny() const { return ny_; }

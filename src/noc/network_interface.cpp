@@ -7,15 +7,19 @@ namespace mn::noc {
 NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
                                    LinkWires& to_router,
                                    LinkWires& from_router,
-                                   std::size_t rx_buffer_flits)
+                                   std::size_t rx_buffer_flits,
+                                   Reliability* rel)
     : sim::Component(std::move(name)),
       sim_(&sim),
       tx_(to_router),
       rx_fifo_(rx_buffer_flits),
       rx_(from_router, rx_fifo_) {
+  tx_.attach(rel, /*local_link=*/true);
+  rx_.attach(rel, /*local_link=*/true);
   sim.add(this);
   from_router.tx.wake_on_change(this);  // router offers a flit
   to_router.ack.wake_on_change(this);   // router accepted our flit
+  to_router.rsp.wake_on_change(this);   // protected-mode ack/nack arrived
 
   auto& m = sim.metrics();
   const std::string prefix = "ni." + this->name() + ".";
@@ -50,6 +54,10 @@ ReceivedPacket NetworkInterface::pop_packet() {
 }
 
 void NetworkInterface::eval() {
+  // Service the protected sender (responses + resend timer) first so a
+  // completed handshake frees the link for this cycle's flit.
+  tx_.poll();
+
   // Transmit side: one flit per handshake completion.
   if (!tx_queue_.empty() && tx_.ready()) {
     tx_.send(tx_queue_.front());

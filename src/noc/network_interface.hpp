@@ -28,9 +28,12 @@ class NetworkInterface final : public sim::Component {
  public:
   /// `to_router` is the bundle this NI drives (router Local input);
   /// `from_router` is the bundle the router drives toward the IP.
+  /// `rel` (optional) enables link protection / fault injection on both
+  /// Local-port links; it must outlive the NI.
   NetworkInterface(sim::Simulator& sim, std::string name,
                    LinkWires& to_router, LinkWires& from_router,
-                   std::size_t rx_buffer_flits = 8);
+                   std::size_t rx_buffer_flits = 8,
+                   Reliability* rel = nullptr);
 
   /// Queue a packet for transmission. Flits are stamped with a fresh
   /// packet id and the current cycle.
@@ -62,7 +65,10 @@ class NetworkInterface final : public sim::Component {
   /// router-side tx/ack wires; send_packet() needs no explicit wake
   /// because a non-empty queue with a ready link already fails this test.
   bool quiescent() const override {
-    return (tx_queue_.empty() || !tx_.ready()) && rx_fifo_.empty();
+    // tx_.idle(): a protected sender with an unacknowledged flit needs
+    // eval() each cycle to run its resend timer.
+    return (tx_queue_.empty() || !tx_.ready()) && rx_fifo_.empty() &&
+           tx_.idle();
   }
 
  private:

@@ -16,6 +16,7 @@ std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
   Flit header;
   header.data = p.target;
   header.is_header = true;
+  header.is_ctrl = true;
   header.packet_id = packet_id;
   header.trace_id = trace_id;
   header.inject_cycle = inject_cycle;
@@ -23,6 +24,7 @@ std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
 
   Flit size;
   size.data = static_cast<std::uint8_t>(p.payload.size());
+  size.is_ctrl = true;
   size.packet_id = packet_id;
   size.trace_id = trace_id;
   size.inject_cycle = inject_cycle;

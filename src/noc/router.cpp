@@ -15,10 +15,11 @@ std::string router_name(XY a) {
 }
 }  // namespace
 
-Router::Router(XY address, const RouterConfig& cfg)
+Router::Router(XY address, const RouterConfig& cfg, Reliability* rel)
     : sim::Component(router_name(address)),
       addr_(address),
       cfg_(cfg),
+      rel_(rel),
       inputs_{InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
               InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
               InputPort(cfg.buffer_depth)} {
@@ -29,12 +30,16 @@ Router::Router(XY address, const RouterConfig& cfg)
 void Router::connect_in(Port p, LinkWires& w) {
   auto& in = inputs_[static_cast<std::size_t>(p)];
   in.rx.emplace(w, in.fifo);
+  in.rx->attach(rel_, p == Port::kLocal);
   w.tx.wake_on_change(this);  // new flit offered while gated off
 }
 
 void Router::connect_out(Port p, LinkWires& w) {
-  outputs_[static_cast<std::size_t>(p)].tx.emplace(w);
+  auto& out = outputs_[static_cast<std::size_t>(p)];
+  out.tx.emplace(w);
+  out.tx->attach(rel_, p == Port::kLocal);
   w.ack.wake_on_change(this);  // downstream accepted, link free again
+  w.rsp.wake_on_change(this);  // protected-mode ack/nack arrived
 }
 
 void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {
@@ -50,6 +55,11 @@ void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {
 }
 
 void Router::eval() {
+  // 0. Service protected senders: consume responses, run resend timers.
+  for (auto& out : outputs_) {
+    if (out.tx) out.tx->poll();
+  }
+
   // 1. Latch arriving flits into the input buffers.
   for (auto& in : inputs_) {
     if (in.rx) in.rx->poll();

@@ -42,7 +42,9 @@ struct RouterStats {
 
 class Router final : public sim::Component {
  public:
-  Router(XY address, const RouterConfig& cfg);
+  /// `rel` (optional) enables link protection / fault injection on every
+  /// port of this router; it must outlive the router.
+  Router(XY address, const RouterConfig& cfg, Reliability* rel = nullptr);
 
   /// Attach the incoming wire bundle of a port (this router receives).
   void connect_in(Port p, LinkWires& w);
@@ -60,6 +62,11 @@ class Router final : public sim::Component {
     if (control_timer_ != 0 || pending_input_ >= 0) return false;
     for (const auto& in : inputs_) {
       if (!in.fifo.empty() || in.out >= 0) return false;
+    }
+    for (const auto& out : outputs_) {
+      // A protected sender with an unacknowledged flit needs eval() each
+      // cycle so its resend timer can recover lost offers/responses.
+      if (out.tx && !out.tx->idle()) return false;
     }
     return true;
   }
@@ -108,6 +115,7 @@ class Router final : public sim::Component {
 
   XY addr_;
   RouterConfig cfg_;
+  Reliability* rel_ = nullptr;
   std::array<InputPort, kNumPorts> inputs_;
   std::array<OutputPort, kNumPorts> outputs_;
   RoundRobinArbiter arbiter_{kNumPorts};

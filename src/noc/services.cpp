@@ -3,6 +3,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "noc/fault.hpp"
+
 namespace mn::noc {
 
 const char* service_name(Service s) {
@@ -124,21 +126,35 @@ ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
   return m;
 }
 
-std::size_t max_words_per_packet(Service s) {
+std::uint8_t e2e_checksum(std::uint8_t target,
+                          const std::vector<std::uint8_t>& payload) {
+  // Chained CRC-8: unlike a rotate-xor sum, no pair of single-bit flips
+  // in nearby bytes can cancel (the code's Hamming distance is >= 3, and
+  // >= 4 over the short service messages that dominate traffic).
+  std::uint8_t sum = crc8(static_cast<std::uint8_t>(0xA5 ^ target));
+  for (std::uint8_t b : payload) {
+    sum = crc8(static_cast<std::uint8_t>(sum ^ b));
+  }
+  return sum;
+}
+
+std::size_t max_words_per_packet(Service s, bool e2e) {
   // payload budget 255 flits, minus service+source, minus the address for
-  // addressed services; each word costs 2 flits.
+  // addressed services, minus the optional checksum flit; each word costs
+  // 2 flits.
+  const std::size_t budget = kMaxPayloadFlits - (e2e ? 1 : 0);
   switch (s) {
     case Service::kWriteMem:
     case Service::kReadReturn:
-      return (kMaxPayloadFlits - 2 - 2) / 2;
+      return (budget - 2 - 2) / 2;
     case Service::kPrintf:
-      return (kMaxPayloadFlits - 2) / 2;
+      return (budget - 2) / 2;
     default:
       return 1;
   }
 }
 
-Packet encode(const ServiceMessage& msg) {
+Packet encode(const ServiceMessage& msg, bool e2e) {
   Packet p;
   p.target = msg.target;
   p.payload.push_back(static_cast<std::uint8_t>(msg.service));
@@ -168,11 +184,27 @@ Packet encode(const ServiceMessage& msg) {
       p.payload.push_back(msg.param);
       break;
   }
+  if (e2e) p.payload.push_back(e2e_checksum(p.target, p.payload));
   assert(p.payload.size() <= kMaxPayloadFlits);
   return p;
 }
 
-std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver) {
+std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
+                                     bool e2e) {
+  if (e2e) {
+    // Verify against `receiver`, not p.target: a corrupted header flit
+    // misroutes the packet, and the mismatch must be caught here.
+    if (p.payload.empty()) return std::nullopt;
+    std::vector<std::uint8_t> body(p.payload.begin(),
+                                   std::prev(p.payload.end()));
+    if (e2e_checksum(receiver, body) != p.payload.back()) {
+      return std::nullopt;
+    }
+    Packet stripped;
+    stripped.target = p.target;
+    stripped.payload = std::move(body);
+    return decode(stripped, receiver, false);
+  }
   const auto& pl = p.payload;
   if (pl.size() < 2) return std::nullopt;
   const auto code = pl[0];

@@ -74,17 +74,30 @@ ServiceMessage make_notify(std::uint8_t src, std::uint8_t dst,
 ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
                          std::uint8_t notifier);
 
+/// End-to-end payload checksum (fault.hpp, Reliability::e2e_checksum):
+/// covers the target address and every payload flit, so residual
+/// ("coherent") corruption that escapes the link-level CRC — including a
+/// corrupted header that misroutes the packet — fails verification at the
+/// consuming IP. A chained CRC-8 (fault.hpp crc8): position-dependent, so
+/// swapped or shifted flits are caught, and no pair of single-bit flips
+/// in neighbouring bytes can cancel.
+std::uint8_t e2e_checksum(std::uint8_t target,
+                          const std::vector<std::uint8_t>& payload);
+
 /// Serialize to a wire packet. Word counts that would exceed the payload
-/// budget are a programming error (asserted).
-Packet encode(const ServiceMessage& msg);
+/// budget are a programming error (asserted). With `e2e` the checksum
+/// flit is appended; both endpoints must agree on the flag.
+Packet encode(const ServiceMessage& msg, bool e2e = false);
 
 /// Parse a received packet; `receiver` is the address of the router whose
 /// local port delivered it (becomes msg.target). Returns nullopt on a
-/// malformed payload.
-std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver);
+/// malformed payload, or — with `e2e` — on a checksum mismatch.
+std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
+                                     bool e2e = false);
 
-/// Maximum data words a single write/printf/read-return packet can carry.
-std::size_t max_words_per_packet(Service s);
+/// Maximum data words a single write/printf/read-return packet can carry
+/// (one payload flit is reserved for the checksum when `e2e` is set).
+std::size_t max_words_per_packet(Service s, bool e2e = false);
 
 std::string to_string(const ServiceMessage& m);
 

@@ -78,7 +78,7 @@ class Cpu {
   std::uint16_t ir_ = 0;
   Flags flags_;
   Instr instr_;
-  std::uint16_t instr_addr_ = 0;  ///< address the current instr was fetched from
+  std::uint16_t instr_addr_ = 0;  ///< address the current instr came from
 
   // kMem bookkeeping.
   enum class MemKind : std::uint8_t { kLoad, kStore, kPush, kPop, kJsrPush,

@@ -7,14 +7,15 @@ namespace mn::serial {
 SerialIp::SerialIp(sim::Simulator& sim, std::string name,
                    std::uint8_t self_addr, sim::Wire<bool>& rxd,
                    sim::Wire<bool>& txd, noc::LinkWires& to_router,
-                   noc::LinkWires& from_router)
+                   noc::LinkWires& from_router, noc::Reliability* rel)
     : sim::Component(std::move(name)),
       self_(self_addr),
       rx_(rxd, 16),
       tx_(txd, 16),
       autobaud_(rxd),
       rxd_(&rxd),
-      ni_(sim, this->name() + ".ni", to_router, from_router) {
+      rel_(rel),
+      ni_(sim, this->name() + ".ni", to_router, from_router, 8, rel) {
   sim.add(this);
   sim.co_schedule(this, &ni_);  // SerialIp drives the NI by direct calls
   rxd.wake_on_change(this);     // host activity re-arms rx/auto-baud
@@ -89,7 +90,7 @@ void SerialIp::eval() {
 
   // Host -> NoC: queue one packet at a time through the shared NI.
   if (!to_noc_.empty() && ni_.tx_idle()) {
-    ni_.send_packet(noc::encode(to_noc_.front()));
+    ni_.send_packet(noc::encode(to_noc_.front(), e2e()));
     to_noc_.pop_front();
     ++frames_to_noc_;
   }
@@ -158,8 +159,9 @@ void SerialIp::dispatch_host_frame() {
 void SerialIp::forward_noc_packets() {
   while (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    const auto msg = noc::decode(rp.packet, self_);
+    const auto msg = noc::decode(rp.packet, self_, e2e());
     if (!msg) {
+      if (rel_) noc::bump(rel_->recovery.e2e_drops);
       MN_ERROR(name(), "malformed NoC packet dropped");
       continue;
     }

@@ -19,9 +19,12 @@ class SerialIp final : public sim::Component {
  public:
   /// `rxd` is the host->FPGA line, `txd` the FPGA->host line
   /// (paper Fig. 3). `self_addr` is this IP's router address (00).
+  /// `rel` (optional) enables link protection / fault injection on the
+  /// Local-port links and the end-to-end packet checksum.
   SerialIp(sim::Simulator& sim, std::string name, std::uint8_t self_addr,
            sim::Wire<bool>& rxd, sim::Wire<bool>& txd,
-           noc::LinkWires& to_router, noc::LinkWires& from_router);
+           noc::LinkWires& to_router, noc::LinkWires& from_router,
+           noc::Reliability* rel = nullptr);
 
   void eval() override;
   void reset() override;
@@ -40,6 +43,7 @@ class SerialIp final : public sim::Component {
  private:
   enum class State { kUnsync, kSwallow, kReady };
 
+  bool e2e() const { return rel_ && rel_->e2e_checksum; }
   void parse_host_bytes();
   void dispatch_host_frame();
   void forward_noc_packets();
@@ -50,6 +54,7 @@ class SerialIp final : public sim::Component {
   UartTx tx_;
   AutoBaud autobaud_;
   sim::Wire<bool>* rxd_;
+  noc::Reliability* rel_ = nullptr;
   noc::NetworkInterface ni_;
 
   State state_ = State::kUnsync;

@@ -52,7 +52,9 @@ void UartRx::tick() {
         phase_ = 0;
         // bit_index_ 0 = start, 1..8 = data, 9 = stop.
         if (bit_index_ >= 1 && bit_index_ <= 8) {
-          if (level) shift_ |= static_cast<std::uint16_t>(1u << (bit_index_ - 1));
+          if (level) {
+            shift_ |= static_cast<std::uint16_t>(1u << (bit_index_ - 1));
+          }
         } else if (bit_index_ == 9) {
           if (level) {
             queue_.push_back(static_cast<std::uint8_t>(shift_));

@@ -35,7 +35,9 @@ namespace mn::sim {
 /// may share a counter.
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { v_.fetch_add(by, std::memory_order_relaxed); }
+  void inc(std::uint64_t by = 1) {
+    v_.fetch_add(by, std::memory_order_relaxed);
+  }
   std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
 
  private:

@@ -22,6 +22,15 @@ class SplitMix64 {
   std::uint64_t x_;
 };
 
+/// Derive an independent stream seed from a base seed and a stream id
+/// (e.g. a hashed link name): two SplitMix64 steps decorrelate streams
+/// whose ids differ in few bits.
+inline std::uint64_t stream_seed(std::uint64_t base, std::uint64_t id) {
+  SplitMix64 sm(base ^ (id * 0x9E3779B97F4A7C15ull));
+  sm.next();
+  return sm.next();
+}
+
 /// xoshiro256** — fast, high-quality 64-bit generator.
 class Xoshiro256 {
  public:

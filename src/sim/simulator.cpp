@@ -191,7 +191,8 @@ std::size_t Simulator::eval_parallel() {
     engine_ = std::make_unique<ParallelEngine>(threads_ - 1);
   }
   shard_evals_.assign(shards_.size(), 0);
-  engine_->run([this](unsigned w) { shard_evals_[w] = eval_shard(shards_[w]); });
+  engine_->run(
+      [this](unsigned w) { shard_evals_[w] = eval_shard(shards_[w]); });
   return std::accumulate(shard_evals_.begin(), shard_evals_.end(),
                          std::size_t{0});
 }

@@ -10,17 +10,26 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
   assert(!cfg.processor_nodes.empty());
   assert(!cfg.memory_nodes.empty());
 
+  // Shared reliability context: link protection config, fault injector
+  // (constructed disarmed), end-to-end checksum flags, recovery counters.
+  rel_ = std::make_unique<noc::Reliability>();
+  rel_->link = cfg.protection;
+  rel_->e2e_checksum = cfg.e2e_checksum;
+  rel_->e2e_retry_timeout = cfg.e2e_retry_timeout;
+  rel_->injector.configure(cfg.faults);
+
   // Serial lines idle high.
   tx_ = std::make_unique<sim::Wire<bool>>(sim.wires(), "pin.tx", true);
   rx_ = std::make_unique<sim::Wire<bool>>(sim.wires(), "pin.rx", true);
 
-  mesh_ = std::make_unique<noc::Mesh>(sim, cfg.nx, cfg.ny, cfg.router);
+  mesh_ = std::make_unique<noc::Mesh>(sim, cfg.nx, cfg.ny, cfg.router,
+                                      rel_.get());
 
   const std::uint8_t serial_addr = noc::encode_xy(cfg.serial_node);
   serial_ = std::make_unique<serial::SerialIp>(
       sim, "serial", serial_addr, *tx_, *rx_,
       mesh_->local_in(cfg.serial_node.x, cfg.serial_node.y),
-      mesh_->local_out(cfg.serial_node.x, cfg.serial_node.y));
+      mesh_->local_out(cfg.serial_node.x, cfg.serial_node.y), rel_.get());
 
   // Processor-number -> router-address map (numbers are 1-based).
   std::map<std::uint8_t, std::uint8_t> num2addr;
@@ -44,14 +53,16 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
     pc.proc_addr_by_number = num2addr;
     processors_.push_back(std::make_unique<ProcessorIp>(
         sim, "proc" + std::to_string(i + 1), pc,
-        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y)));
+        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y),
+        rel_.get()));
   }
 
   for (std::size_t i = 0; i < cfg.memory_nodes.size(); ++i) {
     const noc::XY node = cfg.memory_nodes[i];
     memories_.push_back(std::make_unique<mem::MemoryIp>(
         sim, "mem" + std::to_string(i), noc::encode_xy(node),
-        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y)));
+        mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y),
+        rel_.get()));
   }
 }
 

@@ -32,6 +32,13 @@ struct SystemConfig {
   std::vector<noc::XY> processor_nodes{{0, 1}, {1, 0}};
   std::vector<noc::XY> memory_nodes{{1, 1}};
 
+  // Reliability layer (noc/fault.hpp). All defaults off: the system is
+  // bit-identical to one built before the layer existed.
+  noc::LinkProtection protection;   ///< link CRC + retransmission
+  noc::FaultConfig faults;          ///< injector configuration (disarmed)
+  bool e2e_checksum = false;        ///< end-to-end packet checksum
+  unsigned e2e_retry_timeout = 0;   ///< read/scanf re-issue delay (0 = off)
+
   /// The paper's exact prototype.
   static SystemConfig paper_default() { return SystemConfig{}; }
 };
@@ -55,6 +62,12 @@ class MultiNoc {
 
   const SystemConfig& config() const { return cfg_; }
 
+  /// The system-wide reliability context: arm/configure the fault
+  /// injector, inspect recovery counters. Always present; inert unless
+  /// the SystemConfig enabled protection or the injector is armed.
+  noc::Reliability& reliability() { return *rel_; }
+  const noc::Reliability& reliability() const { return *rel_; }
+
   /// Attach a packet/flit span tracer to the whole system: every router
   /// output port gets a track and every network interface (serial,
   /// processors, memories) opens/closes packet spans
@@ -63,6 +76,7 @@ class MultiNoc {
 
  private:
   SystemConfig cfg_;
+  std::unique_ptr<noc::Reliability> rel_;  ///< must outlive mesh_ and IPs
   std::unique_ptr<sim::Wire<bool>> tx_;  ///< host -> system serial line
   std::unique_ptr<sim::Wire<bool>> rx_;  ///< system -> host serial line
   std::unique_ptr<noc::Mesh> mesh_;

@@ -7,11 +7,13 @@ namespace mn::sys {
 ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
                          const ProcessorConfig& cfg,
                          noc::LinkWires& to_router,
-                         noc::LinkWires& from_router)
+                         noc::LinkWires& from_router, noc::Reliability* rel)
     : sim::Component(std::move(name)),
       cfg_(cfg),
+      rel_(rel),
       mem_logic_(mem_, cfg.self_addr),
-      ni_(sim, this->name() + ".ni", to_router, from_router) {
+      ni_(sim, this->name() + ".ni", to_router, from_router, 8, rel) {
+  mem_logic_.set_e2e(e2e());
   sim.add(this);
   sim.co_schedule(this, &ni_);  // control logic drives the NI directly
   auto& m = sim.metrics();
@@ -61,8 +63,9 @@ void ProcessorIp::eval() {
   //    read/scanf returns).
   while (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    const auto msg = noc::decode(rp.packet, cfg_.self_addr);
+    const auto msg = noc::decode(rp.packet, cfg_.self_addr, e2e());
     if (!msg) {
+      if (rel_) noc::bump(rel_->recovery.e2e_drops);
       MN_ERROR(name(), "malformed packet dropped");
       continue;
     }
@@ -73,10 +76,10 @@ void ProcessorIp::eval() {
   //    local-memory replies (busyNoCR8 beats busyNoCMem).
   if (ni_.tx_idle()) {
     if (!cpu_out_.empty()) {
-      ni_.send_packet(noc::encode(cpu_out_.front()));
+      ni_.send_packet(noc::encode(cpu_out_.front(), e2e()));
       cpu_out_.pop_front();
     } else if (!mem_out_.empty()) {
-      ni_.send_packet(noc::encode(mem_out_.front()));
+      ni_.send_packet(noc::encode(mem_out_.front(), e2e()));
       mem_out_.pop_front();
     }
   }
@@ -102,7 +105,11 @@ void ProcessorIp::handle_incoming(const noc::ServiceMessage& msg) {
       MN_INFO(name(), "activated");
       return;
     case Service::kReadReturn:
-      if (read_state_ == ReadState::kWaiting && !msg.words.empty()) {
+      // msg.addr must match the outstanding request: a retried read can
+      // produce a late duplicate return that must not satisfy a LATER
+      // read to a different address.
+      if (read_state_ == ReadState::kWaiting && !msg.words.empty() &&
+          msg.addr == read_addr_) {
         read_value_ = msg.words[0];
         read_state_ = ReadState::kReady;
       }
@@ -137,9 +144,19 @@ bool ProcessorIp::remote_read(std::uint8_t target, std::uint16_t offset,
     case ReadState::kIdle:
       cpu_out_.push_back(noc::make_read(cfg_.self_addr, target, offset, 1));
       read_state_ = ReadState::kWaiting;
+      read_addr_ = offset;
+      read_timer_ = 0;
       ++remote_reads_;
       return false;
     case ReadState::kWaiting:
+      // The CPU retries the same load every stalled cycle, so this branch
+      // runs once per cycle: count down to the end-to-end retry.
+      if (retry_timeout() != 0 && ++read_timer_ >= retry_timeout()) {
+        read_timer_ = 0;
+        cpu_out_.push_back(
+            noc::make_read(cfg_.self_addr, target, offset, 1));
+        noc::bump(rel_->recovery.e2e_retries);
+      }
       return false;
     case ReadState::kReady:
       out = read_value_;
@@ -166,9 +183,16 @@ bool ProcessorIp::mem_read(std::uint16_t addr, std::uint16_t& out) {
           cpu_out_.push_back(
               noc::make_scanf(cfg_.self_addr, cfg_.serial_addr));
           scanf_state_ = ReadState::kWaiting;
+          scanf_timer_ = 0;
           ++scanfs_;
           return false;
         case ReadState::kWaiting:
+          if (retry_timeout() != 0 && ++scanf_timer_ >= retry_timeout()) {
+            scanf_timer_ = 0;
+            cpu_out_.push_back(
+                noc::make_scanf(cfg_.self_addr, cfg_.serial_addr));
+            noc::bump(rel_->recovery.e2e_retries);
+          }
           return false;
         case ReadState::kReady:
           out = scanf_value_;
@@ -245,7 +269,10 @@ void ProcessorIp::reset() {
   cpu_out_.clear();
   mem_out_.clear();
   read_state_ = ReadState::kIdle;
+  read_addr_ = 0;
+  read_timer_ = 0;
   scanf_state_ = ReadState::kIdle;
+  scanf_timer_ = 0;
   notifies_pending_.clear();
   wait_for_ = 0;
   external_wait_ = 0;

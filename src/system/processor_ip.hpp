@@ -38,9 +38,13 @@ struct ProcessorConfig {
 
 class ProcessorIp final : public sim::Component, private r8::Bus {
  public:
+  /// `rel` (optional) enables link protection / fault injection on the
+  /// Local-port links, the end-to-end packet checksum, and — with
+  /// rel->e2e_retry_timeout > 0 — re-issue of unanswered read/scanf
+  /// requests.
   ProcessorIp(sim::Simulator& sim, std::string name,
               const ProcessorConfig& cfg, noc::LinkWires& to_router,
-              noc::LinkWires& from_router);
+              noc::LinkWires& from_router, noc::Reliability* rel = nullptr);
 
   void eval() override;
   void reset() override;
@@ -79,8 +83,13 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   bool remote_read(std::uint8_t target, std::uint16_t offset,
                    std::uint16_t& out);
   void handle_incoming(const noc::ServiceMessage& msg);
+  bool e2e() const { return rel_ && rel_->e2e_checksum; }
+  unsigned retry_timeout() const {
+    return rel_ ? rel_->e2e_retry_timeout : 0;
+  }
 
   ProcessorConfig cfg_;
+  noc::Reliability* rel_ = nullptr;
   r8::Cpu cpu_;
   mem::BankedMemory mem_;
   mem::MemoryServiceLogic mem_logic_;
@@ -94,10 +103,14 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   enum class ReadState : std::uint8_t { kIdle, kWaiting, kReady };
   ReadState read_state_ = ReadState::kIdle;
   std::uint16_t read_value_ = 0;
+  std::uint16_t read_addr_ = 0;  ///< offset of the outstanding read, to
+                                 ///< reject stale/duplicate returns
+  unsigned read_timer_ = 0;      ///< stall cycles since the request left
 
   // Outstanding scanf.
   ReadState scanf_state_ = ReadState::kIdle;
   std::uint16_t scanf_value_ = 0;
+  unsigned scanf_timer_ = 0;
 
   // wait/notify bookkeeping: pending notify counts per notifier number.
   std::map<std::uint8_t, std::uint32_t> notifies_pending_;

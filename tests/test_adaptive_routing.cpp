@@ -113,7 +113,9 @@ TEST(WestFirst, SurvivesSaturationWithoutDeadlock) {
     }
   }
   unsigned received = 0;
-  for (auto& ni : nis) received += static_cast<unsigned>(ni->packets_received());
+  for (auto& ni : nis) {
+    received += static_cast<unsigned>(ni->packets_received());
+  }
   ASSERT_TRUE(sim.run_until(
       [&] {
         unsigned got = 0;

@@ -249,8 +249,8 @@ TEST(MpSim, ManyProcessors) {
     if (p == 0) {
       src << "int main() { notify(2); wait(8); printf(100); }";
     } else {
-      src << "int main() { wait(" << p << "); notify(" << (p + 2 <= 8 ? p + 2 : 1)
-          << "); }";
+      src << "int main() { wait(" << p << "); notify("
+          << (p + 2 <= 8 ? p + 2 : 1) << "); }";
     }
     sim.load(p, cc_or_die(src.str()));
     sim.activate(p);

@@ -151,7 +151,9 @@ TEST(MeshTransit, AllPairsDeliver) {
   ASSERT_TRUE(sim.run_until(
       [&] {
         int got = 0;
-        for (auto& ni : nis.nis) got += static_cast<int>(ni->packets_received());
+        for (auto& ni : nis.nis) {
+          got += static_cast<int>(ni->packets_received());
+        }
         return got == expected;
       },
       200'000));

@@ -77,8 +77,12 @@ int main(int argc, char** argv) {
     }
     const Json* metrics = doc->find("metrics");
     const Json* notes = doc->find("notes");
+    const Json* meta = doc->find("meta");
     if (metrics) total_metrics += metrics->size();
     Json entry = Json::object();
+    // Build provenance (git sha, compiler, build type) rides along so a
+    // merged data point stays traceable to the build that produced it.
+    if (meta) entry["meta"] = *meta;
     entry["metrics"] = metrics ? *metrics : Json::object();
     entry["notes"] = notes ? *notes : Json::object();
     benches[bench->as_string()] = std::move(entry);
