@@ -17,123 +17,22 @@
 // silently unwritten --json file would drop a data point from the
 // BENCH_multinoc.json merge.
 //
-// Flags:
-//   --json <path> / --json=<path>   write the schema-stable JSON record
-//
-// Schema (mn-bench-v1): every metric lives under a dot-separated name
-// mirroring the text tables, with an explicit unit. mn-report merges the
-// per-bench files into BENCH_multinoc.json (the perf trajectory).
-//
-//   {
-//     "schema": "mn-bench-v1",
-//     "bench": "bench_latency",
-//     "meta":    { "git_sha": "...", "compiler": "...",
-//                  "build_type": "..." },
-//     "metrics": { "<name>": {"value": <number>, "unit": "<unit>"} },
-//     "notes":   { "<key>": "<text>" }
-//   }
-//
-// The meta block records build provenance so a BENCH_multinoc.json data
-// point can be traced to the commit/toolchain that produced it. The
-// values come from compile definitions set by bench/CMakeLists.txt
-// (MN_GIT_SHA is captured at configure time).
+// The flag parsing, the mn-bench-v1 schema and the build-provenance meta
+// block all live in sim/record.hpp, shared with the command-line tools
+// (mn-run --json) so every JSON artifact is merge-compatible. mn-report
+// merges the per-bench files into BENCH_multinoc.json (the perf
+// trajectory).
 
-#include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <string>
-
-#include "sim/json.hpp"
-
-#ifndef MN_GIT_SHA
-#define MN_GIT_SHA "unknown"
-#endif
-#ifndef MN_COMPILER
-#define MN_COMPILER "unknown"
-#endif
-#ifndef MN_BUILD_TYPE
-#define MN_BUILD_TYPE "unknown"
-#endif
+#include "sim/record.hpp"
 
 namespace mn::bench {
 
-class JsonReporter {
+class JsonReporter : public sim::RunRecord {
  public:
-  /// Scans argv for --json and removes the flag (and its value) so the
-  /// remaining arguments can go straight to benchmark::Initialize().
   JsonReporter(std::string bench_name, int* argc, char** argv)
-      : name_(std::move(bench_name)) {
-    int out = 1;
-    for (int i = 1; i < *argc; ++i) {
-      const char* a = argv[i];
-      if (std::strcmp(a, "--json") == 0 && i + 1 < *argc) {
-        path_ = argv[++i];
-      } else if (std::strncmp(a, "--json=", 7) == 0) {
-        path_ = a + 7;
-      } else {
-        argv[out++] = argv[i];
-      }
-    }
-    *argc = out;
-    argv[out] = nullptr;
-  }
+      : sim::RunRecord(std::move(bench_name), argc, argv) {}
 
-  JsonReporter(const JsonReporter&) = delete;
-  JsonReporter& operator=(const JsonReporter&) = delete;
-
-  // Backstop only; failure is reported via the explicit flush() in main().
-  ~JsonReporter() { static_cast<void>(flush()); }
-
-  bool enabled() const { return !path_.empty(); }
-  const std::string& bench_name() const { return name_; }
-
-  /// Record one scalar under a stable dotted name.
-  void add(const std::string& metric, double value,
-           const std::string& unit = "") {
-    sim::Json& m = metrics_[metric];
-    m = sim::Json::object();
-    m["value"] = sim::Json(value);
-    if (!unit.empty()) m["unit"] = sim::Json(unit);
-  }
-
-  /// Record free-form context (reproduced findings, configs).
-  void note(const std::string& key, const std::string& text) {
-    notes_[key] = sim::Json(text);
-  }
-
-  /// Write the JSON file (no-op without --json). Returns false on I/O
-  /// failure. Called automatically on destruction as a backstop, but the
-  /// destructor cannot report failure -- call this from main() and turn
-  /// `false` into a nonzero exit code.
-  [[nodiscard]] bool flush() {
-    if (path_.empty() || flushed_) return true;
-    flushed_ = true;
-    sim::Json root = sim::Json::object();
-    root["schema"] = sim::Json("mn-bench-v1");
-    root["bench"] = sim::Json(name_);
-    sim::Json meta = sim::Json::object();
-    meta["git_sha"] = sim::Json(MN_GIT_SHA);
-    meta["compiler"] = sim::Json(MN_COMPILER);
-    meta["build_type"] = sim::Json(MN_BUILD_TYPE);
-    root["meta"] = std::move(meta);
-    root["metrics"] = std::move(metrics_);
-    root["notes"] = std::move(notes_);
-    std::ofstream out(path_);
-    if (!out) {
-      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
-                   path_.c_str());
-      return false;
-    }
-    out << root.dump(1) << '\n';
-    return static_cast<bool>(out);
-  }
-
- private:
-  std::string name_;
-  std::string path_;
-  sim::Json metrics_ = sim::Json::object();
-  sim::Json notes_ = sim::Json::object();
-  bool flushed_ = false;
+  const std::string& bench_name() const { return name(); }
 };
 
 }  // namespace mn::bench

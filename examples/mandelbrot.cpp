@@ -111,7 +111,7 @@ int main() {
 
   // Each worker notifies processor 1 when done (including P1 itself);
   // wait until P1 collected both notifies and P2 parked.
-  const bool done = sim.run_until(
+  const bool done = host.wait_for(
       [&] {
         return system.processor(0).cpu().instructions() > 0 &&
                system.processor(1).cpu().instructions() > 0 &&
@@ -126,7 +126,7 @@ int main() {
   const std::uint64_t compute = sim.cycle() - t0;
 
   const auto pixels =
-      host.read_memory_blocking(0x11, 0, kWidth * kHeight, 2'000'000'000);
+      host.read_memory_sync(0x11, 0, kWidth * kHeight, 2'000'000'000);
   if (!pixels) {
     std::fprintf(stderr, "readback failed\n");
     return 1;
@@ -135,7 +135,7 @@ int main() {
   const char* shades = " .:-=+*#%@XM";
   for (unsigned y = 0; y < kHeight; ++y) {
     for (unsigned x = 0; x < kWidth; ++x) {
-      const unsigned it = (*pixels)[y * kWidth + x];
+      const unsigned it = pixels->words[y * kWidth + x];
       std::putchar(it >= kMaxIter ? '@' : shades[it % 12]);
     }
     std::putchar('\n');

@@ -48,18 +48,22 @@ int main() {
   }
   std::printf("assembled %zu words\n", assembly.image.size());
 
-  // 3. Send the object code to processor 1 and activate it.
+  // 3. Send the object code to processor 1, activate it and run to
+  //    completion — one synchronous call covers download, activation,
+  //    the wait for HALT and the final serial drain.
   const std::uint8_t proc1 = system.processor(0).config().self_addr;
-  host.load_program(proc1, assembly.image);
-  host.flush();
-  host.activate(proc1);
+  const auto run = host.load_and_run({{proc1, assembly.image}});
+  if (!run.ok()) {
+    std::fprintf(stderr, "run failed: %s\n", host::to_string(run.status));
+    return 1;
+  }
 
-  // 4. Wait for the three printf values.
-  if (!host.wait_printf(proc1, 3)) {
+  // 4. The printf monitor now holds the three values.
+  auto& log = host.printf_log(proc1);
+  if (log.size() < 3) {
     std::fprintf(stderr, "program produced no output\n");
     return 1;
   }
-  auto& log = host.printf_log(proc1);
   std::printf("printf monitor (processor 1): '%c' '%c' %u\n",
               static_cast<char>(log[0]), static_cast<char>(log[1]), log[2]);
 

@@ -53,20 +53,12 @@ std::uint64_t run_parallel_workload(unsigned n, unsigned procs) {
   }
   host.flush();
   const std::uint64_t start = sim.cycle();
+  std::vector<std::uint8_t> targets;
   for (unsigned p = 0; p < system.processor_count(); ++p) {
-    host.activate(system.processor(p).config().self_addr);
+    targets.push_back(system.processor(p).config().self_addr);
+    host.activate(targets.back());
   }
-  const bool ok = sim.run_until(
-      [&] {
-        for (unsigned p = 0; p < system.processor_count(); ++p) {
-          if (host.printf_log(system.processor(p).config().self_addr)
-                  .empty()) {
-            return false;
-          }
-        }
-        return true;
-      },
-      100'000'000);
+  const bool ok = host.wait_printf_each(targets, 1, 100'000'000);
   return ok ? sim.cycle() - start : 0;
 }
 

@@ -169,6 +169,15 @@ bool Host::boot(std::uint64_t max_cycles) {
 std::optional<std::vector<std::uint16_t>> Host::read_memory_blocking(
     std::uint8_t target, std::uint16_t addr, std::uint16_t count,
     std::uint64_t max_cycles) {
+  auto r = read_memory_sync(target, addr, count, max_cycles);
+  if (!r) return std::nullopt;
+  return std::move(r->words);
+}
+
+std::optional<ReadResult> Host::read_memory_sync(std::uint8_t target,
+                                                 std::uint16_t addr,
+                                                 std::uint16_t count,
+                                                 std::uint64_t max_cycles) {
   read_memory(target, addr, count);
   // Assemble by address, not arrival order: under the reliability layer a
   // retried request can duplicate read-return frames, and chunked replies
@@ -201,13 +210,89 @@ std::optional<std::vector<std::uint16_t>> Host::read_memory_blocking(
     read_memory(target, addr, count);
     if (!sim_->run_until(drain, max_cycles / 2)) return std::nullopt;
   }
-  return words;
+  ReadResult result;
+  result.source = target;
+  result.addr = addr;
+  result.words = std::move(words);
+  return result;
 }
 
 bool Host::wait_printf(std::uint8_t source, std::size_t n,
                        std::uint64_t max_cycles) {
   return sim_->run_until(
       [&] { return printf_log_[source].size() >= n; }, max_cycles);
+}
+
+RunResult Host::load_and_run(const std::vector<ProgramLoad>& programs,
+                             std::uint64_t max_cycles) {
+  RunResult result;
+  const std::uint64_t t0 = sim_->cycle();
+  const auto finish = [&](HostStatus s) {
+    result.status = s;
+    result.cycles = sim_->cycle() - t0;
+    return result;
+  };
+
+  if (!system_->serial().baud_locked() && !boot()) {
+    return finish(HostStatus::kBootFailed);
+  }
+
+  for (const auto& p : programs) load_program(p.target, p.image, p.base);
+  if (!flush()) return finish(HostStatus::kDownloadFailed);
+  for (const auto& p : programs) activate(p.target);
+
+  // Completion means every targeted processor executed HALT.
+  std::vector<std::size_t> procs;
+  for (const auto& p : programs) {
+    for (std::size_t i = 0; i < system_->processor_count(); ++i) {
+      if (system_->processor(i).config().self_addr == p.target) {
+        procs.push_back(i);
+      }
+    }
+  }
+  const bool done = sim_->run_until(
+      [&] {
+        for (const std::size_t i : procs) {
+          if (!system_->processor(i).finished()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+
+  // Printf packets queued at halt time are still on the wire.
+  drain_serial();
+  return finish(done ? HostStatus::kOk : HostStatus::kTimeout);
+}
+
+bool Host::wait_for(const std::function<bool()>& predicate,
+                    std::uint64_t max_cycles) {
+  return sim_->run_until(predicate, max_cycles);
+}
+
+bool Host::wait_printf_each(const std::vector<std::uint8_t>& sources,
+                            std::size_t n, std::uint64_t max_cycles) {
+  return sim_->run_until(
+      [&] {
+        for (const std::uint8_t s : sources) {
+          if (printf_log_[s].size() < n) return false;
+        }
+        return true;
+      },
+      max_cycles);
+}
+
+std::uint64_t Host::drain_serial() {
+  const std::uint64_t start = bytes_received_;
+  // A UART frame is 10 bit times; 30 frames of silence means nothing is
+  // in flight anywhere between an NI inbox and our shift register.
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(tx_.divisor()) * 10 * 30;
+  for (;;) {
+    const std::uint64_t before = bytes_received_;
+    sim_->run(window);
+    if (bytes_received_ == before) break;
+  }
+  return bytes_received_ - start;
 }
 
 void Host::reset() {

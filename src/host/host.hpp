@@ -33,6 +33,39 @@ struct ScanfRequest {
   std::uint8_t source = 0;
 };
 
+/// Terminal status of a synchronous host operation.
+enum class HostStatus : std::uint8_t {
+  kOk,
+  kBootFailed,      ///< the serial link never locked its baud rate
+  kDownloadFailed,  ///< queued object-code bytes did not drain
+  kTimeout,         ///< the processors did not finish in the cycle budget
+};
+
+constexpr const char* to_string(HostStatus s) {
+  switch (s) {
+    case HostStatus::kOk: return "ok";
+    case HostStatus::kBootFailed: return "boot failed";
+    case HostStatus::kDownloadFailed: return "program download failed";
+    case HostStatus::kTimeout: return "timed out";
+  }
+  return "unknown";
+}
+
+/// One program image bound for a processor's local memory.
+struct ProgramLoad {
+  std::uint8_t target = 0;  ///< processor router address (encoded XY)
+  std::vector<std::uint16_t> image;
+  std::uint16_t base = 0;
+};
+
+/// Outcome of Host::load_and_run.
+struct RunResult {
+  HostStatus status = HostStatus::kTimeout;
+  std::uint64_t cycles = 0;  ///< simulation cycles consumed by the call
+
+  bool ok() const { return status == HostStatus::kOk; }
+};
+
 class Host final : public sim::Component {
  public:
   Host(sim::Simulator& sim, sys::MultiNoc& system, unsigned divisor = 16);
@@ -97,6 +130,39 @@ class Host final : public sim::Component {
   /// Wait until `n` printf values from `source` are available.
   bool wait_printf(std::uint8_t source, std::size_t n,
                    std::uint64_t max_cycles = 50'000'000);
+
+  // ---- synchronous API (one call = one completed interaction) ------------
+
+  /// The complete system flow of paper Fig. 8 as one call: boot the
+  /// serial link if it is not up yet, download every program, wait for
+  /// the downloads to drain, activate every target, run until all the
+  /// targeted processors halted (or the cycle budget runs out), and
+  /// drain in-flight serial traffic so the printf monitors are complete.
+  RunResult load_and_run(const std::vector<ProgramLoad>& programs,
+                         std::uint64_t max_cycles = 100'000'000);
+
+  /// Synchronous read: issues the request, waits for every word and
+  /// returns the assembled ReadResult (duplicate-safe under the
+  /// reliability layer). std::nullopt on timeout.
+  std::optional<ReadResult> read_memory_sync(
+      std::uint8_t target, std::uint16_t addr, std::uint16_t count,
+      std::uint64_t max_cycles = 50'000'000);
+
+  /// Advance the simulation until `predicate()` holds; the host keeps
+  /// servicing its monitors while waiting. Prefer this over hand-rolled
+  /// sim.run_until loops so host-side bookkeeping stays in one place.
+  bool wait_for(const std::function<bool()>& predicate,
+                std::uint64_t max_cycles = 50'000'000);
+
+  /// Wait until every source in `sources` printf'd at least `n` values.
+  bool wait_printf_each(const std::vector<std::uint8_t>& sources,
+                        std::size_t n,
+                        std::uint64_t max_cycles = 50'000'000);
+
+  /// Run in windows of serial-frame length until no new byte arrives in a
+  /// whole window (printf packets queued at halt time, read returns in
+  /// flight). Returns the number of bytes drained.
+  std::uint64_t drain_serial();
 
   bool tx_idle() const { return tx_.idle(); }
   unsigned divisor() const { return tx_.divisor(); }

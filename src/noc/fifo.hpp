@@ -1,5 +1,7 @@
 #pragma once
-// Circular FIFO used as router input buffer (paper: 2-flit circular FIFOs).
+// Circular FIFO used as router input buffer (paper: 2-flit circular
+// FIFOs), plus the per-virtual-channel lane bank that splits one physical
+// port into independent lanes (router.hpp vc_count).
 
 #include <cassert>
 #include <cstddef>
@@ -54,6 +56,51 @@ class Fifo {
   std::size_t head_ = 0;
   std::size_t tail_ = 0;
   std::size_t count_ = 0;
+};
+
+/// A bank of independent lane FIFOs multiplexed over one physical port:
+/// `lanes` buffers of `depth` entries each, one per virtual channel. A
+/// single-lane bank is exactly the original per-port input buffer.
+template <typename T>
+class LaneBank {
+ public:
+  LaneBank(std::size_t lanes, std::size_t depth) {
+    assert(lanes >= 1);
+    fifos_.reserve(lanes);
+    for (std::size_t v = 0; v < lanes; ++v) fifos_.emplace_back(depth);
+  }
+
+  std::size_t lanes() const { return fifos_.size(); }
+
+  Fifo<T>& operator[](std::size_t v) {
+    assert(v < fifos_.size());
+    return fifos_[v];
+  }
+  const Fifo<T>& operator[](std::size_t v) const {
+    assert(v < fifos_.size());
+    return fifos_[v];
+  }
+
+  /// Summed occupancy across all lanes (the physical buffer fill).
+  std::size_t total_size() const {
+    std::size_t n = 0;
+    for (const auto& f : fifos_) n += f.size();
+    return n;
+  }
+
+  bool all_empty() const {
+    for (const auto& f : fifos_) {
+      if (!f.empty()) return false;
+    }
+    return true;
+  }
+
+  void clear() {
+    for (auto& f : fifos_) f.clear();
+  }
+
+ private:
+  std::vector<Fifo<T>> fifos_;
 };
 
 }  // namespace mn::noc

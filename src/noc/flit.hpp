@@ -5,6 +5,7 @@
 // fields are simulation-only metadata used for measurement (latency
 // tracking) and debugging; no routing or IP logic may depend on them.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mn::noc {
@@ -26,9 +27,21 @@ constexpr XY decode_xy(std::uint8_t addr) {
             static_cast<std::uint8_t>(addr & 0x0F)};
 }
 
+/// Maximum virtual channels per physical link (router.hpp vc_count).
+/// Bounded so VC state fits fixed arrays and the packed credit wire
+/// (link.hpp) can carry one cumulative 8-bit pop count per lane.
+inline constexpr std::size_t kMaxVc = 4;
+
 /// One flit. Default flit width in MultiNoC is 8 bits.
 struct Flit {
   std::uint8_t data = 0;
+
+  // --- virtual-channel sideband (router.hpp / link.hpp) ---
+  // The lane id travelling with the flit. Hardware carries it as extra
+  // wire bits next to `data`; the receiver demultiplexes into the
+  // per-lane input FIFO it names. Always 0 on single-lane (vc_count=1)
+  // links, where the wire bits do not exist.
+  std::uint8_t vc = 0;
 
   // --- link-protection sideband (fault.hpp / link.hpp) ---
   // Extra wire bits carried alongside `data` when LinkProtection is

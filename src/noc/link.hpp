@@ -26,7 +26,23 @@
 // — and suppresses duplicates by `seq`. Fault-free, the protected link
 // has exactly the bare handshake's 2-cycle cadence; under injected bit
 // flips, drops and stalls it delivers every flit exactly once, in order.
+//
+// Virtual channels (router.hpp, opt-in via vc_count > 1 stamped on the
+// wire bundle): the physical link time-multiplexes vc_count independent
+// lanes. Each flit carries its lane id (Flit::vc); the receiver
+// demultiplexes into per-lane FIFOs. Flow control switches from the
+// ack-backpressure of the bare handshake to credits: the receiver owner
+// reports every per-lane FIFO pop on the `credit` wire (one cumulative
+// 8-bit pop counter per lane, packed), and the sender only offers a flit
+// on lane v while its copy of lane v's occupancy is below the stamped
+// `vc_depth`. A flit blocked downstream therefore stalls only its own
+// lane — other lanes keep using the physical link. VC mode composes with
+// link protection unchanged: the protected sender's replay register keeps
+// the lane id, retransmissions do not re-consume credit, and credits are
+// returned only when the (exactly-once) flit is popped. Single-lane links
+// never touch the credit wire and are bit-identical to the pre-VC link.
 
+#include <array>
 #include <cstdint>
 
 #include "noc/fault.hpp"
@@ -42,7 +58,8 @@ struct LinkWires {
       : data(pool, name + ".data"),
         tx(pool, name + ".tx", false),
         ack(pool, name + ".ack", false),
-        rsp(pool, name + ".rsp", 0) {}
+        rsp(pool, name + ".rsp", 0),
+        credit(pool, name + ".credit", 0) {}
 
   sim::Wire<Flit> data;
   sim::Wire<bool> tx;   ///< toggle: a change announces a new flit (offer)
@@ -50,6 +67,16 @@ struct LinkWires {
                         ///< (bare handshake only)
   sim::Wire<std::uint8_t> rsp;  ///< protected handshake response:
                                 ///< (offer_id << 1) | nack
+  sim::Wire<std::uint32_t> credit;  ///< VC mode: cumulative per-lane pop
+                                    ///< counts, byte v = lane v (mod 256)
+
+  // --- lane geometry, stamped by the fabric builder --------------------
+  // Describes the RECEIVING side of this bundle. Both endpoints read it;
+  // the mesh (and the network interface for its own rx side) must stamp
+  // it before the first flit is offered. vc_count == 1 selects the
+  // original ack-backpressure handshake.
+  std::size_t vc_count = 1;  ///< lanes multiplexed on this link (<= kMaxVc)
+  std::size_t vc_depth = 2;  ///< receiver FIFO depth per lane, in flits
 };
 
 /// Sender half of the handshake; embedded in a component's eval().
@@ -67,10 +94,11 @@ class LinkSender {
     }
   }
 
-  /// Service the protected protocol: consume ack/nack responses and run
-  /// the resend timer. Call once at the top of the owner's eval(); no-op
-  /// for bare links.
+  /// Service the protocol layers: consume returned VC credits, then (for
+  /// protected links) ack/nack responses and the resend timer. Call once
+  /// at the top of the owner's eval(); no-op for bare single-lane links.
   void poll() {
+    if (vc_mode()) poll_credits();
     if (!protected_mode() || !in_flight_) return;
     const std::uint8_t r = w_->rsp.read();
     if (r != last_rsp_) {
@@ -124,6 +152,30 @@ class LinkSender {
     w_->tx.write(phase_);
   }
 
+  // ---- virtual-channel layer (vc_count > 1 on the bundle) -------------
+
+  bool vc_mode() const { return w_->vc_count > 1; }
+  std::size_t vc_count() const { return w_->vc_count; }
+
+  /// Free downstream slots in lane v, per this sender's credit view.
+  unsigned vc_space(std::size_t v) const {
+    const std::size_t depth = w_->vc_depth;
+    return used_[v] >= depth ? 0u : static_cast<unsigned>(depth - used_[v]);
+  }
+
+  /// True when a flit may be offered on lane v right now: the physical
+  /// link is free AND the downstream lane has a credited slot.
+  bool vc_ready(std::size_t v) const { return ready() && vc_space(v) > 0; }
+
+  /// Offer a flit on lane v; precondition: vc_ready(v). Consumes one
+  /// credit — retransmissions of the same flit (protected mode) do not.
+  void send_vc(const Flit& f, std::size_t v) {
+    Flit out = f;
+    out.vc = static_cast<std::uint8_t>(v);
+    ++used_[v];
+    send(out);
+  }
+
   void reset() {
     phase_ = false;
     seq_ = false;
@@ -131,10 +183,28 @@ class LinkSender {
     offer_ = 0;
     timer_ = 0;
     last_rsp_ = 0;
+    used_.fill(0);
+    last_credit_ = 0;
   }
 
  private:
   bool protected_mode() const { return rel_ && rel_->link.enabled; }
+
+  /// Fold returned credits into the per-lane occupancy counters. The
+  /// credit wire carries one cumulative 8-bit pop count per lane, so a
+  /// sender that was activity-gated for many cycles still accounts every
+  /// pop exactly once when it wakes.
+  void poll_credits() {
+    const std::uint32_t cur = w_->credit.read();
+    if (cur == last_credit_) return;
+    for (std::size_t v = 0; v < w_->vc_count && v < kMaxVc; ++v) {
+      const auto seen = static_cast<std::uint8_t>(cur >> (8 * v));
+      const auto prev = static_cast<std::uint8_t>(last_credit_ >> (8 * v));
+      const auto delta = static_cast<std::uint8_t>(seen - prev);
+      used_[v] = delta >= used_[v] ? 0 : used_[v] - delta;
+    }
+    last_credit_ = cur;
+  }
 
   /// Drive the replay register onto the wires under a fresh offer id.
   void transmit() {
@@ -166,13 +236,29 @@ class LinkSender {
   std::uint8_t offer_ = 0;   ///< current transmission id
   unsigned timer_ = 0;       ///< cycles since the current offer
   std::uint8_t last_rsp_ = 0;
+
+  // --- VC mode ---
+  std::array<std::uint8_t, kMaxVc> used_{};  ///< in-flight flits per lane
+  std::uint32_t last_credit_ = 0;            ///< last observed credit word
 };
 
-/// Receiver half; pushes latched flits into the destination FIFO.
+/// Receiver half; demultiplexes latched flits into the per-lane
+/// destination FIFO named by Flit::vc (a single FIFO on vc_count == 1
+/// links, where every flit carries vc == 0).
 class LinkReceiver {
  public:
-  LinkReceiver(LinkWires& wires, Fifo<Flit>& dest)
-      : w_(&wires), dest_(&dest) {}
+  /// Single-lane receiver (the original handshake).
+  LinkReceiver(LinkWires& wires, Fifo<Flit>& dest) : w_(&wires), lanes_{} {
+    lanes_[0] = &dest;
+    lane_count_ = 1;
+  }
+
+  /// Multi-lane receiver: `lanes[v]` is the FIFO for lane v. The owner
+  /// must call return_credit(v) every time it pops a flit from lanes[v].
+  LinkReceiver(LinkWires& wires,
+               const std::array<Fifo<Flit>*, kMaxVc>& lanes,
+               std::size_t lane_count)
+      : w_(&wires), lanes_(lanes), lane_count_(lane_count) {}
 
   /// Counterpart of LinkSender::attach.
   void attach(Reliability* rel, bool local_link) {
@@ -187,12 +273,25 @@ class LinkReceiver {
   bool poll() {
     if (protected_mode()) return poll_protected();
     if (w_->tx.read() == phase_) return false;  // nothing new offered
-    if (dest_->full()) return false;            // backpressure
-    dest_->push(w_->data.read());
+    Fifo<Flit>& dest = lane(w_->data.read().vc);
+    if (dest.full()) return false;  // backpressure (credits make this
+                                    // unreachable in VC mode)
+    dest.push(w_->data.read());
     phase_ = !phase_;
     if (stream_.drop_response()) return true;  // ack lost: sender wedges
     w_->ack.write(phase_);
     return true;
+  }
+
+  /// VC mode: report one FIFO pop on lane v back to the sender. Call once
+  /// per popped flit, from the component that drains the lane FIFOs.
+  void return_credit(std::size_t v) {
+    ++pop_counts_[v];
+    std::uint32_t packed = 0;
+    for (std::size_t i = 0; i < kMaxVc; ++i) {
+      packed |= static_cast<std::uint32_t>(pop_counts_[i] & 0xFF) << (8 * i);
+    }
+    w_->credit.write(packed);
   }
 
   void reset() {
@@ -200,10 +299,15 @@ class LinkReceiver {
     responded_offer_ = 0;
     last_seq_ = false;
     have_seq_ = false;
+    pop_counts_.fill(0);
   }
 
  private:
   bool protected_mode() const { return rel_ && rel_->link.enabled; }
+
+  Fifo<Flit>& lane(std::uint8_t vc) {
+    return *lanes_[vc < lane_count_ ? vc : 0];
+  }
 
   bool poll_protected() {
     const Flit& f = w_->data.read();
@@ -220,8 +324,9 @@ class LinkReceiver {
       respond(f.offer, /*nack=*/false);
       return false;
     }
-    if (dest_->full()) return false;  // backpressure: answer once we latch
-    dest_->push(f);
+    Fifo<Flit>& dest = lane(f.vc);
+    if (dest.full()) return false;  // backpressure: answer once we latch
+    dest.push(f);
     last_seq_ = f.seq;
     have_seq_ = true;
     respond(f.offer, /*nack=*/false);
@@ -235,10 +340,14 @@ class LinkReceiver {
   }
 
   LinkWires* w_;
-  Fifo<Flit>* dest_;
+  std::array<Fifo<Flit>*, kMaxVc> lanes_;
+  std::size_t lane_count_ = 1;
   Reliability* rel_ = nullptr;
   FaultStream stream_;
   bool phase_ = false;  ///< value of ack after our last toggle
+
+  // --- VC mode ---
+  std::array<std::uint8_t, kMaxVc> pop_counts_{};  ///< cumulative, mod 256
 
   // --- protected mode ---
   std::uint8_t responded_offer_ = 0;  ///< last offer id answered

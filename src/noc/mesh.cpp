@@ -113,6 +113,40 @@ void Mesh::register_metrics(sim::MetricsRegistry& m) {
   m.probe("noc.routing_rejects", [this] {
     return static_cast<double>(total_stats().routing_rejects);
   });
+
+  // Virtual-channel probes (docs/OBSERVABILITY.md), only when the fabric
+  // actually multiplexes lanes.
+  const std::size_t vcs = routers_[0]->config().vc_count;
+  if (vcs > 1) {
+    m.probe("noc.router.vc.alloc_stalls", [this] {
+      return static_cast<double>(total_stats().vc_alloc_stalls);
+    });
+    for (std::size_t v = 0; v < vcs; ++v) {
+      const std::string lane = "noc.router.vc." + std::to_string(v);
+      m.probe(lane + ".flits", [this, v] {
+        return static_cast<double>(total_stats().vc_flits[v]);
+      });
+      m.probe(lane + ".occupancy", [this, v] {
+        std::size_t fill = 0;
+        for (const auto& r : routers_) {
+          for (std::size_t p = 0; p < kNumPorts; ++p) {
+            fill += r->lane_fill(static_cast<Port>(p), v);
+          }
+        }
+        return static_cast<double>(fill);
+      });
+    }
+    for (unsigned y = 0; y < ny_; ++y) {
+      for (unsigned x = 0; x < nx_; ++x) {
+        const Router* r = routers_[index(x, y)].get();
+        m.probe("router." + std::to_string(x) + "_" + std::to_string(y) +
+                    ".vc.alloc_stalls",
+                [r] {
+                  return static_cast<double>(r->stats().vc_alloc_stalls);
+                });
+      }
+    }
+  }
 }
 
 void Mesh::set_tracer(sim::SpanTracer* tracer) {
@@ -126,9 +160,13 @@ RouterStats Mesh::total_stats() const {
     total.flits_forwarded += s.flits_forwarded;
     total.packets_routed += s.packets_routed;
     total.routing_rejects += s.routing_rejects;
+    total.vc_alloc_stalls += s.vc_alloc_stalls;
     for (std::size_t i = 0; i < kNumPorts; ++i) {
       total.grants[i] += s.grants[i];
       total.port_flits[i] += s.port_flits[i];
+    }
+    for (std::size_t v = 0; v < kMaxVc; ++v) {
+      total.vc_flits[v] += s.vc_flits[v];
     }
   }
   return total;

@@ -12,14 +12,30 @@ NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
     : sim::Component(std::move(name)),
       sim_(&sim),
       tx_(to_router),
-      rx_fifo_(rx_buffer_flits),
-      rx_(from_router, rx_fifo_) {
+      rx_lanes_(from_router.vc_count >= 1 && from_router.vc_count <= kMaxVc
+                    ? from_router.vc_count
+                    : 1),
+      rx_fifos_(rx_lanes_, Fifo<Flit>(rx_buffer_flits)),
+      assemblers_(rx_lanes_),
+      rx_(from_router,
+          [this] {
+            std::array<Fifo<Flit>*, kMaxVc> lanes{};
+            for (std::size_t v = 0; v < rx_lanes_; ++v) {
+              lanes[v] = &rx_fifos_[v];
+            }
+            return lanes;
+          }(),
+          rx_lanes_) {
+  // This NI is the receiving side of from_router: stamp its lane depth
+  // (the router's local sender reads it live, so ordering is free).
+  from_router.vc_depth = rx_buffer_flits;
   tx_.attach(rel, /*local_link=*/true);
   rx_.attach(rel, /*local_link=*/true);
   sim.add(this);
   from_router.tx.wake_on_change(this);  // router offers a flit
   to_router.ack.wake_on_change(this);   // router accepted our flit
   to_router.rsp.wake_on_change(this);   // protected-mode ack/nack arrived
+  to_router.credit.wake_on_change(this);  // VC mode: router lane drained
 
   auto& m = sim.metrics();
   const std::string prefix = "ni." + this->name() + ".";
@@ -58,23 +74,48 @@ void NetworkInterface::eval() {
   // completed handshake frees the link for this cycle's flit.
   tx_.poll();
 
-  // Transmit side: one flit per handshake completion.
+  // Transmit side: one flit per handshake completion. In VC mode each
+  // packet rides one lane, chosen at its header flit by most downstream
+  // credit (ties to the lowest lane id).
   if (!tx_queue_.empty() && tx_.ready()) {
-    tx_.send(tx_queue_.front());
-    tx_queue_.pop_front();
+    if (!tx_.vc_mode()) {
+      tx_.send(tx_queue_.front());
+      tx_queue_.pop_front();
+    } else {
+      const Flit& f = tx_queue_.front();
+      if (f.is_header) {
+        std::size_t best = 0;
+        for (std::size_t v = 1; v < tx_.vc_count(); ++v) {
+          if (tx_.vc_space(v) > tx_.vc_space(best)) best = v;
+        }
+        if (tx_.vc_space(best) > 0) tx_vc_ = best;
+      }
+      if (tx_.vc_ready(tx_vc_)) {
+        tx_.send_vc(f, tx_vc_);
+        tx_queue_.pop_front();
+      }
+    }
   }
 
-  // Receive side: latch at most one flit per cycle, then drain the buffer
-  // through the assembler (the IP-side buffer is not a bottleneck).
+  // Receive side: latch at most one flit per cycle, then drain the lane
+  // buffers through their assemblers (the IP-side buffer is not a
+  // bottleneck). Each pop returns one credit to the router.
   rx_.poll();
-  while (!rx_fifo_.empty()) {
-    const Flit f = rx_fifo_.pop();
-    if (assembler_.feed(f)) {
+  for (std::size_t v = 0; v < rx_lanes_; ++v) drain_rx_lane(v);
+}
+
+void NetworkInterface::drain_rx_lane(std::size_t v) {
+  auto& fifo = rx_fifos_[v];
+  auto& assembler = assemblers_[v];
+  while (!fifo.empty()) {
+    const Flit f = fifo.pop();
+    if (rx_lanes_ > 1) rx_.return_credit(v);
+    if (assembler.feed(f)) {
       ReceivedPacket rp;
-      rp.packet = assembler_.take();
-      rp.packet_id = assembler_.packet_id();
-      rp.trace_id = assembler_.trace_id();
-      rp.inject_cycle = assembler_.inject_cycle();
+      rp.packet = assembler.take();
+      rp.packet_id = assembler.packet_id();
+      rp.trace_id = assembler.trace_id();
+      rp.inject_cycle = assembler.inject_cycle();
       rp.recv_cycle = sim_->cycle();
       if (tracer_ && rp.trace_id) {
         tracer_->end_span(rp.trace_id, rp.recv_cycle);
@@ -88,8 +129,9 @@ void NetworkInterface::eval() {
 void NetworkInterface::reset() {
   tx_.reset();
   rx_.reset();
-  rx_fifo_.clear();
-  assembler_.reset();
+  for (auto& f : rx_fifos_) f.clear();
+  for (auto& a : assemblers_) a.reset();
+  tx_vc_ = 0;
   tx_queue_.clear();
   inbox_.clear();
   next_packet_id_ = 1;

@@ -3,9 +3,17 @@
 // talk to its router's Local port. Outgoing packets are flattened to a
 // flit stream driven through the handshake link; incoming flits are
 // reassembled into packets.
+//
+// Virtual channels: when the attached router runs vc_count > 1 (read off
+// the stamped from_router bundle), the NI keeps one rx lane FIFO and one
+// packet assembler per lane, returns a credit per popped flit, and picks
+// the tx lane with the most downstream credit at each packet header
+// (flits of one packet stay on one lane — wormhole order per VC). With
+// vc_count == 1 it is bit-identical to the pre-VC interface.
 
 #include <cstdint>
 #include <deque>
+#include <vector>
 
 #include "noc/link.hpp"
 #include "noc/packet.hpp"
@@ -67,16 +75,24 @@ class NetworkInterface final : public sim::Component {
   bool quiescent() const override {
     // tx_.idle(): a protected sender with an unacknowledged flit needs
     // eval() each cycle to run its resend timer.
-    return (tx_queue_.empty() || !tx_.ready()) && rx_fifo_.empty() &&
-           tx_.idle();
+    if (!tx_.idle()) return false;
+    if (!tx_queue_.empty() && tx_.ready()) return false;
+    for (const auto& f : rx_fifos_) {
+      if (!f.empty()) return false;
+    }
+    return true;
   }
 
  private:
+  void drain_rx_lane(std::size_t v);
+
   sim::Simulator* sim_;
   LinkSender tx_;
-  Fifo<Flit> rx_fifo_;
+  std::size_t rx_lanes_;                ///< from_router.vc_count, clamped
+  std::vector<Fifo<Flit>> rx_fifos_;    ///< one per rx lane
+  std::vector<PacketAssembler> assemblers_;  ///< one per rx lane
   LinkReceiver rx_;
-  PacketAssembler assembler_;
+  std::size_t tx_vc_ = 0;  ///< lane carrying the in-flight tx packet
   std::deque<Flit> tx_queue_;
   std::deque<ReceivedPacket> inbox_;
   sim::SpanTracer* tracer_ = nullptr;

@@ -19,27 +19,47 @@ Router::Router(XY address, const RouterConfig& cfg, Reliability* rel)
     : sim::Component(router_name(address)),
       addr_(address),
       cfg_(cfg),
+      policy_(cfg.policy ? cfg.policy : &routing_policy(cfg.algo)),
       rel_(rel),
-      inputs_{InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
-              InputPort(cfg.buffer_depth), InputPort(cfg.buffer_depth),
-              InputPort(cfg.buffer_depth)} {
+      inputs_{InputPort(cfg.vc_count, cfg.buffer_depth),
+              InputPort(cfg.vc_count, cfg.buffer_depth),
+              InputPort(cfg.vc_count, cfg.buffer_depth),
+              InputPort(cfg.vc_count, cfg.buffer_depth),
+              InputPort(cfg.vc_count, cfg.buffer_depth)},
+      arbiter_(kNumPorts * cfg.vc_count) {
   assert(cfg.buffer_depth >= 1);
   assert(cfg.route_latency >= 1);
+  assert(cfg.vc_count >= 1 && cfg.vc_count <= kMaxVc);
+  assert(policy_->min_vc_count() <= cfg.vc_count &&
+         "routing policy needs more virtual channels to stay deadlock-free");
 }
 
 void Router::connect_in(Port p, LinkWires& w) {
+  // This router is the receiver: its lane geometry governs the link.
+  w.vc_count = cfg_.vc_count;
+  w.vc_depth = cfg_.buffer_depth;
   auto& in = inputs_[static_cast<std::size_t>(p)];
-  in.rx.emplace(w, in.fifo);
+  if (cfg_.vc_count > 1) {
+    std::array<Fifo<Flit>*, kMaxVc> lanes{};
+    for (std::size_t v = 0; v < cfg_.vc_count; ++v) lanes[v] = &in.fifos[v];
+    in.rx.emplace(w, lanes, cfg_.vc_count);
+  } else {
+    in.rx.emplace(w, in.fifos[0]);
+  }
   in.rx->attach(rel_, p == Port::kLocal);
   w.tx.wake_on_change(this);  // new flit offered while gated off
 }
 
 void Router::connect_out(Port p, LinkWires& w) {
+  // Lane multiplexing is a fabric-wide property; the receiver (router
+  // connect_in, or the NI for a Local out-link) stamps the depth.
+  w.vc_count = cfg_.vc_count;
   auto& out = outputs_[static_cast<std::size_t>(p)];
   out.tx.emplace(w);
   out.tx->attach(rel_, p == Port::kLocal);
-  w.ack.wake_on_change(this);  // downstream accepted, link free again
-  w.rsp.wake_on_change(this);  // protected-mode ack/nack arrived
+  w.ack.wake_on_change(this);     // downstream accepted, link free again
+  w.rsp.wake_on_change(this);     // protected-mode ack/nack arrived
+  w.credit.wake_on_change(this);  // VC mode: downstream lane drained
 }
 
 void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {
@@ -55,12 +75,13 @@ void Router::set_tracer(sim::SpanTracer* tracer, const sim::Simulator* sim) {
 }
 
 void Router::eval() {
-  // 0. Service protected senders: consume responses, run resend timers.
+  // 0. Service senders: consume VC credits and (protected mode)
+  //    responses/resend timers.
   for (auto& out : outputs_) {
     if (out.tx) out.tx->poll();
   }
 
-  // 1. Latch arriving flits into the input buffers.
+  // 1. Latch arriving flits into the input lane buffers.
   for (auto& in : inputs_) {
     if (in.rx) in.rx->poll();
   }
@@ -77,123 +98,186 @@ void Router::eval() {
 }
 
 void Router::start_routing() {
-  std::vector<bool> requests(kNumPorts, false);
+  const std::size_t vcs = cfg_.vc_count;
+  std::vector<bool> requests(kNumPorts * vcs, false);
   bool any = false;
   for (std::size_t i = 0; i < kNumPorts; ++i) {
     const auto& in = inputs_[i];
-    const bool wants = in.out < 0 && in.pos == FlitPos::kHeader &&
-                       !in.fifo.empty() &&
-                       static_cast<int>(i) != pending_input_;
-    requests[i] = wants;
-    any = any || wants;
+    for (std::size_t v = 0; v < vcs; ++v) {
+      const std::size_t idx = i * vcs + v;
+      const auto& lane = in.lane[v];
+      const bool wants = lane.out < 0 && lane.pos == FlitPos::kHeader &&
+                         !in.fifos[v].empty() &&
+                         static_cast<int>(idx) != pending_lane_;
+      requests[idx] = wants;
+      any = any || wants;
+    }
   }
   if (!any) return;
   const int granted = arbiter_.arbitrate(requests);
   if (granted < 0) return;  // unreachable given `any`, keeps indexing safe
-  pending_input_ = granted;
+  pending_lane_ = granted;
   control_timer_ = cfg_.route_latency;
-  ++stats_.grants[static_cast<std::size_t>(granted)];
+  ++stats_.grants[static_cast<std::size_t>(granted) / vcs];
+}
+
+int Router::pick_output_lane(const OutputPort& out,
+                             std::uint8_t mask) const {
+  // Free lane from the policy's admissible mask; in VC mode prefer the
+  // one with the most downstream credit (first wins ties).
+  int best = -1;
+  unsigned best_space = 0;
+  for (std::size_t v = 0; v < cfg_.vc_count; ++v) {
+    if (!(mask & (1u << v)) || out.in[v] >= 0) continue;
+    if (cfg_.vc_count == 1) return static_cast<int>(v);
+    const unsigned space = out.tx->vc_space(v);
+    if (best < 0 || space > best_space) {
+      best = static_cast<int>(v);
+      best_space = space;
+    }
+  }
+  return best;
 }
 
 void Router::finish_routing() {
-  assert(pending_input_ >= 0);
-  const auto in_idx = static_cast<std::size_t>(pending_input_);
+  assert(pending_lane_ >= 0);
+  const auto g = static_cast<std::size_t>(pending_lane_);
+  const std::size_t in_idx = g / cfg_.vc_count;
+  const std::size_t in_vc = g % cfg_.vc_count;
   auto& in = inputs_[in_idx];
-  pending_input_ = -1;
-  // An unconnected input cannot forward, so the header must still be there.
-  assert(!in.fifo.empty() && in.pos == FlitPos::kHeader);
-  const XY target = decode_xy(in.fifo.front().data);
+  auto& lane = in.lane[in_vc];
+  pending_lane_ = -1;
+  // An unconnected lane cannot forward, so the header must still be there.
+  assert(!in.fifos[in_vc].empty() && lane.pos == FlitPos::kHeader);
+  const XY target = decode_xy(in.fifos[in_vc].front().data);
 
-  // Candidate outputs: one for deterministic XY, up to two (chosen
-  // adaptively by availability) for west-first.
-  Port candidates[2] = {Port::kLocal, Port::kLocal};
-  std::size_t n_candidates = 1;
-  if (cfg_.algo == RoutingAlgo::kXY) {
-    candidates[0] = route_xy(addr_, target);
-  } else {
-    n_candidates = route_west_first(addr_, target, candidates);
-  }
+  RouteCandidate cands[kMaxRouteCandidates];
+  const std::size_t n =
+      policy_->route(addr_, target, cfg_.vc_count, *this, cands);
 
-  for (std::size_t k = 0; k < n_candidates; ++k) {
-    const Port out_port = candidates[k];
+  bool lanes_busy = false;
+  for (std::size_t k = 0; k < n; ++k) {
+    const Port out_port = cands[k].port;
     auto& out = outputs_[static_cast<std::size_t>(out_port)];
-    if (out.in >= 0 || !out.tx) continue;  // busy or unconnected edge
-    out.in = static_cast<int>(in_idx);
-    in.out = static_cast<int>(static_cast<std::size_t>(out_port));
+    if (!out.tx) continue;  // unconnected mesh edge
+    const int v = pick_output_lane(out, cands[k].vc_mask);
+    if (v < 0) {
+      lanes_busy = true;  // port exists, admissible lanes all held
+      continue;
+    }
+    out.in[static_cast<std::size_t>(v)] = static_cast<int>(g);
+    lane.out = static_cast<int>(static_cast<std::size_t>(out_port));
+    lane.out_vc = static_cast<std::uint8_t>(v);
     ++stats_.packets_routed;
     MN_DEBUG(name(), "connect " << port_name(static_cast<Port>(in_idx))
-                                << "->" << port_name(out_port) << " target "
-                                << int(target.x) << ',' << int(target.y));
+                                << '.' << in_vc << "->"
+                                << port_name(out_port) << '.' << v
+                                << " target " << int(target.x) << ','
+                                << int(target.y));
     return;
   }
   // Every admissible output busy: the request stays pending and will be
   // re-arbitrated; paper: "the routing request for this packet will
   // remain active until a connection is established".
   ++stats_.routing_rejects;
+  if (lanes_busy && cfg_.vc_count > 1) ++stats_.vc_alloc_stalls;
 }
 
 void Router::forward_flits() {
+  const std::size_t vcs = cfg_.vc_count;
+  // Switch allocation: each output port serves at most one of its
+  // connected lanes (round-robin) and each input port sources at most
+  // one flit per cycle (one crossbar read port per input buffer).
+  std::array<bool, kNumPorts> input_busy{};
   for (std::size_t o = 0; o < kNumPorts; ++o) {
     auto& out = outputs_[o];
-    if (out.in < 0) continue;
-    auto& in = inputs_[static_cast<std::size_t>(out.in)];
-    if (in.fifo.empty() || !out.tx->ready()) continue;
-
-    const Flit flit = in.fifo.pop();
-    out.tx->send(flit);
-    ++stats_.flits_forwarded;
-    ++stats_.port_flits[o];
-    if (tracer_) {
-      // One flit occupies the handshake link for 2 cycles.
-      tracer_->complete_event(port_tracks_[o], "flit", tracer_sim_->cycle(),
-                              2, flit.trace_id);
-    }
-
-    switch (in.pos) {
-      case FlitPos::kHeader:
-        in.pos = FlitPos::kSize;
-        break;
-      case FlitPos::kSize:
-        in.remaining = flit.data;
-        if (in.remaining == 0) {
-          disconnect(static_cast<std::size_t>(out.in));
-        } else {
-          in.pos = FlitPos::kPayload;
-        }
-        break;
-      case FlitPos::kPayload:
-        if (--in.remaining == 0) {
-          disconnect(static_cast<std::size_t>(out.in));
-        }
-        break;
+    if (!out.tx || !out.tx->ready()) continue;
+    const bool vc_mode = out.tx->vc_mode();
+    for (std::size_t k = 0; k < vcs; ++k) {
+      const std::size_t v = (out.rr + 1 + k) % vcs;
+      const int src = out.in[v];
+      if (src < 0) continue;
+      const auto in_port = static_cast<std::size_t>(src) / vcs;
+      const auto in_vc = static_cast<std::size_t>(src) % vcs;
+      if (input_busy[in_port]) continue;
+      if (inputs_[in_port].fifos[in_vc].empty()) continue;
+      if (vc_mode && out.tx->vc_space(v) == 0) continue;  // no credit
+      input_busy[in_port] = true;
+      out.rr = v;
+      forward_one(o, v);
+      break;
     }
   }
 }
 
-void Router::disconnect(std::size_t input) {
-  auto& in = inputs_[input];
-  assert(in.out >= 0);
-  outputs_[static_cast<std::size_t>(in.out)].in = -1;
-  in.out = -1;
-  in.pos = FlitPos::kHeader;
-  in.remaining = 0;
+void Router::forward_one(std::size_t out_port, std::size_t out_vc) {
+  auto& out = outputs_[out_port];
+  const auto src = static_cast<std::size_t>(out.in[out_vc]);
+  const std::size_t in_port = src / cfg_.vc_count;
+  const std::size_t in_vc = src % cfg_.vc_count;
+  auto& in = inputs_[in_port];
+  auto& lane = in.lane[in_vc];
+
+  const Flit flit = in.fifos[in_vc].pop();
+  if (cfg_.vc_count > 1 && in.rx) in.rx->return_credit(in_vc);
+  if (out.tx->vc_mode()) {
+    out.tx->send_vc(flit, out_vc);
+  } else {
+    out.tx->send(flit);
+  }
+  ++stats_.flits_forwarded;
+  ++stats_.port_flits[out_port];
+  ++stats_.vc_flits[out_vc];
+  if (tracer_) {
+    // One flit occupies the handshake link for 2 cycles.
+    tracer_->complete_event(port_tracks_[out_port], "flit",
+                            tracer_sim_->cycle(), 2, flit.trace_id);
+  }
+
+  switch (lane.pos) {
+    case FlitPos::kHeader:
+      lane.pos = FlitPos::kSize;
+      break;
+    case FlitPos::kSize:
+      lane.remaining = flit.data;
+      if (lane.remaining == 0) {
+        disconnect(in_port, in_vc);
+      } else {
+        lane.pos = FlitPos::kPayload;
+      }
+      break;
+    case FlitPos::kPayload:
+      if (--lane.remaining == 0) {
+        disconnect(in_port, in_vc);
+      }
+      break;
+  }
+}
+
+void Router::disconnect(std::size_t input, std::size_t vc) {
+  auto& lane = inputs_[input].lane[vc];
+  assert(lane.out >= 0);
+  outputs_[static_cast<std::size_t>(lane.out)].in[lane.out_vc] = -1;
+  lane.out = -1;
+  lane.out_vc = 0;
+  lane.pos = FlitPos::kHeader;
+  lane.remaining = 0;
 }
 
 void Router::reset() {
   for (auto& in : inputs_) {
-    in.fifo.clear();
+    in.fifos.clear();
     if (in.rx) in.rx->reset();
-    in.pos = FlitPos::kHeader;
-    in.out = -1;
-    in.remaining = 0;
+    for (auto& lane : in.lane) lane = LaneState{};
   }
   for (auto& out : outputs_) {
     if (out.tx) out.tx->reset();
-    out.in = -1;
+    out.in.fill(-1);
+    out.rr = 0;
   }
   arbiter_.reset();
   control_timer_ = 0;
-  pending_input_ = -1;
+  pending_lane_ = -1;
   stats_ = RouterStats{};
 }
 

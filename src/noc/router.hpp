@@ -1,14 +1,30 @@
 #pragma once
-// Hermes wormhole router (paper §2.1, Fig. 2).
+// Hermes wormhole router (paper §2.1, Fig. 2) with virtual channels.
 //
 // Five bidirectional ports (East, West, North, South, Local), an input
 // buffer per port (2-flit circular FIFO by default), a single centralized
-// control logic implementing round-robin arbitration + deterministic XY
-// routing, and a crossbar able to sustain up to five simultaneous
-// connections. A routing decision occupies the control logic for
-// `route_latency` cycles (paper: Ri >= 7). Once a connection is
-// established it persists until the packet's last payload flit passed
-// (wormhole switching); blocked packets stall in the input buffers.
+// control logic implementing round-robin arbitration + pluggable routing
+// (RoutingPolicy, deterministic XY by default), and a crossbar able to
+// sustain up to five simultaneous connections. A routing decision
+// occupies the control logic for `route_latency` cycles (paper: Ri >= 7).
+// Once a connection is established it persists until the packet's last
+// payload flit passed (wormhole switching); blocked packets stall in the
+// input buffers.
+//
+// Virtual channels (vc_count > 1): each input port is split into
+// vc_count independent lanes of `buffer_depth` flits, each with its own
+// wormhole state machine, so a packet blocked on one lane no longer
+// head-of-line-blocks the physical link. The control logic arbitrates
+// over every input lane (input-major order: lane index = input * vc_count
+// + vc), the routing policy returns candidate ports with an admissible
+// lane mask, and a per-packet VC allocator picks the free output lane
+// with the most downstream credit. The crossbar gains a switch-allocation
+// stage: per cycle, each output port serves at most one of its connected
+// lanes (round-robin) and each input port sources at most one flit (one
+// crossbar read port per input). Flow control is credit-based
+// (link.hpp); credits are returned as lane FIFOs drain. With vc_count ==
+// 1 every stage collapses to the original single-buffer router,
+// cycle-for-cycle and bit-for-bit (pinned by tests/test_router_vc).
 
 #include <array>
 #include <cstdint>
@@ -27,41 +43,56 @@
 namespace mn::noc {
 
 struct RouterConfig {
-  std::size_t buffer_depth = 2;  ///< flits per input FIFO (paper: 2)
+  std::size_t buffer_depth = 2;  ///< flits per input FIFO lane (paper: 2)
   unsigned route_latency = 7;    ///< control cycles per routing decision
   RoutingAlgo algo = RoutingAlgo::kXY;  ///< paper default: deterministic XY
+  std::size_t vc_count = 1;  ///< virtual channels per port (1..kMaxVc);
+                             ///< 1 = the original bufferless-VC router
+  const RoutingPolicy* policy = nullptr;  ///< custom policy override;
+                                          ///< null = routing_policy(algo)
 };
 
 struct RouterStats {
   std::uint64_t flits_forwarded = 0;
   std::uint64_t packets_routed = 0;
   std::uint64_t routing_rejects = 0;  ///< decisions that found output busy
+  std::uint64_t vc_alloc_stalls = 0;  ///< rejects where a candidate port
+                                      ///< was wired but every admissible
+                                      ///< lane was held (VC contention)
   std::array<std::uint64_t, kNumPorts> grants{};  ///< arbiter grants per input
   std::array<std::uint64_t, kNumPorts> port_flits{};  ///< flits out per port
+  std::array<std::uint64_t, kMaxVc> vc_flits{};  ///< flits out per lane id
 };
 
-class Router final : public sim::Component {
+class Router final : public sim::Component, private CongestionView {
  public:
   /// `rel` (optional) enables link protection / fault injection on every
   /// port of this router; it must outlive the router.
   Router(XY address, const RouterConfig& cfg, Reliability* rel = nullptr);
 
   /// Attach the incoming wire bundle of a port (this router receives).
+  /// Stamps the bundle's lane geometry (vc_count, per-lane depth).
   void connect_in(Port p, LinkWires& w);
 
-  /// Attach the outgoing wire bundle of a port (this router sends).
+  /// Attach the outgoing wire bundle of a port (this router sends). Also
+  /// stamps the bundle's vc_count — the lane multiplexing is a fabric
+  /// property — while the receiver owns the depth stamp.
   void connect_out(Port p, LinkWires& w);
 
   void eval() override;
   void reset() override;
 
   /// Idle iff the control logic has no decision in flight and every input
-  /// is drained and disconnected. Arriving flits re-activate the router
-  /// through the link tx/ack wires registered in connect_in/connect_out.
+  /// lane is drained and disconnected. Arriving flits re-activate the
+  /// router through the link tx/ack/credit wires registered in
+  /// connect_in/connect_out.
   bool quiescent() const override {
-    if (control_timer_ != 0 || pending_input_ >= 0) return false;
+    if (control_timer_ != 0 || pending_lane_ >= 0) return false;
     for (const auto& in : inputs_) {
-      if (!in.fifo.empty() || in.out >= 0) return false;
+      if (!in.fifos.all_empty()) return false;
+      for (std::size_t v = 0; v < cfg_.vc_count; ++v) {
+        if (in.lane[v].out >= 0) return false;
+      }
     }
     for (const auto& out : outputs_) {
       // A protected sender with an unacknowledged flit needs eval() each
@@ -75,14 +106,22 @@ class Router final : public sim::Component {
   const RouterConfig& config() const { return cfg_; }
   const RouterStats& stats() const { return stats_; }
 
-  /// Introspection for tests: connected output of an input port, -1 if none.
-  int input_connection(Port p) const {
-    return inputs_[static_cast<std::size_t>(p)].out;
+  /// Introspection for tests: connected output of an input lane, -1 if
+  /// none. The single-argument form reads lane 0 (the only lane of a
+  /// vc_count == 1 router).
+  int input_connection(Port p) const { return input_connection(p, 0); }
+  int input_connection(Port p, std::size_t vc) const {
+    return inputs_[static_cast<std::size_t>(p)].lane[vc].out;
   }
 
-  /// Occupancy of an input FIFO.
+  /// Occupancy of an input port's buffer, summed over its lanes.
   std::size_t buffer_fill(Port p) const {
-    return inputs_[static_cast<std::size_t>(p)].fifo.size();
+    return inputs_[static_cast<std::size_t>(p)].fifos.total_size();
+  }
+
+  /// Occupancy of one input lane's FIFO.
+  std::size_t lane_fill(Port p, std::size_t vc) const {
+    return inputs_[static_cast<std::size_t>(p)].fifos[vc].size();
   }
 
   /// Attach a span tracer (usually via Mesh::set_tracer): registers one
@@ -94,33 +133,56 @@ class Router final : public sim::Component {
   /// Position of the next flit to forward within its packet.
   enum class FlitPos : std::uint8_t { kHeader, kSize, kPayload };
 
-  struct InputPort {
-    explicit InputPort(std::size_t depth) : fifo(depth) {}
-    Fifo<Flit> fifo;
-    std::optional<LinkReceiver> rx;
+  /// Wormhole state of one input lane.
+  struct LaneState {
     FlitPos pos = FlitPos::kHeader;
-    int out = -1;                 ///< connected output port index, -1 = none
-    std::size_t remaining = 0;    ///< payload flits left to forward
+    int out = -1;               ///< connected output port index, -1 = none
+    std::uint8_t out_vc = 0;    ///< connected output lane
+    std::size_t remaining = 0;  ///< payload flits left to forward
+  };
+
+  struct InputPort {
+    InputPort(std::size_t lanes, std::size_t depth) : fifos(lanes, depth) {}
+    LaneBank<Flit> fifos;
+    std::array<LaneState, kMaxVc> lane{};
+    std::optional<LinkReceiver> rx;
   };
 
   struct OutputPort {
     std::optional<LinkSender> tx;
-    int in = -1;  ///< connected input port index, -1 = free
+    std::array<int, kMaxVc> in{-1, -1, -1, -1};  ///< global input-lane
+                                                 ///< index holding lane v
+    std::size_t rr = 0;  ///< switch-allocation round-robin pointer
   };
+
+  // CongestionView (read-only router state handed to the RoutingPolicy).
+  bool has_output(Port p) const override {
+    return outputs_[static_cast<std::size_t>(p)].tx.has_value();
+  }
+  bool lane_free(Port p, std::size_t vc) const override {
+    return outputs_[static_cast<std::size_t>(p)].in[vc] < 0;
+  }
+  unsigned lane_space(Port p, std::size_t vc) const override {
+    const auto& tx = outputs_[static_cast<std::size_t>(p)].tx;
+    return tx && tx->vc_mode() ? tx->vc_space(vc) : 0;
+  }
 
   void finish_routing();
   void start_routing();
   void forward_flits();
-  void disconnect(std::size_t input);
+  void forward_one(std::size_t out_port, std::size_t out_vc);
+  void disconnect(std::size_t input, std::size_t vc);
+  int pick_output_lane(const OutputPort& out, std::uint8_t mask) const;
 
   XY addr_;
   RouterConfig cfg_;
+  const RoutingPolicy* policy_;
   Reliability* rel_ = nullptr;
   std::array<InputPort, kNumPorts> inputs_;
   std::array<OutputPort, kNumPorts> outputs_;
-  RoundRobinArbiter arbiter_{kNumPorts};
+  RoundRobinArbiter arbiter_;
   unsigned control_timer_ = 0;  ///< cycles left in the current decision
-  int pending_input_ = -1;      ///< input being routed by the control logic
+  int pending_lane_ = -1;  ///< input lane being routed by the control logic
   RouterStats stats_;
   sim::SpanTracer* tracer_ = nullptr;
   const sim::Simulator* tracer_sim_ = nullptr;

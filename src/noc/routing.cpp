@@ -1,0 +1,119 @@
+#include "noc/routing.hpp"
+
+namespace mn::noc {
+
+namespace {
+
+/// Deterministic XY (paper §2.1). The channel-dependency graph is acyclic
+/// in link space, so every VC assignment is deadlock-free: the policy
+/// offers all lanes and lets the allocator balance them.
+class XYPolicy final : public RoutingPolicy {
+ public:
+  const char* name() const override { return "xy"; }
+
+  std::size_t route(XY here, XY target, std::size_t vc_count,
+                    const CongestionView&,
+                    RouteCandidate out[kMaxRouteCandidates]) const override {
+    out[0] = {route_xy(here, target), vc_mask_all(vc_count)};
+    return 1;
+  }
+};
+
+/// West-first turn model (Glass–Ni): all westward movement first, then
+/// any productive direction. Acyclic in link space; all lanes allowed.
+class WestFirstPolicy final : public RoutingPolicy {
+ public:
+  const char* name() const override { return "west_first"; }
+
+  std::size_t route(XY here, XY target, std::size_t vc_count,
+                    const CongestionView&,
+                    RouteCandidate out[kMaxRouteCandidates]) const override {
+    Port ports[2];
+    const std::size_t n = route_west_first(here, target, ports);
+    const std::uint8_t all = vc_mask_all(vc_count);
+    for (std::size_t i = 0; i < n; ++i) out[i] = {ports[i], all};
+    return n;
+  }
+};
+
+/// Congestion-aware minimal adaptive routing with a Duato escape channel.
+///
+/// Deadlock argument: lane 0 of every link is the escape subnetwork and
+/// is only ever offered with deterministic XY routing, whose channel
+/// dependency graph is acyclic — the escape subnetwork alone is
+/// deadlock-free. Lanes 1..vc_count-1 are fully adaptive over the minimal
+/// (productive) directions. Every decision, and every retry of a blocked
+/// decision, includes the escape candidate last, so a packet holding
+/// adaptive lanes can always drain via the escape path: by Duato's
+/// protocol the extended channel-dependency graph has no escape-free
+/// cycle and the network is deadlock-free. Requires vc_count >= 2.
+class AdaptiveEscapePolicy final : public RoutingPolicy {
+ public:
+  const char* name() const override { return "adaptive"; }
+
+  std::size_t min_vc_count() const override { return 2; }
+
+  std::size_t route(XY here, XY target, std::size_t vc_count,
+                    const CongestionView& view,
+                    RouteCandidate out[kMaxRouteCandidates]) const override {
+    if (here == target || vc_count < 2) {
+      // Delivery — or a misconfigured single-lane router, where the only
+      // safe behaviour is the escape function itself.
+      out[0] = {route_xy(here, target), vc_mask_all(vc_count)};
+      return 1;
+    }
+    const std::uint8_t adaptive =
+        static_cast<std::uint8_t>(vc_mask_all(vc_count) & ~1u);
+
+    Port prod[2];
+    std::size_t np = 0;
+    if (target.x > here.x) prod[np++] = Port::kEast;
+    if (target.x < here.x) prod[np++] = Port::kWest;
+    if (target.y > here.y) prod[np++] = Port::kNorth;
+    if (target.y < here.y) prod[np++] = Port::kSouth;
+
+    // Order productive directions by free downstream space over the
+    // adaptive lanes (descending); ties keep X-first order.
+    if (np == 2 && space(view, prod[1], vc_count) >
+                       space(view, prod[0], vc_count)) {
+      const Port t = prod[0];
+      prod[0] = prod[1];
+      prod[1] = t;
+    }
+
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < np; ++i) {
+      if (view.has_output(prod[i])) out[n++] = {prod[i], adaptive};
+    }
+    // The escape: deterministic XY on lane 0, always offered last.
+    out[n++] = {route_xy(here, target), 0x01};
+    return n;
+  }
+
+ private:
+  static unsigned space(const CongestionView& view, Port p,
+                        std::size_t vc_count) {
+    if (!view.has_output(p)) return 0;
+    unsigned total = 0;
+    for (std::size_t v = 1; v < vc_count; ++v) {
+      total += view.lane_space(p, v);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+const RoutingPolicy& routing_policy(RoutingAlgo algo) {
+  static const XYPolicy xy;
+  static const WestFirstPolicy west_first;
+  static const AdaptiveEscapePolicy adaptive;
+  switch (algo) {
+    case RoutingAlgo::kWestFirst: return west_first;
+    case RoutingAlgo::kAdaptive: return adaptive;
+    case RoutingAlgo::kXY: break;
+  }
+  return xy;
+}
+
+}  // namespace mn::noc

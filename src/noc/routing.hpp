@@ -1,5 +1,7 @@
 #pragma once
-// Deterministic XY routing (paper §2.1).
+// Routing for the Hermes mesh: the paper's deterministic XY (§2.1) plus a
+// pluggable RoutingPolicy interface with partially adaptive (west-first)
+// and congestion-aware fully adaptive (Duato escape-channel) policies.
 
 #include <cstdint>
 
@@ -55,8 +57,20 @@ constexpr Port route_xy(XY here, XY target) {
 
 /// Routing algorithms supported by the router. The paper uses
 /// deterministic XY; west-first (Glass–Ni turn model) is the partially
-/// adaptive ablation quantifying what that simplicity choice costs.
-enum class RoutingAlgo : std::uint8_t { kXY, kWestFirst };
+/// adaptive ablation quantifying what that simplicity choice costs;
+/// kAdaptive is congestion-aware minimal adaptive routing, deadlock-free
+/// through a VC0 escape channel (requires vc_count >= 2, see
+/// AdaptiveEscapePolicy below).
+enum class RoutingAlgo : std::uint8_t { kXY, kWestFirst, kAdaptive };
+
+constexpr const char* routing_algo_name(RoutingAlgo a) {
+  switch (a) {
+    case RoutingAlgo::kXY: return "xy";
+    case RoutingAlgo::kWestFirst: return "west_first";
+    case RoutingAlgo::kAdaptive: return "adaptive";
+  }
+  return "unknown";
+}
 
 /// West-first candidate outputs, in preference order (the XY-default
 /// first). Invariant (turn model): all westward movement happens first;
@@ -91,5 +105,72 @@ constexpr unsigned hop_routers(XY src, XY dst) {
   const unsigned dy = src.y > dst.y ? src.y - dst.y : dst.y - src.y;
   return dx + dy + 1;
 }
+
+// ---------------------------------------------------------------------------
+// Pluggable routing policies
+// ---------------------------------------------------------------------------
+
+/// Most candidates any built-in policy emits: two productive directions
+/// plus the deterministic escape.
+inline constexpr std::size_t kMaxRouteCandidates = 3;
+
+/// One admissible output for a routing decision: a port plus the set of
+/// virtual-channel lanes the policy allows on it (bit v = lane v). The
+/// router's VC allocator picks one free lane from the mask.
+struct RouteCandidate {
+  Port port = Port::kLocal;
+  std::uint8_t vc_mask = 0x01;
+};
+
+constexpr std::uint8_t vc_mask_all(std::size_t vc_count) {
+  return static_cast<std::uint8_t>((1u << vc_count) - 1u);
+}
+
+/// Read-only congestion/topology view a router exposes to its policy.
+/// Policies may use it to order candidates; they must not assume a port
+/// exists (mesh edges) — the router skips unwired candidates anyway.
+class CongestionView {
+ public:
+  virtual ~CongestionView() = default;
+
+  /// True when the output port is wired (not a mesh edge).
+  virtual bool has_output(Port p) const = 0;
+
+  /// True when output lane (p, vc) is not currently held by a packet.
+  virtual bool lane_free(Port p, std::size_t vc) const = 0;
+
+  /// Downstream buffer space estimate for lane (p, vc) in flits
+  /// (sender-side credits). Always 0 in single-lane ack mode, where no
+  /// credit information exists.
+  virtual unsigned lane_space(Port p, std::size_t vc) const = 0;
+};
+
+/// A routing algorithm as a first-class, swappable object. Implementations
+/// must be stateless (one shared instance serves every router) and must
+/// guarantee deadlock freedom on a mesh for the vc_count they accept:
+/// either by an acyclic channel-dependency graph in link space (XY,
+/// west-first — then any VC assignment is safe) or by a VC restriction
+/// (adaptive — escape lane 0 runs deterministic XY; Duato's protocol).
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Smallest vc_count this policy is deadlock-free for.
+  virtual std::size_t min_vc_count() const { return 1; }
+
+  /// Fill `out` with up to kMaxRouteCandidates admissible outputs in
+  /// preference order; returns the count (>= 1; a packet at its target
+  /// yields {kLocal, all}). A failed allocation keeps the request active,
+  /// so candidates are re-evaluated (with fresh congestion data) on every
+  /// retry.
+  virtual std::size_t route(XY here, XY target, std::size_t vc_count,
+                            const CongestionView& view,
+                            RouteCandidate out[kMaxRouteCandidates]) const = 0;
+};
+
+/// Shared stateless instance of a built-in policy.
+const RoutingPolicy& routing_policy(RoutingAlgo algo);
 
 }  // namespace mn::noc

@@ -1,0 +1,126 @@
+#pragma once
+// Shared JSON run-record writer (schema mn-bench-v1), used by both the
+// bench harness (bench/harness.hpp) and the command-line tools (mn-run
+// --json) so every JSON artifact the repo produces carries the same
+// layout and the same build-provenance meta block.
+//
+// Flags (stripped from argc/argv by the constructor):
+//   --json <path> / --json=<path>   write the schema-stable JSON record
+//
+// Schema (mn-bench-v1):
+//
+//   {
+//     "schema": "mn-bench-v1",
+//     "bench": "<record name>",
+//     "meta":    { "git_sha": "...", "compiler": "...",
+//                  "build_type": "..." },
+//     "metrics": { "<name>": {"value": <number>, "unit": "<unit>"} },
+//     "notes":   { "<key>": "<text>" }
+//   }
+//
+// The meta block records build provenance so a BENCH_multinoc.json data
+// point can be traced to the commit/toolchain that produced it. The
+// values come from compile definitions provided by the mn_provenance
+// interface library (top-level CMakeLists.txt; MN_GIT_SHA is captured at
+// configure time).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "sim/json.hpp"
+
+#ifndef MN_GIT_SHA
+#define MN_GIT_SHA "unknown"
+#endif
+#ifndef MN_COMPILER
+#define MN_COMPILER "unknown"
+#endif
+#ifndef MN_BUILD_TYPE
+#define MN_BUILD_TYPE "unknown"
+#endif
+
+namespace mn::sim {
+
+class RunRecord {
+ public:
+  /// Scans argv for --json and removes the flag (and its value) so the
+  /// remaining arguments can go to the caller's own flag parsing (or
+  /// straight to benchmark::Initialize()).
+  RunRecord(std::string name, int* argc, char** argv)
+      : name_(std::move(name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--json") == 0 && i + 1 < *argc) {
+        path_ = argv[++i];
+      } else if (std::strncmp(a, "--json=", 7) == 0) {
+        path_ = a + 7;
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    argv[out] = nullptr;
+  }
+
+  RunRecord(const RunRecord&) = delete;
+  RunRecord& operator=(const RunRecord&) = delete;
+
+  // Backstop only; failure is reported via the explicit flush() in main().
+  ~RunRecord() { static_cast<void>(flush()); }
+
+  bool enabled() const { return !path_.empty(); }
+  const std::string& name() const { return name_; }
+
+  /// Record one scalar under a stable dotted name.
+  void add(const std::string& metric, double value,
+           const std::string& unit = "") {
+    Json& m = metrics_[metric];
+    m = Json::object();
+    m["value"] = Json(value);
+    if (!unit.empty()) m["unit"] = Json(unit);
+  }
+
+  /// Record free-form context (reproduced findings, configs).
+  void note(const std::string& key, const std::string& text) {
+    notes_[key] = Json(text);
+  }
+
+  /// Write the JSON file (no-op without --json). Returns false on I/O
+  /// failure. Called automatically on destruction as a backstop, but the
+  /// destructor cannot report failure -- call this from main() and turn
+  /// `false` into a nonzero exit code.
+  [[nodiscard]] bool flush() {
+    if (path_.empty() || flushed_) return true;
+    flushed_ = true;
+    Json root = Json::object();
+    root["schema"] = Json("mn-bench-v1");
+    root["bench"] = Json(name_);
+    Json meta = Json::object();
+    meta["git_sha"] = Json(MN_GIT_SHA);
+    meta["compiler"] = Json(MN_COMPILER);
+    meta["build_type"] = Json(MN_BUILD_TYPE);
+    root["meta"] = std::move(meta);
+    root["metrics"] = std::move(metrics_);
+    root["notes"] = std::move(notes_);
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "%s: cannot write %s\n", name_.c_str(),
+                   path_.c_str());
+      return false;
+    }
+    out << root.dump(1) << '\n';
+    return static_cast<bool>(out);
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  Json metrics_ = Json::object();
+  Json notes_ = Json::object();
+  bool flushed_ = false;
+};
+
+}  // namespace mn::sim

@@ -1,14 +1,136 @@
 #include "system/multinoc.hpp"
 
-#include <cassert>
+#include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace mn::sys {
 
+namespace {
+
+std::string node_str(noc::XY n) {
+  return "(" + std::to_string(n.x) + "," + std::to_string(n.y) + ")";
+}
+
+/// Collects placements across IP classes to diagnose overlaps.
+struct PlacementMap {
+  std::map<std::pair<unsigned, unsigned>, std::string> taken;
+
+  void claim(noc::XY n, const std::string& who, const std::string& field,
+             std::vector<ConfigError>& errors) {
+    const auto key = std::make_pair<unsigned, unsigned>(n.x, n.y);
+    const auto [it, fresh] = taken.emplace(key, who);
+    if (!fresh) {
+      errors.push_back(
+          {field, who + " at " + node_str(n) + " collides with " +
+                      it->second + "; every IP needs its own router"});
+    }
+  }
+};
+
+}  // namespace
+
+std::string to_string(const ConfigError& e) {
+  return "SystemConfig." + e.field + ": " + e.message;
+}
+
+std::vector<ConfigError> SystemConfig::validate() const {
+  std::vector<ConfigError> errors;
+
+  if (nx < 1 || ny < 1 || nx > 16 || ny > 16) {
+    errors.push_back({"nx/ny", "mesh must be between 1x1 and 16x16, got " +
+                                   std::to_string(nx) + "x" +
+                                   std::to_string(ny)});
+    return errors;  // bounds checks below would be meaningless
+  }
+
+  const auto in_bounds = [&](noc::XY n) { return n.x < nx && n.y < ny; };
+  const auto bounds_error = [&](noc::XY n, const std::string& field,
+                                const std::string& who) {
+    errors.push_back({field, who + " placed at " + node_str(n) +
+                                 ", outside the " + std::to_string(nx) +
+                                 "x" + std::to_string(ny) + " mesh"});
+  };
+
+  PlacementMap placements;
+  if (in_bounds(serial_node)) {
+    placements.claim(serial_node, "serial IP", "serial_node", errors);
+  } else {
+    bounds_error(serial_node, "serial_node", "serial IP");
+  }
+
+  if (processor_nodes.empty()) {
+    errors.push_back(
+        {"processor_nodes", "at least one processor IP is required"});
+  }
+  if (processor_nodes.size() > 255) {
+    errors.push_back({"processor_nodes",
+                      "processor numbers are 8-bit and 1-based; at most "
+                      "255 processors are addressable, got " +
+                          std::to_string(processor_nodes.size())});
+  }
+  for (std::size_t i = 0; i < processor_nodes.size(); ++i) {
+    const std::string who = "processor " + std::to_string(i + 1);
+    if (in_bounds(processor_nodes[i])) {
+      placements.claim(processor_nodes[i], who, "processor_nodes", errors);
+    } else {
+      bounds_error(processor_nodes[i], "processor_nodes", who);
+    }
+  }
+
+  if (memory_nodes.empty()) {
+    errors.push_back({"memory_nodes", "at least one memory IP is required"});
+  }
+  for (std::size_t i = 0; i < memory_nodes.size(); ++i) {
+    const std::string who = "memory " + std::to_string(i);
+    if (in_bounds(memory_nodes[i])) {
+      placements.claim(memory_nodes[i], who, "memory_nodes", errors);
+    } else {
+      bounds_error(memory_nodes[i], "memory_nodes", who);
+    }
+  }
+
+  if (router.buffer_depth < 1) {
+    errors.push_back(
+        {"router.buffer_depth", "input FIFO lanes need at least 1 flit"});
+  }
+  if (router.route_latency < 1) {
+    errors.push_back({"router.route_latency",
+                      "a routing decision takes at least 1 cycle"});
+  }
+  if (router.vc_count < 1 || router.vc_count > noc::kMaxVc) {
+    errors.push_back({"router.vc_count",
+                      "virtual channel count must be between 1 and " +
+                          std::to_string(noc::kMaxVc) + ", got " +
+                          std::to_string(router.vc_count)});
+  } else {
+    const noc::RoutingPolicy& policy =
+        router.policy ? *router.policy : noc::routing_policy(router.algo);
+    if (policy.min_vc_count() > router.vc_count) {
+      errors.push_back(
+          {"router.vc_count",
+           std::string("routing policy '") + policy.name() +
+               "' is only deadlock-free with at least " +
+               std::to_string(policy.min_vc_count()) +
+               " virtual channels (lane 0 is its escape channel), got " +
+               std::to_string(router.vc_count)});
+    }
+  }
+
+  return errors;
+}
+
 MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
     : cfg_(cfg) {
-  assert(!cfg.processor_nodes.empty());
-  assert(!cfg.memory_nodes.empty());
+  const auto errors = cfg.validate();
+  if (!errors.empty()) {
+    std::ostringstream oss;
+    oss << "invalid SystemConfig (" << errors.size() << " error"
+        << (errors.size() == 1 ? "" : "s") << "):";
+    for (const auto& e : errors) oss << "\n  - " << to_string(e);
+    throw std::invalid_argument(oss.str());
+  }
 
   // Shared reliability context: link protection config, fault injector
   // (constructed disarmed), end-to-end checksum flags, recovery counters.

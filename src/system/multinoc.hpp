@@ -14,6 +14,7 @@
 // memory IPs, using the natural scalability of NoCs").
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mem/memory_ip.hpp"
@@ -23,6 +24,15 @@
 #include "system/processor_ip.hpp"
 
 namespace mn::sys {
+
+/// One structured validation failure: which SystemConfig field is wrong
+/// and what to do about it.
+struct ConfigError {
+  std::string field;
+  std::string message;
+};
+
+std::string to_string(const ConfigError& e);
 
 struct SystemConfig {
   unsigned nx = 2;
@@ -41,10 +51,20 @@ struct SystemConfig {
 
   /// The paper's exact prototype.
   static SystemConfig paper_default() { return SystemConfig{}; }
+
+  /// Check the configuration for every structural error the MultiNoc
+  /// builder would otherwise trip over: mesh bounds, out-of-bounds or
+  /// overlapping IP placements, duplicate placements within one IP class,
+  /// degenerate router parameters, and vc_count/routing combinations
+  /// that would break the routing policy's deadlock-freedom guarantee.
+  /// Returns every problem found (empty = valid).
+  std::vector<ConfigError> validate() const;
 };
 
 class MultiNoc {
  public:
+  /// Builds the full system. Throws std::invalid_argument listing every
+  /// SystemConfig::validate() error when `cfg` is malformed.
   MultiNoc(sim::Simulator& sim, const SystemConfig& cfg = {});
 
   /// External serial pins (paper: `tx` host->system, `rx` system->host).

@@ -9,6 +9,8 @@
 //     -c N       max cycles (default 100M)
 //     -v         print the full system statistics report
 //     --vcd F    dump the serial pin waveforms to a VCD file
+//     --json F   write an mn-bench-v1 run record (same schema + meta
+//                block as the bench binaries; see sim/record.hpp)
 //     -M         after the run, read Fig. 9 monitor commands from stdin
 //                (e.g. "00 01 01 00 20" = read 1 word of P1 memory @0020)
 #include <cstdio>
@@ -27,6 +29,7 @@
 #include "system/multinoc.hpp"
 #include "host/monitor.hpp"
 #include "system/report.hpp"
+#include "sim/record.hpp"
 #include "sim/trace.hpp"
 
 namespace {
@@ -89,6 +92,9 @@ std::uint32_t parse_num(const std::string& s) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strips --json before the tool's own flag parsing (sim/record.hpp).
+  mn::sim::RunRecord record("mn_run", &argc, argv);
+
   unsigned divisor = 8;
   std::uint64_t max_cycles = 100'000'000;
   bool verbose = false;
@@ -130,7 +136,7 @@ int main(int argc, char** argv) {
   if (programs.empty() || programs.size() > 2) {
     std::fprintf(stderr,
                  "usage: mn-run [-d div] [-i v1,v2] [-m a:v,...] [-c max]"
-                 " [-v] prog1 [prog2]\n");
+                 " [-v] [--json F] prog1 [prog2]\n");
     return 2;
   }
 
@@ -163,39 +169,28 @@ int main(int argc, char** argv) {
     return 0;
   });
 
-  std::vector<std::uint8_t> targets;
+  std::vector<mn::host::ProgramLoad> loads;
   for (std::size_t i = 0; i < programs.size(); ++i) {
-    const auto image = build_image(programs[i]);
-    const std::uint8_t addr = system.processor(i).config().self_addr;
-    host.load_program(addr, image);
-    targets.push_back(addr);
+    mn::host::ProgramLoad load;
+    load.target = system.processor(i).config().self_addr;
+    load.image = build_image(programs[i]);
     std::fprintf(stderr, "loaded %s: %zu words -> processor %zu\n",
-                 programs[i].c_str(), image.size(), i + 1);
+                 programs[i].c_str(), load.image.size(), i + 1);
+    loads.push_back(std::move(load));
   }
-  if (!host.flush()) {
+
+  // Download, activate, run to completion, drain the printf monitors —
+  // the synchronous host API replaces the run/poll loop this tool used
+  // to hand-roll.
+  const mn::host::RunResult run = host.load_and_run(loads, max_cycles);
+  if (run.status == mn::host::HostStatus::kDownloadFailed) {
     std::fprintf(stderr, "mn-run: program download failed\n");
     return 1;
   }
-  for (const auto t : targets) host.activate(t);
+  const bool done = run.ok();
 
-  const bool done = sim.run_until(
-      [&] {
-        for (std::size_t i = 0; i < targets.size(); ++i) {
-          if (!system.processor(i).finished()) return false;
-        }
-        return true;
-      },
-      max_cycles);
-
-  // Drain in-flight serial traffic (printf packets queued at halt time).
-  for (;;) {
-    const auto before = host.bytes_received();
-    sim.run(static_cast<std::uint64_t>(divisor) * 10 * 30);
-    if (host.bytes_received() == before) break;
-  }
-
-  for (std::size_t i = 0; i < targets.size(); ++i) {
-    auto& log = host.printf_log(targets[i]);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    auto& log = host.printf_log(loads[i].target);
     while (!log.empty()) {
       std::printf("P%zu: %u (0x%04X)\n", i + 1, log.front(), log.front());
       log.pop_front();
@@ -205,6 +200,22 @@ int main(int argc, char** argv) {
                done ? "finished" : "TIMED OUT",
                static_cast<unsigned long long>(sim.cycle()),
                static_cast<double>(sim.cycle()) / 25e3);
+  if (record.enabled()) {
+    record.add("run.cycles", static_cast<double>(run.cycles), "cycles");
+    record.add("run.ok", done ? 1.0 : 0.0, "bool");
+    record.add("host.bytes_sent", static_cast<double>(host.bytes_sent()),
+               "bytes");
+    record.add("host.bytes_received",
+               static_cast<double>(host.bytes_received()), "bytes");
+    record.add("noc.flits_forwarded",
+               static_cast<double>(
+                   system.mesh().total_stats().flits_forwarded),
+               "flits");
+    record.note("status", mn::host::to_string(run.status));
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+      record.note("program." + std::to_string(i + 1), programs[i]);
+    }
+  }
   if (verbose) {
     std::fputs(mn::sys::system_report(system, sim).c_str(), stderr);
   }
@@ -221,5 +232,6 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "monitor> ");
     }
   }
+  if (!record.flush()) return 1;
   return done ? 0 : 1;
 }
