@@ -5,8 +5,14 @@
 // and accepted-vs-offered load curves for several mesh sizes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
+#include <optional>
 
+#include "check/noc_invariants.hpp"
 #include "harness.hpp"
 #include "noc/latency_model.hpp"
 #include "noc/mesh.hpp"
@@ -217,6 +223,65 @@ void print_tables(mn::bench::JsonReporter& rep) {
                 gain * 100);
     rep.add("vc_ablation.gain.xy_vc4_over_vc1", gain * 100, "percent");
   }
+
+  // E15 — cost of running checked: the standard 4x4 uniform experiment
+  // (at its saturation point, the checker's worst case) with the
+  // src/check InvariantChecker armed on every link via the
+  // run_traffic_experiment on_built hook. Arming registers a per-cycle
+  // observer (which also disables idle fast-forward), so this is the
+  // full price of wire-level framing/credit/fill watching.
+  // Budget: < 15% on a loaded mesh (docs/TESTING.md).
+  std::printf("\n-- E15: invariant-checker overhead (4x4 uniform,"
+              " rate 0.05) --\n");
+  std::size_t checker_violations = 0;
+  const auto timed_run = [&](bool armed) {
+    noc::TrafficConfig cfg;
+    cfg.injection_rate = 0.05;
+    cfg.payload_flits = 8;
+    cfg.seed = 12345;
+    cfg.warmup_cycles = 4000;
+    std::optional<check::InvariantChecker> chk;
+    std::function<void(sim::Simulator&, noc::Mesh&)> arm;
+    if (armed) {
+      arm = [&chk](sim::Simulator& s, noc::Mesh& m) {
+        chk.emplace(s, m, check::InvariantChecker::Options{});
+      };
+    }
+    // CPU time, not wall clock: the overhead is extra compute, and CPU
+    // time is robust against preemption on a loaded or shared host.
+    timespec t0{}, t1{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t0);
+    noc::run_traffic_experiment(4, 4, {}, cfg, 25000, arm);
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t1);
+    // No finalize(): the run stops mid-flight by design, so only the
+    // runtime invariants (framing, credit, fills, watchdog) apply.
+    if (chk) checker_violations = chk->violations().size();
+    return (t1.tv_sec - t0.tv_sec) * 1e3 + (t1.tv_nsec - t0.tv_nsec) / 1e6;
+  };
+  // Pair armed/unarmed reps back to back and report the median of the
+  // per-pair ratios, so machine-load drift hits both sides of each pair
+  // alike instead of biasing the overall ratio.
+  double base_ms = 1e300;
+  double armed_ms = 1e300;
+  std::array<double, 5> ratio{};
+  for (std::size_t rep_i = 0; rep_i < ratio.size(); ++rep_i) {
+    const double b = timed_run(false);
+    const double a = timed_run(true);
+    base_ms = std::min(base_ms, b);
+    armed_ms = std::min(armed_ms, a);
+    ratio[rep_i] = a / b;
+  }
+  std::sort(ratio.begin(), ratio.end());
+  const double overhead_pct = (ratio[ratio.size() / 2] - 1.0) * 100;
+  std::printf("unarmed: %.1f ms   armed: %.1f ms   overhead: %+.1f%%"
+              " (median of %zu paired reps)   violations: %zu\n",
+              base_ms, armed_ms, overhead_pct, ratio.size(),
+              checker_violations);
+  rep.add("checker_overhead.baseline_ms", base_ms, "ms");
+  rep.add("checker_overhead.armed_ms", armed_ms, "ms");
+  rep.add("checker_overhead.pct", overhead_pct, "percent");
+  rep.add("checker_overhead.violations",
+          static_cast<double>(checker_violations));
   std::printf("\n");
 }
 

@@ -1,0 +1,238 @@
+#include "check/diff_cpu.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "check/digest.hpp"
+#include "r8/cpu.hpp"
+#include "r8/interp.hpp"
+
+namespace mn::check {
+namespace {
+
+/// Bus with exactly the interpreter's I/O mapping and no stalls, so the
+/// cycle-accurate Cpu and the Interp observe identical environments.
+class MirrorBus final : public r8::Bus {
+ public:
+  explicit MirrorBus(const std::vector<std::uint16_t>& image,
+                     const std::vector<std::uint16_t>* inputs)
+      : mem(1u << 16, 0), inputs_(inputs) {
+    std::copy(image.begin(), image.end(), mem.begin());
+  }
+
+  bool mem_read(std::uint16_t addr, std::uint16_t& out) override {
+    if (addr == r8::kAddrIo) {
+      out = next_input_ < inputs_->size() ? (*inputs_)[next_input_++] : 0;
+      return true;
+    }
+    out = mem[addr];
+    return true;
+  }
+
+  bool mem_write(std::uint16_t addr, std::uint16_t value) override {
+    if (addr == r8::kAddrIo) {
+      printf_log.push_back(value);
+      return true;
+    }
+    if (addr == r8::kAddrWait || addr == r8::kAddrNotify) {
+      sync_log.emplace_back(addr, value);
+      return true;
+    }
+    mem[addr] = value;
+    return true;
+  }
+
+  std::vector<std::uint16_t> mem;
+  std::vector<std::uint16_t> printf_log;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> sync_log;
+  std::size_t scanf_calls() const { return next_input_; }
+
+ private:
+  const std::vector<std::uint16_t>* inputs_;
+  std::size_t next_input_ = 0;
+};
+
+std::string hex4(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04x", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* injected_bug_name(InjectedBug b) {
+  switch (b) {
+    case InjectedBug::kNone: return "none";
+    case InjectedBug::kAddcLosesCarry: return "addc-carry";
+    case InjectedBug::kSubcLosesBorrow: return "subc-borrow";
+  }
+  return "none";
+}
+
+InjectedBug injected_bug_from_name(const std::string& name) {
+  if (name == "addc-carry") return InjectedBug::kAddcLosesCarry;
+  if (name == "subc-borrow") return InjectedBug::kSubcLosesBorrow;
+  return InjectedBug::kNone;
+}
+
+DiffResult run_differential(const std::vector<std::uint16_t>& image,
+                            const std::vector<std::uint16_t>& inputs,
+                            const DiffOptions& opt) {
+  DiffResult res;
+
+  r8::Interp interp;
+  interp.load(image);
+  std::vector<std::uint16_t> iprintf;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> isync;
+  std::size_t iscanf = 0;
+  interp.on_printf = [&](std::uint16_t v) { iprintf.push_back(v); };
+  interp.on_scanf = [&]() -> std::uint16_t {
+    return iscanf < inputs.size() ? inputs[iscanf++] : 0;
+  };
+  interp.on_sync = [&](std::uint16_t a, std::uint16_t v) {
+    isync.emplace_back(a, v);
+  };
+
+  MirrorBus bus(image, &inputs);
+  r8::Cpu cpu;
+  cpu.activate();
+
+  auto fail = [&](const std::string& what, const std::string& sig,
+                  const std::string& detail) {
+    res.ok = false;
+    res.failure = "step " + std::to_string(res.steps) + ": " + what +
+                  (detail.empty() ? "" : " (" + detail + ")");
+    res.signature = sig;
+  };
+
+  while (res.steps < opt.max_steps) {
+    if (interp.halted() && cpu.halted()) break;
+    const std::uint16_t instr_addr = interp.pc();
+    const std::uint16_t word = interp.mem(instr_addr);
+    const std::string dis = r8::disassemble(word);
+    const r8::Flags pre_flags = cpu.flags();
+    const auto decoded = r8::decode(word);
+
+    interp.step();
+
+    // Advance the Cpu to its next retirement (HALT also retires).
+    const std::uint64_t before = cpu.instructions();
+    unsigned guard = 0;
+    while (!cpu.halted() && cpu.instructions() == before) {
+      cpu.tick(bus);
+      if (++guard > 16) {
+        fail("cpu made no progress after " + dis + " @" + hex4(instr_addr),
+             "cpu wedged after " + dis, "");
+        return res;
+      }
+    }
+    ++res.steps;
+
+    // Test-only fault injection on the Cpu side (shrinker demo).
+    if (opt.bug != InjectedBug::kNone && decoded) {
+      if (opt.bug == InjectedBug::kAddcLosesCarry &&
+          decoded->op == r8::Opcode::kAddc && pre_flags.c) {
+        cpu.set_reg(decoded->rt,
+                    static_cast<std::uint16_t>(cpu.reg(decoded->rt) - 1));
+      } else if (opt.bug == InjectedBug::kSubcLosesBorrow &&
+                 decoded->op == r8::Opcode::kSubc && !pre_flags.c) {
+        cpu.set_reg(decoded->rt,
+                    static_cast<std::uint16_t>(cpu.reg(decoded->rt) + 1));
+      }
+    }
+
+    const std::string at = dis + " @" + hex4(instr_addr);
+    if (cpu.halted() != interp.halted()) {
+      fail("halt state diverged after " + at, "halt after " + dis,
+           std::string("cpu=") + (cpu.halted() ? "halted" : "running") +
+               " interp=" + (interp.halted() ? "halted" : "running"));
+      return res;
+    }
+    if (cpu.pc() != interp.pc()) {
+      fail("pc diverged after " + at, "pc after " + dis,
+           "cpu=" + hex4(cpu.pc()) + " interp=" + hex4(interp.pc()));
+      return res;
+    }
+    if (cpu.sp() != interp.sp()) {
+      fail("sp diverged after " + at, "sp after " + dis,
+           "cpu=" + hex4(cpu.sp()) + " interp=" + hex4(interp.sp()));
+      return res;
+    }
+    if (!(cpu.flags() == interp.flags())) {
+      auto render = [](r8::Flags f) {
+        std::string s = "----";
+        if (f.n) s[0] = 'N';
+        if (f.z) s[1] = 'Z';
+        if (f.c) s[2] = 'C';
+        if (f.v) s[3] = 'V';
+        return s;
+      };
+      fail("flags diverged after " + at, "flags after " + dis,
+           "cpu=" + render(cpu.flags()) + " interp=" + render(interp.flags()));
+      return res;
+    }
+    for (unsigned r = 0; r < 16; ++r) {
+      if (cpu.reg(r) != interp.reg(r)) {
+        fail("reg r" + std::to_string(r) + " diverged after " + at,
+             "reg r" + std::to_string(r) + " after " + dis,
+             "cpu=" + hex4(cpu.reg(r)) + " interp=" + hex4(interp.reg(r)));
+        return res;
+      }
+    }
+  }
+
+  // End-of-run comparisons (memory, I/O streams, cycle model).
+  if (interp.halted() && cpu.halted()) {
+    for (std::uint32_t a = 0; a < (1u << 16); ++a) {
+      if (bus.mem[a] != interp.mem(static_cast<std::uint16_t>(a))) {
+        fail("memory diverged at " + hex4(static_cast<std::uint16_t>(a)),
+             "mem", "cpu=" + hex4(bus.mem[a]) + " interp=" +
+                        hex4(interp.mem(static_cast<std::uint16_t>(a))));
+        return res;
+      }
+    }
+    if (bus.printf_log != iprintf) {
+      fail("printf streams diverged", "printf",
+           "cpu=" + std::to_string(bus.printf_log.size()) + " words interp=" +
+               std::to_string(iprintf.size()) + " words");
+      return res;
+    }
+    if (bus.sync_log != isync) {
+      fail("wait/notify streams diverged", "sync", "");
+      return res;
+    }
+    if (bus.scanf_calls() != iscanf) {
+      fail("scanf call counts diverged", "scanf", "");
+      return res;
+    }
+    if (cpu.instructions() != interp.instructions()) {
+      fail("retired-instruction counts diverged", "instructions",
+           "cpu=" + std::to_string(cpu.instructions()) + " interp=" +
+               std::to_string(interp.instructions()));
+      return res;
+    }
+    if (cpu.cycles() != interp.ideal_cycles()) {
+      fail("cycle count deviates from the CPI model", "cycles",
+           "cpu=" + std::to_string(cpu.cycles()) + " ideal=" +
+               std::to_string(interp.ideal_cycles()));
+      return res;
+    }
+  }
+
+  Fnv64 d;
+  for (unsigned r = 0; r < 16; ++r) d.u16(cpu.reg(r));
+  d.u16(cpu.pc());
+  d.u16(cpu.sp());
+  const r8::Flags f = cpu.flags();
+  d.byte(static_cast<std::uint8_t>((f.n << 3) | (f.z << 2) | (f.c << 1) |
+                                   f.v));
+  d.u64(cpu.instructions());
+  d.u64(cpu.cycles());
+  for (std::uint16_t v : bus.printf_log) d.u16(v);
+  for (std::uint32_t a = 0; a < (1u << 16); ++a) d.u16(bus.mem[a]);
+  res.digest = d.value();
+  return res;
+}
+
+}  // namespace mn::check

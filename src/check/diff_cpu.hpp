@@ -1,0 +1,57 @@
+#pragma once
+// Lockstep differential execution of the cycle-accurate r8::Cpu against
+// the functional r8::Interp (mn-fuzz mode diff-cpu).
+//
+// The Cpu runs over a MirrorBus that implements exactly the interpreter's
+// memory-mapped I/O semantics (printf/scanf at 0xFFFF, wait/notify
+// recorded at 0xFFFE/0xFFFD, everything else flat RAM, never a stall), so
+// any architectural divergence is a genuine model bug, not an environment
+// difference. After every retired instruction the harness compares PC,
+// SP, all 16 registers, the NZCV flags and the retired-instruction
+// stream; at HALT it additionally compares the full 64K memory, the
+// printf/sync logs and the Cpu cycle count against Interp::ideal_cycles()
+// (exact in a stall-free run).
+//
+// InjectedBug is the test-only hook the shrinker demo is built on: it
+// perturbs the *Cpu* side after specific retirements, emulating a
+// plausible flag-semantics bug without touching production code.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::check {
+
+enum class InjectedBug : std::uint8_t {
+  kNone,
+  kAddcLosesCarry,   ///< ADDC result computed as if carry-in were 0
+  kSubcLosesBorrow,  ///< SUBC result computed as if borrow-in were 0
+};
+
+const char* injected_bug_name(InjectedBug b);
+InjectedBug injected_bug_from_name(const std::string& name);
+
+struct DiffOptions {
+  std::uint64_t max_steps = 200'000;  ///< instruction budget (backstop;
+                                      ///< generated programs terminate)
+  InjectedBug bug = InjectedBug::kNone;
+};
+
+struct DiffResult {
+  bool ok = true;
+  std::uint64_t steps = 0;  ///< instructions retired before stop/divergence
+  std::string failure;      ///< full diagnostic, empty when ok
+  /// Position-independent failure id ("reg r3 after ADDC R3, R1, R2"):
+  /// stable under shrinking, used to check a minimized case still fails
+  /// the same way.
+  std::string signature;
+  std::uint64_t digest = 0;  ///< FNV-1a over the final architectural state
+};
+
+/// Run `image` (loaded at 0) on both models in lockstep. `inputs` are the
+/// scanf replies, consumed in request order (0 once exhausted).
+DiffResult run_differential(const std::vector<std::uint16_t>& image,
+                            const std::vector<std::uint16_t>& inputs,
+                            const DiffOptions& opt = {});
+
+}  // namespace mn::check

@@ -1,0 +1,28 @@
+#pragma once
+// FNV-1a digest helper for the fuzzing harnesses: a cheap, deterministic
+// fold of architectural / network state used to assert bit-identical
+// replays (same seed, re-run, different kernel thread counts).
+
+#include <cstdint>
+
+namespace mn::check {
+
+class Fnv64 {
+ public:
+  void byte(std::uint8_t b) {
+    h_ = (h_ ^ b) * 1099511628211ull;
+  }
+  void u16(std::uint16_t v) {
+    byte(static_cast<std::uint8_t>(v));
+    byte(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ull;
+};
+
+}  // namespace mn::check

@@ -1,0 +1,612 @@
+#include "check/noc_invariants.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "noc/network_interface.hpp"
+#include "sim/rng.hpp"
+
+namespace mn::check {
+namespace {
+
+// Physical latency floor of the 2-cycle handshake: the tail flit crosses
+// hop_routers + 1 links at >= 2 cycles each and cannot leave the source
+// NI before its P - 1 predecessors did, so recv - inject can never beat
+// 2 * (hops + flits). A small slack absorbs the stamping conventions
+// (inject_cycle is stamped inside send_packet, before the first eval).
+constexpr std::uint64_t kLatencySlack = 4;
+
+// Observers run after eval+commit, so a toggle observed at cycle c was
+// committed at the end of c and the receiver pushes the flit during its
+// eval at c+1 — visible to the observer at c+1. A 2-cycle hot window
+// after the last observed activity therefore covers every push that
+// activity can cause, including pushes landing on a cycle the sampled
+// wire scan skips (see on_cycle).
+constexpr std::uint64_t kHotWindow = 2;
+
+std::uint64_t latency_floor(unsigned hops, std::size_t wire_flits) {
+  const std::uint64_t f =
+      2ull * (hops + static_cast<std::uint64_t>(wire_flits));
+  return f > kLatencySlack ? f - kLatencySlack : 0;
+}
+
+std::string node_name(unsigned x, unsigned y) {
+  return std::to_string(x) + "," + std::to_string(y);
+}
+
+std::string lane_name(const noc::LinkWires& w, std::size_t v) {
+  return w.tx.name() + " lane " + std::to_string(v);
+}
+
+}  // namespace
+
+std::vector<FuzzPacket> generate_packets(const NocFuzzConfig& cfg) {
+  sim::Xoshiro256 rng(sim::stream_seed(cfg.seed, 0x4E0Cull));
+  const unsigned nodes = cfg.nx * cfg.ny;
+  const std::size_t max_payload = std::max<std::size_t>(cfg.max_payload, 4);
+
+  std::vector<FuzzPacket> out;
+  out.reserve(cfg.packets);
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint16_t> seqs;
+  std::uint64_t cycle = 0;
+  for (unsigned i = 0; i < cfg.packets; ++i) {
+    // Bursty schedule: mostly back-to-back, occasional idle gaps.
+    cycle += rng.below(4) == 0 ? rng.below(40) : rng.below(3);
+
+    const unsigned si = static_cast<unsigned>(rng.below(nodes));
+    const unsigned di = static_cast<unsigned>(rng.below(nodes));
+    FuzzPacket p;
+    p.cycle = cycle;
+    p.src = noc::encode_xy({static_cast<std::uint8_t>(si % cfg.nx),
+                            static_cast<std::uint8_t>(si / cfg.nx)});
+    p.dst = noc::encode_xy({static_cast<std::uint8_t>(di % cfg.nx),
+                            static_cast<std::uint8_t>(di / cfg.nx)});
+
+    const std::uint16_t seq = seqs[{p.src, p.dst}]++;
+    const std::size_t len = 4 + rng.below(max_payload - 3);
+    p.payload.resize(len);
+    p.payload[0] = p.src;
+    p.payload[1] = p.dst;
+    p.payload[2] = static_cast<std::uint8_t>(seq);
+    p.payload[3] = static_cast<std::uint8_t>(seq >> 8);
+    for (std::size_t b = 4; b < len; ++b) {
+      p.payload[b] = static_cast<std::uint8_t>(rng.next());
+    }
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+InvariantChecker::InvariantChecker(sim::Simulator& sim, noc::Mesh& mesh,
+                                   Options opt)
+    : sim_(&sim), mesh_(&mesh), opt_(opt) {
+  const noc::RouterConfig& rc = mesh.router(0, 0).config();
+  depth_ = rc.buffer_depth;
+  vcs_ = rc.vc_count;
+  polls_.reserve(mesh.links().size());
+  watches_.reserve(mesh.links().size());
+  taps_.reserve(mesh.links().size());
+  for (const noc::LinkRef& ref : mesh.links()) {
+    LinkPoll p;
+    p.wires = ref.wires;
+    polls_.push_back(p);
+    LinkWatch w;
+    w.ref = &ref;
+    if (ref.rx_router >= 0) {
+      const auto idx = static_cast<unsigned>(ref.rx_router);
+      w.rx = &mesh.router(idx % mesh.nx(), idx / mesh.nx());
+      w.rx_port = ref.rx_port;
+    }
+    watches_.push_back(w);
+    if (opt_.wire_level) {
+      // Event-driven watch: the tap marks the link active when the
+      // kernel commits a changed tx or credit value, so on_cycle only
+      // touches links with actual activity.
+      const auto link = static_cast<std::uint32_t>(taps_.size());
+      taps_.push_back(std::make_unique<LinkTap>(this, link));
+      ref.wires->tx.wake_on_change(taps_.back().get());
+      if (ref.wires->vc_count > 1) {
+        ref.wires->credit.wake_on_change(taps_.back().get());
+      }
+    }
+  }
+  sim.on_cycle([this](std::uint64_t c) { on_cycle(c); });
+}
+
+void InvariantChecker::expect(const FuzzPacket& p) {
+  pending_[{p.src, p.dst}].push_back(p);
+  ++expected_;
+}
+
+void InvariantChecker::on_delivered(unsigned x, unsigned y,
+                                    const noc::ReceivedPacket& rp) {
+  const auto& pl = rp.packet.payload;
+  const std::uint8_t here = noc::encode_xy(
+      {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)});
+  if (pl.size() < 4) {
+    violation("integrity", "runt packet (" + std::to_string(pl.size()) +
+                               " payload bytes) delivered at " +
+                               node_name(x, y));
+    return;
+  }
+  if (rp.packet.target != here || pl[1] != here) {
+    violation("misroute",
+              "packet for target " + std::to_string(rp.packet.target) +
+                  " (payload dst " + std::to_string(pl[1]) +
+                  ") delivered at node " + std::to_string(here));
+    return;
+  }
+  const std::uint16_t seq =
+      static_cast<std::uint16_t>(pl[2] | (pl[3] << 8));
+  auto it = pending_.find({pl[0], pl[1]});
+  auto* dq = it == pending_.end() ? nullptr : &it->second;
+  auto entry = dq ? std::find_if(dq->begin(), dq->end(),
+                                 [&](const FuzzPacket& p) {
+                                   return p.payload[2] == pl[2] &&
+                                          p.payload[3] == pl[3];
+                                 })
+                  : decltype(pending_.begin()->second.begin()){};
+  if (!dq || entry == dq->end()) {
+    violation("duplicate", "unexpected or duplicate packet src=" +
+                               std::to_string(pl[0]) + " dst=" +
+                               std::to_string(pl[1]) + " seq=" +
+                               std::to_string(seq));
+    return;
+  }
+  if (opt_.order && entry != dq->begin()) {
+    violation("order", "packet seq=" + std::to_string(seq) + " overtook seq=" +
+                           std::to_string(dq->front().payload[2] |
+                                          (dq->front().payload[3] << 8)) +
+                           " on pair " + std::to_string(pl[0]) + "->" +
+                           std::to_string(pl[1]));
+    // Keep accounting consistent: fall through and consume the entry.
+  }
+  if (entry->payload != pl) {
+    violation("integrity", "payload mismatch src=" + std::to_string(pl[0]) +
+                               " seq=" + std::to_string(seq));
+  }
+  if (opt_.latency) {
+    const std::uint64_t lat = rp.recv_cycle - rp.inject_cycle;
+    const unsigned hops =
+        noc::hop_routers(noc::decode_xy(pl[0]), noc::decode_xy(pl[1]));
+    const std::uint64_t floor = latency_floor(hops, pl.size() + 2);
+    if (lat < floor) {
+      violation("latency", "packet src=" + std::to_string(pl[0]) + " seq=" +
+                               std::to_string(seq) + " latency " +
+                               std::to_string(lat) +
+                               " beats the physical floor " +
+                               std::to_string(floor));
+    }
+    dhash_.u64(lat);
+  }
+  dhash_.byte(here);
+  dhash_.byte(pl[0]);
+  dhash_.u16(seq);
+  dq->erase(entry);
+  if (dq->empty()) pending_.erase(it);
+  ++delivered_;
+}
+
+void InvariantChecker::on_cycle(std::uint64_t cycle) {
+  if (opt_.wire_level) {
+    // Drain the links the taps marked active at this cycle's commit —
+    // work proportional to wire activity, not to mesh size. The observer
+    // runs right after commit_all, so every change is consumed in the
+    // cycle it became visible.
+    for (const std::uint32_t link : active_) {
+      polls_[link].queued = false;
+      check_link(link, cycle);
+    }
+    active_.clear();
+
+    // A port FIFO can only overfill via an offer on its own inbound
+    // link, so fill probes run only for links that were recently active
+    // (check_link keeps hot_ current). The walk samples every other
+    // cycle: a push lands the cycle after its toggle and the hot window
+    // spans it, so only a 1-flit overfill that both appears and drains
+    // between two samples can escape — and the credit bound still limits
+    // in-flight flits exactly on multi-lane links.
+    if ((cycle & 1) != 0 && !hot_.empty()) {
+      std::size_t i = 0;
+      while (i < hot_.size()) {
+        const std::uint32_t link = hot_[i];
+        LinkPoll& p = polls_[link];
+        if (cycle > p.hot_until) {
+          p.hot_listed = false;
+          hot_[i] = hot_.back();
+          hot_.pop_back();
+          continue;
+        }
+        const LinkWatch& w = watches_[link];
+        if (w.rx != nullptr) check_fill(p, w);
+        ++i;
+      }
+    }
+  } else {
+    check_fills();
+  }
+
+  if (opt_.watchdog != 0 && outstanding() > 0) {
+    const std::uint64_t progress =
+        delivered_ + (opt_.wire_level
+                          ? wire_offers_
+                          : mesh_->total_stats().flits_forwarded);
+    if (progress != last_progress_value_) {
+      last_progress_value_ = progress;
+      last_progress_cycle_ = cycle;
+    } else if (cycle - last_progress_cycle_ >= opt_.watchdog) {
+      violation("deadlock",
+                "no flit movement for " + std::to_string(opt_.watchdog) +
+                    " cycles with " + std::to_string(outstanding()) +
+                    " packets outstanding");
+      opt_.watchdog = 0;  // report once
+    }
+  }
+}
+
+void InvariantChecker::mark_active(std::uint32_t link) {
+  LinkPoll& p = polls_[link];
+  if (!p.queued) {
+    p.queued = true;
+    active_.push_back(link);
+  }
+}
+
+void InvariantChecker::check_link(std::uint32_t link, std::uint64_t cycle) {
+  LinkPoll& p = polls_[link];
+  LinkWatch& w = watches_[link];
+  const noc::LinkWires& lw = *p.wires;
+
+  const bool tx = lw.tx.read();
+  bool active = false;
+  if (tx != p.last_tx) {
+    p.last_tx = tx;
+    active = true;
+    const noc::Flit f = lw.data.read();
+    std::size_t v = f.vc;
+    if (v >= lw.vc_count) {
+      violation("lane", "flit on nonexistent lane " + std::to_string(v) +
+                            " of " + lw.tx.name());
+      v = 0;
+    }
+    LaneFsm& fsm = w.lane[v];
+    ++fsm.offers;
+    ++wire_offers_;
+    switch (fsm.state) {
+      case 0:  // expecting a header
+        if (!f.is_header) {
+          violation("framing", "expected header on " + lane_name(lw, v) +
+                                   ", saw " +
+                                   (f.is_ctrl ? "size" : "payload") +
+                                   " flit of packet " +
+                                   std::to_string(f.packet_id));
+          break;
+        }
+        fsm.packet_id = f.packet_id;
+        fsm.state = 1;
+        break;
+      case 1:  // expecting the size flit
+        if (f.is_header || !f.is_ctrl || f.packet_id != fsm.packet_id) {
+          violation("framing", "expected size flit of packet " +
+                                   std::to_string(fsm.packet_id) + " on " +
+                                   lane_name(lw, v));
+          fsm.state = 0;
+          break;
+        }
+        fsm.remaining = f.data;
+        fsm.state = fsm.remaining == 0 ? 0 : 2;
+        break;
+      case 2:  // inside the payload
+        if (f.is_ctrl || f.packet_id != fsm.packet_id) {
+          violation("wormhole", "packet " + std::to_string(f.packet_id) +
+                                    " interleaved into the wormhole of " +
+                                    std::to_string(fsm.packet_id) + " on " +
+                                    lane_name(lw, v));
+          fsm.state = 0;
+          break;
+        }
+        if (--fsm.remaining == 0) {
+          if (!f.is_tail) {
+            violation("framing", "last payload flit of packet " +
+                                     std::to_string(fsm.packet_id) +
+                                     " not marked tail on " +
+                                     lane_name(lw, v));
+          }
+          fsm.state = 0;
+        } else if (f.is_tail) {
+          violation("framing", "early tail in packet " +
+                                   std::to_string(fsm.packet_id) + " on " +
+                                   lane_name(lw, v));
+          fsm.state = 0;
+        }
+        break;
+    }
+  }
+
+  // Credit conservation (multi-lane links only; single-lane links never
+  // touch the credit wire).
+  if (lw.vc_count > 1) {
+    const std::uint32_t cur = lw.credit.read();
+    if (cur != p.last_credit) {
+      active = true;
+      for (std::size_t v = 0; v < lw.vc_count; ++v) {
+        const auto seen = static_cast<std::uint8_t>(cur >> (8 * v));
+        const auto prev = static_cast<std::uint8_t>(p.last_credit >> (8 * v));
+        w.lane[v].pops += static_cast<std::uint8_t>(seen - prev);
+      }
+      p.last_credit = cur;
+    }
+    // offers/pops only move on activity; the bounds can't newly fail on
+    // a quiet link.
+    for (std::size_t v = 0; active && v < lw.vc_count; ++v) {
+      const LaneFsm& fsm = w.lane[v];
+      if (fsm.pops > fsm.offers) {
+        violation("credit", "more pops (" + std::to_string(fsm.pops) +
+                                ") than offers (" +
+                                std::to_string(fsm.offers) + ") on " +
+                                lane_name(lw, v));
+      } else if (fsm.offers - fsm.pops > lw.vc_depth) {
+        violation("credit", "in-flight count " +
+                                std::to_string(fsm.offers - fsm.pops) +
+                                " exceeds lane depth " +
+                                std::to_string(lw.vc_depth) + " on " +
+                                lane_name(lw, v));
+      }
+    }
+  }
+  if (active) {
+    p.hot_until = cycle + kHotWindow;
+    if (!p.hot_listed) {
+      p.hot_listed = true;
+      hot_.push_back(link);
+    }
+  }
+}
+
+void InvariantChecker::check_fill(const LinkPoll& p, const LinkWatch& w) {
+  for (std::size_t v = 0; v < vcs_; ++v) {
+    const std::size_t fill = w.rx->lane_fill(w.rx_port, v);
+    if (fill > depth_) {
+      violation("overflow",
+                std::string("input ") + noc::port_long_name(w.rx_port) +
+                    " lane " +
+                    std::to_string(v) + " of " + p.wires->tx.name() +
+                    "'s receiver holds " + std::to_string(fill) +
+                    " > depth " + std::to_string(depth_));
+    }
+  }
+}
+
+void InvariantChecker::check_fills() {
+  for (unsigned y = 0; y < mesh_->ny(); ++y) {
+    for (unsigned x = 0; x < mesh_->nx(); ++x) {
+      const noc::Router& r = mesh_->router(x, y);
+      for (std::size_t p = 0; p < noc::kNumPorts; ++p) {
+        for (std::size_t v = 0; v < vcs_; ++v) {
+          const std::size_t fill =
+              r.lane_fill(static_cast<noc::Port>(p), v);
+          if (fill > depth_) {
+            violation("overflow",
+                      "router " + node_name(x, y) + " port " +
+                          noc::port_long_name(static_cast<noc::Port>(p)) +
+                          " lane " + std::to_string(v) + " holds " +
+                          std::to_string(fill) + " > depth " +
+                          std::to_string(depth_));
+          }
+        }
+      }
+    }
+  }
+}
+
+void InvariantChecker::finalize() {
+  if (outstanding() > 0) {
+    violation("lost", std::to_string(outstanding()) + " of " +
+                          std::to_string(expected_) +
+                          " packets never delivered");
+  }
+  if (opt_.wire_level) {
+    // Robustness sweep: the taps normally consume every change in the
+    // cycle it commits, but a harness may finalize without ever stepping
+    // the simulator — retire any unobserved toggle before the FSM audit.
+    for (std::size_t i = 0; i < polls_.size(); ++i) {
+      check_link(static_cast<std::uint32_t>(i), sim_->cycle());
+    }
+    for (const LinkWatch& w : watches_) {
+      const noc::LinkWires& lw = *w.ref->wires;
+      for (std::size_t v = 0; v < lw.vc_count; ++v) {
+        const LaneFsm& fsm = w.lane[v];
+        if (fsm.state != 0) {
+          violation("framing", "dangling wormhole of packet " +
+                                   std::to_string(fsm.packet_id) +
+                                   " at end of run on " + lane_name(lw, v));
+        }
+        if (lw.vc_count > 1 && fsm.offers != fsm.pops) {
+          violation("credit", std::to_string(fsm.offers - fsm.pops) +
+                                  " credits never returned on " +
+                                  lane_name(lw, v));
+        }
+      }
+    }
+  }
+  for (unsigned y = 0; y < mesh_->ny(); ++y) {
+    for (unsigned x = 0; x < mesh_->nx(); ++x) {
+      for (std::size_t p = 0; p < noc::kNumPorts; ++p) {
+        const std::size_t fill =
+            mesh_->router(x, y).buffer_fill(static_cast<noc::Port>(p));
+        if (fill != 0) {
+          violation("drain",
+                    "router " + node_name(x, y) + " port " +
+                        noc::port_long_name(static_cast<noc::Port>(p)) +
+                        " still holds " + std::to_string(fill) +
+                        " flits at end of run");
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t InvariantChecker::digest() const {
+  Fnv64 d = dhash_;
+  d.u64(delivered_);
+  d.u64(violations_.size());
+  return d.value();
+}
+
+void InvariantChecker::violation(const std::string& kind,
+                                 const std::string& detail) {
+  violations_.push_back({kind, detail});
+}
+
+NocRunResult run_noc_case(const NocFuzzConfig& cfg,
+                          const std::vector<FuzzPacket>& packets) {
+  NocRunResult out;
+
+  noc::RouterConfig rc;
+  rc.buffer_depth = cfg.buffer_depth;
+  rc.route_latency = cfg.route_latency;
+  rc.algo = cfg.algo;
+  rc.vc_count = cfg.vc_count;
+
+  auto make_rel = [&](noc::Reliability& rel) {
+    rel.link.enabled = true;
+    noc::FaultConfig fc;
+    fc.flip_rate = 5e-3;
+    fc.coherent_rate = 0.0;  // no e2e protection on raw fuzz traffic
+    fc.drop_rate = 2e-3;
+    fc.stall_rate = 2e-3;
+    fc.seed = sim::stream_seed(cfg.seed, 0xFAull);
+    rel.injector.configure(fc);
+    rel.injector.arm();
+  };
+
+  // --- Single-packet probe vs the paper's latency formula -------------
+  std::uint64_t probe_latency = 0;
+  {
+    sim::Simulator sim;
+    noc::Reliability rel;
+    if (cfg.faults) make_rel(rel);
+    noc::Mesh mesh(sim, cfg.nx, cfg.ny, rc, cfg.faults ? &rel : nullptr);
+    const unsigned dx = cfg.nx - 1, dy = cfg.ny - 1;
+    noc::NetworkInterface src(sim, "probe_src", mesh.local_in(0, 0),
+                              mesh.local_out(0, 0), 8,
+                              cfg.faults ? &rel : nullptr);
+    noc::NetworkInterface dst(sim, "probe_dst", mesh.local_in(dx, dy),
+                              mesh.local_out(dx, dy), 8,
+                              cfg.faults ? &rel : nullptr);
+    noc::Packet p;
+    p.target = noc::encode_xy({static_cast<std::uint8_t>(dx),
+                               static_cast<std::uint8_t>(dy)});
+    p.payload = {1, 2, 3, 4, 5, 6};
+    src.send_packet(p);
+    sim.run_until([&] { return dst.has_packet(); }, 100'000);
+    if (!dst.has_packet()) {
+      out.ok = false;
+      out.signature = "latency-probe";
+      out.failure = "probe packet never delivered";
+      return out;
+    }
+    const noc::ReceivedPacket rp = dst.pop_packet();
+    probe_latency = rp.recv_cycle - rp.inject_cycle;
+    const unsigned hops = noc::hop_routers(
+        {0, 0},
+        {static_cast<std::uint8_t>(dx), static_cast<std::uint8_t>(dy)});
+    const unsigned flits = static_cast<unsigned>(p.payload.size() + 2);
+    const std::uint64_t floor = latency_floor(hops, flits);
+    const std::uint64_t formula =
+        noc::hermes_latency_formula(hops, flits, cfg.route_latency);
+    const bool too_fast = probe_latency < floor;
+    // The simulated router charges route_latency once per hop while the
+    // paper's asynchronous formula doubles it, so a contention-free
+    // packet must meet the paper's minimum (and may beat it). Faults can
+    // only add cycles, so only the floor holds there.
+    const bool too_slow = !cfg.faults && probe_latency > formula;
+    if (too_fast || too_slow) {
+      out.ok = false;
+      out.signature = "latency-probe";
+      out.failure = "probe latency " + std::to_string(probe_latency) +
+                    " outside [" + std::to_string(floor) + ", " +
+                    (cfg.faults ? "inf" : std::to_string(formula)) +
+                    "] for " + std::to_string(hops) + " routers, " +
+                    std::to_string(flits) + " flits";
+      return out;
+    }
+  }
+
+  // --- Randomized storm with the checker armed ------------------------
+  sim::Simulator sim;
+  sim.set_threads(cfg.threads);
+  noc::Reliability rel;
+  if (cfg.faults) make_rel(rel);
+  noc::Mesh mesh(sim, cfg.nx, cfg.ny, rc, cfg.faults ? &rel : nullptr);
+
+  std::vector<std::unique_ptr<noc::NetworkInterface>> nis;
+  nis.reserve(mesh.node_count());
+  for (unsigned y = 0; y < cfg.ny; ++y) {
+    for (unsigned x = 0; x < cfg.nx; ++x) {
+      nis.push_back(std::make_unique<noc::NetworkInterface>(
+          sim, "ni" + std::to_string(x) + std::to_string(y),
+          mesh.local_in(x, y), mesh.local_out(x, y), 8,
+          cfg.faults ? &rel : nullptr));
+    }
+  }
+
+  InvariantChecker::Options copt;
+  copt.wire_level = !cfg.faults;
+  copt.order = cfg.vc_count == 1 && cfg.algo == noc::RoutingAlgo::kXY;
+  copt.latency = true;
+  copt.watchdog = cfg.watchdog;
+  InvariantChecker chk(sim, mesh, copt);
+
+  auto drain = [&] {
+    for (unsigned y = 0; y < cfg.ny; ++y) {
+      for (unsigned x = 0; x < cfg.nx; ++x) {
+        auto& ni = *nis[static_cast<std::size_t>(y) * cfg.nx + x];
+        while (ni.has_packet()) chk.on_delivered(x, y, ni.pop_packet());
+      }
+    }
+  };
+
+  std::size_t next = 0;
+  while (sim.cycle() < cfg.max_cycles) {
+    while (next < packets.size() && packets[next].cycle <= sim.cycle()) {
+      const FuzzPacket& p = packets[next];
+      chk.expect(p);
+      const noc::XY s = noc::decode_xy(p.src);
+      noc::Packet pkt;
+      pkt.target = p.dst;
+      pkt.payload = p.payload;
+      nis[static_cast<std::size_t>(s.y) * cfg.nx + s.x]->send_packet(pkt);
+      ++next;
+    }
+    if (next == packets.size() && chk.outstanding() == 0) break;
+    if (!chk.ok()) break;  // stop at the first violation (fast shrinking)
+    sim.step();
+    drain();
+  }
+  // Settle: let in-flight acks/credits land before the end-of-run audit.
+  // (A max_cycles timeout with packets outstanding is reported by
+  // finalize() as "lost" unless the watchdog already fired.)
+  if (chk.ok()) {
+    for (unsigned i = 0; i < 4 * cfg.route_latency + 64; ++i) sim.step();
+    drain();
+    chk.finalize();
+  }
+
+  out.cycles = sim.cycle();
+  out.delivered = chk.delivered();
+  Fnv64 d;
+  d.u64(chk.digest());
+  d.u64(probe_latency);
+  out.digest = d.value();
+  out.ok = chk.ok();
+  if (!out.ok) {
+    out.signature = chk.violations().front().kind;
+    out.failure = chk.violations().front().detail;
+  }
+  return out;
+}
+
+}  // namespace mn::check

@@ -1,0 +1,216 @@
+#pragma once
+// Runtime NoC invariant checking (mn-fuzz mode noc-invariants).
+//
+// InvariantChecker attaches to any Simulator+Mesh pair as a per-cycle
+// observer (Simulator::on_cycle) and watches every link the mesh exposes
+// through Mesh::links(). Two layers:
+//
+//  * Wire-level (fault-free runs only, where one tx toggle == one flit):
+//    per-link per-lane wormhole framing — header, then size, then exactly
+//    `size` payload flits ending in the tail, all with one packet id —
+//    and, on multi-lane links, credit conservation: cumulative pops never
+//    exceed cumulative offers, and offers - pops never exceeds the
+//    stamped lane depth (the sender's credit gate makes this exact, not
+//    approximate). Disabled under fault injection, where retransmissions
+//    legitimately re-toggle tx.
+//  * State-level (always on): every input-lane FIFO fill stays within
+//    buffer_depth, and a watchdog flags a deadlock when neither the wires
+//    nor the delivery count make progress for `watchdog` cycles while
+//    packets are still outstanding.
+//
+// End-to-end accounting is opt-in for harnesses that own the traffic:
+// expect() registers an injected packet, on_delivered() matches a
+// reassembled one — exactly-once delivery, payload integrity (full-byte
+// comparison), optional per-pair FIFO order (deterministic single-lane XY
+// only; lanes and adaptive routing may legally reorder a pair), and a
+// per-packet latency floor of 2*(hop_routers + wire_flits) cycles, the
+// physical minimum of the 2-cycle handshake. finalize() then requires
+// every expectation met, every lane FSM at a packet boundary and every
+// FIFO drained.
+//
+// run_noc_case() is the randomized harness mn-fuzz drives across the
+// vc x routing x faults x threads matrix; it also runs a single-packet
+// probe per case and checks it against the paper's §2.1 latency formula
+// (hermes_latency_formula, exact when fault-free).
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/digest.hpp"
+#include "noc/latency_model.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn::check {
+
+struct NocFuzzConfig {
+  unsigned nx = 4;
+  unsigned ny = 4;
+  std::size_t vc_count = 1;
+  noc::RoutingAlgo algo = noc::RoutingAlgo::kXY;
+  bool faults = false;
+  unsigned threads = 1;  ///< Simulator::set_threads (clamped >= 1)
+  std::size_t buffer_depth = 2;
+  unsigned route_latency = 7;
+  std::uint64_t seed = 1;
+  unsigned packets = 120;
+  std::size_t max_payload = 12;  ///< payload bytes per packet (>= 4 used)
+  std::uint64_t max_cycles = 300'000;
+  unsigned watchdog = 30'000;
+};
+
+/// One scheduled packet of a fuzz case: the unit the shrinker removes.
+struct FuzzPacket {
+  std::uint64_t cycle = 0;  ///< injection cycle (non-decreasing in a case)
+  std::uint8_t src = 0;     ///< encoded XY
+  std::uint8_t dst = 0;     ///< encoded XY
+  std::vector<std::uint8_t> payload;  ///< [src, dst, seq_lo, seq_hi, ...]
+};
+
+/// Deterministic packet-set generation for a case seed.
+std::vector<FuzzPacket> generate_packets(const NocFuzzConfig& cfg);
+
+struct Violation {
+  std::string kind;    ///< stable id, e.g. "framing", "credit", "order"
+  std::string detail;  ///< full diagnostic
+};
+
+class InvariantChecker {
+ public:
+  struct Options {
+    bool wire_level = true;  ///< framing + credit watch (fault-free only)
+    bool order = false;      ///< per-pair FIFO order (vc1 + XY only)
+    bool latency = true;     ///< per-delivery physical latency floor
+    unsigned watchdog = 30'000;  ///< no-progress cycles -> deadlock (0=off)
+  };
+
+  /// Registers a per-cycle observer on `sim`; `mesh` must outlive the
+  /// checker. Attaching any observer disables whole-system fast-forward.
+  InvariantChecker(sim::Simulator& sim, noc::Mesh& mesh, Options opt);
+
+  /// Register an injected packet (call right before NI::send_packet).
+  void expect(const FuzzPacket& p);
+
+  /// Account a packet reassembled at node (x, y).
+  void on_delivered(unsigned x, unsigned y, const noc::ReceivedPacket& rp);
+
+  /// End-of-run checks (completeness, drained FIFOs, closed wormholes).
+  void finalize();
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<Violation>& violations() const { return violations_; }
+  std::uint64_t outstanding() const { return expected_ - delivered_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// FNV-1a fold of every delivery (node, src, dst, seq, latency) in
+  /// arrival order plus the violation count — the replay-identity digest.
+  std::uint64_t digest() const;
+
+ private:
+  struct LaneFsm {
+    int state = 0;  ///< 0 header, 1 size, 2 payload
+    std::uint32_t packet_id = 0;
+    std::size_t remaining = 0;
+    std::uint64_t offers = 0;
+    std::uint64_t pops = 0;
+  };
+  /// Hot per-link state, kept in a dense parallel array so the event
+  /// drain touches only these few bytes per link plus the wires the
+  /// kernel itself keeps warm — not the ~200-byte LinkWatch with its
+  /// lane FSMs, which is loaded only when the link shows activity.
+  struct LinkPoll {
+    const noc::LinkWires* wires = nullptr;
+    /// Fill checks for the receiving port run only while the link is hot
+    /// (activity within the handshake window); a FIFO cannot overfill
+    /// without an offer on its own inbound link.
+    std::uint64_t hot_until = 0;
+    std::uint32_t last_credit = 0;
+    bool last_tx = false;
+    bool queued = false;      ///< on active_ awaiting this cycle's drain
+    bool hot_listed = false;  ///< on hot_ awaiting fill checks / expiry
+  };
+  /// Cold per-link state: endpoints and wormhole lane FSMs.
+  struct LinkWatch {
+    const noc::LinkRef* ref = nullptr;
+    const noc::Router* rx = nullptr;  ///< receiving router, null for an NI
+    noc::Port rx_port = noc::Port::kLocal;
+    std::array<LaneFsm, noc::kMaxVc> lane{};
+  };
+
+  /// Change-notification tap registered on a link's tx and credit wires
+  /// (WireBase::wake_on_change). Never added to the simulator — its only
+  /// job is to push the link index onto the checker's active list when
+  /// the kernel commits a changed value, replacing a per-cycle poll of
+  /// every link with work proportional to actual wire activity.
+  class LinkTap final : public sim::Component {
+   public:
+    LinkTap(InvariantChecker* chk, std::uint32_t link)
+        : sim::Component("check.tap"), chk_(chk), link_(link) {}
+    void eval() override {}
+    void reset() override {}
+    void wake() override {
+      sim::Component::wake();
+      chk_->mark_active(link_);
+    }
+
+   private:
+    InvariantChecker* chk_;
+    std::uint32_t link_;
+  };
+
+  void mark_active(std::uint32_t link);
+  void on_cycle(std::uint64_t cycle);
+  void check_link(std::uint32_t link, std::uint64_t cycle);
+  void check_fill(const LinkPoll& p, const LinkWatch& w);
+  void check_fills();
+  void violation(const std::string& kind, const std::string& detail);
+
+  sim::Simulator* sim_;
+  noc::Mesh* mesh_;
+  Options opt_;
+  std::size_t depth_ = 2;  ///< router buffer_depth (overflow bound)
+  std::size_t vcs_ = 1;    ///< router vc_count
+  std::vector<LinkPoll> polls_;    ///< hot scan state, parallel to watches_
+  std::vector<LinkWatch> watches_;
+  std::vector<std::unique_ptr<LinkTap>> taps_;  ///< wire_level taps
+  std::vector<std::uint32_t> active_;  ///< links whose wires changed, FIFO
+  std::vector<std::uint32_t> hot_;     ///< links with pending fill checks
+
+  // Expectation bookkeeping: per (src, dst) pair, FIFO of outstanding
+  // payloads (keyed by seq for the unordered modes).
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::deque<FuzzPacket>>
+      pending_;
+  std::uint64_t expected_ = 0;
+  std::uint64_t delivered_ = 0;
+  Fnv64 dhash_;  ///< folded per-delivery facts, arrival order
+
+  // Watchdog.
+  std::uint64_t last_progress_value_ = 0;
+  std::uint64_t last_progress_cycle_ = 0;
+  std::uint64_t wire_offers_ = 0;
+
+  std::vector<Violation> violations_;
+};
+
+/// Build the full randomized case for `cfg` (mesh + NIs + checker), run
+/// it to completion and report. Includes the single-packet formula probe.
+struct NocRunResult {
+  bool ok = true;
+  std::string failure;    ///< first violation's detail
+  std::string signature;  ///< first violation's kind
+  std::uint64_t cycles = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t digest = 0;
+};
+
+NocRunResult run_noc_case(const NocFuzzConfig& cfg,
+                          const std::vector<FuzzPacket>& packets);
+
+}  // namespace mn::check

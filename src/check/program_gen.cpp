@@ -1,0 +1,333 @@
+#include "check/program_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "r8/isa.hpp"
+#include "sim/rng.hpp"
+
+namespace mn::check {
+namespace {
+
+using r8::Format;
+using r8::Instr;
+using r8::Opcode;
+
+// Register conventions (see header).
+constexpr unsigned kDataRegs = 12;  ///< R0..R11 are free
+constexpr std::uint8_t kZeroReg = 12;
+constexpr std::uint8_t kLoopReg = 13;
+constexpr std::uint8_t kAddrReg = 14;
+constexpr std::uint8_t kSpReg = 15;
+constexpr std::uint16_t kStackTop = 0x0FE0;
+constexpr std::size_t kMaxGroups = 400;
+
+enum class Kind {
+  kAlu,
+  kMem,
+  kStack,
+  kSkip,
+  kLoop,
+  kCallD,
+  kCallR,
+  kRegJump,
+  kIo,
+  kMisc,  // NOP / LDSP R15
+};
+
+struct SkipFix {
+  std::size_t jump_idx;      ///< instruction index of the D9 jump
+  std::size_t target_group;  ///< index into group starts
+};
+
+struct RegFix {
+  std::size_t ldl_idx;
+  std::size_t ldh_idx;
+  std::size_t target_group;
+};
+
+Instr rrr(Opcode op, std::uint8_t rt, std::uint8_t rs1, std::uint8_t rs2) {
+  Instr i;
+  i.op = op;
+  i.rt = rt;
+  i.rs1 = rs1;
+  i.rs2 = rs2;
+  return i;
+}
+
+Instr ri(Opcode op, std::uint8_t rt, std::uint8_t imm) {
+  Instr i;
+  i.op = op;
+  i.rt = rt;
+  i.imm = imm;
+  return i;
+}
+
+Instr rr(Opcode op, std::uint8_t rt, std::uint8_t rs1) {
+  Instr i;
+  i.op = op;
+  i.rt = rt;
+  i.rs1 = rs1;
+  return i;
+}
+
+Instr reg(Opcode op, std::uint8_t rs1) {
+  Instr i;
+  i.op = op;
+  i.rs1 = rs1;
+  return i;
+}
+
+Instr d9(Opcode op, int disp) {
+  assert(r8::disp_fits(disp));
+  Instr i;
+  i.op = op;
+  i.disp = static_cast<std::int16_t>(disp);
+  return i;
+}
+
+Instr bare(Opcode op) {
+  Instr i;
+  i.op = op;
+  return i;
+}
+
+}  // namespace
+
+GeneratedProgram generate_program(const ProgramGenConfig& cfg) {
+  sim::Xoshiro256 rng(cfg.seed);
+  const std::size_t groups = std::clamp<std::size_t>(cfg.length, 1, kMaxGroups);
+
+  std::vector<Instr> prog;
+  std::vector<std::size_t> starts;  ///< group boundary addresses
+  std::vector<SkipFix> skips;
+  std::vector<RegFix> regjumps;
+  unsigned scanf_count = 0;
+  unsigned stack_depth = 0;
+
+  auto data_reg = [&] {
+    return static_cast<std::uint8_t>(rng.below(kDataRegs));
+  };
+  auto rnd8 = [&] { return static_cast<std::uint8_t>(rng.below(256)); };
+
+  // Menu of group kinds, weighted; disabled features simply never appear,
+  // so e.g. a memory-free config draws the same group sequence for its
+  // remaining kinds as one seeded identically (feature gating only prunes
+  // the menu, it does not reorder draws within a group).
+  std::vector<Kind> menu;
+  auto add = [&menu](Kind k, int weight) {
+    for (int i = 0; i < weight; ++i) menu.push_back(k);
+  };
+  add(Kind::kAlu, 40);
+  add(Kind::kMisc, 3);
+  if (cfg.memory) add(Kind::kMem, 15);
+  if (cfg.stack) add(Kind::kStack, 10);
+  if (cfg.jumps) {
+    add(Kind::kSkip, 8);
+    add(Kind::kLoop, 6);
+    add(Kind::kCallD, 4);
+    add(Kind::kCallR, 3);
+    add(Kind::kRegJump, 4);
+  }
+  if (cfg.io) add(Kind::kIo, 5);
+
+  // Prologue: SP image, constant-zero register, address scratch parked in
+  // the data window. Not a jump target (fixups only aim at later groups).
+  prog.push_back(ri(Opcode::kLdl, kSpReg, kStackTop & 0xFF));
+  prog.push_back(ri(Opcode::kLdh, kSpReg, kStackTop >> 8));
+  prog.push_back(reg(Opcode::kLdsp, kSpReg));
+  prog.push_back(ri(Opcode::kLdl, kZeroReg, 0));
+  prog.push_back(ri(Opcode::kLdh, kZeroReg, 0));
+  prog.push_back(ri(Opcode::kLdl, kAddrReg, 0));
+  prog.push_back(ri(Opcode::kLdh, kAddrReg, 0x10));
+
+  auto emit_alu = [&] {
+    static constexpr Opcode kRrrOps[] = {Opcode::kAdd,  Opcode::kSub,
+                                         Opcode::kAddc, Opcode::kSubc,
+                                         Opcode::kAnd,  Opcode::kOr,
+                                         Opcode::kXor};
+    static constexpr Opcode kRiOps[] = {Opcode::kAddi, Opcode::kSubi,
+                                        Opcode::kLdl, Opcode::kLdh};
+    static constexpr Opcode kRrOps[] = {Opcode::kNot, Opcode::kSl0,
+                                        Opcode::kSl1, Opcode::kSr0,
+                                        Opcode::kSr1};
+    switch (rng.below(3)) {
+      case 0:
+        prog.push_back(rrr(kRrrOps[rng.below(7)], data_reg(), data_reg(),
+                           data_reg()));
+        break;
+      case 1:
+        prog.push_back(ri(kRiOps[rng.below(4)], data_reg(), rnd8()));
+        break;
+      default:
+        prog.push_back(rr(kRrOps[rng.below(5)], data_reg(), data_reg()));
+        break;
+    }
+  };
+
+  // Point R14 at an address in [0x1000, 0x17FF]; LD/ST through R14+R14
+  // then touches 2*R14 in [0x2000, 0x2FFE] — plain RAM, far from the
+  // program, the stack and the I/O page.
+  auto emit_mem = [&] {
+    prog.push_back(ri(Opcode::kLdl, kAddrReg, rnd8()));
+    prog.push_back(ri(Opcode::kLdh, kAddrReg,
+                      static_cast<std::uint8_t>(0x10 | rng.below(8))));
+    if (rng.below(2)) {
+      prog.push_back(rrr(Opcode::kSt, data_reg(), kAddrReg, kAddrReg));
+    } else {
+      prog.push_back(rrr(Opcode::kLd, data_reg(), kAddrReg, kAddrReg));
+    }
+  };
+
+  auto emit_io = [&] {
+    // printf (ST @FFFF), scanf (LD @FFFF), wait (ST @FFFE), notify
+    // (ST @FFFD); address formed as R14 + R12(=0).
+    const std::uint64_t pick = rng.below(8);
+    const std::uint8_t lo = pick >= 6 ? (pick == 6 ? 0xFE : 0xFD) : 0xFF;
+    prog.push_back(ri(Opcode::kLdl, kAddrReg, lo));
+    prog.push_back(ri(Opcode::kLdh, kAddrReg, 0xFF));
+    if (lo == 0xFF && pick >= 3 && pick <= 5) {
+      prog.push_back(rrr(Opcode::kLd, data_reg(), kAddrReg, kZeroReg));
+      ++scanf_count;
+    } else {
+      prog.push_back(rrr(Opcode::kSt, data_reg(), kAddrReg, kZeroReg));
+    }
+  };
+
+  auto emit_loop_body = [&](std::size_t n) {
+    for (std::size_t k = 0; k < n; ++k) emit_alu();
+  };
+
+  for (std::size_t g = 0; g < groups; ++g) {
+    starts.push_back(prog.size());
+    Kind kind = menu[rng.below(menu.size())];
+    if (kind == Kind::kStack && stack_depth == 0 && rng.below(2)) {
+      kind = Kind::kAlu;  // nothing to pop; half the time push instead
+    }
+    switch (kind) {
+      case Kind::kAlu:
+        emit_alu();
+        break;
+      case Kind::kMem:
+        emit_mem();
+        break;
+      case Kind::kIo:
+        emit_io();
+        break;
+      case Kind::kMisc:
+        prog.push_back(rng.below(4) == 0 ? reg(Opcode::kLdsp, kSpReg)
+                                         : bare(Opcode::kNop));
+        break;
+      case Kind::kStack:
+        if (stack_depth > 0 && (stack_depth >= 12 || rng.below(2))) {
+          prog.push_back(reg(Opcode::kPop, data_reg()));
+          --stack_depth;
+        } else {
+          prog.push_back(reg(Opcode::kPush, data_reg()));
+          ++stack_depth;
+        }
+        break;
+      case Kind::kSkip: {
+        static constexpr Opcode kSkipOps[] = {Opcode::kJmpd, Opcode::kJmpnd,
+                                              Opcode::kJmpzd, Opcode::kJmpcd,
+                                              Opcode::kJmpvd};
+        skips.push_back({prog.size(), g + 1 + rng.below(4)});
+        prog.push_back(d9(kSkipOps[rng.below(5)], 0));  // patched later
+        break;
+      }
+      case Kind::kRegJump: {
+        static constexpr Opcode kRegOps[] = {Opcode::kJmp, Opcode::kJmpn,
+                                             Opcode::kJmpz, Opcode::kJmpc,
+                                             Opcode::kJmpv};
+        regjumps.push_back({prog.size(), prog.size() + 1,
+                            g + 1 + rng.below(3)});
+        prog.push_back(ri(Opcode::kLdl, kAddrReg, 0));  // patched later
+        prog.push_back(ri(Opcode::kLdh, kAddrReg, 0));  // patched later
+        prog.push_back(reg(kRegOps[rng.below(5)], kAddrReg));
+        break;
+      }
+      case Kind::kLoop: {
+        // LDL R13,n / body / SUBI R13,1 / JMPZD +2 / JMPD -(body+2).
+        const std::size_t body = 1 + rng.below(3);
+        prog.push_back(ri(Opcode::kLdl, kLoopReg,
+                          static_cast<std::uint8_t>(1 + rng.below(6))));
+        emit_loop_body(body);
+        prog.push_back(ri(Opcode::kSubi, kLoopReg, 1));
+        prog.push_back(d9(Opcode::kJmpzd, 2));
+        prog.push_back(d9(Opcode::kJmpd, -static_cast<int>(body + 2)));
+        break;
+      }
+      case Kind::kCallD: {
+        // JSRD +2 / JMPD over / body / RTS.
+        const std::size_t body = 1 + rng.below(3);
+        prog.push_back(d9(Opcode::kJsrd, 2));
+        prog.push_back(d9(Opcode::kJmpd, static_cast<int>(body + 2)));
+        emit_loop_body(body);
+        prog.push_back(bare(Opcode::kRts));
+        break;
+      }
+      case Kind::kCallR: {
+        // LDL/LDH R14 <sub> / JSR R14 / JMPD over / body / RTS.
+        const std::size_t body = 1 + rng.below(3);
+        const std::size_t sub = prog.size() + 4;
+        prog.push_back(ri(Opcode::kLdl, kAddrReg,
+                          static_cast<std::uint8_t>(sub & 0xFF)));
+        prog.push_back(ri(Opcode::kLdh, kAddrReg,
+                          static_cast<std::uint8_t>(sub >> 8)));
+        prog.push_back(reg(Opcode::kJsr, kAddrReg));
+        prog.push_back(d9(Opcode::kJmpd, static_cast<int>(body + 2)));
+        emit_loop_body(body);
+        prog.push_back(bare(Opcode::kRts));
+        break;
+      }
+    }
+  }
+  starts.push_back(prog.size());  // epilogue boundary (jump targets clamp)
+  prog.push_back(bare(Opcode::kHalt));
+
+  // Resolve forward fixups against group-boundary addresses.
+  for (const SkipFix& f : skips) {
+    const std::size_t tg = std::min(f.target_group, starts.size() - 1);
+    prog[f.jump_idx].disp = static_cast<std::int16_t>(
+        static_cast<int>(starts[tg]) - static_cast<int>(f.jump_idx));
+    assert(r8::disp_fits(prog[f.jump_idx].disp));
+  }
+  for (const RegFix& f : regjumps) {
+    const std::size_t tg = std::min(f.target_group, starts.size() - 1);
+    const auto target = static_cast<std::uint16_t>(starts[tg]);
+    prog[f.ldl_idx].imm = static_cast<std::uint8_t>(target & 0xFF);
+    prog[f.ldh_idx].imm = static_cast<std::uint8_t>(target >> 8);
+  }
+
+  GeneratedProgram out;
+  out.image.reserve(prog.size());
+  for (const Instr& i : prog) out.image.push_back(r8::encode(i));
+  out.inputs.reserve(scanf_count);
+  for (unsigned k = 0; k < scanf_count; ++k) {
+    out.inputs.push_back(static_cast<std::uint16_t>(rng.below(0x10000)));
+  }
+  return out;
+}
+
+std::string program_source(const std::vector<std::uint16_t>& image) {
+  std::string src;
+  for (std::size_t addr = 0; addr < image.size(); ++addr) {
+    src += "        ";
+    const auto di = r8::decode(image[addr]);
+    if (di && r8::format_of(di->op) == Format::kD9) {
+      // Displacement mnemonics disassemble to raw offsets but assemble
+      // against target *addresses* (test_assembler.cpp anchors this
+      // convention), so render the absolute target instead.
+      const auto target =
+          static_cast<std::uint16_t>(addr + static_cast<int>(di->disp));
+      src += std::string(r8::mnemonic(di->op)) + " " + std::to_string(target);
+    } else {
+      // Covers legal instructions and raw ".word 0x...." fallbacks alike.
+      src += r8::disassemble(image[addr]);
+    }
+    src += "\n";
+  }
+  return src;
+}
+
+}  // namespace mn::check

@@ -1,0 +1,64 @@
+#pragma once
+// Seeded R8 program generator for differential fuzzing (mn-fuzz).
+//
+// Produces *valid, terminating* random programs over the full 36-opcode
+// ISA, built from atomic instruction groups so that every control
+// transfer lands on a group boundary:
+//
+//   * single ALU / move / NOP / LDSP instructions,
+//   * memory groups that first point R14 into the data window
+//     (addresses 2*[0x1000,0x17FF] = [0x2000,0x2FFE], far above the
+//     program and the stack),
+//   * balanced-ish PUSH/POP groups (static depth capped; conditional
+//     skips may unbalance them, which only drifts SP inside plain RAM),
+//   * forward conditional/unconditional displacement jumps to a later
+//     group boundary,
+//   * counted loops (LDL R13,n / body / SUBI R13,1 / JMPZD / JMPD back),
+//   * structured JSRD and register-JSR call blocks with an RTS body,
+//   * register jumps through R14 loaded with a forward group address,
+//   * optional memory-mapped I/O stores/loads (printf/scanf @0xFFFF,
+//     wait/notify @0xFFFE/0xFFFD) through R14 + R12(=0).
+//
+// Register conventions: R0..R11 are free data registers; R12 holds the
+// constant 0, R13 is the loop counter, R14 the address scratch, R15 the
+// stack-pointer image (SP = 0x0FE0, far above the longest program).
+// Forward-only jumps plus counted loops make termination structural; the
+// differential harness still applies a step budget as a backstop.
+//
+// The same generator feeds the assembler round-trip mode:
+// program_source() renders the image as assembler text (displacement
+// jumps as absolute targets, the convention mn-asm assembles against),
+// so assembling the text must reproduce the image bit-for-bit.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mn::check {
+
+struct ProgramGenConfig {
+  std::uint64_t seed = 1;
+  /// Number of instruction groups to emit (clamped to [1, 400] so the
+  /// program text can never grow into the stack region at 0x0E00+).
+  std::size_t length = 120;
+  bool jumps = true;   ///< skips, loops, calls, register jumps
+  bool memory = true;  ///< LD/ST through the data window
+  bool stack = true;   ///< PUSH/POP groups
+  bool io = false;     ///< printf/scanf/wait/notify groups
+};
+
+struct GeneratedProgram {
+  std::vector<std::uint16_t> image;   ///< encoded words, entry at 0
+  std::vector<std::uint16_t> inputs;  ///< scanf replies, consumed in order
+};
+
+GeneratedProgram generate_program(const ProgramGenConfig& cfg);
+
+/// Render an image as assembler source, one instruction per line;
+/// displacement jumps are emitted with their absolute target address
+/// (the convention the assembler expects) and unencodable words fall
+/// back to ".word 0x....". Reassembling the text reproduces the image
+/// exactly (see tests/test_assembler_roundtrip.cpp).
+std::string program_source(const std::vector<std::uint16_t>& image);
+
+}  // namespace mn::check

@@ -1,0 +1,194 @@
+#include "check/repro.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mn::check {
+namespace {
+
+noc::RoutingAlgo algo_from_name(const std::string& name) {
+  if (name == "west_first") return noc::RoutingAlgo::kWestFirst;
+  if (name == "adaptive") return noc::RoutingAlgo::kAdaptive;
+  return noc::RoutingAlgo::kXY;
+}
+
+sim::Json u16_array(const std::vector<std::uint16_t>& v) {
+  sim::Json a = sim::Json::array();
+  for (std::uint16_t x : v) a.push_back(static_cast<std::uint64_t>(x));
+  return a;
+}
+
+bool read_u16_array(const sim::Json* j, std::vector<std::uint16_t>& out) {
+  if (!j || !j->is_array()) return false;
+  out.clear();
+  out.reserve(j->size());
+  for (const sim::Json& e : j->elements()) {
+    if (!e.is_number()) return false;
+    out.push_back(static_cast<std::uint16_t>(e.as_int()));
+  }
+  return true;
+}
+
+}  // namespace
+
+sim::Json repro_to_json(const Repro& r) {
+  sim::Json j = sim::Json::object();
+  j["schema"] = kReproSchema;
+  j["mode"] = r.mode;
+  j["seed"] = r.seed;
+  j["signature"] = r.signature;
+  j["failure"] = r.failure;
+
+  sim::Json c = sim::Json::object();
+  if (r.mode == "diff-cpu") {
+    c["words"] = u16_array(r.words);
+    c["inputs"] = u16_array(r.inputs);
+    c["bug"] = injected_bug_name(r.bug);
+  } else {
+    sim::Json n = sim::Json::object();
+    n["nx"] = r.noc.nx;
+    n["ny"] = r.noc.ny;
+    n["vc"] = static_cast<std::uint64_t>(r.noc.vc_count);
+    n["algo"] = noc::routing_algo_name(r.noc.algo);
+    n["faults"] = r.noc.faults;
+    n["threads"] = r.noc.threads;
+    n["buffer_depth"] = static_cast<std::uint64_t>(r.noc.buffer_depth);
+    n["route_latency"] = r.noc.route_latency;
+    n["seed"] = r.noc.seed;
+    n["max_cycles"] = r.noc.max_cycles;
+    n["watchdog"] = r.noc.watchdog;
+    c["noc"] = std::move(n);
+    sim::Json ps = sim::Json::array();
+    for (const FuzzPacket& p : r.packets) {
+      sim::Json pj = sim::Json::object();
+      pj["cycle"] = p.cycle;
+      pj["src"] = static_cast<std::uint64_t>(p.src);
+      pj["dst"] = static_cast<std::uint64_t>(p.dst);
+      sim::Json pay = sim::Json::array();
+      for (std::uint8_t b : p.payload) {
+        pay.push_back(static_cast<std::uint64_t>(b));
+      }
+      pj["payload"] = std::move(pay);
+      ps.push_back(std::move(pj));
+    }
+    c["packets"] = std::move(ps);
+  }
+  j["case"] = std::move(c);
+  return j;
+}
+
+std::optional<Repro> repro_from_json(const sim::Json& j,
+                                     std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<Repro> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  const sim::Json* schema = j.find("schema");
+  if (!schema || !schema->is_string() ||
+      schema->as_string() != kReproSchema) {
+    return fail("missing or unknown schema (want mn-fuzz-repro-v1)");
+  }
+  const sim::Json* mode = j.find("mode");
+  if (!mode || !mode->is_string()) return fail("missing mode");
+
+  Repro r;
+  r.mode = mode->as_string();
+  if (const sim::Json* s = j.find("seed"); s && s->is_number()) {
+    r.seed = static_cast<std::uint64_t>(s->as_int());
+  }
+  if (const sim::Json* s = j.find("signature"); s && s->is_string()) {
+    r.signature = s->as_string();
+  }
+  if (const sim::Json* f = j.find("failure"); f && f->is_string()) {
+    r.failure = f->as_string();
+  }
+  const sim::Json* c = j.find("case");
+  if (!c || !c->is_object()) return fail("missing case object");
+
+  if (r.mode == "diff-cpu") {
+    if (!read_u16_array(c->find("words"), r.words)) {
+      return fail("diff-cpu case needs a words array");
+    }
+    if (c->contains("inputs") &&
+        !read_u16_array(c->find("inputs"), r.inputs)) {
+      return fail("malformed inputs array");
+    }
+    if (const sim::Json* b = c->find("bug"); b && b->is_string()) {
+      r.bug = injected_bug_from_name(b->as_string());
+    }
+    return r;
+  }
+  if (r.mode != "noc-invariants") return fail("unknown mode " + r.mode);
+
+  const sim::Json* n = c->find("noc");
+  if (!n || !n->is_object()) return fail("noc case needs a noc object");
+  auto num = [&](const char* key, auto fallback) {
+    const sim::Json* v = n->find(key);
+    using T = decltype(fallback);
+    return v && v->is_number() ? static_cast<T>(v->as_int()) : fallback;
+  };
+  r.noc.nx = num("nx", r.noc.nx);
+  r.noc.ny = num("ny", r.noc.ny);
+  r.noc.vc_count = num("vc", r.noc.vc_count);
+  r.noc.threads = num("threads", r.noc.threads);
+  r.noc.buffer_depth = num("buffer_depth", r.noc.buffer_depth);
+  r.noc.route_latency = num("route_latency", r.noc.route_latency);
+  r.noc.seed = num("seed", r.noc.seed);
+  r.noc.max_cycles = num("max_cycles", r.noc.max_cycles);
+  r.noc.watchdog = num("watchdog", r.noc.watchdog);
+  if (const sim::Json* a = n->find("algo"); a && a->is_string()) {
+    r.noc.algo = algo_from_name(a->as_string());
+  }
+  if (const sim::Json* f = n->find("faults"); f && f->is_bool()) {
+    r.noc.faults = f->as_bool();
+  }
+  const sim::Json* ps = c->find("packets");
+  if (!ps || !ps->is_array()) return fail("noc case needs a packets array");
+  for (const sim::Json& pj : ps->elements()) {
+    const sim::Json* cy = pj.find("cycle");
+    const sim::Json* src = pj.find("src");
+    const sim::Json* dst = pj.find("dst");
+    const sim::Json* pay = pj.find("payload");
+    if (!cy || !cy->is_number() || !src || !src->is_number() || !dst ||
+        !dst->is_number() || !pay || !pay->is_array()) {
+      return fail("malformed packet entry");
+    }
+    FuzzPacket p;
+    p.cycle = static_cast<std::uint64_t>(cy->as_int());
+    p.src = static_cast<std::uint8_t>(src->as_int());
+    p.dst = static_cast<std::uint8_t>(dst->as_int());
+    for (const sim::Json& b : pay->elements()) {
+      if (!b.is_number()) return fail("malformed payload byte");
+      p.payload.push_back(static_cast<std::uint8_t>(b.as_int()));
+    }
+    r.packets.push_back(std::move(p));
+  }
+  return r;
+}
+
+bool save_repro(const Repro& r, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << repro_to_json(r).dump(2) << "\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<Repro> load_repro(const std::string& path,
+                                std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error) *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string parse_error;
+  const auto j = sim::Json::parse(ss.str(), &parse_error);
+  if (!j) {
+    if (error) *error = path + ": " + parse_error;
+    return std::nullopt;
+  }
+  return repro_from_json(*j, error);
+}
+
+}  // namespace mn::check

@@ -1,0 +1,55 @@
+#pragma once
+// Replayable repro artifacts (schema "mn-fuzz-repro-v1").
+//
+// When a fuzz case fails, mn-fuzz serializes everything needed to replay
+// it bit-identically — the mode, the (shrunk) case payload and the
+// failure it demonstrated — as a small JSON document. `mn-fuzz --replay
+// file.json` re-executes the case and checks that the same failure
+// signature reproduces; CI uploads these artifacts on fuzz-smoke
+// failures so a red run is diagnosable offline.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/diff_cpu.hpp"
+#include "check/noc_invariants.hpp"
+#include "sim/json.hpp"
+
+namespace mn::check {
+
+inline constexpr const char* kReproSchema = "mn-fuzz-repro-v1";
+
+/// One self-contained failing case. `mode` selects which half of the
+/// payload is meaningful: "diff-cpu" uses words/inputs/bug,
+/// "noc-invariants" uses noc/packets.
+struct Repro {
+  std::string mode;
+  std::uint64_t seed = 0;  ///< case seed (provenance; replay uses payload)
+  std::string signature;   ///< failure signature the case must reproduce
+  std::string failure;     ///< human-readable detail from the first run
+
+  // --- diff-cpu case ---
+  std::vector<std::uint16_t> words;
+  std::vector<std::uint16_t> inputs;
+  InjectedBug bug = InjectedBug::kNone;
+
+  // --- noc-invariants case ---
+  NocFuzzConfig noc;
+  std::vector<FuzzPacket> packets;
+};
+
+sim::Json repro_to_json(const Repro& r);
+
+/// Strict decode; returns nullopt and fills `error` on schema mismatch.
+std::optional<Repro> repro_from_json(const sim::Json& j,
+                                     std::string* error = nullptr);
+
+/// Write pretty-printed JSON to `path`. Returns false on I/O error.
+bool save_repro(const Repro& r, const std::string& path);
+
+/// Load + decode a repro file.
+std::optional<Repro> load_repro(const std::string& path,
+                                std::string* error = nullptr);
+
+}  // namespace mn::check

@@ -1,0 +1,160 @@
+#include "check/shrink.hpp"
+
+#include <algorithm>
+
+#include "r8/isa.hpp"
+
+namespace mn::check {
+namespace {
+
+std::uint16_t nop_word() {
+  r8::Instr i;
+  i.op = r8::Opcode::kNop;
+  return r8::encode(i);
+}
+
+std::uint16_t halt_word() {
+  r8::Instr i;
+  i.op = r8::Opcode::kHalt;
+  return r8::encode(i);
+}
+
+}  // namespace
+
+ShrinkStats shrink_program(std::vector<std::uint16_t>& image,
+                           std::vector<std::uint16_t>& inputs,
+                           const DiffOptions& opt,
+                           const std::string& signature,
+                           unsigned max_attempts) {
+  ShrinkStats stats;
+  auto keeps_failure = [&](const std::vector<std::uint16_t>& img,
+                           const std::vector<std::uint16_t>& in) {
+    ++stats.attempts;
+    const DiffResult r = run_differential(img, in, opt);
+    return !r.ok && r.signature == signature;
+  };
+
+  // Phase 1: shortest failing prefix. Replace ever-larger suffixes with
+  // HALT; each accepted cut restarts the halving from the new length.
+  bool improved = true;
+  while (improved && stats.attempts < max_attempts) {
+    improved = false;
+    for (std::size_t keep = image.size() / 2; keep + 1 < image.size();
+         keep += (image.size() - keep) / 2) {
+      if (stats.attempts >= max_attempts) break;
+      std::vector<std::uint16_t> cand(image.begin(),
+                                      image.begin() + keep);
+      cand.push_back(halt_word());
+      if (keeps_failure(cand, inputs)) {
+        image = std::move(cand);
+        ++stats.accepted;
+        improved = true;
+        break;
+      }
+      if ((image.size() - keep) / 2 == 0) break;
+    }
+  }
+
+  // Phase 2: NOP out non-contributing words, in halving chunks down to
+  // single instructions.
+  for (std::size_t chunk = std::max<std::size_t>(image.size() / 2, 1);
+       chunk >= 1; chunk /= 2) {
+    for (std::size_t start = 0;
+         start < image.size() && stats.attempts < max_attempts;
+         start += chunk) {
+      const std::size_t end = std::min(start + chunk, image.size());
+      const std::uint16_t nop = nop_word();
+      bool already = true;
+      for (std::size_t i = start; i < end; ++i) {
+        if (image[i] != nop) already = false;
+      }
+      if (already) continue;
+      std::vector<std::uint16_t> cand = image;
+      std::fill(cand.begin() + start, cand.begin() + end, nop);
+      if (keeps_failure(cand, inputs)) {
+        image = std::move(cand);
+        ++stats.accepted;
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 3: shrink the scanf input tail (drop unused values, zero the
+  // rest one at a time).
+  while (!inputs.empty() && stats.attempts < max_attempts) {
+    std::vector<std::uint16_t> cand(inputs.begin(), inputs.end() - 1);
+    if (!keeps_failure(image, cand)) break;
+    inputs = std::move(cand);
+    ++stats.accepted;
+  }
+  for (std::size_t i = 0;
+       i < inputs.size() && stats.attempts < max_attempts; ++i) {
+    if (inputs[i] == 0) continue;
+    std::vector<std::uint16_t> cand = inputs;
+    cand[i] = 0;
+    if (keeps_failure(image, cand)) {
+      inputs = std::move(cand);
+      ++stats.accepted;
+    }
+  }
+  return stats;
+}
+
+ShrinkStats shrink_packets(const NocFuzzConfig& cfg,
+                           std::vector<FuzzPacket>& packets,
+                           const std::string& signature,
+                           unsigned max_attempts) {
+  ShrinkStats stats;
+  auto keeps_failure = [&](const std::vector<FuzzPacket>& cand) {
+    ++stats.attempts;
+    const NocRunResult r = run_noc_case(cfg, cand);
+    return !r.ok && r.signature == signature;
+  };
+
+  // Phase 1: subset minimization — remove packets in halving chunks.
+  for (std::size_t chunk = std::max<std::size_t>(packets.size() / 2, 1);
+       chunk >= 1 && !packets.empty(); chunk /= 2) {
+    std::size_t start = 0;
+    while (start < packets.size() && stats.attempts < max_attempts) {
+      const std::size_t end = std::min(start + chunk, packets.size());
+      std::vector<FuzzPacket> cand;
+      cand.reserve(packets.size() - (end - start));
+      cand.insert(cand.end(), packets.begin(), packets.begin() + start);
+      cand.insert(cand.end(), packets.begin() + end, packets.end());
+      if (!cand.empty() && keeps_failure(cand)) {
+        packets = std::move(cand);
+        ++stats.accepted;
+        // Retry the same window against the shorter list.
+      } else {
+        start += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  // Phase 2: truncate surviving payloads to the 4-byte accounting header.
+  for (std::size_t i = 0;
+       i < packets.size() && stats.attempts < max_attempts; ++i) {
+    if (packets[i].payload.size() <= 4) continue;
+    std::vector<FuzzPacket> cand = packets;
+    cand[i].payload.resize(4);
+    if (keeps_failure(cand)) {
+      packets = std::move(cand);
+      ++stats.accepted;
+    }
+  }
+
+  // Phase 3: compact the schedule — earlier injection means fewer cycles
+  // to replay. Try collapsing everything to cycle 0, then halving.
+  while (stats.attempts < max_attempts && !packets.empty() &&
+         packets.back().cycle > 0) {
+    std::vector<FuzzPacket> cand = packets;
+    for (FuzzPacket& p : cand) p.cycle /= 2;
+    if (!keeps_failure(cand)) break;
+    packets = std::move(cand);
+    ++stats.accepted;
+  }
+  return stats;
+}
+
+}  // namespace mn::check

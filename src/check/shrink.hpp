@@ -1,0 +1,49 @@
+#pragma once
+// Failing-case minimization (mn-fuzz --shrink).
+//
+// Both shrinkers are greedy delta-debugging loops over the natural units
+// of their case — program words (NOPped out in halving chunks, plus
+// whole-suffix truncation to HALT) and scheduled packets (subset removal,
+// payload truncation, schedule compaction). A candidate is accepted only
+// when re-running it reproduces the SAME failure signature, so the
+// minimized case still demonstrates the original bug, not merely *a*
+// bug. Re-runs are fully deterministic (seeded generators, deterministic
+// kernel), which is what makes the greedy loop sound.
+//
+// Shrinking mutates the case in place and reports how many candidate
+// executions were spent; callers bound the cost with `max_attempts`.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/diff_cpu.hpp"
+#include "check/noc_invariants.hpp"
+
+namespace mn::check {
+
+struct ShrinkStats {
+  unsigned attempts = 0;  ///< candidate executions performed
+  unsigned accepted = 0;  ///< candidates that kept the signature
+};
+
+/// Minimize a failing differential case: truncate the program to the
+/// shortest failing prefix (suffix replaced by HALT), NOP out every word
+/// that does not contribute, then drop and zero the scanf input tail.
+/// `signature` is the DiffResult::signature the minimized case must keep.
+ShrinkStats shrink_program(std::vector<std::uint16_t>& image,
+                           std::vector<std::uint16_t>& inputs,
+                           const DiffOptions& opt,
+                           const std::string& signature,
+                           unsigned max_attempts = 2000);
+
+/// Minimize a failing NoC case: drop packets in halving chunks, truncate
+/// surviving payloads to the 4-byte accounting header, then compact the
+/// injection schedule toward cycle 0. `signature` is the
+/// NocRunResult::signature (violation kind) that must be preserved.
+ShrinkStats shrink_packets(const NocFuzzConfig& cfg,
+                           std::vector<FuzzPacket>& packets,
+                           const std::string& signature,
+                           unsigned max_attempts = 300);
+
+}  // namespace mn::check

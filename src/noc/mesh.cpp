@@ -36,6 +36,10 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
       router(x + 1, y).connect_in(Port::kWest, *east);
       router(x + 1, y).connect_out(Port::kWest, *west);
       router(x, y).connect_in(Port::kEast, *west);
+      links_.push_back({east.get(), static_cast<int>(index(x + 1, y)),
+                        Port::kWest});
+      links_.push_back({west.get(), static_cast<int>(index(x, y)),
+                        Port::kEast});
       wires_.push_back(std::move(east));
       wires_.push_back(std::move(west));
     }
@@ -52,6 +56,10 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
       router(x, y + 1).connect_in(Port::kSouth, *north);
       router(x, y + 1).connect_out(Port::kSouth, *south);
       router(x, y).connect_in(Port::kNorth, *south);
+      links_.push_back({north.get(), static_cast<int>(index(x, y + 1)),
+                        Port::kSouth});
+      links_.push_back({south.get(), static_cast<int>(index(x, y)),
+                        Port::kNorth});
       wires_.push_back(std::move(north));
       wires_.push_back(std::move(south));
     }
@@ -68,6 +76,9 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
                                              wire_name("locOut", x, y));
       router(x, y).connect_in(Port::kLocal, *in);
       router(x, y).connect_out(Port::kLocal, *out);
+      links_.push_back({in.get(), static_cast<int>(index(x, y)),
+                        Port::kLocal});
+      links_.push_back({out.get(), -1, Port::kLocal});
       local_in_.push_back(std::move(in));
       local_out_.push_back(std::move(out));
     }

@@ -13,6 +13,17 @@
 
 namespace mn::noc {
 
+/// One directed wire bundle of the fabric together with its receiving
+/// endpoint — the hook external observers (src/check invariant checker)
+/// use to watch every link of a mesh without knowing its wiring scheme.
+struct LinkRef {
+  LinkWires* wires = nullptr;
+  int rx_router = -1;  ///< index(x,y) of the receiving router, or -1 when
+                       ///< the receiver is the node's IP (a local_out
+                       ///< bundle)
+  Port rx_port = Port::kLocal;  ///< input port at the receiving router
+};
+
 class Mesh {
  public:
   /// Builds routers and links and registers them with the simulator.
@@ -43,6 +54,11 @@ class Mesh {
     return *local_out_[index(x, y)];
   }
 
+  /// Every directed link of the fabric (inter-router + both local
+  /// bundles per node), with its receiving endpoint. Stable for the
+  /// mesh's lifetime.
+  const std::vector<LinkRef>& links() const { return links_; }
+
   /// Aggregate statistics over all routers.
   RouterStats total_stats() const;
 
@@ -64,6 +80,7 @@ class Mesh {
   std::vector<std::unique_ptr<LinkWires>> wires_;  ///< inter-router bundles
   std::vector<std::unique_ptr<LinkWires>> local_in_;
   std::vector<std::unique_ptr<LinkWires>> local_out_;
+  std::vector<LinkRef> links_;  ///< every bundle + receiving endpoint
 };
 
 }  // namespace mn::noc

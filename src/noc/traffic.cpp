@@ -94,10 +94,10 @@ void TrafficNode::reset() {
   flits_delivered_ = 0;
 }
 
-TrafficResult run_traffic_experiment(unsigned nx, unsigned ny,
-                                     const RouterConfig& rcfg,
-                                     TrafficConfig cfg,
-                                     std::uint64_t cycles) {
+TrafficResult run_traffic_experiment(
+    unsigned nx, unsigned ny, const RouterConfig& rcfg, TrafficConfig cfg,
+    std::uint64_t cycles,
+    const std::function<void(sim::Simulator&, Mesh&)>& on_built) {
   sim::Simulator sim;
   Mesh mesh(sim, nx, ny, rcfg);
   std::vector<std::unique_ptr<TrafficNode>> nodes;
@@ -109,6 +109,7 @@ TrafficResult run_traffic_experiment(unsigned nx, unsigned ny,
           cfg));
     }
   }
+  if (on_built) on_built(sim, mesh);
 
   sim.run(cfg.warmup_cycles + cycles);
 

@@ -2,6 +2,7 @@
 // Synthetic traffic generation and measurement for NoC experiments.
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "noc/mesh.hpp"
@@ -74,9 +75,12 @@ struct TrafficResult {
 
 /// Builds a mesh with a TrafficNode on every tile, runs `cycles` cycles
 /// after `cfg.warmup_cycles`, and aggregates the measurements.
-TrafficResult run_traffic_experiment(unsigned nx, unsigned ny,
-                                     const RouterConfig& rcfg,
-                                     TrafficConfig cfg,
-                                     std::uint64_t cycles);
+/// `on_built` (optional) runs after the fabric is wired but before the
+/// first cycle — the hook benches use to arm observers (e.g. the
+/// src/check invariant checker) on an otherwise unchanged experiment.
+TrafficResult run_traffic_experiment(
+    unsigned nx, unsigned ny, const RouterConfig& rcfg, TrafficConfig cfg,
+    std::uint64_t cycles,
+    const std::function<void(sim::Simulator&, Mesh&)>& on_built = {});
 
 }  // namespace mn::noc

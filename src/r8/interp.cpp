@@ -94,31 +94,35 @@ void Interp::step() {
             regs_[i.rt]);
       ideal_cycles_ += 3;
       return;
+    // Stack traffic goes through read()/write() like any other memory
+    // access: the hardware bus makes no distinction, so a stack pointer
+    // aimed at the I/O page must hit the I/O mapping here too (divergence
+    // found by mn-fuzz diff-cpu; pinned in test_isa.cpp).
     case Opcode::kPush:
-      mem_[sp_] = regs_[i.rs1];
+      write(sp_, regs_[i.rs1]);
       --sp_;
       ideal_cycles_ += 3;
       return;
     case Opcode::kPop:
       ++sp_;
-      regs_[i.rs1] = mem_[sp_];
+      regs_[i.rs1] = read(sp_);
       ideal_cycles_ += 3;
       return;
     case Opcode::kJsr:
-      mem_[sp_] = pc_;
+      write(sp_, pc_);
       --sp_;
       pc_ = regs_[i.rs1];
       ideal_cycles_ += 4;
       return;
     case Opcode::kJsrd:
-      mem_[sp_] = pc_;
+      write(sp_, pc_);
       --sp_;
       pc_ = static_cast<std::uint16_t>(instr_addr + i.disp);
       ideal_cycles_ += 4;
       return;
     case Opcode::kRts:
       ++sp_;
-      pc_ = mem_[sp_];
+      pc_ = read(sp_);
       ideal_cycles_ += 3;
       return;
     case Opcode::kLdsp:

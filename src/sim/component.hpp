@@ -38,8 +38,11 @@ class Component {
   virtual bool quiescent() const { return false; }
 
   /// Re-activate the component; called by WirePool when a watched input
-  /// wire changes at commit, and by the kernel after reset().
-  void wake() { wake_ = true; }
+  /// wire changes at commit, and by the kernel after reset(). Virtual so
+  /// a passive tap (e.g. the src/check invariant checker) can intercept
+  /// change notifications instead of polling every wire every cycle; an
+  /// override must still call the base to keep the gating contract.
+  virtual void wake() { wake_ = true; }
 
   /// Consume the wake flag (kernel-internal, once per cycle).
   bool take_wake() {

@@ -1,0 +1,290 @@
+// Generative-testing subsystem (src/check): seeded program generation,
+// lockstep differential execution, NoC invariant checking, failing-case
+// shrinking and replayable repro artifacts (docs/TESTING.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/diff_cpu.hpp"
+#include "check/noc_invariants.hpp"
+#include "check/program_gen.hpp"
+#include "check/repro.hpp"
+#include "check/shrink.hpp"
+#include "noc/mesh.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace mn {
+namespace {
+
+using check::DiffOptions;
+using check::FuzzPacket;
+using check::InjectedBug;
+using check::NocFuzzConfig;
+
+check::ProgramGenConfig gen_cfg(std::uint64_t seed) {
+  check::ProgramGenConfig cfg;
+  cfg.seed = seed;
+  cfg.length = 80;
+  cfg.io = true;
+  return cfg;
+}
+
+TEST(ProgramGen, DeterministicPerSeed) {
+  const auto a = check::generate_program(gen_cfg(11));
+  const auto b = check::generate_program(gen_cfg(11));
+  EXPECT_EQ(a.image, b.image);
+  EXPECT_EQ(a.inputs, b.inputs);
+  const auto c = check::generate_program(gen_cfg(12));
+  EXPECT_NE(a.image, c.image) << "distinct seeds must explore";
+}
+
+TEST(DiffCpu, CleanOnGeneratedPrograms) {
+  // The production models agree on every generated program: this is the
+  // library form of `mn-fuzz --mode diff-cpu`.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const auto prog = check::generate_program(gen_cfg(seed));
+    const auto res = check::run_differential(prog.image, prog.inputs);
+    EXPECT_TRUE(res.ok) << "seed " << seed << ": " << res.failure;
+    EXPECT_LT(res.steps, DiffOptions{}.max_steps)
+        << "seed " << seed << " hit the step budget (non-terminating?)";
+  }
+}
+
+TEST(DiffCpu, DigestStableAcrossReruns) {
+  const auto prog = check::generate_program(gen_cfg(3));
+  const auto a = check::run_differential(prog.image, prog.inputs);
+  const auto b = check::run_differential(prog.image, prog.inputs);
+  ASSERT_TRUE(a.ok) << a.failure;
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.steps, b.steps);
+}
+
+/// Scan seeds until the injected Cpu-side bug produces a divergence.
+std::pair<check::GeneratedProgram, check::DiffResult> find_failing_case(
+    InjectedBug bug) {
+  DiffOptions opt;
+  opt.bug = bug;
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    auto prog = check::generate_program(gen_cfg(seed));
+    auto res = check::run_differential(prog.image, prog.inputs, opt);
+    if (!res.ok) return {std::move(prog), std::move(res)};
+  }
+  return {};
+}
+
+TEST(DiffCpu, InjectedBugIsDetectedAndDeterministic) {
+  const auto [prog, res] = find_failing_case(InjectedBug::kAddcLosesCarry);
+  ASSERT_FALSE(res.ok) << "no generated program exercised ADDC carry-in";
+  EXPECT_FALSE(res.signature.empty());
+  EXPECT_NE(res.failure.find("ADDC"), std::string::npos) << res.failure;
+
+  DiffOptions opt;
+  opt.bug = InjectedBug::kAddcLosesCarry;
+  const auto again = check::run_differential(prog.image, prog.inputs, opt);
+  EXPECT_EQ(again.signature, res.signature);
+  EXPECT_EQ(again.steps, res.steps);
+}
+
+TEST(Shrink, MinimizedCaseKeepsSignature) {
+  auto [prog, res] = find_failing_case(InjectedBug::kAddcLosesCarry);
+  ASSERT_FALSE(res.ok);
+  DiffOptions opt;
+  opt.bug = InjectedBug::kAddcLosesCarry;
+
+  const std::size_t words_before = prog.image.size();
+  const auto stats =
+      check::shrink_program(prog.image, prog.inputs, opt, res.signature);
+  EXPECT_GT(stats.attempts, 0u);
+  EXPECT_GT(stats.accepted, 0u) << "an 80-group program should shrink";
+  EXPECT_LT(prog.image.size(), words_before);
+
+  const auto replay = check::run_differential(prog.image, prog.inputs, opt);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_EQ(replay.signature, res.signature)
+      << "shrinking must preserve the failure, not merely find *a* failure";
+}
+
+TEST(Repro, DiffCaseJsonRoundTrip) {
+  check::Repro r;
+  r.mode = "diff-cpu";
+  r.seed = 42;
+  r.signature = "reg r1 after ADDC R1, R1, R9";
+  r.failure = "step 36: reg r1 cpu=0001 interp=0002";
+  r.words = {0x1234, 0xABCD, 0x0000};
+  r.inputs = {7, 9};
+  r.bug = InjectedBug::kAddcLosesCarry;
+
+  std::string err;
+  const auto back = check::repro_from_json(check::repro_to_json(r), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->mode, r.mode);
+  EXPECT_EQ(back->seed, r.seed);
+  EXPECT_EQ(back->signature, r.signature);
+  EXPECT_EQ(back->failure, r.failure);
+  EXPECT_EQ(back->words, r.words);
+  EXPECT_EQ(back->inputs, r.inputs);
+  EXPECT_EQ(back->bug, r.bug);
+}
+
+TEST(Repro, NocCaseJsonRoundTrip) {
+  check::Repro r;
+  r.mode = "noc-invariants";
+  r.seed = 9;
+  r.signature = "misroute";
+  r.failure = "packet for target 17 delivered at node 0";
+  r.noc.nx = 3;
+  r.noc.ny = 2;
+  r.noc.vc_count = 4;
+  r.noc.algo = noc::RoutingAlgo::kAdaptive;
+  r.noc.faults = true;
+  r.noc.threads = 2;
+  r.noc.seed = 9;
+  r.packets = {{5, 0x00, 0x11, {0x00, 0x11, 1, 0, 0xAB}},
+               {9, 0x21, 0x00, {0x21, 0x00, 2, 0}}};
+
+  std::string err;
+  const auto back = check::repro_from_json(check::repro_to_json(r), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->mode, r.mode);
+  EXPECT_EQ(back->signature, r.signature);
+  EXPECT_EQ(back->noc.nx, r.noc.nx);
+  EXPECT_EQ(back->noc.ny, r.noc.ny);
+  EXPECT_EQ(back->noc.vc_count, r.noc.vc_count);
+  EXPECT_EQ(back->noc.algo, r.noc.algo);
+  EXPECT_EQ(back->noc.faults, r.noc.faults);
+  EXPECT_EQ(back->noc.threads, r.noc.threads);
+  ASSERT_EQ(back->packets.size(), r.packets.size());
+  for (std::size_t i = 0; i < r.packets.size(); ++i) {
+    EXPECT_EQ(back->packets[i].cycle, r.packets[i].cycle);
+    EXPECT_EQ(back->packets[i].src, r.packets[i].src);
+    EXPECT_EQ(back->packets[i].dst, r.packets[i].dst);
+    EXPECT_EQ(back->packets[i].payload, r.packets[i].payload);
+  }
+}
+
+TEST(Repro, RejectsWrongSchemaAndMissingFile) {
+  check::Repro r;
+  r.mode = "diff-cpu";
+  auto j = check::repro_to_json(r);
+  j["schema"] = sim::Json("not-a-repro");
+  std::string err;
+  EXPECT_FALSE(check::repro_from_json(j, &err).has_value());
+  EXPECT_FALSE(err.empty());
+
+  err.clear();
+  EXPECT_FALSE(
+      check::load_repro("/nonexistent/dir/nope.json", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(NocFuzz, GeneratePacketsDeterministicAndWellFormed) {
+  NocFuzzConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 3;
+  cfg.packets = 50;
+  cfg.seed = 21;
+  const auto a = check::generate_packets(cfg);
+  const auto b = check::generate_packets(cfg);
+  ASSERT_EQ(a.size(), 50u);
+  std::uint64_t prev_cycle = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].cycle, b[i].cycle);
+    EXPECT_EQ(a[i].payload, b[i].payload);
+    EXPECT_GE(a[i].cycle, prev_cycle) << "schedule must be non-decreasing";
+    prev_cycle = a[i].cycle;
+    ASSERT_GE(a[i].payload.size(), 4u);
+    EXPECT_LE(a[i].payload.size(), cfg.max_payload);
+    EXPECT_EQ(a[i].payload[0], a[i].src);
+    EXPECT_EQ(a[i].payload[1], a[i].dst);
+  }
+}
+
+TEST(NocFuzz, CleanSingleLaneXY) {
+  NocFuzzConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 3;
+  cfg.packets = 40;
+  cfg.seed = 5;
+  const auto res = check::run_noc_case(cfg, check::generate_packets(cfg));
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.delivered, 40u);
+}
+
+TEST(NocFuzz, CleanMultiLaneAdaptiveUnderFaults) {
+  NocFuzzConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 3;
+  cfg.vc_count = 4;
+  cfg.algo = noc::RoutingAlgo::kAdaptive;
+  cfg.faults = true;
+  cfg.packets = 30;
+  cfg.seed = 6;
+  const auto res = check::run_noc_case(cfg, check::generate_packets(cfg));
+  EXPECT_TRUE(res.ok) << res.failure;
+  EXPECT_EQ(res.delivered, 30u);
+}
+
+TEST(NocFuzz, ThreadCountDoesNotChangeDigest) {
+  NocFuzzConfig cfg;
+  cfg.nx = 4;
+  cfg.ny = 4;
+  cfg.vc_count = 2;
+  cfg.packets = 40;
+  cfg.seed = 8;
+  const auto packets = check::generate_packets(cfg);
+  cfg.threads = 1;
+  const auto one = check::run_noc_case(cfg, packets);
+  cfg.threads = 2;
+  const auto two = check::run_noc_case(cfg, packets);
+  ASSERT_TRUE(one.ok) << one.failure;
+  ASSERT_TRUE(two.ok) << two.failure;
+  EXPECT_EQ(one.digest, two.digest);
+  EXPECT_EQ(one.cycles, two.cycles);
+}
+
+TEST(NocFuzz, DetectsMisroutedPayload) {
+  // A packet whose payload claims destination (0,0) but whose header
+  // targets (1,1): the checker must flag the delivery as a misroute.
+  NocFuzzConfig cfg;
+  cfg.nx = 2;
+  cfg.ny = 2;
+  cfg.packets = 1;
+  FuzzPacket bad;
+  bad.cycle = 0;
+  bad.src = 0x00;
+  bad.dst = noc::encode_xy({1, 1});
+  bad.payload = {0x00, 0x00, 0, 0, 1, 2};  // dst byte disagrees with header
+  const auto res = check::run_noc_case(cfg, {bad});
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.signature, "misroute") << res.failure;
+}
+
+TEST(NocFuzz, FinalizeFlagsLostPacket) {
+  // Direct library use: expect() without a matching send must fail
+  // finalize() with a "lost" violation.
+  sim::Simulator sim;
+  noc::RouterConfig rcfg;
+  noc::Mesh mesh(sim, 2, 2, rcfg);
+  check::InvariantChecker::Options opt;
+  opt.watchdog = 0;
+  check::InvariantChecker chk(sim, mesh, opt);
+  FuzzPacket p;
+  p.src = 0x00;
+  p.dst = 0x11;
+  p.payload = {0x00, 0x11, 0, 0};
+  chk.expect(p);
+  sim.run(200);
+  chk.finalize();
+  EXPECT_FALSE(chk.ok());
+  ASSERT_FALSE(chk.violations().empty());
+  EXPECT_EQ(chk.violations().front().kind, "lost");
+  EXPECT_EQ(chk.outstanding(), 1u);
+  EXPECT_EQ(chk.delivered(), 0u);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,7 +1,11 @@
-// R8 ISA: encoding/decoding, disassembly, classification (docs/R8_ISA.md).
+// R8 ISA: encoding/decoding, disassembly, classification (docs/R8_ISA.md),
+// plus named regression pins for ISA-semantics bugs found by fuzzing.
 #include <gtest/gtest.h>
 
+#include "check/diff_cpu.hpp"
+#include "r8/interp.hpp"
 #include "r8/isa.hpp"
+#include "r8asm/assembler.hpp"
 #include "sim/rng.hpp"
 
 namespace mn {
@@ -170,6 +174,73 @@ TEST(Isa, EveryWordDecodesToAtMostOneInstr) {
   // RRR+RI groups: 13 majors * 4096; unary: 5 subops * 256 (rt x rs);
   // sys: 12 subops * 256 (low byte don't-care where unused); disp: 6*512.
   EXPECT_GT(legal, 13 * 4096);
+}
+
+// ---- regression pins (divergences found by mn-fuzz --mode diff-cpu) --------
+
+/// The hardware bus makes no distinction between stack traffic and other
+/// memory accesses, so PUSH/POP with SP aimed at the I/O page must hit
+/// the memory-mapped I/O. The Interp used to bypass the mapping and write
+/// raw memory instead (src/r8/interp.cpp).
+TEST(IsaRegression, StackOpsThroughIoPageHitTheIoMapping) {
+  const auto a = r8asm::assemble(R"(
+        LDL R0,0xFF
+        LDH R0,0xFF
+        LDSP R0
+        LDL R1,42
+        LDH R1,0
+        PUSH R1
+        POP R2
+        HALT
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+
+  r8::Interp interp;
+  std::vector<std::uint16_t> printed;
+  interp.on_printf = [&](std::uint16_t v) { printed.push_back(v); };
+  interp.on_scanf = [] { return std::uint16_t{0x1234}; };
+  interp.load(a.image);
+  interp.run();
+  ASSERT_TRUE(interp.halted());
+  // PUSH at SP=0xFFFF is a store to the printf address...
+  ASSERT_EQ(printed.size(), 1u);
+  EXPECT_EQ(printed[0], 42u);
+  // ...and the matching POP is a load from it, i.e. a scanf.
+  EXPECT_EQ(interp.reg(2), 0x1234u);
+  // The I/O page itself is not backing store.
+  EXPECT_EQ(interp.mem(0xFFFF), 0u);
+
+  // Cpu and Interp agree on the whole program (the original divergence).
+  const auto res = check::run_differential(a.image, {0x1234});
+  EXPECT_TRUE(res.ok) << res.failure;
+}
+
+/// Same mapping rule for the implicit stack traffic of JSR/JSRD/RTS: the
+/// pushed return address goes out through printf, and RTS's pop consumes
+/// a scanf reply as the return target.
+TEST(IsaRegression, JsrRtsThroughIoPageHitTheIoMapping) {
+  const auto a = r8asm::assemble(R"(
+        LDL R0,0xFF
+        LDH R0,0xFF
+        LDSP R0
+        JSRD 5
+        HALT
+        RTS
+)");
+  ASSERT_TRUE(a.ok) << a.error_text();
+
+  r8::Interp interp;
+  std::vector<std::uint16_t> printed;
+  interp.on_printf = [&](std::uint16_t v) { printed.push_back(v); };
+  interp.on_scanf = [] { return std::uint16_t{4}; };  // HALT's address
+  interp.load(a.image);
+  interp.run(100);
+  ASSERT_TRUE(interp.halted());
+  ASSERT_EQ(printed.size(), 1u);
+  EXPECT_EQ(printed[0], 4u) << "JSRD must push the return address via I/O";
+
+  const auto res = check::run_differential(a.image, {4});
+  EXPECT_TRUE(res.ok) << res.failure;
 }
 
 }  // namespace

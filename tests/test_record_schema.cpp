@@ -1,0 +1,139 @@
+// Golden-schema test for the shared JSON run record (mn-bench-v1).
+// Every machine-readable artifact the repo emits (mn-run --json, bench
+// --json, mn-fuzz --json) flows through sim::RunRecord; CI's check_keys
+// step and mn-report both parse this layout, so it is pinned here.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/json.hpp"
+#include "sim/record.hpp"
+
+namespace mn {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream oss;
+  oss << in.rdbuf();
+  return oss.str();
+}
+
+/// Build a RunRecord writing to a temp file, flush it, parse it back.
+sim::Json emit_and_parse(const std::string& bench_name,
+                         const std::string& path) {
+  std::string a0 = "prog";
+  std::string a1 = "--json=" + path;
+  char* argv[] = {a0.data(), a1.data(), nullptr};
+  int argc = 2;
+  sim::RunRecord rec(bench_name, &argc, argv);
+  EXPECT_TRUE(rec.enabled());
+  rec.add("noc.latency", 41.0, "cycles");
+  rec.add("fuzz.diff-cpu.runs", 500.0);
+  rec.note("digest", "44dded301e43e644");
+  EXPECT_TRUE(rec.flush());
+  const auto parsed = sim::Json::parse(slurp(path));
+  EXPECT_TRUE(parsed.has_value());
+  return parsed.value_or(sim::Json());
+}
+
+TEST(RecordSchema, GoldenTopLevelLayout) {
+  const auto j =
+      emit_and_parse("golden", ::testing::TempDir() + "rec_golden.json");
+  ASSERT_TRUE(j.is_object());
+
+  // Exact top-level key set *and order* (Json objects are ordered;
+  // downstream tooling may rely on a stable layout).
+  const auto& items = j.items();
+  ASSERT_EQ(items.size(), 5u);
+  EXPECT_EQ(items[0].first, "schema");
+  EXPECT_EQ(items[1].first, "bench");
+  EXPECT_EQ(items[2].first, "meta");
+  EXPECT_EQ(items[3].first, "metrics");
+  EXPECT_EQ(items[4].first, "notes");
+
+  EXPECT_EQ(j.find("schema")->as_string(), "mn-bench-v1");
+  EXPECT_EQ(j.find("bench")->as_string(), "golden");
+}
+
+TEST(RecordSchema, MetaCarriesBuildProvenance) {
+  const auto j =
+      emit_and_parse("meta", ::testing::TempDir() + "rec_meta.json");
+  const sim::Json* meta = j.find("meta");
+  ASSERT_NE(meta, nullptr);
+  ASSERT_TRUE(meta->is_object());
+  for (const char* key : {"git_sha", "compiler", "build_type"}) {
+    const sim::Json* v = meta->find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_TRUE(v->is_string()) << key;
+    EXPECT_FALSE(v->as_string().empty()) << key;
+  }
+}
+
+TEST(RecordSchema, MetricsAreValueUnitObjects) {
+  const auto j =
+      emit_and_parse("metrics", ::testing::TempDir() + "rec_metrics.json");
+  const sim::Json* metrics = j.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_TRUE(metrics->is_object());
+
+  const sim::Json* lat = metrics->find("noc.latency");
+  ASSERT_NE(lat, nullptr);
+  ASSERT_NE(lat->find("value"), nullptr);
+  EXPECT_TRUE(lat->find("value")->is_number());
+  EXPECT_EQ(lat->find("value")->as_int(), 41);
+  ASSERT_NE(lat->find("unit"), nullptr);
+  EXPECT_EQ(lat->find("unit")->as_string(), "cycles");
+
+  // Unit-less metrics omit the "unit" key rather than writing "".
+  const sim::Json* runs = metrics->find("fuzz.diff-cpu.runs");
+  ASSERT_NE(runs, nullptr);
+  EXPECT_NE(runs->find("value"), nullptr);
+  EXPECT_EQ(runs->find("unit"), nullptr);
+
+  const sim::Json* notes = j.find("notes");
+  ASSERT_NE(notes, nullptr);
+  ASSERT_NE(notes->find("digest"), nullptr);
+  EXPECT_EQ(notes->find("digest")->as_string(), "44dded301e43e644");
+}
+
+TEST(RecordSchema, StripsJsonFlagLeavesOtherArgs) {
+  const std::string path = ::testing::TempDir() + "rec_args.json";
+  std::string a0 = "prog";
+  std::string a1 = "--keep";
+  std::string a2 = "--json";
+  std::string a3 = path;
+  std::string a4 = "--also";
+  char* argv[] = {a0.data(), a1.data(), a2.data(),
+                  a3.data(), a4.data(), nullptr};
+  int argc = 5;
+  sim::RunRecord rec("args", &argc, argv);
+  EXPECT_TRUE(rec.enabled());
+  ASSERT_EQ(argc, 3);
+  EXPECT_STREQ(argv[1], "--keep");
+  EXPECT_STREQ(argv[2], "--also");
+  EXPECT_EQ(argv[3], nullptr);
+  EXPECT_TRUE(rec.flush());
+}
+
+TEST(RecordSchema, DisabledWithoutFlagAndFailsOnBadPath) {
+  std::string a0 = "prog";
+  char* argv0[] = {a0.data(), nullptr};
+  int argc0 = 1;
+  sim::RunRecord off("off", &argc0, argv0);
+  EXPECT_FALSE(off.enabled());
+  EXPECT_TRUE(off.flush());  // no-op succeeds
+
+  std::string b0 = "prog";
+  std::string b1 = "--json=/nonexistent/dir/out.json";
+  char* argv1[] = {b0.data(), b1.data(), nullptr};
+  int argc1 = 2;
+  sim::RunRecord bad("bad", &argc1, argv1);
+  EXPECT_TRUE(bad.enabled());
+  EXPECT_FALSE(bad.flush()) << "unwritable path must be reported";
+}
+
+}  // namespace
+}  // namespace mn

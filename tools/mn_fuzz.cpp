@@ -1,0 +1,395 @@
+// mn-fuzz: differential fuzzing and runtime invariant checking.
+//
+//   mn-fuzz [options]
+//     --mode M     diff-cpu | noc-invariants | asm-roundtrip | all
+//                  (default all)
+//     --runs N     cases per mode (default 100)
+//     --seed S     base seed; case i of a mode runs on
+//                  stream_seed(S, mode_salt + i) (default 1)
+//     --threads N  kernel eval threads for noc cases (0 and 1 are both
+//                  single-threaded; bit-identical by kernel guarantee)
+//     --verify-threads
+//                  run every noc case twice (threads 1 and 2) and require
+//                  identical digests
+//     --inject-bug B
+//                  none | addc-carry | subc-borrow: perturb the Cpu side
+//                  of diff-cpu cases (test-only hook driving the shrinker
+//                  demo)
+//     --shrink     minimize a failing case before writing its repro
+//     --repro DIR  directory for repro artifacts (default ".")
+//     --max-fail N stop a mode after N failures (default 1)
+//     --replay F   re-run a repro artifact; exit 0 iff the recorded
+//                  failure signature reproduces
+//     --json F     write an mn-bench-v1 run record
+//
+// Every case is deterministic: same binary + same flags => same per-mode
+// digest, including across --threads settings. The final summary prints
+// those digests so reproducibility is scriptable (see tests/CMakeLists).
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "check/diff_cpu.hpp"
+#include "check/noc_invariants.hpp"
+#include "check/program_gen.hpp"
+#include "check/repro.hpp"
+#include "check/shrink.hpp"
+#include "r8asm/assembler.hpp"
+#include "sim/record.hpp"
+#include "sim/rng.hpp"
+
+namespace {
+
+using namespace mn;
+using namespace mn::check;
+
+// Per-mode seed salts keep the three case streams decorrelated even when
+// run counts collide.
+constexpr std::uint64_t kSaltDiff = 0x10000;
+constexpr std::uint64_t kSaltNoc = 0x20000;
+constexpr std::uint64_t kSaltAsm = 0x30000;
+
+struct Options {
+  std::string mode = "all";
+  unsigned runs = 100;
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+  bool verify_threads = false;
+  InjectedBug bug = InjectedBug::kNone;
+  bool shrink = false;
+  std::string repro_dir = ".";
+  unsigned max_fail = 1;
+  std::string replay;
+};
+
+struct ModeReport {
+  unsigned runs = 0;
+  unsigned failures = 0;
+  std::uint64_t digest = 0;
+  std::vector<std::string> repro_paths;
+};
+
+ProgramGenConfig diff_case_config(std::uint64_t case_seed) {
+  ProgramGenConfig cfg;
+  cfg.seed = case_seed;
+  sim::SplitMix64 sm(case_seed);
+  cfg.length = 40 + sm.next() % 200;
+  cfg.io = (sm.next() % 2) == 0;
+  return cfg;
+}
+
+/// The vc x routing x faults matrix (adaptive requires vc >= 2), rotated
+/// over mesh sizes 2x2 / 3x3 / 4x4. Case i covers combo i mod 16.
+NocFuzzConfig noc_case_config(std::uint64_t case_seed, unsigned index,
+                              unsigned threads) {
+  struct Combo {
+    std::size_t vc;
+    noc::RoutingAlgo algo;
+  };
+  static constexpr Combo kCombos[] = {
+      {1, noc::RoutingAlgo::kXY},       {1, noc::RoutingAlgo::kWestFirst},
+      {2, noc::RoutingAlgo::kXY},       {2, noc::RoutingAlgo::kWestFirst},
+      {2, noc::RoutingAlgo::kAdaptive}, {4, noc::RoutingAlgo::kXY},
+      {4, noc::RoutingAlgo::kWestFirst}, {4, noc::RoutingAlgo::kAdaptive},
+  };
+  NocFuzzConfig cfg;
+  cfg.seed = case_seed;
+  const Combo& c = kCombos[index % 8];
+  cfg.vc_count = c.vc;
+  cfg.algo = c.algo;
+  cfg.faults = ((index / 8) % 2) == 1;
+  cfg.threads = threads == 0 ? 1 : threads;
+  const unsigned dim = 2 + (index / 16) % 3;
+  cfg.nx = dim;
+  cfg.ny = dim;
+  sim::SplitMix64 sm(case_seed);
+  cfg.packets = 30 + static_cast<unsigned>(sm.next() % 60);
+  return cfg;
+}
+
+std::string repro_path(const Options& opt, const std::string& mode,
+                       unsigned index) {
+  std::error_code ec;  // best effort; save_repro reports the real failure
+  std::filesystem::create_directories(opt.repro_dir, ec);
+  return opt.repro_dir + "/mn-fuzz-" + mode + "-s" +
+         std::to_string(opt.seed) + "-i" + std::to_string(index) + ".json";
+}
+
+void report_failure(const std::string& mode, unsigned index,
+                    const std::string& signature,
+                    const std::string& failure) {
+  std::fprintf(stderr, "mn-fuzz: %s case %u FAILED [%s]\n  %s\n",
+               mode.c_str(), index, signature.c_str(), failure.c_str());
+}
+
+ModeReport run_diff_mode(const Options& opt) {
+  ModeReport rep;
+  Fnv64 digest;
+  for (unsigned i = 0; i < opt.runs; ++i) {
+    const std::uint64_t case_seed = sim::stream_seed(opt.seed, kSaltDiff + i);
+    const GeneratedProgram prog = generate_program(diff_case_config(case_seed));
+    DiffOptions dopt;
+    dopt.bug = opt.bug;
+    DiffResult res = run_differential(prog.image, prog.inputs, dopt);
+    ++rep.runs;
+    digest.u64(res.digest);
+    if (res.ok) continue;
+    ++rep.failures;
+    report_failure("diff-cpu", i, res.signature, res.failure);
+
+    Repro r;
+    r.mode = "diff-cpu";
+    r.seed = case_seed;
+    r.signature = res.signature;
+    r.failure = res.failure;
+    r.words = prog.image;
+    r.inputs = prog.inputs;
+    r.bug = opt.bug;
+    if (opt.shrink) {
+      const ShrinkStats s =
+          shrink_program(r.words, r.inputs, dopt, res.signature);
+      std::fprintf(stderr,
+                   "  shrunk to %zu words, %zu inputs "
+                   "(%u candidate runs, %u accepted)\n",
+                   r.words.size(), r.inputs.size(), s.attempts, s.accepted);
+      const DiffResult again = run_differential(r.words, r.inputs, dopt);
+      r.failure = again.failure;
+    }
+    const std::string path = repro_path(opt, "diff-cpu", i);
+    if (save_repro(r, path)) {
+      std::fprintf(stderr, "  repro written: %s\n", path.c_str());
+      rep.repro_paths.push_back(path);
+    } else {
+      std::fprintf(stderr, "  cannot write repro %s\n", path.c_str());
+    }
+    if (rep.failures >= opt.max_fail) break;
+  }
+  rep.digest = digest.value();
+  return rep;
+}
+
+ModeReport run_noc_mode(const Options& opt) {
+  ModeReport rep;
+  Fnv64 digest;
+  for (unsigned i = 0; i < opt.runs; ++i) {
+    const std::uint64_t case_seed = sim::stream_seed(opt.seed, kSaltNoc + i);
+    NocFuzzConfig cfg = noc_case_config(case_seed, i, opt.threads);
+    const std::vector<FuzzPacket> packets = generate_packets(cfg);
+    NocRunResult res = run_noc_case(cfg, packets);
+    ++rep.runs;
+    digest.u64(res.digest);
+    if (res.ok && opt.verify_threads) {
+      NocFuzzConfig other = cfg;
+      other.threads = cfg.threads == 2 ? 1 : 2;
+      const NocRunResult r2 = run_noc_case(other, packets);
+      if (r2.digest != res.digest) {
+        res.ok = false;
+        res.signature = "thread-divergence";
+        res.failure = "digest differs between threads=" +
+                      std::to_string(cfg.threads) + " and threads=" +
+                      std::to_string(other.threads);
+      }
+    }
+    if (res.ok) continue;
+    ++rep.failures;
+    report_failure("noc-invariants", i, res.signature, res.failure);
+
+    Repro r;
+    r.mode = "noc-invariants";
+    r.seed = case_seed;
+    r.signature = res.signature;
+    r.failure = res.failure;
+    r.noc = cfg;
+    r.packets = packets;
+    if (opt.shrink && res.signature != "thread-divergence") {
+      const ShrinkStats s = shrink_packets(cfg, r.packets, res.signature);
+      std::fprintf(stderr,
+                   "  shrunk to %zu packets (%u candidate runs, "
+                   "%u accepted)\n",
+                   r.packets.size(), s.attempts, s.accepted);
+      const NocRunResult again = run_noc_case(cfg, r.packets);
+      r.failure = again.failure;
+    }
+    const std::string path = repro_path(opt, "noc-invariants", i);
+    if (save_repro(r, path)) {
+      std::fprintf(stderr, "  repro written: %s\n", path.c_str());
+      rep.repro_paths.push_back(path);
+    } else {
+      std::fprintf(stderr, "  cannot write repro %s\n", path.c_str());
+    }
+    if (rep.failures >= opt.max_fail) break;
+  }
+  rep.digest = digest.value();
+  return rep;
+}
+
+ModeReport run_asm_mode(const Options& opt) {
+  ModeReport rep;
+  Fnv64 digest;
+  for (unsigned i = 0; i < opt.runs; ++i) {
+    const std::uint64_t case_seed = sim::stream_seed(opt.seed, kSaltAsm + i);
+    const GeneratedProgram prog = generate_program(diff_case_config(case_seed));
+    ++rep.runs;
+    const std::string source = program_source(prog.image);
+    const auto assembled = r8asm::assemble(source);
+    std::string failure;
+    if (!assembled.ok) {
+      failure = "generated source does not assemble: " +
+                assembled.error_text();
+    } else if (assembled.image != prog.image) {
+      std::size_t at = 0;
+      while (at < prog.image.size() && at < assembled.image.size() &&
+             assembled.image[at] == prog.image[at]) {
+        ++at;
+      }
+      failure = "reassembled image diverges at word " + std::to_string(at);
+    } else {
+      // Fixed point: disassembling the assembled image must render the
+      // identical source.
+      const std::string source2 = program_source(assembled.image);
+      if (source2 != source) failure = "disassembly is not a fixed point";
+    }
+    for (std::uint16_t w :
+         assembled.ok ? assembled.image : prog.image) {
+      digest.u16(w);
+    }
+    if (failure.empty()) continue;
+    ++rep.failures;
+    report_failure("asm-roundtrip", i, "asm-roundtrip", failure);
+    if (rep.failures >= opt.max_fail) break;
+  }
+  rep.digest = digest.value();
+  return rep;
+}
+
+int replay(const std::string& path) {
+  std::string error;
+  const auto r = load_repro(path, &error);
+  if (!r) {
+    std::fprintf(stderr, "mn-fuzz: %s\n", error.c_str());
+    return 2;
+  }
+  std::string signature, failure;
+  if (r->mode == "diff-cpu") {
+    DiffOptions opt;
+    opt.bug = r->bug;
+    const DiffResult res = run_differential(r->words, r->inputs, opt);
+    if (res.ok) {
+      std::fprintf(stderr, "mn-fuzz: replay of %s PASSED (bug gone?)\n",
+                   path.c_str());
+      return 1;
+    }
+    signature = res.signature;
+    failure = res.failure;
+  } else {
+    const NocRunResult res = run_noc_case(r->noc, r->packets);
+    if (res.ok) {
+      std::fprintf(stderr, "mn-fuzz: replay of %s PASSED (bug gone?)\n",
+                   path.c_str());
+      return 1;
+    }
+    signature = res.signature;
+    failure = res.failure;
+  }
+  if (signature != r->signature) {
+    std::fprintf(stderr,
+                 "mn-fuzz: replay failed DIFFERENTLY\n  recorded [%s]\n"
+                 "  observed [%s] %s\n",
+                 r->signature.c_str(), signature.c_str(), failure.c_str());
+    return 1;
+  }
+  std::printf("reproduced [%s] %s\n", signature.c_str(), failure.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mn::sim::RunRecord record("mn_fuzz", &argc, argv);
+
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mn-fuzz: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mode") {
+      opt.mode = value();
+    } else if (arg == "--runs") {
+      opt.runs = static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (arg == "--seed") {
+      opt.seed = std::strtoull(value(), nullptr, 0);
+    } else if (arg == "--threads") {
+      opt.threads =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (arg == "--verify-threads") {
+      opt.verify_threads = true;
+    } else if (arg == "--inject-bug") {
+      opt.bug = injected_bug_from_name(value());
+    } else if (arg == "--shrink") {
+      opt.shrink = true;
+    } else if (arg == "--repro") {
+      opt.repro_dir = value();
+    } else if (arg == "--max-fail") {
+      opt.max_fail =
+          static_cast<unsigned>(std::strtoul(value(), nullptr, 0));
+    } else if (arg == "--replay") {
+      opt.replay = value();
+    } else {
+      std::fprintf(stderr,
+                   "usage: mn-fuzz [--mode diff-cpu|noc-invariants|"
+                   "asm-roundtrip|all] [--runs N] [--seed S] [--threads N]"
+                   " [--verify-threads] [--inject-bug B] [--shrink]"
+                   " [--repro DIR] [--max-fail N] [--replay F] [--json F]\n");
+      return 2;
+    }
+  }
+  if (!opt.replay.empty()) return replay(opt.replay);
+
+  const bool all = opt.mode == "all";
+  unsigned failures = 0;
+  auto summarize = [&](const char* mode, const ModeReport& rep) {
+    std::printf("mode %-14s runs %-5u failures %-3u digest %016llx\n", mode,
+                rep.runs, rep.failures,
+                static_cast<unsigned long long>(rep.digest));
+    failures += rep.failures;
+    if (record.enabled()) {
+      const std::string prefix = std::string("fuzz.") + mode + ".";
+      record.add(prefix + "runs", rep.runs, "cases");
+      record.add(prefix + "failures", rep.failures, "cases");
+      char hex[32];
+      std::snprintf(hex, sizeof hex, "%016llx",
+                    static_cast<unsigned long long>(rep.digest));
+      record.note(prefix + "digest", hex);
+    }
+  };
+  bool matched = false;
+  if (all || opt.mode == "diff-cpu") {
+    matched = true;
+    summarize("diff-cpu", run_diff_mode(opt));
+  }
+  if (all || opt.mode == "noc-invariants") {
+    matched = true;
+    summarize("noc-invariants", run_noc_mode(opt));
+  }
+  if (all || opt.mode == "asm-roundtrip") {
+    matched = true;
+    summarize("asm-roundtrip", run_asm_mode(opt));
+  }
+  if (!matched) {
+    std::fprintf(stderr, "mn-fuzz: unknown mode '%s'\n", opt.mode.c_str());
+    return 2;
+  }
+  if (record.enabled()) {
+    record.note("mode", opt.mode);
+    record.note("seed", std::to_string(opt.seed));
+  }
+  if (!record.flush()) return 1;
+  return failures == 0 ? 0 : 1;
+}
