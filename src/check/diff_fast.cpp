@@ -1,0 +1,262 @@
+#include "check/diff_fast.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "check/digest.hpp"
+#include "r8/cpu.hpp"
+#include "r8/fastexec.hpp"
+
+namespace mn::check {
+namespace {
+
+/// Fast-side blocks are bounded so divergence is localized to at most
+/// this many instructions before a comparison point.
+constexpr std::uint64_t kBlockBudget = 64;
+
+/// MirrorBus (diff_cpu.cpp) plus a RAM store log, so the fast executor's
+/// store stream can be compared against the Cpu's at block boundaries.
+class LoggingBus final : public r8::Bus {
+ public:
+  explicit LoggingBus(const std::vector<std::uint16_t>& image,
+                      const std::vector<std::uint16_t>* inputs)
+      : mem(1u << 16, 0), inputs_(inputs) {
+    std::copy(image.begin(), image.end(), mem.begin());
+  }
+
+  bool mem_read(std::uint16_t addr, std::uint16_t& out) override {
+    if (addr == r8::kAddrIo) {
+      out = next_input_ < inputs_->size() ? (*inputs_)[next_input_++] : 0;
+      return true;
+    }
+    out = mem[addr];
+    return true;
+  }
+
+  bool mem_write(std::uint16_t addr, std::uint16_t value) override {
+    if (addr == r8::kAddrIo) {
+      printf_log.push_back(value);
+      return true;
+    }
+    if (addr == r8::kAddrWait || addr == r8::kAddrNotify) {
+      sync_log.emplace_back(addr, value);
+      return true;
+    }
+    mem[addr] = value;
+    store_log.emplace_back(addr, value);
+    return true;
+  }
+
+  std::vector<std::uint16_t> mem;
+  std::vector<std::uint16_t> printf_log;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> sync_log;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> store_log;
+  std::size_t scanf_calls() const { return next_input_; }
+
+ private:
+  const std::vector<std::uint16_t>* inputs_;
+  std::size_t next_input_ = 0;
+};
+
+std::string hex4(std::uint16_t v) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "0x%04x", v);
+  return buf;
+}
+
+}  // namespace
+
+DiffResult run_fast_differential(const std::vector<std::uint16_t>& image,
+                                 const std::vector<std::uint16_t>& inputs,
+                                 const FastDiffOptions& opt) {
+  DiffResult res;
+
+  r8::FastExec fast;  // standalone default: 64K, interpreter I/O mapping
+  fast.load(image);
+  fast.activate();
+  std::vector<std::uint16_t> fprintf_log;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> fsync_log;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>> fstore_log;
+  std::size_t fscanf_calls = 0;
+  fast.on_printf = [&](std::uint16_t v) { fprintf_log.push_back(v); };
+  fast.on_scanf = [&]() -> std::uint16_t {
+    const std::size_t at = fscanf_calls++;
+    return at < inputs.size() ? inputs[at] : 0;
+  };
+  fast.on_sync = [&](std::uint16_t a, std::uint16_t v) {
+    fsync_log.emplace_back(a, v);
+  };
+  fast.set_store_log(&fstore_log);
+
+  LoggingBus bus(image, &inputs);
+  r8::Cpu cpu;
+  cpu.activate();
+
+  // Block-boundary signatures deliberately omit the instruction text:
+  // shrinking reshapes blocks, so only the *kind* of divergence (which
+  // register, flags, stores, ...) is stable across candidates.
+  auto fail = [&](const std::string& what, const std::string& sig,
+                  const std::string& detail) {
+    res.ok = false;
+    res.failure = "step " + std::to_string(res.steps) + ": " + what +
+                  (detail.empty() ? "" : " (" + detail + ")");
+    res.signature = sig;
+  };
+
+  while (res.steps < opt.max_steps) {
+    if (fast.halted() && cpu.halted()) break;
+
+    const std::uint64_t before = fast.instructions();
+    const std::uint64_t budget =
+        std::min<std::uint64_t>(kBlockBudget, opt.max_steps - res.steps);
+    fast.step_block(budget);
+    const std::uint64_t k = fast.instructions() - before;
+    if (k == 0 && !fast.halted()) {
+      fail("fast executor made no progress at pc " + hex4(fast.pc()),
+           "fast wedged", "");
+      return res;
+    }
+
+    // Advance the Cpu by the same number of retirements, applying the
+    // test-only bug injection per retirement (as diff-cpu does).
+    for (std::uint64_t j = 0; j < k && !cpu.halted(); ++j) {
+      const std::uint16_t iaddr = cpu.pc();
+      const std::uint16_t word = bus.mem[iaddr];
+      const r8::Flags pre_flags = cpu.flags();
+      const auto decoded = r8::decode(word);
+      const std::uint64_t before_cpu = cpu.instructions();
+      unsigned guard = 0;
+      while (!cpu.halted() && cpu.instructions() == before_cpu) {
+        cpu.tick(bus);
+        if (++guard > 16) {
+          fail("cpu made no progress after " + r8::disassemble(word) + " @" +
+                   hex4(iaddr),
+               "cpu wedged", "");
+          return res;
+        }
+      }
+      if (opt.bug != InjectedBug::kNone && decoded) {
+        if (opt.bug == InjectedBug::kAddcLosesCarry &&
+            decoded->op == r8::Opcode::kAddc && pre_flags.c) {
+          cpu.set_reg(decoded->rt,
+                      static_cast<std::uint16_t>(cpu.reg(decoded->rt) - 1));
+        } else if (opt.bug == InjectedBug::kSubcLosesBorrow &&
+                   decoded->op == r8::Opcode::kSubc && !pre_flags.c) {
+          cpu.set_reg(decoded->rt,
+                      static_cast<std::uint16_t>(cpu.reg(decoded->rt) + 1));
+        }
+      }
+    }
+    res.steps += k;
+
+    // Block-boundary comparisons.
+    if (fast.halted() != cpu.halted()) {
+      fail("halt state diverged at block boundary", "fast halt",
+           std::string("fast=") + (fast.halted() ? "halted" : "running") +
+               " cpu=" + (cpu.halted() ? "halted" : "running"));
+      return res;
+    }
+    if (fast.pc() != cpu.pc()) {
+      fail("pc diverged at block boundary", "fast pc",
+           "fast=" + hex4(fast.pc()) + " cpu=" + hex4(cpu.pc()));
+      return res;
+    }
+    if (fast.sp() != cpu.sp()) {
+      fail("sp diverged at block boundary", "fast sp",
+           "fast=" + hex4(fast.sp()) + " cpu=" + hex4(cpu.sp()));
+      return res;
+    }
+    if (!(fast.flags() == cpu.flags())) {
+      auto render = [](r8::Flags f) {
+        std::string s = "----";
+        if (f.n) s[0] = 'N';
+        if (f.z) s[1] = 'Z';
+        if (f.c) s[2] = 'C';
+        if (f.v) s[3] = 'V';
+        return s;
+      };
+      fail("flags diverged at block boundary", "fast flags",
+           "fast=" + render(fast.flags()) + " cpu=" + render(cpu.flags()));
+      return res;
+    }
+    for (unsigned r = 0; r < 16; ++r) {
+      if (fast.reg(r) != cpu.reg(r)) {
+        fail("reg r" + std::to_string(r) + " diverged at block boundary",
+             "fast reg r" + std::to_string(r),
+             "fast=" + hex4(fast.reg(r)) + " cpu=" + hex4(cpu.reg(r)));
+        return res;
+      }
+    }
+    if (fstore_log != bus.store_log) {
+      std::size_t at = 0;
+      while (at < fstore_log.size() && at < bus.store_log.size() &&
+             fstore_log[at] == bus.store_log[at]) {
+        ++at;
+      }
+      std::string detail = "fast " + std::to_string(fstore_log.size()) +
+                           " stores, cpu " +
+                           std::to_string(bus.store_log.size()) +
+                           ", first divergence at index " +
+                           std::to_string(at);
+      fail("store streams diverged within block", "fast stores", detail);
+      return res;
+    }
+    fstore_log.clear();
+    bus.store_log.clear();
+  }
+
+  // End-of-run comparisons (memory, I/O streams, cycle model).
+  if (fast.halted() && cpu.halted()) {
+    for (std::uint32_t a = 0; a < (1u << 16); ++a) {
+      const auto addr = static_cast<std::uint16_t>(a);
+      if (fast.mem(addr) != bus.mem[a]) {
+        fail("memory diverged at " + hex4(addr), "fast mem",
+             "fast=" + hex4(fast.mem(addr)) + " cpu=" + hex4(bus.mem[a]));
+        return res;
+      }
+    }
+    if (fprintf_log != bus.printf_log) {
+      fail("printf streams diverged", "fast printf",
+           "fast=" + std::to_string(fprintf_log.size()) + " words cpu=" +
+               std::to_string(bus.printf_log.size()) + " words");
+      return res;
+    }
+    if (fsync_log != bus.sync_log) {
+      fail("wait/notify streams diverged", "fast sync", "");
+      return res;
+    }
+    if (fscanf_calls != bus.scanf_calls()) {
+      fail("scanf call counts diverged", "fast scanf", "");
+      return res;
+    }
+    if (fast.instructions() != cpu.instructions()) {
+      fail("retired-instruction counts diverged", "fast instructions",
+           "fast=" + std::to_string(fast.instructions()) + " cpu=" +
+               std::to_string(cpu.instructions()));
+      return res;
+    }
+    if (cpu.cycles() != fast.ideal_cycles()) {
+      fail("cycle count deviates from the CPI model", "fast cycles",
+           "cpu=" + std::to_string(cpu.cycles()) + " ideal=" +
+               std::to_string(fast.ideal_cycles()));
+      return res;
+    }
+  }
+
+  Fnv64 d;
+  for (unsigned r = 0; r < 16; ++r) d.u16(cpu.reg(r));
+  d.u16(cpu.pc());
+  d.u16(cpu.sp());
+  const r8::Flags f = cpu.flags();
+  d.byte(static_cast<std::uint8_t>((f.n << 3) | (f.z << 2) | (f.c << 1) |
+                                   f.v));
+  d.u64(cpu.instructions());
+  d.u64(cpu.cycles());
+  for (std::uint16_t v : bus.printf_log) d.u16(v);
+  for (std::uint32_t a = 0; a < (1u << 16); ++a) d.u16(bus.mem[a]);
+  res.digest = d.value();
+  return res;
+}
+
+}  // namespace mn::check

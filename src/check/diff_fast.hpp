@@ -1,0 +1,41 @@
+#pragma once
+// Lockstep differential execution of the block-cached fast executor
+// (r8::FastExec) against the cycle-accurate r8::Cpu (mn-fuzz mode
+// diff-fast).
+//
+// The fast side runs one basic block at a time (step_block); the Cpu then
+// ticks over a mirror bus until it has retired the same number of
+// instructions. At every block boundary the harness compares halt state,
+// PC, SP, all 16 registers, the NZCV flags and the RAM store streams; at
+// HALT it additionally compares the full 64K memory, the printf/sync/
+// scanf logs, the retired-instruction counts and the Cpu cycle count
+// against FastExec::ideal_cycles() (both implement the same CPI model, so
+// they must agree exactly in a stall-free run).
+//
+// Block boundaries are the natural comparison granularity: within a block
+// the fast executor holds no observable intermediate state, and every
+// store is still captured by the store-stream comparison. The InjectedBug
+// hook perturbs the Cpu side per retirement (same machinery as diff-cpu),
+// which the block-boundary comparison must then catch — the shrinker demo
+// and the pinned CI case are built on that.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/diff_cpu.hpp"
+
+namespace mn::check {
+
+struct FastDiffOptions {
+  std::uint64_t max_steps = 200'000;  ///< instruction budget (backstop)
+  InjectedBug bug = InjectedBug::kNone;
+};
+
+/// Run `image` (loaded at 0) on FastExec and Cpu in lockstep. `inputs`
+/// are the scanf replies, consumed in request order (0 once exhausted).
+DiffResult run_fast_differential(const std::vector<std::uint16_t>& image,
+                                 const std::vector<std::uint16_t>& inputs,
+                                 const FastDiffOptions& opt = {});
+
+}  // namespace mn::check

@@ -40,7 +40,7 @@ sim::Json repro_to_json(const Repro& r) {
   j["failure"] = r.failure;
 
   sim::Json c = sim::Json::object();
-  if (r.mode == "diff-cpu") {
+  if (r.mode == "diff-cpu" || r.mode == "diff-fast") {
     c["words"] = u16_array(r.words);
     c["inputs"] = u16_array(r.inputs);
     c["bug"] = injected_bug_name(r.bug);
@@ -105,9 +105,9 @@ std::optional<Repro> repro_from_json(const sim::Json& j,
   const sim::Json* c = j.find("case");
   if (!c || !c->is_object()) return fail("missing case object");
 
-  if (r.mode == "diff-cpu") {
+  if (r.mode == "diff-cpu" || r.mode == "diff-fast") {
     if (!read_u16_array(c->find("words"), r.words)) {
-      return fail("diff-cpu case needs a words array");
+      return fail(r.mode + " case needs a words array");
     }
     if (c->contains("inputs") &&
         !read_u16_array(c->find("inputs"), r.inputs)) {

@@ -21,8 +21,8 @@ namespace mn::check {
 inline constexpr const char* kReproSchema = "mn-fuzz-repro-v1";
 
 /// One self-contained failing case. `mode` selects which half of the
-/// payload is meaningful: "diff-cpu" uses words/inputs/bug,
-/// "noc-invariants" uses noc/packets.
+/// payload is meaningful: "diff-cpu" and "diff-fast" use words/inputs/
+/// bug, "noc-invariants" uses noc/packets.
 struct Repro {
   std::string mode;
   std::uint64_t seed = 0;  ///< case seed (provenance; replay uses payload)

@@ -26,11 +26,24 @@ ShrinkStats shrink_program(std::vector<std::uint16_t>& image,
                            const DiffOptions& opt,
                            const std::string& signature,
                            unsigned max_attempts) {
+  return shrink_program_with(
+      [&](const std::vector<std::uint16_t>& img,
+          const std::vector<std::uint16_t>& in) {
+        return run_differential(img, in, opt);
+      },
+      image, inputs, signature, max_attempts);
+}
+
+ShrinkStats shrink_program_with(const DiffRunner& run,
+                                std::vector<std::uint16_t>& image,
+                                std::vector<std::uint16_t>& inputs,
+                                const std::string& signature,
+                                unsigned max_attempts) {
   ShrinkStats stats;
   auto keeps_failure = [&](const std::vector<std::uint16_t>& img,
                            const std::vector<std::uint16_t>& in) {
     ++stats.attempts;
-    const DiffResult r = run_differential(img, in, opt);
+    const DiffResult r = run(img, in);
     return !r.ok && r.signature == signature;
   };
 

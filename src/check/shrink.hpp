@@ -14,6 +14,7 @@
 // executions were spent; callers bound the cost with `max_attempts`.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ struct ShrinkStats {
   unsigned accepted = 0;  ///< candidates that kept the signature
 };
 
+/// Re-runs a candidate (image, inputs) case; the program shrinker is
+/// generic over the differential backend (diff-cpu and diff-fast share
+/// the case shape).
+using DiffRunner = std::function<DiffResult(
+    const std::vector<std::uint16_t>& image,
+    const std::vector<std::uint16_t>& inputs)>;
+
 /// Minimize a failing differential case: truncate the program to the
 /// shortest failing prefix (suffix replaced by HALT), NOP out every word
 /// that does not contribute, then drop and zero the scanf input tail.
@@ -36,6 +44,15 @@ ShrinkStats shrink_program(std::vector<std::uint16_t>& image,
                            const DiffOptions& opt,
                            const std::string& signature,
                            unsigned max_attempts = 2000);
+
+/// Backend-generic variant of shrink_program: `run` executes a candidate
+/// and returns its DiffResult (used by mn-fuzz diff-fast with
+/// run_fast_differential).
+ShrinkStats shrink_program_with(const DiffRunner& run,
+                                std::vector<std::uint16_t>& image,
+                                std::vector<std::uint16_t>& inputs,
+                                const std::string& signature,
+                                unsigned max_attempts = 2000);
 
 /// Minimize a failing NoC case: drop packets in halving chunks, truncate
 /// surviving payloads to the 4-byte accounting header, then compact the

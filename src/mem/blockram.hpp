@@ -27,6 +27,13 @@ class BlockRam {
     return data_[addr];
   }
 
+  /// Simulator-internal write that does not count as a hardware access
+  /// (fast-path memory sync; see docs/EXECUTION.md).
+  void poke(std::uint16_t addr, std::uint8_t nibble) {
+    assert(addr < kWords);
+    data_[addr] = nibble & 0x0F;
+  }
+
   void write(std::uint16_t addr, std::uint8_t nibble) {
     assert(addr < kWords);
     ++writes_;
@@ -64,6 +71,23 @@ class BankedMemory {
   void write(std::uint16_t addr, std::uint16_t value) {
     for (unsigned k = 0; k < 4; ++k) {
       banks_[k].write(addr, static_cast<std::uint8_t>(value >> (4 * k)));
+    }
+  }
+
+  /// Non-counting read/write pair for simulator-internal state sync
+  /// (execution-mode switches copy the local memory without skewing the
+  /// BlockRAM access counters).
+  std::uint16_t peek(std::uint16_t addr) const {
+    std::uint16_t w = 0;
+    for (unsigned k = 0; k < 4; ++k) {
+      w |= static_cast<std::uint16_t>(banks_[k].peek(addr)) << (4 * k);
+    }
+    return w;
+  }
+
+  void poke(std::uint16_t addr, std::uint16_t value) {
+    for (unsigned k = 0; k < 4; ++k) {
+      banks_[k].poke(addr, static_cast<std::uint8_t>(value >> (4 * k)));
     }
   }
 

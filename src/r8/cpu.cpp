@@ -20,6 +20,25 @@ void Cpu::reset() {
   stall_cycles_ = 0;
 }
 
+void Cpu::install_state(const std::array<std::uint16_t, 16>& regs,
+                        std::uint16_t pc, std::uint16_t sp, Flags flags,
+                        bool halted) {
+  regs_ = regs;
+  pc_ = pc;
+  sp_ = sp;
+  flags_ = flags;
+  ir_ = 0;
+  instr_ = Instr{};
+  instr_addr_ = pc;
+  state_ = halted ? State::kHalt : State::kFetch;
+}
+
+void Cpu::credit_fastforward(std::uint64_t instructions,
+                             std::uint64_t cycles) {
+  instructions_ += instructions;
+  cycles_ += cycles;
+}
+
 void Cpu::tick(Bus& bus) {
   if (state_ == State::kHalt) return;
   ++cycles_;

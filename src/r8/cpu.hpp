@@ -63,6 +63,20 @@ class Cpu {
 
   void reset();
 
+  /// Fast-path support (fastexec.hpp): install architectural state at an
+  /// instruction boundary, as when switching back from the functional
+  /// executor into the cycle-accurate model. The CPU resumes in kFetch
+  /// (kHalt when `halted`); microarchitectural latches are cleared
+  /// exactly as after a retirement. Only valid while halted() or at a
+  /// fetch boundary — never mid-instruction.
+  void install_state(const std::array<std::uint16_t, 16>& regs,
+                     std::uint16_t pc, std::uint16_t sp, Flags flags,
+                     bool halted);
+
+  /// Credit instructions/cycles executed on the fast path, so CPI-style
+  /// counters remain meaningful across execution-mode switches.
+  void credit_fastforward(std::uint64_t instructions, std::uint64_t cycles);
+
  private:
   void exec(Bus& bus);
   void mem_stage(Bus& bus);

@@ -1,0 +1,755 @@
+#include "r8/fastexec.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mn::r8 {
+
+FastExec::FastExec(const FastConfig& cfg)
+    : cfg_(cfg),
+      mem_(cfg.mem_words, 0),
+      cache_(cfg.mem_words),
+      page_has_code_((cfg.mem_words >> kPageShift) + 1, 0),
+      page_blocks_((cfg.mem_words >> kPageShift) + 1) {
+  assert(cfg_.trap_base <= cfg_.mem_words);
+  // The internal slow path implements the interpreter's flat-64K I/O
+  // mapping; a smaller memory must hand traps back to its embedder.
+  assert(!cfg_.handle_io || cfg_.mem_words == (1u << 16));
+  assert(cfg_.max_block >= 1);
+}
+
+void FastExec::load(const std::vector<std::uint16_t>& image,
+                    std::uint16_t base) {
+  for (std::size_t i = 0; i < image.size(); ++i) {
+    set_mem(static_cast<std::uint16_t>(base + i), image[i]);
+  }
+}
+
+void FastExec::activate() {
+  pc_ = 0;
+  halted_ = false;
+}
+
+void FastExec::reset() {
+  std::fill(mem_.begin(), mem_.end(), 0);
+  regs_.fill(0);
+  pc_ = 0;
+  sp_ = 0;
+  flags_ = Flags{};
+  halted_ = false;
+  instructions_ = 0;
+  ideal_cycles_ = 0;
+  invalidate_all();
+  stats_ = FastStats{};
+}
+
+void FastExec::set_mem(std::uint16_t addr, std::uint16_t v) {
+  if (mem_[addr] == v) return;
+  mem_[addr] = v;
+  if (page_has_code_[addr >> kPageShift]) {
+    invalidate_page(addr >> kPageShift, nullptr);
+  }
+}
+
+bool FastExec::store(std::uint16_t addr, std::uint16_t v,
+                     const Block* current) {
+  mem_[addr] = v;
+  if (store_log_) store_log_->emplace_back(addr, v);
+  if (page_has_code_[addr >> kPageShift]) {
+    return invalidate_page(addr >> kPageShift, current);
+  }
+  return false;
+}
+
+bool FastExec::invalidate_page(std::size_t page, const Block* current) {
+  bool hit_current = false;
+  for (std::uint16_t start : page_blocks_[page]) {
+    if (Block* b = cache_[start].get()) {
+      ++stats_.invalidations;
+      if (b == current) {
+        // The dispatch loop is inside this block: defer destruction until
+        // the op that triggered the store has fully finished.
+        hit_current = true;
+        zombie_ = std::move(cache_[start]);
+      }
+      cache_[start].reset();
+    }
+  }
+  page_blocks_[page].clear();
+  page_has_code_[page] = 0;
+  return hit_current;
+}
+
+void FastExec::invalidate_all() {
+  zombie_.reset();
+  for (auto& b : cache_) b.reset();
+  for (auto& p : page_blocks_) p.clear();
+  std::fill(page_has_code_.begin(), page_has_code_.end(), 0);
+}
+
+void FastExec::register_block(const Block& b) {
+  if (b.ops.empty()) return;  // degenerate: nothing to cover
+  // A trace is not contiguous (inline-followed jumps splice regions), so
+  // cover the page of every op individually. Consecutive ops almost
+  // always share a page; the find() only runs on page transitions.
+  std::size_t prev = static_cast<std::size_t>(-1);
+  for (const FastOp& op : b.ops) {
+    const std::size_t p = op.addr >> kPageShift;
+    if (p == prev) continue;
+    prev = p;
+    page_has_code_[p] = 1;
+    auto& starts = page_blocks_[p];
+    if (std::find(starts.begin(), starts.end(), b.start) == starts.end()) {
+      starts.push_back(b.start);
+    }
+  }
+}
+
+// A self-invalidated block parks in zombie_ until the NEXT block moves in
+// (invalidate_page's move-assign drops it) or the cache is cleared — it is
+// out of cache_ and can never be re-entered, so there is no need to free
+// it eagerly on the hot path.
+FastExec::Block* FastExec::lookup(std::uint16_t pc) {
+  if (Block* b = cache_[pc].get()) {
+    ++stats_.block_hits;
+    return b;
+  }
+  return compile(pc);
+}
+
+FastExec::Block* FastExec::compile(std::uint16_t start) {
+  auto blk = std::make_unique<Block>();
+  blk->start = start;
+  std::uint32_t pos = start;
+  while (pos < cfg_.mem_words && blk->ops.size() < cfg_.max_block) {
+    const auto decoded = decode(mem_[pos]);
+    const Instr in = decoded.value_or(Instr{});  // illegal -> NOP
+    FastOp op;
+    op.op = in.op;
+    op.addr = static_cast<std::uint16_t>(pos);
+    bool ends = false;
+    if (is_alu(in.op)) {
+      op.kind = FKind::kAlu;
+      op.rt = in.rt;
+      op.cycles = 2;
+      switch (format_of(in.op)) {
+        case Format::kRI:  // ADDI/SUBI: a = Rt, b = imm
+          op.a = in.rt;
+          op.b_imm = true;
+          op.imm = in.imm;
+          break;
+        case Format::kRR:  // NOT/shifts: a = Rs1, b = 0
+          op.a = in.rs1;
+          op.b_imm = true;
+          op.imm = 0;
+          break;
+        default:
+          op.a = in.rs1;
+          op.b = in.rs2;
+          break;
+      }
+    } else {
+      switch (in.op) {
+        case Opcode::kLdl:
+          op.kind = FKind::kLdl;
+          op.rt = in.rt;
+          op.imm = in.imm;
+          op.cycles = 2;
+          break;
+        case Opcode::kLdh:
+          op.kind = FKind::kLdh;
+          op.rt = in.rt;
+          op.imm = in.imm;
+          op.cycles = 2;
+          break;
+        case Opcode::kLd:
+          op.kind = FKind::kLd;
+          op.rt = in.rt;
+          op.a = in.rs1;
+          op.b = in.rs2;
+          op.cycles = 3;
+          break;
+        case Opcode::kSt:
+          op.kind = FKind::kSt;
+          op.rt = in.rt;
+          op.a = in.rs1;
+          op.b = in.rs2;
+          op.cycles = 3;
+          break;
+        case Opcode::kPush:
+          op.kind = FKind::kPush;
+          op.a = in.rs1;
+          op.cycles = 3;
+          break;
+        case Opcode::kPop:
+          op.kind = FKind::kPop;
+          op.a = in.rs1;
+          op.cycles = 3;
+          break;
+        case Opcode::kLdsp:
+          op.kind = FKind::kLdsp;
+          op.a = in.rs1;
+          op.cycles = 2;
+          break;
+        case Opcode::kHalt:
+          op.kind = FKind::kHalt;
+          op.cycles = 2;
+          ends = true;
+          break;
+        case Opcode::kJmp:
+        case Opcode::kJmpn:
+        case Opcode::kJmpz:
+        case Opcode::kJmpc:
+        case Opcode::kJmpv:
+          op.kind = FKind::kJmpReg;
+          op.a = in.rs1;
+          op.cycles = 2;  // +1 when taken
+          // Conditional jumps fall through WITHIN the trace when not
+          // taken (the dispatch case exits only on taken), so they don't
+          // end compilation; the unconditional form always exits.
+          ends = (in.op == Opcode::kJmp);
+          break;
+        case Opcode::kJmpd: {
+          // Unconditional with a compile-time target: splice the target
+          // into the trace instead of ending the block, unless the trace
+          // is nearly full or the target falls outside the image (an
+          // inline jump must never be a trace's LAST op — the fall-off
+          // resume address is `last.addr + 1`).
+          op.target = static_cast<std::uint16_t>(pos + in.disp);
+          if (blk->ops.size() + 1 < cfg_.max_block &&
+              op.target < cfg_.mem_words) {
+            op.kind = FKind::kJmpInline;
+            op.cycles = 3;  // always taken
+            blk->ops.push_back(op);
+            pos = op.target;
+            continue;
+          }
+          op.kind = FKind::kJmpDisp;
+          op.cycles = 2;  // +1 when taken (always, for kJmpd)
+          ends = true;
+          break;
+        }
+        case Opcode::kJmpnd:
+        case Opcode::kJmpzd:
+        case Opcode::kJmpcd:
+        case Opcode::kJmpvd:
+          op.kind = FKind::kJmpDisp;
+          op.target = static_cast<std::uint16_t>(pos + in.disp);
+          op.cycles = 2;  // +1 when taken
+          break;  // not-taken falls through within the trace
+        case Opcode::kJsr:
+          op.kind = FKind::kJsrReg;
+          op.a = in.rs1;
+          op.cycles = 4;
+          ends = true;
+          break;
+        case Opcode::kJsrd: {
+          // Same splice for calls: push the return address, then run
+          // straight into the callee within this trace.
+          op.target = static_cast<std::uint16_t>(pos + in.disp);
+          if (blk->ops.size() + 1 < cfg_.max_block &&
+              op.target < cfg_.mem_words) {
+            op.kind = FKind::kJsrInline;
+            op.cycles = 4;
+            blk->ops.push_back(op);
+            pos = op.target;
+            continue;
+          }
+          op.kind = FKind::kJsrDisp;
+          op.cycles = 4;
+          ends = true;
+          break;
+        }
+        case Opcode::kRts:
+          op.kind = FKind::kRts;
+          op.cycles = 3;
+          ends = true;
+          break;
+        default:  // NOP
+          op.kind = FKind::kNop;
+          op.cycles = 2;
+          break;
+      }
+    }
+    blk->ops.push_back(op);
+    ++pos;
+    if (ends) break;
+  }
+  register_block(*blk);
+  Block* raw = blk.get();
+  cache_[start] = std::move(blk);
+  ++stats_.blocks_compiled;
+  return raw;
+}
+
+FastExec::BlockExit FastExec::exec_block(const Block& blk,
+                                         std::uint64_t& budget) {
+  // Hot loop. The per-op budget check is hoisted into `limit` (each op
+  // consumes exactly one budget unit, so min(budget, ops) ops can run),
+  // and the three retirement counters are accumulated in locals and
+  // flushed once per block — per-op read-modify-writes on members cost
+  // roughly a third of the dispatch loop otherwise.
+  const std::size_t n = blk.ops.size();
+  const auto limit = static_cast<std::size_t>(
+      std::min<std::uint64_t>(budget, static_cast<std::uint64_t>(n)));
+  std::uint64_t done = 0;    // ops retired
+  std::uint64_t cycles = 0;  // cycles charged for them
+  // Flags, the register file and the trap bound live in locals for the
+  // whole trace: the compiler can't keep members cached across the
+  // store() calls. flush() writes the architectural state back at every
+  // exit, so the observable boundary state is unchanged.
+  const std::uint16_t trap = cfg_.trap_base;
+  Flags fl = flags_;
+  std::array<std::uint16_t, 16> lr = regs_;
+  const auto flush = [&] {
+    budget -= done;
+    instructions_ += done;
+    ideal_cycles_ += cycles;
+    flags_ = fl;
+    regs_ = lr;
+  };
+  for (std::size_t idx = 0; idx < limit; ++idx) {
+    const FastOp& op = blk.ops[idx];
+    switch (op.kind) {
+      case FKind::kAlu: {
+        const AluResult r =
+            alu_eval(op.op, lr[op.a], op.b_imm ? op.imm : lr[op.b], fl);
+        lr[op.rt] = r.value;
+        fl = r.flags;
+        break;
+      }
+      case FKind::kLdl:
+        lr[op.rt] =
+            static_cast<std::uint16_t>((lr[op.rt] & 0xFF00) | op.imm);
+        break;
+      case FKind::kLdh:
+        lr[op.rt] = static_cast<std::uint16_t>((op.imm << 8) |
+                                                  (lr[op.rt] & 0x00FF));
+        break;
+      case FKind::kLd: {
+        const auto ea =
+            static_cast<std::uint16_t>(lr[op.a] + lr[op.b]);
+        if (ea >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        lr[op.rt] = mem_[ea];
+        break;
+      }
+      case FKind::kSt: {
+        const auto ea =
+            static_cast<std::uint16_t>(lr[op.a] + lr[op.b]);
+        if (ea >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        const bool self = store(ea, lr[op.rt], &blk);
+        ++done;
+        cycles += op.cycles;
+        if (self) {
+          // The executing block was overwritten: resume from fresh code
+          // at the next boundary, exactly like a fetch-from-memory model.
+          flush();
+          pc_ = static_cast<std::uint16_t>(op.addr + 1);
+          return BlockExit::kEnd;
+        }
+        continue;
+      }
+      case FKind::kPush: {
+        if (sp_ >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        const bool self = store(sp_, lr[op.a], &blk);
+        --sp_;
+        ++done;
+        cycles += op.cycles;
+        if (self) {
+          flush();
+          pc_ = static_cast<std::uint16_t>(op.addr + 1);
+          return BlockExit::kEnd;
+        }
+        continue;
+      }
+      case FKind::kPop: {
+        const auto ea = static_cast<std::uint16_t>(sp_ + 1);
+        if (ea >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        ++sp_;
+        lr[op.a] = mem_[ea];
+        break;
+      }
+      case FKind::kLdsp:
+        sp_ = lr[op.a];
+        break;
+      case FKind::kNop:
+        break;
+      case FKind::kHalt:
+        halted_ = true;
+        pc_ = static_cast<std::uint16_t>(op.addr + 1);
+        ++done;
+        cycles += op.cycles;
+        flush();
+        return BlockExit::kHalt;
+      case FKind::kJmpReg:
+      case FKind::kJmpDisp: {
+        if (jump_taken(op.op, fl)) {
+          pc_ = op.kind == FKind::kJmpReg ? lr[op.a] : op.target;
+          ++done;
+          cycles += op.cycles + 1u;
+          flush();
+          return BlockExit::kJump;
+        }
+        break;  // not taken: the next op in the trace is addr + 1
+      }
+      case FKind::kJsrReg:
+      case FKind::kJsrDisp: {
+        if (sp_ >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        store(sp_, static_cast<std::uint16_t>(op.addr + 1), &blk);
+        --sp_;
+        pc_ = op.kind == FKind::kJsrReg ? lr[op.a] : op.target;
+        ++done;
+        cycles += op.cycles;
+        flush();
+        return BlockExit::kJump;
+      }
+      case FKind::kRts: {
+        const auto ea = static_cast<std::uint16_t>(sp_ + 1);
+        if (ea >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        ++sp_;
+        pc_ = mem_[ea];
+        ++done;
+        cycles += op.cycles;
+        flush();
+        return BlockExit::kJump;
+      }
+      case FKind::kJmpInline:
+        // Followed at compile time: the next op in the trace IS the
+        // target, so only the taken-jump cycles are charged.
+        break;
+      case FKind::kJsrInline: {
+        if (sp_ >= trap) {
+          flush();
+          pc_ = op.addr;
+          return BlockExit::kTrap;
+        }
+        const bool self =
+            store(sp_, static_cast<std::uint16_t>(op.addr + 1), &blk);
+        --sp_;
+        ++done;
+        cycles += op.cycles;
+        if (self) {
+          flush();
+          pc_ = op.target;  // the call still lands in the callee
+          return BlockExit::kEnd;
+        }
+        continue;
+      }
+    }
+    ++done;
+    cycles += op.cycles;
+  }
+  flush();
+  if (limit < n) {  // budget ran out with ops left in the block
+    pc_ = blk.ops[limit].addr;
+    return BlockExit::kBudget;
+  }
+  // Fell off the end (max_block or end of memory): straight-line resume.
+  pc_ = static_cast<std::uint16_t>(blk.ops.back().addr + 1);
+  return BlockExit::kEnd;
+}
+
+// Slow path for trapped instructions: one step with the interpreter's
+// exact semantics, including its memory-mapped I/O behaviour. This mirrors
+// Interp::step (the diff-fast fuzz mode pins the two together).
+void FastExec::interp_one() {
+  const std::uint16_t instr_addr = pc_;
+  const std::uint16_t word = mem_[pc_];
+  pc_ = static_cast<std::uint16_t>(pc_ + 1);
+  const auto decoded = decode(word);
+  const Instr i = decoded.value_or(Instr{});
+  ++instructions_;
+
+  auto read = [&](std::uint16_t addr) -> std::uint16_t {
+    if (addr == kAddrIo) return on_scanf ? on_scanf() : 0;
+    return mem_[addr];
+  };
+  auto write = [&](std::uint16_t addr, std::uint16_t v) {
+    if (addr == kAddrIo) {
+      if (on_printf) on_printf(v);
+      return;
+    }
+    if (addr == kAddrWait || addr == kAddrNotify) {
+      if (on_sync) on_sync(addr, v);
+      return;
+    }
+    store(addr, v, nullptr);
+  };
+
+  if (is_alu(i.op)) {
+    std::uint16_t a, b;
+    if (format_of(i.op) == Format::kRI) {
+      a = regs_[i.rt];
+      b = i.imm;
+    } else if (format_of(i.op) == Format::kRR) {
+      a = regs_[i.rs1];
+      b = 0;
+    } else {
+      a = regs_[i.rs1];
+      b = regs_[i.rs2];
+    }
+    const AluResult r = alu_eval(i.op, a, b, flags_);
+    regs_[i.rt] = r.value;
+    flags_ = r.flags;
+    ideal_cycles_ += 2;
+    return;
+  }
+
+  switch (i.op) {
+    case Opcode::kLdl:
+      regs_[i.rt] =
+          static_cast<std::uint16_t>((regs_[i.rt] & 0xFF00) | i.imm);
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kLdh:
+      regs_[i.rt] =
+          static_cast<std::uint16_t>((i.imm << 8) | (regs_[i.rt] & 0x00FF));
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kLd:
+      regs_[i.rt] =
+          read(static_cast<std::uint16_t>(regs_[i.rs1] + regs_[i.rs2]));
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kSt:
+      write(static_cast<std::uint16_t>(regs_[i.rs1] + regs_[i.rs2]),
+            regs_[i.rt]);
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kPush:
+      write(sp_, regs_[i.rs1]);
+      --sp_;
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kPop:
+      ++sp_;
+      regs_[i.rs1] = read(sp_);
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kJsr:
+      write(sp_, pc_);
+      --sp_;
+      pc_ = regs_[i.rs1];
+      ideal_cycles_ += 4;
+      return;
+    case Opcode::kJsrd:
+      write(sp_, pc_);
+      --sp_;
+      pc_ = static_cast<std::uint16_t>(instr_addr + i.disp);
+      ideal_cycles_ += 4;
+      return;
+    case Opcode::kRts:
+      ++sp_;
+      pc_ = read(sp_);
+      ideal_cycles_ += 3;
+      return;
+    case Opcode::kLdsp:
+      sp_ = regs_[i.rs1];
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kNop:
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kHalt:
+      halted_ = true;
+      ideal_cycles_ += 2;
+      return;
+    case Opcode::kJmp:
+    case Opcode::kJmpn:
+    case Opcode::kJmpz:
+    case Opcode::kJmpc:
+    case Opcode::kJmpv:
+      if (jump_taken(i.op, flags_)) {
+        pc_ = regs_[i.rs1];
+        ideal_cycles_ += 3;
+      } else {
+        ideal_cycles_ += 2;
+      }
+      return;
+    case Opcode::kJmpd:
+    case Opcode::kJmpnd:
+    case Opcode::kJmpzd:
+    case Opcode::kJmpcd:
+    case Opcode::kJmpvd:
+      if (jump_taken(i.op, flags_)) {
+        pc_ = static_cast<std::uint16_t>(instr_addr + i.disp);
+        ideal_cycles_ += 3;
+      } else {
+        ideal_cycles_ += 2;
+      }
+      return;
+    default:
+      ideal_cycles_ += 2;
+      return;
+  }
+}
+
+FastExit FastExec::run(std::uint64_t max_instr) {
+  std::uint64_t budget = max_instr;
+  std::uint64_t hits = 0;  // batched into stats_ at exit
+  const auto leave = [&](FastExit e) {
+    stats_.block_hits += hits;
+    return e;
+  };
+  while (!halted_) {
+    if (budget == 0) return leave(FastExit::kBudget);
+    if (pc_ >= cfg_.mem_words) {
+      // Fetch outside the image: only reachable in the embedded (small
+      // memory) configuration, where the cycle-accurate core takes over.
+      ++stats_.trap_exits;
+      return leave(FastExit::kTrap);
+    }
+    Block* b = cache_[pc_].get();
+    if (b) {
+      ++hits;
+    } else {
+      b = compile(pc_);
+    }
+    const BlockExit e = exec_block(*b, budget);
+    if (e == BlockExit::kTrap) {
+      if (!cfg_.handle_io) {
+        ++stats_.trap_exits;
+        return leave(FastExit::kTrap);
+      }
+      interp_one();
+      --budget;
+    }
+  }
+  return leave(FastExit::kHalt);
+}
+
+FastExit FastExec::step_block(std::uint64_t max_instr) {
+  if (halted_) return FastExit::kHalt;
+  std::uint64_t budget = max_instr ? max_instr : 1;
+  if (pc_ >= cfg_.mem_words) {
+    ++stats_.trap_exits;
+    return FastExit::kTrap;
+  }
+  const BlockExit e = exec_block(*lookup(pc_), budget);
+  if (e == BlockExit::kTrap) {
+    if (!cfg_.handle_io) {
+      ++stats_.trap_exits;
+      return FastExit::kTrap;
+    }
+    interp_one();
+  }
+  return halted_ ? FastExit::kHalt : FastExit::kBudget;
+}
+
+FastCheckpoint FastExec::checkpoint() const {
+  FastCheckpoint c;
+  c.regs = regs_;
+  c.pc = pc_;
+  c.sp = sp_;
+  c.flags = flags_;
+  c.halted = halted_;
+  c.instructions = instructions_;
+  c.ideal_cycles = ideal_cycles_;
+  c.mem = mem_;
+  return c;
+}
+
+void FastExec::restore(const FastCheckpoint& c) {
+  assert(c.mem.size() == mem_.size());
+  regs_ = c.regs;
+  pc_ = c.pc;
+  sp_ = c.sp;
+  flags_ = c.flags;
+  halted_ = c.halted;
+  instructions_ = c.instructions;
+  ideal_cycles_ = c.ideal_cycles;
+  mem_ = c.mem;
+  invalidate_all();
+}
+
+namespace {
+
+constexpr std::uint16_t kCkptMagic = 0xFA57;
+constexpr std::uint16_t kCkptVersion = 1;
+
+void push_u64(std::vector<std::uint16_t>& w, std::uint64_t v) {
+  for (int k = 0; k < 4; ++k) {
+    w.push_back(static_cast<std::uint16_t>(v >> (16 * k)));
+  }
+}
+
+std::uint64_t pull_u64(const std::vector<std::uint16_t>& w, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < 4; ++k) {
+    v |= static_cast<std::uint64_t>(w[at + k]) << (16 * k);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint16_t> FastCheckpoint::to_words() const {
+  std::vector<std::uint16_t> w;
+  w.reserve(2 + 16 + 2 + 2 + 8 + 2 + mem.size());
+  w.push_back(kCkptMagic);
+  w.push_back(kCkptVersion);
+  for (std::uint16_t r : regs) w.push_back(r);
+  w.push_back(pc);
+  w.push_back(sp);
+  w.push_back(static_cast<std::uint16_t>((flags.n << 3) | (flags.z << 2) |
+                                         (flags.c << 1) | (flags.v << 0)));
+  w.push_back(halted ? 1 : 0);
+  push_u64(w, instructions);
+  push_u64(w, ideal_cycles);
+  push_u64(w, mem.size());
+  w.insert(w.end(), mem.begin(), mem.end());
+  return w;
+}
+
+std::optional<FastCheckpoint> FastCheckpoint::from_words(
+    const std::vector<std::uint16_t>& w) {
+  constexpr std::size_t kHeader = 2 + 16 + 2 + 2 + 12;
+  if (w.size() < kHeader) return std::nullopt;
+  if (w[0] != kCkptMagic || w[1] != kCkptVersion) return std::nullopt;
+  FastCheckpoint c;
+  std::size_t at = 2;
+  for (auto& r : c.regs) r = w[at++];
+  c.pc = w[at++];
+  c.sp = w[at++];
+  const std::uint16_t f = w[at++];
+  c.flags.n = (f & 8) != 0;
+  c.flags.z = (f & 4) != 0;
+  c.flags.c = (f & 2) != 0;
+  c.flags.v = (f & 1) != 0;
+  c.halted = w[at++] != 0;
+  c.instructions = pull_u64(w, at);
+  at += 4;
+  c.ideal_cycles = pull_u64(w, at);
+  at += 4;
+  const std::uint64_t n = pull_u64(w, at);
+  at += 4;
+  if (w.size() != at + n) return std::nullopt;
+  c.mem.assign(w.begin() + static_cast<std::ptrdiff_t>(at), w.end());
+  return c;
+}
+
+}  // namespace mn::r8

@@ -1,0 +1,226 @@
+#pragma once
+// Fast functional R8 executor: basic-block cache + threaded dispatch.
+//
+// The interpreter (interp.hpp) re-decodes every instruction word on every
+// step; the cycle-accurate Cpu additionally walks its pipeline state
+// machine. FastExec decodes each basic block ONCE into a vector of
+// pre-dispatched ops (operand sources, immediates and D9 jump targets all
+// resolved at compile time) and thereafter replays the block through a
+// tight dispatch loop. Architectural semantics are bit-identical to
+// Interp — the mn-fuzz `diff-fast` mode runs FastExec against the
+// cycle-accurate Cpu in lockstep to pin this down — and the ideal-cycle
+// accounting uses the same CPI model, so a stall-free run reports exactly
+// the cycle count the Cpu would.
+//
+// A "block" is really a trace: unconditional displacement transfers
+// (JMPD, JSRD) have compile-time targets and are followed inline, and
+// conditional jumps fall through within the trace when not taken (the
+// dispatch loop exits only on taken). Compilation therefore stops only at
+// register-target transfers (JMP Rn, JSR Rn, RTS), HALT, `max_block`
+// ops, or the end of the memory image — so loop back-edges unroll and
+// calls run straight into the callee, which matters because dispatch
+// overhead is per-block. A store into a word covered by a cached block
+// invalidates every block touching that 64-word code page (including,
+// mid-flight, the executing block itself: self-modifying code re-enters
+// the compiler at the next boundary, which is exactly the interpreter's
+// fetch-from-memory behaviour).
+//
+// Memory accesses at or above `trap_base` leave the fast path BEFORE the
+// instruction executes, with the PC at the instruction boundary. In the
+// standalone configuration (64K words, trap_base = 0xFFFD) the trapped
+// instruction is then executed internally with the interpreter's
+// memory-mapped I/O semantics (on_printf / on_scanf / on_sync). In the
+// embedded configuration (1024 words, trap_base = 1024, handle_io off)
+// run() returns kTrap and the Processor IP switches the core back into
+// the cycle-accurate Cpu — the "I/O forces accurate" rule that keeps NoC
+// timing exact (docs/EXECUTION.md).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "r8/alu.hpp"
+#include "r8/interp.hpp"
+#include "r8/isa.hpp"
+
+namespace mn::r8 {
+
+struct FastConfig {
+  /// Size of the flat word memory (64K standalone, 1024 embedded).
+  std::uint32_t mem_words = 1u << 16;
+  /// Loads/stores at or above this address leave the fast path.
+  std::uint16_t trap_base = kAddrNotify;
+  /// Execute trapped instructions internally via the I/O callbacks
+  /// (standalone). When false, run() returns kTrap with the PC at the
+  /// instruction boundary and the caller owns the switch.
+  bool handle_io = true;
+  /// Maximum ops per cached basic block.
+  std::uint16_t max_block = 64;
+};
+
+enum class FastExit : std::uint8_t {
+  kBudget,  ///< instruction budget exhausted (PC at a boundary)
+  kHalt,    ///< HALT retired
+  kTrap,    ///< next instruction needs the slow path (PC at its address)
+};
+
+/// Self-instrumentation; surfaced as `r8.fastexec.*` probes when the
+/// executor is embedded in a Processor IP (docs/OBSERVABILITY.md).
+struct FastStats {
+  std::uint64_t blocks_compiled = 0;
+  std::uint64_t block_hits = 0;
+  std::uint64_t invalidations = 0;  ///< cached blocks killed by stores
+  std::uint64_t trap_exits = 0;     ///< kTrap returns (handle_io off)
+};
+
+/// Full architectural state at an instruction boundary. `to_words` /
+/// `from_words` give a flat, versioned serialization whose round-trip is
+/// pinned bit-exact by test_fastexec. Pending I/O never needs saving: the
+/// embedded executor only runs between NoC transactions (the Processor IP
+/// switches to the cycle-accurate core for every outstanding read/scanf/
+/// wait), and the standalone input stream is owned by the caller.
+struct FastCheckpoint {
+  std::array<std::uint16_t, 16> regs{};
+  std::uint16_t pc = 0;
+  std::uint16_t sp = 0;
+  Flags flags;
+  bool halted = false;
+  std::uint64_t instructions = 0;
+  std::uint64_t ideal_cycles = 0;
+  std::vector<std::uint16_t> mem;
+
+  std::vector<std::uint16_t> to_words() const;
+  static std::optional<FastCheckpoint> from_words(
+      const std::vector<std::uint16_t>& words);
+
+  bool operator==(const FastCheckpoint&) const = default;
+};
+
+class FastExec {
+ public:
+  explicit FastExec(const FastConfig& cfg = {});
+
+  /// Load an object image at `base` (invalidates covered blocks).
+  void load(const std::vector<std::uint16_t>& image, std::uint16_t base = 0);
+
+  /// Power-on: start executing from address 0.
+  void activate();
+  void reset();
+
+  /// Execute until HALT, a trap (handle_io off) or `max_instr` retired
+  /// instructions.
+  FastExit run(std::uint64_t max_instr);
+
+  /// Execute at most ONE basic block (bounded by `max_instr`), or one
+  /// trapped instruction via the slow path. The lockstep differential
+  /// harness uses this to compare state at every block boundary.
+  FastExit step_block(std::uint64_t max_instr);
+
+  /// I/O hooks, exactly the interpreter's (only used with handle_io).
+  std::function<void(std::uint16_t)> on_printf;
+  std::function<std::uint16_t()> on_scanf;
+  std::function<void(std::uint16_t addr, std::uint16_t value)> on_sync;
+
+  bool halted() const { return halted_; }
+  std::uint16_t pc() const { return pc_; }
+  std::uint16_t sp() const { return sp_; }
+  std::uint16_t reg(unsigned i) const { return regs_[i & 0xF]; }
+  Flags flags() const { return flags_; }
+  void set_reg(unsigned i, std::uint16_t v) { regs_[i & 0xF] = v; }
+  void set_sp(std::uint16_t v) { sp_ = v; }
+  void set_pc(std::uint16_t v) { pc_ = v; }
+  void set_flags(Flags f) { flags_ = f; }
+  void set_halted(bool h) { halted_ = h; }
+
+  std::uint16_t mem(std::uint16_t addr) const { return mem_[addr]; }
+  /// Write a word, invalidating any cached block it is covered by.
+  void set_mem(std::uint16_t addr, std::uint16_t v);
+
+  std::uint64_t instructions() const { return instructions_; }
+  /// Ideal cycle count per the documented CPI model (same as Interp).
+  std::uint64_t ideal_cycles() const { return ideal_cycles_; }
+
+  const FastStats& stats() const { return stats_; }
+  const FastConfig& config() const { return cfg_; }
+
+  FastCheckpoint checkpoint() const;
+  /// Restore a checkpoint taken on a same-sized executor. Drops the whole
+  /// block cache (the snapshot memory may differ arbitrarily).
+  void restore(const FastCheckpoint& c);
+
+  /// Differential-harness hook: when set, every RAM store (address,
+  /// value) is appended — I/O-mapped writes go to the callbacks instead.
+  void set_store_log(std::vector<std::pair<std::uint16_t, std::uint16_t>>* log) {
+    store_log_ = log;
+  }
+
+ private:
+  /// Dispatch kind, resolved once at block-compile time so the hot loop
+  /// never consults format_of()/is_alu() again.
+  enum class FKind : std::uint8_t {
+    kAlu, kLdl, kLdh, kLd, kSt, kPush, kPop, kLdsp, kNop, kHalt,
+    kJmpReg, kJmpDisp, kJsrReg, kJsrDisp, kRts,
+    kJmpInline,  ///< unconditional JMPD followed at compile time
+    kJsrInline,  ///< JSRD followed at compile time (still pushes)
+  };
+  struct FastOp {
+    FKind kind = FKind::kNop;
+    Opcode op = Opcode::kNop;
+    std::uint8_t rt = 0;      ///< destination register
+    std::uint8_t a = 0;       ///< first operand / address register
+    std::uint8_t b = 0;       ///< second operand register
+    bool b_imm = false;       ///< ALU second operand is the immediate
+    std::uint8_t imm = 0;
+    std::uint16_t addr = 0;   ///< address of this instruction
+    std::uint16_t target = 0; ///< precomputed D9 jump target
+    std::uint8_t cycles = 0;  ///< CPI charge (not-taken for cond jumps)
+  };
+  struct Block {
+    std::uint16_t start = 0;
+    std::vector<FastOp> ops;  ///< trace order; op.addr is each word's home
+  };
+  enum class BlockExit : std::uint8_t {
+    kEnd,     ///< fell off the end (or the executing block died)
+    kBudget,
+    kTrap,
+    kHalt,
+    kJump,    ///< control transfer executed; PC already set
+  };
+
+  Block* lookup(std::uint16_t pc);
+  Block* compile(std::uint16_t start);
+  BlockExit exec_block(const Block& b, std::uint64_t& budget);
+  void interp_one();  ///< slow path: one instruction, full I/O semantics
+  /// Store barrier: returns true when the executing block was invalidated.
+  bool store(std::uint16_t addr, std::uint16_t v, const Block* current);
+  bool invalidate_page(std::size_t page, const Block* current);
+  void invalidate_all();
+  void register_block(const Block& b);
+
+  FastConfig cfg_;
+  std::vector<std::uint16_t> mem_;
+  std::array<std::uint16_t, 16> regs_{};
+  std::uint16_t pc_ = 0;
+  std::uint16_t sp_ = 0;
+  Flags flags_;
+  bool halted_ = false;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t ideal_cycles_ = 0;
+
+  static constexpr unsigned kPageShift = 6;  ///< 64-word code pages
+  std::vector<std::unique_ptr<Block>> cache_;      ///< indexed by start PC
+  /// Keeps a self-invalidated block alive until its final op finishes:
+  /// the dispatch loop still holds references into its ops vector.
+  std::unique_ptr<Block> zombie_;
+  std::vector<std::uint8_t> page_has_code_;        ///< per 64-word page
+  std::vector<std::vector<std::uint16_t>> page_blocks_;  ///< starts per page
+
+  FastStats stats_;
+  std::vector<std::pair<std::uint16_t, std::uint16_t>>* store_log_ = nullptr;
+};
+
+}  // namespace mn::r8

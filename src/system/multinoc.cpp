@@ -118,6 +118,19 @@ std::vector<ConfigError> SystemConfig::validate() const {
     }
   }
 
+  if (exec_mode == ExecMode::kSampled) {
+    if (sampling.fast_window == 0) {
+      errors.push_back({"sampling.fast_window",
+                        "sampled execution needs a fast-forward window of "
+                        "at least 1 instruction"});
+    }
+    if (sampling.accurate_window == 0) {
+      errors.push_back({"sampling.accurate_window",
+                        "sampled execution needs a measurement window of "
+                        "at least 1 instruction"});
+    }
+  }
+
   return errors;
 }
 
@@ -173,6 +186,8 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
     pc.serial_addr = serial_addr;
     pc.proc_number = static_cast<std::uint8_t>(i + 1);
     pc.proc_addr_by_number = num2addr;
+    pc.exec_mode = cfg.exec_mode;
+    pc.sampling = cfg.sampling;
     processors_.push_back(std::make_unique<ProcessorIp>(
         sim, "proc" + std::to_string(i + 1), pc,
         mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y),

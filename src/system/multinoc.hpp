@@ -49,6 +49,12 @@ struct SystemConfig {
   bool e2e_checksum = false;        ///< end-to-end packet checksum
   unsigned e2e_retry_timeout = 0;   ///< read/scanf re-issue delay (0 = off)
 
+  // Per-core execution mode (docs/EXECUTION.md). Default kAccurate: every
+  // processor instruction through the cycle-accurate pipeline, exactly as
+  // before the fast path existed.
+  ExecMode exec_mode = ExecMode::kAccurate;
+  SamplingConfig sampling;          ///< windows for ExecMode::kSampled
+
   /// The paper's exact prototype.
   static SystemConfig paper_default() { return SystemConfig{}; }
 

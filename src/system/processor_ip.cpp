@@ -1,8 +1,37 @@
 #include "system/processor_ip.hpp"
 
+#include <algorithm>
+#include <array>
+
 #include "sim/log.hpp"
 
 namespace mn::sys {
+
+namespace {
+/// Instructions the fast path may retire per eval() call. One system
+/// clock advances the NoC by one cycle regardless, so this bounds how far
+/// functional time runs ahead of network time within a single cycle.
+constexpr std::uint64_t kFastBurst = 64;
+/// Retirements the accurate core runs after an I/O trap before the fast
+/// path is retried (prevents enter/trap thrash around I/O loops).
+constexpr std::uint32_t kTrapCooldown = 8;
+}  // namespace
+
+const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::kAccurate: return "accurate";
+    case ExecMode::kFast: return "fast";
+    case ExecMode::kSampled: return "sampled";
+  }
+  return "?";
+}
+
+std::optional<ExecMode> exec_mode_from_name(std::string_view name) {
+  if (name == "accurate") return ExecMode::kAccurate;
+  if (name == "fast") return ExecMode::kFast;
+  if (name == "sampled") return ExecMode::kSampled;
+  return std::nullopt;
+}
 
 ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
                          const ProcessorConfig& cfg,
@@ -37,9 +66,34 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
           [this] { return static_cast<double>(notifies_sent_); });
   m.probe(prefix + "waits_completed",
           [this] { return static_cast<double>(waits_completed_); });
+
+  if (cfg_.exec_mode == ExecMode::kSampled) {
+    fast_window_left_ = cfg_.sampling.fast_window;
+  }
+  if (cfg_.exec_mode != ExecMode::kAccurate) {
+    const std::string fx = "r8.fastexec." + this->name() + ".";
+    m.probe(fx + "blocks_compiled", [this] {
+      return static_cast<double>(fast_.stats().blocks_compiled);
+    });
+    m.probe(fx + "block_hits", [this] {
+      return static_cast<double>(fast_.stats().block_hits);
+    });
+    m.probe(fx + "invalidations", [this] {
+      return static_cast<double>(fast_.stats().invalidations);
+    });
+    m.probe(fx + "checkpoint_switches",
+            [this] { return static_cast<double>(switches_); });
+    m.probe(fx + "io_forced_switches",
+            [this] { return static_cast<double>(io_forced_switches_); });
+    m.probe(fx + "fast_instructions",
+            [this] { return static_cast<double>(fast_instructions_); });
+    m.probe(fx + "fast_cycles",
+            [this] { return static_cast<double>(fast_cycles_); });
+  }
 }
 
 bool ProcessorIp::quiescent() const {
+  if (fast_active_) return false;  // fast-forwarding is work in progress
   // Any ingress or egress backlog keeps the control logic busy.
   if (ni_.has_packet() || !cpu_out_.empty() || !mem_out_.empty()) {
     return false;
@@ -59,6 +113,10 @@ bool ProcessorIp::quiescent() const {
 }
 
 void ProcessorIp::eval() {
+  // 0. An incoming NoC service always forces the accurate core: sync the
+  //    fast path's memory back BEFORE the service reads or writes it.
+  if (fast_active_ && ni_.has_packet()) leave_fast();
+
   // 1. Ingest NoC packets (activate, notify, wait, memory services,
   //    read/scanf returns).
   while (ni_.has_packet()) {
@@ -94,7 +152,113 @@ void ProcessorIp::eval() {
       return;  // processor frozen by the wait service
     }
   }
+
+  // 4. Execution-mode dispatch: burst through the fast path when the core
+  //    is compute-bound on local memory, otherwise tick the accurate Cpu.
+  if (cfg_.exec_mode != ExecMode::kAccurate) {
+    if (!fast_active_ && fast_entry_ok()) enter_fast();
+    if (fast_active_) {
+      run_fast_burst();
+      return;
+    }
+  }
   cpu_.tick(*this);
+  if (cfg_.exec_mode != ExecMode::kAccurate) note_accurate_retirements();
+}
+
+bool ProcessorIp::fast_entry_ok() const {
+  if (cpu_.halted() || cpu_.state() != r8::Cpu::State::kFetch) return false;
+  if (cpu_.pc() >= kLocalSize) return false;  // executing a remote window
+  if (fast_cooldown_ != 0) return false;
+  if (cfg_.exec_mode == ExecMode::kSampled && fast_window_left_ == 0) {
+    return false;  // measurement phase
+  }
+  // Any in-flight NoC business pins the accurate core: outstanding reads
+  // or scanfs, a CPU-issued wait, egress backlog, undelivered packets.
+  if (read_state_ != ReadState::kIdle || scanf_state_ != ReadState::kIdle) {
+    return false;
+  }
+  if (wait_for_ != 0 || external_wait_ != 0) return false;
+  if (!cpu_out_.empty() || !mem_out_.empty() || ni_.has_packet()) {
+    return false;
+  }
+  return true;
+}
+
+void ProcessorIp::enter_fast() {
+  // Sync local memory in via compare-and-set (peek does not skew access
+  // counters; set_mem only invalidates blocks on words that changed, so
+  // the block cache survives across switches).
+  for (std::uint16_t a = 0; a < kLocalSize; ++a) {
+    fast_.set_mem(a, mem_.peek(a));
+  }
+  for (unsigned i = 0; i < 16; ++i) fast_.set_reg(i, cpu_.reg(i));
+  fast_.set_pc(cpu_.pc());
+  fast_.set_sp(cpu_.sp());
+  fast_.set_flags(cpu_.flags());
+  fast_.set_halted(false);
+  fast_active_ = true;
+  ++switches_;
+}
+
+void ProcessorIp::leave_fast() {
+  for (std::uint16_t a = 0; a < kLocalSize; ++a) {
+    if (mem_.peek(a) != fast_.mem(a)) mem_.poke(a, fast_.mem(a));
+  }
+  std::array<std::uint16_t, 16> regs;
+  for (unsigned i = 0; i < 16; ++i) regs[i] = fast_.reg(i);
+  cpu_.install_state(regs, fast_.pc(), fast_.sp(), fast_.flags(),
+                     fast_.halted());
+  fast_active_ = false;
+  ++switches_;
+  last_cpu_instr_ = cpu_.instructions();
+}
+
+void ProcessorIp::run_fast_burst() {
+  std::uint64_t budget = kFastBurst;
+  if (cfg_.exec_mode == ExecMode::kSampled) {
+    budget = std::min<std::uint64_t>(budget, fast_window_left_);
+  }
+  const std::uint64_t i0 = fast_.instructions();
+  const std::uint64_t c0 = fast_.ideal_cycles();
+  const r8::FastExit e = fast_.run(budget);
+  const std::uint64_t di = fast_.instructions() - i0;
+  const std::uint64_t dc = fast_.ideal_cycles() - c0;
+  fast_instructions_ += di;
+  fast_cycles_ += dc;
+  cpu_.credit_fastforward(di, dc);
+  if (cfg_.exec_mode == ExecMode::kSampled) fast_window_left_ -= di;
+
+  if (e == r8::FastExit::kTrap) {
+    // The next instruction touches the NoC (peer/remote window, printf/
+    // scanf, wait/notify): the accurate core must execute it.
+    leave_fast();
+    ++io_forced_switches_;
+    fast_cooldown_ = kTrapCooldown;
+  } else if (e == r8::FastExit::kHalt) {
+    leave_fast();
+  } else if (cfg_.exec_mode == ExecMode::kSampled &&
+             fast_window_left_ == 0) {
+    leave_fast();
+    accurate_left_ = cfg_.sampling.accurate_window;
+  }
+}
+
+void ProcessorIp::note_accurate_retirements() {
+  const std::uint64_t now = cpu_.instructions();
+  const std::uint64_t retired = now - last_cpu_instr_;
+  last_cpu_instr_ = now;
+  if (retired == 0) return;
+  if (fast_cooldown_ != 0) {
+    fast_cooldown_ -= static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(retired, fast_cooldown_));
+  }
+  if (cfg_.exec_mode == ExecMode::kSampled && fast_window_left_ == 0) {
+    accurate_left_ -= std::min(retired, accurate_left_);
+    if (accurate_left_ == 0) {
+      fast_window_left_ = cfg_.sampling.fast_window;  // next sample period
+    }
+  }
 }
 
 void ProcessorIp::handle_incoming(const noc::ServiceMessage& msg) {
@@ -278,6 +442,15 @@ void ProcessorIp::reset() {
   external_wait_ = 0;
   remote_reads_ = remote_writes_ = printfs_ = scanfs_ = 0;
   notifies_sent_ = waits_completed_ = 0;
+  fast_.reset();
+  fast_active_ = false;
+  fast_cooldown_ = 0;
+  fast_window_left_ =
+      cfg_.exec_mode == ExecMode::kSampled ? cfg_.sampling.fast_window : 0;
+  accurate_left_ = 0;
+  last_cpu_instr_ = 0;
+  switches_ = io_forced_switches_ = 0;
+  fast_instructions_ = fast_cycles_ = 0;
 }
 
 }  // namespace mn::sys

@@ -15,16 +15,39 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 
 #include "mem/memory_ip.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/services.hpp"
 #include "r8/cpu.hpp"
+#include "r8/fastexec.hpp"
 #include "sim/component.hpp"
 #include "system/address_map.hpp"
 
 namespace mn::sys {
+
+/// Per-core execution mode (docs/EXECUTION.md).
+///  * kAccurate — every instruction through the cycle-accurate Cpu.
+///  * kFast     — functional fast path whenever the core is compute-bound;
+///                any NoC-facing access (peer/remote memory, printf/scanf,
+///                wait/notify) or incoming service switches to the Cpu.
+///  * kSampled  — SESC-style sampling: fast-forward `fast_window`
+///                instructions functionally, then measure `accurate_window`
+///                instructions cycle-accurately, repeat. I/O still forces
+///                the accurate core regardless of the schedule.
+enum class ExecMode : std::uint8_t { kAccurate, kFast, kSampled };
+
+const char* exec_mode_name(ExecMode m);
+std::optional<ExecMode> exec_mode_from_name(std::string_view name);
+
+/// Window lengths (retired instructions) for ExecMode::kSampled.
+struct SamplingConfig {
+  std::uint64_t fast_window = 10000;
+  std::uint64_t accurate_window = 1000;
+};
 
 struct ProcessorConfig {
   std::uint8_t self_addr = 0;    ///< this IP's router address
@@ -34,6 +57,8 @@ struct ProcessorConfig {
   std::uint8_t proc_number = 1;  ///< 1-based id used by wait/notify
   /// Router address of each processor number (for notify routing).
   std::map<std::uint8_t, std::uint8_t> proc_addr_by_number;
+  ExecMode exec_mode = ExecMode::kAccurate;
+  SamplingConfig sampling;
 };
 
 class ProcessorIp final : public sim::Component, private r8::Bus {
@@ -75,6 +100,15 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   std::uint64_t notifies_sent() const { return notifies_sent_; }
   std::uint64_t waits_completed() const { return waits_completed_; }
 
+  /// Execution-mode self-metrics (r8.fastexec.* probes).
+  ExecMode exec_mode() const { return cfg_.exec_mode; }
+  bool fast_active() const { return fast_active_; }
+  std::uint64_t checkpoint_switches() const { return switches_; }
+  std::uint64_t io_forced_switches() const { return io_forced_switches_; }
+  std::uint64_t fast_instructions() const { return fast_instructions_; }
+  std::uint64_t fast_cycles() const { return fast_cycles_; }
+  const r8::FastStats& fast_stats() const { return fast_.stats(); }
+
  private:
   // r8::Bus
   bool mem_read(std::uint16_t addr, std::uint16_t& out) override;
@@ -83,6 +117,12 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   bool remote_read(std::uint8_t target, std::uint16_t offset,
                    std::uint16_t& out);
   void handle_incoming(const noc::ServiceMessage& msg);
+  // Execution-mode switching (docs/EXECUTION.md).
+  bool fast_entry_ok() const;
+  void enter_fast();
+  void leave_fast();
+  void run_fast_burst();
+  void note_accurate_retirements();
   bool e2e() const { return rel_ && rel_->e2e_checksum; }
   unsigned retry_timeout() const {
     return rel_ ? rel_->e2e_retry_timeout : 0;
@@ -123,6 +163,24 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   std::uint64_t scanfs_ = 0;
   std::uint64_t notifies_sent_ = 0;
   std::uint64_t waits_completed_ = 0;
+
+  // Fast-path executor over the local-memory window. Traps (any access at
+  // or above kLocalSize: peer/remote windows, wait/notify, printf/scanf)
+  // hand control back so the cycle-accurate Cpu executes them with exact
+  // NoC timing.
+  r8::FastExec fast_{r8::FastConfig{kLocalSize, kLocalSize, false, 64}};
+  bool fast_active_ = false;
+  /// Retirements left before re-trying fast entry after an I/O trap; a
+  /// zero-cooldown design would livelock (the trap fires before the
+  /// trapping instruction executes, so nothing would ever retire).
+  std::uint32_t fast_cooldown_ = 0;
+  std::uint64_t fast_window_left_ = 0;   ///< kSampled: fast phase budget
+  std::uint64_t accurate_left_ = 0;      ///< kSampled: measurement budget
+  std::uint64_t last_cpu_instr_ = 0;     ///< retirement edge detector
+  std::uint64_t switches_ = 0;           ///< fast<->accurate transitions
+  std::uint64_t io_forced_switches_ = 0; ///< leaves caused by an I/O trap
+  std::uint64_t fast_instructions_ = 0;
+  std::uint64_t fast_cycles_ = 0;
 };
 
 }  // namespace mn::sys

@@ -1,0 +1,315 @@
+// FastExec (src/r8/fastexec.hpp) unit and system tests: Interp
+// equivalence, self-modifying-code invalidation, checkpoint round-trips,
+// and the execution-mode layer in the Processor IP (docs/EXECUTION.md) —
+// I/O forcing the accurate core, and sampled mode reproducing the
+// accurate printf stream byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "check/program_gen.hpp"
+#include "host/host.hpp"
+#include "r8/fastexec.hpp"
+#include "r8/interp.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+std::vector<std::uint16_t> asm_or_die(const std::string& src) {
+  const auto a = r8asm::assemble(src);
+  EXPECT_TRUE(a.ok) << a.error_text();
+  return a.image;
+}
+
+/// Runs `image` on both the interpreter and the fast executor with the
+/// same scanf stream and checks every piece of architectural state.
+void expect_equivalent(const std::vector<std::uint16_t>& image,
+                       const std::vector<std::uint16_t>& inputs,
+                       std::uint64_t max_steps = 200'000) {
+  r8::Interp interp;
+  std::deque<std::uint16_t> in_i(inputs.begin(), inputs.end());
+  std::vector<std::uint16_t> out_i;
+  interp.on_printf = [&](std::uint16_t v) { out_i.push_back(v); };
+  interp.on_scanf = [&]() -> std::uint16_t {
+    if (in_i.empty()) return 0;
+    const auto v = in_i.front();
+    in_i.pop_front();
+    return v;
+  };
+  interp.on_sync = [](std::uint16_t, std::uint16_t) {};
+  interp.load(image);
+  interp.run(max_steps);
+
+  r8::FastExec fast;
+  std::deque<std::uint16_t> in_f(inputs.begin(), inputs.end());
+  std::vector<std::uint16_t> out_f;
+  fast.on_printf = [&](std::uint16_t v) { out_f.push_back(v); };
+  fast.on_scanf = [&]() -> std::uint16_t {
+    if (in_f.empty()) return 0;
+    const auto v = in_f.front();
+    in_f.pop_front();
+    return v;
+  };
+  fast.on_sync = [](std::uint16_t, std::uint16_t) {};
+  fast.load(image);
+  fast.run(max_steps);
+
+  EXPECT_EQ(fast.halted(), interp.halted());
+  EXPECT_EQ(fast.pc(), interp.pc());
+  EXPECT_EQ(fast.sp(), interp.sp());
+  EXPECT_EQ(fast.instructions(), interp.instructions());
+  EXPECT_EQ(fast.ideal_cycles(), interp.ideal_cycles());
+  EXPECT_EQ(fast.flags().n, interp.flags().n);
+  EXPECT_EQ(fast.flags().z, interp.flags().z);
+  EXPECT_EQ(fast.flags().c, interp.flags().c);
+  EXPECT_EQ(fast.flags().v, interp.flags().v);
+  for (unsigned r = 0; r < 16; ++r) {
+    EXPECT_EQ(fast.reg(r), interp.reg(r)) << "R" << r;
+  }
+  for (std::uint32_t a = 0; a < (1u << 16); ++a) {
+    ASSERT_EQ(fast.mem(static_cast<std::uint16_t>(a)),
+              interp.mem(static_cast<std::uint16_t>(a)))
+        << "mem[0x" << std::hex << a << "]";
+  }
+  EXPECT_EQ(out_f, out_i);
+}
+
+TEST(FastExec, AgreesWithInterpOnSeededPrograms) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    check::ProgramGenConfig cfg;
+    cfg.seed = seed;
+    cfg.length = 80 + static_cast<std::size_t>(seed) * 13;
+    cfg.io = (seed % 2) == 0;
+    const auto prog = check::generate_program(cfg);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    expect_equivalent(prog.image, prog.inputs);
+  }
+}
+
+TEST(FastExec, SelfModifyingCodeInvalidatesBlocks) {
+  // The program overwrites an instruction inside the block that is
+  // currently executing: the block cache must invalidate it mid-flight
+  // (the zombie path), matching the interpreter's fetch-from-memory
+  // behaviour exactly.
+  const auto image = asm_or_die(R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R1, 0
+        LDH  R1, 0
+        LDL  R2, 8          ; patch target address (the ADDI below)
+        LDH  R2, 0
+        LDL  R3, 0x00       ; NOP encodes as 0x0000
+        LDH  R3, 0x00
+loop:   ADDI R1, 5          ; <- address 8, patched to NOP mid-run
+        ST   R3, R2, R0     ; overwrite the ADDI
+        SUBI R2, 0          ; keep flags off the loop branch
+        ADDI R0, 1
+        SUBI R0, 0
+        JMPZD done
+done:   HALT
+)");
+  expect_equivalent(image, {});
+
+  r8::FastExec fast;
+  fast.load(image);
+  fast.run(1000);
+  EXPECT_TRUE(fast.halted());
+  EXPECT_GE(fast.stats().invalidations, 1u);
+  EXPECT_GE(fast.stats().blocks_compiled, 2u);  // patched block recompiled
+}
+
+TEST(FastExec, CheckpointRoundTripIsBitExact) {
+  check::ProgramGenConfig cfg;
+  cfg.seed = 77;
+  cfg.length = 150;
+  const auto prog = check::generate_program(cfg);
+
+  r8::FastExec fast;
+  fast.on_printf = [](std::uint16_t) {};
+  fast.on_scanf = []() -> std::uint16_t { return 0; };
+  fast.on_sync = [](std::uint16_t, std::uint16_t) {};
+  fast.load(prog.image);
+  fast.run(200);  // stop at an arbitrary boundary mid-program
+
+  const r8::FastCheckpoint c = fast.checkpoint();
+  const auto words = c.to_words();
+  const auto back = r8::FastCheckpoint::from_words(words);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);  // serialize/restore is bit-exact
+
+  // Resuming from the restored checkpoint on a fresh executor finishes
+  // with identical state to the original running straight through.
+  r8::FastExec resumed;
+  resumed.on_printf = [](std::uint16_t) {};
+  resumed.on_scanf = []() -> std::uint16_t { return 0; };
+  resumed.on_sync = [](std::uint16_t, std::uint16_t) {};
+  resumed.restore(*back);
+  resumed.run(1'000'000);
+  fast.run(1'000'000);
+  EXPECT_EQ(resumed.checkpoint(), fast.checkpoint());
+}
+
+TEST(FastExec, CheckpointRejectsCorruption) {
+  r8::FastExec fast;
+  auto words = fast.checkpoint().to_words();
+  auto truncated = words;
+  truncated.pop_back();
+  EXPECT_FALSE(r8::FastCheckpoint::from_words(truncated).has_value());
+  auto bad_magic = words;
+  bad_magic[0] ^= 1;
+  EXPECT_FALSE(r8::FastCheckpoint::from_words(bad_magic).has_value());
+  EXPECT_FALSE(r8::FastCheckpoint::from_words({}).has_value());
+}
+
+TEST(FastExec, EmbeddedConfigTrapsBeforeIo) {
+  // Embedded configuration (Processor IP): 1024 local words, traps at the
+  // window edge, no internal I/O. The printf ST must NOT execute on the
+  // fast path; run() returns kTrap with the PC at the instruction.
+  r8::FastExec fast(r8::FastConfig{1024, 1024, false, 64});
+  fast.load(asm_or_die(R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R10, 0xFF
+        LDH  R10, 0xFF
+        LDL  R1, 42
+        ST   R1, R10, R0    ; printf -> trap (address 5)
+        HALT
+)"));
+  const auto e = fast.run(100);
+  EXPECT_EQ(e, r8::FastExit::kTrap);
+  EXPECT_EQ(fast.pc(), 5);  // boundary of the trapping ST
+  EXPECT_EQ(fast.instructions(), 5u);
+  EXPECT_GE(fast.stats().trap_exits, 1u);
+}
+
+// ---- execution-mode layer in the full system ------------------------------
+
+struct SystemRun {
+  std::vector<std::uint16_t> printf_log;
+  std::uint64_t io_forced_switches = 0;
+  std::uint64_t fast_instructions = 0;
+  std::uint64_t switches = 0;
+  std::uint64_t cpu_instructions = 0;
+  bool ok = false;
+};
+
+SystemRun run_system(const std::vector<std::uint16_t>& image,
+                     sys::ExecMode mode, std::uint64_t fast_window = 10000,
+                     std::uint64_t accurate_window = 1000) {
+  sim::Simulator sim;
+  sys::SystemConfig cfg;
+  cfg.exec_mode = mode;
+  cfg.sampling.fast_window = fast_window;
+  cfg.sampling.accurate_window = accurate_window;
+  sys::MultiNoc system(sim, cfg);
+  host::Host host(sim, system, 8);
+  SystemRun out;
+  if (!host.boot()) return out;
+  host::ProgramLoad load;
+  load.target = system.processor(0).config().self_addr;
+  load.image = image;
+  const host::RunResult run = host.load_and_run({load}, 30'000'000);
+  out.ok = run.ok();
+  auto& log = host.printf_log(load.target);
+  out.printf_log.assign(log.begin(), log.end());
+  out.io_forced_switches = system.processor(0).io_forced_switches();
+  out.fast_instructions = system.processor(0).fast_instructions();
+  out.switches = system.processor(0).checkpoint_switches();
+  out.cpu_instructions = system.processor(0).cpu().instructions();
+  return out;
+}
+
+/// Compute loop with interleaved printfs: enough work for the fast path,
+/// enough I/O to exercise the forced-accurate rule.
+std::vector<std::uint16_t> compute_printf_image() {
+  return asm_or_die(R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R10, 0xFF
+        LDH  R10, 0xFF
+        LDL  R1, 0          ; sum
+        LDH  R1, 0
+        LDL  R2, 0          ; i
+        LDH  R2, 0
+        LDL  R3, 0x2C       ; limit = 300
+        LDH  R3, 0x01
+loop:   ADD  R1, R1, R2
+        ADDI R2, 1
+        LDL  R4, 0x63       ; periodically printf the running sum
+        LDH  R4, 0
+        AND  R4, R2, R4
+        SUBI R4, 0x63
+        JMPZD emit
+back:   SUB  R4, R3, R2
+        JMPZD done
+        JMPD loop
+emit:   ST   R1, R10, R0
+        JMPD back
+done:   ST   R1, R10, R0
+        HALT
+)");
+}
+
+TEST(FastExecSystem, IoForcesAccurateSwitch) {
+  const auto image = compute_printf_image();
+  const SystemRun accurate = run_system(image, sys::ExecMode::kAccurate);
+  const SystemRun fast = run_system(image, sys::ExecMode::kFast);
+  ASSERT_TRUE(accurate.ok);
+  ASSERT_TRUE(fast.ok);
+  // Every printf trapped out of the fast path...
+  EXPECT_GE(fast.io_forced_switches, fast.printf_log.size());
+  EXPECT_GT(fast.fast_instructions, 0u);
+  // ...and the program output is identical to the fully accurate run.
+  EXPECT_EQ(fast.printf_log, accurate.printf_log);
+  EXPECT_EQ(fast.cpu_instructions, accurate.cpu_instructions);
+  // The accurate mode never touches the fast machinery.
+  EXPECT_EQ(accurate.switches, 0u);
+  EXPECT_EQ(accurate.fast_instructions, 0u);
+}
+
+TEST(FastExecSystem, SampledReproducesAccurateOutput) {
+  const auto image = compute_printf_image();
+  const SystemRun accurate = run_system(image, sys::ExecMode::kAccurate);
+  const SystemRun sampled =
+      run_system(image, sys::ExecMode::kSampled, /*fast_window=*/120,
+                 /*accurate_window=*/40);
+  ASSERT_TRUE(accurate.ok);
+  ASSERT_TRUE(sampled.ok);
+  // Pinned e2e: sampled mode reproduces the accurate printf stream
+  // byte-for-byte and retires the same instruction count.
+  EXPECT_EQ(sampled.printf_log, accurate.printf_log);
+  EXPECT_EQ(sampled.cpu_instructions, accurate.cpu_instructions);
+  // The schedule actually alternated (fast phases ran, and more than one
+  // enter/leave pair happened).
+  EXPECT_GT(sampled.fast_instructions, 0u);
+  EXPECT_GE(sampled.switches, 4u);
+}
+
+TEST(FastExecSystem, SampledWindowsValidated) {
+  sys::SystemConfig cfg;
+  cfg.exec_mode = sys::ExecMode::kSampled;
+  cfg.sampling.fast_window = 0;
+  cfg.sampling.accurate_window = 0;
+  const auto errors = cfg.validate();
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_EQ(errors[0].field, "sampling.fast_window");
+  EXPECT_EQ(errors[1].field, "sampling.accurate_window");
+}
+
+TEST(FastExecSystem, ExecModeNamesRoundTrip) {
+  using sys::ExecMode;
+  for (ExecMode m : {ExecMode::kAccurate, ExecMode::kFast,
+                     ExecMode::kSampled}) {
+    const auto back = sys::exec_mode_from_name(sys::exec_mode_name(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(sys::exec_mode_from_name("warp").has_value());
+}
+
+}  // namespace
+}  // namespace mn

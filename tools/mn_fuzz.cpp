@@ -1,8 +1,8 @@
 // mn-fuzz: differential fuzzing and runtime invariant checking.
 //
 //   mn-fuzz [options]
-//     --mode M     diff-cpu | noc-invariants | asm-roundtrip | all
-//                  (default all)
+//     --mode M     diff-cpu | diff-fast | noc-invariants | asm-roundtrip
+//                  | all (default all)
 //     --runs N     cases per mode (default 100)
 //     --seed S     base seed; case i of a mode runs on
 //                  stream_seed(S, mode_salt + i) (default 1)
@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "check/diff_cpu.hpp"
+#include "check/diff_fast.hpp"
 #include "check/noc_invariants.hpp"
 #include "check/program_gen.hpp"
 #include "check/repro.hpp"
@@ -50,6 +51,7 @@ using namespace mn::check;
 constexpr std::uint64_t kSaltDiff = 0x10000;
 constexpr std::uint64_t kSaltNoc = 0x20000;
 constexpr std::uint64_t kSaltAsm = 0x30000;
+constexpr std::uint64_t kSaltFast = 0x40000;
 
 struct Options {
   std::string mode = "all";
@@ -158,6 +160,56 @@ ModeReport run_diff_mode(const Options& opt) {
       r.failure = again.failure;
     }
     const std::string path = repro_path(opt, "diff-cpu", i);
+    if (save_repro(r, path)) {
+      std::fprintf(stderr, "  repro written: %s\n", path.c_str());
+      rep.repro_paths.push_back(path);
+    } else {
+      std::fprintf(stderr, "  cannot write repro %s\n", path.c_str());
+    }
+    if (rep.failures >= opt.max_fail) break;
+  }
+  rep.digest = digest.value();
+  return rep;
+}
+
+ModeReport run_fast_mode(const Options& opt) {
+  ModeReport rep;
+  Fnv64 digest;
+  for (unsigned i = 0; i < opt.runs; ++i) {
+    const std::uint64_t case_seed = sim::stream_seed(opt.seed, kSaltFast + i);
+    const GeneratedProgram prog = generate_program(diff_case_config(case_seed));
+    FastDiffOptions dopt;
+    dopt.bug = opt.bug;
+    DiffResult res = run_fast_differential(prog.image, prog.inputs, dopt);
+    ++rep.runs;
+    digest.u64(res.digest);
+    if (res.ok) continue;
+    ++rep.failures;
+    report_failure("diff-fast", i, res.signature, res.failure);
+
+    Repro r;
+    r.mode = "diff-fast";
+    r.seed = case_seed;
+    r.signature = res.signature;
+    r.failure = res.failure;
+    r.words = prog.image;
+    r.inputs = prog.inputs;
+    r.bug = opt.bug;
+    auto rerun = [&](const std::vector<std::uint16_t>& img,
+                     const std::vector<std::uint16_t>& in) {
+      return run_fast_differential(img, in, dopt);
+    };
+    if (opt.shrink) {
+      const ShrinkStats s =
+          shrink_program_with(rerun, r.words, r.inputs, res.signature);
+      std::fprintf(stderr,
+                   "  shrunk to %zu words, %zu inputs "
+                   "(%u candidate runs, %u accepted)\n",
+                   r.words.size(), r.inputs.size(), s.attempts, s.accepted);
+      const DiffResult again = rerun(r.words, r.inputs);
+      r.failure = again.failure;
+    }
+    const std::string path = repro_path(opt, "diff-fast", i);
     if (save_repro(r, path)) {
       std::fprintf(stderr, "  repro written: %s\n", path.c_str());
       rep.repro_paths.push_back(path);
@@ -283,6 +335,17 @@ int replay(const std::string& path) {
     }
     signature = res.signature;
     failure = res.failure;
+  } else if (r->mode == "diff-fast") {
+    FastDiffOptions opt;
+    opt.bug = r->bug;
+    const DiffResult res = run_fast_differential(r->words, r->inputs, opt);
+    if (res.ok) {
+      std::fprintf(stderr, "mn-fuzz: replay of %s PASSED (bug gone?)\n",
+                   path.c_str());
+      return 1;
+    }
+    signature = res.signature;
+    failure = res.failure;
   } else {
     const NocRunResult res = run_noc_case(r->noc, r->packets);
     if (res.ok) {
@@ -343,8 +406,9 @@ int main(int argc, char** argv) {
       opt.replay = value();
     } else {
       std::fprintf(stderr,
-                   "usage: mn-fuzz [--mode diff-cpu|noc-invariants|"
-                   "asm-roundtrip|all] [--runs N] [--seed S] [--threads N]"
+                   "usage: mn-fuzz [--mode diff-cpu|diff-fast|"
+                   "noc-invariants|asm-roundtrip|all] [--runs N] [--seed S]"
+                   " [--threads N]"
                    " [--verify-threads] [--inject-bug B] [--shrink]"
                    " [--repro DIR] [--max-fail N] [--replay F] [--json F]\n");
       return 2;
@@ -373,6 +437,10 @@ int main(int argc, char** argv) {
   if (all || opt.mode == "diff-cpu") {
     matched = true;
     summarize("diff-cpu", run_diff_mode(opt));
+  }
+  if (all || opt.mode == "diff-fast") {
+    matched = true;
+    summarize("diff-fast", run_fast_mode(opt));
   }
   if (all || opt.mode == "noc-invariants") {
     matched = true;

@@ -7,6 +7,11 @@
 //     -i v1,v2   scanf replies, consumed in request order
 //     -m a:v,... preload remote Memory IP words (hex or dec)
 //     -c N       max cycles (default 100M)
+//     --exec-mode accurate|fast|sampled
+//                per-core execution mode (docs/EXECUTION.md);
+//                default accurate
+//     --fast-window N / --accurate-window N
+//                sampling windows for --exec-mode sampled
 //     -v         print the full system statistics report
 //     --vcd F    dump the serial pin waveforms to a VCD file
 //     --json F   write an mn-bench-v1 run record (same schema + meta
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
 
   unsigned divisor = 8;
   std::uint64_t max_cycles = 100'000'000;
+  mn::sys::SystemConfig cfg = mn::sys::SystemConfig::paper_default();
   bool verbose = false;
   bool monitor_mode = false;
   std::string vcd_path;
@@ -116,6 +122,18 @@ int main(int argc, char** argv) {
       monitor_mode = true;
     } else if (arg == "--vcd" && i + 1 < argc) {
       vcd_path = argv[++i];
+    } else if (arg == "--exec-mode" && i + 1 < argc) {
+      const auto m = mn::sys::exec_mode_from_name(argv[++i]);
+      if (!m) {
+        std::fprintf(stderr,
+                     "mn-run: --exec-mode wants accurate|fast|sampled\n");
+        return 2;
+      }
+      cfg.exec_mode = *m;
+    } else if (arg == "--fast-window" && i + 1 < argc) {
+      cfg.sampling.fast_window = parse_num(argv[++i]);
+    } else if (arg == "--accurate-window" && i + 1 < argc) {
+      cfg.sampling.accurate_window = parse_num(argv[++i]);
     } else if (arg == "-i" && i + 1 < argc) {
       for (const auto& v : split(argv[++i], ',')) {
         scanf_inputs.push_back(static_cast<std::uint16_t>(parse_num(v)));
@@ -136,12 +154,13 @@ int main(int argc, char** argv) {
   if (programs.empty() || programs.size() > 2) {
     std::fprintf(stderr,
                  "usage: mn-run [-d div] [-i v1,v2] [-m a:v,...] [-c max]"
-                 " [-v] [--json F] prog1 [prog2]\n");
+                 " [--exec-mode accurate|fast|sampled] [-v] [--json F]"
+                 " prog1 [prog2]\n");
     return 2;
   }
 
   mn::sim::Simulator sim;
-  mn::sys::MultiNoc system(sim);
+  mn::sys::MultiNoc system(sim, cfg);
   mn::host::Host host(sim, system, divisor);
 
   std::unique_ptr<mn::sim::VcdTracer> vcd;
@@ -212,6 +231,7 @@ int main(int argc, char** argv) {
                    system.mesh().total_stats().flits_forwarded),
                "flits");
     record.note("status", mn::host::to_string(run.status));
+    record.note("exec_mode", mn::sys::exec_mode_name(cfg.exec_mode));
     for (std::size_t i = 0; i < programs.size(); ++i) {
       record.note("program." + std::to_string(i + 1), programs[i]);
     }
