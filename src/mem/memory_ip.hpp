@@ -58,6 +58,9 @@ class MemoryIp final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Partitioner weight: bank service loop, lighter than a CPU.
+  double eval_cost() const override { return 4.0; }
+
   /// Idle iff no request awaits service and no reply can leave (nothing
   /// pending, or the NI is still shifting the previous packet out).
   bool quiescent() const override {

@@ -5,6 +5,7 @@
 
 #include <cassert>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mn::noc {
@@ -59,48 +60,151 @@ class Fifo {
 };
 
 /// A bank of independent lane FIFOs multiplexed over one physical port:
-/// `lanes` buffers of `depth` entries each, one per virtual channel. A
-/// single-lane bank is exactly the original per-port input buffer.
+/// `lanes` ring buffers of `depth` entries each, one per virtual channel.
+/// A single-lane bank is exactly the original per-port input buffer.
+///
+/// Storage is struct-of-arrays: every lane's payload slots live in one
+/// contiguous region (`slots_`, lane v at [v*depth, (v+1)*depth)) and the
+/// per-lane ring cursors sit in one compact metadata array, so an eval
+/// that sweeps the lanes of a port touches a handful of cache lines
+/// instead of chasing a heap-allocated vector per lane. The payload
+/// region is either owned by the bank or, via the arena constructor,
+/// carved out of a larger caller-owned slab (the router packs all five
+/// ports of a node into one arena). operator[] returns a lightweight
+/// lane proxy with the Fifo interface.
 template <typename T>
 class LaneBank {
  public:
-  LaneBank(std::size_t lanes, std::size_t depth) {
-    assert(lanes >= 1);
-    fifos_.reserve(lanes);
-    for (std::size_t v = 0; v < lanes; ++v) fifos_.emplace_back(depth);
+  /// Owning bank: allocates lanes*depth payload slots internally.
+  LaneBank(std::size_t lanes, std::size_t depth)
+      : own_(lanes * depth),
+        slots_(own_.data()),
+        lanes_(lanes),
+        depth_(depth),
+        meta_(lanes) {
+    assert(lanes >= 1 && depth >= 1);
   }
 
-  std::size_t lanes() const { return fifos_.size(); }
-
-  Fifo<T>& operator[](std::size_t v) {
-    assert(v < fifos_.size());
-    return fifos_[v];
+  /// Arena-backed bank: `slots` must point at lanes*depth elements that
+  /// outlive the bank.
+  LaneBank(T* slots, std::size_t lanes, std::size_t depth)
+      : slots_(slots), lanes_(lanes), depth_(depth), meta_(lanes) {
+    assert(slots != nullptr && lanes >= 1 && depth >= 1);
   }
-  const Fifo<T>& operator[](std::size_t v) const {
-    assert(v < fifos_.size());
-    return fifos_[v];
+
+  // The arena form aliases external storage; nothing copies or moves a
+  // bank after construction.
+  LaneBank(const LaneBank&) = delete;
+  LaneBank& operator=(const LaneBank&) = delete;
+
+  /// Mutable view of one lane, with the Fifo<T> interface.
+  class Lane {
+   public:
+    bool empty() const { return m().count == 0; }
+    bool full() const { return m().count == b_->depth_; }
+    std::size_t size() const { return m().count; }
+    std::size_t capacity() const { return b_->depth_; }
+    std::size_t free_slots() const { return b_->depth_ - m().count; }
+
+    /// Oldest element; precondition: !empty().
+    const T& front() const {
+      assert(!empty());
+      return b_->slots_[v_ * b_->depth_ + m().head];
+    }
+
+    void push(const T& x) {
+      assert(!full());
+      Meta& mm = m();
+      b_->slots_[v_ * b_->depth_ + mm.tail] = x;
+      mm.tail = next(mm.tail);
+      ++mm.count;
+    }
+
+    T pop() {
+      assert(!empty());
+      Meta& mm = m();
+      T x = b_->slots_[v_ * b_->depth_ + mm.head];
+      mm.head = next(mm.head);
+      --mm.count;
+      return x;
+    }
+
+    void clear() { m() = Meta{}; }
+
+   private:
+    friend class LaneBank;
+    Lane(LaneBank* b, std::size_t v) : b_(b), v_(v) {}
+    typename LaneBank::Meta& m() const { return b_->meta_[v_]; }
+    std::uint32_t next(std::uint32_t i) const {
+      return i + 1 == b_->depth_ ? 0 : i + 1;
+    }
+    LaneBank* b_;
+    std::size_t v_;
+  };
+
+  /// Read-only view of one lane.
+  class ConstLane {
+   public:
+    bool empty() const { return m().count == 0; }
+    bool full() const { return m().count == b_->depth_; }
+    std::size_t size() const { return m().count; }
+    std::size_t capacity() const { return b_->depth_; }
+    std::size_t free_slots() const { return b_->depth_ - m().count; }
+    const T& front() const {
+      assert(!empty());
+      return b_->slots_[v_ * b_->depth_ + m().head];
+    }
+
+   private:
+    friend class LaneBank;
+    ConstLane(const LaneBank* b, std::size_t v) : b_(b), v_(v) {}
+    const typename LaneBank::Meta& m() const { return b_->meta_[v_]; }
+    const LaneBank* b_;
+    std::size_t v_;
+  };
+
+  std::size_t lanes() const { return lanes_; }
+  std::size_t depth() const { return depth_; }
+
+  Lane operator[](std::size_t v) {
+    assert(v < lanes_);
+    return Lane(this, v);
+  }
+  ConstLane operator[](std::size_t v) const {
+    assert(v < lanes_);
+    return ConstLane(this, v);
   }
 
   /// Summed occupancy across all lanes (the physical buffer fill).
   std::size_t total_size() const {
     std::size_t n = 0;
-    for (const auto& f : fifos_) n += f.size();
+    for (const Meta& m : meta_) n += m.count;
     return n;
   }
 
   bool all_empty() const {
-    for (const auto& f : fifos_) {
-      if (!f.empty()) return false;
+    for (const Meta& m : meta_) {
+      if (m.count != 0) return false;
     }
     return true;
   }
 
   void clear() {
-    for (auto& f : fifos_) f.clear();
+    for (Meta& m : meta_) m = Meta{};
   }
 
  private:
-  std::vector<Fifo<T>> fifos_;
+  struct Meta {
+    std::uint32_t head = 0;
+    std::uint32_t tail = 0;
+    std::uint32_t count = 0;
+  };
+
+  std::vector<T> own_;  ///< empty for arena-backed banks
+  T* slots_;
+  std::size_t lanes_;
+  std::size_t depth_;
+  std::vector<Meta> meta_;
 };
 
 }  // namespace mn::noc

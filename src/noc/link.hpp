@@ -247,18 +247,17 @@ class LinkSender {
 /// links, where every flit carries vc == 0).
 class LinkReceiver {
  public:
-  /// Single-lane receiver (the original handshake).
-  LinkReceiver(LinkWires& wires, Fifo<Flit>& dest) : w_(&wires), lanes_{} {
-    lanes_[0] = &dest;
-    lane_count_ = 1;
-  }
+  /// Single-lane receiver over a caller-owned FIFO (the original
+  /// handshake).
+  LinkReceiver(LinkWires& wires, Fifo<Flit>& dest)
+      : w_(&wires), single_(&dest) {}
 
-  /// Multi-lane receiver: `lanes[v]` is the FIFO for lane v. The owner
-  /// must call return_credit(v) every time it pops a flit from lanes[v].
-  LinkReceiver(LinkWires& wires,
-               const std::array<Fifo<Flit>*, kMaxVc>& lanes,
-               std::size_t lane_count)
-      : w_(&wires), lanes_(lanes), lane_count_(lane_count) {}
+  /// Lane-bank receiver: lane v of `bank` is the FIFO for lane v; flits
+  /// with an out-of-range lane id land on lane 0. The owner must call
+  /// return_credit(v) every time it pops a flit from lane v. With a
+  /// single-lane bank this is exactly the original handshake.
+  LinkReceiver(LinkWires& wires, LaneBank<Flit>& bank)
+      : w_(&wires), bank_(&bank) {}
 
   /// Counterpart of LinkSender::attach.
   void attach(Reliability* rel, bool local_link) {
@@ -273,10 +272,10 @@ class LinkReceiver {
   bool poll() {
     if (protected_mode()) return poll_protected();
     if (w_->tx.read() == phase_) return false;  // nothing new offered
-    Fifo<Flit>& dest = lane(w_->data.read().vc);
-    if (dest.full()) return false;  // backpressure (credits make this
-                                    // unreachable in VC mode)
-    dest.push(w_->data.read());
+    const Flit& f = w_->data.read();
+    if (lane_full(f.vc)) return false;  // backpressure (credits make this
+                                        // unreachable in VC mode)
+    lane_push(f);
     phase_ = !phase_;
     if (stream_.drop_response()) return true;  // ack lost: sender wedges
     w_->ack.write(phase_);
@@ -305,8 +304,20 @@ class LinkReceiver {
  private:
   bool protected_mode() const { return rel_ && rel_->link.enabled; }
 
-  Fifo<Flit>& lane(std::uint8_t vc) {
-    return *lanes_[vc < lane_count_ ? vc : 0];
+  std::size_t lane_index(std::uint8_t vc) const {
+    return bank_ && vc < bank_->lanes() ? vc : 0;
+  }
+
+  bool lane_full(std::uint8_t vc) const {
+    return bank_ ? (*bank_)[lane_index(vc)].full() : single_->full();
+  }
+
+  void lane_push(const Flit& f) {
+    if (bank_) {
+      (*bank_)[lane_index(f.vc)].push(f);
+    } else {
+      single_->push(f);
+    }
   }
 
   bool poll_protected() {
@@ -324,9 +335,8 @@ class LinkReceiver {
       respond(f.offer, /*nack=*/false);
       return false;
     }
-    Fifo<Flit>& dest = lane(f.vc);
-    if (dest.full()) return false;  // backpressure: answer once we latch
-    dest.push(f);
+    if (lane_full(f.vc)) return false;  // backpressure: answer once we latch
+    lane_push(f);
     last_seq_ = f.seq;
     have_seq_ = true;
     respond(f.offer, /*nack=*/false);
@@ -340,8 +350,8 @@ class LinkReceiver {
   }
 
   LinkWires* w_;
-  std::array<Fifo<Flit>*, kMaxVc> lanes_;
-  std::size_t lane_count_ = 1;
+  Fifo<Flit>* single_ = nullptr;     ///< single-lane destination, or
+  LaneBank<Flit>* bank_ = nullptr;   ///< per-lane destination bank
   Reliability* rel_ = nullptr;
   FaultStream stream_;
   bool phase_ = false;  ///< value of ack after our last toggle

@@ -15,17 +15,9 @@ NetworkInterface::NetworkInterface(sim::Simulator& sim, std::string name,
       rx_lanes_(from_router.vc_count >= 1 && from_router.vc_count <= kMaxVc
                     ? from_router.vc_count
                     : 1),
-      rx_fifos_(rx_lanes_, Fifo<Flit>(rx_buffer_flits)),
+      rx_fifos_(rx_lanes_, rx_buffer_flits),
       assemblers_(rx_lanes_),
-      rx_(from_router,
-          [this] {
-            std::array<Fifo<Flit>*, kMaxVc> lanes{};
-            for (std::size_t v = 0; v < rx_lanes_; ++v) {
-              lanes[v] = &rx_fifos_[v];
-            }
-            return lanes;
-          }(),
-          rx_lanes_) {
+      rx_(from_router, rx_fifos_) {
   // This NI is the receiving side of from_router: stamp its lane depth
   // (the router's local sender reads it live, so ordering is free).
   from_router.vc_depth = rx_buffer_flits;
@@ -105,7 +97,7 @@ void NetworkInterface::eval() {
 }
 
 void NetworkInterface::drain_rx_lane(std::size_t v) {
-  auto& fifo = rx_fifos_[v];
+  auto fifo = rx_fifos_[v];
   auto& assembler = assemblers_[v];
   while (!fifo.empty()) {
     const Flit f = fifo.pop();
@@ -129,7 +121,7 @@ void NetworkInterface::drain_rx_lane(std::size_t v) {
 void NetworkInterface::reset() {
   tx_.reset();
   rx_.reset();
-  for (auto& f : rx_fifos_) f.clear();
+  rx_fifos_.clear();
   for (auto& a : assemblers_) a.reset();
   tx_vc_ = 0;
   tx_queue_.clear();

@@ -21,12 +21,19 @@ Router::Router(XY address, const RouterConfig& cfg, Reliability* rel)
       cfg_(cfg),
       policy_(cfg.policy ? cfg.policy : &routing_policy(cfg.algo)),
       rel_(rel),
-      inputs_{InputPort(cfg.vc_count, cfg.buffer_depth),
-              InputPort(cfg.vc_count, cfg.buffer_depth),
-              InputPort(cfg.vc_count, cfg.buffer_depth),
-              InputPort(cfg.vc_count, cfg.buffer_depth),
-              InputPort(cfg.vc_count, cfg.buffer_depth)},
-      arbiter_(kNumPorts * cfg.vc_count) {
+      lane_arena_(kNumPorts * cfg.vc_count * cfg.buffer_depth),
+      inputs_{InputPort(lane_arena_.data() + 0 * cfg.vc_count * cfg.buffer_depth,
+                        cfg.vc_count, cfg.buffer_depth),
+              InputPort(lane_arena_.data() + 1 * cfg.vc_count * cfg.buffer_depth,
+                        cfg.vc_count, cfg.buffer_depth),
+              InputPort(lane_arena_.data() + 2 * cfg.vc_count * cfg.buffer_depth,
+                        cfg.vc_count, cfg.buffer_depth),
+              InputPort(lane_arena_.data() + 3 * cfg.vc_count * cfg.buffer_depth,
+                        cfg.vc_count, cfg.buffer_depth),
+              InputPort(lane_arena_.data() + 4 * cfg.vc_count * cfg.buffer_depth,
+                        cfg.vc_count, cfg.buffer_depth)},
+      arbiter_(kNumPorts * cfg.vc_count),
+      requests_(kNumPorts * cfg.vc_count, false) {
   assert(cfg.buffer_depth >= 1);
   assert(cfg.route_latency >= 1);
   assert(cfg.vc_count >= 1 && cfg.vc_count <= kMaxVc);
@@ -39,13 +46,7 @@ void Router::connect_in(Port p, LinkWires& w) {
   w.vc_count = cfg_.vc_count;
   w.vc_depth = cfg_.buffer_depth;
   auto& in = inputs_[static_cast<std::size_t>(p)];
-  if (cfg_.vc_count > 1) {
-    std::array<Fifo<Flit>*, kMaxVc> lanes{};
-    for (std::size_t v = 0; v < cfg_.vc_count; ++v) lanes[v] = &in.fifos[v];
-    in.rx.emplace(w, lanes, cfg_.vc_count);
-  } else {
-    in.rx.emplace(w, in.fifos[0]);
-  }
+  in.rx.emplace(w, in.fifos);
   in.rx->attach(rel_, p == Port::kLocal);
   w.tx.wake_on_change(this);  // new flit offered while gated off
 }
@@ -99,7 +100,8 @@ void Router::eval() {
 
 void Router::start_routing() {
   const std::size_t vcs = cfg_.vc_count;
-  std::vector<bool> requests(kNumPorts * vcs, false);
+  // requests_ is a member sized once in the constructor; every slot is
+  // overwritten below, so no per-eval clear (or allocation) is needed.
   bool any = false;
   for (std::size_t i = 0; i < kNumPorts; ++i) {
     const auto& in = inputs_[i];
@@ -109,12 +111,12 @@ void Router::start_routing() {
       const bool wants = lane.out < 0 && lane.pos == FlitPos::kHeader &&
                          !in.fifos[v].empty() &&
                          static_cast<int>(idx) != pending_lane_;
-      requests[idx] = wants;
+      requests_[idx] = wants;
       any = any || wants;
     }
   }
   if (!any) return;
-  const int granted = arbiter_.arbitrate(requests);
+  const int granted = arbiter_.arbitrate(requests_);
   if (granted < 0) return;  // unreachable given `any`, keeps indexing safe
   pending_lane_ = granted;
   control_timer_ = cfg_.route_latency;

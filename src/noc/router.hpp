@@ -106,6 +106,12 @@ class Router final : public sim::Component, private CongestionView {
   const RouterConfig& config() const { return cfg_; }
   const RouterStats& stats() const { return stats_; }
 
+  /// Partitioner weight: a router eval polls five senders and receivers
+  /// and runs control + crossbar sweeps that grow with the lane count.
+  double eval_cost() const override {
+    return 5.0 + static_cast<double>(cfg_.vc_count);
+  }
+
   /// Introspection for tests: connected output of an input lane, -1 if
   /// none. The single-argument form reads lane 0 (the only lane of a
   /// vc_count == 1 router).
@@ -142,7 +148,9 @@ class Router final : public sim::Component, private CongestionView {
   };
 
   struct InputPort {
-    InputPort(std::size_t lanes, std::size_t depth) : fifos(lanes, depth) {}
+    /// `slots` is this port's slice of the router-wide lane arena.
+    InputPort(Flit* slots, std::size_t lanes, std::size_t depth)
+        : fifos(slots, lanes, depth) {}
     LaneBank<Flit> fifos;
     std::array<LaneState, kMaxVc> lane{};
     std::optional<LinkReceiver> rx;
@@ -178,9 +186,15 @@ class Router final : public sim::Component, private CongestionView {
   RouterConfig cfg_;
   const RoutingPolicy* policy_;
   Reliability* rel_ = nullptr;
+  /// Backing store for every input lane FIFO of this router (kNumPorts *
+  /// vc_count * buffer_depth flits, port-major) so one eval sweeps one
+  /// contiguous block. Must precede inputs_: each InputPort's LaneBank
+  /// aliases a slice of it.
+  std::vector<Flit> lane_arena_;
   std::array<InputPort, kNumPorts> inputs_;
   std::array<OutputPort, kNumPorts> outputs_;
   RoundRobinArbiter arbiter_;
+  std::vector<bool> requests_;  ///< start_routing scratch, sized once
   unsigned control_timer_ = 0;  ///< cycles left in the current decision
   int pending_lane_ = -1;  ///< input lane being routed by the control logic
   RouterStats stats_;

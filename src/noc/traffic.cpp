@@ -97,7 +97,8 @@ void TrafficNode::reset() {
 TrafficResult run_traffic_experiment(
     unsigned nx, unsigned ny, const RouterConfig& rcfg, TrafficConfig cfg,
     std::uint64_t cycles,
-    const std::function<void(sim::Simulator&, Mesh&)>& on_built) {
+    const std::function<void(sim::Simulator&, Mesh&)>& on_built,
+    const std::function<void(sim::Simulator&, Mesh&)>& on_done) {
   sim::Simulator sim;
   Mesh mesh(sim, nx, ny, rcfg);
   std::vector<std::unique_ptr<TrafficNode>> nodes;
@@ -112,6 +113,7 @@ TrafficResult run_traffic_experiment(
   if (on_built) on_built(sim, mesh);
 
   sim.run(cfg.warmup_cycles + cycles);
+  if (on_done) on_done(sim, mesh);
 
   TrafficResult r;
   sim::Histogram agg;  ///< exact merged latency distribution over all sinks

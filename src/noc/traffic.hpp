@@ -42,6 +42,11 @@ class TrafficNode final : public sim::Component {
   void eval() override;
   void reset() override;
 
+  /// Partitioner weight: RNG draw, packet build and sink drain; with its
+  /// co-scheduled NI (3.0) the tile group matches the ~7/6-of-a-router
+  /// cost profiled on saturated uniform traffic (E17).
+  double eval_cost() const override { return 4.0; }
+
   NetworkInterface& ni() { return ni_; }
   const sim::Histogram& latencies() const { return latencies_; }
   std::uint64_t packets_offered() const { return packets_offered_; }
@@ -77,10 +82,14 @@ struct TrafficResult {
 /// after `cfg.warmup_cycles`, and aggregates the measurements.
 /// `on_built` (optional) runs after the fabric is wired but before the
 /// first cycle — the hook benches use to arm observers (e.g. the
-/// src/check invariant checker) on an otherwise unchanged experiment.
+/// src/check invariant checker) or kernel knobs (set_threads) on an
+/// otherwise unchanged experiment. `on_done` (optional) runs after the
+/// last cycle, before teardown, so callers can harvest kernel state
+/// (profiling counters, probes) from the still-live simulator.
 TrafficResult run_traffic_experiment(
     unsigned nx, unsigned ny, const RouterConfig& rcfg, TrafficConfig cfg,
     std::uint64_t cycles,
-    const std::function<void(sim::Simulator&, Mesh&)>& on_built = {});
+    const std::function<void(sim::Simulator&, Mesh&)>& on_built = {},
+    const std::function<void(sim::Simulator&, Mesh&)>& on_done = {});
 
 }  // namespace mn::noc

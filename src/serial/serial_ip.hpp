@@ -30,6 +30,9 @@ class SerialIp final : public sim::Component {
   void reset() override;
   bool quiescent() const override;
 
+  /// Partitioner weight: byte-wise UART shifting, lighter than a CPU.
+  double eval_cost() const override { return 4.0; }
+
   bool baud_locked() const { return state_ != State::kUnsync; }
   unsigned divisor() const { return rx_.divisor(); }
   std::uint8_t self_addr() const { return self_; }

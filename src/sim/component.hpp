@@ -37,6 +37,13 @@ class Component {
   /// The default is conservative: never quiescent, always evaluated.
   virtual bool quiescent() const { return false; }
 
+  /// Relative weight of one eval() call, used by the parallel kernel's
+  /// load-aware partitioner to balance shards. Only ratios matter; the
+  /// default 1.0 suits trivial glue blocks. Must be a static property of
+  /// the component (not measured at run time) so the partition — and with
+  /// it the simulation — stays deterministic across runs and hosts.
+  virtual double eval_cost() const { return 1.0; }
+
   /// Re-activate the component; called by WirePool when a watched input
   /// wire changes at commit, and by the kernel after reset(). Virtual so
   /// a passive tap (e.g. the src/check invariant checker) can intercept

@@ -1,6 +1,9 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <condition_variable>
+#include <ctime>
+#include <exception>
 #include <mutex>
 #include <numeric>
 #include <thread>
@@ -8,13 +11,34 @@
 
 namespace mn::sim {
 
+namespace {
+
+/// CPU time of the calling thread, for the opt-in kernel profiler. Used to
+/// estimate the parallel critical path on hosts with fewer cores than eval
+/// threads, where wall clock cannot show the available speedup.
+std::uint64_t thread_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return 0;
+#endif
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // ParallelEngine: persistent worker pool with a start/done barrier.
 //
 // run(job) executes job(w) for every worker id w in [0, threads): id 0 on
 // the calling thread, ids 1..threads-1 on pool threads. run() returns only
 // after every job finished, which orders all worker writes before the
-// subsequent commit phase on the calling thread.
+// subsequent serial phase on the calling thread. A job that throws does not
+// wedge the barrier: every worker still decrements remaining_, the first
+// exception is captured, and run() rethrows it on the caller once all
+// workers are back at the barrier.
 // ---------------------------------------------------------------------------
 class Simulator::ParallelEngine {
  public:
@@ -41,13 +65,24 @@ class Simulator::ParallelEngine {
       std::lock_guard<std::mutex> lk(mu_);
       job_ = &job;
       remaining_ = static_cast<unsigned>(workers_.size());
+      error_ = nullptr;
       ++epoch_;
     }
     cv_start_.notify_all();
-    job(0);
+    try {
+      job(0);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!error_) error_ = std::current_exception();
+    }
     std::unique_lock<std::mutex> lk(mu_);
     cv_done_.wait(lk, [this] { return remaining_ == 0; });
     job_ = nullptr;
+    if (error_) {
+      std::exception_ptr err = std::exchange(error_, nullptr);
+      lk.unlock();
+      std::rethrow_exception(err);
+    }
   }
 
  private:
@@ -60,8 +95,14 @@ class Simulator::ParallelEngine {
       seen = epoch_;
       const auto* job = job_;
       lk.unlock();
-      (*job)(id);
+      std::exception_ptr err;
+      try {
+        (*job)(id);
+      } catch (...) {
+        err = std::current_exception();
+      }
       lk.lock();
+      if (err && !error_) error_ = err;
       if (--remaining_ == 0) cv_done_.notify_one();
     }
   }
@@ -71,6 +112,7 @@ class Simulator::ParallelEngine {
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
   const std::function<void(unsigned)>* job_ = nullptr;
+  std::exception_ptr error_;
   std::uint64_t epoch_ = 0;
   unsigned remaining_ = 0;
   bool stop_ = false;
@@ -95,6 +137,15 @@ Simulator::Simulator() {
                  [this] { return static_cast<double>(threads_); });
   metrics_.probe("sim.kernel.gating",
                  [this] { return gating_ ? 1.0 : 0.0; });
+  metrics_.probe("sim.kernel.commit_wires",
+                 [this] { return static_cast<double>(commit_wires_); });
+  metrics_.probe("sim.kernel.commit_changed",
+                 [this] { return static_cast<double>(commit_changed_); });
+  metrics_.probe("sim.kernel.partition.groups", [this] {
+    return static_cast<double>(partition_groups_);
+  });
+  metrics_.probe("sim.kernel.partition.imbalance",
+                 [this] { return partition_imbalance_; });
 }
 
 Simulator::~Simulator() = default;
@@ -106,10 +157,17 @@ void Simulator::co_schedule(Component* a, Component* b) {
 
 void Simulator::set_threads(unsigned n) {
   if (n < 1) n = 1;
-  if (n == threads_) return;
-  threads_ = n;
+  if (n == requested_threads_) return;
+  requested_threads_ = n;
+  threads_ = n;  // re-clamped to the group count when the partition builds
   partition_dirty_ = true;
   engine_.reset();  // rebuilt lazily at the next parallel step
+}
+
+void Simulator::set_profiling(bool on) {
+  profiling_ = on;
+  shard_busy_ns_.assign(shard_busy_ns_.size(), 0);
+  serial_busy_ns_ = 0;
 }
 
 void Simulator::reset() {
@@ -119,8 +177,15 @@ void Simulator::reset() {
   }
   pool_.reset_all();
   cycle_ = 0;
+  evals_ = 0;
+  skipped_evals_ = 0;
+  fast_forward_cycles_ = 0;
+  commit_wires_ = 0;
+  commit_changed_ = 0;
   last_step_evals_ = 0;
   last_step_wire_changes_ = 0;
+  shard_busy_ns_.assign(shard_busy_ns_.size(), 0);
+  serial_busy_ns_ = 0;
 }
 
 std::size_t Simulator::eval_shard(const std::vector<Component*>& shard) {
@@ -136,18 +201,35 @@ std::size_t Simulator::eval_shard(const std::vector<Component*>& shard) {
 }
 
 void Simulator::step() {
+  if (requested_threads_ > 1 && partition_dirty_) rebuild_partition();
+  const bool parallel = threads_ > 1 && components_.size() > 1;
   std::size_t evals;
-  if (threads_ > 1 && components_.size() > 1) {
+  WirePool::CommitTotals commit;
+  std::uint64_t serial_t0 = 0;
+  if (parallel) {
     evals = eval_parallel();
+    // Phase 2a, parallel: each worker latches the wires its shard wrote.
+    engine_->run([this](unsigned w) {
+      const std::uint64_t t0 = profiling_ ? thread_cpu_ns() : 0;
+      pool_.commit_shard(w);
+      if (profiling_) shard_busy_ns_[w] += thread_cpu_ns() - t0;
+    });
+    // Phase 2b, serial: deterministic wake-merge in shard order.
+    serial_t0 = profiling_ ? thread_cpu_ns() : 0;
+    commit = pool_.finish_commit();
   } else {
     evals = eval_shard(components_);
+    commit = pool_.commit_all();
   }
   evals_ += evals;
   skipped_evals_ += components_.size() - evals;
   last_step_evals_ = evals;
-  last_step_wire_changes_ = pool_.commit_all();
+  last_step_wire_changes_ = commit.changed;
+  commit_wires_ += commit.committed;
+  commit_changed_ += commit.changed;
   ++cycle_;
   for (auto& cb : observers_) cb(cycle_);
+  if (parallel && profiling_) serial_busy_ns_ += thread_cpu_ns() - serial_t0;
 }
 
 void Simulator::run(std::uint64_t n) {
@@ -186,15 +268,24 @@ bool Simulator::run_until(const std::function<bool()>& pred,
 }
 
 std::size_t Simulator::eval_parallel() {
-  if (partition_dirty_) rebuild_partition();
   if (!engine_ || engine_->width() != threads_) {
     engine_ = std::make_unique<ParallelEngine>(threads_ - 1);
   }
   shard_evals_.assign(shards_.size(), 0);
-  engine_->run(
-      [this](unsigned w) { shard_evals_[w] = eval_shard(shards_[w]); });
+  engine_->run([this](unsigned w) {
+    const std::uint64_t t0 = profiling_ ? thread_cpu_ns() : 0;
+    pool_.bind_shard(w);  // first-writes go to this worker's dirty list
+    shard_evals_[w] = eval_shard(shards_[w]);
+    pool_.unbind_shard();
+    if (profiling_) shard_busy_ns_[w] += thread_cpu_ns() - t0;
+  });
   return std::accumulate(shard_evals_.begin(), shard_evals_.end(),
                          std::size_t{0});
+}
+
+const std::vector<std::vector<Component*>>& Simulator::partition() {
+  if (partition_dirty_) rebuild_partition();
+  return shards_;
 }
 
 void Simulator::rebuild_partition() {
@@ -237,13 +328,54 @@ void Simulator::rebuild_partition() {
     groups[it->second].push_back(components_[i]);
   }
 
-  // Deterministic round-robin of groups over the shards; shard 0 runs on
-  // the calling thread.
-  shards_.assign(threads_, {});
+  // A worker without a group would only spin on the barrier; clamp the
+  // effective width so every shard has work.
+  partition_groups_ = groups.size();
+  threads_ = static_cast<unsigned>(std::min<std::size_t>(
+      requested_threads_, std::max<std::size_t>(partition_groups_, 1)));
+
+  // Load-aware contiguous assignment: each shard takes a consecutive run
+  // of groups whose summed eval_cost lands nearest its share of the total.
+  // Contiguity keeps mesh neighbourhoods (routers register row-major) on
+  // one worker and makes the split independent of the thread count of any
+  // previous partition; a group is never split. A group is moved to the
+  // next shard when its midpoint crosses the ideal boundary, or when the
+  // remaining shards need every remaining group to stay non-empty.
+  std::vector<double> weight(groups.size(), 0.0);
+  double total = 0.0;
   for (std::size_t g = 0; g < groups.size(); ++g) {
-    auto& shard = shards_[g % threads_];
-    shard.insert(shard.end(), groups[g].begin(), groups[g].end());
+    for (const Component* c : groups[g]) weight[g] += c->eval_cost();
+    total += weight[g];
   }
+
+  shards_.assign(threads_, {});
+  std::vector<double> shard_weight(threads_, 0.0);
+  std::size_t s = 0;
+  double cum = 0.0;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const std::size_t groups_left = groups.size() - g;
+    const std::size_t shards_left = threads_ - s;
+    if (s + 1 < threads_ && !shards_[s].empty() &&
+        (groups_left == shards_left ||
+         cum + weight[g] / 2.0 > total * static_cast<double>(s + 1) /
+                                     static_cast<double>(threads_))) {
+      ++s;
+    }
+    shards_[s].insert(shards_[s].end(), groups[g].begin(), groups[g].end());
+    cum += weight[g];
+    shard_weight[s] += weight[g];
+  }
+
+  partition_imbalance_ = 1.0;
+  if (total > 0.0) {
+    const double ideal = total / static_cast<double>(threads_);
+    for (double w : shard_weight) {
+      partition_imbalance_ = std::max(partition_imbalance_, w / ideal);
+    }
+  }
+
+  pool_.set_shards(threads_);
+  shard_busy_ns_.assign(threads_, 0);
   partition_dirty_ = false;
 }
 

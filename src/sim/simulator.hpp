@@ -21,7 +21,7 @@ namespace mn::sim {
 ///   2. every wire commits.
 ///
 /// Activity gating (on by default): a component whose quiescent() is true
-/// and whose wake flag is clear is skipped in phase 1. WirePool::commit_all
+/// and whose wake flag is clear is skipped in phase 1. The commit phase
 /// wakes the watchers of every wire that changed value, so a skipped
 /// component is re-evaluated the cycle after any watched input toggles.
 /// When a whole step evaluates nothing and changes no wire the system is
@@ -31,10 +31,14 @@ namespace mn::sim {
 /// and metrics -- see tests/test_kernel_equivalence.cpp.
 ///
 /// Parallel evaluation (opt-in via set_threads): phase 1 is partitioned
-/// across a small thread pool with a barrier before commit_all. Components
+/// across a small thread pool, and phase 2 commits each worker's dirty
+/// wires on that same worker before a serial wake-merge delivers watcher
+/// notifications in deterministic shard order (see WirePool). Components
 /// that communicate by direct method calls instead of wires (an IP and its
 /// embedded NetworkInterface) must be co-scheduled onto the same worker
 /// with co_schedule(); within a group, registration order is preserved.
+/// Shards are eval_cost()-weighted contiguous runs of groups, so mesh
+/// neighbourhoods (registered row-major) stay on one worker.
 ///
 /// The kernel owns neither components nor wires; the system model does.
 class Simulator {
@@ -70,9 +74,38 @@ class Simulator {
   bool gating() const { return gating_; }
 
   /// Number of eval threads (default 1 = fully deterministic in-order
-  /// evaluation on the calling thread). Values are clamped to >= 1.
+  /// evaluation on the calling thread). Values are clamped to >= 1, and
+  /// the effective width is further clamped to the number of co_schedule
+  /// groups once the partition is built — extra workers would own empty
+  /// shards and spin on the barrier for nothing.
   void set_threads(unsigned n);
+
+  /// Effective eval width: equals the requested thread count until a
+  /// partition with fewer groups clamps it (sim.kernel.threads probe
+  /// reports the same value).
   unsigned threads() const { return threads_; }
+
+  /// Per-worker CPU-time accounting for the eval+commit phases (off by
+  /// default; ~two clock_gettime calls per worker per cycle when on).
+  /// Enabling (re-)zeroes the accumulators.
+  void set_profiling(bool on);
+
+  /// CPU nanoseconds each worker spent in eval+commit since profiling was
+  /// enabled. Index = worker id; sized by the current partition. Only
+  /// populated by parallel steps.
+  const std::vector<std::uint64_t>& shard_busy_ns() const {
+    return shard_busy_ns_;
+  }
+
+  /// CPU nanoseconds the calling thread spent in the serial tail of each
+  /// parallel step (wake-merge, bookkeeping, observers).
+  std::uint64_t serial_busy_ns() const { return serial_busy_ns_; }
+
+  /// The shards the partitioner will use for the current registration /
+  /// affinity / thread state, rebuilding first if stale. Shard i runs on
+  /// worker i; components keep registration order within their co_schedule
+  /// group. Exposed for tests and diagnostics.
+  const std::vector<std::vector<Component*>>& partition();
 
   /// Reset all components and wires and zero the cycle counter.
   void reset();
@@ -105,6 +138,8 @@ class Simulator {
   std::uint64_t skipped_evals() const { return skipped_evals_; }
   std::uint64_t fast_forward_cycles() const { return fast_forward_cycles_; }
   std::size_t active_components() const { return last_step_evals_; }
+  std::uint64_t commit_wires() const { return commit_wires_; }
+  std::uint64_t commit_changed() const { return commit_changed_; }
 
  private:
   class ParallelEngine;  // thread pool + barrier (simulator.cpp)
@@ -131,16 +166,26 @@ class Simulator {
   std::uint64_t evals_ = 0;
   std::uint64_t skipped_evals_ = 0;
   std::uint64_t fast_forward_cycles_ = 0;
+  std::uint64_t commit_wires_ = 0;
+  std::uint64_t commit_changed_ = 0;
   std::size_t last_step_evals_ = 0;
   std::size_t last_step_wire_changes_ = 0;
 
   // --- parallel evaluation ---
-  unsigned threads_ = 1;
+  unsigned requested_threads_ = 1;
+  unsigned threads_ = 1;  ///< effective width (<= requested, >= 1)
   bool partition_dirty_ = true;
   std::vector<std::pair<Component*, Component*>> affinity_;
   std::vector<std::vector<Component*>> shards_;
   std::vector<std::size_t> shard_evals_;
+  std::size_t partition_groups_ = 0;
+  double partition_imbalance_ = 1.0;
   std::unique_ptr<ParallelEngine> engine_;
+
+  // --- profiling (set_profiling) ---
+  bool profiling_ = false;
+  std::vector<std::uint64_t> shard_busy_ns_;
+  std::uint64_t serial_busy_ns_ = 0;
 };
 
 }  // namespace mn::sim

@@ -16,9 +16,20 @@
 // write() enqueues the wire on a dirty list, so idle cycles cost O(written
 // wires), not O(all wires). A wire that is not written holds its value, as
 // before — skipping its commit is a strict no-op.
+//
+// Dirty bookkeeping is sharded. Each eval worker binds itself to a shard
+// (bind_shard) for the duration of its eval slice, so the first write of a
+// cycle appends to a thread-private list with no lock — the single-driver
+// contract guarantees no two threads ever race on one wire, and the
+// thread-local binding guarantees no two threads ever race on one list.
+// Writes from unbound threads (the serial kernel, testbench code between
+// steps) land on shard 0. The commit phase then runs per shard on the
+// worker pool: commit_shard() latches values and records which watchers to
+// wake, and finish_commit() merges the per-shard results serially in shard
+// order so wake delivery stays deterministic.
 
+#include <cassert>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,9 +73,9 @@ class WireBase {
  protected:
   explicit WireBase(std::string name) : name_(std::move(name)) {}
 
-  /// True while the wire sits on its pool's dirty list awaiting commit.
-  /// Only the wire's (single) driver touches this during eval; the pool
-  /// clears it during the serial commit phase.
+  /// True while the wire sits on one of its pool's dirty lists awaiting
+  /// commit. Only the wire's (single) driver touches this during eval; the
+  /// pool clears it during commit.
   bool pending_ = false;
 
  private:
@@ -75,30 +86,105 @@ class WireBase {
 /// Registry owning nothing; collects wires so the kernel can commit them.
 class WirePool {
  public:
+  /// Totals for one cycle's commit phase.
+  struct CommitTotals {
+    std::size_t committed = 0;  ///< wires latched (written this cycle)
+    std::size_t changed = 0;    ///< subset whose value actually changed
+  };
+
   void add(WireBase* w) { wires_.push_back(w); }
 
-  /// Enqueue a wire for the next commit_all(). Called by Wire::write() on
-  /// the first write of a cycle; the mutex makes concurrent first-writes
-  /// from parallel eval shards safe (each wire still has a single driver,
-  /// so the wire's own state is not contended).
+  /// Enqueue a wire for this cycle's commit. Called by Wire::write() on the
+  /// first write of a cycle. Lock-free: the write lands on the calling
+  /// thread's bound shard (shard 0 when unbound), and no other thread
+  /// touches that list until the barrier at the end of the eval phase.
   void mark_dirty(WireBase* w) {
-    std::lock_guard<std::mutex> lock(mu_);
-    dirty_.push_back(w);
+    shards_[tls_.pool == this ? tls_.shard : 0].dirty.push_back(w);
   }
 
-  /// Commit the wires written this cycle; wake watchers of wires whose
-  /// value changed. Returns the number of wires that changed value.
-  std::size_t commit_all() {
-    std::size_t changed = 0;
-    for (WireBase* w : dirty_) {
+  /// Resize the shard set to `n` >= 1. Any dirty wires already queued are
+  /// folded into shard 0 so nothing pending is lost when the kernel's
+  /// thread count changes between cycles.
+  void set_shards(std::size_t n) {
+    assert(n >= 1);
+    if (n == shards_.size()) return;
+    for (std::size_t s = 1; s < shards_.size(); ++s) {
+      auto& from = shards_[s].dirty;
+      shards_[0].dirty.insert(shards_[0].dirty.end(), from.begin(),
+                              from.end());
+      from.clear();
+    }
+    shards_.resize(n);
+  }
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Route this thread's mark_dirty() calls to shard `s` until
+  /// unbind_shard(). Each worker binds exactly one shard per eval phase.
+  void bind_shard(std::size_t s) {
+    assert(s < shards_.size());
+    tls_.pool = this;
+    tls_.shard = s;
+  }
+
+  void unbind_shard() {
+    tls_.pool = nullptr;
+    tls_.shard = 0;
+  }
+
+  /// Parallel commit, phase 1: latch shard `s`'s dirty wires and record —
+  /// without delivering — the watcher wakes its changes imply. Safe to run
+  /// concurrently for distinct shards: each wire sits on exactly one list.
+  void commit_shard(std::size_t s) {
+    Shard& sh = shards_[s];
+    sh.committed = sh.dirty.size();
+    sh.changed = 0;
+    sh.to_wake.clear();
+    for (WireBase* w : sh.dirty) {
       w->pending_ = false;
       if (w->commit()) {
-        ++changed;
-        for (Component* c : w->watchers()) c->wake();
+        ++sh.changed;
+        sh.to_wake.insert(sh.to_wake.end(), w->watchers().begin(),
+                          w->watchers().end());
       }
     }
-    dirty_.clear();
-    return changed;
+    sh.dirty.clear();
+  }
+
+  /// Parallel commit, phase 2 (serial, after the barrier): deliver the
+  /// recorded wakes in shard order and fold the per-shard counts. Walking
+  /// shards in index order keeps wake delivery deterministic; wake() is an
+  /// idempotent flag set, so delivery order cannot change simulated state.
+  CommitTotals finish_commit() {
+    CommitTotals t;
+    for (Shard& sh : shards_) {
+      t.committed += sh.committed;
+      t.changed += sh.changed;
+      for (Component* c : sh.to_wake) c->wake();
+      sh.to_wake.clear();
+      sh.committed = 0;
+      sh.changed = 0;
+    }
+    return t;
+  }
+
+  /// Serial commit: latch every queued wire and wake watchers inline. The
+  /// single-threaded kernel uses this; it drains all shards so wires queued
+  /// before a thread-count change are still committed.
+  CommitTotals commit_all() {
+    CommitTotals t;
+    for (Shard& sh : shards_) {
+      t.committed += sh.dirty.size();
+      for (WireBase* w : sh.dirty) {
+        w->pending_ = false;
+        if (w->commit()) {
+          ++t.changed;
+          for (Component* c : w->watchers()) c->wake();
+        }
+      }
+      sh.dirty.clear();
+    }
+    return t;
   }
 
   void reset_all() {
@@ -106,15 +192,34 @@ class WirePool {
       w->pending_ = false;
       w->reset_to_initial();
     }
-    dirty_.clear();
+    for (Shard& sh : shards_) {
+      sh.dirty.clear();
+      sh.to_wake.clear();
+      sh.committed = 0;
+      sh.changed = 0;
+    }
   }
 
   const std::vector<WireBase*>& wires() const { return wires_; }
 
  private:
+  // Padded to a cache line so workers appending to neighbouring shards do
+  // not false-share.
+  struct alignas(64) Shard {
+    std::vector<WireBase*> dirty;
+    std::vector<Component*> to_wake;
+    std::size_t committed = 0;
+    std::size_t changed = 0;
+  };
+
+  struct Binding {
+    const WirePool* pool;
+    std::size_t shard;
+  };
+
   std::vector<WireBase*> wires_;
-  std::vector<WireBase*> dirty_;
-  std::mutex mu_;
+  std::vector<Shard> shards_{1};
+  inline static thread_local Binding tls_{nullptr, 0};
 };
 
 /// A single-driver signal with current/next phases.

@@ -118,6 +118,12 @@ std::vector<ConfigError> SystemConfig::validate() const {
     }
   }
 
+  if (threads < 1 || threads > 64) {
+    errors.push_back({"threads",
+                      "kernel thread count must be in [1, 64], got " +
+                          std::to_string(threads)});
+  }
+
   if (exec_mode == ExecMode::kSampled) {
     if (sampling.fast_window == 0) {
       errors.push_back({"sampling.fast_window",
@@ -144,6 +150,10 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
     for (const auto& e : errors) oss << "\n  - " << to_string(e);
     throw std::invalid_argument(oss.str());
   }
+
+  // Parallel kernel opt-in. Leave the simulator untouched for threads == 1
+  // so a caller that already called sim.set_threads keeps its setting.
+  if (cfg.threads > 1) sim.set_threads(cfg.threads);
 
   // Shared reliability context: link protection config, fault injector
   // (constructed disarmed), end-to-end checksum flags, recovery counters.

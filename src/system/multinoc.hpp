@@ -55,6 +55,13 @@ struct SystemConfig {
   ExecMode exec_mode = ExecMode::kAccurate;
   SamplingConfig sampling;          ///< windows for ExecMode::kSampled
 
+  /// Eval worker threads for the simulation kernel (sim/simulator.hpp).
+  /// Default 1 = fully deterministic single-threaded stepping; values > 1
+  /// enable parallel eval+commit (bit-identical results either way). The
+  /// builder applies this via Simulator::set_threads, which clamps the
+  /// effective width to the co_schedule group count.
+  unsigned threads = 1;
+
   /// The paper's exact prototype.
   static SystemConfig paper_default() { return SystemConfig{}; }
 

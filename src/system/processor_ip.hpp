@@ -75,6 +75,9 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   void reset() override;
   bool quiescent() const override;
 
+  /// Partitioner weight: a running CPU pipeline dominates its tile.
+  double eval_cost() const override { return 12.0; }
+
   r8::Cpu& cpu() { return cpu_; }
   const r8::Cpu& cpu() const { return cpu_; }
 

@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,8 @@
 #include "apps/image.hpp"
 #include "host/host.hpp"
 #include "mem/blockram.hpp"
+#include "noc/mesh.hpp"
+#include "noc/traffic.hpp"
 #include "sim/json.hpp"
 #include "sim/simulator.hpp"
 #include "system/multinoc.hpp"
@@ -116,6 +120,273 @@ TEST(KernelEquivalence, ParallelAlwaysEvalMatchesSeedKernel) {
   const RunResult serial = run_edge(/*gating=*/false, /*threads=*/1);
   const RunResult parallel = run_edge(/*gating=*/false, /*threads=*/3);
   expect_identical(serial, parallel);
+}
+
+// --- saturated-traffic bit-identity matrix (ISSUE 7 satellite) ---------
+//
+// The edge-detection runs above exercise the kernel on a lightly loaded
+// 2x2 system. The sharded commit path earns its keep on big saturated
+// meshes, so prove bit-identity there too: an 8x8 mesh under saturating
+// uniform traffic, across threads {1,2,4} x gating {on,off} x vc {1,4}.
+
+struct TrafficDigest {
+  noc::TrafficResult result;
+  std::uint64_t cycles = 0;
+  unsigned effective_threads = 0;
+  std::vector<std::uint64_t> wire_values;
+  std::uint64_t flits_forwarded = 0;
+  std::uint64_t packets_routed = 0;
+  std::uint64_t routing_rejects = 0;
+  std::uint64_t vc_alloc_stalls = 0;
+};
+
+TrafficDigest run_saturated(unsigned vc, unsigned threads, bool gating) {
+  noc::RouterConfig rcfg;
+  rcfg.vc_count = vc;
+  noc::TrafficConfig tcfg;
+  tcfg.injection_rate = 0.30;  // past saturation for 8x8 uniform
+  tcfg.payload_flits = 6;
+  tcfg.seed = 99;
+  tcfg.warmup_cycles = 200;
+  TrafficDigest d;
+  d.result = noc::run_traffic_experiment(
+      8, 8, rcfg, tcfg, /*cycles=*/1200,
+      [&](sim::Simulator& sim, noc::Mesh&) {
+        sim.set_gating(gating);
+        sim.set_threads(threads);
+      },
+      [&](sim::Simulator& sim, noc::Mesh& mesh) {
+        d.cycles = sim.cycle();
+        d.effective_threads = sim.threads();
+        for (const sim::WireBase* w : sim.wires().wires()) {
+          d.wire_values.push_back(w->trace_value());
+        }
+        const noc::RouterStats s = mesh.total_stats();
+        d.flits_forwarded = s.flits_forwarded;
+        d.packets_routed = s.packets_routed;
+        d.routing_rejects = s.routing_rejects;
+        d.vc_alloc_stalls = s.vc_alloc_stalls;
+      });
+  return d;
+}
+
+void expect_identical(const TrafficDigest& a, const TrafficDigest& b) {
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.wire_values, b.wire_values);
+  EXPECT_EQ(a.flits_forwarded, b.flits_forwarded);
+  EXPECT_EQ(a.packets_routed, b.packets_routed);
+  EXPECT_EQ(a.routing_rejects, b.routing_rejects);
+  EXPECT_EQ(a.vc_alloc_stalls, b.vc_alloc_stalls);
+  // Latency aggregates are computed from the same integer histograms, so
+  // exact double equality is the right bar.
+  EXPECT_EQ(a.result.avg_latency, b.result.avg_latency);
+  EXPECT_EQ(a.result.p99_latency, b.result.p99_latency);
+  EXPECT_EQ(a.result.max_latency, b.result.max_latency);
+  EXPECT_EQ(a.result.throughput_flits, b.result.throughput_flits);
+  EXPECT_EQ(a.result.packets_received, b.result.packets_received);
+}
+
+void run_traffic_matrix(unsigned vc) {
+  const TrafficDigest ref = run_saturated(vc, /*threads=*/1, /*gating=*/false);
+  ASSERT_GT(ref.flits_forwarded, 0u);
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    for (const bool gating : {false, true}) {
+      if (threads == 1 && !gating) continue;  // the reference itself
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " gating=" + std::to_string(gating));
+      const TrafficDigest d = run_saturated(vc, threads, gating);
+      expect_identical(ref, d);
+      if (threads > 1) EXPECT_EQ(d.effective_threads, threads);
+    }
+  }
+}
+
+TEST(KernelEquivalence, TrafficMatrixVc1) { run_traffic_matrix(1); }
+
+TEST(KernelEquivalence, TrafficMatrixVc4) { run_traffic_matrix(4); }
+
+// --- partitioner shape (ISSUE 7 tentpole) -------------------------------
+
+/// Inert component with a declared partitioner weight.
+class Dummy final : public sim::Component {
+ public:
+  Dummy(sim::Simulator& sim, double cost)
+      : sim::Component("dummy"), cost_(cost) {
+    sim.add(this);
+  }
+  void eval() override {}
+  void reset() override {}
+  bool quiescent() const override { return true; }
+  double eval_cost() const override { return cost_; }
+
+ private:
+  double cost_;
+};
+
+TEST(KernelPartition, PreservesRegistrationOrderWithinGroups) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<Dummy>> cs;
+  for (int i = 0; i < 8; ++i) {
+    cs.push_back(std::make_unique<Dummy>(sim, 1.0));
+  }
+  // Pair them into four co_schedule groups: {0,1} {2,3} {4,5} {6,7}.
+  for (int i = 0; i < 8; i += 2) {
+    sim.co_schedule(cs[i].get(), cs[i + 1].get());
+  }
+  sim.set_threads(2);
+  const auto& shards = sim.partition();
+  ASSERT_EQ(shards.size(), 2u);
+  // Groups are assigned contiguously, so shard 0 gets groups {0,1},{2,3}
+  // and shard 1 gets {4,5},{6,7} — registration order preserved within
+  // each shard, co_scheduled pairs never split.
+  std::vector<sim::Component*> flat;
+  for (const auto& shard : shards) {
+    flat.insert(flat.end(), shard.begin(), shard.end());
+  }
+  ASSERT_EQ(flat.size(), cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    EXPECT_EQ(flat[i], cs[i].get()) << "component " << i << " out of order";
+  }
+  EXPECT_EQ(shards[0].size(), 4u);
+  EXPECT_EQ(shards[1].size(), 4u);
+}
+
+TEST(KernelPartition, ClampsThreadsToGroupCount) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<Dummy>> cs;
+  for (int i = 0; i < 3; ++i) {
+    cs.push_back(std::make_unique<Dummy>(sim, 1.0));
+  }
+  sim.set_threads(8);  // more workers than groups
+  const auto& shards = sim.partition();
+  EXPECT_EQ(shards.size(), 3u);   // effective width clamps to group count
+  EXPECT_EQ(sim.threads(), 3u);   // probe reports the clamped value
+  for (const auto& shard : shards) {
+    EXPECT_EQ(shard.size(), 1u);  // no empty shards
+  }
+  sim.run(3);  // and stepping at the clamped width works
+}
+
+TEST(KernelPartition, LoadAwareSplitBalancesWeights) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<Dummy>> cs;
+  // Two heavy components followed by ten light ones: total weight
+  // 2*10 + 10*1 = 30. A round-robin or count-based split at two threads
+  // would put 6 components (weight ~15 heavy-side, but mixed) per shard;
+  // the load-aware splitter must cut after the heavies (weight 20 vs 10
+  // is the closest contiguous cut to 15/15... cut after heavy 1 + one
+  // light would be 21/9; after just the two heavies 20/10 — midpoint
+  // rule picks the boundary nearest the ideal).
+  cs.push_back(std::make_unique<Dummy>(sim, 10.0));
+  cs.push_back(std::make_unique<Dummy>(sim, 10.0));
+  for (int i = 0; i < 10; ++i) {
+    cs.push_back(std::make_unique<Dummy>(sim, 1.0));
+  }
+  sim.set_threads(2);
+  const auto& shards = sim.partition();
+  ASSERT_EQ(shards.size(), 2u);
+  // Weight-balanced: the two heavies alone (20) are closer to the ideal
+  // 15 than any count-balanced 6/6 split (which would score 24/6).
+  EXPECT_EQ(shards[0].size(), 2u);
+  EXPECT_EQ(shards[0][0], cs[0].get());
+  EXPECT_EQ(shards[0][1], cs[1].get());
+  EXPECT_EQ(shards[1].size(), 10u);
+}
+
+// --- cumulative-counter reset (ISSUE 7 satellite bugfix) ----------------
+
+/// Drives a wire for a few cycles, then quiesces — enough activity to
+/// exercise evals, skips, commits and fast-forward in one run().
+class Pulse final : public sim::Component {
+ public:
+  Pulse(sim::Simulator& sim)
+      : sim::Component("pulse"), w_(sim.wires(), "pulse.w", 0) {
+    sim.add(this);
+  }
+  void eval() override {
+    if (ticks_ < 3) w_.write(++ticks_);
+  }
+  void reset() override {
+    ticks_ = 0;
+    w_.write(0);
+  }
+  bool quiescent() const override { return ticks_ >= 3; }
+
+ private:
+  sim::Wire<int> w_;
+  int ticks_ = 0;
+};
+
+TEST(KernelCounters, ResetZeroesCumulativeCounters) {
+  sim::Simulator sim;
+  Pulse p(sim);
+  sim.run(100);
+  ASSERT_GT(sim.evals(), 0u);
+  ASSERT_GT(sim.skipped_evals() + sim.fast_forward_cycles(), 0u);
+  ASSERT_GT(sim.commit_wires(), 0u);
+  ASSERT_GT(sim.commit_changed(), 0u);
+
+  sim.reset();
+  // reset() restarts the experiment: every cumulative activity counter
+  // must restart too, or back-to-back runs double-count (the pre-fix
+  // kernel only zeroed the cycle counter).
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(sim.evals(), 0u);
+  EXPECT_EQ(sim.skipped_evals(), 0u);
+  EXPECT_EQ(sim.fast_forward_cycles(), 0u);
+  EXPECT_EQ(sim.commit_wires(), 0u);
+  EXPECT_EQ(sim.commit_changed(), 0u);
+
+  // A re-run from reset state reproduces the first run's counts exactly.
+  const std::uint64_t first_evals = [] {
+    sim::Simulator s2;
+    Pulse p2(s2);
+    s2.run(100);
+    return s2.evals();
+  }();
+  sim.run(100);
+  EXPECT_EQ(sim.evals(), first_evals);
+}
+
+// --- worker-exception propagation (ISSUE 7 satellite bugfix) ------------
+
+/// Evaluates cleanly once, throws on the second eval.
+class Thrower final : public sim::Component {
+ public:
+  Thrower(sim::Simulator& sim) : sim::Component("thrower") {
+    sim.add(this);
+  }
+  void eval() override {
+    if (++calls_ >= 2) throw std::runtime_error("boom");
+  }
+  void reset() override { calls_ = 0; }
+  bool quiescent() const override { return false; }
+
+ private:
+  int calls_ = 0;
+};
+
+TEST(KernelParallel, WorkerExceptionPropagatesToCaller) {
+  sim::Simulator sim;
+  std::vector<std::unique_ptr<Dummy>> pad;
+  for (int i = 0; i < 4; ++i) {
+    pad.push_back(std::make_unique<Dummy>(sim, 1.0));
+  }
+  // Registered last: with 5 equal-weight groups at 2 threads the
+  // contiguous split is 3+2, so the thrower lands on the pool worker's
+  // shard, not the caller's — the pre-fix engine deadlocked here (the
+  // worker skipped its barrier decrement on the way out).
+  Thrower t(sim);
+  sim.set_threads(2);
+  ASSERT_EQ(sim.partition().size(), 2u);
+  ASSERT_EQ(sim.partition()[1].back(), &t);
+
+  sim.step();  // first eval is clean
+  EXPECT_THROW(sim.step(), std::runtime_error);
+  // The pool must still be consistent: the next step runs (and throws
+  // again per the component's behaviour) instead of hanging on a barrier
+  // that was never released.
+  EXPECT_THROW(sim.step(), std::runtime_error);
 }
 
 TEST(KernelFastForward, FrozenSystemJumpsTheClock) {

@@ -12,6 +12,9 @@
 //                default accurate
 //     --fast-window N / --accurate-window N
 //                sampling windows for --exec-mode sampled
+//     --threads N
+//                kernel eval worker threads (default 1; results are
+//                bit-identical at any setting)
 //     -v         print the full system statistics report
 //     --vcd F    dump the serial pin waveforms to a VCD file
 //     --json F   write an mn-bench-v1 run record (same schema + meta
@@ -134,6 +137,8 @@ int main(int argc, char** argv) {
       cfg.sampling.fast_window = parse_num(argv[++i]);
     } else if (arg == "--accurate-window" && i + 1 < argc) {
       cfg.sampling.accurate_window = parse_num(argv[++i]);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      cfg.threads = static_cast<unsigned>(parse_num(argv[++i]));
     } else if (arg == "-i" && i + 1 < argc) {
       for (const auto& v : split(argv[++i], ',')) {
         scanf_inputs.push_back(static_cast<std::uint16_t>(parse_num(v)));
@@ -154,8 +159,8 @@ int main(int argc, char** argv) {
   if (programs.empty() || programs.size() > 2) {
     std::fprintf(stderr,
                  "usage: mn-run [-d div] [-i v1,v2] [-m a:v,...] [-c max]"
-                 " [--exec-mode accurate|fast|sampled] [-v] [--json F]"
-                 " prog1 [prog2]\n");
+                 " [--exec-mode accurate|fast|sampled] [--threads N] [-v]"
+                 " [--json F] prog1 [prog2]\n");
     return 2;
   }
 
@@ -232,6 +237,8 @@ int main(int argc, char** argv) {
                "flits");
     record.note("status", mn::host::to_string(run.status));
     record.note("exec_mode", mn::sys::exec_mode_name(cfg.exec_mode));
+    record.add("kernel.threads", static_cast<double>(sim.threads()),
+               "threads");
     for (std::size_t i = 0; i < programs.size(); ++i) {
       record.note("program." + std::to_string(i + 1), programs[i]);
     }
