@@ -1,0 +1,243 @@
+// E18 — mn-serve scheduler characterization (docs/SERVING.md): drive an
+// in-process serve::Server with the same mixed multi-tenant workload the
+// CI smoke test uses — short accurate jobs, compute-bound fast-mode
+// jobs, scanf-interactive jobs, deliberate cycle-budget timeouts,
+// deliberate no-progress stalls, and a submission burst that overruns
+// the bounded queue — and export the serve.* metric rows (jobs/sec,
+// latency quantiles, backpressure/timeout counts, warm-instance reuse).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/programs.hpp"
+#include "cc/compiler.hpp"
+#include "harness.hpp"
+#include "r8asm/assembler.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mn;
+using serve::JobResult;
+using serve::JobSpec;
+using serve::JobStatus;
+
+std::vector<std::uint16_t> assemble_or_die(const std::string& src) {
+  const auto a = r8asm::assemble(src);
+  if (!a.ok) {
+    std::fprintf(stderr, "bench_serve: %s", a.error_text().c_str());
+    std::exit(1);
+  }
+  return a.image;
+}
+
+std::vector<std::uint16_t> compile_or_die(const std::string& src) {
+  const auto c = cc::compile(src);
+  if (!c.ok) {
+    std::fprintf(stderr, "bench_serve: %s", c.errors.c_str());
+    std::exit(1);
+  }
+  return c.image;
+}
+
+/// Blocks forever on the wait-for-notify I/O port with no peer to notify
+/// it: zero instructions retire, zero flits move — the no-progress shape
+/// the watchdog exists for.
+std::string stall_source() {
+  return R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R11, 0xFE
+        LDH  R11, 0xFF
+        LDL  R1, 2
+        LDH  R1, 0
+        ST   R1, R11, R0
+        HALT
+)";
+}
+
+JobSpec make_job(const std::string& id,
+                 std::vector<std::uint16_t> image,
+                 sys::ExecMode mode) {
+  JobSpec job;
+  job.id = id;
+  job.config = sys::SystemConfig::paper_default();
+  job.config.exec_mode = mode;
+  job.programs.push_back({std::move(image), 0});
+  return job;
+}
+
+/// The serve.* table: one Server, ~250 mixed jobs, drain, export.
+void serve_table(mn::bench::JsonReporter& rep) {
+  serve::ServerConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_limit = 24;
+
+  std::mutex mu;
+  std::vector<JobResult> results;
+  serve::Server server(cfg, [&](const JobResult& r) {
+    std::lock_guard<std::mutex> lock(mu);
+    results.push_back(r);
+  });
+
+  const auto hello = assemble_or_die(apps::hello_source());
+  const auto echo = assemble_or_die(apps::echo_plus_one_source());
+  // 120 units * 6 instructions + prologue stays inside the 1024-word
+  // local memory (cpi sources are straight-line, one word per instr).
+  const auto compute = assemble_or_die(apps::cpi_mixed_source(120));
+  const auto compute_c = compile_or_die(
+      "int main() {\n"
+      "  int acc = 0;\n"
+      "  for (int i = 0; i < 200; i = i + 1) { acc = acc + i; }\n"
+      "  printf(acc);\n"
+      "}\n");
+  const auto spin = assemble_or_die("loop:   JMPD loop\n");
+  const auto stall = assemble_or_die(stall_source());
+
+  // Steady phase: mixed short jobs, resubmitting on backpressure with a
+  // small backoff (the well-behaved-client protocol from docs/SERVING.md).
+  std::uint64_t client_rejects = 0;
+  const auto submit_patiently = [&](JobSpec job) {
+    for (int attempt = 0; attempt < 3000; ++attempt) {
+      if (server.submit(job)) return;
+      ++client_rejects;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::fprintf(stderr, "bench_serve: gave up submitting %s\n",
+                 job.id.c_str());
+    std::exit(1);
+  };
+
+  constexpr int kMixed = 220;
+  for (int i = 0; i < kMixed; ++i) {
+    JobSpec job;
+    switch (i % 4) {
+      case 0:
+        job = make_job("hello-" + std::to_string(i), hello,
+                       sys::ExecMode::kAccurate);
+        break;
+      case 1:
+        job = make_job("compute-" + std::to_string(i), compute,
+                       sys::ExecMode::kFast);
+        break;
+      case 2:
+        job = make_job("cc-" + std::to_string(i), compute_c,
+                       sys::ExecMode::kFast);
+        break;
+      default:
+        job = make_job("echo-" + std::to_string(i), echo,
+                       sys::ExecMode::kAccurate);
+        job.scanf_inputs = {7, 21, 0};
+        break;
+    }
+    submit_patiently(std::move(job));
+  }
+
+  // Timeout phase: spin loops with a budget too small to finish.
+  for (int i = 0; i < 8; ++i) {
+    JobSpec job = make_job("spin-" + std::to_string(i), spin,
+                           sys::ExecMode::kAccurate);
+    job.max_cycles = 30'000;
+    job.no_progress_cycles = 0;
+    submit_patiently(std::move(job));
+  }
+
+  // Stall phase: frozen systems the watchdog must reap long before the
+  // cycle budget.
+  for (int i = 0; i < 6; ++i) {
+    JobSpec job = make_job("stall-" + std::to_string(i), stall,
+                           sys::ExecMode::kAccurate);
+    job.max_cycles = 2'000'000'000;
+    job.no_progress_cycles = 200'000;
+    submit_patiently(std::move(job));
+  }
+
+  // Burst phase: fire-and-forget submissions with no backoff until the
+  // bounded queue provably pushed back.
+  int burst = 0;
+  for (int i = 0; i < 400; ++i) {
+    JobSpec job = make_job("burst-" + std::to_string(i), hello,
+                           sys::ExecMode::kAccurate);
+    if (!server.submit(std::move(job))) ++burst;
+    if (burst >= 20) break;
+  }
+
+  server.drain();
+  const serve::ServerStats s = server.stats();
+  server.fill_record(rep);
+  rep.add("serve.client_backoffs", static_cast<double>(client_rejects),
+          "rejects");
+
+  std::uint64_t ok = 0, timeouts = 0, stalled = 0, rejected = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const JobResult& r : results) {
+      switch (r.status) {
+        case JobStatus::kOk: ++ok; break;
+        case JobStatus::kTimeout: ++timeouts; break;
+        case JobStatus::kStalled: ++stalled; break;
+        case JobStatus::kRejected: ++rejected; break;
+        default: break;
+      }
+    }
+  }
+  // The table is also a correctness gate: every submission must have
+  // produced exactly one result, and each adversarial phase must have
+  // tripped its guardrail.
+  if (results.size() != s.submitted || ok < kMixed || timeouts < 8 ||
+      stalled < 6 || rejected < 20) {
+    std::fprintf(stderr,
+                 "bench_serve: workload mix broken (results=%zu "
+                 "submitted=%llu ok=%llu timeouts=%llu stalled=%llu "
+                 "rejected=%llu)\n",
+                 results.size(),
+                 static_cast<unsigned long long>(s.submitted),
+                 static_cast<unsigned long long>(ok),
+                 static_cast<unsigned long long>(timeouts),
+                 static_cast<unsigned long long>(stalled),
+                 static_cast<unsigned long long>(rejected));
+    std::exit(1);
+  }
+
+  std::printf(
+      "serve: %llu jobs (%llu ok, %llu timeout, %llu stalled, %llu "
+      "rejected), %.1f jobs/s, p50 %.2f ms, p99 %.2f ms, warm %llu, "
+      "rebuilds %llu\n",
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(ok),
+      static_cast<unsigned long long>(timeouts),
+      static_cast<unsigned long long>(stalled),
+      static_cast<unsigned long long>(rejected), s.jobs_per_sec, s.p50_ms,
+      s.p99_ms, static_cast<unsigned long long>(s.warm_reuse),
+      static_cast<unsigned long long>(s.reconstructs));
+}
+
+/// Wall-clock per warm hello job on a single worker (no queueing): the
+/// floor the scheduler overhead sits on.
+void BM_WarmJob(benchmark::State& state) {
+  serve::SimWorker worker(0);
+  const auto hello = assemble_or_die(apps::hello_source());
+  JobSpec job = make_job("warm", hello, sys::ExecMode::kAccurate);
+  for (auto _ : state) {
+    const JobResult r = worker.run(job, nullptr);
+    if (!r.ok()) state.SkipWithError("job failed");
+    benchmark::DoNotOptimize(r.cycles);
+  }
+}
+BENCHMARK(BM_WarmJob)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mn::bench::JsonReporter rep("bench_serve", &argc, argv);
+  serve_table(rep);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rep.flush() ? 0 : 1;
+}

@@ -118,7 +118,8 @@ int main() {
                system.processor(0).waiting_notify() &&
                system.processor(1).waiting_notify();
       },
-      2'000'000'000);
+      2'000'000'000)
+                        .ok();
   if (!done) {
     std::fprintf(stderr, "computation timed out\n");
     return 1;

@@ -58,7 +58,7 @@ std::uint64_t run_parallel_workload(unsigned n, unsigned procs) {
     targets.push_back(system.processor(p).config().self_addr);
     host.activate(targets.back());
   }
-  const bool ok = host.wait_printf_each(targets, 1, 100'000'000);
+  const bool ok = host.wait_printf_each(targets, 1, 100'000'000).ok();
   return ok ? sim.cycle() - start : 0;
 }
 

@@ -264,14 +264,19 @@ RunResult Host::load_and_run(const std::vector<ProgramLoad>& programs,
   return finish(done ? HostStatus::kOk : HostStatus::kTimeout);
 }
 
-bool Host::wait_for(const std::function<bool()>& predicate,
-                    std::uint64_t max_cycles) {
-  return sim_->run_until(predicate, max_cycles);
+WaitResult Host::wait_for(const std::function<bool()>& predicate,
+                          std::uint64_t max_cycles) {
+  WaitResult r;
+  const std::uint64_t t0 = sim_->cycle();
+  const bool fired = sim_->run_until(predicate, max_cycles);
+  r.status = fired ? HostStatus::kOk : HostStatus::kTimeout;
+  r.cycles = sim_->cycle() - t0;
+  return r;
 }
 
-bool Host::wait_printf_each(const std::vector<std::uint8_t>& sources,
-                            std::size_t n, std::uint64_t max_cycles) {
-  return sim_->run_until(
+WaitResult Host::wait_printf_each(const std::vector<std::uint8_t>& sources,
+                                  std::size_t n, std::uint64_t max_cycles) {
+  return wait_for(
       [&] {
         for (const std::uint8_t s : sources) {
           if (printf_log_[s].size() < n) return false;
@@ -281,13 +286,14 @@ bool Host::wait_printf_each(const std::vector<std::uint8_t>& sources,
       max_cycles);
 }
 
-std::uint64_t Host::drain_serial() {
+std::uint64_t Host::drain_serial(std::uint64_t max_cycles) {
   const std::uint64_t start = bytes_received_;
+  const std::uint64_t t0 = sim_->cycle();
   // A UART frame is 10 bit times; 30 frames of silence means nothing is
   // in flight anywhere between an NI inbox and our shift register.
   const std::uint64_t window =
       static_cast<std::uint64_t>(tx_.divisor()) * 10 * 30;
-  for (;;) {
+  while (sim_->cycle() - t0 < max_cycles) {
     const std::uint64_t before = bytes_received_;
     sim_->run(window);
     if (bytes_received_ == before) break;

@@ -66,6 +66,20 @@ struct RunResult {
   bool ok() const { return status == HostStatus::kOk; }
 };
 
+/// Outcome of a bounded wait (wait_for, wait_printf_each): whether the
+/// condition fired inside the cycle budget, and how many simulation
+/// cycles the wait consumed. Converts to bool so call sites can keep the
+/// `if (!host.wait_for(...))` shape; server-side watchdogs read `status`
+/// instead of wrapping the wait in an external budget.
+struct WaitResult {
+  HostStatus status = HostStatus::kTimeout;
+  std::uint64_t cycles = 0;  ///< simulation cycles consumed by the wait
+
+  bool ok() const { return status == HostStatus::kOk; }
+  bool timed_out() const { return status == HostStatus::kTimeout; }
+  explicit operator bool() const { return ok(); }
+};
+
 class Host final : public sim::Component {
  public:
   Host(sim::Simulator& sim, sys::MultiNoc& system, unsigned divisor = 16);
@@ -148,21 +162,26 @@ class Host final : public sim::Component {
       std::uint8_t target, std::uint16_t addr, std::uint16_t count,
       std::uint64_t max_cycles = 50'000'000);
 
-  /// Advance the simulation until `predicate()` holds; the host keeps
-  /// servicing its monitors while waiting. Prefer this over hand-rolled
-  /// sim.run_until loops so host-side bookkeeping stays in one place.
-  bool wait_for(const std::function<bool()>& predicate,
-                std::uint64_t max_cycles = 50'000'000);
+  /// Advance the simulation until `predicate()` holds or the cycle budget
+  /// runs out; the host keeps servicing its monitors while waiting. The
+  /// result reports kTimeout (instead of spinning forever) so server-side
+  /// watchdogs do not need to wrap the wait externally. Prefer this over
+  /// hand-rolled sim.run_until loops so host-side bookkeeping stays in
+  /// one place.
+  WaitResult wait_for(const std::function<bool()>& predicate,
+                      std::uint64_t max_cycles = 50'000'000);
 
-  /// Wait until every source in `sources` printf'd at least `n` values.
-  bool wait_printf_each(const std::vector<std::uint8_t>& sources,
-                        std::size_t n,
-                        std::uint64_t max_cycles = 50'000'000);
+  /// Wait until every source in `sources` printf'd at least `n` values,
+  /// or the cycle budget runs out (status kTimeout).
+  WaitResult wait_printf_each(const std::vector<std::uint8_t>& sources,
+                              std::size_t n,
+                              std::uint64_t max_cycles = 50'000'000);
 
   /// Run in windows of serial-frame length until no new byte arrives in a
   /// whole window (printf packets queued at halt time, read returns in
-  /// flight). Returns the number of bytes drained.
-  std::uint64_t drain_serial();
+  /// flight), bounded by `max_cycles` so a chattering system cannot spin
+  /// the caller forever. Returns the number of bytes drained.
+  std::uint64_t drain_serial(std::uint64_t max_cycles = 50'000'000);
 
   bool tx_idle() const { return tx_.idle(); }
   unsigned divisor() const { return tx_.divisor(); }

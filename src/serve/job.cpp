@@ -1,0 +1,304 @@
+#include "serve/job.hpp"
+
+#include <algorithm>
+
+#include "cc/compiler.hpp"
+#include "r8asm/assembler.hpp"
+
+namespace mn::serve {
+
+using sim::Json;
+
+const char* job_status_name(JobStatus s) {
+  switch (s) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kTimeout: return "timeout";
+    case JobStatus::kStalled: return "stalled";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kBootFailed: return "boot_failed";
+    case JobStatus::kDownloadFailed: return "download_failed";
+    case JobStatus::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+Json JobResult::to_json() const {
+  Json j = Json::object();
+  j["id"] = Json(id);
+  j["ok"] = Json(ok());
+  j["status"] = Json(job_status_name(status));
+  if (status == JobStatus::kRejected) j["rejected"] = Json(true);
+  if (!error.empty()) j["error"] = Json(error);
+  if (status != JobStatus::kRejected && status != JobStatus::kBadRequest) {
+    j["cycles"] = Json(cycles);
+    j["warm"] = Json(warm);
+    j["worker"] = Json(static_cast<std::int64_t>(worker));
+    j["queue_ms"] = Json(queue_ms);
+    j["run_ms"] = Json(run_ms);
+    Json logs = Json::object();
+    for (const auto& [proc, values] : printf_logs) {
+      Json arr = Json::array();
+      for (const std::uint16_t v : values) {
+        arr.push_back(Json(static_cast<std::int64_t>(v)));
+      }
+      logs[std::to_string(proc)] = std::move(arr);
+    }
+    j["printf"] = std::move(logs);
+  }
+  return j;
+}
+
+namespace {
+
+void add_error(std::string* error, const std::string& msg) {
+  if (!error) return;
+  if (!error->empty()) *error += "; ";
+  *error += msg;
+}
+
+std::optional<std::uint64_t> get_u64(const Json& obj, const char* key) {
+  const Json* v = obj.find(key);
+  if (!v || !v->is_number()) return std::nullopt;
+  return static_cast<std::uint64_t>(v->as_int());
+}
+
+/// Decode one program entry: {"image": [...]} | {"source": "...",
+/// "lang": "c"|"asm"} | a bare string (C source).
+std::optional<JobProgram> parse_program(const Json& p, std::string* error) {
+  JobProgram prog;
+  if (p.is_string()) {
+    const auto c = cc::compile(p.as_string());
+    if (!c.ok) {
+      add_error(error, "program compile failed: " + c.errors);
+      return std::nullopt;
+    }
+    prog.image = c.image;
+    return prog;
+  }
+  if (!p.is_object()) {
+    add_error(error, "program entry must be a string or an object");
+    return std::nullopt;
+  }
+  if (const Json* base = p.find("base"); base && base->is_number()) {
+    prog.base = static_cast<std::uint16_t>(base->as_int());
+  }
+  if (const Json* img = p.find("image")) {
+    if (!img->is_array()) {
+      add_error(error, "program image must be an array of words");
+      return std::nullopt;
+    }
+    for (const Json& w : img->elements()) {
+      prog.image.push_back(static_cast<std::uint16_t>(w.as_int()));
+    }
+    return prog;
+  }
+  const Json* src = p.find("source");
+  if (!src || !src->is_string()) {
+    add_error(error, "program entry needs \"image\" or \"source\"");
+    return std::nullopt;
+  }
+  std::string lang = "c";
+  if (const Json* l = p.find("lang"); l && l->is_string()) {
+    lang = l->as_string();
+  }
+  if (lang == "c") {
+    const auto c = cc::compile(src->as_string());
+    if (!c.ok) {
+      add_error(error, "program compile failed: " + c.errors);
+      return std::nullopt;
+    }
+    prog.image = c.image;
+  } else if (lang == "asm") {
+    const auto a = r8asm::assemble(src->as_string());
+    if (!a.ok) {
+      add_error(error, "program assemble failed: " + a.error_text());
+      return std::nullopt;
+    }
+    prog.image = a.image;
+  } else {
+    add_error(error, "unknown program lang '" + lang + "'");
+    return std::nullopt;
+  }
+  return prog;
+}
+
+/// Apply the optional "config" block onto a paper-default SystemConfig.
+bool parse_config(const Json& cfgj, sys::SystemConfig& cfg,
+                  std::string* error) {
+  if (!cfgj.is_object()) {
+    add_error(error, "config must be an object");
+    return false;
+  }
+  if (auto v = get_u64(cfgj, "nx")) cfg.nx = static_cast<unsigned>(*v);
+  if (auto v = get_u64(cfgj, "ny")) cfg.ny = static_cast<unsigned>(*v);
+  if (auto v = get_u64(cfgj, "vc_count")) {
+    cfg.router.vc_count = static_cast<std::size_t>(*v);
+  }
+  if (auto v = get_u64(cfgj, "buffer_depth")) {
+    cfg.router.buffer_depth = static_cast<std::size_t>(*v);
+  }
+  if (auto v = get_u64(cfgj, "route_latency")) {
+    cfg.router.route_latency = static_cast<unsigned>(*v);
+  }
+  if (auto v = get_u64(cfgj, "threads")) {
+    cfg.threads = static_cast<unsigned>(*v);
+  }
+  if (auto v = get_u64(cfgj, "fast_window")) cfg.sampling.fast_window = *v;
+  if (auto v = get_u64(cfgj, "accurate_window")) {
+    cfg.sampling.accurate_window = *v;
+  }
+  if (const Json* r = cfgj.find("routing")) {
+    const std::string name = r->is_string() ? r->as_string() : "";
+    if (name == "xy") {
+      cfg.router.algo = noc::RoutingAlgo::kXY;
+    } else if (name == "west_first") {
+      cfg.router.algo = noc::RoutingAlgo::kWestFirst;
+    } else if (name == "adaptive") {
+      cfg.router.algo = noc::RoutingAlgo::kAdaptive;
+    } else {
+      add_error(error, "unknown routing '" + name + "'");
+      return false;
+    }
+  }
+  if (const Json* m = cfgj.find("exec_mode")) {
+    const auto mode =
+        sys::exec_mode_from_name(m->is_string() ? m->as_string() : "");
+    if (!mode) {
+      add_error(error, "exec_mode wants accurate|fast|sampled");
+      return false;
+    }
+    cfg.exec_mode = *mode;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<JobSpec> parse_job(const Json& req, std::string* error) {
+  if (!req.is_object()) {
+    add_error(error, "request must be a JSON object");
+    return std::nullopt;
+  }
+  JobSpec job;
+  if (const Json* id = req.find("id"); id && id->is_string()) {
+    job.id = id->as_string();
+  }
+  job.config = sys::SystemConfig::paper_default();
+  if (const Json* cfgj = req.find("config")) {
+    if (!parse_config(*cfgj, job.config, error)) return std::nullopt;
+  }
+  const auto errors = job.config.validate();
+  if (!errors.empty()) {
+    for (const auto& e : errors) add_error(error, sys::to_string(e));
+    return std::nullopt;
+  }
+
+  const Json* progs = req.find("programs");
+  if (progs && progs->is_array()) {
+    for (const Json& p : progs->elements()) {
+      auto prog = parse_program(p, error);
+      if (!prog) return std::nullopt;
+      job.programs.push_back(std::move(*prog));
+    }
+  } else if (const Json* p = req.find("program")) {
+    auto prog = parse_program(*p, error);
+    if (!prog) return std::nullopt;
+    job.programs.push_back(std::move(*prog));
+  }
+  if (job.programs.empty()) {
+    add_error(error, "job carries no programs");
+    return std::nullopt;
+  }
+  // Each program goes to processor slot i; more programs than processor
+  // IPs cannot be placed.
+  if (job.programs.size() > job.config.processor_nodes.size()) {
+    add_error(error, "more programs than processor IPs");
+    return std::nullopt;
+  }
+
+  if (const Json* s = req.find("scanf"); s && s->is_array()) {
+    for (const Json& v : s->elements()) {
+      job.scanf_inputs.push_back(static_cast<std::uint16_t>(v.as_int()));
+    }
+  }
+  if (const Json* m = req.find("mem_init"); m && m->is_array()) {
+    for (const Json& e : m->elements()) {
+      if (!e.is_object()) continue;
+      MemInit init;
+      if (auto v = get_u64(e, "target")) {
+        init.target = static_cast<std::uint8_t>(*v);
+      }
+      if (auto v = get_u64(e, "addr")) {
+        init.addr = static_cast<std::uint16_t>(*v);
+      }
+      if (const Json* w = e.find("words"); w && w->is_array()) {
+        for (const Json& word : w->elements()) {
+          init.words.push_back(static_cast<std::uint16_t>(word.as_int()));
+        }
+      }
+      job.mem_init.push_back(std::move(init));
+    }
+  }
+  if (auto v = get_u64(req, "max_cycles")) job.max_cycles = *v;
+  if (job.max_cycles == 0) {
+    add_error(error, "max_cycles must be > 0");
+    return std::nullopt;
+  }
+  if (auto v = get_u64(req, "watchdog")) job.no_progress_cycles = *v;
+  return job;
+}
+
+Json job_to_json(const JobSpec& job) {
+  Json j = Json::object();
+  j["id"] = Json(job.id);
+  j["op"] = Json("run");
+  Json cfg = Json::object();
+  cfg["nx"] = Json(static_cast<std::int64_t>(job.config.nx));
+  cfg["ny"] = Json(static_cast<std::int64_t>(job.config.ny));
+  cfg["vc_count"] =
+      Json(static_cast<std::int64_t>(job.config.router.vc_count));
+  cfg["routing"] = Json(noc::routing_algo_name(job.config.router.algo));
+  cfg["exec_mode"] = Json(sys::exec_mode_name(job.config.exec_mode));
+  cfg["threads"] = Json(static_cast<std::int64_t>(job.config.threads));
+  j["config"] = std::move(cfg);
+  Json progs = Json::array();
+  for (const JobProgram& p : job.programs) {
+    Json prog = Json::object();
+    Json image = Json::array();
+    for (const std::uint16_t w : p.image) {
+      image.push_back(Json(static_cast<std::int64_t>(w)));
+    }
+    prog["image"] = std::move(image);
+    if (p.base != 0) prog["base"] = Json(static_cast<std::int64_t>(p.base));
+    progs.push_back(std::move(prog));
+  }
+  j["programs"] = std::move(progs);
+  if (!job.scanf_inputs.empty()) {
+    Json scanf = Json::array();
+    for (const std::uint16_t v : job.scanf_inputs) {
+      scanf.push_back(Json(static_cast<std::int64_t>(v)));
+    }
+    j["scanf"] = std::move(scanf);
+  }
+  if (!job.mem_init.empty()) {
+    Json inits = Json::array();
+    for (const MemInit& m : job.mem_init) {
+      Json e = Json::object();
+      e["target"] = Json(static_cast<std::int64_t>(m.target));
+      e["addr"] = Json(static_cast<std::int64_t>(m.addr));
+      Json words = Json::array();
+      for (const std::uint16_t w : m.words) {
+        words.push_back(Json(static_cast<std::int64_t>(w)));
+      }
+      e["words"] = std::move(words);
+      inits.push_back(std::move(e));
+    }
+    j["mem_init"] = std::move(inits);
+  }
+  j["max_cycles"] = Json(job.max_cycles);
+  j["watchdog"] = Json(job.no_progress_cycles);
+  return j;
+}
+
+}  // namespace mn::serve

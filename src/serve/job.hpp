@@ -1,0 +1,97 @@
+#pragma once
+// mn-serve job protocol (docs/SERVING.md): a simulation job is one R8
+// program set + SystemConfig + stimulus + budgets, submitted as a single
+// newline-delimited JSON object and answered by a single JSON result.
+// The wire schema is parsed/serialized here so the TCP/pipe front end
+// (tools/mn_serve.cpp), the in-process bench (bench/bench_serve.cpp) and
+// the tests all speak the exact same dialect.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/json.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::serve {
+
+/// One program image bound for one processor slot (index order).
+struct JobProgram {
+  std::vector<std::uint16_t> image;
+  std::uint16_t base = 0;
+};
+
+/// One memory preload: words written over the serial link before the
+/// processors are activated (the mn-run `-m` equivalent, any node).
+struct MemInit {
+  std::uint8_t target = 0;
+  std::uint16_t addr = 0;
+  std::vector<std::uint16_t> words;
+};
+
+/// A parsed, validated simulation job ready for a worker.
+struct JobSpec {
+  std::string id;
+  sys::SystemConfig config;          ///< full hardware shape (warm key)
+  std::vector<JobProgram> programs;  ///< programs[i] -> processor i
+  std::vector<std::uint16_t> scanf_inputs;  ///< consumed in request order
+  std::vector<MemInit> mem_init;
+  std::uint64_t max_cycles = 100'000'000;  ///< total cycle budget
+  /// No-progress watchdog: the job is cancelled with kStalled when no
+  /// instruction retires, no flit moves and no serial byte arrives for
+  /// this many consecutive cycles while the budget has not expired yet
+  /// (0 disables the watchdog; the cycle budget still applies).
+  std::uint64_t no_progress_cycles = 10'000'000;
+
+  /// Routing cookie for multi-connection front ends; never serialized.
+  std::uint64_t tag = 0;
+};
+
+/// Terminal state of a job. kRejected is the backpressure outcome (the
+/// job never ran); every other state consumed a worker.
+enum class JobStatus : std::uint8_t {
+  kOk,
+  kTimeout,         ///< cycle budget expired
+  kStalled,         ///< no-progress watchdog fired before the budget
+  kCancelled,       ///< cancelled while queued or between run slices
+  kRejected,        ///< bounded queue full, or server draining
+  kBootFailed,      ///< serial link never locked its baud rate
+  kDownloadFailed,  ///< program bytes did not drain
+  kBadRequest,      ///< malformed JSON / invalid SystemConfig
+};
+
+const char* job_status_name(JobStatus s);
+
+/// Everything the server reports back for one job.
+struct JobResult {
+  std::string id;
+  JobStatus status = JobStatus::kBadRequest;
+  std::string error;          ///< human-readable reason (reject/parse)
+  std::uint64_t cycles = 0;   ///< simulation cycles consumed
+  bool warm = false;          ///< served by a reset-and-reload instance
+  unsigned worker = 0;        ///< worker slot that ran the job
+  double queue_ms = 0.0;      ///< submit -> dequeue wall time
+  double run_ms = 0.0;        ///< dequeue -> completion wall time
+  /// printf values per 1-based processor index (mn-run's P1/P2 labels).
+  std::vector<std::pair<unsigned, std::vector<std::uint16_t>>> printf_logs;
+
+  std::uint64_t tag = 0;  ///< echoed JobSpec::tag (never serialized)
+
+  bool ok() const { return status == JobStatus::kOk; }
+  sim::Json to_json() const;
+};
+
+/// Parse one `run` request object into a JobSpec: decode/compile the
+/// program sources (C via mn::cc, assembly via mn::r8asm, or raw image
+/// words), apply the `config` block onto SystemConfig::paper_default(),
+/// and run SystemConfig::validate(). On failure returns std::nullopt and
+/// fills `error` with every reason found (the reject message).
+std::optional<JobSpec> parse_job(const sim::Json& req, std::string* error);
+
+/// Serialize a JobSpec back to the wire schema (driver/test helper; the
+/// inverse of parse_job for image-based programs).
+sim::Json job_to_json(const JobSpec& job);
+
+}  // namespace mn::serve

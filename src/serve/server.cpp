@@ -1,0 +1,269 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+
+namespace mn::serve {
+
+namespace {
+
+std::int64_t us_between(std::chrono::steady_clock::time_point a,
+                        std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(b - a)
+      .count();
+}
+
+}  // namespace
+
+Server::Server(ServerConfig cfg, ResultFn on_result)
+    : cfg_(cfg), on_result_(std::move(on_result)) {
+  const unsigned n = std::max(1u, cfg_.workers);
+  slots_.reserve(n);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Server::~Server() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // drain() already set draining_; waking the workers with an empty
+    // queue while draining_ is true makes worker_main return.
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+bool Server::submit(JobSpec job) {
+  if (cfg_.max_cycles_cap != 0) {
+    job.max_cycles = std::min(job.max_cycles, cfg_.max_cycles_cap);
+  }
+  JobResult reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!clock_started_) {
+      clock_started_ = true;
+      first_submit_ = std::chrono::steady_clock::now();
+    }
+    ++counters_.submitted;
+    if (draining_) {
+      ++counters_.rejected;
+      reject.error = "server draining";
+    } else if (queue_.size() >= cfg_.queue_limit) {
+      ++counters_.rejected;
+      reject.error = "queue full (" + std::to_string(queue_.size()) + "/" +
+                     std::to_string(cfg_.queue_limit) + ")";
+    } else {
+      queue_.push_back({std::move(job), std::chrono::steady_clock::now()});
+      counters_.queue_peak = std::max(counters_.queue_peak, queue_.size());
+      work_cv_.notify_one();
+      return true;
+    }
+    reject.id = job.id;
+    reject.tag = job.tag;
+    reject.status = JobStatus::kRejected;
+  }
+  emit(reject);
+  return false;
+}
+
+bool Server::cancel(const std::string& id) {
+  JobResult result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it =
+        std::find_if(queue_.begin(), queue_.end(),
+                     [&](const Queued& q) { return q.job.id == id; });
+    if (it != queue_.end()) {
+      result.id = id;
+      result.tag = it->job.tag;
+      result.status = JobStatus::kCancelled;
+      result.queue_ms = static_cast<double>(us_between(
+                            it->enqueued, std::chrono::steady_clock::now())) /
+                        1000.0;
+      queue_.erase(it);
+      ++counters_.completed;
+      ++counters_.cancelled;
+      last_done_ = std::chrono::steady_clock::now();
+      idle_cv_.notify_all();
+    } else {
+      bool found = false;
+      for (const auto& slot : slots_) {
+        if (slot->running_id == id) {
+          slot->cancel.store(true, std::memory_order_relaxed);
+          found = true;
+        }
+      }
+      return found;  // result arrives from the worker, kCancelled
+    }
+  }
+  emit(result);
+  return true;
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  draining_ = true;
+  work_cv_.notify_all();
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void Server::worker_main(unsigned index) {
+  // The warm instance lives on the worker's own stack: construction is
+  // lazy (first job pays it) and teardown happens when the loop exits.
+  SimWorker worker(index);
+  Slot& slot = *slots_[index];
+  for (;;) {
+    Queued item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || draining_; });
+      if (queue_.empty()) {
+        if (draining_) return;
+        continue;
+      }
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+      slot.running_id = item.job.id;
+      slot.cancel.store(false, std::memory_order_relaxed);
+    }
+    const auto dequeued = std::chrono::steady_clock::now();
+    JobResult result = worker.run(item.job, &slot.cancel);
+    result.queue_ms =
+        static_cast<double>(us_between(item.enqueued, dequeued)) / 1000.0;
+    // Emit before dropping in_flight_: drain() returning must mean every
+    // started job's result has already reached the callback.
+    emit(result);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      slot.running_id.clear();
+      --in_flight_;
+      account(result, index, worker.stats());
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void Server::account(const JobResult& r, unsigned index,
+                     const WorkerStats& ws) {
+  ++counters_.completed;
+  switch (r.status) {
+    case JobStatus::kOk: ++counters_.ok; break;
+    case JobStatus::kTimeout: ++counters_.timeouts; break;
+    case JobStatus::kStalled: ++counters_.stalled; break;
+    case JobStatus::kCancelled: ++counters_.cancelled; break;
+    default: ++counters_.failed; break;
+  }
+  const std::int64_t run_us =
+      static_cast<std::int64_t>(r.run_ms * 1000.0);
+  const std::int64_t queue_us =
+      static_cast<std::int64_t>(r.queue_ms * 1000.0);
+  run_us_.add(run_us);
+  queue_us_.add(queue_us);
+  latency_us_.add(run_us + queue_us);
+  last_done_ = std::chrono::steady_clock::now();
+  // Fold this worker's cumulative counters into the pool totals by delta
+  // against the last snapshot (other workers' stats are owned by their
+  // threads; only the calling worker's are readable here).
+  WorkerStats& prev = slots_[index]->last;
+  pool_stats_.jobs += ws.jobs - prev.jobs;
+  pool_stats_.warm_reuse += ws.warm_reuse - prev.warm_reuse;
+  pool_stats_.reconstructs += ws.reconstructs - prev.reconstructs;
+  pool_stats_.digest_rebuilds += ws.digest_rebuilds - prev.digest_rebuilds;
+  prev = ws;
+}
+
+void Server::emit(const JobResult& r) {
+  if (!on_result_) return;
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  on_result_(r);
+}
+
+ServerStats Server::stats_locked() const {
+  ServerStats s = counters_;
+  s.warm_reuse = pool_stats_.warm_reuse;
+  s.reconstructs = pool_stats_.reconstructs;
+  s.digest_rebuilds = pool_stats_.digest_rebuilds;
+  s.p50_ms = static_cast<double>(latency_us_.p50()) / 1000.0;
+  s.p95_ms = static_cast<double>(latency_us_.p95()) / 1000.0;
+  s.p99_ms = static_cast<double>(latency_us_.p99()) / 1000.0;
+  s.mean_ms = latency_us_.summary().mean() / 1000.0;
+  if (clock_started_ && counters_.completed > 0) {
+    const double secs =
+        static_cast<double>(us_between(first_submit_, last_done_)) / 1e6;
+    s.jobs_per_sec =
+        secs > 0.0 ? static_cast<double>(counters_.completed) / secs : 0.0;
+  }
+  return s;
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_locked();
+}
+
+std::size_t Server::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+sim::Json Server::stats_json() const {
+  const ServerStats s = stats();
+  sim::Json j = sim::Json::object();
+  j["workers"] = sim::Json(static_cast<std::int64_t>(slots_.size()));
+  j["queue_limit"] =
+      sim::Json(static_cast<std::int64_t>(cfg_.queue_limit));
+  j["queue_depth"] = sim::Json(static_cast<std::int64_t>(queue_depth()));
+  j["submitted"] = sim::Json(s.submitted);
+  j["completed"] = sim::Json(s.completed);
+  j["ok"] = sim::Json(s.ok);
+  j["rejected"] = sim::Json(s.rejected);
+  j["timeouts"] = sim::Json(s.timeouts);
+  j["stalled"] = sim::Json(s.stalled);
+  j["cancelled"] = sim::Json(s.cancelled);
+  j["failed"] = sim::Json(s.failed);
+  j["warm_reuse"] = sim::Json(s.warm_reuse);
+  j["reconstructs"] = sim::Json(s.reconstructs);
+  j["digest_rebuilds"] = sim::Json(s.digest_rebuilds);
+  j["queue_peak"] = sim::Json(static_cast<std::int64_t>(s.queue_peak));
+  j["jobs_per_sec"] = sim::Json(s.jobs_per_sec);
+  j["p50_ms"] = sim::Json(s.p50_ms);
+  j["p95_ms"] = sim::Json(s.p95_ms);
+  j["p99_ms"] = sim::Json(s.p99_ms);
+  j["mean_ms"] = sim::Json(s.mean_ms);
+  return j;
+}
+
+void Server::fill_record(sim::RunRecord& rec) const {
+  const ServerStats s = stats();
+  rec.add("serve.jobs_per_sec", s.jobs_per_sec, "jobs/s");
+  rec.add("serve.p50_ms", s.p50_ms, "ms");
+  rec.add("serve.p95_ms", s.p95_ms, "ms");
+  rec.add("serve.p99_ms", s.p99_ms, "ms");
+  rec.add("serve.mean_ms", s.mean_ms, "ms");
+  rec.add("serve.submitted", static_cast<double>(s.submitted), "jobs");
+  rec.add("serve.completed", static_cast<double>(s.completed), "jobs");
+  rec.add("serve.ok", static_cast<double>(s.ok), "jobs");
+  rec.add("serve.rejected", static_cast<double>(s.rejected), "jobs");
+  rec.add("serve.timeouts", static_cast<double>(s.timeouts), "jobs");
+  rec.add("serve.stalled", static_cast<double>(s.stalled), "jobs");
+  rec.add("serve.cancelled", static_cast<double>(s.cancelled), "jobs");
+  rec.add("serve.warm_reuse", static_cast<double>(s.warm_reuse), "jobs");
+  rec.add("serve.reconstructs", static_cast<double>(s.reconstructs),
+          "rebuilds");
+  rec.add("serve.digest_rebuilds", static_cast<double>(s.digest_rebuilds),
+          "rebuilds");
+  rec.add("serve.queue_peak", static_cast<double>(s.queue_peak), "jobs");
+  rec.add("serve.workers", static_cast<double>(slots_.size()), "threads");
+  rec.add("serve.queue_limit", static_cast<double>(cfg_.queue_limit),
+          "jobs");
+}
+
+}  // namespace mn::serve

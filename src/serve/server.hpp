@@ -1,0 +1,140 @@
+#pragma once
+// The mn-serve job scheduler (docs/SERVING.md): a bounded FIFO queue in
+// front of a fixed-size pool of warm SimWorker instances. Front ends
+// (tools/mn_serve.cpp, bench/bench_serve.cpp, tests) submit parsed
+// JobSpecs and receive JobResults through a callback; the server owns
+// backpressure (reject-with-reason when the queue is full or the server
+// is draining), per-job cancellation, graceful drain, and the serve.*
+// metrics surface.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/job.hpp"
+#include "serve/worker.hpp"
+#include "sim/record.hpp"
+#include "sim/stats.hpp"
+
+namespace mn::serve {
+
+struct ServerConfig {
+  unsigned workers = 2;       ///< warm SimWorker pool size (>= 1)
+  std::size_t queue_limit = 32;  ///< queued jobs beyond the running ones
+  /// Hard ceiling applied to every job's max_cycles (0 = uncapped). A
+  /// multi-tenant front end sets this so one request cannot monopolize a
+  /// worker for an unbounded stretch.
+  std::uint64_t max_cycles_cap = 0;
+};
+
+/// Aggregate serve.* metrics snapshot (see stats_json / fill_record).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< terminal results that consumed a worker
+  std::uint64_t ok = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t stalled = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;  ///< boot/download/bad-request terminals
+  std::uint64_t warm_reuse = 0;
+  std::uint64_t reconstructs = 0;
+  std::uint64_t digest_rebuilds = 0;
+  std::size_t queue_peak = 0;
+  double jobs_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+class Server {
+ public:
+  /// `on_result` is invoked exactly once per submitted job (including
+  /// rejected ones), serialized under an internal mutex, from a worker
+  /// thread or from submit() itself for rejects. It must not call back
+  /// into the Server (deadlock) except for cancel().
+  using ResultFn = std::function<void(const JobResult&)>;
+
+  Server(ServerConfig cfg, ResultFn on_result);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueue a job. Returns false when the job was rejected (queue full
+  /// or draining); the kRejected result has already been emitted by the
+  /// time submit returns.
+  bool submit(JobSpec job);
+
+  /// Cancel a job by id: a queued job is removed and emitted kCancelled;
+  /// a running job has its worker's cancel flag raised (it finishes
+  /// kCancelled at the next run slice). Returns false when the id is
+  /// neither queued nor running.
+  bool cancel(const std::string& id);
+
+  /// Stop accepting new jobs and block until the queue is empty and all
+  /// in-flight jobs have emitted results. Idempotent.
+  void drain();
+
+  std::size_t queue_depth() const;
+  ServerStats stats() const;
+  sim::Json stats_json() const;
+
+  /// Export the serve.* rows into a mn-bench-v1 record
+  /// (docs/OBSERVABILITY.md "Serving probes").
+  void fill_record(sim::RunRecord& rec) const;
+
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  struct Queued {
+    JobSpec job;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+  struct Slot {
+    std::atomic<bool> cancel{false};
+    std::string running_id;  ///< guarded by mu_; empty when idle
+    WorkerStats last;        ///< last folded snapshot, guarded by mu_
+  };
+
+  void worker_main(unsigned index);
+  void account(const JobResult& r, unsigned index, const WorkerStats& ws);
+  void emit(const JobResult& r);
+  ServerStats stats_locked() const;
+
+  const ServerConfig cfg_;
+  const ResultFn on_result_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Queued> queue_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::size_t in_flight_ = 0;
+  bool draining_ = false;
+
+  // Metrics, guarded by mu_. Histograms hold microseconds (integer bins);
+  // the public surface reports milliseconds.
+  ServerStats counters_;
+  sim::Histogram latency_us_;  ///< submit -> result (queue + run)
+  sim::Histogram run_us_;      ///< dequeue -> result
+  sim::Histogram queue_us_;    ///< submit -> dequeue
+  WorkerStats pool_stats_;     ///< folded from live workers as jobs finish
+  bool clock_started_ = false;
+  std::chrono::steady_clock::time_point first_submit_;
+  std::chrono::steady_clock::time_point last_done_;
+
+  std::mutex emit_mu_;  ///< serializes on_result_ invocations
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace mn::serve

@@ -1,0 +1,241 @@
+#include "serve/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "check/digest.hpp"
+#include "noc/mesh.hpp"
+
+namespace mn::serve {
+
+namespace {
+
+/// Run slices between watchdog/cancel checks. Frozen stretches fast-
+/// forward inside run_until, so a large slice costs nothing on a wedged
+/// system; a busy-but-stalled system pays at most one slice of evals
+/// before the progress signature is consulted.
+constexpr std::uint64_t kSliceCycles = 1'000'000;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string SimWorker::config_key(const sys::SystemConfig& cfg) {
+  std::ostringstream key;
+  key << cfg.nx << 'x' << cfg.ny << ";vc" << cfg.router.vc_count << ";bd"
+      << cfg.router.buffer_depth << ";rl" << cfg.router.route_latency
+      << ";algo" << noc::routing_algo_name(cfg.router.algo) << ";exec"
+      << sys::exec_mode_name(cfg.exec_mode) << ";fw"
+      << cfg.sampling.fast_window << ";aw" << cfg.sampling.accurate_window
+      << ";thr" << cfg.threads << ";e2e" << cfg.e2e_checksum << ";retry"
+      << cfg.e2e_retry_timeout << ";crc" << cfg.protection.enabled
+      << ";procs" << cfg.processor_nodes.size() << ";mems"
+      << cfg.memory_nodes.size();
+  return key.str();
+}
+
+std::uint64_t SimWorker::state_digest() const {
+  check::Fnv64 d;
+  if (!sim_) return d.value();
+  d.u64(sim_->cycle());
+  for (const sim::WireBase* w : sim_->wires().wires()) {
+    d.u64(w->trace_value());
+  }
+  for (std::size_t i = 0; i < system_->processor_count(); ++i) {
+    sys::ProcessorIp& p = system_->processor(i);
+    const r8::Cpu& cpu = p.cpu();
+    d.u16(cpu.pc());
+    d.u16(cpu.sp());
+    for (unsigned r = 0; r < 16; ++r) d.u16(cpu.reg(r));
+    d.byte(cpu.halted() ? 1 : 0);
+    d.u64(cpu.instructions());
+    const mem::BankedMemory& mem = p.local_memory();
+    for (std::uint16_t a = 0; a < mem::BankedMemory::kWords; ++a) {
+      d.u16(mem.peek(a));
+    }
+  }
+  for (std::size_t i = 0; i < system_->memory_count(); ++i) {
+    const mem::BankedMemory& mem = system_->memory(i).storage();
+    for (std::uint16_t a = 0; a < mem::BankedMemory::kWords; ++a) {
+      d.u16(mem.peek(a));
+    }
+  }
+  d.u64(host_->bytes_sent());
+  d.u64(host_->bytes_received());
+  return d.value();
+}
+
+std::uint64_t SimWorker::progress_signature() const {
+  check::Fnv64 d;
+  for (std::size_t i = 0; i < system_->processor_count(); ++i) {
+    const sys::ProcessorIp& p = system_->processor(i);
+    d.u64(p.cpu().instructions());
+    d.u64(p.fast_instructions());
+  }
+  d.u64(system_->mesh().total_stats().flits_forwarded);
+  d.u64(host_->bytes_sent());
+  d.u64(host_->bytes_received());
+  return d.value();
+}
+
+void SimWorker::rebuild(const sys::SystemConfig& cfg) {
+  // Order matters: the Host holds UARTs on the system's pins, so tear
+  // down host before system before simulator.
+  host_.reset();
+  system_.reset();
+  sim_.reset();
+  sim_ = std::make_unique<sim::Simulator>();
+  system_ = std::make_unique<sys::MultiNoc>(*sim_, cfg);
+  host_ = std::make_unique<host::Host>(*sim_, *system_);
+  key_ = config_key(cfg);
+  clean_digest_ = state_digest();
+}
+
+bool SimWorker::ensure_system(const sys::SystemConfig& cfg,
+                              JobResult& result) {
+  try {
+    if (sim_ && key_ == config_key(cfg)) {
+      // Warm path: reset-and-reload. The digest proves the reset restored
+      // the power-on state; a prior failed/cancelled job that left residue
+      // (or a reset() bug in any component) forces a reconstruct instead
+      // of leaking state into this job.
+      sim_->reset();
+      if (state_digest() == clean_digest_) {
+        result.warm = true;
+        ++stats_.warm_reuse;
+        return true;
+      }
+      ++stats_.digest_rebuilds;
+      rebuild(cfg);
+      return true;
+    }
+    ++stats_.reconstructs;
+    rebuild(cfg);
+    return true;
+  } catch (const std::exception& e) {
+    result.status = JobStatus::kBadRequest;
+    result.error = e.what();
+    host_.reset();
+    system_.reset();
+    sim_.reset();
+    key_.clear();
+    return false;
+  }
+}
+
+JobResult SimWorker::run(const JobSpec& job,
+                         const std::atomic<bool>* cancel) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  JobResult result;
+  result.id = job.id;
+  result.tag = job.tag;
+  result.worker = index_;
+  ++stats_.jobs;
+
+  if (!ensure_system(job.config, result)) {
+    result.run_ms = ms_since(wall0);
+    return result;
+  }
+
+  const std::uint64_t t0 = sim_->cycle();
+  const auto spent = [&] { return sim_->cycle() - t0; };
+  const auto left = [&] {
+    const std::uint64_t s = spent();
+    return s >= job.max_cycles ? 0 : job.max_cycles - s;
+  };
+  const auto finish = [&](JobStatus status) {
+    // The provider captures locals of this frame; never leave it installed
+    // past the job.
+    host_->set_scanf_provider(nullptr);
+    result.status = status;
+    result.cycles = spent();
+    for (std::size_t i = 0; i < job.programs.size(); ++i) {
+      const std::uint8_t target = system_->processor(i).config().self_addr;
+      auto& log = host_->printf_log(target);
+      result.printf_logs.emplace_back(
+          static_cast<unsigned>(i + 1),
+          std::vector<std::uint16_t>(log.begin(), log.end()));
+    }
+    result.run_ms = ms_since(wall0);
+    return result;
+  };
+
+  std::size_t next_input = 0;
+  host_->set_scanf_provider([&job, &next_input](std::uint8_t) {
+    return next_input < job.scanf_inputs.size()
+               ? job.scanf_inputs[next_input++]
+               : std::uint16_t{0};
+  });
+
+  // Budget exhaustion during boot/download is a timeout, not a link
+  // failure: kBootFailed/kDownloadFailed are reserved for a link that
+  // genuinely would not come up inside a healthy budget.
+  if (!host_->boot(std::min<std::uint64_t>(left(), 1'000'000))) {
+    return finish(left() == 0 ? JobStatus::kTimeout
+                              : JobStatus::kBootFailed);
+  }
+  for (const MemInit& m : job.mem_init) {
+    host_->write_memory(m.target, m.addr, m.words);
+  }
+  std::vector<host::ProgramLoad> loads;
+  for (std::size_t i = 0; i < job.programs.size(); ++i) {
+    loads.push_back({system_->processor(i).config().self_addr,
+                     job.programs[i].image, job.programs[i].base});
+  }
+  for (const auto& l : loads) host_->load_program(l.target, l.image, l.base);
+  if (!host_->flush(left())) {
+    return finish(left() == 0 ? JobStatus::kTimeout
+                              : JobStatus::kDownloadFailed);
+  }
+  for (const auto& l : loads) host_->activate(l.target);
+
+  const auto finished = [&] {
+    for (std::size_t i = 0; i < job.programs.size(); ++i) {
+      if (!system_->processor(i).finished()) return false;
+    }
+    return true;
+  };
+
+  // Sliced wait: between slices the cycle budget, the cancel flag and the
+  // no-progress watchdog are all consulted. WaitResult carries the cycles
+  // a slice actually consumed, so the watchdog accumulates real time even
+  // when the kernel fast-forwards a frozen system.
+  std::uint64_t stalled_for = 0;
+  std::uint64_t last_sig = progress_signature();
+  for (;;) {
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      return finish(JobStatus::kCancelled);
+    }
+    const std::uint64_t budget = left();
+    if (budget == 0) return finish(JobStatus::kTimeout);
+    std::uint64_t slice = std::min(budget, kSliceCycles);
+    if (job.no_progress_cycles != 0) {
+      slice = std::min(slice, job.no_progress_cycles);
+    }
+    const host::WaitResult w = host_->wait_for(finished, slice);
+    if (w.ok()) break;
+    const std::uint64_t sig = progress_signature();
+    if (sig == last_sig) {
+      stalled_for += w.cycles;
+      if (job.no_progress_cycles != 0 &&
+          stalled_for >= job.no_progress_cycles) {
+        return finish(JobStatus::kStalled);
+      }
+    } else {
+      stalled_for = 0;
+      last_sig = sig;
+    }
+  }
+
+  // Printf packets queued at halt time are still on the wire; drain them
+  // inside the remaining budget so the monitors are complete.
+  host_->drain_serial(std::max<std::uint64_t>(left(), 1'000'000));
+  return finish(JobStatus::kOk);
+}
+
+}  // namespace mn::serve

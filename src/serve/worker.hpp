@@ -1,0 +1,76 @@
+#pragma once
+// One warm, reusable simulation instance (docs/SERVING.md "Warm-instance
+// lifecycle"). A SimWorker owns a Simulator + MultiNoc + Host triple and
+// runs jobs on it back to back: when the next job's SystemConfig matches
+// the instance's, the worker resets-and-reloads instead of reconstructing,
+// and verifies the reset actually restored the power-on state with an
+// FNV-1a digest over the full architectural + wire state — a failed or
+// timed-out job can never poison the warm instance, because a digest
+// mismatch forces a reconstruct before the next job touches it.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "host/host.hpp"
+#include "serve/job.hpp"
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::serve {
+
+/// Warm-instance bookkeeping, exported as serve.* metrics by the Server.
+struct WorkerStats {
+  std::uint64_t jobs = 0;           ///< jobs run (any terminal status)
+  std::uint64_t warm_reuse = 0;     ///< served after reset-and-reload
+  std::uint64_t reconstructs = 0;   ///< rebuilt because the config changed
+  std::uint64_t digest_rebuilds = 0;  ///< rebuilt because reset was dirty
+};
+
+class SimWorker {
+ public:
+  explicit SimWorker(unsigned index) : index_(index) {}
+
+  SimWorker(const SimWorker&) = delete;
+  SimWorker& operator=(const SimWorker&) = delete;
+
+  /// Run one job to a terminal status. `cancel` (optional) is polled
+  /// between run slices; when it goes true the job finishes kCancelled.
+  /// Fills every JobResult field except queue_ms (the server's).
+  JobResult run(const JobSpec& job, const std::atomic<bool>* cancel);
+
+  const WorkerStats& stats() const { return stats_; }
+  unsigned index() const { return index_; }
+
+  /// Digest of the system's current architectural + wire state (CPU
+  /// registers, local/remote memories, every wire, host monitors). Public
+  /// for tests pinning the isolation property.
+  std::uint64_t state_digest() const;
+
+ private:
+  /// Make sim_/system_/host_ match `cfg`: reset-and-verify when the config
+  /// key matches, reconstruct otherwise (or when the digest says the reset
+  /// left residue). Returns false only when MultiNoc's ctor rejects the
+  /// config (already-validated specs never hit this).
+  bool ensure_system(const sys::SystemConfig& cfg, JobResult& result);
+  void rebuild(const sys::SystemConfig& cfg);
+
+  /// Cheap progress signature for the no-progress watchdog: folds retired
+  /// instructions, forwarded flits and serial bytes — any live job moves
+  /// at least one of them (reusing the src/check no-progress idea at the
+  /// job level).
+  std::uint64_t progress_signature() const;
+
+  static std::string config_key(const sys::SystemConfig& cfg);
+
+  unsigned index_ = 0;
+  WorkerStats stats_;
+  std::string key_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<sys::MultiNoc> system_;
+  std::unique_ptr<host::Host> host_;
+  std::uint64_t clean_digest_ = 0;  ///< digest of the power-on state
+};
+
+}  // namespace mn::serve

@@ -1,0 +1,148 @@
+// Session isolation across threads (docs/SERVING.md): mn-serve runs one
+// complete Simulator + MultiNoc + Host stack per worker thread, so the
+// whole simulation core must be free of cross-instance shared state.
+// These tests run >= 4 independent instances on separate threads and
+// require bit-identical results to the same programs run solo — under
+// -DMN_TSAN=ON (ctest -L tsan) they also let the race detector sweep
+// the kernel, including one instance using parallel eval (threads=2)
+// while its siblings step single-threaded.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/programs.hpp"
+#include "host/host.hpp"
+#include "r8asm/assembler.hpp"
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+using namespace mn;
+
+struct Outcome {
+  host::HostStatus status = host::HostStatus::kTimeout;
+  std::uint64_t cycles = 0;
+  std::vector<std::uint16_t> printf_p1;
+  std::uint16_t pc = 0;
+  std::uint64_t instructions = 0;
+
+  bool operator==(const Outcome&) const = default;
+};
+
+struct Scenario {
+  std::string source;
+  sys::SystemConfig config;
+  std::vector<std::uint16_t> inputs;  ///< scanf script, then zeros
+};
+
+/// Build a fresh stack, run the program on P1, capture everything that
+/// could expose cross-instance interference.
+Outcome run_scenario(const Scenario& sc) {
+  const auto a = r8asm::assemble(sc.source);
+  EXPECT_TRUE(a.ok) << a.error_text();
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, sc.config);
+  host::Host host(sim, system);
+  std::size_t next = 0;
+  host.set_scanf_provider([&](std::uint8_t) {
+    return next < sc.inputs.size() ? sc.inputs[next++] : std::uint16_t{0};
+  });
+  const std::uint8_t p1 = system.processor(0).config().self_addr;
+  const host::RunResult r =
+      host.load_and_run({{p1, a.image, 0}}, 50'000'000);
+  Outcome out;
+  out.status = r.status;
+  out.cycles = r.cycles;
+  const auto& log = host.printf_log(p1);
+  out.printf_p1.assign(log.begin(), log.end());
+  out.pc = system.processor(0).cpu().pc();
+  out.instructions = system.processor(0).cpu().instructions();
+  return out;
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> list;
+  const auto base = sys::SystemConfig::paper_default();
+  list.push_back({apps::hello_source(), base, {}});
+  list.push_back({apps::fibonacci_source(), base, {10, 7, 0}});
+  {
+    Scenario s{apps::cpi_mixed_source(60), base};
+    s.config.exec_mode = sys::ExecMode::kFast;
+    list.push_back(s);
+  }
+  {
+    Scenario s{apps::vector_sum_source(), base};
+    s.config.router.algo = noc::RoutingAlgo::kWestFirst;
+    list.push_back(s);
+  }
+  {
+    // Parallel-eval kernel inside one instance, concurrent with the
+    // single-threaded siblings: the sharded WirePool under maximum load.
+    Scenario s{apps::cpi_mixed_source(60), base};
+    s.config.threads = 2;
+    list.push_back(s);
+  }
+  {
+    Scenario s{apps::hello_source(), base};
+    s.config.exec_mode = sys::ExecMode::kSampled;
+    s.config.sampling.fast_window = 300;
+    s.config.sampling.accurate_window = 100;
+    list.push_back(s);
+  }
+  return list;
+}
+
+TEST(ConcurrentSim, IndependentInstancesAreBitIdenticalToSolo) {
+  const auto list = scenarios();
+  ASSERT_GE(list.size(), 4u);
+
+  // Solo baselines, one after another on this thread.
+  std::vector<Outcome> solo;
+  for (const Scenario& sc : list) solo.push_back(run_scenario(sc));
+  for (const Outcome& o : solo) {
+    ASSERT_EQ(o.status, host::HostStatus::kOk);
+    ASSERT_GT(o.instructions, 0u);
+  }
+
+  // The same scenarios, all at once on their own threads.
+  std::vector<Outcome> concurrent(list.size());
+  std::vector<std::thread> threads;
+  threads.reserve(list.size());
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    threads.emplace_back(
+        [&, i] { concurrent[i] = run_scenario(list[i]); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    EXPECT_EQ(concurrent[i], solo[i]) << "scenario " << i;
+  }
+}
+
+TEST(ConcurrentSim, RepeatedConcurrentRoundsStayDeterministic) {
+  // Three rounds of the same concurrent fan-out: any run-to-run drift
+  // means hidden shared state survived the first test by luck.
+  const auto list = scenarios();
+  std::vector<Outcome> first;
+  for (int round = 0; round < 3; ++round) {
+    std::vector<Outcome> got(list.size());
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      threads.emplace_back([&, i] { got[i] = run_scenario(list[i]); });
+    }
+    for (std::thread& t : threads) t.join();
+    if (round == 0) {
+      first = got;
+      continue;
+    }
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(got[i], first[i]) << "round " << round << " scenario " << i;
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,466 @@
+// mn-serve unit tests (docs/SERVING.md): the job wire protocol, the
+// warm-instance lifecycle (reset-and-verify, digest isolation), the
+// per-job cycle budget and no-progress watchdog, and the Server's
+// bounded-queue backpressure / cancellation / drain semantics.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/programs.hpp"
+#include "r8asm/assembler.hpp"
+#include "serve/job.hpp"
+#include "serve/server.hpp"
+#include "serve/worker.hpp"
+#include "sim/json.hpp"
+
+namespace {
+
+using namespace mn;
+using serve::JobResult;
+using serve::JobSpec;
+using serve::JobStatus;
+using sim::Json;
+
+std::vector<std::uint16_t> assemble(const std::string& src) {
+  const auto a = r8asm::assemble(src);
+  EXPECT_TRUE(a.ok) << a.error_text();
+  return a.image;
+}
+
+JobSpec image_job(const std::string& id, std::vector<std::uint16_t> image) {
+  JobSpec job;
+  job.id = id;
+  job.config = sys::SystemConfig::paper_default();
+  job.programs.push_back({std::move(image), 0});
+  return job;
+}
+
+/// Spins forever: retires instructions every cycle, so it times out on
+/// the cycle budget but never trips the no-progress watchdog.
+std::vector<std::uint16_t> spin_image() {
+  return assemble("loop:   JMPD loop\n");
+}
+
+/// Freezes forever: blocks on the wait-for-notify port with no peer, so
+/// nothing retires, nothing moves — watchdog territory.
+std::vector<std::uint16_t> stall_image() {
+  return assemble(
+      "        LDL  R0, 0\n"
+      "        LDH  R0, 0\n"
+      "        LDL  R11, 0xFE\n"
+      "        LDH  R11, 0xFF\n"
+      "        LDL  R1, 2\n"
+      "        LDH  R1, 0\n"
+      "        ST   R1, R11, R0\n"
+      "        HALT\n");
+}
+
+// ---- protocol -------------------------------------------------------------
+
+TEST(ServeProtocol, ParsesAsmSourceJob) {
+  const auto req = Json::parse(
+      R"({"id":"a","max_cycles":5000000,"watchdog":70000,
+          "programs":[{"source":"HALT\n","lang":"asm"}]})");
+  ASSERT_TRUE(req.has_value());
+  std::string error;
+  const auto job = serve::parse_job(*req, &error);
+  ASSERT_TRUE(job.has_value()) << error;
+  EXPECT_EQ(job->id, "a");
+  EXPECT_EQ(job->max_cycles, 5'000'000u);
+  EXPECT_EQ(job->no_progress_cycles, 70'000u);
+  ASSERT_EQ(job->programs.size(), 1u);
+  EXPECT_FALSE(job->programs.front().image.empty());
+}
+
+TEST(ServeProtocol, BareStringProgramIsCompiledAsC) {
+  const auto req =
+      Json::parse(R"({"programs":["int main() { printf(9); }"]})");
+  ASSERT_TRUE(req.has_value());
+  std::string error;
+  EXPECT_TRUE(serve::parse_job(*req, &error).has_value()) << error;
+}
+
+TEST(ServeProtocol, AppliesConfigBlock) {
+  const auto req = Json::parse(
+      R"({"config":{"exec_mode":"fast","routing":"west_first","threads":2},
+          "programs":[{"image":[1,2,3]}]})");
+  ASSERT_TRUE(req.has_value());
+  std::string error;
+  const auto job = serve::parse_job(*req, &error);
+  ASSERT_TRUE(job.has_value()) << error;
+  EXPECT_EQ(job->config.exec_mode, sys::ExecMode::kFast);
+  EXPECT_EQ(job->config.router.algo, noc::RoutingAlgo::kWestFirst);
+  EXPECT_EQ(job->config.threads, 2u);
+  EXPECT_EQ(job->programs.front().image,
+            (std::vector<std::uint16_t>{1, 2, 3}));
+}
+
+TEST(ServeProtocol, RejectsBadRequests) {
+  const char* cases[] = {
+      R"({})",                                        // no programs
+      R"({"programs":[]})",                           // empty programs
+      R"({"programs":[{"image":[1]}],"max_cycles":0})",
+      R"({"programs":[{}]})",                         // no image/source
+      R"({"programs":[{"source":"HALT","lang":"rust"}]})",
+      R"({"programs":[{"image":[1]}],"config":{"routing":"spiral"}})",
+      R"({"programs":[{"image":[1]}],"config":{"nx":0}})",
+      // paper default has 2 processors; 3 programs cannot be placed.
+      R"({"programs":[{"image":[1]},{"image":[1]},{"image":[1]}]})",
+      R"({"programs":["int main() { syntax error }"]})",
+  };
+  for (const char* text : cases) {
+    const auto req = Json::parse(text);
+    ASSERT_TRUE(req.has_value()) << text;
+    std::string error;
+    EXPECT_FALSE(serve::parse_job(*req, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  }
+}
+
+TEST(ServeProtocol, JobJsonRoundTrips) {
+  JobSpec job = image_job("rt", {10, 20, 30});
+  job.config.exec_mode = sys::ExecMode::kSampled;
+  job.scanf_inputs = {1, 2};
+  job.mem_init.push_back({0x11, 0x40, {5, 6}});
+  job.max_cycles = 123'456;
+  job.no_progress_cycles = 7'890;
+  std::string error;
+  const auto back = serve::parse_job(serve::job_to_json(job), &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->id, job.id);
+  EXPECT_EQ(back->config.exec_mode, job.config.exec_mode);
+  EXPECT_EQ(back->programs.front().image, job.programs.front().image);
+  EXPECT_EQ(back->scanf_inputs, job.scanf_inputs);
+  ASSERT_EQ(back->mem_init.size(), 1u);
+  EXPECT_EQ(back->mem_init.front().words, job.mem_init.front().words);
+  EXPECT_EQ(back->max_cycles, job.max_cycles);
+  EXPECT_EQ(back->no_progress_cycles, job.no_progress_cycles);
+}
+
+TEST(ServeProtocol, ResultJsonCarriesStatusAndPrintf) {
+  JobResult r;
+  r.id = "x";
+  r.status = JobStatus::kOk;
+  r.cycles = 42;
+  r.warm = true;
+  r.printf_logs.push_back({1, {72, 105}});
+  const Json j = r.to_json();
+  EXPECT_EQ(j.find("status")->as_string(), "ok");
+  EXPECT_TRUE(j.find("ok")->as_bool());
+  const Json* logs = j.find("printf");
+  ASSERT_NE(logs, nullptr);
+  ASSERT_NE(logs->find("1"), nullptr);
+  EXPECT_EQ(logs->find("1")->elements().size(), 2u);
+
+  r.status = JobStatus::kRejected;
+  r.error = "queue full";
+  const Json rej = r.to_json();
+  EXPECT_EQ(rej.find("status")->as_string(), "rejected");
+  EXPECT_TRUE(rej.find("rejected")->as_bool());
+  EXPECT_EQ(rej.find("printf"), nullptr);
+}
+
+// ---- warm-instance lifecycle ----------------------------------------------
+
+TEST(ServeWorker, WarmReuseIsBitIdentical) {
+  serve::SimWorker worker(0);
+  const JobSpec job = image_job("h", assemble(apps::hello_source()));
+
+  const JobResult first = worker.run(job, nullptr);
+  ASSERT_EQ(first.status, JobStatus::kOk);
+  EXPECT_FALSE(first.warm);
+  ASSERT_EQ(first.printf_logs.size(), 1u);
+  EXPECT_EQ(first.printf_logs.front().second,
+            (std::vector<std::uint16_t>{'H', 'i'}));
+
+  const JobResult second = worker.run(job, nullptr);
+  ASSERT_EQ(second.status, JobStatus::kOk);
+  EXPECT_TRUE(second.warm);
+  // Reset-and-reload must reproduce the cold run exactly.
+  EXPECT_EQ(second.cycles, first.cycles);
+  EXPECT_EQ(second.printf_logs, first.printf_logs);
+  EXPECT_EQ(worker.stats().warm_reuse, 1u);
+  EXPECT_EQ(worker.stats().digest_rebuilds, 0u);
+}
+
+TEST(ServeWorker, ConfigChangeReconstructs) {
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("h", assemble(apps::hello_source()));
+  ASSERT_EQ(worker.run(job, nullptr).status, JobStatus::kOk);
+  job.config.exec_mode = sys::ExecMode::kFast;
+  const JobResult r = worker.run(job, nullptr);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  EXPECT_FALSE(r.warm);
+  EXPECT_EQ(worker.stats().reconstructs, 2u);
+}
+
+TEST(ServeWorker, FailedJobDoesNotPoisonWarmInstance) {
+  serve::SimWorker worker(0);
+  const JobSpec good = image_job("h", assemble(apps::hello_source()));
+  const JobResult baseline = worker.run(good, nullptr);
+  ASSERT_EQ(baseline.status, JobStatus::kOk);
+
+  JobSpec bad = image_job("spin", spin_image());
+  bad.max_cycles = 400'000;
+  bad.no_progress_cycles = 0;
+  ASSERT_EQ(worker.run(bad, nullptr).status, JobStatus::kTimeout);
+
+  JobSpec frozen = image_job("stall", stall_image());
+  frozen.max_cycles = 2'000'000'000;
+  frozen.no_progress_cycles = 100'000;
+  ASSERT_EQ(worker.run(frozen, nullptr).status, JobStatus::kStalled);
+
+  // After a timeout and a stall, the same clean job must still see a
+  // pristine machine — same cycle count, same output, served warm (the
+  // digest proved the reset; no rebuild was needed).
+  const JobResult after = worker.run(good, nullptr);
+  ASSERT_EQ(after.status, JobStatus::kOk);
+  EXPECT_TRUE(after.warm);
+  EXPECT_EQ(after.cycles, baseline.cycles);
+  EXPECT_EQ(after.printf_logs, baseline.printf_logs);
+  EXPECT_EQ(worker.stats().digest_rebuilds, 0u);
+}
+
+TEST(ServeWorker, BudgetExpiryIsTimeout) {
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("spin", spin_image());
+  job.max_cycles = 300'000;
+  job.no_progress_cycles = 0;
+  const JobResult r = worker.run(job, nullptr);
+  EXPECT_EQ(r.status, JobStatus::kTimeout);
+  EXPECT_GE(r.cycles, job.max_cycles);
+}
+
+TEST(ServeWorker, WatchdogReapsFrozenJobLongBeforeBudget) {
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("stall", stall_image());
+  job.max_cycles = 2'000'000'000;
+  job.no_progress_cycles = 150'000;
+  const JobResult r = worker.run(job, nullptr);
+  EXPECT_EQ(r.status, JobStatus::kStalled);
+  EXPECT_LT(r.cycles, 10'000'000u);
+}
+
+TEST(ServeWorker, SpinningJobIsNotStalled) {
+  // Instructions retire every cycle: the watchdog must stay quiet and the
+  // budget must be the thing that ends the job.
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("spin", spin_image());
+  job.max_cycles = 2'500'000;
+  job.no_progress_cycles = 500'000;
+  EXPECT_EQ(worker.run(job, nullptr).status, JobStatus::kTimeout);
+}
+
+TEST(ServeWorker, CancelFlagStopsJobBetweenSlices) {
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("spin", spin_image());
+  job.max_cycles = 2'000'000'000;
+  job.no_progress_cycles = 0;
+  std::atomic<bool> cancel{true};  // raised before the first slice
+  const JobResult r = worker.run(job, &cancel);
+  EXPECT_EQ(r.status, JobStatus::kCancelled);
+}
+
+TEST(ServeWorker, ScanfInputsAreConsumedInOrder) {
+  serve::SimWorker worker(0);
+  JobSpec job = image_job("echo", assemble(apps::echo_plus_one_source()));
+  job.scanf_inputs = {7, 21, 0};
+  const JobResult r = worker.run(job, nullptr);
+  ASSERT_EQ(r.status, JobStatus::kOk);
+  ASSERT_EQ(r.printf_logs.size(), 1u);
+  EXPECT_EQ(r.printf_logs.front().second,
+            (std::vector<std::uint16_t>{8, 22}));
+}
+
+// ---- server ---------------------------------------------------------------
+
+/// Collects every result and lets tests wait for a given count.
+struct Collector {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<JobResult> results;
+
+  serve::Server::ResultFn fn() {
+    return [this](const JobResult& r) {
+      std::lock_guard<std::mutex> lock(mu);
+      results.push_back(r);
+      cv.notify_all();
+    };
+  }
+  std::size_t count() {
+    std::lock_guard<std::mutex> lock(mu);
+    return results.size();
+  }
+  bool wait_for_count(std::size_t n, int seconds = 60) {
+    std::unique_lock<std::mutex> lock(mu);
+    return cv.wait_for(lock, std::chrono::seconds(seconds),
+                       [&] { return results.size() >= n; });
+  }
+  const JobResult* find(const std::string& id) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const JobResult& r : results) {
+      if (r.id == id) return &r;
+    }
+    return nullptr;
+  }
+};
+
+TEST(ServeServer, BoundedQueueRejectsWithReason) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_limit = 2;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+
+  // Long spins hold the single worker and fill the queue...
+  const auto spin = spin_image();
+  int accepted = 0;
+  int rejected = 0;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec job = image_job("spin-" + std::to_string(i), spin);
+    job.max_cycles = 2'000'000;
+    job.no_progress_cycles = 0;
+    if (server.submit(std::move(job))) {
+      ++accepted;
+    } else {
+      ++rejected;
+    }
+  }
+  EXPECT_GE(rejected, 1);
+  server.drain();
+  ASSERT_TRUE(out.wait_for_count(8));
+
+  int rejected_results = 0;
+  for (const JobResult& r : out.results) {
+    if (r.status == JobStatus::kRejected) {
+      ++rejected_results;
+      EXPECT_NE(r.error.find("queue full"), std::string::npos) << r.error;
+    }
+  }
+  EXPECT_EQ(rejected_results, rejected);
+  const auto s = server.stats();
+  EXPECT_EQ(s.submitted, 8u);
+  EXPECT_EQ(s.completed + s.rejected, 8u);
+  EXPECT_GT(s.jobs_per_sec, 0.0);
+}
+
+TEST(ServeServer, SubmitAfterDrainIsRejected) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_limit = 4;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+  server.drain();
+  EXPECT_FALSE(server.submit(image_job("late", spin_image())));
+  ASSERT_TRUE(out.wait_for_count(1));
+  EXPECT_EQ(out.results.front().status, JobStatus::kRejected);
+  EXPECT_NE(out.results.front().error.find("draining"), std::string::npos);
+}
+
+TEST(ServeServer, MaxCyclesCapClampsJobs) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_limit = 4;
+  cfg.max_cycles_cap = 250'000;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+  JobSpec job = image_job("spin", spin_image());
+  job.max_cycles = 2'000'000'000;  // would run ~2 minutes uncapped
+  job.no_progress_cycles = 0;
+  ASSERT_TRUE(server.submit(std::move(job)));
+  server.drain();
+  const JobResult* r = out.find("spin");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status, JobStatus::kTimeout);
+  EXPECT_LE(r->cycles, 2 * cfg.max_cycles_cap);
+}
+
+TEST(ServeServer, CancelQueuedAndRunningJobs) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_limit = 4;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+
+  JobSpec running = image_job("running", spin_image());
+  running.max_cycles = 2'000'000'000;
+  running.no_progress_cycles = 0;
+  ASSERT_TRUE(server.submit(std::move(running)));
+
+  JobSpec queued = image_job("queued", spin_image());
+  queued.max_cycles = 2'000'000'000;
+  queued.no_progress_cycles = 0;
+  ASSERT_TRUE(server.submit(std::move(queued)));
+
+  EXPECT_TRUE(server.cancel("queued"));
+  ASSERT_TRUE(out.wait_for_count(1));  // queued job cancels immediately
+
+  // Give the worker a moment to pick the running job up, then cancel it.
+  for (int i = 0; i < 200 && !server.cancel("running"); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.drain();
+  ASSERT_TRUE(out.wait_for_count(2));
+  const JobResult* q = out.find("queued");
+  const JobResult* r = out.find("running");
+  ASSERT_NE(q, nullptr);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(q->status, JobStatus::kCancelled);
+  EXPECT_EQ(r->status, JobStatus::kCancelled);
+  EXPECT_FALSE(server.cancel("nonexistent"));
+}
+
+TEST(ServeServer, EverySubmissionGetsExactlyOneResult) {
+  serve::ServerConfig cfg;
+  cfg.workers = 3;
+  cfg.queue_limit = 6;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+  const auto hello = assemble(apps::hello_source());
+  const int n = 24;
+  for (int i = 0; i < n; ++i) {
+    JobSpec job = image_job("job-" + std::to_string(i), hello);
+    while (!server.submit(job)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      ++job.tag;  // distinguishes resubmits in the result list
+    }
+  }
+  server.drain();
+  const auto s = server.stats();
+  EXPECT_EQ(out.count(), s.submitted);
+  EXPECT_EQ(s.completed + s.rejected, s.submitted);
+  int ok = 0;
+  for (const JobResult& r : out.results) ok += r.ok() ? 1 : 0;
+  EXPECT_EQ(ok, n);
+  EXPECT_GT(s.warm_reuse, 0u);
+  // Latency quantiles are ordered and populated.
+  EXPECT_GT(s.p50_ms, 0.0);
+  EXPECT_LE(s.p50_ms, s.p95_ms);
+  EXPECT_LE(s.p95_ms, s.p99_ms);
+}
+
+TEST(ServeServer, StatsJsonCarriesTheDashboardRows) {
+  serve::ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_limit = 2;
+  Collector out;
+  serve::Server server(cfg, out.fn());
+  ASSERT_TRUE(server.submit(image_job("h", assemble(apps::hello_source()))));
+  server.drain();
+  const Json j = server.stats_json();
+  for (const char* key :
+       {"workers", "queue_limit", "queue_depth", "submitted", "completed",
+        "ok", "rejected", "timeouts", "stalled", "cancelled", "warm_reuse",
+        "reconstructs", "digest_rebuilds", "queue_peak", "jobs_per_sec",
+        "p50_ms", "p95_ms", "p99_ms"}) {
+    EXPECT_NE(j.find(key), nullptr) << key;
+  }
+}
+
+}  // namespace

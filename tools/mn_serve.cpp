@@ -1,0 +1,310 @@
+// mn-serve: a persistent multi-tenant simulation service. Jobs (R8
+// program image or source + SystemConfig + stimulus + budgets) arrive as
+// newline-delimited JSON and are executed on a fixed-size pool of warm,
+// reusable MultiNoc/Host instances (docs/SERVING.md). Results stream
+// back one JSON line per job, in completion order.
+//
+//   mn-serve [options]
+//     --workers N      warm simulation instances / threads (default 2)
+//     --queue-depth N  bounded queue; submits beyond it are rejected
+//                      with a reason (default 32)
+//     --max-cycles-cap N
+//                      clamp every job's max_cycles (0 = uncapped)
+//     --port P         serve TCP on 127.0.0.1:P (one NDJSON stream per
+//                      connection); default is pipe mode on stdin/stdout
+//     --json F         on exit, write an mn-bench-v1 record with the
+//                      serve.* metrics rows (see docs/OBSERVABILITY.md)
+//
+// Request ops (an object without "op" is a run request):
+//   {"op":"run", "id":..., "programs":[...], ...}   submit a job
+//   {"op":"stats"}                                  metrics snapshot
+//   {"op":"ping"}                                   liveness probe
+//   {"op":"cancel", "id":"..."}                     cancel queued/running
+//   {"op":"shutdown"}                               drain and exit
+//
+// Pipe mode drains outstanding jobs on EOF; TCP mode drains on the
+// shutdown op or SIGINT/SIGTERM. Log lines go to stderr; stdout carries
+// only protocol JSON.
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/server.hpp"
+#include "sim/record.hpp"
+
+namespace {
+
+using mn::serve::JobResult;
+using mn::serve::JobSpec;
+using mn::serve::JobStatus;
+using mn::serve::Server;
+using mn::serve::ServerConfig;
+using mn::sim::Json;
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_listen_fd{-1};
+
+void on_signal(int) {
+  g_stop.store(true);
+  const int fd = g_listen_fd.exchange(-1);
+  if (fd >= 0) {
+    // shutdown() before close(): close() alone does not wake a thread
+    // blocked in accept() on Linux; shutdown() makes accept() fail fast.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+/// Routes result/response lines to the submitting stream: tag 0 is
+/// stdout (pipe mode); any other tag is a TCP connection. Writes are
+/// line-atomic under a per-sink mutex.
+class ResultRouter {
+ public:
+  void attach(std::uint64_t tag, int fd) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_[tag] = fd;
+  }
+  void detach(std::uint64_t tag) {
+    std::lock_guard<std::mutex> lock(mu_);
+    fds_.erase(tag);
+  }
+
+  void write_line(std::uint64_t tag, const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tag == 0) {
+      std::fwrite(line.data(), 1, line.size(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      return;
+    }
+    const auto it = fds_.find(tag);
+    if (it == fds_.end()) return;  // client went away; drop the result
+    std::string out = line + "\n";
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+      const ssize_t n = ::send(it->second, out.data() + sent,
+                               out.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, int> fds_;
+};
+
+/// Handle one request line: run requests go to the server (results come
+/// back through its callback); control ops are answered immediately.
+/// Returns false when the op asks for shutdown.
+bool handle_line(const std::string& line, std::uint64_t tag,
+                 Server& server, ResultRouter& router) {
+  if (line.find_first_not_of(" \t\r") == std::string::npos) return true;
+  std::string parse_error;
+  const auto req = Json::parse(line, &parse_error);
+  const auto bad = [&](const std::string& id, const std::string& why) {
+    JobResult r;
+    r.id = id;
+    r.status = JobStatus::kBadRequest;
+    r.error = why;
+    router.write_line(tag, r.to_json().dump());
+  };
+  if (!req) {
+    bad("", "malformed JSON: " + parse_error);
+    return true;
+  }
+  std::string op = "run";
+  if (const Json* o = req->find("op"); o && o->is_string()) {
+    op = o->as_string();
+  }
+  std::string id;
+  if (const Json* i = req->find("id"); i && i->is_string()) {
+    id = i->as_string();
+  }
+
+  if (op == "ping") {
+    Json j = Json::object();
+    j["op"] = Json("ping");
+    j["ok"] = Json(true);
+    router.write_line(tag, j.dump());
+    return true;
+  }
+  if (op == "stats") {
+    Json j = Json::object();
+    j["op"] = Json("stats");
+    j["stats"] = server.stats_json();
+    router.write_line(tag, j.dump());
+    return true;
+  }
+  if (op == "cancel") {
+    Json j = Json::object();
+    j["op"] = Json("cancel");
+    j["id"] = Json(id);
+    j["found"] = Json(server.cancel(id));
+    router.write_line(tag, j.dump());
+    return true;
+  }
+  if (op == "shutdown") {
+    Json j = Json::object();
+    j["op"] = Json("shutdown");
+    j["ok"] = Json(true);
+    router.write_line(tag, j.dump());
+    return false;
+  }
+  if (op != "run") {
+    bad(id, "unknown op '" + op + "'");
+    return true;
+  }
+
+  std::string error;
+  auto job = mn::serve::parse_job(*req, &error);
+  if (!job) {
+    bad(id, error);
+    return true;
+  }
+  job->tag = tag;
+  server.submit(std::move(*job));  // rejects emit via the callback
+  return true;
+}
+
+void serve_pipe(Server& server, ResultRouter& router) {
+  std::string line;
+  while (!g_stop.load() && std::getline(std::cin, line)) {
+    if (!handle_line(line, 0, server, router)) break;
+  }
+}
+
+void serve_tcp(Server& server, ResultRouter& router, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("mn-serve: socket");
+    std::exit(2);
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 64) < 0) {
+    std::perror("mn-serve: bind/listen");
+    std::exit(2);
+  }
+  g_listen_fd.store(fd);
+  std::fprintf(stderr, "mn-serve: listening on 127.0.0.1:%d\n", port);
+
+  std::vector<std::thread> conns;
+  std::uint64_t next_tag = 1;
+  while (!g_stop.load()) {
+    const int cfd = ::accept(fd, nullptr, nullptr);
+    if (cfd < 0) break;  // listen fd closed by shutdown/signal
+    const std::uint64_t tag = next_tag++;
+    router.attach(tag, cfd);
+    conns.emplace_back([cfd, tag, &server, &router] {
+      std::string buf;
+      char chunk[4096];
+      bool open = true;
+      while (open) {
+        const ssize_t n = ::recv(cfd, chunk, sizeof(chunk), 0);
+        if (n <= 0) break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t start = 0;
+        for (std::size_t nl; open &&
+             (nl = buf.find('\n', start)) != std::string::npos;
+             start = nl + 1) {
+          if (!handle_line(buf.substr(start, nl - start), tag, server,
+                           router)) {
+            open = false;
+            on_signal(0);  // shutdown op over TCP stops the whole server
+          }
+        }
+        buf.erase(0, start);
+      }
+      router.detach(tag);
+      ::close(cfd);
+    });
+  }
+  const int lfd = g_listen_fd.exchange(-1);
+  if (lfd >= 0) ::close(lfd);
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mn::sim::RunRecord record("mn_serve", &argc, argv);
+  ServerConfig cfg;
+  int port = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mn-serve: %s needs a value\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--workers") {
+      cfg.workers = static_cast<unsigned>(std::stoul(next()));
+    } else if (a == "--queue-depth") {
+      cfg.queue_limit = static_cast<std::size_t>(std::stoul(next()));
+    } else if (a == "--max-cycles-cap") {
+      cfg.max_cycles_cap = std::stoull(next());
+    } else if (a == "--port") {
+      port = std::stoi(next());
+    } else {
+      std::fprintf(stderr, "mn-serve: unknown option '%s'\n", a.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  ResultRouter router;
+  Server server(cfg, [&router](const JobResult& r) {
+    router.write_line(r.tag, r.to_json().dump());
+  });
+  std::fprintf(stderr,
+               "mn-serve: %u worker(s), queue depth %zu, %s mode\n",
+               cfg.workers, cfg.queue_limit,
+               port >= 0 ? "tcp" : "pipe");
+
+  if (port >= 0) {
+    serve_tcp(server, router, port);
+  } else {
+    serve_pipe(server, router);
+  }
+
+  std::fprintf(stderr, "mn-serve: draining\n");
+  server.drain();
+  const auto s = server.stats();
+  std::fprintf(stderr,
+               "mn-serve: %llu submitted, %llu completed, %llu ok, "
+               "%llu rejected, %llu timeouts, %llu stalled, "
+               "%.1f jobs/s, p99 %.2f ms\n",
+               static_cast<unsigned long long>(s.submitted),
+               static_cast<unsigned long long>(s.completed),
+               static_cast<unsigned long long>(s.ok),
+               static_cast<unsigned long long>(s.rejected),
+               static_cast<unsigned long long>(s.timeouts),
+               static_cast<unsigned long long>(s.stalled),
+               s.jobs_per_sec, s.p99_ms);
+  server.fill_record(record);
+  return record.flush() ? 0 : 1;
+}

@@ -1,0 +1,346 @@
+#!/usr/bin/env python3
+"""CI driver for mn-serve (docs/SERVING.md, .github serve-smoke job).
+
+Starts mn-serve in TCP mode, drives a few hundred concurrent mixed jobs
+from parallel client connections, and asserts the contract the server
+makes to multi-tenant clients:
+
+  * every submitted job reaches a terminal state or is cleanly rejected
+    with a reason (no job is silently dropped);
+  * deliberate over-budget jobs come back ``timeout``, frozen jobs come
+    back ``stalled`` (watchdog), and a submission burst beyond the
+    bounded queue is rejected -- all three counted in the metrics;
+  * the final --json record (mn-bench-v1) carries the serve.* rows,
+    including serve.jobs_per_sec and serve.p99_ms.
+
+Exit 0 on success, 1 with a diagnostic on any violation. Stdlib only.
+"""
+
+import argparse
+import json
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+HELLO_ASM = (
+    "        LDL  R0, 0\n"
+    "        LDH  R0, 0\n"
+    "        LDL  R10, 0xFF\n"
+    "        LDH  R10, 0xFF\n"
+    "        LDL  R1, 'H'\n"
+    "        LDH  R1, 0\n"
+    "        ST   R1, R10, R0\n"
+    "        LDL  R1, 'i'\n"
+    "        ST   R1, R10, R0\n"
+    "        HALT\n"
+)
+
+ECHO_ASM = (
+    "        LDL  R0, 0\n"
+    "        LDH  R0, 0\n"
+    "        LDL  R10, 0xFF\n"
+    "        LDH  R10, 0xFF\n"
+    "loop:   LD   R1, R10, R0\n"
+    "        ADDI R1, 0\n"
+    "        JMPZD done\n"
+    "        ADDI R1, 1\n"
+    "        ST   R1, R10, R0\n"
+    "        JMPD loop\n"
+    "done:   HALT\n"
+)
+
+COMPUTE_C = (
+    "int main() {\n"
+    "  int acc = 0;\n"
+    "  for (int i = 0; i < 150; i = i + 1) { acc = acc + i; }\n"
+    "  printf(acc);\n"
+    "}\n"
+)
+
+SPIN_ASM = "loop:   JMPD loop\n"
+
+# Blocks on the wait-for-notify port with no peer: zero progress, the
+# no-progress watchdog must reap it.
+STALL_ASM = (
+    "        LDL  R0, 0\n"
+    "        LDH  R0, 0\n"
+    "        LDL  R11, 0xFE\n"
+    "        LDH  R11, 0xFF\n"
+    "        LDL  R1, 2\n"
+    "        LDH  R1, 0\n"
+    "        ST   R1, R11, R0\n"
+    "        HALT\n"
+)
+
+
+def make_job(job_id, kind):
+    """One request object per workload kind, with its expected outcome."""
+    if kind == "hello":
+        return (
+            {"id": job_id, "programs": [{"source": HELLO_ASM, "lang": "asm"}]},
+            {"ok"},
+        )
+    if kind == "echo":
+        return (
+            {
+                "id": job_id,
+                "programs": [{"source": ECHO_ASM, "lang": "asm"}],
+                "scanf": [7, 21, 0],
+            },
+            {"ok"},
+        )
+    if kind == "cc":
+        return (
+            {
+                "id": job_id,
+                "config": {"exec_mode": "fast"},
+                "programs": [COMPUTE_C],
+            },
+            {"ok"},
+        )
+    if kind == "spin":
+        return (
+            {
+                "id": job_id,
+                "programs": [{"source": SPIN_ASM, "lang": "asm"}],
+                "max_cycles": 30000,
+                "watchdog": 0,
+            },
+            {"timeout"},
+        )
+    if kind == "stall":
+        return (
+            {
+                "id": job_id,
+                "programs": [{"source": STALL_ASM, "lang": "asm"}],
+                "max_cycles": 2000000000,
+                "watchdog": 200000,
+            },
+            {"stalled"},
+        )
+    raise ValueError(kind)
+
+
+class Client:
+    """One NDJSON TCP connection with blocking line-oriented send/recv."""
+
+    def __init__(self, port):
+        self.sock = socket.create_connection(("127.0.0.1", port), timeout=300)
+        self.buf = b""
+
+    def send(self, obj):
+        self.sock.sendall(json.dumps(obj).encode() + b"\n")
+
+    def recv(self):
+        while b"\n" not in self.buf:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            self.buf += chunk
+        line, self.buf = self.buf.split(b"\n", 1)
+        return json.loads(line)
+
+    def close(self):
+        self.sock.close()
+
+
+def run_jobs(port, jobs, failures):
+    """Submit `jobs` ([(request, allowed_statuses)]) on one connection,
+    resubmitting on backpressure, and check each terminal status."""
+    try:
+        client = Client(port)
+        pending = {}  # id -> (request, allowed, resubmits_left)
+        for req, allowed in jobs:
+            pending[req["id"]] = (req, allowed, 100)
+            client.send(req)
+        while pending:
+            resp = client.recv()
+            job_id = resp.get("id", "")
+            if job_id not in pending:
+                failures.append(f"unexpected response id {job_id!r}: {resp}")
+                continue
+            req, allowed, retries = pending[job_id]
+            status = resp.get("status")
+            if status == "rejected":
+                # Clean rejection: the reason is stated and a patient
+                # client may resubmit.
+                if not resp.get("error"):
+                    failures.append(f"{job_id}: rejected without a reason")
+                if retries == 0:
+                    failures.append(f"{job_id}: rejected too many times")
+                    del pending[job_id]
+                else:
+                    pending[job_id] = (req, allowed, retries - 1)
+                    time.sleep(0.05)
+                    client.send(req)
+                continue
+            del pending[job_id]
+            if status not in allowed:
+                failures.append(
+                    f"{job_id}: expected {sorted(allowed)}, got {resp}"
+                )
+            elif status == "ok" and req["id"].startswith(("hello", "echo")):
+                want = [72, 105] if req["id"].startswith("hello") else [8, 22]
+                got = resp.get("printf", {}).get("1")
+                if got != want:
+                    failures.append(f"{job_id}: printf {got} != {want}")
+        client.close()
+    except Exception as exc:  # noqa: BLE001 - any failure fails the drive
+        failures.append(f"client thread died: {exc!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", default="./build/tools/mn-serve")
+    ap.add_argument("--port", type=int, default=0)
+    ap.add_argument("--jobs", type=int, default=200)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--queue-depth", type=int, default=16)
+    ap.add_argument("--clients", type=int, default=8)
+    ap.add_argument("--log", default="serve-server.log")
+    ap.add_argument("--json", default="serve-metrics.json")
+    args = ap.parse_args()
+
+    port = args.port
+    if port == 0:
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+
+    log = open(args.log, "w")
+    server = subprocess.Popen(
+        [
+            args.binary,
+            "--port", str(port),
+            "--workers", str(args.workers),
+            "--queue-depth", str(args.queue_depth),
+            "--json", args.json,
+        ],
+        stdout=log,
+        stderr=log,
+    )
+    try:
+        for _ in range(200):
+            try:
+                socket.create_connection(("127.0.0.1", port), timeout=1).close()
+                break
+            except OSError:
+                if server.poll() is not None:
+                    print("FAIL: server exited during startup", file=sys.stderr)
+                    return 1
+                time.sleep(0.05)
+        else:
+            print("FAIL: server never started listening", file=sys.stderr)
+            return 1
+
+        # Mixed workload: mostly clean jobs, plus deliberate timeouts and
+        # stalls spread across all client connections.
+        kinds = ["hello", "echo", "cc", "hello"]
+        jobs = []
+        for i in range(args.jobs):
+            if i % 25 == 7:
+                kind = "spin"
+            elif i % 25 == 15:
+                kind = "stall"
+            else:
+                kind = kinds[i % len(kinds)]
+            jobs.append(make_job(f"{kind}-{i}", kind))
+
+        failures = []
+        threads = []
+        for c in range(args.clients):
+            share = jobs[c :: args.clients]
+            t = threading.Thread(
+                target=run_jobs, args=(port, share, failures), daemon=True
+            )
+            t.start()
+            threads.append(t)
+
+        # Backpressure burst on its own connection: fire-and-forget spins
+        # until the bounded queue provably rejects, while the workers are
+        # busy with the mixed load.
+        burst = Client(port)
+        burst_rejects = 0
+        burst_ids = set()
+        for i in range(300):
+            req, _ = make_job(f"burst-{i}", "hello")
+            burst_ids.add(req["id"])
+            burst.send(req)
+        for _ in range(300):
+            resp = burst.recv()
+            if resp.get("id") not in burst_ids:
+                failures.append(f"burst: unexpected response {resp}")
+            elif resp.get("status") == "rejected":
+                burst_rejects += 1
+            elif resp.get("status") != "ok":
+                failures.append(f"burst: unexpected terminal {resp}")
+        burst.close()
+
+        for t in threads:
+            t.join(timeout=600)
+            if t.is_alive():
+                failures.append("client thread wedged")
+
+        control = Client(port)
+        control.send({"op": "stats"})
+        stats = control.recv()["stats"]
+        control.send({"op": "shutdown"})
+        control.recv()
+        control.close()
+        server.wait(timeout=120)
+
+        expected_timeouts = sum(1 for r, a in jobs if a == {"timeout"})
+        expected_stalls = sum(1 for r, a in jobs if a == {"stalled"})
+        if burst_rejects == 0:
+            failures.append("burst never tripped the bounded queue")
+        if stats["timeouts"] < expected_timeouts:
+            failures.append(f"stats.timeouts {stats['timeouts']} < "
+                            f"{expected_timeouts}")
+        if stats["stalled"] < expected_stalls:
+            failures.append(f"stats.stalled {stats['stalled']} < "
+                            f"{expected_stalls}")
+        if stats["rejected"] < burst_rejects:
+            failures.append("stats.rejected below observed rejections")
+
+        record = json.load(open(args.json))
+        if record.get("schema") != "mn-bench-v1":
+            failures.append("metrics record is not mn-bench-v1")
+        metrics = record.get("metrics", {})
+        for key in ("serve.jobs_per_sec", "serve.p99_ms", "serve.p50_ms",
+                    "serve.rejected", "serve.timeouts", "serve.stalled",
+                    "serve.warm_reuse"):
+            if key not in metrics:
+                failures.append(f"metrics record missing {key}")
+        if metrics.get("serve.jobs_per_sec", {}).get("value", 0) <= 0:
+            failures.append("serve.jobs_per_sec not positive")
+        if metrics.get("serve.rejected", {}).get("value", 0) <= 0:
+            failures.append("serve.rejected not positive")
+        if metrics.get("serve.timeouts", {}).get("value", 0) <= 0:
+            failures.append("serve.timeouts not positive")
+
+        if failures:
+            for f in failures[:40]:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"serve-smoke OK: {stats['completed']} completed "
+            f"({stats['ok']} ok, {stats['timeouts']} timeout, "
+            f"{stats['stalled']} stalled), {stats['rejected']} rejected, "
+            f"{stats['jobs_per_sec']:.1f} jobs/s, "
+            f"p99 {stats['p99_ms']:.2f} ms"
+        )
+        return 0
+    finally:
+        if server.poll() is None:
+            server.terminate()
+            try:
+                server.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                server.kill()
+        log.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
