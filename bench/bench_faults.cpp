@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness.hpp"
+#include "mem/transaction.hpp"
 #include "noc/fault.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
@@ -124,10 +125,10 @@ void run_e2e_campaign(bench::JsonReporter& rep, double coherent_rate,
                             mesh.local_out(3, 3), 8, &rel);
   const std::uint8_t dst_addr = noc::encode_xy({3, 3});
   for (unsigned k = 0; k < kPackets; ++k) {
-    const auto msg = noc::make_write(
+    const auto msg = mem::to_message(mem::txn_write(
         0, dst_addr, static_cast<std::uint16_t>(0x200 + k),
         {static_cast<std::uint16_t>(k * 771u), 0x1234,
-         static_cast<std::uint16_t>(~k)});
+         static_cast<std::uint16_t>(~k)}));
     src.send_packet(noc::encode(msg, /*e2e=*/true));
   }
   unsigned accepted = 0, rejected = 0, silent = 0;

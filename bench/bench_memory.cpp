@@ -1,0 +1,253 @@
+// E19 — shared-memory hierarchy characterization (docs/MEMORY.md): L1
+// hit rate and average miss penalty, directory occupancy and protocol
+// traffic across sharing patterns (private / read-shared / write-shared),
+// plus the end-to-end effect of caching vs the flat uncached remote
+// window on the private pattern. Emits mem_hierarchy.* rows for
+// BENCH_multinoc.json (bench-smoke asserts they exist).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "host/host.hpp"
+#include "mem/cache/directory.hpp"
+#include "mem/cache/l1_cache.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/address_map.hpp"
+#include "system/multinoc.hpp"
+
+namespace {
+
+using namespace mn;
+
+constexpr unsigned kCores = 4;
+constexpr unsigned kPasses = 16;      // sweeps over the working set
+constexpr unsigned kWords = 16;       // working-set words (4 lines of 4)
+
+enum class Pattern { kPrivate, kReadShared, kWriteShared };
+
+const char* pattern_name(Pattern p) {
+  switch (p) {
+    case Pattern::kPrivate: return "private";
+    case Pattern::kReadShared: return "read_shared";
+    case Pattern::kWriteShared: return "write_shared";
+  }
+  return "?";
+}
+
+/// kPasses sweeps over kWords consecutive shared-window words starting at
+/// `base`. Read-only patterns accumulate loads; write patterns
+/// read-modify-write every word.
+std::string sweep_source(std::uint16_t base, bool writes) {
+  const auto cpu_base = static_cast<std::uint16_t>(sys::kRemoteMemBase + base);
+  std::ostringstream oss;
+  oss << "        LDL  R0, 0\n        LDH  R0, 0\n"
+      << "        LDL  R10, 0xFF\n        LDH  R10, 0xFF\n"
+      << "        LDL  R7, 1\n        LDH  R7, 0\n"
+      << "        LDL  R4, " << kPasses << "\n        LDH  R4, 0\n"
+      << "        LDL  R6, " << kWords << "\n        LDH  R6, 0\n"
+      << "        LDL  R3, 0\n        LDH  R3, 0      ; pass counter\n"
+      << "        LDL  R8, 0\n        LDH  R8, 0      ; accumulator\n"
+      << "pass:   SUB  R9, R4, R3\n"
+      << "        JMPZD done\n"
+      << "        LDL  R2, " << (cpu_base & 0xFF) << "\n"
+      << "        LDH  R2, " << (cpu_base >> 8) << "\n"
+      << "        LDL  R5, 0\n        LDH  R5, 0      ; word counter\n"
+      << "word:   SUB  R9, R6, R5\n"
+      << "        JMPZD next\n"
+      << "        LD   R1, R2, R0\n";
+  if (writes) {
+    oss << "        ADDI R1, 1\n"
+        << "        ST   R1, R2, R0\n";
+  } else {
+    oss << "        ADD  R8, R8, R1\n";
+  }
+  oss << "        ADD  R2, R2, R7\n"
+      << "        ADD  R5, R5, R7\n"
+      << "        JMPD word\n"
+      << "next:   ADD  R3, R3, R7\n"
+      << "        JMPD pass\n"
+      << "done:   ST   R8, R10, R0\n"
+      << "        HALT\n";
+  return oss.str();
+}
+
+struct HierarchyRun {
+  bool ok = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t miss_stall = 0;
+  std::uint64_t nacks = 0;
+  std::uint64_t dir_requests = 0;
+  std::uint64_t dir_invs = 0;
+  std::uint64_t dir_recalls = 0;
+  std::uint64_t dir_writebacks = 0;
+  std::size_t dir_peak_lines = 0;
+  std::uint64_t backing_row_hits = 0;
+  std::uint64_t backing_accesses = 0;
+
+  double hit_rate() const {
+    const double total = static_cast<double>(hits + misses);
+    return total > 0 ? 100.0 * static_cast<double>(hits) / total : 0;
+  }
+  double miss_latency() const {
+    return misses > 0
+               ? static_cast<double>(miss_stall) / static_cast<double>(misses)
+               : 0;
+  }
+  double backing_row_hit_rate() const {
+    return backing_accesses > 0 ? 100.0 *
+                                      static_cast<double>(backing_row_hits) /
+                                      static_cast<double>(backing_accesses)
+                                : 0;
+  }
+};
+
+HierarchyRun run_pattern(Pattern p, mem::Coherence coherence) {
+  HierarchyRun out;
+  sys::SystemConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 3;
+  cfg.serial_node = {0, 0};
+  cfg.processor_nodes = {{1, 0}, {2, 0}, {0, 1}, {1, 1}};
+  cfg.memory_nodes = {{2, 1}, {0, 2}};
+  cfg.cache.coherence = coherence;
+  cfg.cache.line_words = 4;
+  cfg.cache.sets = 4;
+  cfg.cache.ways = 2;
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, cfg);
+  host::Host host(sim, system, 8);
+
+  std::vector<host::ProgramLoad> programs;
+  for (unsigned c = 0; c < kCores; ++c) {
+    const std::uint16_t base =
+        p == Pattern::kPrivate ? static_cast<std::uint16_t>(c * 64) : 0;
+    const bool writes = p == Pattern::kWriteShared;
+    const r8asm::Assembly a = r8asm::assemble(sweep_source(base, writes));
+    if (!a.ok) {
+      std::fprintf(stderr, "bench_memory: %s\n", a.error_text().c_str());
+      return out;
+    }
+    programs.push_back({system.processor(c).config().self_addr, a.image, 0});
+  }
+  const host::RunResult run = host.load_and_run(programs, 500'000'000);
+  if (!run.ok()) return out;
+  out.ok = true;
+  out.cycles = run.cycles;
+  for (unsigned c = 0; c < kCores; ++c) {
+    sys::ProcessorIp& proc = system.processor(c);
+    if (const mem::L1Cache* l1 = proc.l1()) {
+      out.hits += l1->hits();
+      out.misses += l1->misses();
+    }
+    out.miss_stall += proc.miss_stall_cycles();
+    out.nacks += proc.coherence_nacks();
+  }
+  for (std::size_t m = 0; m < system.memory_count(); ++m) {
+    const mem::Directory* dir = system.memory(m).directory();
+    if (!dir) continue;
+    out.dir_requests += dir->requests();
+    out.dir_invs += dir->invalidations_sent();
+    out.dir_recalls += dir->recalls_sent();
+    out.dir_writebacks += dir->writebacks();
+    out.dir_peak_lines += dir->peak_lines_tracked();
+    out.backing_row_hits += dir->backing().row_hits();
+    out.backing_accesses += dir->backing().accesses();
+  }
+  return out;
+}
+
+void print_tables(mn::bench::JsonReporter& rep) {
+  std::printf("=== E19: shared-memory hierarchy (docs/MEMORY.md) ===\n\n");
+  std::printf("4 cores x 2 homes, 4-word lines, %u passes over %u words\n\n",
+              kPasses, kWords);
+  std::printf("%-14s %10s %9s %10s %7s %7s %9s %8s %10s\n", "pattern",
+              "cycles", "hit %", "miss lat", "nacks", "invs", "recalls",
+              "dir pk", "row-hit %");
+
+  for (const Pattern p : {Pattern::kPrivate, Pattern::kReadShared,
+                          Pattern::kWriteShared}) {
+    const HierarchyRun r = run_pattern(p, mem::Coherence::kMsi);
+    if (!r.ok) {
+      std::fprintf(stderr, "bench_memory: pattern %s failed\n",
+                   pattern_name(p));
+      std::exit(1);
+    }
+    std::printf("%-14s %10llu %8.1f%% %10.1f %7llu %7llu %9llu %8zu %9.1f%%\n",
+                pattern_name(p), static_cast<unsigned long long>(r.cycles),
+                r.hit_rate(), r.miss_latency(),
+                static_cast<unsigned long long>(r.nacks),
+                static_cast<unsigned long long>(r.dir_invs),
+                static_cast<unsigned long long>(r.dir_recalls),
+                r.dir_peak_lines, r.backing_row_hit_rate());
+    const std::string prefix =
+        std::string("mem_hierarchy.") + pattern_name(p) + ".";
+    rep.add(prefix + "cycles", static_cast<double>(r.cycles), "cycles");
+    rep.add(prefix + "hit_rate", r.hit_rate(), "%");
+    rep.add(prefix + "miss_latency", r.miss_latency(), "cycles");
+    rep.add(prefix + "nacks", static_cast<double>(r.nacks), "count");
+    rep.add(prefix + "invalidations", static_cast<double>(r.dir_invs),
+            "count");
+    rep.add(prefix + "recalls", static_cast<double>(r.dir_recalls), "count");
+    rep.add(prefix + "writebacks", static_cast<double>(r.dir_writebacks),
+            "count");
+    rep.add(prefix + "dir_peak_lines", static_cast<double>(r.dir_peak_lines),
+            "lines");
+    rep.add(prefix + "backing_row_hit_rate", r.backing_row_hit_rate(), "%");
+  }
+
+  // Caching vs the flat uncached remote window, same private workload:
+  // every repeat access that the L1 absorbs is a full NoC round trip the
+  // flat system pays.
+  const HierarchyRun cached = run_pattern(Pattern::kPrivate,
+                                          mem::Coherence::kMsi);
+  const HierarchyRun flat = run_pattern(Pattern::kPrivate,
+                                        mem::Coherence::kNone);
+  if (!cached.ok || !flat.ok) {
+    std::fprintf(stderr, "bench_memory: speedup comparison failed\n");
+    std::exit(1);
+  }
+  const double speedup =
+      cached.cycles > 0
+          ? static_cast<double>(flat.cycles) /
+                static_cast<double>(cached.cycles)
+          : 0;
+  std::printf("\nprivate pattern, cached %llu vs flat %llu cycles: %.2fx\n",
+              static_cast<unsigned long long>(cached.cycles),
+              static_cast<unsigned long long>(flat.cycles), speedup);
+  rep.add("mem_hierarchy.flat_cycles", static_cast<double>(flat.cycles),
+          "cycles");
+  rep.add("mem_hierarchy.cached_speedup", speedup, "x");
+}
+
+void BM_PrivateSweepMsi(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_pattern(Pattern::kPrivate, mem::Coherence::kMsi).cycles);
+  }
+}
+BENCHMARK(BM_PrivateSweepMsi)->Unit(benchmark::kMillisecond);
+
+void BM_WriteSharedSweepMsi(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        run_pattern(Pattern::kWriteShared, mem::Coherence::kMsi).cycles);
+  }
+}
+BENCHMARK(BM_WriteSharedSweepMsi)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mn::bench::JsonReporter rep("bench_memory", &argc, argv);
+  print_tables(rep);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rep.flush() ? 0 : 1;
+}

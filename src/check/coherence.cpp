@@ -1,0 +1,483 @@
+#include "check/coherence.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "host/host.hpp"
+#include "mem/cache/directory.hpp"
+#include "mem/cache/l1_cache.hpp"
+#include "mem/memory_ip.hpp"
+#include "r8asm/assembler.hpp"
+#include "sim/rng.hpp"
+#include "system/address_map.hpp"
+
+namespace mn::check {
+
+namespace {
+
+// R0 = 0 (pseudo-zero register), R10 = I/O address — the same prologue
+// every bundled app uses (src/apps/programs.cpp).
+constexpr const char* kIoPrologue = R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R10, 0xFF
+        LDH  R10, 0xFF
+)";
+
+std::string hex4(std::uint16_t v) {
+  std::ostringstream oss;
+  oss << "0x" << std::hex << std::setw(4) << std::setfill('0') << v;
+  return oss.str();
+}
+
+}  // namespace
+
+CoherenceChecker::CoherenceChecker() {
+  obs_.on_line_state = [this](std::size_t core, std::uint16_t line,
+                              mem::LineState from, mem::LineState to) {
+    on_line_state(static_cast<unsigned>(core), line, from, to);
+  };
+  obs_.on_load = [this](std::size_t core, std::uint16_t addr,
+                        std::uint16_t value, bool bypass) {
+    on_load(static_cast<unsigned>(core), addr, value, bypass);
+  };
+  obs_.on_store = [this](std::size_t core, std::uint16_t addr,
+                         std::uint16_t value) {
+    on_store(static_cast<unsigned>(core), addr, value);
+  };
+  obs_.on_backing_write = [this](std::uint16_t line,
+                                 const std::vector<std::uint16_t>& data) {
+    on_backing_write(line, data);
+  };
+}
+
+void CoherenceChecker::fold(std::uint8_t tag, std::uint32_t a,
+                            std::uint32_t b, std::uint32_t c) {
+  Fnv64 h;
+  h.u64(tag);
+  h.u64(a);
+  h.u64(b);
+  h.u64(c);
+  digest_sum_ += h.value();  // wrapping add: commutative across threads
+}
+
+void CoherenceChecker::on_line_state(unsigned core, std::uint16_t line,
+                                     mem::LineState from, mem::LineState to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fold(1, core, line,
+       (static_cast<std::uint32_t>(from) << 8) | static_cast<std::uint32_t>(to));
+  LineOcc& o = occ_[line];
+  if (from == mem::LineState::kModified && o.owner == static_cast<int>(core)) {
+    o.owner = -1;
+  }
+  if (from == mem::LineState::kShared) o.sharers.erase(core);
+  if (to == mem::LineState::kModified) {
+    if (o.owner != -1 && o.owner != static_cast<int>(core)) {
+      violation("swmr", "core " + std::to_string(core) + " took M on line " +
+                            hex4(line) + " while core " +
+                            std::to_string(o.owner) + " still holds M");
+    }
+    for (const unsigned s : o.sharers) {
+      if (s != core) {
+        violation("swmr", "core " + std::to_string(core) + " took M on line " +
+                              hex4(line) + " while core " + std::to_string(s) +
+                              " still holds S");
+      }
+    }
+    o.owner = static_cast<int>(core);
+    o.sharers.erase(core);
+  } else if (to == mem::LineState::kShared) {
+    if (o.owner != -1) {
+      violation("swmr", "core " + std::to_string(core) + " took S on line " +
+                            hex4(line) + " while core " +
+                            std::to_string(o.owner) + " holds M");
+    }
+    o.sharers.insert(core);
+  }
+}
+
+void CoherenceChecker::on_load(unsigned core, std::uint16_t addr,
+                               std::uint16_t value, bool bypass) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++loads_;
+  fold(2, core, addr, (static_cast<std::uint32_t>(bypass) << 16) | value);
+  const auto it = golden_.find(addr);
+  if (it == golden_.end()) return;  // never coherently stored: unchecked
+  const AddrState& g = it->second;
+  if (!bypass) {
+    if (value != g.current) {
+      violation("stale-read",
+                "core " + std::to_string(core) + " loaded " + hex4(value) +
+                    " from " + hex4(addr) + ", oracle holds " +
+                    hex4(g.current));
+    }
+    return;
+  }
+  // A bypass load forwarded a value that a racing invalidation may have
+  // made one of the last few states; with fewer than kHistory recorded
+  // predecessors the window still reaches the unobserved initial value.
+  if (value == g.current) return;
+  if (std::find(g.history.begin(), g.history.end(), value) !=
+      g.history.end()) {
+    return;
+  }
+  if (g.history.size() < kHistory) return;
+  violation("stale-bypass",
+            "core " + std::to_string(core) + " bypass-loaded " + hex4(value) +
+                " from " + hex4(addr) + ", not among the last " +
+                std::to_string(kHistory + 1) + " oracle values");
+}
+
+void CoherenceChecker::on_store(unsigned core, std::uint16_t addr,
+                                std::uint16_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stores_;
+  fold(3, core, addr, value);
+  auto [it, fresh] = golden_.try_emplace(addr);
+  AddrState& g = it->second;
+  if (!fresh) {
+    g.history.push_front(g.current);
+    if (g.history.size() > kHistory) g.history.pop_back();
+  }
+  g.current = value;
+}
+
+void CoherenceChecker::on_backing_write(
+    std::uint16_t line, const std::vector<std::uint16_t>& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto addr = static_cast<std::uint16_t>(line + i);
+    fold(4, line, static_cast<std::uint32_t>(i), data[i]);
+    const auto it = golden_.find(addr);
+    if (it == golden_.end()) continue;
+    if (data[i] != it->second.current) {
+      violation("writeback-mismatch",
+                "backing write of line " + hex4(line) + " carries " +
+                    hex4(data[i]) + " at " + hex4(addr) +
+                    ", oracle holds " + hex4(it->second.current));
+    }
+  }
+}
+
+void CoherenceChecker::finalize(sys::MultiNoc& system) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!system.coherent()) return;
+  const std::size_t lw = system.config().cache.line_words;
+  const std::size_t homes = system.memory_count();
+
+  // Router address -> core index (DirLine owners/sharers are addresses).
+  std::map<std::uint8_t, std::size_t> addr_to_core;
+  for (std::size_t i = 0; i < system.processor_count(); ++i) {
+    addr_to_core[system.processor(i).config().self_addr] = i;
+  }
+
+  // Snapshot every directory's line table for point queries.
+  std::vector<std::map<std::uint16_t, mem::Directory::LineView>> dir_lines(
+      homes);
+  for (std::size_t m = 0; m < homes; ++m) {
+    const mem::Directory* dir = system.memory(m).directory();
+    if (!dir) continue;
+    dir->for_each_line(
+        [&](std::uint16_t line, const mem::Directory::LineView& v) {
+          dir_lines[m][line] = v;
+        });
+  }
+
+  // Directory -> L1 agreement.
+  for (std::size_t m = 0; m < homes; ++m) {
+    for (const auto& [line, v] : dir_lines[m]) {
+      if (v.busy) {
+        violation("dir-busy", "home " + std::to_string(m) + " line " +
+                                  hex4(line) +
+                                  " still mid-transaction at finalize");
+      }
+      if (v.state == mem::LineState::kModified) {
+        const auto it = addr_to_core.find(v.owner);
+        if (it == addr_to_core.end()) {
+          violation("dir-m-orphan",
+                    "home " + std::to_string(m) + " line " + hex4(line) +
+                        " owned by unknown address " + std::to_string(v.owner));
+          continue;
+        }
+        const mem::L1Cache* l1 = system.processor(it->second).l1();
+        if (!l1 || l1->state_of(line) != mem::LineState::kModified) {
+          violation("dir-m-orphan",
+                    "home " + std::to_string(m) + " thinks core " +
+                        std::to_string(it->second) + " owns line " +
+                        hex4(line) + " Modified, but its L1 does not");
+        }
+      } else if (v.state == mem::LineState::kShared) {
+        // The sharer list may over-approximate (silent S evictions), but
+        // no listed sharer may have escalated past Shared.
+        for (const std::uint8_t s : v.sharers) {
+          const auto it = addr_to_core.find(s);
+          if (it == addr_to_core.end()) continue;
+          const mem::L1Cache* l1 = system.processor(it->second).l1();
+          if (l1 && l1->state_of(line) == mem::LineState::kModified) {
+            violation("dir-s-but-l1-m",
+                      "home " + std::to_string(m) + " has line " + hex4(line) +
+                          " Shared but core " + std::to_string(it->second) +
+                          " holds it Modified");
+          }
+        }
+      }
+    }
+  }
+
+  // L1 -> directory agreement: every cached line must be known to its
+  // home with a compatible state.
+  for (std::size_t c = 0; c < system.processor_count(); ++c) {
+    const mem::L1Cache* l1 = system.processor(c).l1();
+    if (!l1) continue;
+    const std::uint8_t self = system.processor(c).config().self_addr;
+    l1->for_each_line([&](std::uint16_t line, mem::LineState state, bool) {
+      const std::size_t home = sys::shared_home_index(line, lw, homes);
+      const auto it = dir_lines[home].find(line);
+      if (it == dir_lines[home].end()) {
+        violation("l1-orphan", "core " + std::to_string(c) + " holds line " +
+                                   hex4(line) + " " +
+                                   mem::line_state_name(state) +
+                                   " unknown to home " + std::to_string(home));
+        return;
+      }
+      const mem::Directory::LineView& v = it->second;
+      if (state == mem::LineState::kModified) {
+        if (v.state != mem::LineState::kModified || v.owner != self) {
+          violation("l1-m-unowned",
+                    "core " + std::to_string(c) + " holds line " + hex4(line) +
+                        " Modified but home " + std::to_string(home) +
+                        " disagrees");
+        }
+      } else if (state == mem::LineState::kShared) {
+        if (v.state != mem::LineState::kShared ||
+            std::find(v.sharers.begin(), v.sharers.end(), self) ==
+                v.sharers.end()) {
+          violation("l1-s-untracked",
+                    "core " + std::to_string(c) + " holds line " + hex4(line) +
+                        " Shared but home " + std::to_string(home) +
+                        " does not list it as a sharer");
+        }
+      }
+    });
+  }
+
+  // Oracle vs effective memory: the owner's L1 word when cached Modified,
+  // the home's storage otherwise.
+  for (const auto& [addr, g] : golden_) {
+    const auto line = static_cast<std::uint16_t>(addr & ~(lw - 1));
+    std::optional<std::uint16_t> effective;
+    std::string where;
+    for (std::size_t c = 0; c < system.processor_count(); ++c) {
+      const mem::L1Cache* l1 = system.processor(c).l1();
+      if (l1 && l1->state_of(line) == mem::LineState::kModified) {
+        effective = l1->peek(addr);
+        where = "core " + std::to_string(c) + " L1";
+        break;
+      }
+    }
+    if (!effective) {
+      const std::size_t home = sys::shared_home_index(line, lw, homes);
+      effective = system.memory(home).storage().peek(addr);
+      where = "home " + std::to_string(home) + " storage";
+    }
+    if (*effective != g.current) {
+      violation("memory-divergence",
+                where + " holds " + hex4(*effective) + " at " + hex4(addr) +
+                    ", oracle holds " + hex4(g.current));
+    }
+  }
+}
+
+bool CoherenceChecker::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_.empty();
+}
+
+std::vector<Violation> CoherenceChecker::violations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_;
+}
+
+std::uint64_t CoherenceChecker::digest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Fnv64 d;
+  d.u64(digest_sum_);
+  d.u64(loads_);
+  d.u64(stores_);
+  d.u64(violations_.size());
+  return d.value();
+}
+
+std::uint64_t CoherenceChecker::loads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return loads_;
+}
+
+std::uint64_t CoherenceChecker::stores() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stores_;
+}
+
+void CoherenceChecker::violation(const std::string& kind,
+                                 const std::string& detail) {
+  violations_.push_back({kind, detail});
+}
+
+std::string coherence_program_source(const CoherenceFuzzConfig& cfg,
+                                     unsigned core) {
+  // The whole case is derived from the config: each core draws its op
+  // sequence from an independent stream of the case seed, over a shared
+  // pool of word offsets (same pool on every core, so lines are truly
+  // contended and neighbours in a line false-share).
+  sim::SplitMix64 rng(sim::stream_seed(cfg.seed, 0xC0DEull + core));
+  const unsigned addresses = std::max(1u, cfg.addresses);
+  const auto lw = static_cast<unsigned>(std::max<std::size_t>(1, cfg.line_words));
+  std::vector<std::uint16_t> pool;
+  pool.reserve(addresses);
+  for (unsigned k = 0; k < addresses; ++k) {
+    // Stride of 3 words: neighbours land in one line (false sharing)
+    // while the pool still spans several lines (and several homes).
+    const auto off = static_cast<std::uint16_t>(
+        (k * 3) % std::min<unsigned>(sys::kSharedWindowWords, lw * 16));
+    pool.push_back(off);
+  }
+
+  std::ostringstream oss;
+  oss << kIoPrologue;
+  oss << "        LDL  R8, 0x00\n"
+      << "        LDH  R8, 0x00      ; load accumulator\n";
+  auto emit_addr = [&](std::uint16_t off) {
+    const auto cpu = static_cast<std::uint16_t>(sys::kRemoteMemBase + off);
+    oss << "        LDL  R2, " << hex4(cpu & 0xFF) << "\n"
+        << "        LDH  R2, " << hex4(cpu >> 8) << "\n";
+  };
+  for (unsigned i = 0; i < cfg.ops; ++i) {
+    const std::uint64_t draw = rng.next();
+    const std::uint16_t off = pool[draw % pool.size()];
+    if ((draw >> 32) & 1) {
+      const auto value = static_cast<std::uint16_t>(draw >> 40);
+      oss << "        LDL  R1, " << hex4(value & 0xFF) << "\n"
+          << "        LDH  R1, " << hex4(value >> 8) << "\n";
+      emit_addr(off);
+      oss << "        ST   R1, R2, R0    ; shared[" << off << "] = "
+          << hex4(value) << "\n";
+    } else {
+      emit_addr(off);
+      oss << "        LD   R1, R2, R0    ; load shared[" << off << "]\n"
+          << "        ADD  R8, R8, R1\n";
+    }
+  }
+  oss << "        ST   R8, R10, R0   ; printf(accumulator)\n"
+      << "        HALT\n";
+  return oss.str();
+}
+
+CoherenceRunResult run_coherence_case(const CoherenceFuzzConfig& cfg) {
+  CoherenceRunResult out;
+
+  const unsigned cores = std::max(1u, cfg.cores);
+  const unsigned homes = std::max(1u, cfg.memories);
+  const unsigned total = 1 + cores + homes;
+  unsigned nx = 1;
+  while (nx * nx < total) ++nx;
+  const unsigned ny = (total + nx - 1) / nx;
+
+  sys::SystemConfig sc;
+  sc.nx = nx;
+  sc.ny = ny;
+  sc.router.vc_count = cfg.vc_count;
+  sc.serial_node = {0, 0};
+  sc.processor_nodes.clear();
+  sc.memory_nodes.clear();
+  for (unsigned i = 1; i < total; ++i) {
+    const noc::XY node{static_cast<std::uint8_t>(i % nx),
+                       static_cast<std::uint8_t>(i / nx)};
+    if (i <= cores) {
+      sc.processor_nodes.push_back(node);
+    } else {
+      sc.memory_nodes.push_back(node);
+    }
+  }
+  sc.threads = cfg.threads;
+  sc.cache.coherence = mem::Coherence::kMsi;
+  sc.cache.line_words = cfg.line_words;
+  sc.cache.sets = 4;  // small on purpose: force evictions and recalls
+  sc.cache.ways = 2;
+  if (cfg.faults) {
+    sc.protection.enabled = true;
+    sc.e2e_checksum = true;
+    sc.e2e_retry_timeout = 8192;
+    sc.faults.flip_rate = 1e-3;
+    sc.faults.drop_rate = 2e-4;
+    sc.faults.stall_rate = 2e-4;
+    sc.faults.seed = sim::stream_seed(cfg.seed, 0xFAB7ull);
+  }
+
+  sim::Simulator sim;
+  sys::MultiNoc system(sim, sc);
+  host::Host host(sim, system, 8);
+  CoherenceChecker checker;
+  system.set_coherence_observer(&checker.observer());
+  if (cfg.faults) system.reliability().injector.arm();
+
+  std::vector<host::ProgramLoad> programs;
+  for (unsigned c = 0; c < cores; ++c) {
+    const r8asm::Assembly a =
+        r8asm::assemble(coherence_program_source(cfg, c));
+    if (!a.ok) {
+      out.ok = false;
+      out.signature = "asm";
+      out.failure = "core " + std::to_string(c) +
+                    " program failed to assemble: " + a.error_text();
+      return out;
+    }
+    programs.push_back({system.processor(c).config().self_addr, a.image, 0});
+  }
+
+  const host::RunResult run = host.load_and_run(programs, cfg.max_cycles);
+  out.cycles = run.cycles;
+  if (!run.ok()) {
+    out.ok = false;
+    out.signature = "host";
+    out.failure = std::string("load_and_run ") + host::to_string(run.status);
+    return out;
+  }
+
+  // Drain every cache back to the homes so finalize compares quiesced
+  // state, then run the end-of-run agreement checks.
+  const host::WaitResult drained = host.invalidate_cache_range(
+      0, static_cast<std::uint16_t>(sys::kSharedWindowWords - 1));
+  if (!drained.ok()) {
+    out.ok = false;
+    out.signature = "drain";
+    out.failure = "caches failed to drain after the run";
+    return out;
+  }
+  checker.finalize(system);
+
+  out.loads = checker.loads();
+  out.stores = checker.stores();
+  const std::vector<Violation> v = checker.violations();
+  if (!v.empty()) {
+    out.ok = false;
+    out.signature = v.front().kind;
+    out.failure = v.front().detail;
+  }
+
+  // Replay-identity digest: checker events + every core's printf stream
+  // (core order, so the fold is deterministic) + run length.
+  Fnv64 d;
+  d.u64(checker.digest());
+  d.u64(out.cycles);
+  for (unsigned c = 0; c < cores; ++c) {
+    const auto& log =
+        host.printf_log(system.processor(c).config().self_addr);
+    d.u64(log.size());
+    for (const std::uint16_t w : log) d.u64(w);
+  }
+  out.digest = d.value();
+  return out;
+}
+
+}  // namespace mn::check

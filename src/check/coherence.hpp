@@ -1,0 +1,136 @@
+#pragma once
+// Runtime coherence invariant checking (mn-fuzz mode coherence).
+//
+// CoherenceChecker implements the mem::CoherenceObserver hooks that
+// MultiNoc fans out to every L1 and directory (docs/MEMORY.md) and keeps
+// a golden flat-memory oracle of the shared window:
+//
+//  * SWMR — at any observer-event instant a line has at most one
+//    Modified holder, and no Shared holder coexists with a Modified one.
+//    Tracked from on_line_state transitions.
+//  * No stale reads — a cache-hit or installed-fill load must return the
+//    oracle's current value for that word; a poisoned bypass load (an
+//    Inv raced the GetS) may return any of the last kHistory values.
+//    Words never stored through the coherent path (host preloads) are
+//    unchecked.
+//  * Writeback integrity — data a directory commits to backing on PutM
+//    must equal the oracle (the evicting owner held the only writable
+//    copy, so its committed stores are exactly the oracle's state).
+//  * finalize() — end-of-run agreement between the three state holders:
+//    directory lines vs actual L1 states (an M line's owner must hold
+//    it; an L1 M line must be known to its home), no line left busy, and
+//    oracle vs effective memory (owner's L1 word when cached Modified,
+//    the home's storage otherwise).
+//
+// All hooks lock one mutex: with a threaded kernel they fire from eval
+// workers. The digest folds every event commutatively (wrapping add of
+// per-event FNV hashes), so it is bit-identical across kernel thread
+// counts even though worker interleaving reorders observer calls.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/digest.hpp"
+#include "check/noc_invariants.hpp"
+#include "mem/cache/config.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn::check {
+
+class CoherenceChecker {
+ public:
+  /// Values a bypass load may legally return: the current oracle value
+  /// or one of this many predecessors.
+  static constexpr std::size_t kHistory = 8;
+
+  CoherenceChecker();
+
+  /// The observer to hand to MultiNoc::set_coherence_observer. Outlives
+  /// bound `this`: keep the checker alive for the system's lifetime.
+  const mem::CoherenceObserver& observer() const { return obs_; }
+
+  /// End-of-run agreement checks (call with the simulation quiesced,
+  /// ideally after Host::invalidate_cache_range drained every cache).
+  void finalize(sys::MultiNoc& system);
+
+  bool ok() const;
+  std::vector<Violation> violations() const;
+  /// Commutative event digest + violation count: the replay-identity
+  /// value compared across kernel thread counts.
+  std::uint64_t digest() const;
+  std::uint64_t loads() const;
+  std::uint64_t stores() const;
+
+ private:
+  void on_line_state(unsigned core, std::uint16_t line, mem::LineState from,
+                     mem::LineState to);
+  void on_load(unsigned core, std::uint16_t addr, std::uint16_t value,
+               bool bypass);
+  void on_store(unsigned core, std::uint16_t addr, std::uint16_t value);
+  void on_backing_write(std::uint16_t line,
+                        const std::vector<std::uint16_t>& data);
+  void violation(const std::string& kind, const std::string& detail);
+  void fold(std::uint8_t tag, std::uint32_t a, std::uint32_t b,
+            std::uint32_t c);
+
+  struct AddrState {
+    std::uint16_t current = 0;
+    std::deque<std::uint16_t> history;  ///< most recent first, <= kHistory
+  };
+  struct LineOcc {
+    int owner = -1;  ///< core number holding Modified, -1 = none
+    std::set<unsigned> sharers;
+  };
+
+  mutable std::mutex mu_;
+  mem::CoherenceObserver obs_;
+  std::map<std::uint16_t, AddrState> golden_;
+  std::map<std::uint16_t, LineOcc> occ_;
+  std::uint64_t digest_sum_ = 0;  ///< wrapping add of per-event hashes
+  std::uint64_t loads_ = 0;
+  std::uint64_t stores_ = 0;
+  std::vector<Violation> violations_;
+};
+
+/// One coherence fuzz case: an N-core MSI system running seeded random
+/// shared-window load/store programs under the checker. The whole case is
+/// derived from the config (programs included), so a repro only needs to
+/// record this struct.
+struct CoherenceFuzzConfig {
+  unsigned cores = 2;
+  unsigned memories = 1;  ///< directory home nodes
+  std::size_t vc_count = 1;
+  bool faults = false;
+  unsigned threads = 1;
+  std::size_t line_words = 4;
+  std::uint64_t seed = 1;
+  unsigned ops = 24;        ///< shared-window accesses per core
+  unsigned addresses = 8;   ///< distinct shared words in play
+  std::uint64_t max_cycles = 80'000'000;
+};
+
+struct CoherenceRunResult {
+  bool ok = true;
+  std::string failure;    ///< first violation's detail
+  std::string signature;  ///< first violation's kind
+  std::uint64_t cycles = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Deterministic per-core program source for a case (exposed for tests).
+std::string coherence_program_source(const CoherenceFuzzConfig& cfg,
+                                     unsigned core);
+
+/// Build the system, run every core's program to completion, flush the
+/// caches and run the checker's finalize. Deterministic per config,
+/// including across `threads`.
+CoherenceRunResult run_coherence_case(const CoherenceFuzzConfig& cfg);
+
+}  // namespace mn::check

@@ -44,6 +44,19 @@ sim::Json repro_to_json(const Repro& r) {
     c["words"] = u16_array(r.words);
     c["inputs"] = u16_array(r.inputs);
     c["bug"] = injected_bug_name(r.bug);
+  } else if (r.mode == "coherence") {
+    sim::Json n = sim::Json::object();
+    n["cores"] = r.coh.cores;
+    n["memories"] = r.coh.memories;
+    n["vc"] = static_cast<std::uint64_t>(r.coh.vc_count);
+    n["faults"] = r.coh.faults;
+    n["threads"] = r.coh.threads;
+    n["line_words"] = static_cast<std::uint64_t>(r.coh.line_words);
+    n["seed"] = r.coh.seed;
+    n["ops"] = r.coh.ops;
+    n["addresses"] = r.coh.addresses;
+    n["max_cycles"] = r.coh.max_cycles;
+    c["coh"] = std::move(n);
   } else {
     sim::Json n = sim::Json::object();
     n["nx"] = r.noc.nx;
@@ -115,6 +128,30 @@ std::optional<Repro> repro_from_json(const sim::Json& j,
     }
     if (const sim::Json* b = c->find("bug"); b && b->is_string()) {
       r.bug = injected_bug_from_name(b->as_string());
+    }
+    return r;
+  }
+  if (r.mode == "coherence") {
+    const sim::Json* n = c->find("coh");
+    if (!n || !n->is_object()) {
+      return fail("coherence case needs a coh object");
+    }
+    auto num = [&](const char* key, auto fallback) {
+      const sim::Json* v = n->find(key);
+      using T = decltype(fallback);
+      return v && v->is_number() ? static_cast<T>(v->as_int()) : fallback;
+    };
+    r.coh.cores = num("cores", r.coh.cores);
+    r.coh.memories = num("memories", r.coh.memories);
+    r.coh.vc_count = num("vc", r.coh.vc_count);
+    r.coh.threads = num("threads", r.coh.threads);
+    r.coh.line_words = num("line_words", r.coh.line_words);
+    r.coh.seed = num("seed", r.coh.seed);
+    r.coh.ops = num("ops", r.coh.ops);
+    r.coh.addresses = num("addresses", r.coh.addresses);
+    r.coh.max_cycles = num("max_cycles", r.coh.max_cycles);
+    if (const sim::Json* f = n->find("faults"); f && f->is_bool()) {
+      r.coh.faults = f->as_bool();
     }
     return r;
   }

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "check/coherence.hpp"
 #include "check/diff_cpu.hpp"
 #include "check/noc_invariants.hpp"
 #include "sim/json.hpp"
@@ -20,9 +21,10 @@ namespace mn::check {
 
 inline constexpr const char* kReproSchema = "mn-fuzz-repro-v1";
 
-/// One self-contained failing case. `mode` selects which half of the
+/// One self-contained failing case. `mode` selects which part of the
 /// payload is meaningful: "diff-cpu" and "diff-fast" use words/inputs/
-/// bug, "noc-invariants" uses noc/packets.
+/// bug, "noc-invariants" uses noc/packets, "coherence" uses coh (the
+/// whole case, programs included, derives from that config).
 struct Repro {
   std::string mode;
   std::uint64_t seed = 0;  ///< case seed (provenance; replay uses payload)
@@ -37,6 +39,9 @@ struct Repro {
   // --- noc-invariants case ---
   NocFuzzConfig noc;
   std::vector<FuzzPacket> packets;
+
+  // --- coherence case ---
+  CoherenceFuzzConfig coh;
 };
 
 sim::Json repro_to_json(const Repro& r);

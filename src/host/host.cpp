@@ -264,6 +264,32 @@ RunResult Host::load_and_run(const std::vector<ProgramLoad>& programs,
   return finish(done ? HostStatus::kOk : HostStatus::kTimeout);
 }
 
+WaitResult Host::flush_cache(std::size_t core, std::uint64_t max_cycles) {
+  sys::ProcessorIp& p = system_->processor(core);
+  if (!p.coherent()) return {HostStatus::kOk, 0};
+  p.flush_cache_range(0, 0xFFFF);
+  return wait_for([&] { return p.coherence_drained(); }, max_cycles);
+}
+
+WaitResult Host::invalidate_cache_range(std::uint16_t lo, std::uint16_t hi,
+                                        std::uint64_t max_cycles) {
+  for (std::size_t i = 0; i < system_->processor_count(); ++i) {
+    system_->processor(i).flush_cache_range(lo, hi);
+  }
+  return wait_for(
+      [&] {
+        for (std::size_t i = 0; i < system_->processor_count(); ++i) {
+          if (!system_->processor(i).coherence_drained()) return false;
+        }
+        for (std::size_t i = 0; i < system_->memory_count(); ++i) {
+          const auto* dir = system_->memory(i).directory();
+          if (dir && !dir->idle()) return false;
+        }
+        return true;
+      },
+      max_cycles);
+}
+
 WaitResult Host::wait_for(const std::function<bool()>& predicate,
                           std::uint64_t max_cycles) {
   WaitResult r;

@@ -162,6 +162,21 @@ class Host final : public sim::Component {
       std::uint8_t target, std::uint16_t addr, std::uint16_t count,
       std::uint64_t max_cycles = 50'000'000);
 
+  /// Write back every dirty L1 line of processor `core` (0-based) and
+  /// run until the writebacks are acked by their home directories. No-op
+  /// success on a system built with cache.coherence = none. Named
+  /// flush_cache (not an overload of flush()) because flush(cycles) takes
+  /// an integer budget.
+  WaitResult flush_cache(std::size_t core,
+                         std::uint64_t max_cycles = 50'000'000);
+
+  /// Drop every L1 copy of the shared-window lines in [lo, hi] (word
+  /// offsets) on every core, writing dirty lines back first, and run
+  /// until the directories hold the only copies. After this completes a
+  /// read_memory_sync of the homes observes every committed store.
+  WaitResult invalidate_cache_range(std::uint16_t lo, std::uint16_t hi,
+                                    std::uint64_t max_cycles = 50'000'000);
+
   /// Advance the simulation until `predicate()` holds or the cycle budget
   /// runs out; the host keeps servicing its monitors while waiting. The
   /// result reports kTimeout (instead of spinning forever) so server-side

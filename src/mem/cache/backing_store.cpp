@@ -1,0 +1,43 @@
+#include "mem/cache/backing_store.hpp"
+
+#include <algorithm>
+
+namespace mn::mem {
+
+BackingStore::BackingStore(const BackingStoreConfig& cfg) : cfg_(cfg) {
+  banks_.resize(cfg_.banks);
+}
+
+std::uint64_t BackingStore::access(std::uint16_t line, std::uint64_t now) {
+  // Rows are interleaved across banks so that consecutive lines hit
+  // different banks (row-major: row r of bank b covers words
+  // [(r*banks + b) * row_words, ...)).
+  const std::uint32_t row_index = line / cfg_.row_words;
+  const std::size_t bank = row_index & (cfg_.banks - 1);
+  const std::uint32_t row = row_index / static_cast<std::uint32_t>(cfg_.banks);
+  Bank& b = banks_[bank];
+
+  const std::uint64_t start = std::max(now, b.free_at);
+  bank_wait_ += start - now;
+  const bool hit = b.row_open && b.open_row == row;
+  const std::uint64_t latency = hit ? cfg_.t_row_hit : cfg_.t_row_miss;
+  const std::uint64_t ready = start + latency;
+  b.free_at = start + std::max<std::uint64_t>(latency, cfg_.t_occupancy);
+  b.row_open = true;
+  b.open_row = row;
+
+  ++accesses_;
+  if (hit) {
+    ++row_hits_;
+  } else {
+    ++row_misses_;
+  }
+  return ready;
+}
+
+void BackingStore::clear() {
+  for (Bank& b : banks_) b = Bank{};
+  accesses_ = row_hits_ = row_misses_ = bank_wait_ = 0;
+}
+
+}  // namespace mn::mem

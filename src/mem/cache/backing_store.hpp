@@ -1,0 +1,48 @@
+#pragma once
+// DRAM-class timing model over a BankedMemory (docs/MEMORY.md). The
+// directory asks `access()` when each line read/write may complete; the
+// model tracks one open row and one busy window per bank (row-buffer
+// hits are cheap, conflicts pay precharge+activate, and back-to-back
+// accesses serialize on the bank). Data itself lives in the BankedMemory
+// the directory already owns — this class is timing only.
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache/config.hpp"
+
+namespace mn::mem {
+
+class BackingStore {
+ public:
+  explicit BackingStore(const BackingStoreConfig& cfg);
+
+  /// Schedule an access to the line at word offset `line` issued at cycle
+  /// `now`; returns the cycle the data is ready (read) or committed
+  /// (write).
+  std::uint64_t access(std::uint16_t line, std::uint64_t now);
+
+  void clear();
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t row_hits() const { return row_hits_; }
+  std::uint64_t row_misses() const { return row_misses_; }
+  /// Cycles spent waiting on busy banks, summed over accesses.
+  std::uint64_t bank_wait_cycles() const { return bank_wait_; }
+
+ private:
+  struct Bank {
+    bool row_open = false;
+    std::uint32_t open_row = 0;
+    std::uint64_t free_at = 0;
+  };
+
+  BackingStoreConfig cfg_;
+  std::vector<Bank> banks_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t row_hits_ = 0;
+  std::uint64_t row_misses_ = 0;
+  std::uint64_t bank_wait_ = 0;
+};
+
+}  // namespace mn::mem

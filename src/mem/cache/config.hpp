@@ -1,0 +1,86 @@
+#pragma once
+// Configuration and shared vocabulary for the shared-memory hierarchy
+// (docs/MEMORY.md): per-core write-back L1 caches, MSI directory
+// controllers at the Memory IPs, and a banked DRAM-class backing store.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace mn::mem {
+
+/// Coherence protocol selector. `kNone` keeps the seed behavior: remote
+/// memory accesses travel as flat read/write transactions, no caches are
+/// instantiated anywhere, and all wire traffic is bit-identical to the
+/// pre-cache system.
+enum class Coherence : std::uint8_t {
+  kNone = 0,
+  kMsi = 1,
+};
+
+/// Stable L1 line states of the MSI protocol (transient states live in
+/// the miss FSM of the requester / busy flags of the directory).
+enum class LineState : std::uint8_t {
+  kInvalid = 0,
+  kShared = 1,
+  kModified = 2,
+};
+
+inline const char* line_state_name(LineState s) {
+  switch (s) {
+    case LineState::kInvalid: return "I";
+    case LineState::kShared: return "S";
+    case LineState::kModified: return "M";
+  }
+  return "?";
+}
+
+/// Per-core L1 geometry + protocol knobs, nested in SystemConfig.
+struct CacheConfig {
+  Coherence coherence = Coherence::kNone;
+  std::size_t line_words = 4;  ///< words per line; power of two
+  std::size_t sets = 16;       ///< power of two
+  std::size_t ways = 2;
+  /// Base retry delay (cycles) after a NACKed GetS/GetM; each core adds
+  /// a small deterministic stagger so contenders do not retry in
+  /// lockstep and livelock on the same line.
+  std::uint32_t nack_backoff = 16;
+
+  std::size_t words() const { return line_words * sets * ways; }
+};
+
+/// Banked DRAM-class backing store timing behind each directory.
+struct BackingStoreConfig {
+  std::size_t banks = 4;       ///< power of two
+  std::size_t row_words = 64;  ///< words per DRAM row; power of two
+  std::uint32_t t_row_hit = 2;    ///< access latency, open-row (cycles)
+  std::uint32_t t_row_miss = 10;  ///< precharge + activate + access
+  std::uint32_t t_occupancy = 2;  ///< bank busy time per access
+};
+
+/// Observation hooks the coherence checker (check/coherence.hpp) taps.
+/// All addresses are shared-window word offsets; `line` is the aligned
+/// offset of the first word in the line. Callbacks may fire from worker
+/// threads when the kernel runs sharded — implementations must lock.
+struct CoherenceObserver {
+  /// An L1 line changed stable state (fill, invalidate, upgrade, evict).
+  std::function<void(std::size_t core, std::uint16_t line, LineState from,
+                     LineState to)>
+      on_line_state;
+  /// A core's load committed. `bypass` marks a use-once forwarded value
+  /// (the line was poisoned by a racing invalidation and not installed).
+  std::function<void(std::size_t core, std::uint16_t addr,
+                     std::uint16_t value, bool bypass)>
+      on_load;
+  /// A core's store committed into its Modified line.
+  std::function<void(std::size_t core, std::uint16_t addr,
+                     std::uint16_t value)>
+      on_store;
+  /// The directory wrote a line back into the backing store (PutM).
+  std::function<void(std::uint16_t line,
+                     const std::vector<std::uint16_t>& data)>
+      on_backing_write;
+};
+
+}  // namespace mn::mem

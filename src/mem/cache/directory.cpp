@@ -1,0 +1,259 @@
+#include "mem/cache/directory.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mn::mem {
+
+Directory::Directory(BankedMemory& mem, const CacheConfig& cache,
+                     const BackingStoreConfig& backing,
+                     std::uint8_t self_addr)
+    : mem_(&mem), cache_(cache), backing_(backing), self_(self_addr) {}
+
+std::vector<std::uint16_t> Directory::read_line(std::uint16_t line) {
+  std::vector<std::uint16_t> d;
+  d.reserve(cache_.line_words);
+  for (std::size_t i = 0; i < cache_.line_words; ++i) {
+    const std::uint16_t a = static_cast<std::uint16_t>(line + i);
+    d.push_back(a < BankedMemory::kWords ? mem_->read(a) : 0);
+  }
+  return d;
+}
+
+void Directory::write_line(std::uint16_t line,
+                           const std::vector<std::uint16_t>& d) {
+  for (std::size_t i = 0; i < d.size() && i < cache_.line_words; ++i) {
+    const std::uint16_t a = static_cast<std::uint16_t>(line + i);
+    if (a < BankedMemory::kWords) mem_->write(a, d[i]);
+  }
+  if (observer_ && observer_->on_backing_write) {
+    observer_->on_backing_write(line, d);
+  }
+}
+
+void Directory::enter_busy(DirLine& dl, Busy b) {
+  assert(dl.busy == Busy::kNone && b != Busy::kNone);
+  dl.busy = b;
+  ++busy_lines_;
+}
+
+void Directory::leave_busy(DirLine& dl) {
+  assert(dl.busy != Busy::kNone && busy_lines_ > 0);
+  dl.busy = Busy::kNone;
+  --busy_lines_;
+}
+
+void Directory::grant_after_read(DirLine& dl, std::uint16_t line,
+                                 const Transaction& t, TxnOp grant,
+                                 std::uint64_t now) {
+  enter_busy(dl, Busy::kData);
+  Deferred d;
+  d.ready = backing_.access(line, now);
+  d.line = line;
+  // Data is attached at fire time: the line cannot be written while it
+  // is busy (PutM is only genuine from an owner, and an owned line is
+  // recalled — never granted — so no write can land inside this window).
+  d.reply = txn_coherence(grant, self_, t.source, t.core, line,
+                          static_cast<std::uint16_t>(cache_.line_words));
+  deferred_.push_back(std::move(d));
+}
+
+void Directory::nack(const Transaction& t, std::uint16_t line,
+                     std::deque<Transaction>& out) {
+  out.push_back(txn_coherence(TxnOp::kNack, self_, t.source, t.core, line,
+                              static_cast<std::uint16_t>(cache_.line_words)));
+  ++nacks_;
+}
+
+TransactionResult Directory::handle(const Transaction& t, std::uint64_t now,
+                                    std::deque<Transaction>& out) {
+  const std::uint16_t line =
+      static_cast<std::uint16_t>(t.addr & ~(cache_.line_words - 1));
+  switch (t.op) {
+    case TxnOp::kGetS:
+    case TxnOp::kGetM: {
+      ++requests_;
+      DirLine& dl = lines_[line];
+      peak_tracked_ = std::max(peak_tracked_, lines_.size());
+      if (dl.busy == Busy::kRecall && dl.state == LineState::kModified &&
+          dl.owner == t.source) {
+        // The recalled owner is re-requesting: its original data grant
+        // was lost in flight. Re-send DataM immediately (the owner never
+        // held the data, so the backing copy is current); the recall
+        // completes once the owner fills, commits, and writes back.
+        out.push_back(txn_coherence(
+            TxnOp::kDataM, self_, t.source, t.core, line,
+            static_cast<std::uint16_t>(cache_.line_words), read_line(line)));
+        ++resends_;
+        return {TxnStatus::kReplied, 1};
+      }
+      if (dl.busy != Busy::kNone) {
+        nack(t, line, out);
+        return {TxnStatus::kNacked, 1};
+      }
+      if (dl.state == LineState::kModified) {
+        if (dl.owner == t.source) {
+          // Lost-grant retry: the directory already granted M to this
+          // core but the data never arrived. Owner made no stores (it
+          // has no copy), so the backing data is current.
+          grant_after_read(dl, line, t, TxnOp::kDataM, now);
+          return {TxnStatus::kReplied, 1};
+        }
+        dl.pending = t;
+        enter_busy(dl, Busy::kRecall);
+        dl.last_send = now;
+        out.push_back(txn_coherence(
+            TxnOp::kRecall, self_, dl.owner, 0, line,
+            static_cast<std::uint16_t>(cache_.line_words)));
+        ++recalls_;
+        return {TxnStatus::kReplied, 1};
+      }
+      if (t.op == TxnOp::kGetM && dl.state == LineState::kShared) {
+        std::set<std::uint8_t> others = dl.sharers;
+        others.erase(t.source);
+        if (!others.empty()) {
+          dl.pending = t;
+          enter_busy(dl, Busy::kInv);
+          dl.wait_acks = std::move(others);
+          dl.last_send = now;
+          for (std::uint8_t s : dl.wait_acks) {
+            out.push_back(txn_coherence(
+                TxnOp::kInv, self_, s, 0, line,
+                static_cast<std::uint16_t>(cache_.line_words)));
+            ++invs_;
+          }
+          return {TxnStatus::kReplied, dl.wait_acks.size()};
+        }
+      }
+      grant_after_read(dl, line, t,
+                       t.op == TxnOp::kGetS ? TxnOp::kDataS : TxnOp::kDataM,
+                       now);
+      return {TxnStatus::kReplied, 1};
+    }
+    case TxnOp::kPutM: {
+      ++requests_;
+      auto it = lines_.find(line);
+      DirLine* dl = it != lines_.end() ? &it->second : nullptr;
+      const bool genuine = dl && dl->state == LineState::kModified &&
+                           dl->owner == t.source;
+      // PutM is never NACKed; a duplicate (after a lost PutAck, or a
+      // recall crossing a voluntary eviction) is acked without writing —
+      // its data is stale once the first copy landed.
+      out.push_back(txn_coherence(
+          TxnOp::kPutAck, self_, t.source, t.core, line,
+          static_cast<std::uint16_t>(cache_.line_words)));
+      if (!genuine) return {TxnStatus::kReplied, 1};
+      backing_.access(line, now);  // bank occupancy for the write burst
+      write_line(line, t.data);
+      ++writebacks_;
+      dl->state = LineState::kInvalid;
+      dl->owner = 0;
+      dl->sharers.clear();
+      if (dl->busy == Busy::kRecall) {
+        leave_busy(*dl);
+        const Transaction p = dl->pending;
+        grant_after_read(*dl, line, p,
+                         p.op == TxnOp::kGetS ? TxnOp::kDataS : TxnOp::kDataM,
+                         now);
+        return {TxnStatus::kReplied, 2};
+      }
+      return {TxnStatus::kReplied, 1};
+    }
+    case TxnOp::kInvAck: {
+      auto it = lines_.find(line);
+      if (it == lines_.end()) return {TxnStatus::kIgnored, 0};
+      DirLine& dl = it->second;
+      if (dl.busy != Busy::kInv || dl.wait_acks.erase(t.source) == 0) {
+        return {TxnStatus::kIgnored, 0};  // stale/duplicate ack
+      }
+      dl.sharers.erase(t.source);
+      if (dl.wait_acks.empty()) {
+        leave_busy(dl);
+        const Transaction p = dl.pending;
+        grant_after_read(dl, line, p, TxnOp::kDataM, now);
+        return {TxnStatus::kReplied, 1};
+      }
+      return {TxnStatus::kApplied, 0};
+    }
+    default:
+      return {TxnStatus::kIgnored, 0};
+  }
+}
+
+void Directory::tick(std::uint64_t now, std::deque<Transaction>& out) {
+  // Release deferred grants whose backing access completed, in issue
+  // order (deterministic across runs and thread counts).
+  for (auto it = deferred_.begin(); it != deferred_.end();) {
+    if (it->ready > now) {
+      ++it;
+      continue;
+    }
+    Deferred d = std::move(*it);
+    it = deferred_.erase(it);
+    d.reply.data = read_line(d.line);
+    DirLine& dl = lines_[d.line];
+    leave_busy(dl);
+    if (d.reply.op == TxnOp::kDataS) {
+      dl.state = LineState::kShared;
+      dl.sharers.insert(d.reply.target);
+    } else {
+      dl.state = LineState::kModified;
+      dl.owner = d.reply.target;
+      dl.sharers.clear();
+    }
+    out.push_back(std::move(d.reply));
+  }
+  // Lossy links: re-send outstanding Inv/Recall forwards on timeout.
+  if (retry_timeout_ == 0 || busy_lines_ == 0) return;
+  for (auto& [line, dl] : lines_) {
+    if ((dl.busy != Busy::kInv && dl.busy != Busy::kRecall) ||
+        now - dl.last_send < retry_timeout_) {
+      continue;
+    }
+    dl.last_send = now;
+    if (dl.busy == Busy::kInv) {
+      for (std::uint8_t s : dl.wait_acks) {
+        out.push_back(txn_coherence(
+            TxnOp::kInv, self_, s, 0, line,
+            static_cast<std::uint16_t>(cache_.line_words)));
+        ++resends_;
+      }
+    } else {
+      out.push_back(txn_coherence(
+          TxnOp::kRecall, self_, dl.owner, 0, line,
+          static_cast<std::uint16_t>(cache_.line_words)));
+      ++resends_;
+    }
+  }
+}
+
+std::size_t Directory::lines_tracked() const {
+  std::size_t n = 0;
+  for (const auto& [line, dl] : lines_) {
+    if (dl.state != LineState::kInvalid || dl.busy != Busy::kNone) ++n;
+  }
+  return n;
+}
+
+void Directory::for_each_line(
+    const std::function<void(std::uint16_t, const LineView&)>& fn) const {
+  for (const auto& [line, dl] : lines_) {
+    LineView v;
+    v.state = dl.state;
+    v.owner = dl.owner;
+    v.sharers.assign(dl.sharers.begin(), dl.sharers.end());
+    v.busy = dl.busy != Busy::kNone;
+    fn(line, v);
+  }
+}
+
+void Directory::clear() {
+  lines_.clear();
+  deferred_.clear();
+  backing_.clear();
+  busy_lines_ = 0;
+  requests_ = nacks_ = recalls_ = invs_ = writebacks_ = resends_ = 0;
+  peak_tracked_ = 0;
+}
+
+}  // namespace mn::mem

@@ -1,0 +1,131 @@
+#pragma once
+// MSI directory coherence controller, co-located with a MemoryIp — the
+// serializing home node for the shared-window lines that interleave onto
+// it (sys::shared_home_index). Full protocol tables and the deadlock
+// argument live in docs/MEMORY.md.
+//
+// Design rules:
+//  * Non-blocking home: every incoming request is answered the cycle it
+//    is seen — with data (possibly deferred by backing-store timing),
+//    with a forwarded Inv/Recall, or with a NACK. The directory never
+//    queues requests, so it can never be the head of a dependency cycle.
+//  * One transaction in flight per line: while a line is busy
+//    (data grant pending in the backing store, invalidations or a recall
+//    outstanding) every other request for it is NACKed and retried by
+//    the requester with deterministic backoff.
+//  * PutM is never NACKed — the writeback path always completes, which
+//    is what lets requesters hold evicted dirty lines in a single
+//    writeback buffer without deadlock.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "mem/blockram.hpp"
+#include "mem/cache/backing_store.hpp"
+#include "mem/cache/config.hpp"
+#include "mem/transaction.hpp"
+
+namespace mn::mem {
+
+class Directory {
+ public:
+  Directory(BankedMemory& mem, const CacheConfig& cache,
+            const BackingStoreConfig& backing, std::uint8_t self_addr);
+
+  /// When nonzero, outstanding Inv/Recall forwards are re-sent after this
+  /// many cycles without a response (lossy-link recovery; mirrors the
+  /// requesters' e2e retry budget).
+  void set_retry_timeout(std::uint32_t cycles) { retry_timeout_ = cycles; }
+  void set_observer(const CoherenceObserver* obs) { observer_ = obs; }
+
+  /// Process one coherence transaction. Replies (data grants, acks,
+  /// NACKs, forwards) are appended to `out`, possibly on a later tick()
+  /// when backing-store timing defers them.
+  TransactionResult handle(const Transaction& t, std::uint64_t now,
+                           std::deque<Transaction>& out);
+
+  /// Release deferred data replies whose backing access has completed and
+  /// re-send timed-out Inv/Recall forwards.
+  void tick(std::uint64_t now, std::deque<Transaction>& out);
+
+  /// True when no line is mid-transaction and no reply is deferred.
+  bool idle() const { return busy_lines_ == 0 && deferred_.empty(); }
+
+  void clear();
+
+  /// Directory view of a line for the coherence checker.
+  struct LineView {
+    LineState state = LineState::kInvalid;
+    std::uint8_t owner = 0;
+    std::vector<std::uint8_t> sharers;
+    bool busy = false;
+  };
+  void for_each_line(
+      const std::function<void(std::uint16_t line, const LineView&)>& fn)
+      const;
+
+  const BackingStore& backing() const { return backing_; }
+  std::uint64_t requests() const { return requests_; }
+  std::uint64_t nacks_sent() const { return nacks_; }
+  std::uint64_t recalls_sent() const { return recalls_; }
+  std::uint64_t invalidations_sent() const { return invs_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t forward_resends() const { return resends_; }
+  std::size_t lines_tracked() const;
+  std::size_t peak_lines_tracked() const { return peak_tracked_; }
+
+ private:
+  enum class Busy : std::uint8_t { kNone, kData, kInv, kRecall };
+
+  struct DirLine {
+    LineState state = LineState::kInvalid;
+    std::uint8_t owner = 0;
+    std::set<std::uint8_t> sharers;
+    Busy busy = Busy::kNone;
+    Transaction pending;  ///< request being completed (kInv/kRecall)
+    std::set<std::uint8_t> wait_acks;
+    std::uint64_t last_send = 0;
+  };
+
+  struct Deferred {
+    std::uint64_t ready = 0;
+    std::uint16_t line = 0;
+    Transaction reply;  ///< kDataS or kDataM, finalizes the line on send
+  };
+
+  std::vector<std::uint16_t> read_line(std::uint16_t line);
+  void write_line(std::uint16_t line, const std::vector<std::uint16_t>& d);
+  /// Start a timed backing read that grants `line` to `t.source` as
+  /// `grant` (kDataS/kDataM) once the data is ready.
+  void grant_after_read(DirLine& dl, std::uint16_t line,
+                        const Transaction& t, TxnOp grant, std::uint64_t now);
+  void nack(const Transaction& t, std::uint16_t line,
+            std::deque<Transaction>& out);
+  void enter_busy(DirLine& dl, Busy b);
+  void leave_busy(DirLine& dl);
+
+  BankedMemory* mem_;
+  CacheConfig cache_;
+  BackingStore backing_;
+  std::uint8_t self_;
+  std::uint32_t retry_timeout_ = 0;
+  const CoherenceObserver* observer_ = nullptr;
+
+  std::map<std::uint16_t, DirLine> lines_;
+  std::deque<Deferred> deferred_;
+  std::size_t busy_lines_ = 0;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t nacks_ = 0;
+  std::uint64_t recalls_ = 0;
+  std::uint64_t invs_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t resends_ = 0;
+  std::size_t peak_tracked_ = 0;
+};
+
+}  // namespace mn::mem

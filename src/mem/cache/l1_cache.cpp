@@ -1,0 +1,140 @@
+#include "mem/cache/l1_cache.hpp"
+
+#include <cassert>
+
+namespace mn::mem {
+
+L1Cache::L1Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  ways_.resize(cfg_.sets * cfg_.ways);
+}
+
+L1Cache::Way* L1Cache::find(std::uint16_t line) {
+  Way* base = &ways_[set_of(line) * cfg_.ways];
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].line == line) {
+      return &base[w];
+    }
+  }
+  return nullptr;
+}
+
+const L1Cache::Way* L1Cache::find(std::uint16_t line) const {
+  return const_cast<L1Cache*>(this)->find(line);
+}
+
+bool L1Cache::load(std::uint16_t addr, std::uint16_t& value) {
+  Way* w = find(line_of(addr));
+  if (!w) {
+    ++misses_;
+    return false;
+  }
+  w->last_use = ++tick_;
+  value = w->data[addr & (cfg_.line_words - 1)];
+  ++hits_;
+  return true;
+}
+
+bool L1Cache::store(std::uint16_t addr, std::uint16_t value) {
+  Way* w = find(line_of(addr));
+  if (!w || w->state != LineState::kModified) {
+    ++misses_;
+    return false;
+  }
+  w->last_use = ++tick_;
+  w->data[addr & (cfg_.line_words - 1)] = value;
+  w->dirty = true;
+  ++hits_;
+  return true;
+}
+
+LineState L1Cache::state_of(std::uint16_t line) const {
+  const Way* w = find(line);
+  return w ? w->state : LineState::kInvalid;
+}
+
+std::optional<std::uint16_t> L1Cache::peek(std::uint16_t addr) const {
+  const Way* w = find(line_of(addr));
+  if (!w) return std::nullopt;
+  return w->data[addr & (cfg_.line_words - 1)];
+}
+
+L1Cache::Eviction L1Cache::peek_victim(std::uint16_t line) const {
+  const Way* base = &ways_[set_of(line) * cfg_.ways];
+  const Way* victim = nullptr;
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].state == LineState::kInvalid) return {};
+    if (!victim || base[w].last_use < victim->last_use) victim = &base[w];
+  }
+  Eviction ev;
+  ev.valid = true;
+  ev.dirty = victim->dirty;
+  ev.state = victim->state;
+  ev.line = victim->line;
+  ev.data = victim->data;
+  return ev;
+}
+
+void L1Cache::fill(std::uint16_t line, LineState state,
+                   std::vector<std::uint16_t> data, bool dirty) {
+  assert(state != LineState::kInvalid);
+  assert(data.size() == cfg_.line_words);
+  assert(!find(line));
+  Way* base = &ways_[set_of(line) * cfg_.ways];
+  Way* slot = nullptr;
+  for (std::size_t w = 0; w < cfg_.ways; ++w) {
+    if (base[w].state == LineState::kInvalid) {
+      slot = &base[w];
+      break;
+    }
+  }
+  assert(slot && "fill() requires a free way; evict the victim first");
+  slot->state = state;
+  slot->dirty = dirty;
+  slot->line = line;
+  slot->last_use = ++tick_;
+  slot->data = std::move(data);
+}
+
+LineState L1Cache::invalidate(std::uint16_t line) {
+  Way* w = find(line);
+  if (!w) return LineState::kInvalid;
+  const LineState prev = w->state;
+  if (prev != LineState::kInvalid) ++evictions_;
+  w->state = LineState::kInvalid;
+  w->dirty = false;
+  w->data.clear();
+  return prev;
+}
+
+std::vector<std::uint16_t> L1Cache::extract(std::uint16_t line) {
+  Way* w = find(line);
+  assert(w && "extract() of a line not present");
+  std::vector<std::uint16_t> data = std::move(w->data);
+  w->state = LineState::kInvalid;
+  w->dirty = false;
+  w->data.clear();
+  ++evictions_;
+  ++writebacks_;
+  return data;
+}
+
+void L1Cache::upgrade(std::uint16_t line) {
+  Way* w = find(line);
+  assert(w && w->state == LineState::kShared);
+  w->state = LineState::kModified;
+  w->last_use = ++tick_;
+}
+
+void L1Cache::for_each_line(
+    const std::function<void(std::uint16_t, LineState, bool)>& fn) const {
+  for (const Way& w : ways_) {
+    if (w.state != LineState::kInvalid) fn(w.line, w.state, w.dirty);
+  }
+}
+
+void L1Cache::clear() {
+  for (Way& w : ways_) w = Way{};
+  tick_ = hits_ = misses_ = evictions_ = writebacks_ = 0;
+}
+
+}  // namespace mn::mem

@@ -1,0 +1,98 @@
+#pragma once
+// Per-core write-back, write-allocate L1 cache (docs/MEMORY.md). Pure
+// state container: set-associative lookup, LRU victim choice, line
+// fill/extract/invalidate. All protocol sequencing (miss FSM, writeback
+// buffer, NACK retry) lives in ProcessorIp's coherence logic; all
+// addresses here are shared-window word offsets.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "mem/cache/config.hpp"
+
+namespace mn::mem {
+
+class L1Cache {
+ public:
+  explicit L1Cache(const CacheConfig& cfg);
+
+  /// Aligned line offset containing word offset `addr`.
+  std::uint16_t line_of(std::uint16_t addr) const {
+    return static_cast<std::uint16_t>(addr & ~(line_words() - 1));
+  }
+  std::size_t line_words() const { return cfg_.line_words; }
+
+  /// Read one word; returns false on miss (value untouched).
+  bool load(std::uint16_t addr, std::uint16_t& value);
+  /// Write one word; only hits in a Modified line (the protocol upgrades
+  /// S->M via GetM before retrying the store). Returns false otherwise.
+  bool store(std::uint16_t addr, std::uint16_t value);
+
+  /// Line state as seen by the protocol (kInvalid when absent).
+  LineState state_of(std::uint16_t line) const;
+
+  /// Read a word without touching LRU order or the hit/miss counters
+  /// (checker/debug use only). nullopt when the line is absent.
+  std::optional<std::uint16_t> peek(std::uint16_t addr) const;
+
+  /// Victim candidate for installing `line` in its set. `valid` is false
+  /// when a free way exists; `dirty` lines must be written back.
+  struct Eviction {
+    bool valid = false;
+    bool dirty = false;
+    LineState state = LineState::kInvalid;
+    std::uint16_t line = 0;
+    std::vector<std::uint16_t> data;
+  };
+  /// LRU victim that installing `line` would displace (no state change).
+  Eviction peek_victim(std::uint16_t line) const;
+
+  /// Install a line (after evicting any victim — asserted free way).
+  /// `dirty` pre-marks the line (a store committed into the fill data).
+  void fill(std::uint16_t line, LineState state,
+            std::vector<std::uint16_t> data, bool dirty = false);
+  /// Drop a line (Inv, or silent S eviction). Returns previous state.
+  LineState invalidate(std::uint16_t line);
+  /// Remove a line and return its data (PutM on Recall/eviction/flush).
+  std::vector<std::uint16_t> extract(std::uint16_t line);
+  /// S -> M upgrade in place (GetM granted while data already resident).
+  void upgrade(std::uint16_t line);
+
+  void for_each_line(
+      const std::function<void(std::uint16_t line, LineState state,
+                               bool dirty)>& fn) const;
+
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+
+ private:
+  struct Way {
+    LineState state = LineState::kInvalid;
+    bool dirty = false;
+    std::uint16_t line = 0;
+    std::uint64_t last_use = 0;
+    std::vector<std::uint16_t> data;
+  };
+
+  std::size_t set_of(std::uint16_t line) const {
+    return (line / cfg_.line_words) & (cfg_.sets - 1);
+  }
+  Way* find(std::uint16_t line);
+  const Way* find(std::uint16_t line) const;
+
+  CacheConfig cfg_;
+  std::vector<Way> ways_;  // sets * ways, row-major by set
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace mn::mem

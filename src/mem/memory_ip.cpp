@@ -1,58 +1,16 @@
 #include "mem/memory_ip.hpp"
 
-#include <algorithm>
-
 namespace mn::mem {
-
-bool MemoryServiceLogic::handle(const noc::ServiceMessage& msg,
-                                std::deque<noc::ServiceMessage>& replies) {
-  using noc::Service;
-  switch (msg.service) {
-    case Service::kWriteMem: {
-      std::uint16_t addr = msg.addr;
-      for (std::uint16_t w : msg.words) {
-        if (addr < BankedMemory::kWords) mem_->write(addr, w);
-        ++addr;
-      }
-      return true;
-    }
-    case Service::kReadMem: {
-      // Chunk the reply to the packet payload budget.
-      const std::size_t max_words =
-          noc::max_words_per_packet(Service::kReadReturn, e2e_);
-      std::uint16_t addr = msg.addr;
-      std::uint32_t remaining = msg.count;
-      do {
-        const std::size_t n =
-            std::min<std::uint32_t>(remaining,
-                                    static_cast<std::uint32_t>(max_words));
-        std::vector<std::uint16_t> words;
-        words.reserve(n);
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::uint16_t a = static_cast<std::uint16_t>(addr + i);
-          words.push_back(a < BankedMemory::kWords ? mem_->read(a) : 0);
-        }
-        replies.push_back(
-            noc::make_read_return(self_, msg.source,
-                                  addr, std::move(words)));
-        addr = static_cast<std::uint16_t>(addr + n);
-        remaining -= static_cast<std::uint32_t>(n);
-      } while (remaining > 0);
-      return true;
-    }
-    default:
-      return false;
-  }
-}
 
 MemoryIp::MemoryIp(sim::Simulator& sim, std::string name,
                    std::uint8_t self_addr, noc::LinkWires& to_router,
                    noc::LinkWires& from_router, noc::Reliability* rel)
     : sim::Component(std::move(name)),
+      sim_(&sim),
       rel_(rel),
       ni_(sim, this->name() + ".ni", to_router, from_router, 8, rel),
-      logic_(mem_, self_addr) {
-  logic_.set_e2e(e2e());
+      engine_(mem_, self_addr) {
+  engine_.set_e2e(e2e());
   sim.add(this);
   sim.co_schedule(this, &ni_);  // replies are queued by direct NI calls
   sim.metrics().probe(
@@ -60,21 +18,64 @@ MemoryIp::MemoryIp(sim::Simulator& sim, std::string name,
       [this] { return static_cast<double>(requests_served_); });
 }
 
+void MemoryIp::enable_coherence(const CacheConfig& cache,
+                                const BackingStoreConfig& backing) {
+  dir_ = std::make_unique<Directory>(mem_, cache, backing,
+                                     engine_.self_addr());
+  if (rel_) dir_->set_retry_timeout(rel_->e2e_retry_timeout);
+  auto& m = sim_->metrics();
+  const std::string p = "mem." + name() + ".dir.";
+  m.probe(p + "requests",
+          [this] { return static_cast<double>(dir_->requests()); });
+  m.probe(p + "nacks",
+          [this] { return static_cast<double>(dir_->nacks_sent()); });
+  m.probe(p + "recalls",
+          [this] { return static_cast<double>(dir_->recalls_sent()); });
+  m.probe(p + "invalidations", [this] {
+    return static_cast<double>(dir_->invalidations_sent());
+  });
+  m.probe(p + "writebacks",
+          [this] { return static_cast<double>(dir_->writebacks()); });
+  m.probe(p + "lines_tracked",
+          [this] { return static_cast<double>(dir_->lines_tracked()); });
+  m.probe(p + "peak_lines", [this] {
+    return static_cast<double>(dir_->peak_lines_tracked());
+  });
+  m.probe(p + "row_hits", [this] {
+    return static_cast<double>(dir_->backing().row_hits());
+  });
+  m.probe(p + "row_misses", [this] {
+    return static_cast<double>(dir_->backing().row_misses());
+  });
+  m.probe(p + "bank_wait_cycles", [this] {
+    return static_cast<double>(dir_->backing().bank_wait_cycles());
+  });
+}
+
 void MemoryIp::eval() {
+  const std::uint64_t now = sim_->cycle();
   // Handle one incoming request per cycle (single control logic).
   if (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    const auto msg = noc::decode(rp.packet, logic_.self_addr(), e2e());
-    if (msg && logic_.handle(*msg, pending_replies_)) {
-      ++requests_served_;
-    } else if (!msg && rel_) {
+    auto txn = decode_packet(rp.packet, engine_.self_addr(), e2e());
+    if (txn) {
+      txn->trace_id = rp.trace_id;
+      const TransactionResult r =
+          dir_ && is_coherence_op(txn->op)
+              ? dir_->handle(*txn, now, pending_replies_)
+              : engine_.handle(*txn, pending_replies_);
+      if (r.handled()) ++requests_served_;
+    } else if (rel_ && !noc::decode(rp.packet, engine_.self_addr(), e2e())) {
+      // Malformed or checksum-failed — a valid non-memory service is
+      // merely ignored, exactly as before the transaction API.
       noc::bump(rel_->recovery.e2e_drops);
     }
   }
+  if (dir_) dir_->tick(now, pending_replies_);
   // Stream out replies; wait for the NI to drain before queuing the next
   // packet (models the single shared NoC interface).
   if (!pending_replies_.empty() && ni_.tx_idle()) {
-    ni_.send_packet(noc::encode(pending_replies_.front(), e2e()));
+    ni_.send_packet(to_packet(pending_replies_.front(), e2e()));
     pending_replies_.pop_front();
   }
 }
@@ -83,6 +84,7 @@ void MemoryIp::reset() {
   mem_.clear();
   pending_replies_.clear();
   requests_served_ = 0;
+  if (dir_) dir_->clear();
 }
 
 }  // namespace mn::mem

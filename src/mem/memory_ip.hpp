@@ -2,49 +2,25 @@
 // Memory IP core (paper §2.3): 1K x 16-bit storage built from 4 BlockRAMs,
 // accessible through a processor interface and/or the NoC interface.
 //
-// Two deployment modes:
-//  * standalone `MemoryIp` component — the remote memory at node 11; owns
-//    its network interface and answers read/write service packets;
-//  * embedded inside a Processor IP — the ProcessorIp control logic owns
-//    the (single, shared) network interface and drives the same
-//    `MemoryServiceLogic`, with the busyNoCR8/busyNoCMem interlock giving
-//    the processor priority.
+// Requests arrive as typed mem::Transactions (transaction.hpp). Flat
+// read/write transactions are served by the TransactionEngine; with
+// coherence enabled (SystemConfig cache.coherence = msi) the IP also
+// hosts the MSI directory controller and the DRAM-class backing-store
+// timing model for the shared-window lines homed here (docs/MEMORY.md).
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 
 #include "mem/blockram.hpp"
+#include "mem/cache/directory.hpp"
+#include "mem/transaction.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/services.hpp"
 #include "sim/component.hpp"
+#include "sim/simulator.hpp"
 
 namespace mn::mem {
-
-/// Stateless-ish handler translating memory service requests into effects
-/// on a BankedMemory and reply messages.
-class MemoryServiceLogic {
- public:
-  explicit MemoryServiceLogic(BankedMemory& mem, std::uint8_t self_addr)
-      : mem_(&mem), self_(self_addr) {}
-
-  /// Apply a request. Write requests mutate memory and produce no reply.
-  /// Read requests produce one or more read-return messages (chunked to
-  /// the packet payload budget), appended to `replies`.
-  /// Returns true if the message was a memory service this logic handles.
-  bool handle(const noc::ServiceMessage& msg,
-              std::deque<noc::ServiceMessage>& replies);
-
-  std::uint8_t self_addr() const { return self_; }
-  void set_self_addr(std::uint8_t a) { self_ = a; }
-
-  /// Shrink reply chunks by the end-to-end checksum flit (fault.hpp).
-  void set_e2e(bool e2e) { e2e_ = e2e; }
-
- private:
-  BankedMemory* mem_;
-  std::uint8_t self_;
-  bool e2e_ = false;
-};
 
 /// Standalone remote Memory IP component.
 class MemoryIp final : public sim::Component {
@@ -55,16 +31,26 @@ class MemoryIp final : public sim::Component {
            noc::LinkWires& to_router, noc::LinkWires& from_router,
            noc::Reliability* rel = nullptr);
 
+  /// Attach the MSI directory + backing-store timing model. Called by
+  /// MultiNoc during construction when coherence is enabled.
+  void enable_coherence(const CacheConfig& cache,
+                        const BackingStoreConfig& backing);
+  Directory* directory() { return dir_.get(); }
+  const Directory* directory() const { return dir_.get(); }
+
   void eval() override;
   void reset() override;
 
   /// Partitioner weight: bank service loop, lighter than a CPU.
   double eval_cost() const override { return 4.0; }
 
-  /// Idle iff no request awaits service and no reply can leave (nothing
-  /// pending, or the NI is still shifting the previous packet out).
+  /// Idle iff no request awaits service, no reply can leave (nothing
+  /// pending, or the NI is still shifting the previous packet out), and
+  /// the directory has no deferred grant or outstanding forward.
   bool quiescent() const override {
-    return !ni_.has_packet() && (pending_replies_.empty() || !ni_.tx_idle());
+    return !ni_.has_packet() &&
+           (pending_replies_.empty() || !ni_.tx_idle()) &&
+           (!dir_ || dir_->idle());
   }
 
   BankedMemory& storage() { return mem_; }
@@ -76,11 +62,13 @@ class MemoryIp final : public sim::Component {
  private:
   bool e2e() const { return rel_ && rel_->e2e_checksum; }
 
+  sim::Simulator* sim_;
   BankedMemory mem_;
   noc::Reliability* rel_ = nullptr;
   noc::NetworkInterface ni_;
-  MemoryServiceLogic logic_;
-  std::deque<noc::ServiceMessage> pending_replies_;
+  TransactionEngine engine_;
+  std::unique_ptr<Directory> dir_;
+  std::deque<Transaction> pending_replies_;
   std::uint64_t requests_served_ = 0;
 };
 

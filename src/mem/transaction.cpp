@@ -1,0 +1,263 @@
+#include "mem/transaction.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace mn::mem {
+
+const char* txn_op_name(TxnOp op) {
+  switch (op) {
+    case TxnOp::kReadWords: return "read_words";
+    case TxnOp::kWriteWords: return "write_words";
+    case TxnOp::kReadReply: return "read_reply";
+    case TxnOp::kGetS: return "get_s";
+    case TxnOp::kGetM: return "get_m";
+    case TxnOp::kPutM: return "put_m";
+    case TxnOp::kPutAck: return "put_ack";
+    case TxnOp::kDataS: return "data_s";
+    case TxnOp::kDataM: return "data_m";
+    case TxnOp::kInv: return "inv";
+    case TxnOp::kInvAck: return "inv_ack";
+    case TxnOp::kRecall: return "recall";
+    case TxnOp::kNack: return "nack";
+  }
+  return "?";
+}
+
+bool is_coherence_op(TxnOp op) {
+  return op >= TxnOp::kGetS && op <= TxnOp::kNack;
+}
+
+Transaction txn_read(std::uint8_t src, std::uint8_t dst, std::uint16_t addr,
+                     std::uint16_t count) {
+  Transaction t;
+  t.op = TxnOp::kReadWords;
+  t.source = src;
+  t.target = dst;
+  t.addr = addr;
+  t.count = count;
+  return t;
+}
+
+Transaction txn_write(std::uint8_t src, std::uint8_t dst, std::uint16_t addr,
+                      std::vector<std::uint16_t> words) {
+  Transaction t;
+  t.op = TxnOp::kWriteWords;
+  t.source = src;
+  t.target = dst;
+  t.addr = addr;
+  t.data = std::move(words);
+  return t;
+}
+
+Transaction txn_read_reply(std::uint8_t src, std::uint8_t dst,
+                           std::uint16_t addr,
+                           std::vector<std::uint16_t> words) {
+  Transaction t;
+  t.op = TxnOp::kReadReply;
+  t.source = src;
+  t.target = dst;
+  t.addr = addr;
+  t.data = std::move(words);
+  return t;
+}
+
+Transaction txn_coherence(TxnOp op, std::uint8_t src, std::uint8_t dst,
+                          std::uint8_t core, std::uint16_t line_addr,
+                          std::uint16_t line_words,
+                          std::vector<std::uint16_t> data) {
+  assert(is_coherence_op(op));
+  Transaction t;
+  t.op = op;
+  t.source = src;
+  t.target = dst;
+  t.core = core;
+  t.addr = line_addr;
+  t.count = line_words;
+  t.data = std::move(data);
+  return t;
+}
+
+noc::ServiceMessage to_message(const Transaction& t) {
+  assert(!is_coherence_op(t.op));
+  noc::ServiceMessage m;
+  m.source = t.source;
+  m.target = t.target;
+  m.addr = t.addr;
+  switch (t.op) {
+    case TxnOp::kReadWords:
+      m.service = noc::Service::kReadMem;
+      m.count = t.count;
+      break;
+    case TxnOp::kWriteWords:
+      m.service = noc::Service::kWriteMem;
+      m.words = t.data;
+      break;
+    case TxnOp::kReadReply:
+      m.service = noc::Service::kReadReturn;
+      m.words = t.data;
+      break;
+    default:
+      break;
+  }
+  return m;
+}
+
+std::optional<Transaction> from_message(const noc::ServiceMessage& m) {
+  Transaction t;
+  t.source = m.source;
+  t.target = m.target;
+  t.addr = m.addr;
+  switch (m.service) {
+    case noc::Service::kReadMem:
+      t.op = TxnOp::kReadWords;
+      t.count = m.count;
+      return t;
+    case noc::Service::kWriteMem:
+      t.op = TxnOp::kWriteWords;
+      t.data = m.words;
+      return t;
+    case noc::Service::kReadReturn:
+      t.op = TxnOp::kReadReply;
+      t.data = m.words;
+      return t;
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+void push_word(std::vector<std::uint8_t>& v, std::uint16_t w) {
+  v.push_back(static_cast<std::uint8_t>(w >> 8));
+  v.push_back(static_cast<std::uint8_t>(w & 0xFF));
+}
+
+std::uint16_t pull_word(const std::vector<std::uint8_t>& v, std::size_t at) {
+  return static_cast<std::uint16_t>((v[at] << 8) | v[at + 1]);
+}
+
+constexpr std::size_t kEnvelopeHeader = 8;  // code src op core addr16 count16
+
+}  // namespace
+
+noc::Packet to_packet(const Transaction& t, bool e2e) {
+  if (!is_coherence_op(t.op)) return noc::encode(to_message(t), e2e);
+  noc::Packet p;
+  p.target = t.target;
+  p.payload.push_back(static_cast<std::uint8_t>(noc::Service::kMemTxn));
+  p.payload.push_back(t.source);
+  p.payload.push_back(static_cast<std::uint8_t>(t.op));
+  p.payload.push_back(t.core);
+  push_word(p.payload, t.addr);
+  push_word(p.payload, t.count);
+  for (std::uint16_t w : t.data) push_word(p.payload, w);
+  if (e2e) p.payload.push_back(noc::e2e_checksum(p.target, p.payload));
+  assert(p.payload.size() <= noc::kMaxPayloadFlits);
+  return p;
+}
+
+bool is_memory_packet(const noc::Packet& p) {
+  if (p.payload.empty()) return false;
+  const auto code = p.payload[0];
+  return code == static_cast<std::uint8_t>(noc::Service::kReadMem) ||
+         code == static_cast<std::uint8_t>(noc::Service::kWriteMem) ||
+         code == static_cast<std::uint8_t>(noc::Service::kReadReturn) ||
+         code == static_cast<std::uint8_t>(noc::Service::kMemTxn);
+}
+
+std::optional<Transaction> decode_packet(const noc::Packet& p,
+                                         std::uint8_t receiver, bool e2e) {
+  const auto& pl = p.payload;
+  if (pl.empty()) return std::nullopt;
+  if (pl[0] != static_cast<std::uint8_t>(noc::Service::kMemTxn)) {
+    const auto msg = noc::decode(p, receiver, e2e);
+    if (!msg) return std::nullopt;
+    return from_message(*msg);
+  }
+  if (e2e) {
+    // Same discipline as noc::decode: verify against `receiver`, not
+    // p.target, so a corrupted misrouting header is caught here.
+    std::vector<std::uint8_t> body(pl.begin(), std::prev(pl.end()));
+    if (noc::e2e_checksum(receiver, body) != pl.back()) return std::nullopt;
+    noc::Packet stripped;
+    stripped.target = p.target;
+    stripped.payload = std::move(body);
+    return decode_packet(stripped, receiver, false);
+  }
+  if (pl.size() < kEnvelopeHeader) return std::nullopt;
+  const auto op = pl[2];
+  if (op < static_cast<std::uint8_t>(TxnOp::kGetS) ||
+      op > static_cast<std::uint8_t>(TxnOp::kNack)) {
+    return std::nullopt;
+  }
+  if ((pl.size() - kEnvelopeHeader) % 2 != 0) return std::nullopt;
+  Transaction t;
+  t.op = static_cast<TxnOp>(op);
+  t.source = pl[1];
+  t.target = receiver;
+  t.core = pl[3];
+  t.addr = pull_word(pl, 4);
+  t.count = pull_word(pl, 6);
+  for (std::size_t i = kEnvelopeHeader; i + 1 < pl.size(); i += 2) {
+    t.data.push_back(pull_word(pl, i));
+  }
+  return t;
+}
+
+std::string to_string(const Transaction& t) {
+  std::ostringstream oss;
+  oss << txn_op_name(t.op) << "{src=" << std::hex << int(t.source)
+      << " dst=" << int(t.target) << std::dec << " core=" << int(t.core)
+      << " addr=" << t.addr << " count=" << t.count << " data=[";
+  for (std::size_t i = 0; i < t.data.size(); ++i) {
+    if (i) oss << ' ';
+    oss << t.data[i];
+  }
+  oss << "]}";
+  return oss.str();
+}
+
+TransactionResult TransactionEngine::handle(const Transaction& t,
+                                            std::deque<Transaction>& out) {
+  switch (t.op) {
+    case TxnOp::kWriteWords: {
+      std::uint16_t addr = t.addr;
+      for (std::uint16_t w : t.data) {
+        if (addr < BankedMemory::kWords) mem_->write(addr, w);
+        ++addr;
+      }
+      return {TxnStatus::kApplied, 0};
+    }
+    case TxnOp::kReadWords: {
+      // Chunk the reply to the packet payload budget; a count of zero
+      // still yields one (empty) reply so the requester always unblocks.
+      const std::size_t max_words =
+          noc::max_words_per_packet(noc::Service::kReadReturn, e2e_);
+      std::uint16_t addr = t.addr;
+      std::uint32_t remaining = t.count;
+      std::size_t replies = 0;
+      do {
+        const std::size_t n = std::min<std::uint32_t>(
+            remaining, static_cast<std::uint32_t>(max_words));
+        std::vector<std::uint16_t> words;
+        words.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint16_t a = static_cast<std::uint16_t>(addr + i);
+          words.push_back(a < BankedMemory::kWords ? mem_->read(a) : 0);
+        }
+        out.push_back(txn_read_reply(self_, t.source, addr,
+                                     std::move(words)));
+        ++replies;
+        addr = static_cast<std::uint16_t>(addr + n);
+        remaining -= static_cast<std::uint32_t>(n);
+      } while (remaining > 0);
+      return {TxnStatus::kReplied, replies};
+    }
+    default:
+      return {TxnStatus::kIgnored, 0};
+  }
+}
+
+}  // namespace mn::mem

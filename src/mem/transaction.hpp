@@ -1,0 +1,150 @@
+#pragma once
+// Typed memory-transaction API (docs/MEMORY.md).
+//
+// One request/response vocabulary for every memory access that crosses
+// the NoC: the legacy flat read/write/read-return services and the MSI
+// coherence protocol (GetS/GetM/PutM, Inv/InvAck, Recall, data replies,
+// NACK). ProcessorIp, SerialIp (on behalf of the Host) and the directory
+// controller all speak `Transaction`; the hand-rolled per-call-site
+// ServiceMessage construction this replaces lived in noc/services.hpp.
+//
+// Wire mapping:
+//  * kReadWords / kWriteWords / kReadReply travel as the original
+//    kReadMem / kWriteMem / kReadReturn service packets — bit-identical
+//    to the pre-transaction encoding, so `coherence: none` systems match
+//    the seed behavior byte for byte.
+//  * Coherence ops travel in the kMemTxn service envelope:
+//      payload = [0x0A, source, op, core, addr_hi, addr_lo,
+//                 count_hi, count_lo, (word_hi word_lo)*, (e2e)]
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/blockram.hpp"
+#include "noc/services.hpp"
+
+namespace mn::mem {
+
+enum class TxnOp : std::uint8_t {
+  // Flat (uncached) word transactions; 1:1 with the legacy services.
+  kReadWords = 1,
+  kWriteWords,
+  kReadReply,
+  // MSI coherence protocol (cache <-> directory).
+  kGetS,     ///< requester wants a Shared copy of a line
+  kGetM,     ///< requester wants Modified (exclusive) ownership
+  kPutM,     ///< owner writes a dirty line back (eviction/recall/flush)
+  kPutAck,   ///< home acknowledges a PutM (sender may free its buffer)
+  kDataS,    ///< home grants line data in Shared state
+  kDataM,    ///< home grants line data in Modified state
+  kInv,      ///< home tells a sharer to drop its copy
+  kInvAck,   ///< sharer confirms the drop
+  kRecall,   ///< home tells the owner to write back and drop
+  kNack,     ///< home is busy serializing the line; retry later
+};
+
+const char* txn_op_name(TxnOp op);
+bool is_coherence_op(TxnOp op);
+
+/// The unit every memory conversation is made of. `source`/`target` are
+/// encoded-XY router addresses; `core` is the 1-based tenant/processor
+/// number behind a coherence request (0 = host or n/a); `trace_id`
+/// correlates a transaction with the packet spans the tracer records
+/// (docs/OBSERVABILITY.md) and never travels on the wire.
+struct Transaction {
+  TxnOp op = TxnOp::kReadWords;
+  std::uint8_t source = 0;
+  std::uint8_t target = 0;
+  std::uint8_t core = 0;
+  std::uint16_t addr = 0;
+  std::uint16_t count = 0;
+  std::uint32_t trace_id = 0;
+  std::vector<std::uint16_t> data;
+
+  bool operator==(const Transaction& o) const {
+    return op == o.op && source == o.source && target == o.target &&
+           core == o.core && addr == o.addr && count == o.count &&
+           data == o.data;  // trace_id is observability-only
+  }
+};
+
+/// Factories.
+Transaction txn_read(std::uint8_t src, std::uint8_t dst, std::uint16_t addr,
+                     std::uint16_t count);
+Transaction txn_write(std::uint8_t src, std::uint8_t dst, std::uint16_t addr,
+                      std::vector<std::uint16_t> words);
+Transaction txn_read_reply(std::uint8_t src, std::uint8_t dst,
+                           std::uint16_t addr,
+                           std::vector<std::uint16_t> words);
+/// Coherence op; `count` is the line length in words, `data` travels only
+/// on kPutM/kDataS/kDataM.
+Transaction txn_coherence(TxnOp op, std::uint8_t src, std::uint8_t dst,
+                          std::uint8_t core, std::uint16_t line_addr,
+                          std::uint16_t line_words,
+                          std::vector<std::uint16_t> data = {});
+
+/// Flat ops <-> legacy ServiceMessage (bit-identical wire bytes).
+/// to_message asserts on coherence ops; from_message returns nullopt for
+/// any non-memory service.
+noc::ServiceMessage to_message(const Transaction& t);
+std::optional<Transaction> from_message(const noc::ServiceMessage& m);
+
+/// Serialize for the NoC: flat ops via the legacy service layout,
+/// coherence ops via the kMemTxn envelope.
+noc::Packet to_packet(const Transaction& t, bool e2e = false);
+
+/// True if the packet is addressed to this API (a legacy memory service
+/// or a kMemTxn envelope) — cheap pre-test before decode_packet.
+bool is_memory_packet(const noc::Packet& p);
+
+/// Parse a received packet into a Transaction. Returns nullopt on
+/// malformed payloads, checksum mismatch, or non-memory services.
+std::optional<Transaction> decode_packet(const noc::Packet& p,
+                                         std::uint8_t receiver,
+                                         bool e2e = false);
+
+std::string to_string(const Transaction& t);
+
+/// Outcome of handing a transaction to an engine or controller.
+enum class TxnStatus : std::uint8_t {
+  kApplied,  ///< state was mutated, no reply needed (writes, acks)
+  kReplied,  ///< one or more reply transactions were queued
+  kNacked,   ///< rejected busy; the requester must retry
+  kIgnored,  ///< stale/duplicate/foreign; dropped without effect
+};
+
+struct TransactionResult {
+  TxnStatus status = TxnStatus::kIgnored;
+  std::size_t replies = 0;  ///< transactions appended to the out queue
+
+  bool handled() const { return status != TxnStatus::kIgnored; }
+};
+
+/// Flat-transaction engine over a BankedMemory: the request handler
+/// behind every Memory IP (and each processor's local-memory service
+/// window). Write transactions mutate memory; read transactions emit
+/// kReadReply transactions chunked to the packet payload budget.
+class TransactionEngine {
+ public:
+  TransactionEngine(BankedMemory& mem, std::uint8_t self_addr)
+      : mem_(&mem), self_(self_addr) {}
+
+  TransactionResult handle(const Transaction& t,
+                           std::deque<Transaction>& out);
+
+  std::uint8_t self_addr() const { return self_; }
+  void set_self_addr(std::uint8_t a) { self_ = a; }
+
+  /// Shrink reply chunks by the end-to-end checksum flit (fault.hpp).
+  void set_e2e(bool e2e) { e2e_ = e2e; }
+
+ private:
+  BankedMemory* mem_;
+  std::uint8_t self_;
+  bool e2e_ = false;
+};
+
+}  // namespace mn::mem

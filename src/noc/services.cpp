@@ -18,6 +18,7 @@ const char* service_name(Service s) {
     case Service::kScanfReturn: return "scanf_return";
     case Service::kNotify: return "notify";
     case Service::kWait: return "wait";
+    case Service::kMemTxn: return "mem_txn";
   }
   return "?";
 }
@@ -34,41 +35,6 @@ std::uint16_t pull_word(const std::vector<std::uint8_t>& v, std::size_t at) {
 }
 
 }  // namespace
-
-ServiceMessage make_read(std::uint8_t src, std::uint8_t dst,
-                         std::uint16_t addr, std::uint16_t count) {
-  ServiceMessage m;
-  m.service = Service::kReadMem;
-  m.source = src;
-  m.target = dst;
-  m.addr = addr;
-  m.count = count;
-  return m;
-}
-
-ServiceMessage make_read_return(std::uint8_t src, std::uint8_t dst,
-                                std::uint16_t addr,
-                                std::vector<std::uint16_t> words) {
-  ServiceMessage m;
-  m.service = Service::kReadReturn;
-  m.source = src;
-  m.target = dst;
-  m.addr = addr;
-  m.words = std::move(words);
-  return m;
-}
-
-ServiceMessage make_write(std::uint8_t src, std::uint8_t dst,
-                          std::uint16_t addr,
-                          std::vector<std::uint16_t> words) {
-  ServiceMessage m;
-  m.service = Service::kWriteMem;
-  m.source = src;
-  m.target = dst;
-  m.addr = addr;
-  m.words = std::move(words);
-  return m;
-}
 
 ServiceMessage make_activate(std::uint8_t src, std::uint8_t dst) {
   ServiceMessage m;
@@ -183,6 +149,9 @@ Packet encode(const ServiceMessage& msg, bool e2e) {
     case Service::kWait:
       p.payload.push_back(msg.param);
       break;
+    case Service::kMemTxn:
+      assert(false && "kMemTxn packets are built by mem::to_packet");
+      break;
   }
   if (e2e) p.payload.push_back(e2e_checksum(p.target, p.payload));
   assert(p.payload.size() <= kMaxPayloadFlits);
@@ -250,6 +219,10 @@ std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
       if (pl.size() != 3) return std::nullopt;
       m.param = pl[2];
       break;
+    case Service::kMemTxn:
+      // Unreachable (the code range check above excludes 0x0A); the
+      // envelope is parsed by mem::decode_packet.
+      return std::nullopt;
   }
   return m;
 }

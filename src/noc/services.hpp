@@ -37,6 +37,9 @@ enum class Service : std::uint8_t {
   kScanfReturn = 0x07,
   kNotify = 0x08,
   kWait = 0x09,
+  // Typed memory-transaction envelope (mem/transaction.hpp). The mem
+  // layer owns its encode/decode; this layer only reserves the code.
+  kMemTxn = 0x0A,
 };
 
 const char* service_name(Service s);
@@ -54,15 +57,9 @@ struct ServiceMessage {
   bool operator==(const ServiceMessage&) const = default;
 };
 
-/// Factory helpers for each service.
-ServiceMessage make_read(std::uint8_t src, std::uint8_t dst,
-                         std::uint16_t addr, std::uint16_t count);
-ServiceMessage make_read_return(std::uint8_t src, std::uint8_t dst,
-                                std::uint16_t addr,
-                                std::vector<std::uint16_t> words);
-ServiceMessage make_write(std::uint8_t src, std::uint8_t dst,
-                          std::uint16_t addr,
-                          std::vector<std::uint16_t> words);
+/// Factory helpers for each non-memory service. Memory traffic (read,
+/// write, read-return, coherence) is constructed through the typed
+/// mem::Transaction API (mem/transaction.hpp) instead.
 ServiceMessage make_activate(std::uint8_t src, std::uint8_t dst);
 ServiceMessage make_printf(std::uint8_t src, std::uint8_t dst,
                            std::vector<std::uint16_t> words);

@@ -1,5 +1,6 @@
 #include "serial/serial_ip.hpp"
 
+#include "mem/transaction.hpp"
 #include "sim/log.hpp"
 
 namespace mn::serial {
@@ -132,16 +133,16 @@ void SerialIp::dispatch_host_frame() {
   const std::uint8_t target = frame_[1];
   switch (cmd) {
     case HostCmd::kRead:
-      to_noc_.push_back(
-          noc::make_read(self_, target, word(2), word(4)));
+      to_noc_.push_back(mem::to_message(
+          mem::txn_read(self_, target, word(2), word(4))));
       break;
     case HostCmd::kWrite: {
       std::vector<std::uint16_t> words;
       const std::size_t cnt = frame_[4];
       words.reserve(cnt);
       for (std::size_t i = 0; i < cnt; ++i) words.push_back(word(5 + 2 * i));
-      to_noc_.push_back(
-          noc::make_write(self_, target, word(2), std::move(words)));
+      to_noc_.push_back(mem::to_message(
+          mem::txn_write(self_, target, word(2), std::move(words))));
       break;
     }
     case HostCmd::kActivate:

@@ -6,6 +6,7 @@
 // intended (and here implemented) mapping subtracts the window base:
 // `address - 1024` / `address - 2048`. A regression test pins this down.
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mn::sys {
@@ -49,6 +50,20 @@ constexpr DecodedAddress decode_address(std::uint16_t addr) {
   if (addr == kAddrWait) return {Region::kWait, 0};
   if (addr == kAddrIo) return {Region::kIo, 0};
   return {Region::kInvalid, 0};
+}
+
+/// Size of the shared-memory window (the kRemoteMem region) in words.
+inline constexpr std::uint16_t kSharedWindowWords =
+    kRemoteMemEnd - kRemoteMemBase;
+
+/// Home-node selection for the coherence directory (docs/MEMORY.md):
+/// shared-window lines interleave line-by-line across the Memory IPs, so
+/// every line has exactly one serializing home and hot lines spread over
+/// homes instead of converging on one.
+constexpr std::size_t shared_home_index(std::uint16_t offset,
+                                        std::size_t line_words,
+                                        std::size_t home_count) {
+  return (offset / line_words) % home_count;
 }
 
 }  // namespace mn::sys

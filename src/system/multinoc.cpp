@@ -124,6 +124,43 @@ std::vector<ConfigError> SystemConfig::validate() const {
                           std::to_string(threads)});
   }
 
+  if (cache.coherence != mem::Coherence::kNone) {
+    const auto pow2 = [](std::size_t v) {
+      return v != 0 && (v & (v - 1)) == 0;
+    };
+    if (memory_nodes.empty()) {
+      errors.push_back({"cache.coherence",
+                        "coherence needs at least one memory IP to act as "
+                        "directory home node"});
+    }
+    if (!pow2(cache.line_words) || cache.line_words > 64) {
+      errors.push_back({"cache.line_words",
+                        "line size must be a power of two in [1, 64] words "
+                        "(a line must fit one kMemTxn packet), got " +
+                            std::to_string(cache.line_words)});
+    }
+    if (!pow2(cache.sets)) {
+      errors.push_back({"cache.sets",
+                        "set count must be a power of two, got " +
+                            std::to_string(cache.sets)});
+    }
+    if (cache.ways < 1) {
+      errors.push_back({"cache.ways", "at least one way is required"});
+    }
+    if (!pow2(backing.banks)) {
+      errors.push_back({"backing.banks",
+                        "bank count must be a power of two, got " +
+                            std::to_string(backing.banks)});
+    }
+    if (!pow2(backing.row_words) ||
+        backing.row_words < cache.line_words) {
+      errors.push_back(
+          {"backing.row_words",
+           "row size must be a power of two and hold at least one cache "
+           "line, got " + std::to_string(backing.row_words) + " words"});
+    }
+  }
+
   if (exec_mode == ExecMode::kSampled) {
     if (sampling.fast_window == 0) {
       errors.push_back({"sampling.fast_window",
@@ -184,6 +221,11 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
   }
 
   const std::uint8_t mem_addr = noc::encode_xy(cfg.memory_nodes[0]);
+  std::vector<std::uint8_t> memory_addrs;
+  memory_addrs.reserve(cfg.memory_nodes.size());
+  for (const noc::XY n : cfg.memory_nodes) {
+    memory_addrs.push_back(noc::encode_xy(n));
+  }
   for (std::size_t i = 0; i < cfg.processor_nodes.size(); ++i) {
     const noc::XY node = cfg.processor_nodes[i];
     ProcessorConfig pc;
@@ -196,6 +238,8 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
     pc.serial_addr = serial_addr;
     pc.proc_number = static_cast<std::uint8_t>(i + 1);
     pc.proc_addr_by_number = num2addr;
+    pc.memory_addrs = memory_addrs;
+    pc.cache = cfg.cache;
     pc.exec_mode = cfg.exec_mode;
     pc.sampling = cfg.sampling;
     processors_.push_back(std::make_unique<ProcessorIp>(
@@ -210,6 +254,16 @@ MultiNoc::MultiNoc(sim::Simulator& sim, const SystemConfig& cfg)
         sim, "mem" + std::to_string(i), noc::encode_xy(node),
         mesh_->local_in(node.x, node.y), mesh_->local_out(node.x, node.y),
         rel_.get()));
+    if (cfg.cache.coherence != mem::Coherence::kNone) {
+      memories_.back()->enable_coherence(cfg.cache, cfg.backing);
+    }
+  }
+}
+
+void MultiNoc::set_coherence_observer(const mem::CoherenceObserver* obs) {
+  for (auto& p : processors_) p->set_coherence_observer(obs);
+  for (auto& m : memories_) {
+    if (m->directory()) m->directory()->set_observer(obs);
   }
 }
 

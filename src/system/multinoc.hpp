@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "mem/cache/config.hpp"
 #include "mem/memory_ip.hpp"
 #include "noc/mesh.hpp"
 #include "serial/serial_ip.hpp"
@@ -48,6 +49,15 @@ struct SystemConfig {
   noc::FaultConfig faults;          ///< injector configuration (disarmed)
   bool e2e_checksum = false;        ///< end-to-end packet checksum
   unsigned e2e_retry_timeout = 0;   ///< read/scanf re-issue delay (0 = off)
+
+  // Shared-memory hierarchy (docs/MEMORY.md). Default Coherence::kNone:
+  // processors access the remote-memory window with flat uncached
+  // transactions, bit-identical to a system built before the cache layer
+  // existed. With Coherence::kMsi every processor gets a write-back L1
+  // over the shared window and every Memory IP hosts the MSI directory +
+  // DRAM-class backing timing for the lines homed on it.
+  mem::CacheConfig cache;
+  mem::BackingStoreConfig backing;
 
   // Per-core execution mode (docs/EXECUTION.md). Default kAccurate: every
   // processor instruction through the cycle-accurate pipeline, exactly as
@@ -100,6 +110,17 @@ class MultiNoc {
   /// the SystemConfig enabled protection or the injector is armed.
   noc::Reliability& reliability() { return *rel_; }
   const noc::Reliability& reliability() const { return *rel_; }
+
+  /// True when the system was built with cache.coherence != kNone.
+  bool coherent() const {
+    return cfg_.cache.coherence != mem::Coherence::kNone;
+  }
+
+  /// Fan a coherence observer out to every L1 and every directory
+  /// (invariant checking, docs/MEMORY.md). The observer must outlive the
+  /// system; with a threaded kernel its hooks fire from worker threads
+  /// and must synchronize internally. nullptr detaches.
+  void set_coherence_observer(const mem::CoherenceObserver* obs);
 
   /// Attach a packet/flit span tracer to the whole system: every router
   /// output port gets a track and every network interface (serial,

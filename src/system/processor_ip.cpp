@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cassert>
 
 #include "sim/log.hpp"
 
@@ -40,9 +41,12 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
     : sim::Component(std::move(name)),
       cfg_(cfg),
       rel_(rel),
-      mem_logic_(mem_, cfg.self_addr),
+      mem_engine_(mem_, cfg.self_addr),
       ni_(sim, this->name() + ".ni", to_router, from_router, 8, rel) {
-  mem_logic_.set_e2e(e2e());
+  mem_engine_.set_e2e(e2e());
+  if (cfg_.cache.coherence == mem::Coherence::kMsi) {
+    l1_ = std::make_unique<mem::L1Cache>(cfg_.cache);
+  }
   sim.add(this);
   sim.co_schedule(this, &ni_);  // control logic drives the NI directly
   auto& m = sim.metrics();
@@ -66,6 +70,24 @@ ProcessorIp::ProcessorIp(sim::Simulator& sim, std::string name,
           [this] { return static_cast<double>(notifies_sent_); });
   m.probe(prefix + "waits_completed",
           [this] { return static_cast<double>(waits_completed_); });
+
+  if (l1_) {
+    const std::string cp = "mem.cache." + this->name() + ".";
+    m.probe(cp + "hits",
+            [this] { return static_cast<double>(l1_->hits()); });
+    m.probe(cp + "misses",
+            [this] { return static_cast<double>(l1_->misses()); });
+    m.probe(cp + "evictions",
+            [this] { return static_cast<double>(l1_->evictions()); });
+    m.probe(cp + "writebacks",
+            [this] { return static_cast<double>(l1_->writebacks()); });
+    m.probe(cp + "nacks",
+            [this] { return static_cast<double>(coh_nacks_); });
+    m.probe(cp + "bypass_loads",
+            [this] { return static_cast<double>(bypass_loads_); });
+    m.probe(cp + "miss_stall_cycles",
+            [this] { return static_cast<double>(miss_stall_cycles_); });
+  }
 
   if (cfg_.exec_mode == ExecMode::kSampled) {
     fast_window_left_ = cfg_.sampling.fast_window;
@@ -98,6 +120,10 @@ bool ProcessorIp::quiescent() const {
   if (ni_.has_packet() || !cpu_out_.empty() || !mem_out_.empty()) {
     return false;
   }
+  // A coherent miss or an un-acked writeback keeps timers running.
+  if (l1_ && (miss_state_ != MissState::kIdle || !wb_.empty())) {
+    return false;
+  }
   // A halted CPU ticks as a no-op (no counters move). A CPU stalled on a
   // memory reply or scanf is NOT idle: tick() still accrues cycle and
   // stall-cycle counts, which must match the ungated kernel exactly.
@@ -118,9 +144,21 @@ void ProcessorIp::eval() {
   if (fast_active_ && ni_.has_packet()) leave_fast();
 
   // 1. Ingest NoC packets (activate, notify, wait, memory services,
-  //    read/scanf returns).
+  //    read/scanf returns, coherence transactions).
   while (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
+    if (l1_ && !rp.packet.payload.empty() &&
+        rp.packet.payload[0] ==
+            static_cast<std::uint8_t>(noc::Service::kMemTxn)) {
+      const auto txn = mem::decode_packet(rp.packet, cfg_.self_addr, e2e());
+      if (!txn) {
+        if (rel_) noc::bump(rel_->recovery.e2e_drops);
+        MN_ERROR(name(), "malformed coherence packet dropped");
+        continue;
+      }
+      handle_coherence(*txn);
+      continue;
+    }
     const auto msg = noc::decode(rp.packet, cfg_.self_addr, e2e());
     if (!msg) {
       if (rel_) noc::bump(rel_->recovery.e2e_drops);
@@ -130,14 +168,17 @@ void ProcessorIp::eval() {
     handle_incoming(*msg);
   }
 
+  // 1b. Coherence housekeeping: gated miss issue, e2e re-issue timers.
+  if (l1_) coherence_tick();
+
   // 2. Drive the shared NoC interface: processor traffic has priority over
   //    local-memory replies (busyNoCR8 beats busyNoCMem).
   if (ni_.tx_idle()) {
     if (!cpu_out_.empty()) {
-      ni_.send_packet(noc::encode(cpu_out_.front(), e2e()));
+      ni_.send_packet(cpu_out_.front());
       cpu_out_.pop_front();
     } else if (!mem_out_.empty()) {
-      ni_.send_packet(noc::encode(mem_out_.front(), e2e()));
+      ni_.send_packet(mem::to_packet(mem_out_.front(), e2e()));
       mem_out_.pop_front();
     }
   }
@@ -176,6 +217,9 @@ bool ProcessorIp::fast_entry_ok() const {
   // Any in-flight NoC business pins the accurate core: outstanding reads
   // or scanfs, a CPU-issued wait, egress backlog, undelivered packets.
   if (read_state_ != ReadState::kIdle || scanf_state_ != ReadState::kIdle) {
+    return false;
+  }
+  if (l1_ && (miss_state_ != MissState::kIdle || !wb_.empty())) {
     return false;
   }
   if (wait_for_ != 0 || external_wait_ != 0) return false;
@@ -291,10 +335,12 @@ void ProcessorIp::handle_incoming(const noc::ServiceMessage& msg) {
       external_wait_ = msg.param;
       return;
     case Service::kReadMem:
-    case Service::kWriteMem:
+    case Service::kWriteMem: {
       // Local memory service on behalf of another IP / the host.
-      mem_logic_.handle(msg, mem_out_);
+      const auto txn = mem::from_message(msg);
+      if (txn) mem_engine_.handle(*txn, mem_out_);
       return;
+    }
     default:
       MN_ERROR(name(), "unexpected service "
                            << noc::service_name(msg.service));
@@ -306,7 +352,8 @@ bool ProcessorIp::remote_read(std::uint8_t target, std::uint16_t offset,
                               std::uint16_t& out) {
   switch (read_state_) {
     case ReadState::kIdle:
-      cpu_out_.push_back(noc::make_read(cfg_.self_addr, target, offset, 1));
+      cpu_out_.push_back(mem::to_packet(
+          mem::txn_read(cfg_.self_addr, target, offset, 1), e2e()));
       read_state_ = ReadState::kWaiting;
       read_addr_ = offset;
       read_timer_ = 0;
@@ -317,8 +364,8 @@ bool ProcessorIp::remote_read(std::uint8_t target, std::uint16_t offset,
       // runs once per cycle: count down to the end-to-end retry.
       if (retry_timeout() != 0 && ++read_timer_ >= retry_timeout()) {
         read_timer_ = 0;
-        cpu_out_.push_back(
-            noc::make_read(cfg_.self_addr, target, offset, 1));
+        cpu_out_.push_back(mem::to_packet(
+            mem::txn_read(cfg_.self_addr, target, offset, 1), e2e()));
         noc::bump(rel_->recovery.e2e_retries);
       }
       return false;
@@ -330,6 +377,314 @@ bool ProcessorIp::remote_read(std::uint8_t target, std::uint16_t offset,
   return false;
 }
 
+// ---------------------------------------------------------------------------
+// Coherent L1 path (requester side of the MSI protocol, docs/MEMORY.md)
+// ---------------------------------------------------------------------------
+
+std::uint8_t ProcessorIp::home_addr(std::uint16_t line) const {
+  return cfg_.memory_addrs[shared_home_index(line, cfg_.cache.line_words,
+                                             cfg_.memory_addrs.size())];
+}
+
+void ProcessorIp::push_coh(const mem::Transaction& t) {
+  cpu_out_.push_back(mem::to_packet(t, e2e()));
+}
+
+void ProcessorIp::line_state_event(std::uint16_t line, mem::LineState from,
+                                   mem::LineState to) {
+  if (observer_ && observer_->on_line_state) {
+    observer_->on_line_state(cfg_.proc_number, line, from, to);
+  }
+}
+
+bool ProcessorIp::wb_holds(std::uint16_t line) const {
+  for (const WbEntry& e : wb_) {
+    if (e.line == line) return true;
+  }
+  return false;
+}
+
+void ProcessorIp::writeback_line(std::uint16_t line,
+                                 std::vector<std::uint16_t> data) {
+  push_coh(mem::txn_coherence(
+      mem::TxnOp::kPutM, cfg_.self_addr, home_addr(line), cfg_.proc_number,
+      line, static_cast<std::uint16_t>(l1_->line_words()), data));
+  wb_.push_back(WbEntry{line, std::move(data), 0});
+}
+
+bool ProcessorIp::coherent_read(std::uint16_t offset, std::uint16_t& out) {
+  if (load_fill_ready_) {
+    // The access whose miss just completed retries now; the value was
+    // delivered by install_fill (or forwarded use-once under poison).
+    load_fill_ready_ = false;
+    out = load_fill_value_;
+    return true;
+  }
+  if (miss_state_ == MissState::kPending) return false;  // stall
+  if (l1_->load(offset, out)) {
+    if (observer_ && observer_->on_load) {
+      observer_->on_load(cfg_.proc_number, offset, out, false);
+    }
+    return true;
+  }
+  start_miss(offset, /*store=*/false, 0);
+  return false;
+}
+
+bool ProcessorIp::coherent_write(std::uint16_t offset, std::uint16_t value) {
+  if (store_fill_done_) {
+    store_fill_done_ = false;  // committed by install_fill
+    return true;
+  }
+  if (miss_state_ == MissState::kPending) return false;  // stall
+  if (l1_->store(offset, value)) {
+    if (observer_ && observer_->on_store) {
+      observer_->on_store(cfg_.proc_number, offset, value);
+    }
+    return true;
+  }
+  start_miss(offset, /*store=*/true, value);
+  return false;
+}
+
+void ProcessorIp::start_miss(std::uint16_t offset, bool store,
+                             std::uint16_t value) {
+  miss_state_ = MissState::kPending;
+  miss_store_ = store;
+  miss_offset_ = offset;
+  miss_value_ = value;
+  miss_line_ = l1_->line_of(offset);
+  miss_issue_pending_ = true;  // sent by coherence_tick (gated on wb_)
+  backoff_left_ = 0;
+  miss_timer_ = 0;
+  poison_ = false;
+  recall_after_fill_ = false;
+  if (store) {
+    ++remote_writes_;
+  } else {
+    ++remote_reads_;
+  }
+}
+
+void ProcessorIp::send_miss_request() {
+  push_coh(mem::txn_coherence(
+      miss_store_ ? mem::TxnOp::kGetM : mem::TxnOp::kGetS, cfg_.self_addr,
+      home_addr(miss_line_), cfg_.proc_number, miss_line_,
+      static_cast<std::uint16_t>(l1_->line_words())));
+  miss_timer_ = 0;
+}
+
+void ProcessorIp::coherence_tick() {
+  if (miss_state_ == MissState::kPending) {
+    ++miss_stall_cycles_;
+    if (miss_issue_pending_) {
+      if (backoff_left_ > 0) {
+        --backoff_left_;
+      } else if (!wb_holds(miss_line_)) {
+        // Never request a line whose PutM is still in flight: the home
+        // could serialize the request first and grant stale data.
+        send_miss_request();
+        miss_issue_pending_ = false;
+      }
+    } else if (retry_timeout() != 0 && ++miss_timer_ >= retry_timeout()) {
+      // Keeping `poison_` across an e2e resend is safe-pessimistic: the
+      // original grant may still arrive late, inside the stale window.
+      send_miss_request();
+      noc::bump(rel_->recovery.e2e_retries);
+    }
+  }
+  if (retry_timeout() != 0) {
+    for (WbEntry& e : wb_) {
+      if (++e.timer >= retry_timeout()) {
+        e.timer = 0;
+        push_coh(mem::txn_coherence(
+            mem::TxnOp::kPutM, cfg_.self_addr, home_addr(e.line),
+            cfg_.proc_number, e.line,
+            static_cast<std::uint16_t>(l1_->line_words()), e.data));
+        noc::bump(rel_->recovery.e2e_retries);
+      }
+    }
+  }
+}
+
+void ProcessorIp::make_room_and_install(std::uint16_t line,
+                                        mem::LineState state,
+                                        std::vector<std::uint16_t> data,
+                                        bool dirty) {
+  const mem::LineState prev = l1_->state_of(line);
+  if (prev != mem::LineState::kInvalid) {
+    // Upgrade in place (S line granted M): its own way frees up.
+    l1_->invalidate(line);
+    l1_->fill(line, state, std::move(data), dirty);
+    line_state_event(line, prev, state);
+    return;
+  }
+  const auto ev = l1_->peek_victim(line);
+  if (ev.valid) {
+    if (ev.state == mem::LineState::kModified) {
+      auto victim_data = l1_->extract(ev.line);
+      line_state_event(ev.line, mem::LineState::kModified,
+                       mem::LineState::kInvalid);
+      writeback_line(ev.line, std::move(victim_data));
+    } else {
+      // Silent shared eviction: the directory's sharer list becomes an
+      // over-approximation; we still ack any future Inv for the line.
+      l1_->invalidate(ev.line);
+      line_state_event(ev.line, ev.state, mem::LineState::kInvalid);
+    }
+  }
+  l1_->fill(line, state, std::move(data), dirty);
+  line_state_event(line, mem::LineState::kInvalid, state);
+}
+
+void ProcessorIp::install_fill(const mem::Transaction& t) {
+  const std::uint16_t line = miss_line_;
+  const std::size_t idx = miss_offset_ & (l1_->line_words() - 1);
+  miss_state_ = MissState::kIdle;
+  miss_issue_pending_ = false;
+  backoff_left_ = 0;
+  miss_timer_ = 0;
+  if (!miss_store_) {
+    const std::uint16_t v = idx < t.data.size() ? t.data[idx] : 0;
+    const bool bypass = poison_;
+    poison_ = false;
+    if (bypass) {
+      // A racing Inv hit the window between our GetS and this grant: the
+      // value is forwarded use-once and the line is NOT installed.
+      ++bypass_loads_;
+    } else {
+      make_room_and_install(
+          line,
+          t.op == mem::TxnOp::kDataM ? mem::LineState::kModified
+                                     : mem::LineState::kShared,
+          t.data, /*dirty=*/false);
+    }
+    load_fill_ready_ = true;
+    load_fill_value_ = v;
+    if (observer_ && observer_->on_load) {
+      observer_->on_load(cfg_.proc_number, miss_offset_, v, bypass);
+    }
+  } else {
+    poison_ = false;
+    std::vector<std::uint16_t> data = t.data;
+    data.resize(l1_->line_words(), 0);
+    data[idx] = miss_value_;  // commit the store into the fill image
+    make_room_and_install(line, mem::LineState::kModified, std::move(data),
+                          /*dirty=*/true);
+    store_fill_done_ = true;
+    if (observer_ && observer_->on_store) {
+      observer_->on_store(cfg_.proc_number, miss_offset_, miss_value_);
+    }
+  }
+  if (recall_after_fill_) {
+    // The home recalled the line while our grant was in flight: give it
+    // back immediately (after the store above committed).
+    recall_after_fill_ = false;
+    if (l1_->state_of(line) == mem::LineState::kModified) {
+      auto data = l1_->extract(line);
+      line_state_event(line, mem::LineState::kModified,
+                       mem::LineState::kInvalid);
+      writeback_line(line, std::move(data));
+    }
+  }
+}
+
+void ProcessorIp::handle_coherence(const mem::Transaction& t) {
+  const std::uint16_t lw = static_cast<std::uint16_t>(l1_->line_words());
+  switch (t.op) {
+    case mem::TxnOp::kDataS:
+    case mem::TxnOp::kDataM:
+      if (miss_state_ != MissState::kPending || t.addr != miss_line_) {
+        return;  // stale duplicate grant (e2e retry raced the original)
+      }
+      if (t.op == mem::TxnOp::kDataS && miss_store_) {
+        return;  // a store needs M; wait for DataM or NACK
+      }
+      install_fill(t);
+      return;
+    case mem::TxnOp::kNack:
+      if (miss_state_ == MissState::kPending && t.addr == miss_line_) {
+        ++coh_nacks_;
+        // The home definitely did not grant: the stale-install window is
+        // closed, so a poisoned GetS may install normally after retry.
+        poison_ = false;
+        miss_issue_pending_ = true;
+        backoff_left_ =
+            cfg_.cache.nack_backoff + 3u * cfg_.proc_number;
+      }
+      return;
+    case mem::TxnOp::kInv: {
+      // Always ack — the directory's sharer list may over-approximate.
+      push_coh(mem::txn_coherence(mem::TxnOp::kInvAck, cfg_.self_addr,
+                                  t.source, cfg_.proc_number, t.addr, lw));
+      const mem::LineState st = l1_->state_of(t.addr);
+      if (st == mem::LineState::kShared) {
+        l1_->invalidate(t.addr);
+        line_state_event(t.addr, st, mem::LineState::kInvalid);
+      }
+      if (miss_state_ == MissState::kPending && t.addr == miss_line_ &&
+          !miss_store_ && !miss_issue_pending_) {
+        poison_ = true;  // our GetS may have been granted before this Inv
+      }
+      return;
+    }
+    case mem::TxnOp::kRecall: {
+      for (WbEntry& e : wb_) {
+        if (e.line != t.addr) continue;
+        // Recall crossed our in-flight PutM: resend it (the home's
+        // PutAck path handles the duplicate).
+        e.timer = 0;
+        push_coh(mem::txn_coherence(mem::TxnOp::kPutM, cfg_.self_addr,
+                                    home_addr(e.line), cfg_.proc_number,
+                                    e.line, lw, e.data));
+        return;
+      }
+      if (l1_->state_of(t.addr) == mem::LineState::kModified) {
+        auto data = l1_->extract(t.addr);
+        line_state_event(t.addr, mem::LineState::kModified,
+                         mem::LineState::kInvalid);
+        writeback_line(t.addr, std::move(data));
+        return;
+      }
+      if (miss_state_ == MissState::kPending && t.addr == miss_line_ &&
+          !miss_issue_pending_) {
+        recall_after_fill_ = true;  // grant in flight; return it on fill
+      }
+      return;  // otherwise stale (already written back)
+    }
+    case mem::TxnOp::kPutAck:
+      for (auto it = wb_.begin(); it != wb_.end(); ++it) {
+        if (it->line == t.addr) {
+          wb_.erase(it);
+          return;
+        }
+      }
+      return;  // duplicate ack
+    default:
+      return;  // requests never target a processor
+  }
+}
+
+void ProcessorIp::flush_cache_range(std::uint16_t lo, std::uint16_t hi) {
+  if (!l1_) return;
+  std::vector<std::pair<std::uint16_t, mem::LineState>> lines;
+  l1_->for_each_line([&](std::uint16_t line, mem::LineState st, bool) {
+    if (line >= lo && line <= hi) lines.emplace_back(line, st);
+  });
+  for (const auto& [line, st] : lines) {
+    if (st == mem::LineState::kModified) {
+      auto data = l1_->extract(line);
+      line_state_event(line, st, mem::LineState::kInvalid);
+      writeback_line(line, std::move(data));
+    } else {
+      l1_->invalidate(line);
+      line_state_event(line, st, mem::LineState::kInvalid);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
 bool ProcessorIp::mem_read(std::uint16_t addr, std::uint16_t& out) {
   const DecodedAddress d = decode_address(addr);
   switch (d.region) {
@@ -339,13 +694,14 @@ bool ProcessorIp::mem_read(std::uint16_t addr, std::uint16_t& out) {
     case Region::kPeer:
       return remote_read(cfg_.peer_addr, d.offset, out);
     case Region::kRemoteMem:
+      if (l1_) return coherent_read(d.offset, out);
       return remote_read(cfg_.memory_addr, d.offset, out);
     case Region::kIo:
       // scanf: request a word from the host and stall until it arrives.
       switch (scanf_state_) {
         case ReadState::kIdle:
-          cpu_out_.push_back(
-              noc::make_scanf(cfg_.self_addr, cfg_.serial_addr));
+          cpu_out_.push_back(noc::encode(
+              noc::make_scanf(cfg_.self_addr, cfg_.serial_addr), e2e()));
           scanf_state_ = ReadState::kWaiting;
           scanf_timer_ = 0;
           ++scanfs_;
@@ -353,8 +709,8 @@ bool ProcessorIp::mem_read(std::uint16_t addr, std::uint16_t& out) {
         case ReadState::kWaiting:
           if (retry_timeout() != 0 && ++scanf_timer_ >= retry_timeout()) {
             scanf_timer_ = 0;
-            cpu_out_.push_back(
-                noc::make_scanf(cfg_.self_addr, cfg_.serial_addr));
+            cpu_out_.push_back(noc::encode(
+                noc::make_scanf(cfg_.self_addr, cfg_.serial_addr), e2e()));
             noc::bump(rel_->recovery.e2e_retries);
           }
           return false;
@@ -380,18 +736,23 @@ bool ProcessorIp::mem_write(std::uint16_t addr, std::uint16_t value) {
       mem_.write(d.offset, value);
       return true;
     case Region::kPeer:
-      cpu_out_.push_back(noc::make_write(cfg_.self_addr, cfg_.peer_addr,
-                                         d.offset, {value}));
+      cpu_out_.push_back(mem::to_packet(
+          mem::txn_write(cfg_.self_addr, cfg_.peer_addr, d.offset, {value}),
+          e2e()));
       ++remote_writes_;
       return true;  // posted write
     case Region::kRemoteMem:
-      cpu_out_.push_back(noc::make_write(cfg_.self_addr, cfg_.memory_addr,
-                                         d.offset, {value}));
+      if (l1_) return coherent_write(d.offset, value);
+      cpu_out_.push_back(mem::to_packet(
+          mem::txn_write(cfg_.self_addr, cfg_.memory_addr, d.offset,
+                         {value}),
+          e2e()));
       ++remote_writes_;
       return true;
     case Region::kIo:
-      cpu_out_.push_back(
-          noc::make_printf(cfg_.self_addr, cfg_.serial_addr, {value}));
+      cpu_out_.push_back(noc::encode(
+          noc::make_printf(cfg_.self_addr, cfg_.serial_addr, {value}),
+          e2e()));
       ++printfs_;
       return true;
     case Region::kNotify: {
@@ -403,8 +764,9 @@ bool ProcessorIp::mem_write(std::uint16_t addr, std::uint16_t value) {
         MN_ERROR(name(), "notify to unknown processor " << int(target_num));
         return true;
       }
-      cpu_out_.push_back(noc::make_notify(cfg_.self_addr, it->second,
-                                          cfg_.proc_number));
+      cpu_out_.push_back(noc::encode(
+          noc::make_notify(cfg_.self_addr, it->second, cfg_.proc_number),
+          e2e()));
       ++notifies_sent_;
       return true;
     }
@@ -442,6 +804,22 @@ void ProcessorIp::reset() {
   external_wait_ = 0;
   remote_reads_ = remote_writes_ = printfs_ = scanfs_ = 0;
   notifies_sent_ = waits_completed_ = 0;
+  if (l1_) {
+    l1_->clear();
+    miss_state_ = MissState::kIdle;
+    miss_store_ = false;
+    miss_offset_ = miss_value_ = miss_line_ = 0;
+    miss_issue_pending_ = false;
+    backoff_left_ = 0;
+    miss_timer_ = 0;
+    poison_ = false;
+    recall_after_fill_ = false;
+    load_fill_ready_ = false;
+    load_fill_value_ = 0;
+    store_fill_done_ = false;
+    wb_.clear();
+    coh_nacks_ = bypass_loads_ = miss_stall_cycles_ = 0;
+  }
   fast_.reset();
   fast_active_ = false;
   fast_cooldown_ = 0;

@@ -10,16 +10,25 @@
 //  * serves incoming read/write services against the local memory, with
 //    processor-originated traffic taking priority over memory replies on
 //    the shared NoC interface (the busyNoCR8/busyNoCMem interlock);
-//  * implements activate, wait/notify, printf/scanf.
+//  * implements activate, wait/notify, printf/scanf;
+//  * with `cache.coherence = msi`, runs a write-back L1 over the shared
+//    remote-memory window and the requester side of the MSI protocol
+//    (GetS/GetM miss FSM, writeback buffer, Inv/Recall service,
+//    NACK-backoff retry — docs/MEMORY.md).
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "mem/cache/config.hpp"
+#include "mem/cache/l1_cache.hpp"
 #include "mem/memory_ip.hpp"
+#include "mem/transaction.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/services.hpp"
 #include "r8/cpu.hpp"
@@ -57,6 +66,10 @@ struct ProcessorConfig {
   std::uint8_t proc_number = 1;  ///< 1-based id used by wait/notify
   /// Router address of each processor number (for notify routing).
   std::map<std::uint8_t, std::uint8_t> proc_addr_by_number;
+  /// Router addresses of every Memory IP, in placement order: the home
+  /// nodes that shared-window lines interleave across under coherence.
+  std::vector<std::uint8_t> memory_addrs;
+  mem::CacheConfig cache;
   ExecMode exec_mode = ExecMode::kAccurate;
   SamplingConfig sampling;
 };
@@ -112,6 +125,26 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   std::uint64_t fast_cycles() const { return fast_cycles_; }
   const r8::FastStats& fast_stats() const { return fast_.stats(); }
 
+  /// Coherent L1 (null unless cache.coherence == msi).
+  bool coherent() const { return l1_ != nullptr; }
+  mem::L1Cache* l1() { return l1_.get(); }
+  const mem::L1Cache* l1() const { return l1_.get(); }
+  void set_coherence_observer(const mem::CoherenceObserver* obs) {
+    observer_ = obs;
+  }
+  /// Write back every Modified line and drop every Shared line whose
+  /// first word lies in [lo, hi] (shared-window offsets). Host-side
+  /// control: call with the simulator paused, then step until
+  /// coherence_drained().
+  void flush_cache_range(std::uint16_t lo, std::uint16_t hi);
+  /// True when no miss is outstanding and every writeback was acked.
+  bool coherence_drained() const {
+    return miss_state_ == MissState::kIdle && wb_.empty();
+  }
+  std::uint64_t coherence_nacks() const { return coh_nacks_; }
+  std::uint64_t bypass_loads() const { return bypass_loads_; }
+  std::uint64_t miss_stall_cycles() const { return miss_stall_cycles_; }
+
  private:
   // r8::Bus
   bool mem_read(std::uint16_t addr, std::uint16_t& out) override;
@@ -120,6 +153,22 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   bool remote_read(std::uint8_t target, std::uint16_t offset,
                    std::uint16_t& out);
   void handle_incoming(const noc::ServiceMessage& msg);
+  // Coherent-path helpers (all no-ops unless coherent()).
+  bool coherent_read(std::uint16_t offset, std::uint16_t& out);
+  bool coherent_write(std::uint16_t offset, std::uint16_t value);
+  void start_miss(std::uint16_t offset, bool store, std::uint16_t value);
+  void send_miss_request();
+  void handle_coherence(const mem::Transaction& t);
+  void coherence_tick();
+  void install_fill(const mem::Transaction& t);
+  void make_room_and_install(std::uint16_t line, mem::LineState state,
+                             std::vector<std::uint16_t> data, bool dirty);
+  void writeback_line(std::uint16_t line, std::vector<std::uint16_t> data);
+  bool wb_holds(std::uint16_t line) const;
+  std::uint8_t home_addr(std::uint16_t line) const;
+  void push_coh(const mem::Transaction& t);
+  void line_state_event(std::uint16_t line, mem::LineState from,
+                        mem::LineState to);
   // Execution-mode switching (docs/EXECUTION.md).
   bool fast_entry_ok() const;
   void enter_fast();
@@ -135,12 +184,14 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   noc::Reliability* rel_ = nullptr;
   r8::Cpu cpu_;
   mem::BankedMemory mem_;
-  mem::MemoryServiceLogic mem_logic_;
+  mem::TransactionEngine mem_engine_;
   noc::NetworkInterface ni_;
 
-  // CPU-originated messages (priority) and local-memory replies.
-  std::deque<noc::ServiceMessage> cpu_out_;
-  std::deque<noc::ServiceMessage> mem_out_;
+  // CPU-originated packets (priority) and local-memory replies. Packets
+  // are encoded at enqueue; the byte layout is unchanged from the
+  // pre-transaction encode-at-send design.
+  std::deque<noc::Packet> cpu_out_;
+  std::deque<mem::Transaction> mem_out_;
 
   // Outstanding remote read (at most one: the CPU is stalled meanwhile).
   enum class ReadState : std::uint8_t { kIdle, kWaiting, kReady };
@@ -166,6 +217,44 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   std::uint64_t scanfs_ = 0;
   std::uint64_t notifies_sent_ = 0;
   std::uint64_t waits_completed_ = 0;
+
+  // ---- Coherent L1 state (docs/MEMORY.md, "Requester FSM") ----
+  std::unique_ptr<mem::L1Cache> l1_;
+  const mem::CoherenceObserver* observer_ = nullptr;
+  /// Single outstanding miss: the CPU is stalled retrying the access, so
+  /// per-core accesses are sequentially consistent by construction.
+  enum class MissState : std::uint8_t { kIdle, kPending };
+  MissState miss_state_ = MissState::kIdle;
+  bool miss_store_ = false;
+  std::uint16_t miss_offset_ = 0;
+  std::uint16_t miss_value_ = 0;  ///< store value awaiting the M grant
+  std::uint16_t miss_line_ = 0;
+  /// Request not yet on the wire (issue gated on the writeback buffer
+  /// and on NACK backoff).
+  bool miss_issue_pending_ = false;
+  std::uint32_t backoff_left_ = 0;
+  unsigned miss_timer_ = 0;  ///< e2e re-issue countdown after send
+  /// An Inv raced our GetS: the incoming DataS is stale-prone, so it is
+  /// consumed use-once and never installed. Cleared only by a NACK (the
+  /// home definitely did not grant) or by miss completion.
+  bool poison_ = false;
+  /// A Recall arrived for the line our GetM grant is still in flight
+  /// for: install, commit the store, then write the line straight back.
+  bool recall_after_fill_ = false;
+  bool load_fill_ready_ = false;
+  std::uint16_t load_fill_value_ = 0;
+  bool store_fill_done_ = false;
+  /// Evicted/recalled dirty lines held until the home's PutAck; PutM is
+  /// never NACKed, so every entry drains.
+  struct WbEntry {
+    std::uint16_t line = 0;
+    std::vector<std::uint16_t> data;
+    unsigned timer = 0;
+  };
+  std::deque<WbEntry> wb_;
+  std::uint64_t coh_nacks_ = 0;
+  std::uint64_t bypass_loads_ = 0;
+  std::uint64_t miss_stall_cycles_ = 0;
 
   // Fast-path executor over the local-memory window. Traps (any access at
   // or above kLocalSize: peer/remote windows, wait/notify, printf/scanf)

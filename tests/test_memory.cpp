@@ -2,7 +2,7 @@
 // NoC service logic with reply chunking, and the standalone remote memory.
 #include <gtest/gtest.h>
 
-#include "mem/memory_ip.hpp"
+#include "mem/memory_ip.hpp"\n#include "mem/transaction.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
 #include "sim/rng.hpp"
@@ -58,31 +58,36 @@ TEST(BankedMemory, FullSweep) {
   }
 }
 
-TEST(MemoryServiceLogic, WriteThenRead) {
+TEST(TransactionEngine, WriteThenRead) {
   mem::BankedMemory m;
-  mem::MemoryServiceLogic logic(m, 0x11);
-  std::deque<noc::ServiceMessage> replies;
-  EXPECT_TRUE(
-      logic.handle(noc::make_write(0x00, 0x11, 5, {10, 20, 30}), replies));
+  mem::TransactionEngine engine(m, 0x11);
+  std::deque<mem::Transaction> replies;
+  const auto wr =
+      engine.handle(mem::txn_write(0x00, 0x11, 5, {10, 20, 30}), replies);
+  EXPECT_TRUE(wr.handled());
+  EXPECT_EQ(wr.status, mem::TxnStatus::kApplied);
   EXPECT_TRUE(replies.empty()) << "writes produce no reply";
   EXPECT_EQ(m.read(5), 10);
   EXPECT_EQ(m.read(7), 30);
 
-  EXPECT_TRUE(logic.handle(noc::make_read(0x00, 0x11, 5, 3), replies));
+  const auto rd = engine.handle(mem::txn_read(0x00, 0x11, 5, 3), replies);
+  EXPECT_TRUE(rd.handled());
+  EXPECT_EQ(rd.status, mem::TxnStatus::kReplied);
   ASSERT_EQ(replies.size(), 1u);
-  EXPECT_EQ(replies[0].service, noc::Service::kReadReturn);
+  EXPECT_EQ(replies[0].op, mem::TxnOp::kReadReply);
   EXPECT_EQ(replies[0].source, 0x11);
   EXPECT_EQ(replies[0].target, 0x00);
   EXPECT_EQ(replies[0].addr, 5);
-  EXPECT_EQ(replies[0].words, (std::vector<std::uint16_t>{10, 20, 30}));
+  EXPECT_EQ(replies[0].data, (std::vector<std::uint16_t>{10, 20, 30}));
 }
 
-TEST(MemoryServiceLogic, LargeReadIsChunked) {
+TEST(TransactionEngine, LargeReadIsChunked) {
   mem::BankedMemory m;
   for (std::uint16_t a = 0; a < 1024; ++a) m.write(a, a);
-  mem::MemoryServiceLogic logic(m, 0x11);
-  std::deque<noc::ServiceMessage> replies;
-  EXPECT_TRUE(logic.handle(noc::make_read(0x00, 0x11, 0, 1024), replies));
+  mem::TransactionEngine engine(m, 0x11);
+  std::deque<mem::Transaction> replies;
+  EXPECT_TRUE(engine.handle(mem::txn_read(0x00, 0x11, 0, 1024), replies)
+                  .handled());
   const auto max_words =
       noc::max_words_per_packet(noc::Service::kReadReturn);
   EXPECT_EQ(replies.size(), (1024 + max_words - 1) / max_words);
@@ -91,39 +96,42 @@ TEST(MemoryServiceLogic, LargeReadIsChunked) {
   std::uint16_t expect_addr = 0;
   for (const auto& r : replies) {
     EXPECT_EQ(r.addr, expect_addr);
-    expect_addr = static_cast<std::uint16_t>(expect_addr + r.words.size());
-    all.insert(all.end(), r.words.begin(), r.words.end());
+    expect_addr = static_cast<std::uint16_t>(expect_addr + r.data.size());
+    all.insert(all.end(), r.data.begin(), r.data.end());
   }
   ASSERT_EQ(all.size(), 1024u);
   for (std::uint16_t a = 0; a < 1024; ++a) EXPECT_EQ(all[a], a);
 }
 
-TEST(MemoryServiceLogic, OutOfRangeReadsReturnZero) {
+TEST(TransactionEngine, OutOfRangeReadsReturnZero) {
   mem::BankedMemory m;
-  mem::MemoryServiceLogic logic(m, 0x11);
-  std::deque<noc::ServiceMessage> replies;
-  logic.handle(noc::make_read(0x00, 0x11, 1022, 4), replies);
+  mem::TransactionEngine engine(m, 0x11);
+  std::deque<mem::Transaction> replies;
+  engine.handle(mem::txn_read(0x00, 0x11, 1022, 4), replies);
   ASSERT_EQ(replies.size(), 1u);
-  EXPECT_EQ(replies[0].words.size(), 4u);
-  EXPECT_EQ(replies[0].words[2], 0);  // address 1024: out of range
-  EXPECT_EQ(replies[0].words[3], 0);
+  EXPECT_EQ(replies[0].data.size(), 4u);
+  EXPECT_EQ(replies[0].data[2], 0);  // address 1024: out of range
+  EXPECT_EQ(replies[0].data[3], 0);
 }
 
-TEST(MemoryServiceLogic, OutOfRangeWritesIgnored) {
+TEST(TransactionEngine, OutOfRangeWritesIgnored) {
   mem::BankedMemory m;
-  mem::MemoryServiceLogic logic(m, 0x11);
-  std::deque<noc::ServiceMessage> replies;
-  logic.handle(noc::make_write(0x00, 0x11, 1023, {1, 2, 3}), replies);
+  mem::TransactionEngine engine(m, 0x11);
+  std::deque<mem::Transaction> replies;
+  engine.handle(mem::txn_write(0x00, 0x11, 1023, {1, 2, 3}), replies);
   EXPECT_EQ(m.read(1023), 1);  // in range
   // addresses 1024/1025 silently dropped; nothing to observe but no crash.
 }
 
-TEST(MemoryServiceLogic, IgnoresNonMemoryServices) {
+TEST(TransactionEngine, IgnoresCoherenceOps) {
   mem::BankedMemory m;
-  mem::MemoryServiceLogic logic(m, 0x11);
-  std::deque<noc::ServiceMessage> replies;
-  EXPECT_FALSE(logic.handle(noc::make_activate(0, 0x11), replies));
-  EXPECT_FALSE(logic.handle(noc::make_notify(0, 0x11, 1), replies));
+  mem::TransactionEngine engine(m, 0x11);
+  std::deque<mem::Transaction> replies;
+  const auto r = engine.handle(
+      mem::txn_coherence(mem::TxnOp::kGetS, 0x00, 0x11, 1, 0, 4), replies);
+  EXPECT_FALSE(r.handled());
+  EXPECT_EQ(r.status, mem::TxnStatus::kIgnored);
+  EXPECT_TRUE(replies.empty());
 }
 
 // ---- standalone Memory IP over a real mesh -------------------------------
@@ -137,8 +145,8 @@ struct MemOnMesh : ::testing::Test {
                        mesh.local_in(1, 0), mesh.local_out(1, 0)};
 
   std::optional<noc::ServiceMessage> transact(
-      const noc::ServiceMessage& req, std::uint64_t budget = 100000) {
-    client.send_packet(noc::encode(req));
+      const mem::Transaction& req, std::uint64_t budget = 100000) {
+    client.send_packet(mem::to_packet(req));
     if (!sim.run_until([&] { return client.has_packet(); }, budget)) {
       return std::nullopt;
     }
@@ -148,12 +156,12 @@ struct MemOnMesh : ::testing::Test {
 
 TEST_F(MemOnMesh, WriteReadRoundTrip) {
   client.send_packet(
-      noc::encode(noc::make_write(0x00, 0x10, 0x20, {111, 222})));
+      mem::to_packet(mem::txn_write(0x00, 0x10, 0x20, {111, 222})));
   ASSERT_TRUE(sim.run_until(
       [&] { return memory.requests_served() == 1; }, 100000));
   EXPECT_EQ(memory.storage().read(0x20), 111);
 
-  const auto reply = transact(noc::make_read(0x00, 0x10, 0x20, 2));
+  const auto reply = transact(mem::txn_read(0x00, 0x10, 0x20, 2));
   ASSERT_TRUE(reply.has_value());
   EXPECT_EQ(reply->service, noc::Service::kReadReturn);
   EXPECT_EQ(reply->words, (std::vector<std::uint16_t>{111, 222}));
@@ -163,7 +171,7 @@ TEST_F(MemOnMesh, ChunkedReadArrivesInOrder) {
   for (std::uint16_t a = 0; a < 300; ++a) {
     memory.storage().write(a, static_cast<std::uint16_t>(a * 3));
   }
-  client.send_packet(noc::encode(noc::make_read(0x00, 0x10, 0, 300)));
+  client.send_packet(mem::to_packet(mem::txn_read(0x00, 0x10, 0, 300)));
   std::vector<std::uint16_t> got;
   ASSERT_TRUE(sim.run_until(
       [&] {
@@ -185,7 +193,7 @@ TEST_F(MemOnMesh, MalformedPacketIsDropped) {
   sim.run(5000);
   EXPECT_EQ(memory.requests_served(), 0u);
   // The IP still works afterwards.
-  const auto reply = transact(noc::make_read(0x00, 0x10, 0, 1));
+  const auto reply = transact(mem::txn_read(0x00, 0x10, 0, 1));
   EXPECT_TRUE(reply.has_value());
 }
 

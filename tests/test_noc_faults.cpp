@@ -24,6 +24,7 @@
 #include "apps/image.hpp"
 #include "host/host.hpp"
 #include "mem/blockram.hpp"
+#include "mem/transaction.hpp"
 #include "noc/fault.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
@@ -68,7 +69,8 @@ TEST(FaultPrimitives, E2eChecksumDetectsPayloadAndTargetCorruption) {
 }
 
 TEST(FaultPrimitives, E2eEncodeDecodeRoundTripAndStrip) {
-  const auto msg = noc::make_write(0x00, 0x11, 0x0040, {1, 2, 0xFFFF});
+  const auto msg = mem::to_message(
+      mem::txn_write(0x00, 0x11, 0x0040, {1, 2, 0xFFFF}));
   const noc::Packet p = noc::encode(msg, /*e2e=*/true);
   EXPECT_EQ(p.payload.size(), noc::encode(msg, false).payload.size() + 1);
   const auto back = noc::decode(p, 0x11, /*e2e=*/true);
@@ -90,7 +92,8 @@ TEST(FaultPrimitives, E2eBudgetNeverOverflowsThePayload) {
     const auto msg =
         s == Service::kPrintf
             ? noc::make_printf(0, 1, std::vector<std::uint16_t>(n, 7))
-            : noc::make_write(0, 1, 0, std::vector<std::uint16_t>(n, 7));
+            : mem::to_message(
+                  mem::txn_write(0, 1, 0, std::vector<std::uint16_t>(n, 7)));
     EXPECT_LE(noc::encode(msg, /*e2e=*/true).payload.size(),
               noc::kMaxPayloadFlits);
   }
@@ -296,10 +299,10 @@ TEST(EndToEnd, ChecksumCatchesCoherentCorruption) {
   const std::uint8_t dst_addr = noc::encode_xy({1, 1});
   constexpr unsigned kMsgs = 40;
   for (unsigned k = 0; k < kMsgs; ++k) {
-    const auto msg = noc::make_write(
+    const auto msg = mem::to_message(mem::txn_write(
         noc::encode_xy({0, 0}), dst_addr,
         static_cast<std::uint16_t>(0x100 + k),
-        {static_cast<std::uint16_t>(k * 257u), 0x5A5A});
+        {static_cast<std::uint16_t>(k * 257u), 0x5A5A}));
     r.src->send_packet(noc::encode(msg, /*e2e=*/true));
   }
   unsigned accepted = 0, rejected = 0, wrong = 0;

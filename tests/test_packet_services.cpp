@@ -1,6 +1,7 @@
 // Packet serialization and the nine service formats of paper §2.1.
 #include <gtest/gtest.h>
 
+#include "mem/transaction.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/packet.hpp"
@@ -117,11 +118,13 @@ TEST_P(ServiceRoundTrip, EncodeDecode) {
 INSTANTIATE_TEST_SUITE_P(
     AllNine, ServiceRoundTrip,
     ::testing::Values(
-        ServiceCase{"read", noc::make_read(0x01, 0x11, 0x0123, 64)},
+        ServiceCase{"read", mem::to_message(mem::txn_read(0x01, 0x11, 0x0123, 64))},
         ServiceCase{"read_return",
-                    noc::make_read_return(0x11, 0x01, 0x0123, {1, 2, 3})},
+                    mem::to_message(
+                        mem::txn_read_reply(0x11, 0x01, 0x0123, {1, 2, 3}))},
         ServiceCase{"write",
-                    noc::make_write(0x00, 0x11, 0x03FF, {0xFFFF, 0})},
+                    mem::to_message(
+                        mem::txn_write(0x00, 0x11, 0x03FF, {0xFFFF, 0}))},
         ServiceCase{"activate", noc::make_activate(0x00, 0x10)},
         ServiceCase{"printf", noc::make_printf(0x01, 0x00, {0xBEEF})},
         ServiceCase{"scanf", noc::make_scanf(0x10, 0x00)},
@@ -138,7 +141,7 @@ TEST(Services, MaxWordsRoundTrip) {
   for (std::size_t i = 0; i < n; ++i) {
     words[i] = static_cast<std::uint16_t>(i * 7);
   }
-  const auto m = noc::make_write(1, 2, 0, words);
+  const auto m = mem::to_message(mem::txn_write(1, 2, 0, words));
   const Packet p = noc::encode(m);
   EXPECT_LE(p.payload.size(), noc::kMaxPayloadFlits);
   const auto back = noc::decode(p, 2);
@@ -175,7 +178,7 @@ TEST(Services, DecodeSetsReceiverAsTarget) {
 TEST(Services, WireCostMatchesLayout) {
   // A 1-word write: service + source + addr(2) + word(2) = 6 payload
   // flits -> 8 flits on the wire.
-  const auto m = noc::make_write(0, 0x11, 0x20, {42});
+  const auto m = mem::to_message(mem::txn_write(0, 0x11, 0x20, {42}));
   EXPECT_EQ(noc::encode(m).wire_flits(), 8u);
   // activate: 2 payload + 2 header flits.
   EXPECT_EQ(noc::encode(noc::make_activate(0, 1)).wire_flits(), 4u);
@@ -213,10 +216,11 @@ TEST_P(ServiceOnMesh, SurvivesTransit) {
 INSTANTIATE_TEST_SUITE_P(
     AllNine, ServiceOnMesh,
     ::testing::Values(
-        ServiceCase{"read", noc::make_read(0, 0, 0x0123, 64)},
+        ServiceCase{"read", mem::to_message(mem::txn_read(0, 0, 0x0123, 64))},
         ServiceCase{"read_return",
-                    noc::make_read_return(0, 0, 0x0123, {1, 2, 3})},
-        ServiceCase{"write", noc::make_write(0, 0, 0x03FF, {0xFFFF, 0})},
+                    mem::to_message(
+                        mem::txn_read_reply(0, 0, 0x0123, {1, 2, 3}))},
+        ServiceCase{"write", mem::to_message(mem::txn_write(0, 0, 0x03FF, {0xFFFF, 0}))},
         ServiceCase{"activate", noc::make_activate(0, 0)},
         ServiceCase{"printf", noc::make_printf(0, 0, {0xBEEF})},
         ServiceCase{"scanf", noc::make_scanf(0, 0)},

@@ -2,6 +2,7 @@
 // commands and three NoC->host commands, robustness to garbage input.
 #include <gtest/gtest.h>
 
+#include "mem/transaction.hpp"
 #include "noc/mesh.hpp"
 #include "noc/network_interface.hpp"
 #include "serial/protocol.hpp"
@@ -149,7 +150,7 @@ TEST_F(SerialRig, ScanfForwardedToHost) {
 TEST_F(SerialRig, ReadReturnForwardedToHost) {
   sync();
   peer.send_packet(noc::encode(
-      noc::make_read_return(0x10, 0x00, 0x0040, {7, 8})));
+      mem::to_message(mem::txn_read_reply(0x10, 0x00, 0x0040, {7, 8}))));
   ASSERT_TRUE(sim.run_until([&] { return host_rx.has_byte(); }, 200000));
   sim.run(kDiv * 10 * 12);
   std::vector<std::uint8_t> frame;

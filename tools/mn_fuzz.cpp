@@ -2,7 +2,7 @@
 //
 //   mn-fuzz [options]
 //     --mode M     diff-cpu | diff-fast | noc-invariants | asm-roundtrip
-//                  | all (default all)
+//                  | coherence | all (default all)
 //     --runs N     cases per mode (default 100)
 //     --seed S     base seed; case i of a mode runs on
 //                  stream_seed(S, mode_salt + i) (default 1)
@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "check/coherence.hpp"
 #include "check/diff_cpu.hpp"
 #include "check/diff_fast.hpp"
 #include "check/noc_invariants.hpp"
@@ -52,6 +53,7 @@ constexpr std::uint64_t kSaltDiff = 0x10000;
 constexpr std::uint64_t kSaltNoc = 0x20000;
 constexpr std::uint64_t kSaltAsm = 0x30000;
 constexpr std::uint64_t kSaltFast = 0x40000;
+constexpr std::uint64_t kSaltCoherence = 0x50000;
 
 struct Options {
   std::string mode = "all";
@@ -108,6 +110,24 @@ NocFuzzConfig noc_case_config(std::uint64_t case_seed, unsigned index,
   cfg.ny = dim;
   sim::SplitMix64 sm(case_seed);
   cfg.packets = 30 + static_cast<unsigned>(sm.next() % 60);
+  return cfg;
+}
+
+/// Cores x memories x vc x faults matrix for coherence cases, rotated so
+/// case i covers combo i mod 16; line size alternates 2 / 4 words.
+CoherenceFuzzConfig coherence_case_config(std::uint64_t case_seed,
+                                          unsigned index, unsigned threads) {
+  CoherenceFuzzConfig cfg;
+  cfg.seed = case_seed;
+  cfg.cores = 2 + index % 2 * 2;         // 2 or 4
+  cfg.memories = 1 + (index / 2) % 2;    // 1 or 2
+  cfg.vc_count = (index / 4) % 2 ? 4 : 1;
+  cfg.faults = ((index / 8) % 2) == 1;
+  cfg.threads = threads == 0 ? 1 : threads;
+  cfg.line_words = (index / 16) % 2 ? 2 : 4;
+  sim::SplitMix64 sm(case_seed);
+  cfg.ops = 16 + static_cast<unsigned>(sm.next() % 24);
+  cfg.addresses = 6 + static_cast<unsigned>(sm.next() % 10);
   return cfg;
 }
 
@@ -277,6 +297,52 @@ ModeReport run_noc_mode(const Options& opt) {
   return rep;
 }
 
+ModeReport run_coherence_mode(const Options& opt) {
+  ModeReport rep;
+  Fnv64 digest;
+  for (unsigned i = 0; i < opt.runs; ++i) {
+    const std::uint64_t case_seed =
+        sim::stream_seed(opt.seed, kSaltCoherence + i);
+    const CoherenceFuzzConfig cfg =
+        coherence_case_config(case_seed, i, opt.threads);
+    CoherenceRunResult res = run_coherence_case(cfg);
+    ++rep.runs;
+    digest.u64(res.digest);
+    if (res.ok && opt.verify_threads) {
+      CoherenceFuzzConfig other = cfg;
+      other.threads = cfg.threads == 2 ? 1 : 2;
+      const CoherenceRunResult r2 = run_coherence_case(other);
+      if (r2.digest != res.digest) {
+        res.ok = false;
+        res.signature = "thread-divergence";
+        res.failure = "digest differs between threads=" +
+                      std::to_string(cfg.threads) + " and threads=" +
+                      std::to_string(other.threads);
+      }
+    }
+    if (res.ok) continue;
+    ++rep.failures;
+    report_failure("coherence", i, res.signature, res.failure);
+
+    Repro r;
+    r.mode = "coherence";
+    r.seed = case_seed;
+    r.signature = res.signature;
+    r.failure = res.failure;
+    r.coh = cfg;
+    const std::string path = repro_path(opt, "coherence", i);
+    if (save_repro(r, path)) {
+      std::fprintf(stderr, "  repro written: %s\n", path.c_str());
+      rep.repro_paths.push_back(path);
+    } else {
+      std::fprintf(stderr, "  cannot write repro %s\n", path.c_str());
+    }
+    if (rep.failures >= opt.max_fail) break;
+  }
+  rep.digest = digest.value();
+  return rep;
+}
+
 ModeReport run_asm_mode(const Options& opt) {
   ModeReport rep;
   Fnv64 digest;
@@ -346,6 +412,15 @@ int replay(const std::string& path) {
     }
     signature = res.signature;
     failure = res.failure;
+  } else if (r->mode == "coherence") {
+    const CoherenceRunResult res = run_coherence_case(r->coh);
+    if (res.ok) {
+      std::fprintf(stderr, "mn-fuzz: replay of %s PASSED (bug gone?)\n",
+                   path.c_str());
+      return 1;
+    }
+    signature = res.signature;
+    failure = res.failure;
   } else {
     const NocRunResult res = run_noc_case(r->noc, r->packets);
     if (res.ok) {
@@ -407,7 +482,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mn-fuzz [--mode diff-cpu|diff-fast|"
-                   "noc-invariants|asm-roundtrip|all] [--runs N] [--seed S]"
+                   "noc-invariants|asm-roundtrip|coherence|all] [--runs N]"
+                   " [--seed S]"
                    " [--threads N]"
                    " [--verify-threads] [--inject-bug B] [--shrink]"
                    " [--repro DIR] [--max-fail N] [--replay F] [--json F]\n");
@@ -449,6 +525,10 @@ int main(int argc, char** argv) {
   if (all || opt.mode == "asm-roundtrip") {
     matched = true;
     summarize("asm-roundtrip", run_asm_mode(opt));
+  }
+  if (all || opt.mode == "coherence") {
+    matched = true;
+    summarize("coherence", run_coherence_mode(opt));
   }
   if (!matched) {
     std::fprintf(stderr, "mn-fuzz: unknown mode '%s'\n", opt.mode.c_str());
