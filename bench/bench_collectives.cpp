@@ -1,0 +1,192 @@
+// E20 — collective traffic: tree multicast vs N unicast replays, on the
+// paper's mesh and on the torus option (docs/DESIGN.md, EXPERIMENTS.md).
+// For each fan-out the source either injects ONE multicast worm (header
+// prelude carries the destination set, branch routers replicate) or
+// replays the same payload as one unicast worm per destination. The
+// interesting numbers: flits injected at the source NI (the multicast
+// saving is k*(payload+2) vs payload+3+k), total flits forwarded by the
+// fabric (tree reuse of shared path prefixes), and the p99 delivery
+// latency over the destination set (the replay serializes at the source
+// link, the tree forks in parallel).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mn;
+
+constexpr unsigned kNx = 4;
+constexpr unsigned kNy = 4;
+constexpr std::size_t kPayloadBytes = 8;
+
+/// Destination set for fan-out k: the k nodes farthest from the (0,0)
+/// source in scan order, so trees and replays both cross the fabric.
+std::vector<std::uint8_t> fanout_dests(unsigned k) {
+  std::vector<std::uint8_t> all;
+  for (unsigned y = 0; y < kNy; ++y) {
+    for (unsigned x = 0; x < kNx; ++x) {
+      if (x == 0 && y == 0) continue;  // not the source
+      all.push_back(noc::encode_xy(
+          {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)}));
+    }
+  }
+  std::reverse(all.begin(), all.end());
+  all.resize(k);
+  return all;
+}
+
+struct CollectiveResult {
+  std::uint64_t injected_flits = 0;  ///< flits entering at the source NI
+  std::uint64_t fabric_flits = 0;    ///< flits forwarded by all routers
+  std::uint64_t p99_latency = 0;     ///< worst delivery over the set
+  std::uint64_t completion = 0;      ///< cycle the last copy arrived
+  bool ok = false;
+};
+
+CollectiveResult run_collective(noc::Topology topo, unsigned fanout,
+                                bool multicast) {
+  noc::RouterConfig rc;
+  rc.topology = topo;
+  rc.vc_count = 2;  // same lane budget for both topologies
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, kNx, kNy, rc);
+  std::vector<std::unique_ptr<noc::NetworkInterface>> nis;
+  for (unsigned y = 0; y < kNy; ++y) {
+    for (unsigned x = 0; x < kNx; ++x) {
+      nis.push_back(std::make_unique<noc::NetworkInterface>(
+          sim, "ni" + std::to_string(x) + std::to_string(y),
+          mesh.local_in(x, y), mesh.local_out(x, y)));
+    }
+  }
+  auto ni_at = [&](std::uint8_t addr) -> noc::NetworkInterface& {
+    const noc::XY n = noc::decode_xy(addr);
+    return *nis[static_cast<std::size_t>(n.y) * kNx + n.x];
+  };
+
+  const std::vector<std::uint8_t> dests = fanout_dests(fanout);
+  std::vector<std::uint8_t> payload(kPayloadBytes, 0x5A);
+
+  CollectiveResult r;
+  if (multicast) {
+    noc::Packet p;
+    p.target = noc::encode_xy({0, 0});
+    p.mcast_dests = dests;
+    p.payload = payload;
+    r.injected_flits = p.wire_flits();
+    nis[0]->send_packet(p);
+  } else {
+    for (const std::uint8_t d : dests) {
+      noc::Packet p;
+      p.target = d;
+      p.payload = payload;
+      r.injected_flits += p.wire_flits();
+      nis[0]->send_packet(p);
+    }
+  }
+
+  std::vector<std::uint64_t> latencies;
+  const bool done = sim.run_until(
+      [&] {
+        for (const std::uint8_t d : dests) {
+          noc::NetworkInterface& ni = ni_at(d);
+          while (ni.has_packet()) {
+            const noc::ReceivedPacket rp = ni.pop_packet();
+            latencies.push_back(rp.recv_cycle - rp.inject_cycle);
+            r.completion = std::max(r.completion, rp.recv_cycle);
+          }
+        }
+        return latencies.size() >= dests.size();
+      },
+      500'000);
+  if (!done) return r;
+  std::sort(latencies.begin(), latencies.end());
+  r.p99_latency = latencies[(latencies.size() * 99) / 100];
+  r.fabric_flits = mesh.total_stats().flits_forwarded;
+  r.ok = true;
+  return r;
+}
+
+void print_tables(mn::bench::JsonReporter& rep) {
+  std::printf("=== E20: multicast tree vs unicast replay, mesh vs torus"
+              " ===\n\n");
+  std::printf("4x4 fabric, vc=2, %zu payload bytes, source (0,0);"
+              " p99 over the destination set.\n\n",
+              kPayloadBytes);
+  std::printf("%-6s %-8s %10s %10s %10s %10s %10s %10s\n", "topo",
+              "fanout", "mc.inj", "ur.inj", "mc.fab", "ur.fab", "mc.p99",
+              "ur.p99");
+
+  for (const noc::Topology topo :
+       {noc::Topology::kMesh, noc::Topology::kTorus}) {
+    const char* tn = noc::topology_name(topo);
+    for (const unsigned fanout : {2u, 4u, 8u, 15u}) {
+      const CollectiveResult mc = run_collective(topo, fanout, true);
+      const CollectiveResult ur = run_collective(topo, fanout, false);
+      if (!mc.ok || !ur.ok) {
+        std::fprintf(stderr, "E20: %s fanout %u did not complete\n", tn,
+                     fanout);
+        continue;
+      }
+      std::printf("%-6s %-8u %10llu %10llu %10llu %10llu %10llu %10llu\n",
+                  tn, fanout,
+                  static_cast<unsigned long long>(mc.injected_flits),
+                  static_cast<unsigned long long>(ur.injected_flits),
+                  static_cast<unsigned long long>(mc.fabric_flits),
+                  static_cast<unsigned long long>(ur.fabric_flits),
+                  static_cast<unsigned long long>(mc.p99_latency),
+                  static_cast<unsigned long long>(ur.p99_latency));
+      const std::string base =
+          std::string("multicast.") + tn + ".fanout" +
+          std::to_string(fanout) + ".";
+      rep.add(base + "mcast_injected_flits",
+              static_cast<double>(mc.injected_flits), "flits");
+      rep.add(base + "ureplay_injected_flits",
+              static_cast<double>(ur.injected_flits), "flits");
+      rep.add(base + "mcast_fabric_flits",
+              static_cast<double>(mc.fabric_flits), "flits");
+      rep.add(base + "ureplay_fabric_flits",
+              static_cast<double>(ur.fabric_flits), "flits");
+      rep.add(base + "mcast_p99", static_cast<double>(mc.p99_latency),
+              "cycles");
+      rep.add(base + "ureplay_p99", static_cast<double>(ur.p99_latency),
+              "cycles");
+    }
+  }
+  std::printf("\nmc.inj < ur.inj for every fan-out >= 2 (one worm, one"
+              " destination prelude byte per\ntarget). p99: the tree's"
+              " per-hop absorb-and-forward costs latency at small\n"
+              "fan-outs, but wins once the replay's serialization on the"
+              " source link\ndominates (fan-out >= 8 here).\n");
+}
+
+// Timing loop for the headline configuration (google-benchmark wall
+// clock; the cycle-level numbers above are the regeneration artifact).
+void BM_Broadcast4x4(benchmark::State& state) {
+  std::uint64_t completion = 0;
+  for (auto _ : state) {
+    const CollectiveResult r =
+        run_collective(noc::Topology::kMesh, 15, true);
+    completion = r.completion;
+  }
+  state.counters["completion_cycles"] = static_cast<double>(completion);
+}
+BENCHMARK(BM_Broadcast4x4);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mn::bench::JsonReporter rep("bench_collectives", &argc, argv);
+  print_tables(rep);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return rep.flush() ? 0 : 1;
+}

@@ -46,25 +46,53 @@ std::vector<FuzzPacket> generate_packets(const NocFuzzConfig& cfg) {
   sim::Xoshiro256 rng(sim::stream_seed(cfg.seed, 0x4E0Cull));
   const unsigned nodes = cfg.nx * cfg.ny;
   const std::size_t max_payload = std::max<std::size_t>(cfg.max_payload, 4);
+  const auto addr_of = [&](unsigned i) {
+    return noc::encode_xy({static_cast<std::uint8_t>(i % cfg.nx),
+                           static_cast<std::uint8_t>(i / cfg.nx)});
+  };
 
   std::vector<FuzzPacket> out;
   out.reserve(cfg.packets);
   std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint16_t> seqs;
+  std::map<std::uint8_t, std::uint16_t> mseqs;  ///< multicast seq per src
   std::uint64_t cycle = 0;
   for (unsigned i = 0; i < cfg.packets; ++i) {
     // Bursty schedule: mostly back-to-back, occasional idle gaps.
     cycle += rng.below(4) == 0 ? rng.below(40) : rng.below(3);
 
     const unsigned si = static_cast<unsigned>(rng.below(nodes));
-    const unsigned di = static_cast<unsigned>(rng.below(nodes));
     FuzzPacket p;
     p.cycle = cycle;
-    p.src = noc::encode_xy({static_cast<std::uint8_t>(si % cfg.nx),
-                            static_cast<std::uint8_t>(si / cfg.nx)});
-    p.dst = noc::encode_xy({static_cast<std::uint8_t>(di % cfg.nx),
-                            static_cast<std::uint8_t>(di / cfg.nx)});
+    p.src = addr_of(si);
 
-    const std::uint16_t seq = seqs[{p.src, p.dst}]++;
+    std::uint16_t seq = 0;
+    if (cfg.mcast_percent > 0 && nodes > 2 &&
+        rng.below(100) < cfg.mcast_percent) {
+      // Multicast variant: 1-in-8 a full broadcast, otherwise a distinct
+      // random destination set of 2..5 nodes (may include the source —
+      // the local fork at the origin router must deliver it too).
+      if (rng.below(8) == 0) {
+        p.broadcast = true;
+      } else {
+        const std::size_t want =
+            2 + rng.below(std::min<std::uint64_t>(4, nodes - 1));
+        while (p.dests.size() < want) {
+          const std::uint8_t d =
+              addr_of(static_cast<unsigned>(rng.below(nodes)));
+          if (std::find(p.dests.begin(), p.dests.end(), d) ==
+              p.dests.end()) {
+            p.dests.push_back(d);
+          }
+        }
+      }
+      seq = mseqs[p.src]++;
+      p.dst = 0xFF;  // marker: no single destination
+    } else {
+      const unsigned di = static_cast<unsigned>(rng.below(nodes));
+      p.dst = addr_of(di);
+      seq = seqs[{p.src, p.dst}]++;
+    }
+
     const std::size_t len = 4 + rng.below(max_payload - 3);
     p.payload.resize(len);
     p.payload[0] = p.src;
@@ -85,6 +113,7 @@ InvariantChecker::InvariantChecker(sim::Simulator& sim, noc::Mesh& mesh,
   const noc::RouterConfig& rc = mesh.router(0, 0).config();
   depth_ = rc.buffer_depth;
   vcs_ = rc.vc_count;
+  topology_ = rc.topology;
   polls_.reserve(mesh.links().size());
   watches_.reserve(mesh.links().size());
   taps_.reserve(mesh.links().size());
@@ -115,13 +144,111 @@ InvariantChecker::InvariantChecker(sim::Simulator& sim, noc::Mesh& mesh,
   sim.on_cycle([this](std::uint64_t c) { on_cycle(c); });
 }
 
+unsigned InvariantChecker::hop_count(std::uint8_t a, std::uint8_t b) const {
+  return topology_ == noc::Topology::kTorus
+             ? noc::hop_routers_torus(noc::decode_xy(a), noc::decode_xy(b),
+                                      mesh_->nx(), mesh_->ny())
+             : noc::hop_routers(noc::decode_xy(a), noc::decode_xy(b));
+}
+
 void InvariantChecker::expect(const FuzzPacket& p) {
+  if (p.is_multicast()) {
+    McastPending mp;
+    if (p.broadcast) {
+      for (unsigned y = 0; y < mesh_->ny(); ++y) {
+        for (unsigned x = 0; x < mesh_->nx(); ++x) {
+          mp.remaining.push_back(noc::encode_xy(
+              {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)}));
+        }
+      }
+    } else {
+      mp.remaining = p.dests;
+    }
+    std::sort(mp.remaining.begin(), mp.remaining.end());
+    mp.remaining.erase(
+        std::unique(mp.remaining.begin(), mp.remaining.end()),
+        mp.remaining.end());
+    mp.payload = p.payload;
+    const auto seq =
+        static_cast<std::uint16_t>(p.payload[2] | (p.payload[3] << 8));
+    expected_ += mp.remaining.size();
+    mcast_pending_[{p.src, seq}] = std::move(mp);
+    return;
+  }
   pending_[{p.src, p.dst}].push_back(p);
   ++expected_;
 }
 
+void InvariantChecker::on_mcast_delivered(unsigned x, unsigned y,
+                                          const noc::ReceivedPacket& rp) {
+  const auto& pl = rp.packet.payload;
+  const std::uint8_t here = noc::encode_xy(
+      {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)});
+  if (pl.size() < 4) {
+    violation("integrity", "runt multicast (" + std::to_string(pl.size()) +
+                               " payload bytes) delivered at " +
+                               node_name(x, y));
+    return;
+  }
+  const auto seq = static_cast<std::uint16_t>(pl[2] | (pl[3] << 8));
+  const auto it = mcast_pending_.find({pl[0], seq});
+  if (it == mcast_pending_.end()) {
+    violation("mcast-duplicate",
+              "unexpected or duplicate multicast src=" +
+                  std::to_string(pl[0]) + " seq=" + std::to_string(seq) +
+                  " delivered at " + node_name(x, y));
+    return;
+  }
+  McastPending& mp = it->second;
+  const auto pos = std::find(mp.remaining.begin(), mp.remaining.end(), here);
+  if (pos == mp.remaining.end()) {
+    const bool dup = std::find(mp.delivered.begin(), mp.delivered.end(),
+                               here) != mp.delivered.end();
+    violation(dup ? "mcast-duplicate" : "mcast-scope",
+              std::string(dup ? "second" : "out-of-set") +
+                  " multicast delivery src=" + std::to_string(pl[0]) +
+                  " seq=" + std::to_string(seq) + " at node " +
+                  node_name(x, y));
+    return;
+  }
+  if (mp.payload != pl) {
+    violation("integrity",
+              "multicast branch payload mismatch src=" +
+                  std::to_string(pl[0]) + " seq=" + std::to_string(seq) +
+                  " at node " + node_name(x, y));
+  }
+  if (opt_.latency) {
+    // Per-hop absorb-and-forward can only be slower than a cut-through
+    // wormhole over the same minimal path, so the unicast floor holds
+    // for every branch delivery.
+    const std::uint64_t lat = rp.recv_cycle - rp.inject_cycle;
+    const std::uint64_t floor =
+        latency_floor(hop_count(pl[0], here), pl.size() + 2);
+    if (lat < floor) {
+      violation("latency", "multicast src=" + std::to_string(pl[0]) +
+                               " seq=" + std::to_string(seq) + " to " +
+                               node_name(x, y) + " latency " +
+                               std::to_string(lat) +
+                               " beats the physical floor " +
+                               std::to_string(floor));
+    }
+    dhash_.u64(lat);
+  }
+  dhash_.byte(here);
+  dhash_.byte(pl[0]);
+  dhash_.u16(seq);
+  mp.remaining.erase(pos);
+  mp.delivered.push_back(here);
+  if (mp.remaining.empty()) mcast_pending_.erase(it);
+  ++delivered_;
+}
+
 void InvariantChecker::on_delivered(unsigned x, unsigned y,
                                     const noc::ReceivedPacket& rp) {
+  if (rp.multicast) {
+    on_mcast_delivered(x, y, rp);
+    return;
+  }
   const auto& pl = rp.packet.payload;
   const std::uint8_t here = noc::encode_xy(
       {static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)});
@@ -169,8 +296,7 @@ void InvariantChecker::on_delivered(unsigned x, unsigned y,
   }
   if (opt_.latency) {
     const std::uint64_t lat = rp.recv_cycle - rp.inject_cycle;
-    const unsigned hops =
-        noc::hop_routers(noc::decode_xy(pl[0]), noc::decode_xy(pl[1]));
+    const unsigned hops = hop_count(pl[0], pl[1]);
     const std::uint64_t floor = latency_floor(hops, pl.size() + 2);
     if (lat < floor) {
       violation("latency", "packet src=" + std::to_string(pl[0]) + " seq=" +
@@ -403,9 +529,16 @@ void InvariantChecker::check_fills() {
 
 void InvariantChecker::finalize() {
   if (outstanding() > 0) {
-    violation("lost", std::to_string(outstanding()) + " of " +
-                          std::to_string(expected_) +
-                          " packets never delivered");
+    std::string detail = std::to_string(outstanding()) + " of " +
+                         std::to_string(expected_) +
+                         " deliveries never happened";
+    if (!mcast_pending_.empty()) {
+      const auto& [key, mp] = *mcast_pending_.begin();
+      detail += "; multicast src=" + std::to_string(key.first) + " seq=" +
+                std::to_string(key.second) + " still owes " +
+                std::to_string(mp.remaining.size()) + " destination(s)";
+    }
+    violation("lost", detail);
   }
   if (opt_.wire_level) {
     // Robustness sweep: the taps normally consume every change in the
@@ -469,6 +602,13 @@ NocRunResult run_noc_case(const NocFuzzConfig& cfg,
   rc.route_latency = cfg.route_latency;
   rc.algo = cfg.algo;
   rc.vc_count = cfg.vc_count;
+  rc.topology = cfg.topology;
+  if (cfg.topology == noc::Topology::kTorus && rc.vc_count < 2) {
+    // The dateline argument needs two lane classes; a replayed case with
+    // vc=1 is clamped (at fuzz and replay time alike) rather than run
+    // into a known wrap-cycle deadlock.
+    rc.vc_count = 2;
+  }
 
   auto make_rel = [&](noc::Reliability& rel) {
     rel.link.enabled = true;
@@ -510,9 +650,12 @@ NocRunResult run_noc_case(const NocFuzzConfig& cfg,
     }
     const noc::ReceivedPacket rp = dst.pop_packet();
     probe_latency = rp.recv_cycle - rp.inject_cycle;
-    const unsigned hops = noc::hop_routers(
-        {0, 0},
-        {static_cast<std::uint8_t>(dx), static_cast<std::uint8_t>(dy)});
+    const noc::XY probe_dst{static_cast<std::uint8_t>(dx),
+                            static_cast<std::uint8_t>(dy)};
+    const unsigned hops =
+        cfg.topology == noc::Topology::kTorus
+            ? noc::hop_routers_torus({0, 0}, probe_dst, cfg.nx, cfg.ny)
+            : noc::hop_routers({0, 0}, probe_dst);
     const unsigned flits = static_cast<unsigned>(p.payload.size() + 2);
     const std::uint64_t floor = latency_floor(hops, flits);
     const std::uint64_t formula =
@@ -555,7 +698,9 @@ NocRunResult run_noc_case(const NocFuzzConfig& cfg,
 
   InvariantChecker::Options copt;
   copt.wire_level = !cfg.faults;
-  copt.order = cfg.vc_count == 1 && cfg.algo == noc::RoutingAlgo::kXY;
+  // rc.vc_count, not cfg.vc_count: the torus clamp above means vc==1
+  // (single-lane FIFO order) can only survive on a mesh.
+  copt.order = rc.vc_count == 1 && cfg.algo == noc::RoutingAlgo::kXY;
   copt.latency = true;
   copt.watchdog = cfg.watchdog;
   InvariantChecker chk(sim, mesh, copt);
@@ -576,7 +721,13 @@ NocRunResult run_noc_case(const NocFuzzConfig& cfg,
       chk.expect(p);
       const noc::XY s = noc::decode_xy(p.src);
       noc::Packet pkt;
-      pkt.target = p.dst;
+      if (p.is_multicast()) {
+        pkt.target = p.src;  // multicast convention: target = source
+        pkt.mcast_dests = p.dests;
+        pkt.broadcast = p.broadcast;
+      } else {
+        pkt.target = p.dst;
+      }
       pkt.payload = p.payload;
       nis[static_cast<std::size_t>(s.y) * cfg.nx + s.x]->send_packet(pkt);
       ++next;
@@ -605,6 +756,22 @@ NocRunResult run_noc_case(const NocFuzzConfig& cfg,
   if (!out.ok) {
     out.signature = chk.violations().front().kind;
     out.failure = chk.violations().front().detail;
+    return out;
+  }
+  // Replication-path cross-check: every injected multicast worm must have
+  // been absorbed by at least its origin router, and a clean run may not
+  // have dropped any child at a missing output.
+  const auto n_mcast = static_cast<std::uint64_t>(std::count_if(
+      packets.begin(), packets.end(),
+      [](const FuzzPacket& p) { return p.is_multicast(); }));
+  const noc::RouterStats ms = mesh.total_stats();
+  if (ms.mcast_absorbed < n_mcast || ms.mcast_drops != 0) {
+    out.ok = false;
+    out.signature = "mcast-stats";
+    out.failure = "replication accounting: " + std::to_string(n_mcast) +
+                  " multicasts injected but only " +
+                  std::to_string(ms.mcast_absorbed) + " absorbed, " +
+                  std::to_string(ms.mcast_drops) + " children dropped";
   }
   return out;
 }

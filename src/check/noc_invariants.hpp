@@ -28,10 +28,19 @@
 // every expectation met, every lane FSM at a packet boundary and every
 // FIFO drained.
 //
+// Multicast semantics (docs/DESIGN.md) extend the accounting: a
+// multicast expectation records its destination set and finalize()
+// demands exactly-once delivery per member, no delivery outside the set,
+// and bit-identical payload on every branch; the per-link credit
+// conservation above covers the replication forks, since every absorbed
+// and re-emitted child crosses ordinary credit-gated links. Latency
+// floors and the §2.1 probe are topology-aware: on a torus the minimal
+// hop count uses the wrap links (hop_routers_torus).
+//
 // run_noc_case() is the randomized harness mn-fuzz drives across the
-// vc x routing x faults x threads matrix; it also runs a single-packet
-// probe per case and checks it against the paper's §2.1 latency formula
-// (hermes_latency_formula, exact when fault-free).
+// topology x vc x routing x faults x threads x multicast matrix; it also
+// runs a single-packet probe per case and checks it against the paper's
+// §2.1 latency formula (hermes_latency_formula, exact when fault-free).
 
 #include <array>
 #include <cstdint>
@@ -55,6 +64,7 @@ struct NocFuzzConfig {
   unsigned ny = 4;
   std::size_t vc_count = 1;
   noc::RoutingAlgo algo = noc::RoutingAlgo::kXY;
+  noc::Topology topology = noc::Topology::kMesh;  ///< torus forces vc >= 2
   bool faults = false;
   unsigned threads = 1;  ///< Simulator::set_threads (clamped >= 1)
   std::size_t buffer_depth = 2;
@@ -62,16 +72,24 @@ struct NocFuzzConfig {
   std::uint64_t seed = 1;
   unsigned packets = 120;
   std::size_t max_payload = 12;  ///< payload bytes per packet (>= 4 used)
+  unsigned mcast_percent = 0;  ///< share of packets made multicast [0,100]
   std::uint64_t max_cycles = 300'000;
   unsigned watchdog = 30'000;
 };
 
 /// One scheduled packet of a fuzz case: the unit the shrinker removes.
+/// A non-empty `dests` (or `broadcast`) makes it a multicast worm: one
+/// injection, one expected delivery per destination (every node for a
+/// broadcast), payload marker 0xFF in byte 1 instead of a dst address.
 struct FuzzPacket {
   std::uint64_t cycle = 0;  ///< injection cycle (non-decreasing in a case)
   std::uint8_t src = 0;     ///< encoded XY
-  std::uint8_t dst = 0;     ///< encoded XY
+  std::uint8_t dst = 0;     ///< encoded XY (unicast only)
+  std::vector<std::uint8_t> dests;  ///< multicast destination set
+  bool broadcast = false;           ///< deliver to every node
   std::vector<std::uint8_t> payload;  ///< [src, dst, seq_lo, seq_hi, ...]
+
+  bool is_multicast() const { return broadcast || !dests.empty(); }
 };
 
 /// Deterministic packet-set generation for a case seed.
@@ -183,10 +201,29 @@ class InvariantChecker {
   std::vector<std::uint32_t> active_;  ///< links whose wires changed, FIFO
   std::vector<std::uint32_t> hot_;     ///< links with pending fill checks
 
+  /// Outstanding multicast expectation: which destinations still owe a
+  /// delivery, which already received one (exactly-once evidence), and
+  /// the payload every branch must reproduce bit-identically.
+  struct McastPending {
+    std::vector<std::uint8_t> remaining;  ///< sorted unique dest addresses
+    std::vector<std::uint8_t> delivered;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// Topology-aware minimal hop count between encoded addresses.
+  unsigned hop_count(std::uint8_t a, std::uint8_t b) const;
+  void on_mcast_delivered(unsigned x, unsigned y,
+                          const noc::ReceivedPacket& rp);
+
+  noc::Topology topology_ = noc::Topology::kMesh;
+
   // Expectation bookkeeping: per (src, dst) pair, FIFO of outstanding
-  // payloads (keyed by seq for the unordered modes).
+  // payloads (keyed by seq for the unordered modes). Multicasts live in
+  // their own map keyed by (src, seq): destination sets, not pairs.
   std::map<std::pair<std::uint8_t, std::uint8_t>, std::deque<FuzzPacket>>
       pending_;
+  std::map<std::pair<std::uint8_t, std::uint16_t>, McastPending>
+      mcast_pending_;
   std::uint64_t expected_ = 0;
   std::uint64_t delivered_ = 0;
   Fnv64 dhash_;  ///< folded per-delivery facts, arrival order

@@ -63,10 +63,12 @@ sim::Json repro_to_json(const Repro& r) {
     n["ny"] = r.noc.ny;
     n["vc"] = static_cast<std::uint64_t>(r.noc.vc_count);
     n["algo"] = noc::routing_algo_name(r.noc.algo);
+    n["topology"] = noc::topology_name(r.noc.topology);
     n["faults"] = r.noc.faults;
     n["threads"] = r.noc.threads;
     n["buffer_depth"] = static_cast<std::uint64_t>(r.noc.buffer_depth);
     n["route_latency"] = r.noc.route_latency;
+    n["mcast_percent"] = r.noc.mcast_percent;
     n["seed"] = r.noc.seed;
     n["max_cycles"] = r.noc.max_cycles;
     n["watchdog"] = r.noc.watchdog;
@@ -77,6 +79,14 @@ sim::Json repro_to_json(const Repro& r) {
       pj["cycle"] = p.cycle;
       pj["src"] = static_cast<std::uint64_t>(p.src);
       pj["dst"] = static_cast<std::uint64_t>(p.dst);
+      if (!p.dests.empty()) {
+        sim::Json ds = sim::Json::array();
+        for (std::uint8_t d : p.dests) {
+          ds.push_back(static_cast<std::uint64_t>(d));
+        }
+        pj["dests"] = std::move(ds);
+      }
+      if (p.broadcast) pj["broadcast"] = true;
       sim::Json pay = sim::Json::array();
       for (std::uint8_t b : p.payload) {
         pay.push_back(static_cast<std::uint64_t>(b));
@@ -155,7 +165,12 @@ std::optional<Repro> repro_from_json(const sim::Json& j,
     }
     return r;
   }
-  if (r.mode != "noc-invariants") return fail("unknown mode " + r.mode);
+  // noc-mcast and noc-torus share the noc-invariants case shape; the
+  // mode string only records which mn-fuzz matrix produced the failure.
+  if (r.mode != "noc-invariants" && r.mode != "noc-mcast" &&
+      r.mode != "noc-torus") {
+    return fail("unknown mode " + r.mode);
+  }
 
   const sim::Json* n = c->find("noc");
   if (!n || !n->is_object()) return fail("noc case needs a noc object");
@@ -170,11 +185,16 @@ std::optional<Repro> repro_from_json(const sim::Json& j,
   r.noc.threads = num("threads", r.noc.threads);
   r.noc.buffer_depth = num("buffer_depth", r.noc.buffer_depth);
   r.noc.route_latency = num("route_latency", r.noc.route_latency);
+  r.noc.mcast_percent = num("mcast_percent", r.noc.mcast_percent);
   r.noc.seed = num("seed", r.noc.seed);
   r.noc.max_cycles = num("max_cycles", r.noc.max_cycles);
   r.noc.watchdog = num("watchdog", r.noc.watchdog);
   if (const sim::Json* a = n->find("algo"); a && a->is_string()) {
     r.noc.algo = algo_from_name(a->as_string());
+  }
+  if (const sim::Json* t = n->find("topology"); t && t->is_string()) {
+    r.noc.topology = t->as_string() == "torus" ? noc::Topology::kTorus
+                                               : noc::Topology::kMesh;
   }
   if (const sim::Json* f = n->find("faults"); f && f->is_bool()) {
     r.noc.faults = f->as_bool();
@@ -194,6 +214,15 @@ std::optional<Repro> repro_from_json(const sim::Json& j,
     p.cycle = static_cast<std::uint64_t>(cy->as_int());
     p.src = static_cast<std::uint8_t>(src->as_int());
     p.dst = static_cast<std::uint8_t>(dst->as_int());
+    if (const sim::Json* ds = pj.find("dests"); ds && ds->is_array()) {
+      for (const sim::Json& d : ds->elements()) {
+        if (!d.is_number()) return fail("malformed dests byte");
+        p.dests.push_back(static_cast<std::uint8_t>(d.as_int()));
+      }
+    }
+    if (const sim::Json* b = pj.find("broadcast"); b && b->is_bool()) {
+      p.broadcast = b->as_bool();
+    }
     for (const sim::Json& b : pay->elements()) {
       if (!b.is_number()) return fail("malformed payload byte");
       p.payload.push_back(static_cast<std::uint8_t>(b.as_int()));

@@ -55,6 +55,22 @@ void Host::scanf_return(std::uint8_t target, std::uint16_t value) {
   send_word(value);
 }
 
+void Host::barrier_notify(std::uint8_t barrier_id,
+                          const std::vector<std::uint8_t>& dests) {
+  send_byte(static_cast<std::uint8_t>(HostCmd::kBarrierNotify));
+  send_byte(barrier_id);
+  send_byte(static_cast<std::uint8_t>(dests.size()));
+  for (std::uint8_t d : dests) send_byte(d);
+}
+
+void Host::barrier_notify_all_processors(std::uint8_t barrier_id) {
+  std::vector<std::uint8_t> dests;
+  for (const noc::XY n : system_->config().processor_nodes) {
+    dests.push_back(noc::encode_xy(n));
+  }
+  barrier_notify(barrier_id, dests);
+}
+
 void Host::load_program(std::uint8_t target,
                         const std::vector<std::uint16_t>& image,
                         std::uint16_t base) {

@@ -103,6 +103,18 @@ class Host final : public sim::Component {
   /// Answer a scanf request.
   void scanf_return(std::uint8_t target, std::uint16_t value);
 
+  /// Release a barrier: one BARRIER_NOTIFY frame that the Serial IP turns
+  /// into a single multicast kBarrierNotify worm fanning out to `dests`
+  /// (router addresses). Each destination processor counts the delivery
+  /// like a kNotify against `barrier_id`, unblocking its `wait`. An empty
+  /// `dests` broadcasts to every node (docs/DESIGN.md).
+  void barrier_notify(std::uint8_t barrier_id,
+                      const std::vector<std::uint8_t>& dests = {});
+
+  /// barrier_notify addressed to every processor in the system (the
+  /// common collective shape), via SystemConfig::processor_nodes.
+  void barrier_notify_all_processors(std::uint8_t barrier_id);
+
   /// Download an object image to a processor's local memory
   /// ("Send Generated Object Code").
   void load_program(std::uint8_t target,

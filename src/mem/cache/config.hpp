@@ -46,6 +46,11 @@ struct CacheConfig {
   /// a small deterministic stagger so contenders do not retry in
   /// lockstep and livelock on the same line.
   std::uint32_t nack_backoff = 16;
+  /// Coalesce the directory's invalidation fan-out (one kInv per sharer)
+  /// into a single multicast worm per line (docs/DESIGN.md). Off by
+  /// default: the unicast fan-out is bit-identical to the PR 9 wire
+  /// traffic.
+  bool multicast_inv = false;
 
   std::size_t words() const { return line_words * sets * ways; }
 };

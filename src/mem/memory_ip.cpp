@@ -23,8 +23,11 @@ void MemoryIp::enable_coherence(const CacheConfig& cache,
   dir_ = std::make_unique<Directory>(mem_, cache, backing,
                                      engine_.self_addr());
   if (rel_) dir_->set_retry_timeout(rel_->e2e_retry_timeout);
+  multicast_inv_ = cache.multicast_inv;
   auto& m = sim_->metrics();
   const std::string p = "mem." + name() + ".dir.";
+  m.probe(p + "mcast_invs",
+          [this] { return static_cast<double>(mcast_invs_); });
   m.probe(p + "requests",
           [this] { return static_cast<double>(dir_->requests()); });
   m.probe(p + "nacks",
@@ -57,7 +60,8 @@ void MemoryIp::eval() {
   // Handle one incoming request per cycle (single control logic).
   if (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    auto txn = decode_packet(rp.packet, engine_.self_addr(), e2e());
+    auto txn = decode_packet(rp.packet, engine_.self_addr(), e2e(),
+                             rp.multicast);
     if (txn) {
       txn->trace_id = rp.trace_id;
       const TransactionResult r =
@@ -65,7 +69,8 @@ void MemoryIp::eval() {
               ? dir_->handle(*txn, now, pending_replies_)
               : engine_.handle(*txn, pending_replies_);
       if (r.handled()) ++requests_served_;
-    } else if (rel_ && !noc::decode(rp.packet, engine_.self_addr(), e2e())) {
+    } else if (rel_ && !noc::decode(rp.packet, engine_.self_addr(), e2e(),
+                                    rp.multicast)) {
       // Malformed or checksum-failed — a valid non-memory service is
       // merely ignored, exactly as before the transaction API.
       noc::bump(rel_->recovery.e2e_drops);
@@ -75,8 +80,29 @@ void MemoryIp::eval() {
   // Stream out replies; wait for the NI to drain before queuing the next
   // packet (models the single shared NoC interface).
   if (!pending_replies_.empty() && ni_.tx_idle()) {
-    ni_.send_packet(to_packet(pending_replies_.front(), e2e()));
-    pending_replies_.pop_front();
+    // With cache.multicast_inv the directory's invalidation fan-out —
+    // consecutive kInv transactions for the same line, differing only in
+    // their target sharer — is coalesced into one multicast worm.
+    if (multicast_inv_ && pending_replies_.front().op == TxnOp::kInv) {
+      Transaction t = pending_replies_.front();
+      std::vector<std::uint8_t> dests{t.target};
+      pending_replies_.pop_front();
+      while (!pending_replies_.empty() &&
+             pending_replies_.front().op == TxnOp::kInv &&
+             pending_replies_.front().addr == t.addr &&
+             pending_replies_.front().source == t.source) {
+        dests.push_back(pending_replies_.front().target);
+        pending_replies_.pop_front();
+      }
+      t.target = engine_.self_addr();  // multicast Packet::target = source
+      ni_.send_packet(
+          noc::make_multicast(to_packet(t, e2e()), std::move(dests),
+                              /*broadcast=*/false, e2e()));
+      ++mcast_invs_;
+    } else {
+      ni_.send_packet(to_packet(pending_replies_.front(), e2e()));
+      pending_replies_.pop_front();
+    }
   }
 }
 

@@ -70,6 +70,8 @@ class MemoryIp final : public sim::Component {
   std::unique_ptr<Directory> dir_;
   std::deque<Transaction> pending_replies_;
   std::uint64_t requests_served_ = 0;
+  bool multicast_inv_ = false;  ///< CacheConfig::multicast_inv
+  std::uint64_t mcast_invs_ = 0;  ///< coalesced Inv multicasts sent
 };
 
 }  // namespace mn::mem

@@ -115,6 +115,7 @@ std::optional<Transaction> from_message(const noc::ServiceMessage& m) {
       t.count = m.count;
       return t;
     case noc::Service::kWriteMem:
+    case noc::Service::kMulticastWrite:
       t.op = TxnOp::kWriteWords;
       t.data = m.words;
       return t;
@@ -168,23 +169,27 @@ bool is_memory_packet(const noc::Packet& p) {
 }
 
 std::optional<Transaction> decode_packet(const noc::Packet& p,
-                                         std::uint8_t receiver, bool e2e) {
+                                         std::uint8_t receiver, bool e2e,
+                                         bool multicast) {
   const auto& pl = p.payload;
   if (pl.empty()) return std::nullopt;
   if (pl[0] != static_cast<std::uint8_t>(noc::Service::kMemTxn)) {
-    const auto msg = noc::decode(p, receiver, e2e);
+    const auto msg = noc::decode(p, receiver, e2e, multicast);
     if (!msg) return std::nullopt;
     return from_message(*msg);
   }
   if (e2e) {
     // Same discipline as noc::decode: verify against `receiver`, not
-    // p.target, so a corrupted misrouting header is caught here.
+    // p.target, so a corrupted misrouting header is caught here. A
+    // multicast envelope serves many receivers and binds to the shared
+    // kMcastE2eTarget seed instead.
+    const std::uint8_t seed = multicast ? noc::kMcastE2eTarget : receiver;
     std::vector<std::uint8_t> body(pl.begin(), std::prev(pl.end()));
-    if (noc::e2e_checksum(receiver, body) != pl.back()) return std::nullopt;
+    if (noc::e2e_checksum(seed, body) != pl.back()) return std::nullopt;
     noc::Packet stripped;
     stripped.target = p.target;
     stripped.payload = std::move(body);
-    return decode_packet(stripped, receiver, false);
+    return decode_packet(stripped, receiver, false, multicast);
   }
   if (pl.size() < kEnvelopeHeader) return std::nullopt;
   const auto op = pl[2];

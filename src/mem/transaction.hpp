@@ -102,9 +102,12 @@ bool is_memory_packet(const noc::Packet& p);
 
 /// Parse a received packet into a Transaction. Returns nullopt on
 /// malformed payloads, checksum mismatch, or non-memory services.
+/// `multicast` marks a replicated delivery (ReceivedPacket::multicast):
+/// the e2e checksum then binds to noc::kMcastE2eTarget, not `receiver`.
 std::optional<Transaction> decode_packet(const noc::Packet& p,
                                          std::uint8_t receiver,
-                                         bool e2e = false);
+                                         bool e2e = false,
+                                         bool multicast = false);
 
 std::string to_string(const Transaction& t);
 

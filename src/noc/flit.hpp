@@ -54,6 +54,15 @@ struct Flit {
   std::uint8_t offer = 0;  ///< transmission id, 1..127 (0 = never offered)
   bool seq = false;        ///< alternating bit for duplicate suppression
 
+  // --- multicast sideband (packet.hpp / router.hpp) ---
+  // One extra wire bit carried with the header flit: marks the worm as a
+  // multicast/broadcast packet whose payload starts with a destination
+  // prelude. Routers absorb such worms instead of cutting a crossbar
+  // connection for them (router.hpp replication). Always false on
+  // unicast traffic, so unicast wire streams are bit-identical to the
+  // pre-multicast fabric.
+  bool is_mcast = false;
+
   // --- simulation-only metadata ---
   std::uint32_t packet_id = 0;    ///< unique id stamped at injection
   std::uint32_t trace_id = 0;     ///< SpanTracer span id (0 = untraced)

@@ -10,12 +10,19 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
     : sim_(&sim), nx_(nx), ny_(ny) {
   assert(nx >= 1 && ny >= 1 && nx <= 16 && ny <= 16);
 
+  // Stamp the fabric geometry into every router's config: multicast
+  // replication needs the grid bounds and the torus policy needs the
+  // ring sizes.
+  RouterConfig rcfg = cfg;
+  rcfg.nx = nx;
+  rcfg.ny = ny;
+
   routers_.reserve(node_count());
   for (unsigned y = 0; y < ny; ++y) {
     for (unsigned x = 0; x < nx; ++x) {
       auto r = std::make_unique<Router>(
           XY{static_cast<std::uint8_t>(x), static_cast<std::uint8_t>(y)},
-          cfg, rel);
+          rcfg, rel);
       sim.add(r.get());
       routers_.push_back(std::move(r));
     }
@@ -59,6 +66,46 @@ Mesh::Mesh(sim::Simulator& sim, unsigned nx, unsigned ny,
       links_.push_back({north.get(), static_cast<int>(index(x, y + 1)),
                         Port::kSouth});
       links_.push_back({south.get(), static_cast<int>(index(x, y)),
+                        Port::kNorth});
+      wires_.push_back(std::move(north));
+      wires_.push_back(std::move(south));
+    }
+  }
+
+  // Torus wrap-around links, one E/W pair per row and one N/S pair per
+  // column (skipped on degenerate single-router dimensions). They use
+  // the otherwise-unwired edge ports, so the interior wiring above is
+  // untouched and a torus mesh with no ring-crossing traffic behaves
+  // exactly like the plain mesh.
+  if (cfg.topology == Topology::kTorus) {
+    for (unsigned y = 0; nx > 1 && y < ny; ++y) {
+      auto east = std::make_unique<LinkWires>(sim.wires(),
+                                              wire_name("lwrE", nx - 1, y));
+      auto west = std::make_unique<LinkWires>(sim.wires(),
+                                              wire_name("lwrW", 0, y));
+      router(nx - 1, y).connect_out(Port::kEast, *east);
+      router(0, y).connect_in(Port::kWest, *east);
+      router(0, y).connect_out(Port::kWest, *west);
+      router(nx - 1, y).connect_in(Port::kEast, *west);
+      links_.push_back({east.get(), static_cast<int>(index(0, y)),
+                        Port::kWest});
+      links_.push_back({west.get(), static_cast<int>(index(nx - 1, y)),
+                        Port::kEast});
+      wires_.push_back(std::move(east));
+      wires_.push_back(std::move(west));
+    }
+    for (unsigned x = 0; ny > 1 && x < nx; ++x) {
+      auto north = std::make_unique<LinkWires>(sim.wires(),
+                                               wire_name("lwrN", x, ny - 1));
+      auto south = std::make_unique<LinkWires>(sim.wires(),
+                                               wire_name("lwrS", x, 0));
+      router(x, ny - 1).connect_out(Port::kNorth, *north);
+      router(x, 0).connect_in(Port::kSouth, *north);
+      router(x, 0).connect_out(Port::kSouth, *south);
+      router(x, ny - 1).connect_in(Port::kNorth, *south);
+      links_.push_back({north.get(), static_cast<int>(index(x, 0)),
+                        Port::kSouth});
+      links_.push_back({south.get(), static_cast<int>(index(x, ny - 1)),
                         Port::kNorth});
       wires_.push_back(std::move(north));
       wires_.push_back(std::move(south));
@@ -125,6 +172,21 @@ void Mesh::register_metrics(sim::MetricsRegistry& m) {
     return static_cast<double>(total_stats().routing_rejects);
   });
 
+  // Multicast replication probes (docs/OBSERVABILITY.md). Cheap lazy
+  // probes; all zero on unicast-only traffic.
+  m.probe("noc.mcast.absorbed", [this] {
+    return static_cast<double>(total_stats().mcast_absorbed);
+  });
+  m.probe("noc.mcast.children", [this] {
+    return static_cast<double>(total_stats().mcast_children);
+  });
+  m.probe("noc.mcast.flits", [this] {
+    return static_cast<double>(total_stats().mcast_flits);
+  });
+  m.probe("noc.mcast.drops", [this] {
+    return static_cast<double>(total_stats().mcast_drops);
+  });
+
   // Virtual-channel probes (docs/OBSERVABILITY.md), only when the fabric
   // actually multiplexes lanes.
   const std::size_t vcs = routers_[0]->config().vc_count;
@@ -172,6 +234,10 @@ RouterStats Mesh::total_stats() const {
     total.packets_routed += s.packets_routed;
     total.routing_rejects += s.routing_rejects;
     total.vc_alloc_stalls += s.vc_alloc_stalls;
+    total.mcast_absorbed += s.mcast_absorbed;
+    total.mcast_children += s.mcast_children;
+    total.mcast_flits += s.mcast_flits;
+    total.mcast_drops += s.mcast_drops;
     for (std::size_t i = 0; i < kNumPorts; ++i) {
       total.grants[i] += s.grants[i];
       total.port_flits[i] += s.port_flits[i];

@@ -109,6 +109,7 @@ void NetworkInterface::drain_rx_lane(std::size_t v) {
       rp.trace_id = assembler.trace_id();
       rp.inject_cycle = assembler.inject_cycle();
       rp.recv_cycle = sim_->cycle();
+      rp.multicast = assembler.multicast();
       if (tracer_ && rp.trace_id) {
         tracer_->end_span(rp.trace_id, rp.recv_cycle);
       }

@@ -30,6 +30,13 @@ struct ReceivedPacket {
   std::uint32_t trace_id = 0;
   std::uint64_t inject_cycle = 0;
   std::uint64_t recv_cycle = 0;
+  /// True when this delivery is one branch of a multicast/broadcast
+  /// worm (header is_mcast bit). The payload is the plain service
+  /// payload — routers strip the destination prelude at the local fork —
+  /// but the e2e checksum uses the multicast convention
+  /// (noc::kMcastE2eTarget), so consumers must pass this flag to
+  /// noc::decode / mem::decode_packet.
+  bool multicast = false;
 };
 
 class NetworkInterface final : public sim::Component {

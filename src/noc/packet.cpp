@@ -8,39 +8,53 @@ namespace mn::noc {
 std::vector<Flit> to_flits(const Packet& p, std::uint32_t packet_id,
                            std::uint64_t inject_cycle,
                            std::uint32_t trace_id) {
-  assert(p.payload.size() <= kMaxPayloadFlits &&
+  // Multicast worms carry the destination prelude as leading payload
+  // flits; the wire frame shape ([header][size][payload]) is unchanged.
+  std::vector<std::uint8_t> wire_payload;
+  const std::vector<std::uint8_t>* payload = &p.payload;
+  if (p.is_multicast()) {
+    wire_payload.reserve(1 + p.mcast_dests.size() + p.payload.size());
+    wire_payload.push_back(static_cast<std::uint8_t>(p.mcast_dests.size()));
+    wire_payload.insert(wire_payload.end(), p.mcast_dests.begin(),
+                        p.mcast_dests.end());
+    wire_payload.insert(wire_payload.end(), p.payload.begin(),
+                        p.payload.end());
+    payload = &wire_payload;
+  }
+  assert(payload->size() <= kMaxPayloadFlits &&
          "payload exceeds the 8-bit size-flit budget");
   std::vector<Flit> flits;
-  flits.reserve(p.wire_flits());
+  flits.reserve(2 + payload->size());
 
   Flit header;
   header.data = p.target;
   header.is_header = true;
   header.is_ctrl = true;
+  header.is_mcast = p.is_multicast();
   header.packet_id = packet_id;
   header.trace_id = trace_id;
   header.inject_cycle = inject_cycle;
   flits.push_back(header);
 
   Flit size;
-  size.data = static_cast<std::uint8_t>(p.payload.size());
+  size.data = static_cast<std::uint8_t>(payload->size());
   size.is_ctrl = true;
   size.packet_id = packet_id;
   size.trace_id = trace_id;
   size.inject_cycle = inject_cycle;
   flits.push_back(size);
 
-  for (std::size_t i = 0; i < p.payload.size(); ++i) {
+  for (std::size_t i = 0; i < payload->size(); ++i) {
     Flit f;
-    f.data = p.payload[i];
+    f.data = (*payload)[i];
     f.packet_id = packet_id;
     f.trace_id = trace_id;
     f.inject_cycle = inject_cycle;
-    f.is_tail = (i + 1 == p.payload.size());
+    f.is_tail = (i + 1 == payload->size());
     flits.push_back(f);
   }
   // A zero-payload packet's size flit is the tail.
-  if (p.payload.empty()) flits.back().is_tail = true;
+  if (payload->empty()) flits.back().is_tail = true;
   return flits;
 }
 
@@ -52,6 +66,7 @@ bool PacketAssembler::feed(const Flit& f) {
       packet_id_ = f.packet_id;
       trace_id_ = f.trace_id;
       inject_cycle_ = f.inject_cycle;
+      multicast_ = f.is_mcast;
       state_ = State::kSize;
       return false;
     case State::kSize:
@@ -90,6 +105,7 @@ void PacketAssembler::reset() {
   packet_id_ = 0;
   trace_id_ = 0;
   inject_cycle_ = 0;
+  multicast_ = false;
   done_ = false;
 }
 

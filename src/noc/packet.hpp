@@ -18,12 +18,35 @@ namespace mn::noc {
 inline constexpr std::size_t kMaxPayloadFlits = 255;
 
 /// An assembled packet at the IP/network-interface boundary.
+///
+/// Multicast (docs/DESIGN.md): a packet with a non-empty `mcast_dests`
+/// set or the `broadcast` flag travels as a multicast worm. Its wire
+/// shape is the standard [header][size][payload'] frame, where payload'
+/// is prefixed with a destination prelude:
+///
+///   payload' = [ndest][dest_1 .. dest_ndest][payload...]
+///
+/// ndest == 0 means broadcast-to-all (no explicit destination list —
+/// the replication tree is derived from the arrival port at each
+/// router). The header flit carries the `is_mcast` sideband bit and its
+/// data byte names the *next absorbing router*, not a final target; by
+/// convention the sender sets `target` to its own router address.
 struct Packet {
   std::uint8_t target = 0;            ///< encoded XY of destination router
+                                      ///< (multicast: the source router)
   std::vector<std::uint8_t> payload;  ///< service byte + arguments
 
-  /// Total flits on the wire: header + size + payload.
-  std::size_t wire_flits() const { return 2 + payload.size(); }
+  // --- multicast addressing (empty/false = plain unicast) ---
+  std::vector<std::uint8_t> mcast_dests;  ///< encoded XY destination set
+  bool broadcast = false;                 ///< deliver to every node
+
+  bool is_multicast() const { return broadcast || !mcast_dests.empty(); }
+
+  /// Total flits on the wire: header + size + payload (+ the multicast
+  /// destination prelude).
+  std::size_t wire_flits() const {
+    return 2 + payload.size() + (is_multicast() ? 1 + mcast_dests.size() : 0);
+  }
 
   bool operator==(const Packet&) const = default;
 };
@@ -49,6 +72,9 @@ class PacketAssembler {
   std::uint32_t packet_id() const { return packet_id_; }
   std::uint32_t trace_id() const { return trace_id_; }
   std::uint64_t inject_cycle() const { return inject_cycle_; }
+  /// True when the completed packet's header carried the multicast bit
+  /// (a replicated delivery — its e2e checksum uses kMcastE2eTarget).
+  bool multicast() const { return multicast_; }
 
   void reset();
 
@@ -60,6 +86,7 @@ class PacketAssembler {
   std::uint32_t packet_id_ = 0;
   std::uint32_t trace_id_ = 0;
   std::uint64_t inject_cycle_ = 0;
+  bool multicast_ = false;
   bool done_ = false;
 };
 

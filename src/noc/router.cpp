@@ -19,7 +19,8 @@ Router::Router(XY address, const RouterConfig& cfg, Reliability* rel)
     : sim::Component(router_name(address)),
       addr_(address),
       cfg_(cfg),
-      policy_(cfg.policy ? cfg.policy : &routing_policy(cfg.algo)),
+      policy_(cfg.policy ? cfg.policy
+                         : &routing_policy(cfg.algo, cfg.topology)),
       rel_(rel),
       lane_arena_(kNumPorts * cfg.vc_count * cfg.buffer_depth),
       inputs_{InputPort(lane_arena_.data() + 0 * cfg.vc_count * cfg.buffer_depth,
@@ -94,8 +95,19 @@ void Router::eval() {
     start_routing();
   }
 
-  // 3. Crossbar: stream flits over every established connection.
-  forward_flits();
+  // 3. Multicast replication: absorb arriving multicast worms (at most
+  //    one flit per input port — absorption shares the crossbar read
+  //    port with unicast forwarding) and emit replicated children (at
+  //    most one flit per output port, with priority over unicast switch
+  //    allocation). Both are no-ops on unicast-only traffic, keeping the
+  //    pre-multicast router bit-identical.
+  std::array<bool, kNumPorts> input_busy{};
+  std::array<bool, kNumPorts> output_busy{};
+  absorb_multicast(input_busy);
+  emit_multicast(output_busy);
+
+  // 4. Crossbar: stream flits over every established connection.
+  forward_flits(input_busy, output_busy);
 }
 
 void Router::start_routing() {
@@ -108,9 +120,14 @@ void Router::start_routing() {
     for (std::size_t v = 0; v < vcs; ++v) {
       const std::size_t idx = i * vcs + v;
       const auto& lane = in.lane[v];
+      // Multicast worms are absorbed by the replication slot, never
+      // routed: a lane owned by its slot (or fronting a fresh is_mcast
+      // header) places no routing request.
       const bool wants = lane.out < 0 && lane.pos == FlitPos::kHeader &&
                          !in.fifos[v].empty() &&
-                         static_cast<int>(idx) != pending_lane_;
+                         static_cast<int>(idx) != pending_lane_ &&
+                         !in.mcast[v].active &&
+                         !in.fifos[v].front().is_mcast;
       requests_[idx] = wants;
       any = any || wants;
     }
@@ -130,7 +147,7 @@ int Router::pick_output_lane(const OutputPort& out,
   int best = -1;
   unsigned best_space = 0;
   for (std::size_t v = 0; v < cfg_.vc_count; ++v) {
-    if (!(mask & (1u << v)) || out.in[v] >= 0) continue;
+    if (!(mask & (1u << v)) || out.in[v] != -1) continue;
     if (cfg_.vc_count == 1) return static_cast<int>(v);
     const unsigned space = out.tx->vc_space(v);
     if (best < 0 || space > best_space) {
@@ -185,14 +202,230 @@ void Router::finish_routing() {
   if (lanes_busy && cfg_.vc_count > 1) ++stats_.vc_alloc_stalls;
 }
 
-void Router::forward_flits() {
+void Router::absorb_multicast(std::array<bool, kNumPorts>& input_busy) {
+  for (std::size_t i = 0; i < kNumPorts; ++i) {
+    auto& in = inputs_[i];
+    for (std::size_t v = 0; v < cfg_.vc_count; ++v) {
+      auto fifo = in.fifos[v];  // LaneBank proxy, by value
+      auto& slot = in.mcast[v];
+      if (!slot.active) {
+        if (fifo.empty() || !fifo.front().is_header ||
+            !fifo.front().is_mcast) {
+          continue;
+        }
+        slot.active = true;  // take ownership of the lane's worm
+      }
+      if (fifo.empty()) continue;  // next flit still in flight upstream
+      const Flit f = fifo.pop();
+      if (cfg_.vc_count > 1 && in.rx) in.rx->return_credit(v);
+      slot.flits.push_back(f);
+      bool complete = false;
+      if (slot.flits.size() == 2) {
+        slot.remaining = f.data;
+        complete = slot.remaining == 0;
+      } else if (slot.flits.size() > 2) {
+        complete = --slot.remaining == 0;
+      }
+      if (complete) {
+        ++stats_.mcast_absorbed;
+        replicate(i, slot);
+        slot.active = false;
+        slot.flits.clear();
+        slot.remaining = 0;
+      }
+      // Absorption consumed this port's crossbar read port.
+      input_busy[i] = true;
+      break;
+    }
+  }
+}
+
+void Router::queue_child(Port port, const Flit& proto,
+                         std::uint8_t header_data, const std::uint8_t* dests,
+                         std::size_t ndest, bool child_broadcast,
+                         const std::uint8_t* payload,
+                         std::size_t payload_len) {
+  auto& out = outputs_[static_cast<std::size_t>(port)];
+  if (!out.tx) {
+    ++stats_.mcast_drops;
+    return;
+  }
+  const bool has_prelude = child_broadcast || ndest > 0;
+  const std::size_t wire_len =
+      payload_len + (has_prelude ? 1 + ndest : 0);
+
+  Flit f = proto;  // keeps packet_id / trace_id / inject_cycle
+  f.data = header_data;
+  f.is_header = true;
+  f.is_ctrl = true;
+  f.is_tail = false;
+  f.is_mcast = true;
+  out.mcast_q.push_back(f);
+
+  f.is_header = false;
+  f.is_mcast = false;
+  f.data = static_cast<std::uint8_t>(wire_len);
+  f.is_tail = wire_len == 0;
+  out.mcast_q.push_back(f);
+
+  f.is_ctrl = false;
+  std::size_t left = wire_len;
+  auto push_byte = [&](std::uint8_t b) {
+    f.data = b;
+    f.is_tail = --left == 0;
+    out.mcast_q.push_back(f);
+  };
+  if (has_prelude) {
+    push_byte(static_cast<std::uint8_t>(ndest));
+    for (std::size_t k = 0; k < ndest; ++k) push_byte(dests[k]);
+  }
+  for (std::size_t k = 0; k < payload_len; ++k) push_byte(payload[k]);
+  ++stats_.mcast_children;
+}
+
+void Router::replicate(std::size_t in_port, McastSlot& slot) {
+  // slot.flits = [header][size][ndest][dest...][payload...]; the size
+  // flit was validated by absorption (remaining reached 0).
+  const Flit& header = slot.flits[0];
+  const std::size_t wire_len = slot.flits.size() - 2;
+  if (wire_len == 0) return;  // malformed: no prelude byte; drop
+  const std::size_t ndest = slot.flits[2].data;
+  std::array<std::uint8_t, 256> bytes;  // wire payload as plain bytes
+  for (std::size_t k = 0; k < wire_len; ++k) {
+    bytes[k] = slot.flits[2 + k].data;
+  }
+  const std::uint8_t self = encode_xy(addr_);
+
+  if (ndest == 0) {
+    // Broadcast: the XY spanning tree is derived from the arrival port.
+    // Rows propagate outward from the source column, columns propagate
+    // away from the source row; every router delivers locally and is
+    // reached exactly once. Wrap links are never used (bounds checks),
+    // so the tree is identical on mesh and torus.
+    const std::uint8_t* payload = bytes.data() + 1;
+    const std::size_t plen = wire_len - 1;
+    const Port from = static_cast<Port>(in_port);
+    auto open = [&](Port p) {
+      if (cfg_.nx == 0) return has_output(p);  // standalone router
+      switch (p) {
+        case Port::kEast: return addr_.x + 1u < cfg_.nx;
+        case Port::kWest: return addr_.x > 0;
+        case Port::kNorth: return addr_.y + 1u < cfg_.ny;
+        case Port::kSouth: return addr_.y > 0;
+        case Port::kLocal: return true;
+      }
+      return false;
+    };
+    const bool go_east = from == Port::kLocal || from == Port::kWest;
+    const bool go_west = from == Port::kLocal || from == Port::kEast;
+    const bool go_vert =
+        from == Port::kLocal || from == Port::kWest || from == Port::kEast;
+    const bool go_north = go_vert || from == Port::kSouth;
+    const bool go_south = go_vert || from == Port::kNorth;
+    queue_child(Port::kLocal, header, self, nullptr, 0, false, payload,
+                plen);
+    auto fwd = [&](Port p, int dx, int dy) {
+      if (!open(p)) return;
+      const XY nb{static_cast<std::uint8_t>(addr_.x + dx),
+                  static_cast<std::uint8_t>(addr_.y + dy)};
+      queue_child(p, header, encode_xy(nb), nullptr, 0, true, payload,
+                  plen);
+    };
+    if (go_east) fwd(Port::kEast, 1, 0);
+    if (go_west) fwd(Port::kWest, -1, 0);
+    if (go_north) fwd(Port::kNorth, 0, 1);
+    if (go_south) fwd(Port::kSouth, 0, -1);
+    return;
+  }
+
+  if (1 + ndest > wire_len) return;  // malformed prelude; drop
+  const std::uint8_t* dests = bytes.data() + 1;
+  const std::uint8_t* payload = bytes.data() + 1 + ndest;
+  const std::size_t plen = wire_len - 1 - ndest;
+
+  // Deterministic partition: group destinations by their XY direction
+  // from this router, preserving prelude order within each group, and
+  // emit children in fixed Local, E, W, N, S order.
+  std::array<std::array<std::uint8_t, 255>, kNumPorts> group;
+  std::array<std::size_t, kNumPorts> count{};
+  bool local = false;
+  for (std::size_t k = 0; k < ndest; ++k) {
+    const Port p = route_xy(addr_, decode_xy(dests[k]));
+    if (p == Port::kLocal) {
+      local = true;  // duplicates in the set deliver once
+      continue;
+    }
+    auto& g = group[static_cast<std::size_t>(p)];
+    g[count[static_cast<std::size_t>(p)]++] = dests[k];
+  }
+  if (local) {
+    queue_child(Port::kLocal, header, self, nullptr, 0, false, payload,
+                plen);
+  }
+  static constexpr Port kOrder[] = {Port::kEast, Port::kWest, Port::kNorth,
+                                    Port::kSouth};
+  for (Port p : kOrder) {
+    const auto pi = static_cast<std::size_t>(p);
+    if (count[pi] == 0) continue;
+    const int dx = p == Port::kEast ? 1 : p == Port::kWest ? -1 : 0;
+    const int dy = p == Port::kNorth ? 1 : p == Port::kSouth ? -1 : 0;
+    const XY nb{static_cast<std::uint8_t>(addr_.x + dx),
+                static_cast<std::uint8_t>(addr_.y + dy)};
+    queue_child(p, header, encode_xy(nb), group[pi].data(), count[pi],
+                false, payload, plen);
+  }
+}
+
+void Router::emit_multicast(std::array<bool, kNumPorts>& output_busy) {
+  for (std::size_t o = 0; o < kNumPorts; ++o) {
+    auto& out = outputs_[o];
+    if (out.mcast_q.empty()) continue;
+    if (!out.tx || !out.tx->ready()) continue;
+    const bool vc_mode = out.tx->vc_mode();
+    if (out.mcast_lane < 0) {
+      // Acquire an output lane at the child's header flit.
+      assert(out.mcast_q.front().is_header);
+      const int v = pick_output_lane(out, vc_mask_all(cfg_.vc_count));
+      if (v < 0) continue;  // all lanes held by unicast worms; retry
+      out.mcast_lane = v;
+      out.in[static_cast<std::size_t>(v)] = kMcastHold;
+    }
+    const auto v = static_cast<std::size_t>(out.mcast_lane);
+    if (vc_mode && out.tx->vc_space(v) == 0) continue;  // no credit
+    const Flit f = out.mcast_q.front();
+    out.mcast_q.pop_front();
+    if (vc_mode) {
+      out.tx->send_vc(f, v);
+    } else {
+      out.tx->send(f);
+    }
+    ++stats_.mcast_flits;
+    ++stats_.flits_forwarded;
+    ++stats_.port_flits[o];
+    ++stats_.vc_flits[v];
+    if (tracer_) {
+      tracer_->complete_event(port_tracks_[o], "flit", tracer_sim_->cycle(),
+                              2, f.trace_id);
+    }
+    if (f.is_tail) {
+      out.in[v] = -1;
+      out.mcast_lane = -1;
+    }
+    output_busy[o] = true;
+  }
+}
+
+void Router::forward_flits(const std::array<bool, kNumPorts>& in_taken,
+                           const std::array<bool, kNumPorts>& output_busy) {
   const std::size_t vcs = cfg_.vc_count;
   // Switch allocation: each output port serves at most one of its
   // connected lanes (round-robin) and each input port sources at most
   // one flit per cycle (one crossbar read port per input buffer).
-  std::array<bool, kNumPorts> input_busy{};
+  // Multicast absorption/emission claimed its ports first.
+  std::array<bool, kNumPorts> input_busy = in_taken;
   for (std::size_t o = 0; o < kNumPorts; ++o) {
     auto& out = outputs_[o];
+    if (output_busy[o]) continue;
     if (!out.tx || !out.tx->ready()) continue;
     const bool vc_mode = out.tx->vc_mode();
     for (std::size_t k = 0; k < vcs; ++k) {
@@ -271,11 +504,14 @@ void Router::reset() {
     in.fifos.clear();
     if (in.rx) in.rx->reset();
     for (auto& lane : in.lane) lane = LaneState{};
+    for (auto& slot : in.mcast) slot = McastSlot{};
   }
   for (auto& out : outputs_) {
     if (out.tx) out.tx->reset();
     out.in.fill(-1);
     out.rr = 0;
+    out.mcast_q.clear();
+    out.mcast_lane = -1;
   }
   arbiter_.reset();
   control_timer_ = 0;

@@ -28,7 +28,9 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <vector>
 
 #include "noc/arbiter.hpp"
 #include "noc/fifo.hpp"
@@ -49,7 +51,14 @@ struct RouterConfig {
   std::size_t vc_count = 1;  ///< virtual channels per port (1..kMaxVc);
                              ///< 1 = the original bufferless-VC router
   const RoutingPolicy* policy = nullptr;  ///< custom policy override;
-                                          ///< null = routing_policy(algo)
+                                          ///< null = routing_policy(algo,
+                                          ///< topology)
+  // Fabric geometry, stamped by the Mesh builder. 0 = standalone router
+  // (unit tests); multicast replication then consults has_output()
+  // instead of the grid bounds.
+  unsigned nx = 0;
+  unsigned ny = 0;
+  Topology topology = Topology::kMesh;
 };
 
 struct RouterStats {
@@ -59,6 +68,10 @@ struct RouterStats {
   std::uint64_t vc_alloc_stalls = 0;  ///< rejects where a candidate port
                                       ///< was wired but every admissible
                                       ///< lane was held (VC contention)
+  std::uint64_t mcast_absorbed = 0;   ///< multicast worms fully absorbed
+  std::uint64_t mcast_children = 0;   ///< replicated child worms emitted
+  std::uint64_t mcast_flits = 0;      ///< flits sent on behalf of children
+  std::uint64_t mcast_drops = 0;      ///< children with no wired output
   std::array<std::uint64_t, kNumPorts> grants{};  ///< arbiter grants per input
   std::array<std::uint64_t, kNumPorts> port_flits{};  ///< flits out per port
   std::array<std::uint64_t, kMaxVc> vc_flits{};  ///< flits out per lane id
@@ -82,9 +95,10 @@ class Router final : public sim::Component, private CongestionView {
   void eval() override;
   void reset() override;
 
-  /// Idle iff the control logic has no decision in flight and every input
-  /// lane is drained and disconnected. Arriving flits re-activate the
-  /// router through the link tx/ack/credit wires registered in
+  /// Idle iff the control logic has no decision in flight, every input
+  /// lane is drained and disconnected, and no multicast worm is being
+  /// absorbed or replicated. Arriving flits re-activate the router
+  /// through the link tx/ack/credit wires registered in
   /// connect_in/connect_out.
   bool quiescent() const override {
     if (control_timer_ != 0 || pending_lane_ >= 0) return false;
@@ -92,12 +106,14 @@ class Router final : public sim::Component, private CongestionView {
       if (!in.fifos.all_empty()) return false;
       for (std::size_t v = 0; v < cfg_.vc_count; ++v) {
         if (in.lane[v].out >= 0) return false;
+        if (in.mcast[v].active) return false;
       }
     }
     for (const auto& out : outputs_) {
       // A protected sender with an unacknowledged flit needs eval() each
       // cycle so its resend timer can recover lost offers/responses.
       if (out.tx && !out.tx->idle()) return false;
+      if (!out.mcast_q.empty()) return false;
     }
     return true;
   }
@@ -139,6 +155,10 @@ class Router final : public sim::Component, private CongestionView {
   /// Position of the next flit to forward within its packet.
   enum class FlitPos : std::uint8_t { kHeader, kSize, kPayload };
 
+  /// Sentinel for OutputPort::in: the lane is held by the multicast
+  /// emitter, not by an input lane. Busy tests must compare against -1.
+  static constexpr int kMcastHold = -2;
+
   /// Wormhole state of one input lane.
   struct LaneState {
     FlitPos pos = FlitPos::kHeader;
@@ -147,20 +167,39 @@ class Router final : public sim::Component, private CongestionView {
     std::size_t remaining = 0;  ///< payload flits left to forward
   };
 
+  /// Per-input-lane absorption buffer for one multicast worm (hardware
+  /// analogue: the replication buffer, sized for a maximal packet). The
+  /// slot takes ownership of the lane when an is_mcast header reaches
+  /// the FIFO front, pops at most one flit per input port per cycle
+  /// (sharing the crossbar read port with unicast forwarding) and
+  /// replicates on the tail.
+  struct McastSlot {
+    bool active = false;
+    std::vector<Flit> flits;    ///< header + size + wire payload so far
+    std::size_t remaining = 0;  ///< payload flits still to absorb
+  };
+
   struct InputPort {
     /// `slots` is this port's slice of the router-wide lane arena.
     InputPort(Flit* slots, std::size_t lanes, std::size_t depth)
         : fifos(slots, lanes, depth) {}
     LaneBank<Flit> fifos;
     std::array<LaneState, kMaxVc> lane{};
+    std::array<McastSlot, kMaxVc> mcast{};
     std::optional<LinkReceiver> rx;
   };
 
   struct OutputPort {
     std::optional<LinkSender> tx;
     std::array<int, kMaxVc> in{-1, -1, -1, -1};  ///< global input-lane
-                                                 ///< index holding lane v
+                                                 ///< index holding lane v,
+                                                 ///< or kMcastHold
     std::size_t rr = 0;  ///< switch-allocation round-robin pointer
+    /// Replicated child worms awaiting emission, child-by-child (tail
+    /// flits delimit children). Emission holds one output lane at a time
+    /// (mcast_lane) and has priority over unicast switch allocation.
+    std::deque<Flit> mcast_q;
+    int mcast_lane = -1;
   };
 
   // CongestionView (read-only router state handed to the RoutingPolicy).
@@ -168,16 +207,26 @@ class Router final : public sim::Component, private CongestionView {
     return outputs_[static_cast<std::size_t>(p)].tx.has_value();
   }
   bool lane_free(Port p, std::size_t vc) const override {
-    return outputs_[static_cast<std::size_t>(p)].in[vc] < 0;
+    return outputs_[static_cast<std::size_t>(p)].in[vc] == -1;
   }
   unsigned lane_space(Port p, std::size_t vc) const override {
     const auto& tx = outputs_[static_cast<std::size_t>(p)].tx;
     return tx && tx->vc_mode() ? tx->vc_space(vc) : 0;
   }
+  unsigned nx() const override { return cfg_.nx; }
+  unsigned ny() const override { return cfg_.ny; }
 
   void finish_routing();
   void start_routing();
-  void forward_flits();
+  void absorb_multicast(std::array<bool, kNumPorts>& input_busy);
+  void emit_multicast(std::array<bool, kNumPorts>& output_busy);
+  void replicate(std::size_t in_port, McastSlot& slot);
+  void queue_child(Port port, const Flit& proto, std::uint8_t header_data,
+                   const std::uint8_t* dests, std::size_t ndest,
+                   bool child_broadcast, const std::uint8_t* payload,
+                   std::size_t payload_len);
+  void forward_flits(const std::array<bool, kNumPorts>& input_busy,
+                     const std::array<bool, kNumPorts>& output_busy);
   void forward_one(std::size_t out_port, std::size_t out_vc);
   void disconnect(std::size_t input, std::size_t vc);
   int pick_output_lane(const OutputPort& out, std::uint8_t mask) const;

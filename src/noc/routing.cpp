@@ -102,12 +102,72 @@ class AdaptiveEscapePolicy final : public RoutingPolicy {
   }
 };
 
+/// Dimension-ordered routing on a torus with dateline virtual channels.
+///
+/// Direction: per dimension the shorter way around the ring (ties break
+/// toward East/North), X fully corrected before Y like plain XY.
+///
+/// Deadlock argument (docs/DESIGN.md): each unidirectional ring would
+/// close a cycle in the channel-dependency graph, so lanes are split
+/// into a lower and an upper class (lo = vc_count/2 lanes). A packet
+/// that still has the wrap link ahead of it in its current dimension
+/// (recognizable statelessly: it travels East while target.x < here.x,
+/// West while target.x > here.x, and the Y analogues) uses the lower
+/// class; once past the wrap (or never needing it) the condition is
+/// unsatisfiable and it uses the upper class. Lower-class dependency
+/// chains therefore end at the dateline (the packet changes class
+/// there), and upper-class chains never contain the wrap link (a
+/// minimal route crosses it at most once per dimension) — both class
+/// subgraphs are acyclic, and class transitions only go lower -> upper.
+/// X-before-Y ordering rules out inter-dimension cycles exactly as in
+/// the mesh. Requires vc_count >= 2.
+class TorusXYPolicy final : public RoutingPolicy {
+ public:
+  const char* name() const override { return "torus_xy"; }
+
+  std::size_t min_vc_count() const override { return 2; }
+
+  std::size_t route(XY here, XY target, std::size_t vc_count,
+                    const CongestionView& view,
+                    RouteCandidate out[kMaxRouteCandidates]) const override {
+    const unsigned nx = view.nx();
+    const unsigned ny = view.ny();
+    if (nx == 0 || ny == 0 || vc_count < 2) {
+      // Standalone router or misconfigured lane count: mesh behaviour.
+      out[0] = {route_xy(here, target), vc_mask_all(vc_count)};
+      return 1;
+    }
+    const std::uint8_t lo =
+        static_cast<std::uint8_t>((1u << (vc_count / 2)) - 1u);
+    const std::uint8_t hi =
+        static_cast<std::uint8_t>(vc_mask_all(vc_count) & ~lo);
+    Port port = Port::kLocal;
+    bool wrap_ahead = false;
+    if (target.x != here.x) {
+      const unsigned fwd = (target.x + nx - here.x) % nx;
+      port = fwd <= nx - fwd ? Port::kEast : Port::kWest;
+      wrap_ahead = port == Port::kEast ? target.x < here.x
+                                       : target.x > here.x;
+    } else if (target.y != here.y) {
+      const unsigned fwd = (target.y + ny - here.y) % ny;
+      port = fwd <= ny - fwd ? Port::kNorth : Port::kSouth;
+      wrap_ahead = port == Port::kNorth ? target.y < here.y
+                                        : target.y > here.y;
+    }
+    out[0] = {port, port == Port::kLocal ? vc_mask_all(vc_count)
+                                         : (wrap_ahead ? lo : hi)};
+    return 1;
+  }
+};
+
 }  // namespace
 
-const RoutingPolicy& routing_policy(RoutingAlgo algo) {
+const RoutingPolicy& routing_policy(RoutingAlgo algo, Topology topology) {
   static const XYPolicy xy;
   static const WestFirstPolicy west_first;
   static const AdaptiveEscapePolicy adaptive;
+  static const TorusXYPolicy torus_xy;
+  if (topology == Topology::kTorus) return torus_xy;
   switch (algo) {
     case RoutingAlgo::kWestFirst: return west_first;
     case RoutingAlgo::kAdaptive: return adaptive;

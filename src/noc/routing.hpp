@@ -55,6 +55,20 @@ constexpr Port route_xy(XY here, XY target) {
   return Port::kLocal;
 }
 
+/// Fabric topology (mesh.hpp). The paper's fabric is a 2D mesh; torus
+/// adds wrap-around links in both dimensions and requires dateline
+/// virtual-channel routing (TorusXYPolicy, min_vc_count 2) to stay
+/// deadlock-free on the rings.
+enum class Topology : std::uint8_t { kMesh = 0, kTorus = 1 };
+
+constexpr const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kMesh: return "mesh";
+    case Topology::kTorus: return "torus";
+  }
+  return "unknown";
+}
+
 /// Routing algorithms supported by the router. The paper uses
 /// deterministic XY; west-first (Glass–Ni turn model) is the partially
 /// adaptive ablation quantifying what that simplicity choice costs;
@@ -106,6 +120,17 @@ constexpr unsigned hop_routers(XY src, XY dst) {
   return dx + dy + 1;
 }
 
+/// Torus counterpart of hop_routers: each dimension takes the shorter of
+/// the direct and the wrap-around distance on its ring.
+constexpr unsigned hop_routers_torus(XY src, XY dst, unsigned nx,
+                                     unsigned ny) {
+  const unsigned dx = src.x > dst.x ? src.x - dst.x : dst.x - src.x;
+  const unsigned dy = src.y > dst.y ? src.y - dst.y : dst.y - src.y;
+  const unsigned rx = nx > dx && nx - dx < dx ? nx - dx : dx;
+  const unsigned ry = ny > dy && ny - dy < dy ? ny - dy : dy;
+  return rx + ry + 1;
+}
+
 // ---------------------------------------------------------------------------
 // Pluggable routing policies
 // ---------------------------------------------------------------------------
@@ -143,6 +168,12 @@ class CongestionView {
   /// (sender-side credits). Always 0 in single-lane ack mode, where no
   /// credit information exists.
   virtual unsigned lane_space(Port p, std::size_t vc) const = 0;
+
+  /// Fabric dimensions, needed by ring-aware policies (TorusXYPolicy) to
+  /// pick the shorter direction. 0 = unknown (standalone router) — such
+  /// policies then degrade to their mesh behaviour.
+  virtual unsigned nx() const { return 0; }
+  virtual unsigned ny() const { return 0; }
 };
 
 /// A routing algorithm as a first-class, swappable object. Implementations
@@ -170,7 +201,10 @@ class RoutingPolicy {
                             RouteCandidate out[kMaxRouteCandidates]) const = 0;
 };
 
-/// Shared stateless instance of a built-in policy.
-const RoutingPolicy& routing_policy(RoutingAlgo algo);
+/// Shared stateless instance of a built-in policy. On a torus only
+/// deterministic XY is supported, served by the dateline-VC TorusXYPolicy
+/// (SystemConfig::validate() rejects the other algorithms there).
+const RoutingPolicy& routing_policy(RoutingAlgo algo,
+                                    Topology topology = Topology::kMesh);
 
 }  // namespace mn::noc

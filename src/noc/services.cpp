@@ -19,6 +19,8 @@ const char* service_name(Service s) {
     case Service::kNotify: return "notify";
     case Service::kWait: return "wait";
     case Service::kMemTxn: return "mem_txn";
+    case Service::kMulticastWrite: return "mcast_write";
+    case Service::kBarrierNotify: return "barrier_notify";
   }
   return "?";
 }
@@ -92,6 +94,54 @@ ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
   return m;
 }
 
+ServiceMessage make_multicast_write(std::uint8_t src, std::uint8_t dst,
+                                    std::uint16_t addr,
+                                    std::vector<std::uint16_t> words) {
+  ServiceMessage m;
+  m.service = Service::kMulticastWrite;
+  m.source = src;
+  m.target = dst;
+  m.addr = addr;
+  m.words = std::move(words);
+  return m;
+}
+
+ServiceMessage make_barrier_notify(std::uint8_t src, std::uint8_t dst,
+                                   std::uint8_t barrier_id) {
+  ServiceMessage m;
+  m.service = Service::kBarrierNotify;
+  m.source = src;
+  m.target = dst;
+  m.param = barrier_id;
+  return m;
+}
+
+Packet make_multicast(Packet p, std::vector<std::uint8_t> dests,
+                      bool broadcast, bool e2e) {
+  if (!broadcast && dests.size() == 1) {
+    // Degenerate set: the equivalent unicast packet, bit-identical
+    // (tests/test_multicast.cpp pins this).
+    if (e2e) {
+      assert(!p.payload.empty());
+      p.payload.pop_back();
+    }
+    p.target = dests[0];
+    if (e2e) p.payload.push_back(e2e_checksum(p.target, p.payload));
+    return p;
+  }
+  if (e2e) {
+    // Re-bind the checksum from the unicast target to the shared
+    // multicast seed.
+    assert(!p.payload.empty());
+    p.payload.pop_back();
+    p.payload.push_back(e2e_checksum(kMcastE2eTarget, p.payload));
+  }
+  p.mcast_dests = std::move(dests);
+  p.broadcast = broadcast;
+  assert(p.wire_flits() <= 2 + kMaxPayloadFlits);
+  return p;
+}
+
 std::uint8_t e2e_checksum(std::uint8_t target,
                           const std::vector<std::uint8_t>& payload) {
   // Chained CRC-8: unlike a rotate-xor sum, no pair of single-bit flips
@@ -112,6 +162,9 @@ std::size_t max_words_per_packet(Service s, bool e2e) {
   switch (s) {
     case Service::kWriteMem:
     case Service::kReadReturn:
+    case Service::kMulticastWrite:
+      // Multicast senders must additionally subtract their destination
+      // prelude (1 + ndest flits) from the wire budget.
       return (budget - 2 - 2) / 2;
     case Service::kPrintf:
       return (budget - 2) / 2;
@@ -132,6 +185,7 @@ Packet encode(const ServiceMessage& msg, bool e2e) {
       break;
     case Service::kReadReturn:
     case Service::kWriteMem:
+    case Service::kMulticastWrite:
       push_word(p.payload, msg.addr);
       for (std::uint16_t w : msg.words) push_word(p.payload, w);
       break;
@@ -147,6 +201,7 @@ Packet encode(const ServiceMessage& msg, bool e2e) {
       break;
     case Service::kNotify:
     case Service::kWait:
+    case Service::kBarrierNotify:
       p.payload.push_back(msg.param);
       break;
     case Service::kMemTxn:
@@ -159,25 +214,28 @@ Packet encode(const ServiceMessage& msg, bool e2e) {
 }
 
 std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
-                                     bool e2e) {
+                                     bool e2e, bool multicast) {
   if (e2e) {
     // Verify against `receiver`, not p.target: a corrupted header flit
-    // misroutes the packet, and the mismatch must be caught here.
+    // misroutes the packet, and the mismatch must be caught here. A
+    // multicast payload serves many receivers and binds to the shared
+    // kMcastE2eTarget seed instead.
     if (p.payload.empty()) return std::nullopt;
     std::vector<std::uint8_t> body(p.payload.begin(),
                                    std::prev(p.payload.end()));
-    if (e2e_checksum(receiver, body) != p.payload.back()) {
+    const std::uint8_t seed = multicast ? kMcastE2eTarget : receiver;
+    if (e2e_checksum(seed, body) != p.payload.back()) {
       return std::nullopt;
     }
     Packet stripped;
     stripped.target = p.target;
     stripped.payload = std::move(body);
-    return decode(stripped, receiver, false);
+    return decode(stripped, receiver, false, multicast);
   }
   const auto& pl = p.payload;
   if (pl.size() < 2) return std::nullopt;
   const auto code = pl[0];
-  if (code < 0x01 || code > 0x09) return std::nullopt;
+  if (code < 0x01 || code > 0x0C || code == 0x0A) return std::nullopt;
 
   ServiceMessage m;
   m.service = static_cast<Service>(code);
@@ -191,7 +249,8 @@ std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
       m.count = pull_word(pl, 4);
       break;
     case Service::kReadReturn:
-    case Service::kWriteMem: {
+    case Service::kWriteMem:
+    case Service::kMulticastWrite: {
       if (pl.size() < 4 || (pl.size() - 4) % 2 != 0) return std::nullopt;
       m.addr = pull_word(pl, 2);
       for (std::size_t i = 4; i + 1 < pl.size(); i += 2) {
@@ -216,6 +275,7 @@ std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
       break;
     case Service::kNotify:
     case Service::kWait:
+    case Service::kBarrierNotify:
       if (pl.size() != 3) return std::nullopt;
       m.param = pl[2];
       break;

@@ -40,6 +40,14 @@ enum class Service : std::uint8_t {
   // Typed memory-transaction envelope (mem/transaction.hpp). The mem
   // layer owns its encode/decode; this layer only reserves the code.
   kMemTxn = 0x0A,
+  // Collective services (docs/DESIGN.md), normally delivered through a
+  // multicast worm: a write replicated to every destination's memory,
+  // and a barrier release notification fanned out by the barrier host
+  // primitive. Layouts after the two common bytes:
+  //   kMulticastWrite : addr_hi addr_lo (word_hi word_lo)*
+  //   kBarrierNotify  : barrier_id
+  kMulticastWrite = 0x0B,
+  kBarrierNotify = 0x0C,
 };
 
 const char* service_name(Service s);
@@ -70,6 +78,13 @@ ServiceMessage make_notify(std::uint8_t src, std::uint8_t dst,
                            std::uint8_t notifier);
 ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
                          std::uint8_t notifier);
+/// Collective payloads. `dst` is the source router for a multicast send
+/// (Packet::target convention) or a plain unicast destination.
+ServiceMessage make_multicast_write(std::uint8_t src, std::uint8_t dst,
+                                    std::uint16_t addr,
+                                    std::vector<std::uint16_t> words);
+ServiceMessage make_barrier_notify(std::uint8_t src, std::uint8_t dst,
+                                   std::uint8_t barrier_id);
 
 /// End-to-end payload checksum (fault.hpp, Reliability::e2e_checksum):
 /// covers the target address and every payload flit, so residual
@@ -81,6 +96,20 @@ ServiceMessage make_wait(std::uint8_t src, std::uint8_t dst,
 std::uint8_t e2e_checksum(std::uint8_t target,
                           const std::vector<std::uint8_t>& payload);
 
+/// Checksum seed used instead of the receiver address on multicast
+/// payloads: one payload serves many receivers, so the checksum cannot
+/// bind to any one of them. Delivery-set correctness is enforced by the
+/// replication tree (and the invariant checker), not the checksum.
+inline constexpr std::uint8_t kMcastE2eTarget = 0xB5;
+
+/// Turn an encoded unicast packet into a multicast one addressed to
+/// `dests` (or everyone, with `broadcast`). Re-binds the e2e checksum
+/// (when `e2e` matches the encoding) to the multicast convention. A
+/// degenerate single-destination, non-broadcast set is normalized to the
+/// equivalent plain unicast packet — bit-identical on the wire.
+Packet make_multicast(Packet p, std::vector<std::uint8_t> dests,
+                      bool broadcast, bool e2e);
+
 /// Serialize to a wire packet. Word counts that would exceed the payload
 /// budget are a programming error (asserted). With `e2e` the checksum
 /// flit is appended; both endpoints must agree on the flag.
@@ -89,8 +118,11 @@ Packet encode(const ServiceMessage& msg, bool e2e = false);
 /// Parse a received packet; `receiver` is the address of the router whose
 /// local port delivered it (becomes msg.target). Returns nullopt on a
 /// malformed payload, or — with `e2e` — on a checksum mismatch.
+/// `multicast` marks a replicated delivery (ReceivedPacket::multicast):
+/// its checksum is verified against kMcastE2eTarget, not `receiver`.
 std::optional<ServiceMessage> decode(const Packet& p, std::uint8_t receiver,
-                                     bool e2e = false);
+                                     bool e2e = false,
+                                     bool multicast = false);
 
 /// Maximum data words a single write/printf/read-return packet can carry
 /// (one payload flit is reserved for the checksum when `e2e` is set).

@@ -7,14 +7,21 @@
 // 16-bit values are big-endian.
 //
 //   host -> MultiNoC
-//     0x01 READ          target addr_hi addr_lo cnt_hi cnt_lo
-//     0x03 WRITE         target addr_hi addr_lo cnt (w_hi w_lo)*cnt
-//     0x04 ACTIVATE      target
-//     0x07 SCANF_RETURN  target w_hi w_lo
+//     0x01 READ            target addr_hi addr_lo cnt_hi cnt_lo
+//     0x03 WRITE           target addr_hi addr_lo cnt (w_hi w_lo)*cnt
+//     0x04 ACTIVATE        target
+//     0x07 SCANF_RETURN    target w_hi w_lo
+//     0x0C BARRIER_NOTIFY  barrier_id ndest dest*ndest
 //   MultiNoC -> host
 //     0x02 READ_RETURN   source addr_hi addr_lo cnt (w_hi w_lo)*cnt
 //     0x05 PRINTF        source cnt (w_hi w_lo)*cnt
 //     0x06 SCANF         source
+//
+// BARRIER_NOTIFY is the collective host primitive (docs/DESIGN.md): the
+// Serial IP turns the frame into ONE multicast kBarrierNotify packet
+// fanning out to the `ndest` listed router addresses (ndest = 0 means
+// broadcast to every node). Each destination's processor counts it like
+// a kNotify, so `wait` unblocks — a one-packet barrier release.
 //
 // Command codes deliberately equal the NoC service codes.
 // Before any command, the host sends the sync byte 0x55 so the Serial IP
@@ -34,16 +41,19 @@ enum class HostCmd : std::uint8_t {
   kPrintf = 0x05,
   kScanf = 0x06,
   kScanfReturn = 0x07,
+  kBarrierNotify = 0x0C,  ///< equals noc::Service::kBarrierNotify
 };
 
 /// Fixed part of each host->NoC frame length (including the command byte).
-/// WRITE frames additionally carry 2*cnt word bytes.
+/// WRITE frames additionally carry 2*cnt word bytes; BARRIER_NOTIFY
+/// frames additionally carry ndest destination bytes.
 constexpr int host_frame_fixed_len(HostCmd c) {
   switch (c) {
     case HostCmd::kRead: return 6;
     case HostCmd::kWrite: return 5;
     case HostCmd::kActivate: return 2;
     case HostCmd::kScanfReturn: return 4;
+    case HostCmd::kBarrierNotify: return 3;
     default: return -1;  // not a host->NoC command
   }
 }

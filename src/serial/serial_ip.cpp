@@ -91,7 +91,7 @@ void SerialIp::eval() {
 
   // Host -> NoC: queue one packet at a time through the shared NI.
   if (!to_noc_.empty() && ni_.tx_idle()) {
-    ni_.send_packet(noc::encode(to_noc_.front(), e2e()));
+    ni_.send_packet(std::move(to_noc_.front()));
     to_noc_.pop_front();
     ++frames_to_noc_;
   }
@@ -120,20 +120,25 @@ void SerialIp::dispatch_host_frame() {
   const auto cmd = static_cast<HostCmd>(frame_[0]);
   const int fixed = host_frame_fixed_len(cmd);
   std::size_t want = static_cast<std::size_t>(fixed);
-  if (cmd == HostCmd::kWrite && frame_.size() >= 5) {
+  if (cmd == HostCmd::kWrite) {
+    if (frame_.size() < 5) return;  // count byte not yet here
     want += 2u * frame_[4];
-  } else if (cmd == HostCmd::kWrite) {
-    return;  // count byte not yet here
+  } else if (cmd == HostCmd::kBarrierNotify) {
+    if (frame_.size() < 3) return;  // ndest byte not yet here
+    want += frame_[2];
   }
   if (frame_.size() < want) return;
 
   auto word = [&](std::size_t at) {
     return static_cast<std::uint16_t>((frame_[at] << 8) | frame_[at + 1]);
   };
+  auto queue_msg = [&](const noc::ServiceMessage& m) {
+    to_noc_.push_back(noc::encode(m, e2e()));
+  };
   const std::uint8_t target = frame_[1];
   switch (cmd) {
     case HostCmd::kRead:
-      to_noc_.push_back(mem::to_message(
+      queue_msg(mem::to_message(
           mem::txn_read(self_, target, word(2), word(4))));
       break;
     case HostCmd::kWrite: {
@@ -141,16 +146,28 @@ void SerialIp::dispatch_host_frame() {
       const std::size_t cnt = frame_[4];
       words.reserve(cnt);
       for (std::size_t i = 0; i < cnt; ++i) words.push_back(word(5 + 2 * i));
-      to_noc_.push_back(mem::to_message(
+      queue_msg(mem::to_message(
           mem::txn_write(self_, target, word(2), std::move(words))));
       break;
     }
     case HostCmd::kActivate:
-      to_noc_.push_back(noc::make_activate(self_, target));
+      queue_msg(noc::make_activate(self_, target));
       break;
     case HostCmd::kScanfReturn:
-      to_noc_.push_back(noc::make_scanf_return(self_, target, word(2)));
+      queue_msg(noc::make_scanf_return(self_, target, word(2)));
       break;
+    case HostCmd::kBarrierNotify: {
+      // frame = [0x0C][barrier_id][ndest][dest*]; ndest = 0 -> broadcast.
+      // One multicast worm releases every waiter (docs/DESIGN.md).
+      const std::uint8_t barrier_id = frame_[1];
+      std::vector<std::uint8_t> dests(frame_.begin() + 3, frame_.end());
+      const bool broadcast = dests.empty();
+      to_noc_.push_back(noc::make_multicast(
+          noc::encode(noc::make_barrier_notify(self_, self_, barrier_id),
+                      e2e()),
+          std::move(dests), broadcast, e2e()));
+      break;
+    }
     default:
       break;  // unreachable: filtered at first byte
   }
@@ -160,7 +177,7 @@ void SerialIp::dispatch_host_frame() {
 void SerialIp::forward_noc_packets() {
   while (ni_.has_packet()) {
     const noc::ReceivedPacket rp = ni_.pop_packet();
-    const auto msg = noc::decode(rp.packet, self_, e2e());
+    const auto msg = noc::decode(rp.packet, self_, e2e(), rp.multicast);
     if (!msg) {
       if (rel_) noc::bump(rel_->recovery.e2e_drops);
       MN_ERROR(name(), "malformed NoC packet dropped");
@@ -196,6 +213,10 @@ void SerialIp::frame_to_host(const noc::ServiceMessage& msg) {
       tx_.send(static_cast<std::uint8_t>(msg.words.size()));
       for (std::uint16_t w : msg.words) send_word(w);
       ++frames_to_host_;
+      break;
+    case Service::kBarrierNotify:
+      // A broadcast barrier delivers a local copy at every node,
+      // including this origin — swallow the echo, it is not host traffic.
       break;
     default:
       MN_ERROR(name(), "service not forwardable to host: "

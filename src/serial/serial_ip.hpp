@@ -63,7 +63,9 @@ class SerialIp final : public sim::Component {
   State state_ = State::kUnsync;
   unsigned high_run_ = 0;  ///< consecutive high cycles in kSwallow
   std::vector<std::uint8_t> frame_;
-  std::deque<noc::ServiceMessage> to_noc_;
+  /// Packets awaiting the NI, already encoded (a BARRIER_NOTIFY frame
+  /// becomes a multicast packet, which has no ServiceMessage form).
+  std::deque<noc::Packet> to_noc_;
   std::uint64_t frames_to_noc_ = 0;
   std::uint64_t frames_to_host_ = 0;
 };

@@ -99,6 +99,16 @@ std::vector<ConfigError> SystemConfig::validate() const {
     errors.push_back({"router.route_latency",
                       "a routing decision takes at least 1 cycle"});
   }
+  if (router.topology == noc::Topology::kTorus &&
+      router.algo != noc::RoutingAlgo::kXY && !router.policy) {
+    errors.push_back(
+        {"router.topology",
+         std::string("torus wrap links require the dateline-partitioned "
+                     "'torus_xy' policy; algo '") +
+             noc::routing_algo_name(router.algo) +
+             "' has no torus deadlock argument (use xy, or supply a "
+             "custom policy)"});
+  }
   if (router.vc_count < 1 || router.vc_count > noc::kMaxVc) {
     errors.push_back({"router.vc_count",
                       "virtual channel count must be between 1 and " +
@@ -106,7 +116,8 @@ std::vector<ConfigError> SystemConfig::validate() const {
                           std::to_string(router.vc_count)});
   } else {
     const noc::RoutingPolicy& policy =
-        router.policy ? *router.policy : noc::routing_policy(router.algo);
+        router.policy ? *router.policy
+                      : noc::routing_policy(router.algo, router.topology);
     if (policy.min_vc_count() > router.vc_count) {
       errors.push_back(
           {"router.vc_count",

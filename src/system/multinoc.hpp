@@ -38,6 +38,11 @@ std::string to_string(const ConfigError& e);
 struct SystemConfig {
   unsigned nx = 2;
   unsigned ny = 2;
+  /// Router parameters, including `router.topology` (mesh | torus,
+  /// docs/DESIGN.md): on kTorus the builder adds wrap-around link pairs
+  /// on every row and column and routes with the dateline-partitioned
+  /// torus_xy policy, which needs vc_count >= 2 (validate() enforces
+  /// both the lane budget and the algo restriction).
   noc::RouterConfig router;
   noc::XY serial_node{0, 0};
   std::vector<noc::XY> processor_nodes{{0, 1}, {1, 0}};

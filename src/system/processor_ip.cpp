@@ -150,7 +150,8 @@ void ProcessorIp::eval() {
     if (l1_ && !rp.packet.payload.empty() &&
         rp.packet.payload[0] ==
             static_cast<std::uint8_t>(noc::Service::kMemTxn)) {
-      const auto txn = mem::decode_packet(rp.packet, cfg_.self_addr, e2e());
+      const auto txn = mem::decode_packet(rp.packet, cfg_.self_addr, e2e(),
+                                          rp.multicast);
       if (!txn) {
         if (rel_) noc::bump(rel_->recovery.e2e_drops);
         MN_ERROR(name(), "malformed coherence packet dropped");
@@ -159,7 +160,8 @@ void ProcessorIp::eval() {
       handle_coherence(*txn);
       continue;
     }
-    const auto msg = noc::decode(rp.packet, cfg_.self_addr, e2e());
+    const auto msg =
+        noc::decode(rp.packet, cfg_.self_addr, e2e(), rp.multicast);
     if (!msg) {
       if (rel_) noc::bump(rel_->recovery.e2e_drops);
       MN_ERROR(name(), "malformed packet dropped");
@@ -329,14 +331,20 @@ void ProcessorIp::handle_incoming(const noc::ServiceMessage& msg) {
       }
       return;
     case Service::kNotify:
+    case Service::kBarrierNotify:
+      // A barrier release is a notify fanned out through a multicast
+      // worm: same semaphore semantics, keyed by the barrier id.
       ++notifies_pending_[msg.param];
       return;
     case Service::kWait:
       external_wait_ = msg.param;
       return;
     case Service::kReadMem:
-    case Service::kWriteMem: {
+    case Service::kWriteMem:
+    case Service::kMulticastWrite: {
       // Local memory service on behalf of another IP / the host.
+      // kMulticastWrite is a kWriteMem replicated to every destination
+      // of the worm (mem::from_message maps both to kWriteWords).
       const auto txn = mem::from_message(msg);
       if (txn) mem_engine_.handle(*txn, mem_out_);
       return;

@@ -116,6 +116,13 @@ class ProcessorIp final : public sim::Component, private r8::Bus {
   std::uint64_t notifies_sent() const { return notifies_sent_; }
   std::uint64_t waits_completed() const { return waits_completed_; }
 
+  /// Undrained notify count from notifier `from` (a processor number, or
+  /// a barrier id delivered via kBarrierNotify) — what a `wait` consumes.
+  std::uint32_t notifies_pending(std::uint8_t from) const {
+    const auto it = notifies_pending_.find(from);
+    return it == notifies_pending_.end() ? 0u : it->second;
+  }
+
   /// Execution-mode self-metrics (r8.fastexec.* probes).
   ExecMode exec_mode() const { return cfg_.exec_mode; }
   bool fast_active() const { return fast_active_; }

@@ -19,6 +19,7 @@
 
 #include "apps/edge_detection.hpp"
 #include "apps/image.hpp"
+#include "check/digest.hpp"
 #include "host/host.hpp"
 #include "mem/blockram.hpp"
 #include "noc/mesh.hpp"
@@ -204,6 +205,60 @@ void run_traffic_matrix(unsigned vc) {
 TEST(KernelEquivalence, TrafficMatrixVc1) { run_traffic_matrix(1); }
 
 TEST(KernelEquivalence, TrafficMatrixVc4) { run_traffic_matrix(4); }
+
+// --- mesh bit-identity vs the pre-multicast tree (collectives satellite) -
+//
+// The multicast header variant and the torus option must cost nothing on
+// the default path: a `topology: mesh` system with no multicast traffic
+// has to stay byte-identical to the tree before either feature existed.
+// The golden numbers below were produced by building this test at the
+// predecessor commit (the shared-memory-hierarchy PR head) and recording
+// its output; any drift in the unicast wire format, router arbitration,
+// or system-level cycle counts trips them.
+
+std::uint64_t fold_traffic(const TrafficDigest& d) {
+  check::Fnv64 f;
+  f.u64(d.cycles);
+  for (const std::uint64_t v : d.wire_values) f.u64(v);
+  f.u64(d.flits_forwarded);
+  f.u64(d.packets_routed);
+  f.u64(d.routing_rejects);
+  f.u64(d.vc_alloc_stalls);
+  f.u64(d.result.packets_received);
+  f.u64(d.result.throughput_flits);
+  f.u64(d.result.max_latency);
+  return f.value();
+}
+
+TEST(MeshBitIdentity, SaturatedUnicastMatchesPreMulticastGoldens) {
+  const TrafficDigest v1 = run_saturated(/*vc=*/1, /*threads=*/1,
+                                         /*gating=*/true);
+  EXPECT_EQ(v1.result.packets_received, 456u);
+  EXPECT_EQ(v1.flits_forwarded, 25798u);
+  EXPECT_EQ(fold_traffic(v1), 12845966234000990354ull);
+
+  const TrafficDigest v4 = run_saturated(/*vc=*/4, /*threads=*/1,
+                                         /*gating=*/true);
+  EXPECT_EQ(v4.result.packets_received, 1025u);
+  EXPECT_EQ(v4.flits_forwarded, 60892u);
+  EXPECT_EQ(fold_traffic(v4), 18064959662459398628ull);
+}
+
+TEST(MeshBitIdentity, EdgeDetectionSystemMatchesPreMulticastGoldens) {
+  // Full-system pin: boot handshake, program download over the serial
+  // IP, wait/notify, scanf/printf and remote-memory worms — every wire
+  // value at completion folded into one digest.
+  const RunResult r = run_edge(/*gating=*/true, /*threads=*/1);
+  ASSERT_TRUE(r.ok);
+  check::Fnv64 f;
+  f.u64(r.cycles);
+  for (const auto& m : r.memories) {
+    for (const std::uint16_t w : m) f.u16(w);
+  }
+  for (const std::uint64_t v : r.wire_values) f.u64(v);
+  EXPECT_EQ(r.cycles, 93426u);
+  EXPECT_EQ(f.value(), 11538982016864833073ull);
+}
 
 // --- partitioner shape (ISSUE 7 tentpole) -------------------------------
 

@@ -1,0 +1,451 @@
+// Multicast/broadcast delivery (tentpole of the collective-services PR,
+// docs/DESIGN.md):
+//  - XY-tree replication delivers exactly once to every member of the
+//    destination set and nowhere else, payload intact per branch;
+//  - branch-router replication order is deterministic: two runs of the
+//    same scenario produce identical per-node arrival cycles;
+//  - a degenerate single-destination multicast normalizes to the
+//    bit-identical unicast packet (with and without the e2e checksum);
+//  - multicast composes with link CRC/retransmission fault injection: a
+//    corrupted branch recovers without corrupting or stalling siblings;
+//  - the kMulticastWrite / kBarrierNotify services round-trip, binding
+//    their e2e checksum to kMcastE2eTarget instead of the receiver;
+//  - the host's BARRIER_NOTIFY frame releases every destination
+//    processor with one multicast worm (listed set and broadcast);
+//  - the directory's Inv fan-out coalesces into one multicast when
+//    cache.multicast_inv is set, with unchanged memory semantics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/coherence.hpp"
+#include "host/host.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/services.hpp"
+#include "r8asm/assembler.hpp"
+#include "system/address_map.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+/// A mesh with one NI per node and per-node delivery logs.
+struct McastRig {
+  sim::Simulator sim;
+  std::unique_ptr<noc::Reliability> rel;
+  std::unique_ptr<noc::Mesh> mesh;
+  std::vector<std::unique_ptr<noc::NetworkInterface>> nis;
+  unsigned nx = 0, ny = 0;
+
+  McastRig(unsigned nx_, unsigned ny_, noc::RouterConfig rc = {},
+           bool faults = false)
+      : nx(nx_), ny(ny_) {
+    if (faults) {
+      rel = std::make_unique<noc::Reliability>();
+      rel->link.enabled = true;
+      noc::FaultConfig fc;
+      fc.flip_rate = 5e-3;
+      fc.drop_rate = 2e-3;
+      fc.stall_rate = 2e-3;
+      fc.seed = 77;
+      rel->injector.configure(fc);
+      rel->injector.arm();
+    }
+    mesh = std::make_unique<noc::Mesh>(sim, nx, ny, rc, rel.get());
+    for (unsigned y = 0; y < ny; ++y) {
+      for (unsigned x = 0; x < nx; ++x) {
+        nis.push_back(std::make_unique<noc::NetworkInterface>(
+            sim, "ni" + std::to_string(x) + std::to_string(y),
+            mesh->local_in(x, y), mesh->local_out(x, y), 8, rel.get()));
+      }
+    }
+  }
+
+  noc::NetworkInterface& ni(unsigned x, unsigned y) {
+    return *nis[static_cast<std::size_t>(y) * nx + x];
+  }
+
+  /// Drain every NI; returns (encoded node address, packet) pairs in
+  /// node-scan order per cycle.
+  std::vector<std::pair<std::uint8_t, noc::ReceivedPacket>> drain() {
+    std::vector<std::pair<std::uint8_t, noc::ReceivedPacket>> out;
+    for (unsigned y = 0; y < ny; ++y) {
+      for (unsigned x = 0; x < nx; ++x) {
+        auto& n = ni(x, y);
+        while (n.has_packet()) {
+          out.emplace_back(noc::encode_xy({static_cast<std::uint8_t>(x),
+                                           static_cast<std::uint8_t>(y)}),
+                           n.pop_packet());
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Run until `want` total deliveries landed (or the budget ran out).
+  std::vector<std::pair<std::uint8_t, noc::ReceivedPacket>> run_collect(
+      std::size_t want, std::uint64_t budget = 200'000) {
+    std::vector<std::pair<std::uint8_t, noc::ReceivedPacket>> got;
+    const std::uint64_t deadline = sim.cycle() + budget;
+    while (got.size() < want && sim.cycle() < deadline) {
+      sim.step();
+      auto d = drain();
+      got.insert(got.end(), d.begin(), d.end());
+    }
+    // Let stragglers (scope violations) surface before callers assert.
+    for (unsigned i = 0; i < 2000; ++i) sim.step();
+    auto d = drain();
+    got.insert(got.end(), d.begin(), d.end());
+    return got;
+  }
+};
+
+noc::Packet mcast_packet(std::uint8_t src_addr,
+                         std::vector<std::uint8_t> dests, bool broadcast,
+                         std::vector<std::uint8_t> payload) {
+  noc::Packet p;
+  p.target = src_addr;  // multicast convention: target = source router
+  p.mcast_dests = std::move(dests);
+  p.broadcast = broadcast;
+  p.payload = std::move(payload);
+  return p;
+}
+
+TEST(McastDelivery, ExactlyOncePerSetMember) {
+  McastRig rig(4, 4);
+  const std::uint8_t src = noc::encode_xy({0, 0});
+  const std::vector<std::uint8_t> dests{
+      noc::encode_xy({3, 0}), noc::encode_xy({0, 3}),
+      noc::encode_xy({3, 3}), noc::encode_xy({1, 2})};
+  rig.ni(0, 0).send_packet(
+      mcast_packet(src, dests, false, {10, 20, 30, 40, 50}));
+
+  const auto got = rig.run_collect(dests.size());
+  ASSERT_EQ(got.size(), dests.size());
+  std::map<std::uint8_t, unsigned> count;
+  for (const auto& [node, rp] : got) {
+    ++count[node];
+    EXPECT_TRUE(rp.multicast);
+    EXPECT_EQ(rp.packet.payload,
+              (std::vector<std::uint8_t>{10, 20, 30, 40, 50}))
+        << "branch payload corrupted at node " << int(node);
+  }
+  for (std::uint8_t d : dests) {
+    EXPECT_EQ(count[d], 1u) << "destination " << int(d);
+  }
+  EXPECT_EQ(count.size(), dests.size()) << "delivery outside the set";
+}
+
+TEST(McastDelivery, BroadcastReassemblesAtEveryNi) {
+  McastRig rig(3, 3);
+  const std::uint8_t src = noc::encode_xy({1, 1});
+  rig.ni(1, 1).send_packet(mcast_packet(src, {}, true, {7, 7, 7, 9}));
+
+  const auto got = rig.run_collect(9);
+  ASSERT_EQ(got.size(), 9u) << "broadcast must reach all 9 nodes";
+  std::map<std::uint8_t, unsigned> count;
+  for (const auto& [node, rp] : got) {
+    ++count[node];
+    EXPECT_TRUE(rp.multicast);
+    EXPECT_EQ(rp.packet.payload, (std::vector<std::uint8_t>{7, 7, 7, 9}));
+  }
+  EXPECT_EQ(count.size(), 9u);
+  for (const auto& [node, c] : count) {
+    EXPECT_EQ(c, 1u) << "node " << int(node);
+  }
+}
+
+// Two identical runs must produce identical (node, cycle) arrival lists:
+// the fork at every branch router emits children in a fixed port order,
+// so there is no nondeterminism to hide behind.
+TEST(McastDelivery, ReplicationOrderDeterministic) {
+  auto run_once = [] {
+    McastRig rig(4, 3);
+    const std::uint8_t s1 = noc::encode_xy({0, 0});
+    const std::uint8_t s2 = noc::encode_xy({3, 2});
+    rig.ni(0, 0).send_packet(mcast_packet(
+        s1,
+        {noc::encode_xy({2, 0}), noc::encode_xy({2, 2}),
+         noc::encode_xy({0, 2})},
+        false, {1, 2, 3, 4}));
+    rig.ni(3, 2).send_packet(mcast_packet(s2, {}, true, {5, 6, 7, 8}));
+    noc::Packet uni;
+    uni.target = noc::encode_xy({1, 1});
+    uni.payload = {9, 9};
+    rig.ni(0, 1).send_packet(uni);
+
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> arrivals;
+    for (const auto& [node, rp] : rig.run_collect(3 + 12 + 1)) {
+      arrivals.emplace_back(node, rp.recv_cycle);
+    }
+    return arrivals;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.size(), 16u);
+  EXPECT_EQ(a, b);
+}
+
+TEST(McastDelivery, SingletonNormalizesToUnicastBitIdentical) {
+  for (const bool e2e : {false, true}) {
+    const std::uint8_t src = noc::encode_xy({0, 0});
+    const std::uint8_t dst = noc::encode_xy({2, 1});
+    const noc::ServiceMessage msg =
+        noc::make_multicast_write(src, dst, 0x20, {0xAAAA, 0x5555});
+    const noc::Packet unicast = noc::encode(msg, e2e);
+
+    // Same message, sent "as a multicast" to the one destination.
+    noc::ServiceMessage mmsg = msg;
+    mmsg.target = src;  // multicast packets carry the source as target
+    const noc::Packet mc =
+        noc::make_multicast(noc::encode(mmsg, e2e), {dst}, false, e2e);
+
+    EXPECT_EQ(mc.target, unicast.target) << "e2e=" << e2e;
+    EXPECT_EQ(mc.payload, unicast.payload) << "e2e=" << e2e;
+    EXPECT_FALSE(mc.is_multicast());
+    const auto uf = noc::to_flits(unicast, /*packet_id=*/1, /*cycle=*/0);
+    const auto mf = noc::to_flits(mc, /*packet_id=*/1, /*cycle=*/0);
+    ASSERT_EQ(uf.size(), mf.size());
+    for (std::size_t i = 0; i < uf.size(); ++i) {
+      EXPECT_EQ(uf[i].data, mf[i].data) << "flit " << i;
+      EXPECT_EQ(uf[i].is_mcast, mf[i].is_mcast) << "flit " << i;
+    }
+  }
+}
+
+// Link CRC + retransmission under an armed fault injector: a hit on one
+// branch's link must be repaired there and leave sibling branches intact.
+TEST(McastFaults, FaultedBranchDoesNotCorruptSiblings) {
+  noc::RouterConfig rc;
+  rc.vc_count = 2;
+  McastRig rig(3, 3, rc, /*faults=*/true);
+  const std::uint8_t src = noc::encode_xy({0, 0});
+  const std::vector<std::uint8_t> dests{
+      noc::encode_xy({2, 0}), noc::encode_xy({2, 2}),
+      noc::encode_xy({0, 2})};
+
+  constexpr unsigned kWorms = 12;
+  std::map<std::uint8_t, std::map<std::uint8_t, unsigned>> per_dest;
+  for (unsigned i = 0; i < kWorms; ++i) {
+    rig.ni(0, 0).send_packet(mcast_packet(
+        src, dests, false,
+        {static_cast<std::uint8_t>(i), 2, 3,
+         static_cast<std::uint8_t>(0xF0 | i)}));
+    const auto got = rig.run_collect(dests.size());
+    ASSERT_EQ(got.size(), dests.size()) << "worm " << i << " lost a branch";
+    for (const auto& [node, rp] : got) {
+      ++per_dest[node][static_cast<std::uint8_t>(i)];
+      ASSERT_EQ(rp.packet.payload.size(), 4u);
+      EXPECT_EQ(rp.packet.payload[0], static_cast<std::uint8_t>(i));
+      EXPECT_EQ(rp.packet.payload[3], static_cast<std::uint8_t>(0xF0 | i));
+    }
+  }
+  for (std::uint8_t d : dests) {
+    for (unsigned i = 0; i < kWorms; ++i) {
+      EXPECT_EQ(per_dest[d][static_cast<std::uint8_t>(i)], 1u)
+          << "dest " << int(d) << " worm " << i;
+    }
+  }
+}
+
+TEST(McastServices, MulticastWriteAndBarrierRoundtrip) {
+  const std::uint8_t src = noc::encode_xy({1, 1});
+  for (const bool e2e : {false, true}) {
+    // kMulticastWrite: encode bound to the shared multicast seed, decode
+    // succeeds at any receiver that passes multicast=true.
+    const noc::Packet p = noc::make_multicast(
+        noc::encode(noc::make_multicast_write(src, src, 0x40,
+                                              {1, 2, 3}),
+                    e2e),
+        {noc::encode_xy({0, 0}), noc::encode_xy({2, 2})}, false, e2e);
+    EXPECT_TRUE(p.is_multicast());
+    const auto m =
+        noc::decode(p, noc::encode_xy({2, 2}), e2e, /*multicast=*/true);
+    ASSERT_TRUE(m.has_value()) << "e2e=" << e2e;
+    EXPECT_EQ(m->service, noc::Service::kMulticastWrite);
+    EXPECT_EQ(m->source, src);
+    EXPECT_EQ(m->addr, 0x40);
+    EXPECT_EQ(m->words, (std::vector<std::uint16_t>{1, 2, 3}));
+    if (e2e) {
+      // The checksum binds to kMcastE2eTarget, not the receiver: a
+      // unicast-style decode at the same node must reject it.
+      EXPECT_FALSE(noc::decode(p, noc::encode_xy({2, 2}), e2e, false));
+    }
+
+    // kBarrierNotify round-trip.
+    const noc::Packet b = noc::make_multicast(
+        noc::encode(noc::make_barrier_notify(src, src, 5), e2e), {}, true,
+        e2e);
+    const auto bm = noc::decode(b, noc::encode_xy({0, 1}), e2e, true);
+    ASSERT_TRUE(bm.has_value()) << "e2e=" << e2e;
+    EXPECT_EQ(bm->service, noc::Service::kBarrierNotify);
+    EXPECT_EQ(bm->param, 5);
+  }
+}
+
+// One BARRIER_NOTIFY host frame -> one multicast worm -> every listed
+// processor holds a pending notify for the barrier id (what `wait`
+// consumes). Broadcast covers the serial and memory nodes too; they
+// swallow the copy without ill effect.
+TEST(McastSystem, HostBarrierReleasesProcessors) {
+  sim::Simulator sim;
+  sys::MultiNoc system{sim};
+  host::Host host{sim, system, 8};
+  ASSERT_TRUE(host.boot());
+
+  constexpr std::uint8_t kProc1 = 0x01, kProc2 = 0x10;
+  host.barrier_notify(3, {kProc1, kProc2});
+  ASSERT_TRUE(host.flush());
+  ASSERT_TRUE(host.wait_for([&] {
+                    return system.processor(0).notifies_pending(3) == 1 &&
+                           system.processor(1).notifies_pending(3) == 1;
+                  }).ok());
+
+  // Broadcast variant via the convenience wrapper and the raw frame.
+  host.barrier_notify_all_processors(4);
+  host.barrier_notify(5);  // empty dest set = broadcast to every node
+  ASSERT_TRUE(host.flush());
+  ASSERT_TRUE(host.wait_for([&] {
+                    return system.processor(0).notifies_pending(4) == 1 &&
+                           system.processor(1).notifies_pending(4) == 1 &&
+                           system.processor(0).notifies_pending(5) == 1 &&
+                           system.processor(1).notifies_pending(5) == 1;
+                  }).ok());
+  EXPECT_EQ(system.processor(0).notifies_pending(3), 1u);
+}
+
+// cache.multicast_inv coalesces the directory's per-sharer Inv unicasts
+// into one worm; memory semantics must not change. Two readers pull the
+// same line into Shared, then a third core writes it: the directory owes
+// two invalidations, the coalesced run becomes a single 2-destination
+// multicast, and both readers must still observe the published value.
+constexpr const char* kMcastPrologue = R"(
+        LDL  R0, 0
+        LDH  R0, 0
+        LDL  R10, 0xFF
+        LDH  R10, 0xFF
+)";
+
+std::string mload_addr(const char* reg, std::uint16_t shared_off) {
+  const auto a = static_cast<std::uint16_t>(sys::kRemoteMemBase + shared_off);
+  std::ostringstream oss;
+  oss << "        LDL  " << reg << ", " << (a & 0xFF) << "\n"
+      << "        LDH  " << reg << ", " << (a >> 8) << "\n";
+  return oss.str();
+}
+
+std::string mload_imm(const char* reg, std::uint16_t v) {
+  std::ostringstream oss;
+  oss << "        LDL  " << reg << ", " << (v & 0xFF) << "\n"
+      << "        LDH  " << reg << ", " << (v >> 8) << "\n";
+  return oss.str();
+}
+
+TEST(McastSystem, DirectoryInvFanOutCoalesces) {
+  // Shared words (separate lines with line_words=4): data=0, per-reader
+  // ready flags at 4 and 8, writer's done flag at 12.
+  constexpr std::uint16_t kData = 0, kReady0 = 4, kReady1 = 8, kDone = 12;
+  auto reader = [&](std::uint16_t ready_flag) {
+    std::string s = kMcastPrologue;
+    s += mload_addr("R2", kData);
+    s += "        LD   R1, R2, R0    ; pull the line into Shared\n";
+    s += mload_imm("R1", 1) + mload_addr("R2", ready_flag);
+    s += "        ST   R1, R2, R0\n";
+    s += mload_addr("R2", kDone);
+    s +=
+        "spin:   LD   R1, R2, R0\n"
+        "        ADDI R1, 0\n"
+        "        JMPZD spin\n";
+    s += mload_addr("R2", kData);
+    s +=
+        "        LD   R1, R2, R0    ; must be re-fetched after the Inv\n"
+        "        ST   R1, R10, R0   ; printf(data)\n"
+        "        HALT\n";
+    return s;
+  };
+  auto writer = [&] {
+    std::string s = kMcastPrologue;
+    for (const std::uint16_t flag : {kReady0, kReady1}) {
+      s += mload_addr("R2", flag);
+      s += flag == kReady0 ? "spinA:  LD   R1, R2, R0\n"
+                             "        ADDI R1, 0\n"
+                             "        JMPZD spinA\n"
+                           : "spinB:  LD   R1, R2, R0\n"
+                             "        ADDI R1, 0\n"
+                             "        JMPZD spinB\n";
+    }
+    s += mload_imm("R1", 42) + mload_addr("R2", kData);
+    s += "        ST   R1, R2, R0    ; GetM -> Inv both sharers\n";
+    s += mload_imm("R1", 1) + mload_addr("R2", kDone);
+    s += "        ST   R1, R2, R0\n";
+    s += "        HALT\n";
+    return s;
+  }();
+
+  for (const bool mcast_inv : {false, true}) {
+    sim::Simulator sim;
+    sys::SystemConfig cfg;
+    cfg.nx = 2;
+    cfg.ny = 3;
+    cfg.serial_node = {0, 0};
+    cfg.processor_nodes = {{0, 1}, {1, 0}, {0, 2}};
+    cfg.memory_nodes = {{1, 1}};
+    cfg.cache.coherence = mem::Coherence::kMsi;
+    cfg.cache.line_words = 4;
+    cfg.cache.sets = 4;
+    cfg.cache.multicast_inv = mcast_inv;
+    sys::MultiNoc system{sim, cfg};
+    host::Host host{sim, system, 8};
+    check::CoherenceChecker checker;
+    system.set_coherence_observer(&checker.observer());
+
+    std::vector<host::ProgramLoad> programs;
+    const std::vector<std::string> sources{reader(kReady0), reader(kReady1),
+                                           writer};
+    for (std::size_t c = 0; c < sources.size(); ++c) {
+      const r8asm::Assembly a = r8asm::assemble(sources[c]);
+      ASSERT_TRUE(a.ok) << a.error_text();
+      programs.push_back(
+          {system.processor(c).config().self_addr, a.image, 0});
+    }
+    const host::RunResult run = host.load_and_run(programs, 200'000'000);
+    ASSERT_TRUE(run.ok()) << "mcast_inv=" << mcast_inv << ": "
+                          << host::to_string(run.status);
+    ASSERT_TRUE(host.invalidate_cache_range(0, 15).ok());
+    checker.finalize(system);
+    ASSERT_TRUE(checker.ok())
+        << "mcast_inv=" << mcast_inv << ": "
+        << checker.violations().front().kind << " — "
+        << checker.violations().front().detail;
+
+    // Semantics are unchanged: both readers re-read 42, memory holds it.
+    for (const std::size_t c : {std::size_t{0}, std::size_t{1}}) {
+      const auto& log =
+          host.printf_log(system.processor(c).config().self_addr);
+      ASSERT_EQ(log.size(), 1u) << "mcast_inv=" << mcast_inv;
+      EXPECT_EQ(log[0], 42) << "mcast_inv=" << mcast_inv << " core " << c;
+    }
+    const auto words = host.read_memory_blocking(
+        noc::encode_xy(cfg.memory_nodes[0]), 0, 16);
+    ASSERT_TRUE(words.has_value());
+    EXPECT_EQ((*words)[kData], 42);
+
+    // Only the coalescing run emits multicast Invs.
+    const sim::Json snap = sim.metrics().snapshot();
+    const sim::Json* invs = snap.find("mem.mem0.dir.mcast_invs");
+    ASSERT_NE(invs, nullptr);
+    if (mcast_inv) {
+      EXPECT_GE(invs->as_number(), 1.0) << "fan-out never coalesced";
+    } else {
+      EXPECT_EQ(invs->as_number(), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mn

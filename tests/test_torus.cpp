@@ -1,0 +1,215 @@
+// Torus topology (docs/DESIGN.md): wrap-around ring links on every row
+// and column, routed by the dateline-partitioned torus_xy policy.
+//  - wiring: a torus mesh carries exactly 2*(nx+ny) more directed links
+//    than the equivalent mesh, all named lwr*;
+//  - hop_routers_torus picks the shorter arc per dimension and reduces
+//    to hop_routers when the direct path wins;
+//  - a wrap route beats the mesh route in measured latency and conforms
+//    to the paper's §2.1 formula applied to the torus hop count;
+//  - deadlock smoke (tsan label): saturated same-direction traffic
+//    around every X and Y ring — the exact cycle the dateline VC split
+//    must break — completes under the invariant checker's watchdog;
+//  - SystemConfig::validate() rejects torus with vc_count=1 and torus
+//    with a routing algo that has no torus deadlock argument;
+//  - a broadcast on a torus still reaches every node exactly once (the
+//    spanning tree ignores wrap links).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/noc_invariants.hpp"
+#include "noc/latency_model.hpp"
+#include "noc/mesh.hpp"
+#include "noc/network_interface.hpp"
+#include "noc/routing.hpp"
+#include "sim/simulator.hpp"
+#include "system/multinoc.hpp"
+
+namespace mn {
+namespace {
+
+noc::RouterConfig torus_config(std::size_t vc = 2) {
+  noc::RouterConfig rc;
+  rc.topology = noc::Topology::kTorus;
+  rc.vc_count = vc;
+  return rc;
+}
+
+TEST(Torus, WrapWiringAddsOneRingPairPerRowAndColumn) {
+  sim::Simulator sim;
+  noc::Mesh mesh(sim, 4, 3);
+  noc::Mesh torus(sim, 4, 3, torus_config());
+  EXPECT_EQ(torus.links().size(), mesh.links().size() + 2 * (4 + 3));
+
+  auto wrap_links = [](const noc::Mesh& m) {
+    std::size_t n = 0;
+    for (const noc::LinkRef& ref : m.links()) {
+      if (ref.wires->tx.name().find("lwr") != std::string::npos) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(wrap_links(mesh), 0u);
+  EXPECT_EQ(wrap_links(torus), 2u * (4 + 3));
+}
+
+TEST(Torus, HopRoutersTorusTakesTheShorterArc) {
+  using noc::hop_routers;
+  using noc::hop_routers_torus;
+  // Wrap wins: 1 hop around the ring instead of 3 across.
+  EXPECT_EQ(hop_routers_torus({0, 0}, {3, 0}, 4, 4), 2u);
+  EXPECT_EQ(hop_routers_torus({0, 0}, {3, 3}, 4, 4), 3u);
+  EXPECT_EQ(hop_routers_torus({0, 1}, {0, 3}, 4, 4), 3u);
+  // Tie (distance 2 on a 4-ring) and direct-shorter cases match the mesh.
+  EXPECT_EQ(hop_routers_torus({0, 0}, {2, 0}, 4, 4),
+            hop_routers({0, 0}, {2, 0}));
+  EXPECT_EQ(hop_routers_torus({1, 1}, {2, 2}, 5, 5),
+            hop_routers({1, 1}, {2, 2}));
+  EXPECT_EQ(hop_routers_torus({2, 2}, {2, 2}, 4, 4), 1u);
+  // 5x5 corner-to-corner: both dimensions wrap, 1+1 hops + endpoint.
+  EXPECT_EQ(hop_routers_torus({0, 0}, {4, 4}, 5, 5), 3u);
+}
+
+// One packet corner-to-corner: the torus takes the 2-wrap diagonal (3
+// routers vs the mesh's 7), so it must be measurably faster, and its
+// latency must sit at or above the §2.1 formula floor for the torus hop
+// count (the formula is the contention-free minimum).
+TEST(Torus, WrapRouteBeatsMeshAndMeetsLatencyFormula) {
+  auto measure = [](const noc::RouterConfig& rc) -> std::uint64_t {
+    sim::Simulator sim;
+    noc::Mesh mesh(sim, 4, 4, rc);
+    noc::NetworkInterface src(sim, "src", mesh.local_in(0, 0),
+                              mesh.local_out(0, 0));
+    noc::NetworkInterface dst(sim, "dst", mesh.local_in(3, 3),
+                              mesh.local_out(3, 3));
+    noc::Packet p;
+    p.target = noc::encode_xy({3, 3});
+    p.payload = {1, 2, 3, 4};
+    src.send_packet(p);
+    for (unsigned i = 0; i < 20'000 && !dst.has_packet(); ++i) sim.step();
+    if (!dst.has_packet()) return 0;
+    const noc::ReceivedPacket rp = dst.pop_packet();
+    return rp.recv_cycle - rp.inject_cycle;
+  };
+
+  noc::RouterConfig mesh_rc;
+  const std::uint64_t mesh_lat = measure(mesh_rc);
+  const std::uint64_t torus_lat = measure(torus_config());
+  ASSERT_GT(mesh_lat, 0u) << "mesh packet never delivered";
+  ASSERT_GT(torus_lat, 0u) << "torus packet never delivered";
+  EXPECT_LT(torus_lat, mesh_lat) << "wrap links unused";
+
+  // 4-byte payload -> 6 wire flits; formula endpoints per hop count.
+  const unsigned flits = 6;
+  EXPECT_GE(torus_lat, noc::hermes_latency_formula(
+                           noc::hop_routers_torus({0, 0}, {3, 3}, 4, 4),
+                           flits) /
+                           2)
+      << "faster than physically possible";
+  EXPECT_LT(torus_lat, noc::hermes_latency_formula(
+                           noc::hop_routers({0, 0}, {3, 3}), flits))
+      << "no better than the mesh formula bound";
+}
+
+// Saturated same-direction rings: every node fires worms one hop
+// "backwards" around its X ring and its Y ring (the wrap arc is the
+// shorter one), all simultaneously, for several rounds. Without the
+// dateline VC partition this traffic closes a credit cycle through the
+// wrap links and deadlocks; the checker's watchdog turns that into a
+// failure instead of a hang. Runs threaded to earn its tsan keep.
+TEST(Torus, DeadlockSmokeSaturatedRings) {
+  check::NocFuzzConfig cfg;
+  cfg.nx = 4;
+  cfg.ny = 4;
+  cfg.topology = noc::Topology::kTorus;
+  cfg.vc_count = 2;
+  cfg.algo = noc::RoutingAlgo::kXY;
+  cfg.threads = 2;
+  cfg.max_cycles = 600'000;
+
+  std::vector<check::FuzzPacket> packets;
+  std::map<std::pair<std::uint8_t, std::uint8_t>, std::uint16_t> seqs;
+  auto push = [&](std::uint64_t cycle, std::uint8_t sx, std::uint8_t sy,
+                  std::uint8_t dx, std::uint8_t dy) {
+    check::FuzzPacket p;
+    p.cycle = cycle;
+    p.src = noc::encode_xy({sx, sy});
+    p.dst = noc::encode_xy({dx, dy});
+    const std::uint16_t seq = seqs[{p.src, p.dst}]++;
+    p.payload = {p.src,
+                 p.dst,
+                 static_cast<std::uint8_t>(seq),
+                 static_cast<std::uint8_t>(seq >> 8),
+                 0xAB,
+                 0xCD};
+    packets.push_back(std::move(p));
+  };
+  for (unsigned round = 0; round < 6; ++round) {
+    const std::uint64_t cycle = round;  // all rounds queue immediately
+    for (std::uint8_t y = 0; y < 4; ++y) {
+      for (std::uint8_t x = 0; x < 4; ++x) {
+        push(cycle, x, y, static_cast<std::uint8_t>((x + 3) % 4), y);
+        push(cycle, x, y, x, static_cast<std::uint8_t>((y + 3) % 4));
+      }
+    }
+  }
+
+  const check::NocRunResult r = check::run_noc_case(cfg, packets);
+  EXPECT_TRUE(r.ok) << r.signature << " — " << r.failure;
+  EXPECT_EQ(r.delivered, packets.size());
+}
+
+TEST(Torus, ValidateRejectsUnsafeConfigs) {
+  auto has_error = [](const sys::SystemConfig& cfg, const char* field,
+                      const char* needle) {
+    for (const sys::ConfigError& e : cfg.validate()) {
+      if (e.field == field &&
+          e.message.find(needle) != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  sys::SystemConfig cfg;
+  cfg.router.topology = noc::Topology::kTorus;
+  cfg.router.vc_count = 1;
+  EXPECT_TRUE(has_error(cfg, "router.vc_count", "virtual channels"))
+      << "torus with one lane has no dateline partition";
+
+  cfg.router.vc_count = 2;
+  cfg.router.algo = noc::RoutingAlgo::kAdaptive;
+  EXPECT_TRUE(has_error(cfg, "router.topology", "torus"))
+      << "adaptive routing has no torus deadlock argument";
+  cfg.router.algo = noc::RoutingAlgo::kWestFirst;
+  EXPECT_TRUE(has_error(cfg, "router.topology", "torus"));
+
+  cfg.router.algo = noc::RoutingAlgo::kXY;
+  EXPECT_TRUE(cfg.validate().empty())
+      << sys::to_string(cfg.validate().front());
+}
+
+// A broadcast on the torus spans the fabric over mesh links only (the
+// spanning tree never crosses a wrap link, keeping the tree acyclic), so
+// exactly-once delivery at every node must hold unchanged.
+TEST(Torus, BroadcastReachesEveryNodeExactlyOnce) {
+  check::NocFuzzConfig cfg;
+  cfg.nx = 3;
+  cfg.ny = 3;
+  cfg.topology = noc::Topology::kTorus;
+  cfg.vc_count = 2;
+
+  check::FuzzPacket p;
+  p.src = noc::encode_xy({1, 1});
+  p.dst = 0xFF;
+  p.broadcast = true;
+  p.payload = {p.src, 0xFF, 0, 0, 0x5A};
+  const check::NocRunResult r = check::run_noc_case(cfg, {p});
+  EXPECT_TRUE(r.ok) << r.signature << " — " << r.failure;
+  EXPECT_EQ(r.delivered, 9u);
+}
+
+}  // namespace
+}  // namespace mn

@@ -1,8 +1,9 @@
 // mn-fuzz: differential fuzzing and runtime invariant checking.
 //
 //   mn-fuzz [options]
-//     --mode M     diff-cpu | diff-fast | noc-invariants | asm-roundtrip
-//                  | coherence | all (default all)
+//     --mode M     diff-cpu | diff-fast | noc-invariants | noc-mcast
+//                  | noc-torus | asm-roundtrip | coherence | all
+//                  (default all)
 //     --runs N     cases per mode (default 100)
 //     --seed S     base seed; case i of a mode runs on
 //                  stream_seed(S, mode_salt + i) (default 1)
@@ -25,6 +26,7 @@
 // Every case is deterministic: same binary + same flags => same per-mode
 // digest, including across --threads settings. The final summary prints
 // those digests so reproducibility is scriptable (see tests/CMakeLists).
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -54,6 +56,8 @@ constexpr std::uint64_t kSaltNoc = 0x20000;
 constexpr std::uint64_t kSaltAsm = 0x30000;
 constexpr std::uint64_t kSaltFast = 0x40000;
 constexpr std::uint64_t kSaltCoherence = 0x50000;
+constexpr std::uint64_t kSaltMcast = 0x60000;
+constexpr std::uint64_t kSaltTorus = 0x70000;
 
 struct Options {
   std::string mode = "all";
@@ -106,6 +110,40 @@ NocFuzzConfig noc_case_config(std::uint64_t case_seed, unsigned index,
   cfg.faults = ((index / 8) % 2) == 1;
   cfg.threads = threads == 0 ? 1 : threads;
   const unsigned dim = 2 + (index / 16) % 3;
+  cfg.nx = dim;
+  cfg.ny = dim;
+  sim::SplitMix64 sm(case_seed);
+  cfg.packets = 30 + static_cast<unsigned>(sm.next() % 60);
+  return cfg;
+}
+
+/// Multicast column of the matrix: the noc-invariants rotation with a
+/// substantial multicast share mixed into every case (3x3 minimum so
+/// destination sets are interesting).
+NocFuzzConfig mcast_case_config(std::uint64_t case_seed, unsigned index,
+                                unsigned threads) {
+  NocFuzzConfig cfg = noc_case_config(case_seed, index, threads);
+  cfg.nx = std::max(cfg.nx, 3u);
+  cfg.ny = std::max(cfg.ny, 3u);
+  sim::SplitMix64 sm(case_seed ^ 0x4D43ull);
+  cfg.mcast_percent = 25 + static_cast<unsigned>(sm.next() % 50);
+  return cfg;
+}
+
+/// Torus column: wrap links + the dateline torus_xy policy (vc 2 or 4),
+/// faults alternating, and every other case mixing multicast in so the
+/// replication path crosses torus routes too.
+NocFuzzConfig torus_case_config(std::uint64_t case_seed, unsigned index,
+                                unsigned threads) {
+  NocFuzzConfig cfg;
+  cfg.seed = case_seed;
+  cfg.topology = noc::Topology::kTorus;
+  cfg.vc_count = index % 2 ? 4 : 2;
+  cfg.algo = noc::RoutingAlgo::kXY;
+  cfg.faults = ((index / 2) % 2) == 1;
+  cfg.mcast_percent = (index / 4) % 2 ? 30 : 0;
+  cfg.threads = threads == 0 ? 1 : threads;
+  const unsigned dim = 3 + (index / 8) % 2;  // 3x3 / 4x4: wrap cycles > 2
   cfg.nx = dim;
   cfg.ny = dim;
   sim::SplitMix64 sm(case_seed);
@@ -242,12 +280,17 @@ ModeReport run_fast_mode(const Options& opt) {
   return rep;
 }
 
-ModeReport run_noc_mode(const Options& opt) {
+/// Shared driver for the three NoC matrices (noc-invariants, noc-mcast,
+/// noc-torus): same checker, same shrinker, same repro shape — only the
+/// seed salt and the per-case config rotation differ.
+template <typename ConfigFn>
+ModeReport run_noc_mode_with(const Options& opt, const char* mode,
+                             std::uint64_t salt, ConfigFn make_config) {
   ModeReport rep;
   Fnv64 digest;
   for (unsigned i = 0; i < opt.runs; ++i) {
-    const std::uint64_t case_seed = sim::stream_seed(opt.seed, kSaltNoc + i);
-    NocFuzzConfig cfg = noc_case_config(case_seed, i, opt.threads);
+    const std::uint64_t case_seed = sim::stream_seed(opt.seed, salt + i);
+    NocFuzzConfig cfg = make_config(case_seed, i, opt.threads);
     const std::vector<FuzzPacket> packets = generate_packets(cfg);
     NocRunResult res = run_noc_case(cfg, packets);
     ++rep.runs;
@@ -266,10 +309,10 @@ ModeReport run_noc_mode(const Options& opt) {
     }
     if (res.ok) continue;
     ++rep.failures;
-    report_failure("noc-invariants", i, res.signature, res.failure);
+    report_failure(mode, i, res.signature, res.failure);
 
     Repro r;
-    r.mode = "noc-invariants";
+    r.mode = mode;
     r.seed = case_seed;
     r.signature = res.signature;
     r.failure = res.failure;
@@ -284,7 +327,7 @@ ModeReport run_noc_mode(const Options& opt) {
       const NocRunResult again = run_noc_case(cfg, r.packets);
       r.failure = again.failure;
     }
-    const std::string path = repro_path(opt, "noc-invariants", i);
+    const std::string path = repro_path(opt, mode, i);
     if (save_repro(r, path)) {
       std::fprintf(stderr, "  repro written: %s\n", path.c_str());
       rep.repro_paths.push_back(path);
@@ -295,6 +338,19 @@ ModeReport run_noc_mode(const Options& opt) {
   }
   rep.digest = digest.value();
   return rep;
+}
+
+ModeReport run_noc_mode(const Options& opt) {
+  return run_noc_mode_with(opt, "noc-invariants", kSaltNoc,
+                           noc_case_config);
+}
+
+ModeReport run_mcast_mode(const Options& opt) {
+  return run_noc_mode_with(opt, "noc-mcast", kSaltMcast, mcast_case_config);
+}
+
+ModeReport run_torus_mode(const Options& opt) {
+  return run_noc_mode_with(opt, "noc-torus", kSaltTorus, torus_case_config);
 }
 
 ModeReport run_coherence_mode(const Options& opt) {
@@ -482,7 +538,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: mn-fuzz [--mode diff-cpu|diff-fast|"
-                   "noc-invariants|asm-roundtrip|coherence|all] [--runs N]"
+                   "noc-invariants|noc-mcast|noc-torus|asm-roundtrip|"
+                   "coherence|all] [--runs N]"
                    " [--seed S]"
                    " [--threads N]"
                    " [--verify-threads] [--inject-bug B] [--shrink]"
@@ -521,6 +578,14 @@ int main(int argc, char** argv) {
   if (all || opt.mode == "noc-invariants") {
     matched = true;
     summarize("noc-invariants", run_noc_mode(opt));
+  }
+  if (all || opt.mode == "noc-mcast") {
+    matched = true;
+    summarize("noc-mcast", run_mcast_mode(opt));
+  }
+  if (all || opt.mode == "noc-torus") {
+    matched = true;
+    summarize("noc-torus", run_torus_mode(opt));
   }
   if (all || opt.mode == "asm-roundtrip") {
     matched = true;
